@@ -1,0 +1,96 @@
+//! Criterion micro-benchmarks of the from-scratch workload kernels —
+//! the real compute behind Table I, measured natively.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use microfaas_workloads::algorithms::aes128::{decrypt_cbc, encrypt_cbc};
+use microfaas_workloads::algorithms::deflate::{compress, inflate};
+use microfaas_workloads::algorithms::htmlgen::generate_page;
+use microfaas_workloads::algorithms::md5::md5;
+use microfaas_workloads::algorithms::numeric::{float_ops, mat_mul};
+use microfaas_workloads::algorithms::regex::Regex;
+use microfaas_workloads::algorithms::sha256::sha256;
+use std::hint::black_box;
+
+fn bench_hashing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hashing");
+    for size in [1_024usize, 65_536] {
+        let data = vec![0xABu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("sha256", size), &data, |b, data| {
+            b.iter(|| sha256(black_box(data)))
+        });
+        group.bench_with_input(BenchmarkId::new("md5", size), &data, |b, data| {
+            b.iter(|| md5(black_box(data)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_aes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aes128_cbc");
+    let key = [7u8; 16];
+    let iv = [9u8; 16];
+    for size in [1_024usize, 16_384] {
+        let plaintext = vec![0x42u8; size];
+        let ciphertext = encrypt_cbc(&plaintext, &key, &iv);
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("encrypt", size), &plaintext, |b, pt| {
+            b.iter(|| encrypt_cbc(black_box(pt), &key, &iv))
+        });
+        group.bench_with_input(BenchmarkId::new("decrypt", size), &ciphertext, |b, ct| {
+            b.iter(|| decrypt_cbc(black_box(ct), &key, &iv).expect("valid"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_deflate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deflate");
+    let document: Vec<u8> = b"the quick brown fox jumps over the lazy dog. "
+        .iter()
+        .copied()
+        .cycle()
+        .take(64 * 1024)
+        .collect();
+    let packed = compress(&document);
+    group.throughput(Throughput::Bytes(document.len() as u64));
+    group.bench_function("compress_64k", |b| b.iter(|| compress(black_box(&document))));
+    group.bench_function("inflate_64k", |b| {
+        b.iter(|| inflate(black_box(&packed)).expect("valid"))
+    });
+    group.finish();
+}
+
+fn bench_regex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("regex");
+    let re = Regex::new(r"[a-z]+@[a-z]+\.(com|org|net)").expect("valid pattern");
+    let text = "lorem ipsum user@example.com dolor sit amet ".repeat(200);
+    group.bench_function("find_all_emails_9k", |b| {
+        b.iter(|| re.find_all(black_box(&text)))
+    });
+    let matcher = Regex::new(r"^(GET|POST) /[a-z0-9/]* HTTP/1\.[01]$").expect("valid");
+    group.bench_function("is_match_request_line", |b| {
+        b.iter(|| matcher.is_match(black_box("GET /api/v1/items HTTP/1.1")))
+    });
+    group.finish();
+}
+
+fn bench_numeric(c: &mut Criterion) {
+    let mut group = c.benchmark_group("numeric");
+    group.bench_function("float_ops_10k", |b| b.iter(|| float_ops(black_box(10_000))));
+    group.bench_function("mat_mul_64", |b| b.iter(|| mat_mul(black_box(64), 42)));
+    group.bench_function("htmlgen_100_rows", |b| {
+        b.iter(|| generate_page(black_box(100)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hashing,
+    bench_aes,
+    bench_deflate,
+    bench_regex,
+    bench_numeric
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion benchmarks of the simulator itself: how fast the
+//! discrete-event core chews through cluster runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use microfaas::config::WorkloadMix;
+use microfaas::conventional::{run_conventional, ConventionalConfig};
+use microfaas::micro::{run_microfaas, MicroFaasConfig};
+use microfaas_sim::{EventQueue, SimTime};
+use microfaas_workloads::FunctionId;
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_10k_schedule_pop", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                // Scatter times to exercise heap reordering.
+                q.schedule(SimTime::from_micros((i * 2_654_435_761) % 1_000_000_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_cluster_runs(c: &mut Criterion) {
+    let mix = WorkloadMix::new(FunctionId::ALL.to_vec(), 20);
+    c.bench_function("microfaas_run_340_jobs", |b| {
+        b.iter(|| run_microfaas(black_box(&MicroFaasConfig::paper_prototype(mix.clone(), 1))))
+    });
+    c.bench_function("conventional_run_340_jobs", |b| {
+        b.iter(|| {
+            run_conventional(black_box(&ConventionalConfig::paper_baseline(mix.clone(), 1)))
+        })
+    });
+}
+
+criterion_group!(benches, bench_event_queue, bench_cluster_runs);
+criterion_main!(benches);

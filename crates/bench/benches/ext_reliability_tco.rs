@@ -1,0 +1,61 @@
+//! **Extension experiment** (paper footnote 4 + Table II, connected):
+//! simulate fleet failures from published MTBF figures and feed the
+//! *achieved* online rate into the TCO model, instead of Table II's
+//! assumed 95%.
+
+use microfaas_bench::banner;
+use microfaas_hw::reliability::{expected_failures, simulate_fleet, FleetSpec};
+use microfaas_sim::Rng;
+use microfaas_tco::{savings_percent, ClusterSpec, Conditions, CostModel};
+
+fn main() {
+    banner(
+        "Fleet reliability -> achieved online rate -> TCO",
+        "extension of paper footnote 4 + Table II",
+    );
+    let mut rng = Rng::new(2022);
+    let model = CostModel::benchmark_datacenter();
+
+    println!(
+        "{:<14} {:>6} {:>12} {:>10} {:>12} {:>12}",
+        "fleet", "nodes", "MTBF (h)", "failures", "replaced", "online rate"
+    );
+    let mut achieved = Vec::new();
+    for (label, spec) in [
+        ("MicroFaaS", FleetSpec::microfaas_rack()),
+        ("Conventional", FleetSpec::conventional_rack()),
+    ] {
+        let report = simulate_fleet(&spec, &mut rng);
+        println!(
+            "{label:<14} {:>6} {:>12.0} {:>10} {:>11.1}% {:>11.5}%",
+            spec.nodes,
+            spec.mtbf_hours,
+            report.failures,
+            report.replaced_fraction * 100.0,
+            report.online_rate * 100.0
+        );
+        println!(
+            "{:<14} {:>6} {:>12} {:>10.2} (closed form)",
+            "", "", "", expected_failures(&spec)
+        );
+        achieved.push(report.online_rate);
+    }
+
+    // TCO with the achieved (simulated) online rates at 50% utilization.
+    let conv_conditions = Conditions { utilization: 0.5, online_rate: achieved[1] };
+    let micro_conditions = Conditions { utilization: 0.5, online_rate: achieved[0] };
+    let conv = model.evaluate(&ClusterSpec::conventional_rack(), conv_conditions);
+    let micro = model.evaluate(&ClusterSpec::microfaas_rack(), micro_conditions);
+    println!("\nTCO with MTBF-derived online rates (50% utilization):");
+    println!("  {conv}");
+    println!("  {micro}");
+    println!(
+        "  savings: {:.1}% (Table II's assumed-95%-OR scenario gave 32.5%)",
+        savings_percent(&conv, &micro)
+    );
+    println!(
+        "\nWith published MTBFs both fleets stay >99.9% online, so Table II's\n\
+         95% OR is a very conservative assumption — the cost story only\n\
+         improves for MicroFaaS, whose per-node MTBF is ~10x the server's."
+    );
+}

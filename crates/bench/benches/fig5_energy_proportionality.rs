@@ -1,0 +1,43 @@
+//! Regenerates **Fig. 5**: average cluster power as a function of how
+//! many workers are active — the energy-proportionality comparison.
+
+use microfaas::experiment::energy_proportionality;
+use microfaas_bench::banner;
+
+fn main() {
+    banner("Energy proportionality: power vs active workers", "paper Fig. 5");
+    let series = energy_proportionality(10);
+
+    println!("{:>8} {:>16} {:>16}", "active", "10-SBC cluster", "rack server");
+    for point in &series {
+        println!(
+            "{:>8} {:>14.2} W {:>14.2} W",
+            point.active_workers, point.sbc_cluster_watts, point.vm_cluster_watts
+        );
+    }
+
+    let idle = &series[0];
+    let full = series.last().expect("non-empty series");
+    println!(
+        "\nidle draw:  SBC cluster {:.2} W vs server {:.2} W (paper: ~0 W vs 60 W)",
+        idle.sbc_cluster_watts, idle.vm_cluster_watts
+    );
+    println!(
+        "full draw:  SBC cluster {:.2} W vs server {:.2} W",
+        full.sbc_cluster_watts, full.vm_cluster_watts
+    );
+
+    // The takeaways the paper draws from Fig. 5.
+    assert_eq!(idle.sbc_cluster_watts, 0.0, "powered-down SBCs draw nothing");
+    assert_eq!(idle.vm_cluster_watts, 60.0, "the server idles at its floor");
+    assert!(
+        full.sbc_cluster_watts < idle.vm_cluster_watts,
+        "a fully busy SBC cluster draws less than an idle server"
+    );
+    // Linearity of the SBC line: each step adds exactly one node's draw.
+    for pair in series.windows(2) {
+        let step = pair[1].sbc_cluster_watts - pair[0].sbc_cluster_watts;
+        assert!((step - 1.96).abs() < 1e-9, "SBC line must be linear");
+    }
+    println!("\nFig. 5 regenerated: SBC line linear through zero, server has a 60 W floor.");
+}

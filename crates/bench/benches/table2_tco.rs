@@ -1,0 +1,68 @@
+//! Regenerates **Table II**: the 5-year single-rack lifetime cost
+//! comparison under Ideal and Realistic conditions.
+
+use microfaas_bench::banner;
+use microfaas_tco::{savings_percent, ClusterSpec, Conditions, CostModel};
+
+fn main() {
+    banner("5-year single-rack lifetime cost", "paper Table II");
+    let model = CostModel::benchmark_datacenter();
+    let conventional = ClusterSpec::conventional_rack();
+    let microfaas = ClusterSpec::microfaas_rack();
+
+    println!(
+        "clusters: {} servers vs {} SBCs + {} ToR switches ({:.1} km of Cat6)",
+        conventional.node_count,
+        microfaas.node_count,
+        microfaas.switch_count(),
+        microfaas.cable_meters() / 1_000.0
+    );
+
+    let published: [(&str, Conditions, [f64; 8]); 2] = [
+        (
+            "Ideal (100% util., 100% OR)",
+            Conditions::ideal(),
+            [82_451.0, 574.0, 41_676.0, 124_701.0, 51_923.0, 12_280.0, 17_884.0, 82_087.0],
+        ),
+        (
+            "Realistic (50% util., 95% OR)",
+            Conditions::realistic(),
+            [86_791.0, 574.0, 29_242.0, 116_607.0, 54_655.0, 12_280.0, 11_778.0, 78_713.0],
+        ),
+    ];
+
+    for (label, conditions, paper) in published {
+        let conv = model.evaluate(&conventional, conditions);
+        let micro = model.evaluate(&microfaas, conditions);
+        println!("\n--- {label} ---");
+        println!(
+            "{:<10} {:>14} {:>14}   {:>14} {:>14}",
+            "expense", "Conventional", "(paper)", "MicroFaaS", "(paper)"
+        );
+        let rows = [
+            ("Compute", conv.compute, paper[0], micro.compute, paper[4]),
+            ("Network", conv.network, paper[1], micro.network, paper[5]),
+            ("Energy", conv.energy, paper[2], micro.energy, paper[6]),
+            ("Total", conv.total(), paper[3], micro.total(), paper[7]),
+        ];
+        for (name, conv_value, conv_paper, micro_value, micro_paper) in rows {
+            println!(
+                "{name:<10} {conv_value:>13.0}$ {conv_paper:>13.0}$   {micro_value:>13.0}$ {micro_paper:>13.0}$"
+            );
+            assert!(
+                (conv_value - conv_paper).abs() < 5.0,
+                "{name} conventional off by more than $5"
+            );
+            assert!(
+                (micro_value - micro_paper).abs() < 5.0,
+                "{name} microfaas off by more than $5"
+            );
+        }
+        println!(
+            "MicroFaaS saves {:.1}% (paper: {})",
+            savings_percent(&conv, &micro),
+            if conditions == Conditions::ideal() { "34.2%" } else { "32.5%" }
+        );
+    }
+    println!("\nTable II regenerated: all eight dollar figures within $5.");
+}

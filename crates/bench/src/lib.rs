@@ -1,0 +1,48 @@
+//! # microfaas-bench
+//!
+//! The benchmark harness. Each paper table and figure has a dedicated
+//! bench target that regenerates it:
+//!
+//! | Target | Reproduces |
+//! |---|---|
+//! | `fig1_boot_time` | Fig. 1 — worker-OS boot time per optimization stage |
+//! | `table1_workloads` | Table I — the 17-function suite (runs each for real) |
+//! | `fig3_runtime_breakdown` | Fig. 3 — Working/Overhead split per function |
+//! | `fig4_vm_sweep` | Fig. 4 — conventional efficiency & throughput vs #VMs |
+//! | `fig5_energy_proportionality` | Fig. 5 — cluster power vs active workers |
+//! | `table2_tco` | Table II — 5-year single-rack lifetime cost |
+//! | `ablations` | §V/§VI what-ifs: GigE NIC, crypto accelerator, no-reboot, scheduling |
+//! | `algorithms` | Criterion micro-benches of the from-scratch kernels |
+//! | `cluster_sim` | Criterion benches of the simulator itself |
+//!
+//! Run everything with `cargo bench --workspace`, or a single figure with
+//! e.g. `cargo bench -p microfaas-bench --bench fig4_vm_sweep`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Prints a banner for a regenerated table/figure.
+pub fn banner(title: &str, paper_anchor: &str) {
+    println!();
+    println!("================================================================");
+    println!("{title}");
+    println!("(reproduces {paper_anchor})");
+    println!("================================================================");
+}
+
+/// Formats a ratio of measured vs paper value for quick scanning.
+pub fn vs_paper(measured: f64, published: f64) -> String {
+    let delta = (measured / published - 1.0) * 100.0;
+    format!("measured {measured:.1} vs paper {published:.1} ({delta:+.1}%)")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vs_paper_formats_delta() {
+        let s = vs_paper(110.0, 100.0);
+        assert!(s.contains("+10.0%"), "{s}");
+    }
+}

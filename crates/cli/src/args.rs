@@ -1,0 +1,155 @@
+//! A small `--flag value` argument parser — hand-rolled so the workspace
+//! keeps its zero-runtime-dependency policy.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Error from parsing the command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseArgsError(pub String);
+
+impl fmt::Display for ParseArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseArgsError {}
+
+/// A parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// The subcommand (first non-flag argument).
+    pub command: String,
+    options: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses `argv` (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseArgsError`] when no subcommand is present, a flag
+    /// is missing its value, or a positional argument trails the flags.
+    pub fn parse<I, S>(argv: I) -> Result<Args, ParseArgsError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut iter = argv.into_iter().map(Into::into);
+        let command = iter
+            .next()
+            .ok_or_else(|| ParseArgsError("missing subcommand; try 'help'".to_string()))?;
+        if command.starts_with("--") {
+            return Err(ParseArgsError(format!(
+                "expected a subcommand before '{command}'"
+            )));
+        }
+        let mut options = BTreeMap::new();
+        while let Some(token) = iter.next() {
+            let key = token
+                .strip_prefix("--")
+                .ok_or_else(|| {
+                    ParseArgsError(format!("unexpected positional argument '{token}'"))
+                })?
+                .to_string();
+            let value = iter
+                .next()
+                .ok_or_else(|| ParseArgsError(format!("flag '--{key}' needs a value")))?;
+            options.insert(key, value);
+        }
+        Ok(Args { command, options })
+    }
+
+    /// Fetches an option parsed as `T`, or `default` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseArgsError`] when the value does not parse.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ParseArgsError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| {
+                ParseArgsError(format!("invalid value '{raw}' for '--{key}'"))
+            }),
+        }
+    }
+
+    /// Fetches a string option.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Rejects unknown options (catches typos early).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseArgsError`] naming the first unrecognized flag.
+    pub fn expect_only(&self, allowed: &[&str]) -> Result<(), ParseArgsError> {
+        for key in self.options.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(ParseArgsError(format!(
+                    "unknown flag '--{key}' for '{}' (allowed: {})",
+                    self.command,
+                    allowed
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_subcommand_and_flags() {
+        let args = Args::parse(["sweep", "--max-vms", "20", "--seed", "7"]).expect("parses");
+        assert_eq!(args.command, "sweep");
+        assert_eq!(args.get_or("max-vms", 0usize).expect("int"), 20);
+        assert_eq!(args.get_or("seed", 0u64).expect("int"), 7);
+        assert_eq!(args.get_or("missing", 42u64).expect("default"), 42);
+    }
+
+    #[test]
+    fn rejects_missing_subcommand() {
+        assert!(Args::parse(Vec::<String>::new()).is_err());
+        assert!(Args::parse(["--flag", "v"]).is_err());
+    }
+
+    #[test]
+    fn rejects_dangling_flag() {
+        let err = Args::parse(["cmd", "--seed"]).expect_err("dangling");
+        assert!(err.to_string().contains("--seed"));
+    }
+
+    #[test]
+    fn rejects_positional_after_command() {
+        assert!(Args::parse(["cmd", "stray"]).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_value_type() {
+        let args = Args::parse(["cmd", "--n", "abc"]).expect("parses");
+        assert!(args.get_or("n", 0u32).is_err());
+    }
+
+    #[test]
+    fn expect_only_catches_typos() {
+        let args = Args::parse(["cmd", "--sede", "1"]).expect("parses");
+        let err = args.expect_only(&["seed"]).expect_err("typo");
+        assert!(err.to_string().contains("--sede"));
+    }
+
+    #[test]
+    fn get_str_round_trips() {
+        let args = Args::parse(["cmd", "--policy", "least-loaded"]).expect("parses");
+        assert_eq!(args.get_str("policy"), Some("least-loaded"));
+        assert_eq!(args.get_str("other"), None);
+    }
+}

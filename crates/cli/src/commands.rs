@@ -1,0 +1,415 @@
+//! The experiment commands behind each `microfaas <subcommand>`.
+
+use std::path::Path;
+
+use microfaas::config::WorkloadMix;
+use microfaas::experiment::{compare_suites, energy_proportionality, microfaas_reference, vm_sweep};
+use microfaas::openloop::{run_open_loop, ArrivalProcess, OpenLoopConfig, SchedulerPolicy};
+use microfaas::Jitter;
+use microfaas_hw::boot::{BootPlatform, BootProfile};
+use microfaas_hw::reliability::{simulate_fleet, FleetSpec};
+use microfaas_sim::{Rng, SimDuration};
+use microfaas_tco::{savings_percent, ClusterSpec, Conditions, CostModel};
+use microfaas_workloads::suite::{run_function, FunctionId, ServiceBackends};
+
+use crate::args::{Args, ParseArgsError};
+use crate::csv::Csv;
+
+/// Runs the subcommand in `args`, printing human-readable output and
+/// optionally exporting CSV via `--csv <path>`.
+///
+/// # Errors
+///
+/// Returns [`ParseArgsError`] for unknown subcommands or malformed flags,
+/// with the message the binary prints to stderr.
+pub fn dispatch(args: &Args) -> Result<(), ParseArgsError> {
+    match args.command.as_str() {
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        "compare" => compare(args),
+        "boot" => boot(args),
+        "sweep" => sweep(args),
+        "proportionality" => proportionality(args),
+        "tco" => tco(args),
+        "workloads" => workloads(args),
+        "openloop" => openloop(args),
+        "reliability" => reliability(args),
+        "timeline" => timeline(args),
+        "scale" => scale(args),
+        other => Err(ParseArgsError(format!(
+            "unknown subcommand '{other}'\n\n{}",
+            usage()
+        ))),
+    }
+}
+
+/// The help text.
+pub fn usage() -> &'static str {
+    "microfaas — drive the MicroFaaS reproduction
+
+USAGE: microfaas <subcommand> [--flag value]...
+
+SUBCOMMANDS
+  compare          run the full suite on both clusters (Fig. 3 + headline)
+                     --invocations N (default 100)  --seed S  --csv PATH
+  boot             worker-OS boot-time progression (Fig. 1)
+                     --csv PATH
+  sweep            conventional-cluster VM sweep (Fig. 4)
+                     --max-vms N (default 20)  --invocations N  --seed S  --csv PATH
+  proportionality  power vs active workers (Fig. 5)
+                     --workers N (default 10)  --csv PATH
+  tco              5-year lifetime cost (Table II)
+                     --utilization F (default 0.5)  --online-rate F (default 0.95)
+  workloads        execute all 17 functions for real (Table I)
+                     --seed S
+  openloop         arrival-driven run with power gating
+                     --rate F (jobs/s, default 1.0)  --policy random|least-loaded|power-aware
+                     --duration-secs N (default 600)  --workers N  --seed S
+  reliability      MTBF-driven fleet failure simulation
+                     --seed S
+  timeline         ASCII Gantt of worker activity for a small run
+                     --invocations N (default 15)  --width N (default 72)  --seed S
+  scale            MicroFaaS worker-count linearity sweep (paper SIII-c)
+                     --invocations N (default 30)  --seed S  --csv PATH
+  help             this text"
+}
+
+fn maybe_csv(args: &Args, csv: &Csv) -> Result<(), ParseArgsError> {
+    if let Some(path) = args.get_str("csv") {
+        csv.write_to(Path::new(path))
+            .map_err(|e| ParseArgsError(format!("cannot write '{path}': {e}")))?;
+        println!("\nwrote {path}");
+    }
+    Ok(())
+}
+
+fn compare(args: &Args) -> Result<(), ParseArgsError> {
+    args.expect_only(&["invocations", "seed", "csv"])?;
+    let invocations = args.get_or("invocations", 100u32)?;
+    let seed = args.get_or("seed", 2022u64)?;
+    let cmp = compare_suites(invocations, seed);
+
+    let mut csv = Csv::new(&[
+        "function", "micro_exec_ms", "micro_overhead_ms", "conv_exec_ms", "conv_overhead_ms",
+    ]);
+    println!("{:<13} {:>12} {:>12} {:>12}", "function", "uF total", "conv total", "ratio");
+    for row in &cmp.rows {
+        println!(
+            "{:<13} {:>10.0}ms {:>10.0}ms {:>12.2}",
+            row.function.name(),
+            row.micro_total_ms(),
+            row.conv_total_ms(),
+            row.micro_total_ms() / row.conv_total_ms()
+        );
+        csv.row_display(&[
+            &row.function.name(),
+            &row.micro_exec_ms,
+            &row.micro_overhead_ms,
+            &row.conv_exec_ms,
+            &row.conv_overhead_ms,
+        ]);
+    }
+    println!("\n{}", cmp.micro);
+    println!("{}", cmp.conventional);
+    println!("efficiency gain: {:.2}x (paper: 5.6x)", cmp.efficiency_gain());
+    maybe_csv(args, &csv)
+}
+
+fn boot(args: &Args) -> Result<(), ParseArgsError> {
+    args.expect_only(&["csv"])?;
+    let mut csv = Csv::new(&["platform", "stage", "real_s", "cpu_s"]);
+    for platform in [BootPlatform::Arm, BootPlatform::X86] {
+        println!("--- {platform:?} ---");
+        for (stage, time) in BootProfile::progression(platform) {
+            let label = stage.map_or("baseline".to_string(), |s| s.to_string());
+            println!(
+                "{label:<48} {:>6.2}s real {:>6.2}s cpu",
+                time.real.as_secs_f64(),
+                time.cpu.as_secs_f64()
+            );
+            csv.row_display(&[
+                &format!("{platform:?}"),
+                &label,
+                &time.real.as_secs_f64(),
+                &time.cpu.as_secs_f64(),
+            ]);
+        }
+    }
+    maybe_csv(args, &csv)
+}
+
+fn sweep(args: &Args) -> Result<(), ParseArgsError> {
+    args.expect_only(&["max-vms", "invocations", "seed", "csv"])?;
+    let max_vms = args.get_or("max-vms", 20usize)?;
+    let invocations = args.get_or("invocations", 40u32)?;
+    let seed = args.get_or("seed", 2022u64)?;
+    let reference = microfaas_reference(invocations, seed);
+    let points = vm_sweep(max_vms, invocations, seed);
+    let mut csv = Csv::new(&["vms", "func_per_min", "joules_per_function"]);
+    println!(
+        "(MicroFaaS reference: {:.1} f/min, {:.2} J/func)",
+        reference.functions_per_minute, reference.joules_per_function
+    );
+    println!("{:>4} {:>14} {:>12}", "VMs", "func/min", "J/func");
+    for point in &points {
+        println!(
+            "{:>4} {:>14.1} {:>12.2}",
+            point.vms, point.functions_per_minute, point.joules_per_function
+        );
+        csv.row_display(&[&point.vms, &point.functions_per_minute, &point.joules_per_function]);
+    }
+    maybe_csv(args, &csv)
+}
+
+fn proportionality(args: &Args) -> Result<(), ParseArgsError> {
+    args.expect_only(&["workers", "csv"])?;
+    let workers = args.get_or("workers", 10usize)?;
+    let series = energy_proportionality(workers);
+    let mut csv = Csv::new(&["active", "sbc_watts", "server_watts"]);
+    println!("{:>8} {:>14} {:>14}", "active", "SBC cluster", "rack server");
+    for point in &series {
+        println!(
+            "{:>8} {:>12.2} W {:>12.2} W",
+            point.active_workers, point.sbc_cluster_watts, point.vm_cluster_watts
+        );
+        csv.row_display(&[
+            &point.active_workers,
+            &point.sbc_cluster_watts,
+            &point.vm_cluster_watts,
+        ]);
+    }
+    maybe_csv(args, &csv)
+}
+
+fn tco(args: &Args) -> Result<(), ParseArgsError> {
+    args.expect_only(&["utilization", "online-rate"])?;
+    let utilization = args.get_or("utilization", 0.5f64)?;
+    let online_rate = args.get_or("online-rate", 0.95f64)?;
+    if !(0.0..=1.0).contains(&utilization) || online_rate <= 0.0 || online_rate > 1.0 {
+        return Err(ParseArgsError(
+            "utilization must be in [0,1]; online-rate in (0,1]".to_string(),
+        ));
+    }
+    let model = CostModel::benchmark_datacenter();
+    let conditions = Conditions { utilization, online_rate };
+    let conv = model.evaluate(&ClusterSpec::conventional_rack(), conditions);
+    let micro = model.evaluate(&ClusterSpec::microfaas_rack(), conditions);
+    println!("conditions: {:.0}% utilization, {:.1}% online rate", utilization * 100.0, online_rate * 100.0);
+    println!("  {conv}");
+    println!("  {micro}");
+    println!("  MicroFaaS saves {:.1}%", savings_percent(&conv, &micro));
+    Ok(())
+}
+
+fn workloads(args: &Args) -> Result<(), ParseArgsError> {
+    args.expect_only(&["seed"])?;
+    let seed = args.get_or("seed", 7u64)?;
+    let mut backends = ServiceBackends::seeded();
+    let mut rng = Rng::new(seed);
+    for function in FunctionId::ALL {
+        match run_function(function, 1, &mut rng, &mut backends) {
+            Ok(out) => println!("{:<13} {}", function.name(), out.summary),
+            Err(e) => return Err(ParseArgsError(format!("{function} failed: {e}"))),
+        }
+    }
+    Ok(())
+}
+
+fn openloop(args: &Args) -> Result<(), ParseArgsError> {
+    args.expect_only(&["rate", "policy", "duration-secs", "workers", "seed"])?;
+    let rate = args.get_or("rate", 1.0f64)?;
+    if rate <= 0.0 {
+        return Err(ParseArgsError("--rate must be positive".to_string()));
+    }
+    let scheduler = match args.get_str("policy").unwrap_or("random") {
+        "random" => SchedulerPolicy::RandomQueue,
+        "least-loaded" => SchedulerPolicy::LeastLoaded,
+        "power-aware" => SchedulerPolicy::PowerAware,
+        other => {
+            return Err(ParseArgsError(format!(
+                "unknown policy '{other}' (random | least-loaded | power-aware)"
+            )))
+        }
+    };
+    let config = OpenLoopConfig {
+        workers: args.get_or("workers", 10usize)?,
+        seed: args.get_or("seed", 2022u64)?,
+        duration: SimDuration::from_secs(args.get_or("duration-secs", 600u64)?),
+        arrival: ArrivalProcess::Poisson { per_second: rate },
+        scheduler,
+        jitter: Jitter::default_run_to_run(),
+        functions: FunctionId::ALL.to_vec(),
+    };
+    let run = run_open_loop(&config);
+    println!("completed:        {}", run.completed);
+    println!("mean latency:     {:.2} s", run.mean_latency_s);
+    println!("p95 latency:      {:.2} s", run.p95_latency_s);
+    println!("mean power:       {:.2} W", run.mean_power_w);
+    println!("energy/function:  {:.2} J", run.joules_per_function);
+    println!("mean powered-on:  {:.2} of {} workers", run.mean_powered_on, config.workers);
+    println!("power cycles:     {}", run.power_cycles);
+    Ok(())
+}
+
+fn reliability(args: &Args) -> Result<(), ParseArgsError> {
+    args.expect_only(&["seed"])?;
+    let seed = args.get_or("seed", 2022u64)?;
+    let mut rng = Rng::new(seed);
+    for (label, spec) in [
+        ("MicroFaaS (989 SBCs)", FleetSpec::microfaas_rack()),
+        ("Conventional (41 servers)", FleetSpec::conventional_rack()),
+    ] {
+        let report = simulate_fleet(&spec, &mut rng);
+        println!(
+            "{label:<26} {} failures over 5y, {:.2}% replaced, {:.5}% online",
+            report.failures,
+            report.replaced_fraction * 100.0,
+            report.online_rate * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn timeline(args: &Args) -> Result<(), ParseArgsError> {
+    args.expect_only(&["invocations", "width", "seed"])?;
+    let invocations = args.get_or("invocations", 15u32)?;
+    let width = args.get_or("width", 72usize)?;
+    if width == 0 {
+        return Err(ParseArgsError("--width must be positive".to_string()));
+    }
+    let seed = args.get_or("seed", 2022u64)?;
+    let run = microfaas::micro::run_microfaas(&microfaas::micro::MicroFaasConfig::paper_prototype(
+        microfaas::config::WorkloadMix::new(FunctionId::ALL.to_vec(), invocations),
+        seed,
+    ));
+    let timeline = microfaas::timeline::Timeline::from_run(&run);
+    print!("{}", timeline.render(width));
+    if let Some(gap) = timeline.mean_gap() {
+        println!("mean inter-job gap: {gap} (the 1.51 s reboot)");
+    }
+    println!("{run}");
+    Ok(())
+}
+
+fn scale(args: &Args) -> Result<(), ParseArgsError> {
+    args.expect_only(&["invocations", "seed", "csv"])?;
+    let invocations = args.get_or("invocations", 30u32)?;
+    let seed = args.get_or("seed", 2022u64)?;
+    let points =
+        microfaas::experiment::sbc_scale_sweep(&[5, 10, 20, 40, 80], invocations, seed);
+    let mut csv = Csv::new(&["workers", "func_per_min", "per_node", "joules_per_function"]);
+    println!("{:>8} {:>14} {:>12} {:>10}", "workers", "func/min", "per node", "J/func");
+    for point in &points {
+        let per_node = point.functions_per_minute / point.workers as f64;
+        println!(
+            "{:>8} {:>14.1} {:>12.2} {:>10.2}",
+            point.workers, point.functions_per_minute, per_node, point.joules_per_function
+        );
+        csv.row_display(&[
+            &point.workers,
+            &point.functions_per_minute,
+            &per_node,
+            &point.joules_per_function,
+        ]);
+    }
+    println!("\nper-node rate and J/func stay flat: capacity and cost scale linearly (SIII-c).");
+    maybe_csv(args, &csv)
+}
+
+/// Builds the paper's evaluation mix at a given scale (exposed for the
+/// binary's tests).
+pub fn evaluation_mix(invocations: u32) -> WorkloadMix {
+    WorkloadMix::new(FunctionId::ALL.to_vec(), invocations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(argv: &[&str]) -> Result<(), ParseArgsError> {
+        dispatch(&Args::parse(argv.iter().copied()).expect("parses"))
+    }
+
+    #[test]
+    fn help_prints() {
+        run(&["help"]).expect("help works");
+    }
+
+    #[test]
+    fn unknown_subcommand_errors() {
+        let err = run(&["frobnicate"]).expect_err("unknown");
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn tco_validates_ranges() {
+        assert!(run(&["tco", "--utilization", "1.5"]).is_err());
+        assert!(run(&["tco", "--online-rate", "0"]).is_err());
+        run(&["tco", "--utilization", "0.5", "--online-rate", "0.95"]).expect("valid");
+    }
+
+    #[test]
+    fn boot_and_proportionality_run() {
+        run(&["boot"]).expect("boot");
+        run(&["proportionality", "--workers", "4"]).expect("proportionality");
+    }
+
+    #[test]
+    fn openloop_validates_policy_and_rate() {
+        assert!(run(&["openloop", "--policy", "mystery"]).is_err());
+        assert!(run(&["openloop", "--rate", "-1"]).is_err());
+        run(&["openloop", "--rate", "1.0", "--duration-secs", "60"]).expect("runs");
+    }
+
+    #[test]
+    fn typo_flag_is_caught() {
+        let err = run(&["sweep", "--max-vm", "3"]).expect_err("typo");
+        assert!(err.to_string().contains("--max-vm"));
+    }
+
+    #[test]
+    fn compare_small_runs() {
+        run(&["compare", "--invocations", "5", "--seed", "1"]).expect("runs");
+    }
+
+    #[test]
+    fn reliability_runs() {
+        run(&["reliability", "--seed", "3"]).expect("runs");
+    }
+
+    #[test]
+    fn timeline_runs_and_validates_width() {
+        run(&["timeline", "--invocations", "3", "--width", "40"]).expect("runs");
+        assert!(run(&["timeline", "--width", "0"]).is_err());
+    }
+
+    #[test]
+    fn scale_runs() {
+        run(&["scale", "--invocations", "3", "--seed", "2"]).expect("runs");
+    }
+
+    #[test]
+    fn evaluation_mix_scales() {
+        assert_eq!(evaluation_mix(10).total_jobs(), 170);
+    }
+
+    #[test]
+    fn csv_export_writes_file() {
+        let path = std::env::temp_dir().join("microfaas_cli_test_fig5.csv");
+        let _ = std::fs::remove_file(&path);
+        run(&[
+            "proportionality",
+            "--workers",
+            "3",
+            "--csv",
+            path.to_str().expect("utf-8 temp path"),
+        ])
+        .expect("runs");
+        let written = std::fs::read_to_string(&path).expect("file exists");
+        assert!(written.starts_with("active,sbc_watts,server_watts"));
+        assert_eq!(written.lines().count(), 5, "header + 4 rows");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,13 @@
+//! # microfaas-cli
+//!
+//! Library half of the `microfaas` command-line tool: a small,
+//! dependency-free argument parser ([`args`]) and the experiment
+//! commands ([`commands`]) the binary dispatches to. Split out as a
+//! library so the parsing and output formatting are unit-testable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+pub mod csv;

@@ -1,0 +1,28 @@
+//! The `microfaas` binary: parse the command line and dispatch.
+
+use std::process::ExitCode;
+
+use microfaas_cli::args::Args;
+use microfaas_cli::commands::{dispatch, usage};
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    let args = match Args::parse(argv) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

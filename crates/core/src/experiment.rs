@@ -1,0 +1,311 @@
+//! Experiment drivers — one function per figure or table of the paper's
+//! evaluation (Section V). The bench targets in `microfaas-bench` print
+//! these results; integration tests assert their shapes.
+
+use microfaas_workloads::FunctionId;
+
+use crate::config::WorkloadMix;
+use crate::conventional::{run_conventional, vm_cluster_power, ConventionalConfig};
+use crate::micro::{run_microfaas, sbc_cluster_power, MicroFaasConfig};
+use crate::report::ClusterRun;
+
+/// One row of the Fig. 3 runtime-breakdown chart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeBreakdownRow {
+    /// The workload function.
+    pub function: FunctionId,
+    /// MicroFaaS mean execution time, ms ("Working").
+    pub micro_exec_ms: f64,
+    /// MicroFaaS mean network overhead, ms ("Overhead").
+    pub micro_overhead_ms: f64,
+    /// Conventional mean execution time, ms.
+    pub conv_exec_ms: f64,
+    /// Conventional mean network overhead, ms.
+    pub conv_overhead_ms: f64,
+}
+
+impl RuntimeBreakdownRow {
+    /// Total MicroFaaS runtime (exec + overhead), ms.
+    pub fn micro_total_ms(&self) -> f64 {
+        self.micro_exec_ms + self.micro_overhead_ms
+    }
+
+    /// Total conventional runtime, ms.
+    pub fn conv_total_ms(&self) -> f64 {
+        self.conv_exec_ms + self.conv_overhead_ms
+    }
+}
+
+/// Results of running the full suite on both clusters (Fig. 3 plus the
+/// §V headline numbers).
+#[derive(Debug, Clone)]
+pub struct SuiteComparison {
+    /// The MicroFaaS run.
+    pub micro: ClusterRun,
+    /// The conventional run.
+    pub conventional: ClusterRun,
+    /// Per-function breakdown rows in Table-I order.
+    pub rows: Vec<RuntimeBreakdownRow>,
+}
+
+impl SuiteComparison {
+    /// Functions where MicroFaaS is faster outright.
+    pub fn faster_on_microfaas(&self) -> Vec<FunctionId> {
+        self.rows
+            .iter()
+            .filter(|r| r.micro_total_ms() < r.conv_total_ms())
+            .map(|r| r.function)
+            .collect()
+    }
+
+    /// Functions at better than half the conventional speed (but not
+    /// faster outright).
+    pub fn within_half_speed(&self) -> Vec<FunctionId> {
+        self.rows
+            .iter()
+            .filter(|r| {
+                let ratio = r.micro_total_ms() / r.conv_total_ms();
+                (1.0..=2.0).contains(&ratio)
+            })
+            .map(|r| r.function)
+            .collect()
+    }
+
+    /// The energy-efficiency gain (conventional J/func ÷ MicroFaaS
+    /// J/func); the paper reports 5.6×.
+    pub fn efficiency_gain(&self) -> f64 {
+        match (
+            self.conventional.joules_per_function(),
+            self.micro.joules_per_function(),
+        ) {
+            (Some(conv), Some(micro)) if micro > 0.0 => conv / micro,
+            _ => f64::NAN,
+        }
+    }
+}
+
+/// Runs the paper's main experiment — the full suite on both clusters —
+/// with `invocations_per_function` per function (the paper uses 1,000).
+pub fn compare_suites(invocations_per_function: u32, seed: u64) -> SuiteComparison {
+    let mix = WorkloadMix::new(FunctionId::ALL.to_vec(), invocations_per_function);
+    let micro = run_microfaas(&MicroFaasConfig::paper_prototype(mix.clone(), seed));
+    let conventional = run_conventional(&ConventionalConfig::paper_baseline(mix, seed));
+
+    let micro_stats = micro.per_function();
+    let conv_stats = conventional.per_function();
+    let rows = FunctionId::ALL
+        .iter()
+        .map(|&function| RuntimeBreakdownRow {
+            function,
+            micro_exec_ms: micro_stats[&function].exec_ms.mean(),
+            micro_overhead_ms: micro_stats[&function].overhead_ms.mean(),
+            conv_exec_ms: conv_stats[&function].exec_ms.mean(),
+            conv_overhead_ms: conv_stats[&function].overhead_ms.mean(),
+        })
+        .collect();
+
+    SuiteComparison { micro, conventional, rows }
+}
+
+/// One point of the Fig. 4 VM-count sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VmSweepPoint {
+    /// VMs on the rack server.
+    pub vms: usize,
+    /// Measured cluster throughput, functions per minute.
+    pub functions_per_minute: f64,
+    /// Measured energy per function, joules.
+    pub joules_per_function: f64,
+}
+
+/// Sweeps the conventional cluster from 1 to `max_vms` VMs (Fig. 4's
+/// x-axis), returning one simulated point per count.
+pub fn vm_sweep(max_vms: usize, invocations_per_function: u32, seed: u64) -> Vec<VmSweepPoint> {
+    (1..=max_vms)
+        .map(|vms| {
+            let mut config = ConventionalConfig::paper_baseline(
+                WorkloadMix::new(FunctionId::ALL.to_vec(), invocations_per_function),
+                seed,
+            );
+            config.vms = vms;
+            let run = run_conventional(&config);
+            VmSweepPoint {
+                vms,
+                functions_per_minute: run.functions_per_minute(),
+                joules_per_function: run.joules_per_function().unwrap_or(f64::NAN),
+            }
+        })
+        .collect()
+}
+
+/// The MicroFaaS reference lines drawn across Fig. 4.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MicroFaasReference {
+    /// 10-SBC throughput, functions per minute.
+    pub functions_per_minute: f64,
+    /// 10-SBC energy per function, joules.
+    pub joules_per_function: f64,
+}
+
+/// Measures the 10-SBC reference for Fig. 4.
+pub fn microfaas_reference(invocations_per_function: u32, seed: u64) -> MicroFaasReference {
+    let run = run_microfaas(&MicroFaasConfig::paper_prototype(
+        WorkloadMix::new(FunctionId::ALL.to_vec(), invocations_per_function),
+        seed,
+    ));
+    MicroFaasReference {
+        functions_per_minute: run.functions_per_minute(),
+        joules_per_function: run.joules_per_function().unwrap_or(f64::NAN),
+    }
+}
+
+/// One point of the MicroFaaS worker-count scaling study (§III-c's
+/// "transparently cost-proportional" claim).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SbcScalePoint {
+    /// SBC worker count.
+    pub workers: usize,
+    /// Measured throughput, functions per minute.
+    pub functions_per_minute: f64,
+    /// Measured energy per function, joules.
+    pub joules_per_function: f64,
+}
+
+/// Sweeps the MicroFaaS cluster size. The paper argues capacity and cost
+/// scale linearly with node count; throughput per node and J/function
+/// should stay constant across the sweep.
+pub fn sbc_scale_sweep(
+    worker_counts: &[usize],
+    invocations_per_function: u32,
+    seed: u64,
+) -> Vec<SbcScalePoint> {
+    worker_counts
+        .iter()
+        .map(|&workers| {
+            let mut config = MicroFaasConfig::paper_prototype(
+                WorkloadMix::new(FunctionId::ALL.to_vec(), invocations_per_function),
+                seed,
+            );
+            config.workers = workers;
+            let run = run_microfaas(&config);
+            SbcScalePoint {
+                workers,
+                functions_per_minute: run.functions_per_minute(),
+                joules_per_function: run.joules_per_function().unwrap_or(f64::NAN),
+            }
+        })
+        .collect()
+}
+
+/// One point of the Fig. 5 energy-proportionality chart.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProportionalityPoint {
+    /// Active worker count.
+    pub active_workers: usize,
+    /// 10-SBC cluster draw with that many workers busy, watts.
+    pub sbc_cluster_watts: f64,
+    /// Rack-server draw with that many VMs busy, watts.
+    pub vm_cluster_watts: f64,
+}
+
+/// The Fig. 5 series: average cluster power as the number of active
+/// workers varies. The SBC cluster starts at ~0 W (everything powered
+/// off); the server starts at its 60 W idle floor.
+pub fn energy_proportionality(max_workers: usize) -> Vec<ProportionalityPoint> {
+    (0..=max_workers)
+        .map(|active| ProportionalityPoint {
+            active_workers: active,
+            sbc_cluster_watts: sbc_cluster_power(max_workers.max(10), active, true),
+            vm_cluster_watts: vm_cluster_power(active),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_comparison_reproduces_fig3_claims() {
+        let cmp = compare_suites(60, 11);
+        assert_eq!(cmp.rows.len(), 17);
+        assert_eq!(
+            cmp.faster_on_microfaas().len(),
+            4,
+            "paper: 4 of 17 functions faster on MicroFaaS"
+        );
+        assert_eq!(
+            cmp.within_half_speed().len(),
+            9,
+            "paper: 9 more at better than half speed"
+        );
+    }
+
+    #[test]
+    fn efficiency_gain_near_5_6x() {
+        let cmp = compare_suites(60, 12);
+        let gain = cmp.efficiency_gain();
+        assert!((gain - 5.6).abs() < 0.8, "gain {gain:.2} vs paper 5.6");
+    }
+
+    #[test]
+    fn vm_sweep_throughput_rises_then_saturates() {
+        let sweep = vm_sweep(20, 20, 13);
+        assert_eq!(sweep.len(), 20);
+        // Throughput at 6 VMs should roughly double 3 VMs.
+        let t3 = sweep[2].functions_per_minute;
+        let t6 = sweep[5].functions_per_minute;
+        assert!((t6 / t3 - 2.0).abs() < 0.25, "t6/t3 = {:.2}", t6 / t3);
+        // Beyond saturation (16 VMs) throughput flattens.
+        let t16 = sweep[15].functions_per_minute;
+        let t20 = sweep[19].functions_per_minute;
+        assert!(t20 / t16 < 1.10, "t20/t16 = {:.2}", t20 / t16);
+    }
+
+    #[test]
+    fn vm_sweep_efficiency_improves_to_saturation() {
+        let sweep = vm_sweep(18, 20, 14);
+        let j1 = sweep[0].joules_per_function;
+        let j6 = sweep[5].joules_per_function;
+        let j16 = sweep[15].joules_per_function;
+        assert!(j1 > j6 && j6 > j16, "J/func should fall: {j1:.1} > {j6:.1} > {j16:.1}");
+        // The paper's peak efficiency is ~16.1 J/func.
+        assert!((j16 - 16.1).abs() < 2.5, "peak {j16:.1} vs paper 16.1");
+    }
+
+    #[test]
+    fn sbc_scaling_is_linear_in_node_count() {
+        // §III-c: doubling nodes doubles capacity; per-function energy
+        // is unchanged. This is what lets a provider quote marginal cost.
+        let points = sbc_scale_sweep(&[5, 10, 20, 40], 40, 15);
+        let per_node: Vec<f64> = points
+            .iter()
+            .map(|p| p.functions_per_minute / p.workers as f64)
+            .collect();
+        for pair in per_node.windows(2) {
+            let drift = (pair[1] / pair[0] - 1.0).abs();
+            assert!(drift < 0.05, "per-node rate must stay flat, drift {drift:.3}");
+        }
+        let jpf: Vec<f64> = points.iter().map(|p| p.joules_per_function).collect();
+        for pair in jpf.windows(2) {
+            let drift = (pair[1] / pair[0] - 1.0).abs();
+            assert!(drift < 0.05, "J/func must stay flat, drift {drift:.3}");
+        }
+    }
+
+    #[test]
+    fn proportionality_series_shape() {
+        let series = energy_proportionality(10);
+        assert_eq!(series.len(), 11);
+        // Idle: SBC cluster ~0 W, server at its 60 W floor.
+        assert_eq!(series[0].sbc_cluster_watts, 0.0);
+        assert_eq!(series[0].vm_cluster_watts, 60.0);
+        // Fully busy: 10 SBCs still draw less than the idle server.
+        assert!(series[10].sbc_cluster_watts < series[0].vm_cluster_watts);
+        // Both lines are monotone.
+        for pair in series.windows(2) {
+            assert!(pair[1].sbc_cluster_watts >= pair[0].sbc_cluster_watts);
+            assert!(pair[1].vm_cluster_watts >= pair[0].vm_cluster_watts);
+        }
+    }
+}

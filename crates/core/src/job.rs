@@ -1,0 +1,172 @@
+//! Jobs (function invocations) and their timing records.
+
+use std::collections::BTreeMap;
+
+use microfaas_sim::{OnlineStats, SimDuration, SimTime};
+use microfaas_workloads::FunctionId;
+
+/// One function invocation flowing through a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Job {
+    /// Unique id within the run.
+    pub id: u64,
+    /// Which Table-I function to execute.
+    pub function: FunctionId,
+}
+
+/// Completed-job timing record, the raw material for Fig. 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobRecord {
+    /// The job.
+    pub job: Job,
+    /// Worker that ran it.
+    pub worker: usize,
+    /// When execution began on the worker.
+    pub started: SimTime,
+    /// Time spent executing the function body ("Working").
+    pub exec: SimDuration,
+    /// Time spent receiving input / returning results ("Overhead").
+    pub overhead: SimDuration,
+}
+
+impl JobRecord {
+    /// Total worker-visible time for the job.
+    pub fn total(&self) -> SimDuration {
+        self.exec + self.overhead
+    }
+}
+
+/// Aggregated per-function timing (one Fig. 3 bar pair).
+#[derive(Debug, Clone, Default)]
+pub struct FunctionStats {
+    /// Execution-time distribution in milliseconds.
+    pub exec_ms: OnlineStats,
+    /// Overhead distribution in milliseconds.
+    pub overhead_ms: OnlineStats,
+}
+
+impl FunctionStats {
+    /// Records one completed job.
+    pub fn record(&mut self, record: &JobRecord) {
+        self.exec_ms.record(record.exec.as_millis_f64());
+        self.overhead_ms.record(record.overhead.as_millis_f64());
+    }
+
+    /// Mean total (exec + overhead) in milliseconds.
+    pub fn mean_total_ms(&self) -> f64 {
+        self.exec_ms.mean() + self.overhead_ms.mean()
+    }
+
+    /// Number of completed invocations.
+    pub fn count(&self) -> u64 {
+        self.exec_ms.count()
+    }
+}
+
+/// The orchestration plane's job queues under a chosen assignment policy.
+#[derive(Debug, Clone)]
+pub struct Dispatcher {
+    mode: crate::config::Assignment,
+    shared: std::collections::VecDeque<Job>,
+    per_worker: Vec<std::collections::VecDeque<Job>>,
+}
+
+impl Dispatcher {
+    /// Distributes `jobs` over `workers` queues according to `mode`,
+    /// using `rng` for the random-static split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn new(
+        mode: crate::config::Assignment,
+        workers: usize,
+        jobs: Vec<Job>,
+        rng: &mut microfaas_sim::Rng,
+    ) -> Self {
+        assert!(workers > 0, "dispatcher needs at least one worker");
+        let mut dispatcher = Dispatcher {
+            mode,
+            shared: std::collections::VecDeque::new(),
+            per_worker: vec![std::collections::VecDeque::new(); workers],
+        };
+        match mode {
+            crate::config::Assignment::WorkConserving => dispatcher.shared.extend(jobs),
+            crate::config::Assignment::RandomStatic => {
+                for job in jobs {
+                    dispatcher.per_worker[rng.index(workers)].push_back(job);
+                }
+            }
+        }
+        dispatcher
+    }
+
+    /// Whether worker `w` has any work available.
+    pub fn has_work(&self, w: usize) -> bool {
+        match self.mode {
+            crate::config::Assignment::WorkConserving => !self.shared.is_empty(),
+            crate::config::Assignment::RandomStatic => !self.per_worker[w].is_empty(),
+        }
+    }
+
+    /// Takes the next job for worker `w`, if any.
+    pub fn pull(&mut self, w: usize) -> Option<Job> {
+        match self.mode {
+            crate::config::Assignment::WorkConserving => self.shared.pop_front(),
+            crate::config::Assignment::RandomStatic => self.per_worker[w].pop_front(),
+        }
+    }
+
+    /// Jobs still queued across all workers.
+    pub fn remaining(&self) -> usize {
+        self.shared.len() + self.per_worker.iter().map(|q| q.len()).sum::<usize>()
+    }
+}
+
+/// Builds the per-function aggregation from raw records.
+pub fn aggregate(records: &[JobRecord]) -> BTreeMap<FunctionId, FunctionStats> {
+    let mut map: BTreeMap<FunctionId, FunctionStats> = BTreeMap::new();
+    for record in records {
+        map.entry(record.job.function).or_default().record(record);
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(function: FunctionId, exec_ms: u64, overhead_ms: u64) -> JobRecord {
+        JobRecord {
+            job: Job { id: 0, function },
+            worker: 0,
+            started: SimTime::ZERO,
+            exec: SimDuration::from_millis(exec_ms),
+            overhead: SimDuration::from_millis(overhead_ms),
+        }
+    }
+
+    #[test]
+    fn total_is_exec_plus_overhead() {
+        assert_eq!(
+            rec(FunctionId::FloatOps, 100, 25).total(),
+            SimDuration::from_millis(125)
+        );
+    }
+
+    #[test]
+    fn aggregate_groups_by_function() {
+        let records = vec![
+            rec(FunctionId::FloatOps, 100, 10),
+            rec(FunctionId::FloatOps, 200, 30),
+            rec(FunctionId::CascSha, 500, 20),
+        ];
+        let stats = aggregate(&records);
+        assert_eq!(stats.len(), 2);
+        let fo = &stats[&FunctionId::FloatOps];
+        assert_eq!(fo.count(), 2);
+        assert_eq!(fo.exec_ms.mean(), 150.0);
+        assert_eq!(fo.overhead_ms.mean(), 20.0);
+        assert_eq!(fo.mean_total_ms(), 170.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! # microfaas
+//!
+//! The platform core of the MicroFaaS reproduction: the orchestration
+//! plane, the two evaluation clusters, and the experiment drivers that
+//! regenerate every figure and table of the paper.
+//!
+//! * [`config`] — workload mixes and run-to-run jitter;
+//! * [`job`] — invocations and timing records;
+//! * [`micro`] — the MicroFaaS cluster (SBC workers, GPIO power gating,
+//!   reboot-between-jobs, run-to-completion);
+//! * [`conventional`] — the virtualization-based baseline (microVMs on a
+//!   rack server with CPU contention and an idle power floor);
+//! * [`report`] — run results: throughput, energy, per-function stats;
+//! * [`experiment`] — one function per paper figure/table.
+//!
+//! # Examples
+//!
+//! Reproduce the headline comparison (scaled down for speed):
+//!
+//! ```
+//! use microfaas::config::WorkloadMix;
+//! use microfaas::conventional::{run_conventional, ConventionalConfig};
+//! use microfaas::micro::{run_microfaas, MicroFaasConfig};
+//!
+//! let mix = WorkloadMix::quick();
+//! let sbc = run_microfaas(&MicroFaasConfig::paper_prototype(mix.clone(), 42));
+//! let vm = run_conventional(&ConventionalConfig::paper_baseline(mix, 42));
+//! let gain = vm.joules_per_function().unwrap_or(f64::NAN)
+//!     / sbc.joules_per_function().unwrap_or(f64::NAN);
+//! assert!(gain > 4.0, "MicroFaaS should be >4x more energy-efficient");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod conventional;
+pub mod experiment;
+pub mod gateway;
+pub mod job;
+pub mod micro;
+pub mod openloop;
+pub mod registry;
+pub mod report;
+pub mod timeline;
+
+pub use config::{Jitter, WorkloadMix};
+pub use conventional::{run_conventional, ConventionalConfig};
+pub use job::{Job, JobRecord};
+pub use micro::{run_microfaas, MicroFaasConfig};
+pub use report::ClusterRun;

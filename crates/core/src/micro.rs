@@ -1,0 +1,559 @@
+//! The MicroFaaS cluster simulator: SBC workers driven by the
+//! orchestration plane through GPIO power control, run-to-completion
+//! scheduling, reboots between jobs, and power-gating of idle nodes.
+
+use microfaas_energy::EnergyMeter;
+use microfaas_hw::gpio::{PowerAction, PowerController};
+use microfaas_hw::sbc::SbcNode;
+use microfaas_net::{LinkSpec, Network, NodeId};
+use microfaas_sim::{EventId, EventQueue, Rng, SimDuration, SimTime};
+use microfaas_workloads::calibration::{service_time, WorkerPlatform};
+use microfaas_workloads::FunctionId;
+
+use crate::config::{Assignment, Jitter, WorkloadMix};
+use crate::job::{Dispatcher, Job, JobRecord};
+use crate::report::ClusterRun;
+
+/// Configuration of a MicroFaaS cluster run.
+#[derive(Debug, Clone)]
+pub struct MicroFaasConfig {
+    /// Number of SBC worker nodes (the paper's prototype has 10).
+    pub workers: usize,
+    /// Workload to run.
+    pub mix: WorkloadMix,
+    /// RNG seed; equal seeds give bit-identical runs.
+    pub seed: u64,
+    /// Run-to-run service-time variation.
+    pub jitter: Jitter,
+    /// Worker NIC line rate. The BeagleBone's Fast Ethernet is the
+    /// default; set 1 Gb/s for the paper's NIC-upgrade what-if.
+    pub worker_nic_bits_per_sec: u64,
+    /// Reboot to a clean state between jobs (the paper's policy).
+    /// Disabling is an ablation that trades isolation for throughput.
+    pub reboot_between_jobs: bool,
+    /// Power nodes fully off when their queue drains (the paper's
+    /// energy-proportionality mechanism). Disabling leaves idle nodes in
+    /// 0.128 W standby.
+    pub power_gating: bool,
+    /// Models the paper's "cryptographic accelerator" what-if: scales
+    /// CascSHA/CascMD5/AES128 execution by this factor (1.0 = stock).
+    pub crypto_exec_scale: f64,
+    /// How the orchestration plane maps jobs to workers.
+    pub assignment: Assignment,
+    /// NIC line rate of the backing-service hosts. GigE by default; set
+    /// 100 Mb/s to model services hosted on SBCs (as the paper's testbed
+    /// wires them), which turns the service port into a shared
+    /// bottleneck at scale — the effect Gand et al. report for their
+    /// 8-Pi cluster.
+    pub service_nic_bits_per_sec: u64,
+    /// Kill invocations that run longer than this (platform timeout).
+    /// `None` is the paper's pure run-to-completion model.
+    pub invocation_timeout: Option<SimDuration>,
+}
+
+impl MicroFaasConfig {
+    /// The paper's prototype: 10 SBCs, Fast Ethernet, reboot + power-gate.
+    pub fn paper_prototype(mix: WorkloadMix, seed: u64) -> Self {
+        MicroFaasConfig {
+            workers: 10,
+            mix,
+            seed,
+            jitter: Jitter::default_run_to_run(),
+            worker_nic_bits_per_sec: 100_000_000,
+            reboot_between_jobs: true,
+            power_gating: true,
+            crypto_exec_scale: 1.0,
+            assignment: Assignment::WorkConserving,
+            service_nic_bits_per_sec: 1_000_000_000,
+            invocation_timeout: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// GPIO press registered; the node starts booting.
+    PowerEffective(usize),
+    /// Worker OS reached the network; node is ready for a job.
+    BootDone(usize),
+    /// Function body finished; the result/overhead phase begins.
+    ExecDone(usize),
+    /// Result delivered; the job is complete.
+    JobDone(usize),
+    /// The platform timeout fired; the invocation is killed.
+    TimedOut(usize),
+}
+
+struct InFlight {
+    job: Job,
+    started: SimTime,
+    exec: SimDuration,
+    /// The next scheduled progress event (ExecDone, then JobDone),
+    /// cancelled if the timeout fires first.
+    pending: EventId,
+    /// The timeout event, cancelled when the job completes in time.
+    timeout: Option<EventId>,
+}
+
+/// Runs the configured cluster to completion and reports the results.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero or `crypto_exec_scale` is not in (0, 1].
+///
+/// # Examples
+///
+/// ```
+/// use microfaas::config::WorkloadMix;
+/// use microfaas::micro::{run_microfaas, MicroFaasConfig};
+/// use microfaas_workloads::FunctionId;
+///
+/// let mix = WorkloadMix::new(vec![FunctionId::RegexMatch], 20);
+/// let run = run_microfaas(&MicroFaasConfig::paper_prototype(mix, 42));
+/// assert_eq!(run.jobs_completed(), 20);
+/// ```
+pub fn run_microfaas(config: &MicroFaasConfig) -> ClusterRun {
+    assert!(config.workers > 0, "cluster needs at least one worker");
+    assert!(
+        config.crypto_exec_scale > 0.0 && config.crypto_exec_scale <= 1.0,
+        "crypto accelerator can only speed execution up"
+    );
+
+    let mut rng = Rng::new(config.seed);
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    let mut gpio = PowerController::new(config.workers);
+    let mut meter = EnergyMeter::new(SimTime::ZERO);
+
+    // Network topology: workers on their (possibly upgraded) NICs; the
+    // orchestrator and the four service hosts on GigE so each cluster's
+    // own worker NIC is the bottleneck.
+    let worker_link = LinkSpec {
+        bits_per_sec: config.worker_nic_bits_per_sec,
+        latency: LinkSpec::fast_ethernet().latency,
+    };
+    let mut net = Network::new(LinkSpec::gigabit());
+    let worker_nodes: Vec<NodeId> = (0..config.workers)
+        .map(|w| net.add_node(format!("sbc-{w}"), worker_link))
+        .collect();
+    let service_link = LinkSpec {
+        bits_per_sec: config.service_nic_bits_per_sec,
+        latency: LinkSpec::gigabit().latency,
+    };
+    let orchestrator = net.add_node("orchestrator", LinkSpec::gigabit());
+    let kv_node = net.add_node("kvstore", service_link);
+    let sql_node = net.add_node("sqldb", service_link);
+    let cos_node = net.add_node("objstore", service_link);
+    let mq_node = net.add_node("mqueue", service_link);
+
+    let peer_of = |function: FunctionId| match function {
+        FunctionId::RedisInsert | FunctionId::RedisUpdate => kv_node,
+        FunctionId::SqlSelect | FunctionId::SqlUpdate => sql_node,
+        FunctionId::CosGet | FunctionId::CosPut => cos_node,
+        FunctionId::MqProduce | FunctionId::MqConsume => mq_node,
+        _ => orchestrator,
+    };
+
+    let mut nodes: Vec<SbcNode> = (0..config.workers)
+        .map(|w| SbcNode::new(w, SimTime::ZERO))
+        .collect();
+    let channels: Vec<_> = (0..config.workers)
+        .map(|w| meter.add_channel(format!("sbc-{w}")))
+        .collect();
+
+    // The orchestration plane queues every invocation up front
+    // (paper §IV-D), under the configured assignment policy.
+    let jobs = config.mix.jobs(&mut rng);
+    let mut dispatcher = Dispatcher::new(config.assignment, config.workers, jobs, &mut rng);
+
+    // Power on every worker that has work.
+    for w in 0..config.workers {
+        if dispatcher.has_work(w) {
+            let effective = gpio.actuate(SimTime::ZERO, w, PowerAction::On);
+            queue.schedule(effective, Event::PowerEffective(w));
+        }
+    }
+
+    let mut in_flight: Vec<Option<InFlight>> = (0..config.workers).map(|_| None).collect();
+    let mut records: Vec<JobRecord> = Vec::with_capacity(config.mix.total_jobs() as usize);
+    let mut last_completion = SimTime::ZERO;
+    let mut timed_out: u64 = 0;
+
+    while let Some((now, event)) = queue.pop() {
+        match event {
+            Event::PowerEffective(w) => {
+                nodes[w].power_on(now).expect("scheduled only while off");
+                meter.set_power(now, channels[w], nodes[w].power().value());
+                queue.schedule(now + nodes[w].boot_duration(), Event::BootDone(w));
+            }
+            Event::BootDone(w) => {
+                nodes[w].boot_complete(now).expect("scheduled only while booting");
+                meter.set_power(now, channels[w], nodes[w].power().value());
+                start_next_job(
+                    w,
+                    now,
+                    config,
+                    &mut nodes,
+                    &mut dispatcher,
+                    &mut in_flight,
+                    &mut queue,
+                    &mut meter,
+                    &channels,
+                    &mut gpio,
+                    &mut rng,
+                );
+            }
+            Event::ExecDone(w) => {
+                let flight = in_flight[w].as_ref().expect("job in flight");
+                let st = service_time(flight.job.function);
+                let fixed = st
+                    .fixed_overhead(WorkerPlatform::ArmSbc)
+                    .mul_f64(config.jitter.factor(&mut rng));
+                // The byte-proportional part travels the simulated switch,
+                // where port contention can stretch it beyond nominal.
+                let transfer_start = now + fixed;
+                let peer = peer_of(flight.job.function);
+                let delivered = if flight.job.function == FunctionId::CosGet {
+                    net.send(transfer_start, peer, worker_nodes[w], st.transfer_bytes())
+                } else {
+                    net.send(transfer_start, worker_nodes[w], peer, st.transfer_bytes())
+                };
+                let pending = queue.schedule(delivered, Event::JobDone(w));
+                in_flight[w].as_mut().expect("job in flight").pending = pending;
+            }
+            Event::JobDone(w) => {
+                let flight = in_flight[w].take().expect("job in flight");
+                if let Some(timeout_event) = flight.timeout {
+                    queue.cancel(timeout_event);
+                }
+                let overhead = now.duration_since(flight.started + flight.exec);
+                records.push(JobRecord {
+                    job: flight.job,
+                    worker: w,
+                    started: flight.started,
+                    exec: flight.exec,
+                    overhead,
+                });
+                last_completion = now;
+                if !dispatcher.has_work(w) {
+                    // Queue drained: power fully down (energy
+                    // proportionality), or idle in standby if gating is
+                    // disabled for the ablation.
+                    nodes[w]
+                        .finish_job_and_power_off(now)
+                        .expect("job was executing");
+                    if !config.power_gating {
+                        // Model standby as the idle draw without the FSM
+                        // round trip: the node is "parked".
+                        meter.set_power(now, channels[w], 0.128);
+                    } else {
+                        gpio.actuate(now, w, PowerAction::Off);
+                        meter.set_power(now, channels[w], 0.0);
+                    }
+                } else {
+                    nodes[w].finish_job_and_reboot(now).expect("job was executing");
+                    meter.set_power(now, channels[w], nodes[w].power().value());
+                    let reboot = if config.reboot_between_jobs {
+                        nodes[w].boot_duration()
+                    } else {
+                        SimDuration::ZERO
+                    };
+                    queue.schedule(now + reboot, Event::BootDone(w));
+                }
+            }
+            Event::TimedOut(w) => {
+                let flight = in_flight[w].take().expect("job in flight");
+                queue.cancel(flight.pending);
+                timed_out += 1;
+                // The worker is reset exactly as after a normal job: the
+                // reboot restores the clean state the next tenant needs.
+                if !dispatcher.has_work(w) {
+                    nodes[w]
+                        .finish_job_and_power_off(now)
+                        .expect("job was executing");
+                    gpio.actuate(now, w, PowerAction::Off);
+                    meter.set_power(now, channels[w], 0.0);
+                } else {
+                    nodes[w].finish_job_and_reboot(now).expect("job was executing");
+                    meter.set_power(now, channels[w], nodes[w].power().value());
+                    queue.schedule(
+                        now + nodes[w].boot_duration(),
+                        Event::BootDone(w),
+                    );
+                }
+            }
+        }
+    }
+
+    // A worker that booted to an already-drained queue may touch the
+    // meter after the final completion; report at the later instant.
+    let end = queue.now().max(last_completion);
+    let energy = meter.report(end, records.len() as u64);
+    ClusterRun {
+        label: format!("MicroFaaS ({} SBCs)", config.workers),
+        workers: config.workers,
+        energy,
+        makespan: last_completion.duration_since(SimTime::ZERO),
+        records,
+        timed_out,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn start_next_job(
+    w: usize,
+    now: SimTime,
+    config: &MicroFaasConfig,
+    nodes: &mut [SbcNode],
+    dispatcher: &mut Dispatcher,
+    in_flight: &mut [Option<InFlight>],
+    queue: &mut EventQueue<Event>,
+    meter: &mut EnergyMeter,
+    channels: &[microfaas_energy::ChannelId],
+    gpio: &mut PowerController,
+    rng: &mut Rng,
+) {
+    match dispatcher.pull(w) {
+        Some(job) => {
+            nodes[w].start_job(now).expect("node is idle");
+            meter.set_power(now, channels[w], nodes[w].power().value());
+            let st = service_time(job.function);
+            let mut exec = st
+                .exec(WorkerPlatform::ArmSbc)
+                .mul_f64(config.jitter.factor(rng));
+            if config.crypto_exec_scale < 1.0 && is_crypto(job.function) {
+                exec = exec.mul_f64(config.crypto_exec_scale);
+            }
+            let pending = queue.schedule(now + exec, Event::ExecDone(w));
+            let timeout = config
+                .invocation_timeout
+                .map(|limit| queue.schedule(now + limit, Event::TimedOut(w)));
+            in_flight[w] = Some(InFlight { job, started: now, exec, pending, timeout });
+        }
+        None => {
+            // Booted with nothing to do (possible when the initial random
+            // assignment left this worker a short queue): power back off.
+            if config.power_gating {
+                nodes[w].power_off(now).expect("node is idle");
+                gpio.actuate(now, w, PowerAction::Off);
+                meter.set_power(now, channels[w], 0.0);
+            }
+        }
+    }
+}
+
+fn is_crypto(function: FunctionId) -> bool {
+    matches!(
+        function,
+        FunctionId::CascSha | FunctionId::CascMd5 | FunctionId::Aes128
+    )
+}
+
+/// Average cluster power with exactly `active` of `total` workers busy —
+/// the closed-form behind Fig. 5's SBC line.
+pub fn sbc_cluster_power(total: usize, active: usize, power_gating: bool) -> f64 {
+    assert!(active <= total, "cannot have more active workers than workers");
+    let idle_draw = if power_gating { 0.0 } else { 0.128 };
+    active as f64 * 1.96 + (total - active) as f64 * idle_draw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config(seed: u64) -> MicroFaasConfig {
+        MicroFaasConfig::paper_prototype(WorkloadMix::quick(), seed)
+    }
+
+    #[test]
+    fn completes_every_job_exactly_once() {
+        let run = run_microfaas(&quick_config(1));
+        assert_eq!(run.jobs_completed(), WorkloadMix::quick().total_jobs());
+        let mut ids: Vec<u64> = run.records.iter().map(|r| r.job.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len() as u64, run.jobs_completed(), "no duplicates");
+    }
+
+    #[test]
+    fn identical_seeds_are_bit_identical() {
+        let a = run_microfaas(&quick_config(7));
+        let b = run_microfaas(&quick_config(7));
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.energy.total_joules, b.energy.total_joules);
+        assert_eq!(a.records.len(), b.records.len());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = run_microfaas(&quick_config(1));
+        let b = run_microfaas(&quick_config(2));
+        assert_ne!(a.makespan, b.makespan);
+    }
+
+    #[test]
+    fn throughput_near_paper_value() {
+        let mut config = MicroFaasConfig::paper_prototype(WorkloadMix::quick(), 3);
+        config.mix = WorkloadMix::new(FunctionId::ALL.to_vec(), 100);
+        let run = run_microfaas(&config);
+        let fpm = run.functions_per_minute();
+        assert!(
+            (fpm - 200.6).abs() < 8.0,
+            "throughput {fpm:.1} f/min vs paper 200.6"
+        );
+    }
+
+    #[test]
+    fn energy_per_function_near_paper_value() {
+        let mut config = MicroFaasConfig::paper_prototype(WorkloadMix::quick(), 4);
+        config.mix = WorkloadMix::new(FunctionId::ALL.to_vec(), 100);
+        let run = run_microfaas(&config);
+        let jpf = run.joules_per_function().expect("jobs ran");
+        assert!((jpf - 5.7).abs() < 0.6, "{jpf:.2} J/func vs paper 5.7");
+    }
+
+    #[test]
+    fn gigabit_nic_speeds_up_cosget() {
+        let mix = WorkloadMix::new(vec![FunctionId::CosGet], 40);
+        let stock = run_microfaas(&MicroFaasConfig::paper_prototype(mix.clone(), 5));
+        let mut upgraded_config = MicroFaasConfig::paper_prototype(mix, 5);
+        upgraded_config.worker_nic_bits_per_sec = 1_000_000_000;
+        let upgraded = run_microfaas(&upgraded_config);
+        let stock_ovh = stock.per_function()[&FunctionId::CosGet].overhead_ms.mean();
+        let upgraded_ovh = upgraded.per_function()[&FunctionId::CosGet].overhead_ms.mean();
+        assert!(
+            upgraded_ovh < stock_ovh / 2.0,
+            "GigE should halve COSGet overhead: {stock_ovh:.0} -> {upgraded_ovh:.0} ms"
+        );
+    }
+
+    #[test]
+    fn skipping_reboots_raises_throughput() {
+        let mix = WorkloadMix::new(vec![FunctionId::RegexMatch], 200);
+        let with = run_microfaas(&MicroFaasConfig::paper_prototype(mix.clone(), 6));
+        let mut without_config = MicroFaasConfig::paper_prototype(mix, 6);
+        without_config.reboot_between_jobs = false;
+        let without = run_microfaas(&without_config);
+        assert!(without.functions_per_minute() > with.functions_per_minute() * 1.5);
+    }
+
+    #[test]
+    fn crypto_accelerator_speeds_up_cascsha() {
+        let mix = WorkloadMix::new(vec![FunctionId::CascSha], 50);
+        let stock = run_microfaas(&MicroFaasConfig::paper_prototype(mix.clone(), 8));
+        let mut accel_config = MicroFaasConfig::paper_prototype(mix, 8);
+        accel_config.crypto_exec_scale = 0.35;
+        let accel = run_microfaas(&accel_config);
+        let stock_exec = stock.per_function()[&FunctionId::CascSha].exec_ms.mean();
+        let accel_exec = accel.per_function()[&FunctionId::CascSha].exec_ms.mean();
+        assert!((accel_exec / stock_exec - 0.35).abs() < 0.02);
+    }
+
+    #[test]
+    fn per_function_times_match_calibration() {
+        let mut config = MicroFaasConfig::paper_prototype(
+            WorkloadMix::new(FunctionId::ALL.to_vec(), 60),
+            9,
+        );
+        config.jitter = Jitter::none();
+        let run = run_microfaas(&config);
+        for (function, stats) in run.per_function() {
+            let expected = service_time(function)
+                .exec(WorkerPlatform::ArmSbc)
+                .as_millis_f64();
+            let measured = stats.exec_ms.mean();
+            assert!(
+                (measured - expected).abs() < 1.0,
+                "{function}: exec {measured:.1} vs calibrated {expected:.1}"
+            );
+            let expected_ovh = service_time(function)
+                .overhead(WorkerPlatform::ArmSbc)
+                .as_millis_f64();
+            let measured_ovh = stats.overhead_ms.mean();
+            assert!(
+                (measured_ovh - expected_ovh).abs() < expected_ovh * 0.15 + 3.0,
+                "{function}: overhead {measured_ovh:.1} vs calibrated {expected_ovh:.1}"
+            );
+        }
+    }
+
+    #[test]
+    fn invocation_timeout_kills_long_jobs() {
+        // MatMul runs ~4.7 s on the SBC; a 2 s platform timeout kills
+        // every MatMul but leaves RegexMatch (~0.5 s) untouched.
+        let mix = WorkloadMix::new(vec![FunctionId::MatMul, FunctionId::RegexMatch], 30);
+        let mut config = MicroFaasConfig::paper_prototype(mix, 11);
+        config.invocation_timeout = Some(SimDuration::from_secs(2));
+        let run = run_microfaas(&config);
+        assert_eq!(run.timed_out, 30, "every MatMul must be killed");
+        assert_eq!(run.jobs_completed(), 30, "every RegexMatch must finish");
+        assert!(
+            run.per_function().keys().all(|&f| f == FunctionId::RegexMatch),
+            "only RegexMatch completions should be recorded"
+        );
+    }
+
+    #[test]
+    fn timeout_cuts_worst_case_occupancy() {
+        // With a timeout, the worker is freed at the limit instead of
+        // serving the full 4.7 s MatMul: total makespan shrinks.
+        let mix = WorkloadMix::new(vec![FunctionId::MatMul], 40);
+        let unlimited = run_microfaas(&MicroFaasConfig::paper_prototype(mix.clone(), 12));
+        let mut config = MicroFaasConfig::paper_prototype(mix, 12);
+        config.invocation_timeout = Some(SimDuration::from_secs(1));
+        let limited = run_microfaas(&config);
+        assert_eq!(limited.timed_out, 40);
+        assert!(limited.makespan < unlimited.makespan);
+    }
+
+    #[test]
+    fn no_timeout_means_no_kills() {
+        let run = run_microfaas(&quick_config(13));
+        assert_eq!(run.timed_out, 0);
+    }
+
+    #[test]
+    fn sbc_hosted_service_bottlenecks_at_scale() {
+        // With the object store on a 100 Mb/s SBC, adding workers stops
+        // helping a COSGet-heavy workload: the service's TX port is the
+        // shared bottleneck (the Gand et al. effect).
+        let mix = WorkloadMix::new(vec![FunctionId::CosGet], 120);
+        let run_with_workers = |workers: usize| {
+            let mut config = MicroFaasConfig::paper_prototype(mix.clone(), 7);
+            config.workers = workers;
+            config.service_nic_bits_per_sec = 100_000_000;
+            run_microfaas(&config).functions_per_minute()
+        };
+        let five = run_with_workers(5);
+        let twenty = run_with_workers(20);
+        // A 4x worker increase buys far less than 4x throughput.
+        assert!(
+            twenty < five * 2.0,
+            "service bottleneck should cap scaling: 5 workers {five:.1}, 20 workers {twenty:.1}"
+        );
+        // With GigE services the same scaling is far better.
+        let run_gige = |workers: usize| {
+            let mut config = MicroFaasConfig::paper_prototype(mix.clone(), 7);
+            config.workers = workers;
+            run_microfaas(&config).functions_per_minute()
+        };
+        let ratio_gige = run_gige(20) / run_gige(5);
+        assert!(ratio_gige > 3.0, "GigE services scale ~linearly, got {ratio_gige:.2}x");
+    }
+
+    #[test]
+    fn cluster_power_formula_is_linear() {
+        assert_eq!(sbc_cluster_power(10, 0, true), 0.0);
+        assert_eq!(sbc_cluster_power(10, 5, true), 9.8);
+        assert_eq!(sbc_cluster_power(10, 10, true), 19.6);
+        let with_standby = sbc_cluster_power(10, 5, false);
+        assert!((with_standby - (9.8 + 5.0 * 0.128)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let mut config = quick_config(0);
+        config.workers = 0;
+        run_microfaas(&config);
+    }
+}

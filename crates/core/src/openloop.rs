@@ -1,0 +1,649 @@
+//! Open-loop (arrival-driven) simulation of the MicroFaaS cluster — the
+//! paper's §IV-D mechanism taken literally: invocations *arrive* over
+//! time, the orchestration plane places each one on a worker queue, and
+//! workers power on and off as their queues fill and drain.
+//!
+//! The closed-loop simulator in [`crate::micro`] measures saturated
+//! capacity; this module measures what the paper's Fig. 5 argues about —
+//! how cluster power tracks offered load — plus the latency cost of
+//! powering nodes down (a cold boot in front of a job).
+
+use std::collections::VecDeque;
+
+use microfaas_energy::EnergyMeter;
+use microfaas_hw::gpio::{PowerAction, PowerController};
+use microfaas_hw::sbc::{SbcNode, SbcState};
+use microfaas_sim::{EventQueue, Rng, Samples, SimDuration, SimTime, TimeWeighted};
+use microfaas_workloads::calibration::{service_time, WorkerPlatform};
+use microfaas_workloads::FunctionId;
+
+use crate::config::Jitter;
+
+/// How invocations arrive at the orchestration plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Poisson arrivals at the given mean rate.
+    Poisson {
+        /// Mean arrivals per second.
+        per_second: f64,
+    },
+    /// The paper's literal description: a fixed batch of jobs added
+    /// every second.
+    EverySecond {
+        /// Jobs added per one-second tick.
+        jobs_per_tick: usize,
+    },
+}
+
+/// How the orchestration plane picks a worker queue for a new job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerPolicy {
+    /// A uniformly random queue (the paper's policy).
+    RandomQueue,
+    /// The queue with the least outstanding work.
+    LeastLoaded,
+    /// Prefer already-powered workers; wake a sleeping node only when
+    /// every awake node already has work queued. Minimizes powered-on
+    /// node count at the price of queueing latency.
+    PowerAware,
+}
+
+/// Configuration of an open-loop run.
+#[derive(Debug, Clone)]
+pub struct OpenLoopConfig {
+    /// Worker (SBC) count.
+    pub workers: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// How long arrivals keep coming (the run then drains).
+    pub duration: SimDuration,
+    /// Arrival process.
+    pub arrival: ArrivalProcess,
+    /// Placement policy.
+    pub scheduler: SchedulerPolicy,
+    /// Service-time jitter.
+    pub jitter: Jitter,
+    /// Functions drawn uniformly per arrival.
+    pub functions: Vec<FunctionId>,
+}
+
+impl OpenLoopConfig {
+    /// The paper's arrangement: 10 workers, random placement, jobs
+    /// arriving every second.
+    pub fn paper_arrangement(jobs_per_tick: usize, duration: SimDuration, seed: u64) -> Self {
+        OpenLoopConfig {
+            workers: 10,
+            seed,
+            duration,
+            arrival: ArrivalProcess::EverySecond { jobs_per_tick },
+            scheduler: SchedulerPolicy::RandomQueue,
+            jitter: Jitter::default_run_to_run(),
+            functions: FunctionId::ALL.to_vec(),
+        }
+    }
+}
+
+/// Results of an open-loop run.
+#[derive(Debug, Clone)]
+pub struct OpenLoopRun {
+    /// Jobs completed.
+    pub completed: u64,
+    /// Mean end-to-end latency (arrival → completion), seconds.
+    pub mean_latency_s: f64,
+    /// 95th-percentile end-to-end latency, seconds.
+    pub p95_latency_s: f64,
+    /// Time-averaged cluster power over the arrival window, watts.
+    pub mean_power_w: f64,
+    /// Energy per completed function, joules.
+    pub joules_per_function: f64,
+    /// Time-averaged number of powered-on workers.
+    pub mean_powered_on: f64,
+    /// Offered load that actually arrived, jobs per second.
+    pub offered_per_second: f64,
+    /// Total power-on actuations (GPIO wear; cold boots paid).
+    pub power_cycles: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Arrival,
+    PowerEffective(usize),
+    BootDone(usize),
+    ExecDone(usize),
+    JobDone(usize),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct QueuedJob {
+    function: FunctionId,
+    arrived: SimTime,
+}
+
+struct Worker {
+    node: SbcNode,
+    queue: VecDeque<QueuedJob>,
+    /// Set between the GPIO press and BootDone so the scheduler can see
+    /// "waking" nodes as powered.
+    waking: bool,
+    current: Option<(QueuedJob, SimDuration)>,
+}
+
+impl Worker {
+    fn is_powered(&self) -> bool {
+        self.waking || self.node.state() != SbcState::Off
+    }
+
+    fn backlog(&self) -> usize {
+        self.queue.len() + usize::from(self.current.is_some())
+    }
+}
+
+/// Runs the open-loop simulation.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero, `functions` is empty, or the arrival
+/// process is non-positive.
+pub fn run_open_loop(config: &OpenLoopConfig) -> OpenLoopRun {
+    assert!(config.workers > 0, "cluster needs at least one worker");
+    assert!(!config.functions.is_empty(), "need at least one function");
+    if let ArrivalProcess::Poisson { per_second } = config.arrival {
+        assert!(per_second > 0.0, "arrival rate must be positive");
+    }
+
+    let mut rng = Rng::new(config.seed);
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    let mut gpio = PowerController::new(config.workers);
+    let mut meter = EnergyMeter::new(SimTime::ZERO);
+    let channels: Vec<_> = (0..config.workers)
+        .map(|w| meter.add_channel(format!("sbc-{w}")))
+        .collect();
+    let mut workers: Vec<Worker> = (0..config.workers)
+        .map(|w| Worker {
+            node: SbcNode::new(w, SimTime::ZERO),
+            queue: VecDeque::new(),
+            waking: false,
+            current: None,
+        })
+        .collect();
+
+    let mut powered_on = TimeWeighted::new(SimTime::ZERO, 0.0);
+    let mut latencies = Samples::new();
+    let mut completed: u64 = 0;
+    let mut arrived: u64 = 0;
+    let horizon = SimTime::ZERO + config.duration;
+
+    queue.schedule(SimTime::ZERO, Event::Arrival);
+
+    while let Some((now, event)) = queue.pop() {
+        match event {
+            Event::Arrival => {
+                if now >= horizon {
+                    continue; // arrivals stop; drain what is queued
+                }
+                let batch = match config.arrival {
+                    ArrivalProcess::Poisson { .. } => 1,
+                    ArrivalProcess::EverySecond { jobs_per_tick } => jobs_per_tick,
+                };
+                for _ in 0..batch {
+                    arrived += 1;
+                    let function = config.functions[rng.index(config.functions.len())];
+                    let job = QueuedJob { function, arrived: now };
+                    let w = place(config.scheduler, &workers, &mut rng);
+                    workers[w].queue.push_back(job);
+                    match workers[w].node.state() {
+                        SbcState::Off if !workers[w].waking => {
+                            workers[w].waking = true;
+                            powered_on.add(now, 1.0);
+                            let effective = gpio.actuate(now, w, PowerAction::On);
+                            queue.schedule(effective, Event::PowerEffective(w));
+                        }
+                        SbcState::Idle => {
+                            begin_job(w, now, config, &mut workers, &mut queue, &mut meter, &channels, &mut rng);
+                        }
+                        _ => {}
+                    }
+                }
+                let gap = match config.arrival {
+                    ArrivalProcess::Poisson { per_second } => {
+                        SimDuration::from_secs_f64(rng.exponential(1.0 / per_second))
+                    }
+                    ArrivalProcess::EverySecond { .. } => SimDuration::from_secs(1),
+                };
+                queue.schedule(now + gap, Event::Arrival);
+            }
+            Event::PowerEffective(w) => {
+                workers[w].waking = false;
+                workers[w].node.power_on(now).expect("was off");
+                meter.set_power(now, channels[w], workers[w].node.power().value());
+                queue.schedule(now + workers[w].node.boot_duration(), Event::BootDone(w));
+            }
+            Event::BootDone(w) => {
+                workers[w].node.boot_complete(now).expect("was booting");
+                meter.set_power(now, channels[w], workers[w].node.power().value());
+                begin_job(w, now, config, &mut workers, &mut queue, &mut meter, &channels, &mut rng);
+            }
+            Event::ExecDone(w) => {
+                let (job, _exec) = workers[w].current.expect("job in flight");
+                let overhead = service_time(job.function)
+                    .overhead(WorkerPlatform::ArmSbc)
+                    .mul_f64(config.jitter.factor(&mut rng));
+                queue.schedule(now + overhead, Event::JobDone(w));
+            }
+            Event::JobDone(w) => {
+                let (job, _) = workers[w].current.take().expect("job in flight");
+                completed += 1;
+                latencies.record(now.duration_since(job.arrived).as_secs_f64());
+                if workers[w].queue.is_empty() {
+                    workers[w]
+                        .node
+                        .finish_job_and_power_off(now)
+                        .expect("was executing");
+                    powered_on.add(now, -1.0);
+                    gpio.actuate(now, w, PowerAction::Off);
+                    meter.set_power(now, channels[w], 0.0);
+                } else {
+                    workers[w].node.finish_job_and_reboot(now).expect("was executing");
+                    meter.set_power(now, channels[w], workers[w].node.power().value());
+                    queue.schedule(
+                        now + workers[w].node.boot_duration(),
+                        Event::BootDone(w),
+                    );
+                }
+            }
+        }
+    }
+
+    let end = queue.now().max(horizon);
+    let report = meter.report(end, completed);
+    OpenLoopRun {
+        completed,
+        mean_latency_s: latencies.mean().unwrap_or(0.0),
+        p95_latency_s: latencies.percentile(95.0).unwrap_or(0.0),
+        mean_power_w: report.average_watts,
+        joules_per_function: report.joules_per_function().unwrap_or(f64::NAN),
+        mean_powered_on: powered_on.time_average(end),
+        offered_per_second: arrived as f64 / config.duration.as_secs_f64(),
+        power_cycles: (0..config.workers).map(|w| gpio.power_on_count(w) as u64).sum(),
+    }
+}
+
+/// Runs the same arrival process against the conventional cluster:
+/// `vms` microVMs that are always powered (the host never drops below
+/// its 60 W idle floor). The contrast with [`run_open_loop`] is the
+/// paper's energy-proportionality argument made dynamic: at low load
+/// the conventional J/function explodes while MicroFaaS stays flat.
+///
+/// # Panics
+///
+/// Panics if `vms` is zero or the config is invalid per
+/// [`run_open_loop`].
+pub fn run_open_loop_conventional(config: &OpenLoopConfig, vms: usize) -> OpenLoopRun {
+    assert!(vms > 0, "cluster needs at least one VM");
+    assert!(!config.functions.is_empty(), "need at least one function");
+
+    let mut rng = Rng::new(config.seed);
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    let mut meter = EnergyMeter::new(SimTime::ZERO);
+    let mut server = microfaas_hw::RackServer::new(vms, SimTime::ZERO);
+    let host = meter.add_channel("rack-server");
+    meter.set_power(SimTime::ZERO, host, server.power().value());
+
+    let mut queues: Vec<VecDeque<QueuedJob>> = vec![VecDeque::new(); vms];
+    let mut current: Vec<Option<QueuedJob>> = vec![None; vms];
+    let mut latencies = Samples::new();
+    let mut completed: u64 = 0;
+    let mut arrived: u64 = 0;
+    let horizon = SimTime::ZERO + config.duration;
+
+    queue.schedule(SimTime::ZERO, Event::Arrival);
+    while let Some((now, event)) = queue.pop() {
+        match event {
+            Event::Arrival => {
+                if now >= horizon {
+                    continue;
+                }
+                let batch = match config.arrival {
+                    ArrivalProcess::Poisson { .. } => 1,
+                    ArrivalProcess::EverySecond { jobs_per_tick } => jobs_per_tick,
+                };
+                for _ in 0..batch {
+                    arrived += 1;
+                    let function = config.functions[rng.index(config.functions.len())];
+                    let job = QueuedJob { function, arrived: now };
+                    // Pick the emptiest VM (work-conserving enough for a
+                    // fair comparison; the scheduler study lives on the
+                    // MicroFaaS side).
+                    let v = (0..vms)
+                        .min_by_key(|&v| queues[v].len() + usize::from(current[v].is_some()))
+                        .expect("at least one vm");
+                    queues[v].push_back(job);
+                    if current[v].is_none() && server.vm(v).state() == microfaas_hw::VmState::Idle
+                    {
+                        let job = queues[v].pop_front().expect("just pushed");
+                        current[v] = Some(job);
+                        server.start_job(v, now).expect("vm is idle");
+                        meter.set_power(now, host, server.power().value());
+                        let exec = service_time(job.function)
+                            .exec(WorkerPlatform::X86Vm)
+                            .mul_f64(config.jitter.factor(&mut rng) * server.current_slowdown());
+                        queue.schedule(now + exec, Event::ExecDone(v));
+                    }
+                }
+                let gap = match config.arrival {
+                    ArrivalProcess::Poisson { per_second } => {
+                        SimDuration::from_secs_f64(rng.exponential(1.0 / per_second))
+                    }
+                    ArrivalProcess::EverySecond { .. } => SimDuration::from_secs(1),
+                };
+                queue.schedule(now + gap, Event::Arrival);
+            }
+            Event::ExecDone(v) => {
+                let job = current[v].expect("job in flight");
+                let overhead = service_time(job.function)
+                    .overhead(WorkerPlatform::X86Vm)
+                    .mul_f64(config.jitter.factor(&mut rng));
+                queue.schedule(now + overhead, Event::JobDone(v));
+            }
+            Event::JobDone(v) => {
+                let job = current[v].take().expect("job in flight");
+                completed += 1;
+                latencies.record(now.duration_since(job.arrived).as_secs_f64());
+                server.finish_job(v, now).expect("vm was executing");
+                meter.set_power(now, host, server.power().value());
+                // Between-jobs reboot, then take the next job if queued.
+                queue.schedule(
+                    now + server.vm_boot_duration().mul_f64(server.current_slowdown()),
+                    Event::BootDone(v),
+                );
+            }
+            Event::BootDone(v) => {
+                server.reboot_complete(v, now).expect("vm was rebooting");
+                meter.set_power(now, host, server.power().value());
+                if let Some(job) = queues[v].pop_front() {
+                    current[v] = Some(job);
+                    server.start_job(v, now).expect("vm is idle");
+                    meter.set_power(now, host, server.power().value());
+                    let exec = service_time(job.function)
+                        .exec(WorkerPlatform::X86Vm)
+                        .mul_f64(config.jitter.factor(&mut rng) * server.current_slowdown());
+                    queue.schedule(now + exec, Event::ExecDone(v));
+                }
+            }
+            Event::PowerEffective(_) => unreachable!("VMs never power-cycle"),
+        }
+    }
+
+    let end = queue.now().max(horizon);
+    let report = meter.report(end, completed);
+    OpenLoopRun {
+        completed,
+        mean_latency_s: latencies.mean().unwrap_or(0.0),
+        p95_latency_s: latencies.percentile(95.0).unwrap_or(0.0),
+        mean_power_w: report.average_watts,
+        joules_per_function: report.joules_per_function().unwrap_or(f64::NAN),
+        mean_powered_on: vms as f64,
+        offered_per_second: arrived as f64 / config.duration.as_secs_f64(),
+        power_cycles: 0,
+    }
+}
+
+fn place(policy: SchedulerPolicy, workers: &[Worker], rng: &mut Rng) -> usize {
+    match policy {
+        SchedulerPolicy::RandomQueue => rng.index(workers.len()),
+        SchedulerPolicy::LeastLoaded => workers
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| w.backlog())
+            .map(|(i, _)| i)
+            .expect("at least one worker"),
+        SchedulerPolicy::PowerAware => {
+            // Shortest queue among powered nodes; wake a sleeping node
+            // only once every powered node already has a couple of jobs
+            // backed up. Minimizes cold boots / power cycles.
+            const WAKE_BACKLOG: usize = 2;
+            let powered_best = workers
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| w.is_powered())
+                .min_by_key(|(_, w)| w.backlog());
+            match powered_best {
+                Some((i, w)) if w.backlog() < WAKE_BACKLOG => i,
+                _ => {
+                    let sleeping = workers.iter().position(|w| !w.is_powered());
+                    match (sleeping, powered_best) {
+                        (Some(s), _) => s,
+                        (None, Some((i, _))) => i,
+                        (None, None) => rng.index(workers.len()),
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn begin_job(
+    w: usize,
+    now: SimTime,
+    config: &OpenLoopConfig,
+    workers: &mut [Worker],
+    queue: &mut EventQueue<Event>,
+    meter: &mut EnergyMeter,
+    channels: &[microfaas_energy::ChannelId],
+    rng: &mut Rng,
+) {
+    match workers[w].queue.pop_front() {
+        Some(job) => {
+            workers[w].node.start_job(now).expect("node is idle");
+            meter.set_power(now, channels[w], workers[w].node.power().value());
+            let exec = service_time(job.function)
+                .exec(WorkerPlatform::ArmSbc)
+                .mul_f64(config.jitter.factor(rng));
+            workers[w].current = Some((job, exec));
+            queue.schedule(now + exec, Event::ExecDone(w));
+        }
+        None => {
+            // A node is only woken or rebooted when its queue holds work,
+            // and nothing else can drain that queue first.
+            unreachable!("worker {w} reached idle with an empty queue at {now}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(arrival: ArrivalProcess, scheduler: SchedulerPolicy, seed: u64) -> OpenLoopConfig {
+        OpenLoopConfig {
+            workers: 10,
+            seed,
+            duration: SimDuration::from_secs(600),
+            arrival,
+            scheduler,
+            jitter: Jitter::default_run_to_run(),
+            functions: FunctionId::ALL.to_vec(),
+        }
+    }
+
+    #[test]
+    fn paper_arrangement_runs() {
+        let run = run_open_loop(&OpenLoopConfig::paper_arrangement(
+            2,
+            SimDuration::from_secs(300),
+            1,
+        ));
+        assert!(run.completed > 500, "about 600 jobs should arrive and finish");
+        assert!(run.mean_latency_s > 0.0);
+    }
+
+    #[test]
+    fn power_tracks_load() {
+        // Offered load 0.5 vs 2.5 jobs/s: power should scale roughly
+        // proportionally (energy-proportional computing).
+        let low = run_open_loop(&config(
+            ArrivalProcess::Poisson { per_second: 0.5 },
+            SchedulerPolicy::RandomQueue,
+            2,
+        ));
+        let high = run_open_loop(&config(
+            ArrivalProcess::Poisson { per_second: 2.5 },
+            SchedulerPolicy::RandomQueue,
+            2,
+        ));
+        let ratio = high.mean_power_w / low.mean_power_w;
+        assert!(
+            (3.5..6.5).contains(&ratio),
+            "5x load should be ~5x power, got {ratio:.2} ({:.2} -> {:.2} W)",
+            low.mean_power_w,
+            high.mean_power_w
+        );
+    }
+
+    #[test]
+    fn joules_per_function_stays_flat_across_load() {
+        // The MicroFaaS selling point: per-function energy is nearly
+        // load-independent because idle nodes are off.
+        let low = run_open_loop(&config(
+            ArrivalProcess::Poisson { per_second: 0.4 },
+            SchedulerPolicy::RandomQueue,
+            3,
+        ));
+        let high = run_open_loop(&config(
+            ArrivalProcess::Poisson { per_second: 2.0 },
+            SchedulerPolicy::RandomQueue,
+            3,
+        ));
+        let drift = (high.joules_per_function / low.joules_per_function - 1.0).abs();
+        assert!(
+            drift < 0.15,
+            "J/func drift {:.1}% across a 5x load swing ({:.2} vs {:.2})",
+            drift * 100.0,
+            low.joules_per_function,
+            high.joules_per_function
+        );
+    }
+
+    #[test]
+    fn least_loaded_cuts_latency_vs_random() {
+        let random = run_open_loop(&config(
+            ArrivalProcess::Poisson { per_second: 2.5 },
+            SchedulerPolicy::RandomQueue,
+            4,
+        ));
+        let least = run_open_loop(&config(
+            ArrivalProcess::Poisson { per_second: 2.5 },
+            SchedulerPolicy::LeastLoaded,
+            4,
+        ));
+        assert!(
+            least.p95_latency_s < random.p95_latency_s,
+            "least-loaded p95 {:.1}s should beat random p95 {:.1}s",
+            least.p95_latency_s,
+            random.p95_latency_s
+        );
+    }
+
+    #[test]
+    fn power_aware_cuts_power_cycles() {
+        // Power-gating already makes *energy* proportional regardless of
+        // placement; what packing buys is far fewer cold boots (GPIO
+        // power cycles), concentrating work on a few always-hot nodes.
+        let random = run_open_loop(&config(
+            ArrivalProcess::Poisson { per_second: 1.0 },
+            SchedulerPolicy::RandomQueue,
+            5,
+        ));
+        let packed = run_open_loop(&config(
+            ArrivalProcess::Poisson { per_second: 1.0 },
+            SchedulerPolicy::PowerAware,
+            5,
+        ));
+        assert!(
+            (packed.power_cycles as f64) < random.power_cycles as f64 * 0.5,
+            "packing should at least halve power cycles: {} vs {}",
+            packed.power_cycles,
+            random.power_cycles
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = run_open_loop(&config(
+            ArrivalProcess::Poisson { per_second: 1.0 },
+            SchedulerPolicy::RandomQueue,
+            6,
+        ));
+        let b = run_open_loop(&config(
+            ArrivalProcess::Poisson { per_second: 1.0 },
+            SchedulerPolicy::RandomQueue,
+            6,
+        ));
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.mean_power_w, b.mean_power_w);
+    }
+
+    #[test]
+    fn drains_after_horizon() {
+        // Every arrived job eventually completes even though arrivals
+        // stop at the horizon.
+        let run = run_open_loop(&config(
+            ArrivalProcess::Poisson { per_second: 1.5 },
+            SchedulerPolicy::LeastLoaded,
+            7,
+        ));
+        let expected = run.offered_per_second * 600.0;
+        assert!(
+            (run.completed as f64 - expected).abs() < 1.0,
+            "completed {} vs arrived {expected}",
+            run.completed
+        );
+    }
+
+    #[test]
+    fn conventional_jpf_explodes_at_low_load() {
+        // The idle floor means a lightly loaded conventional cluster
+        // burns enormous energy per function; MicroFaaS does not.
+        let cfg_low = config(
+            ArrivalProcess::Poisson { per_second: 0.3 },
+            SchedulerPolicy::RandomQueue,
+            9,
+        );
+        let micro = run_open_loop(&cfg_low);
+        let conv = run_open_loop_conventional(&cfg_low, 6);
+        assert!(
+            conv.joules_per_function > 10.0 * micro.joules_per_function,
+            "at 0.3 jobs/s conventional {:.1} J/f should dwarf MicroFaaS {:.1} J/f",
+            conv.joules_per_function,
+            micro.joules_per_function
+        );
+        // The two simulators advance their RNG streams differently, so
+        // arrival counts only agree statistically.
+        let ratio = conv.completed as f64 / micro.completed as f64;
+        assert!((0.8..1.2).contains(&ratio), "completions should be comparable");
+    }
+
+    #[test]
+    fn conventional_open_loop_completes_everything() {
+        let cfg = config(
+            ArrivalProcess::EverySecond { jobs_per_tick: 2 },
+            SchedulerPolicy::RandomQueue,
+            10,
+        );
+        let run = run_open_loop_conventional(&cfg, 6);
+        let expected = run.offered_per_second * 600.0;
+        assert!((run.completed as f64 - expected).abs() < 1.0);
+        assert!(run.mean_power_w >= 60.0, "never below the idle floor");
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival rate must be positive")]
+    fn zero_rate_panics() {
+        run_open_loop(&config(
+            ArrivalProcess::Poisson { per_second: 0.0 },
+            SchedulerPolicy::RandomQueue,
+            8,
+        ));
+    }
+}

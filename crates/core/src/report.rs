@@ -1,0 +1,153 @@
+//! Results of one cluster run — throughput, energy, and per-function
+//! timing breakdowns.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use microfaas_energy::EnergyReport;
+use microfaas_sim::SimDuration;
+use microfaas_workloads::FunctionId;
+
+use crate::job::{aggregate, FunctionStats, JobRecord};
+
+/// Everything measured during one cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterRun {
+    /// Human-readable label ("MicroFaaS (10 SBCs)", "Conventional (6 VMs)").
+    pub label: String,
+    /// Worker count (SBCs or VMs).
+    pub workers: usize,
+    /// Energy metering over the run.
+    pub energy: EnergyReport,
+    /// Wall-clock span from the first event to the last completion.
+    pub makespan: SimDuration,
+    /// Raw per-job records (successful invocations only).
+    pub records: Vec<JobRecord>,
+    /// Invocations killed by the platform timeout.
+    pub timed_out: u64,
+}
+
+impl ClusterRun {
+    /// Jobs completed.
+    pub fn jobs_completed(&self) -> u64 {
+        self.records.len() as u64
+    }
+
+    /// Cluster throughput in functions per minute.
+    pub fn functions_per_minute(&self) -> f64 {
+        if self.makespan.is_zero() {
+            return 0.0;
+        }
+        self.jobs_completed() as f64 * 60.0 / self.makespan.as_secs_f64()
+    }
+
+    /// Energy per function in joules.
+    pub fn joules_per_function(&self) -> Option<f64> {
+        self.energy.joules_per_function()
+    }
+
+    /// Per-function aggregation (the Fig. 3 bars).
+    pub fn per_function(&self) -> BTreeMap<FunctionId, FunctionStats> {
+        aggregate(&self.records)
+    }
+
+    /// Worker-visible job-time percentiles (exec + overhead) in
+    /// milliseconds: `(p50, p95, p99)`. Returns `None` for an empty run.
+    pub fn latency_percentiles_ms(&self) -> Option<(f64, f64, f64)> {
+        if self.records.is_empty() {
+            return None;
+        }
+        let mut samples: microfaas_sim::Samples = self
+            .records
+            .iter()
+            .map(|r| r.total().as_millis_f64())
+            .collect();
+        Some((
+            samples.percentile(50.0).expect("non-empty"),
+            samples.percentile(95.0).expect("non-empty"),
+            samples.percentile(99.0).expect("non-empty"),
+        ))
+    }
+}
+
+impl fmt::Display for ClusterRun {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} jobs in {} ({:.1} func/min",
+            self.label,
+            self.jobs_completed(),
+            self.makespan,
+            self.functions_per_minute()
+        )?;
+        if let Some(jpf) = self.joules_per_function() {
+            write!(f, ", {jpf:.2} J/func")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Job;
+    use microfaas_sim::SimTime;
+
+    fn run_with(records: Vec<JobRecord>, makespan_secs: u64, joules: f64) -> ClusterRun {
+        let n = records.len() as u64;
+        ClusterRun {
+            label: "test".to_string(),
+            workers: 2,
+            energy: EnergyReport {
+                total_joules: joules,
+                elapsed_seconds: makespan_secs as f64,
+                average_watts: joules / makespan_secs as f64,
+                functions_completed: n,
+            },
+            makespan: SimDuration::from_secs(makespan_secs),
+            records,
+            timed_out: 0,
+        }
+    }
+
+    #[test]
+    fn throughput_and_energy_math() {
+        let records: Vec<JobRecord> = (0..120)
+            .map(|i| JobRecord {
+                job: Job { id: i, function: FunctionId::FloatOps },
+                worker: 0,
+                started: SimTime::ZERO,
+                exec: SimDuration::from_millis(100),
+                overhead: SimDuration::from_millis(10),
+            })
+            .collect();
+        let run = run_with(records, 60, 600.0);
+        assert_eq!(run.functions_per_minute(), 120.0);
+        assert_eq!(run.joules_per_function(), Some(5.0));
+        assert!(run.to_string().contains("120.0 func/min"));
+    }
+
+    #[test]
+    fn empty_run_is_safe() {
+        let run = run_with(vec![], 1, 0.0);
+        assert_eq!(run.jobs_completed(), 0);
+        assert_eq!(run.joules_per_function(), None);
+        assert_eq!(run.latency_percentiles_ms(), None);
+    }
+
+    #[test]
+    fn latency_percentiles_ordered() {
+        let records: Vec<JobRecord> = (1..=100)
+            .map(|i| JobRecord {
+                job: Job { id: i, function: FunctionId::FloatOps },
+                worker: 0,
+                started: SimTime::ZERO,
+                exec: SimDuration::from_millis(i * 10),
+                overhead: SimDuration::ZERO,
+            })
+            .collect();
+        let run = run_with(records, 60, 100.0);
+        let (p50, p95, p99) = run.latency_percentiles_ms().expect("non-empty");
+        assert_eq!((p50, p95, p99), (500.0, 950.0, 990.0));
+    }
+}

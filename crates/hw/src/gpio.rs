@@ -1,0 +1,134 @@
+//! The GPIO power-control harness between the orchestration-plane SBC and
+//! each worker's PWR_BUT pin (paper §IV-D).
+//!
+//! Electrically, the orchestrator pulls a worker's power-button line low
+//! for a debounce interval to toggle it on or off. The model captures the
+//! two things the simulator cares about: the actuation latency and an
+//! auditable log of every power action taken.
+
+use std::fmt;
+
+use microfaas_sim::{SimDuration, SimTime};
+
+/// A power action the orchestrator can request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PowerAction {
+    /// Press PWR_BUT to power the worker on.
+    On,
+    /// Press PWR_BUT to power the worker off.
+    Off,
+}
+
+impl fmt::Display for PowerAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerAction::On => write!(f, "on"),
+            PowerAction::Off => write!(f, "off"),
+        }
+    }
+}
+
+/// One recorded actuation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PowerEvent {
+    /// When the pin was asserted.
+    pub at: SimTime,
+    /// Which worker's pin.
+    pub worker: usize,
+    /// The requested action.
+    pub action: PowerAction,
+}
+
+/// The orchestrator's bank of GPIO lines, one per worker.
+///
+/// # Examples
+///
+/// ```
+/// use microfaas_hw::gpio::{PowerAction, PowerController};
+/// use microfaas_sim::SimTime;
+///
+/// let mut gpio = PowerController::new(10);
+/// let effective = gpio.actuate(SimTime::ZERO, 3, PowerAction::On);
+/// assert!(effective > SimTime::ZERO, "debounce takes non-zero time");
+/// assert_eq!(gpio.log().len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PowerController {
+    workers: usize,
+    log: Vec<PowerEvent>,
+}
+
+impl PowerController {
+    /// A controller wired to `workers` PWR_BUT pins.
+    pub fn new(workers: usize) -> Self {
+        PowerController { workers, log: Vec::new() }
+    }
+
+    /// Hold time for a press to register (button debounce).
+    pub fn debounce(&self) -> SimDuration {
+        SimDuration::from_millis(50)
+    }
+
+    /// Asserts a worker's pin at `now`; returns when the action takes
+    /// electrical effect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is not wired to this controller.
+    pub fn actuate(&mut self, now: SimTime, worker: usize, action: PowerAction) -> SimTime {
+        assert!(
+            worker < self.workers,
+            "worker {worker} is not wired (controller has {} lines)",
+            self.workers
+        );
+        self.log.push(PowerEvent { at: now, worker, action });
+        now + self.debounce()
+    }
+
+    /// Every actuation so far, in order.
+    pub fn log(&self) -> &[PowerEvent] {
+        &self.log
+    }
+
+    /// Count of power-on actuations for one worker.
+    pub fn power_on_count(&self, worker: usize) -> usize {
+        self.log
+            .iter()
+            .filter(|e| e.worker == worker && e.action == PowerAction::On)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn actuation_is_logged_with_latency() {
+        let mut gpio = PowerController::new(2);
+        let effective = gpio.actuate(SimTime::from_secs(1), 0, PowerAction::On);
+        assert_eq!(effective, SimTime::from_secs(1) + gpio.debounce());
+        assert_eq!(
+            gpio.log(),
+            &[PowerEvent { at: SimTime::from_secs(1), worker: 0, action: PowerAction::On }]
+        );
+    }
+
+    #[test]
+    fn per_worker_counts() {
+        let mut gpio = PowerController::new(3);
+        gpio.actuate(SimTime::ZERO, 1, PowerAction::On);
+        gpio.actuate(SimTime::from_secs(1), 1, PowerAction::Off);
+        gpio.actuate(SimTime::from_secs(2), 1, PowerAction::On);
+        gpio.actuate(SimTime::from_secs(2), 2, PowerAction::On);
+        assert_eq!(gpio.power_on_count(1), 2);
+        assert_eq!(gpio.power_on_count(2), 1);
+        assert_eq!(gpio.power_on_count(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not wired")]
+    fn unwired_pin_panics() {
+        PowerController::new(1).actuate(SimTime::ZERO, 5, PowerAction::On);
+    }
+}

@@ -1,0 +1,330 @@
+//! The single-board-computer worker node: a finite-state machine over the
+//! power states the orchestration plane drives through each worker's
+//! PWR_BUT GPIO pin (modeled by the [`crate::gpio`] module).
+
+use std::fmt;
+
+use microfaas_sim::{SimDuration, SimTime};
+
+use crate::boot::{BootPlatform, BootProfile};
+use crate::power::{SbcPowerModel, Watts};
+
+/// The power/lifecycle state of an SBC worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SbcState {
+    /// Fully powered down (the energy-proportional default).
+    Off,
+    /// Booting the worker OS after power-on.
+    Booting,
+    /// Booted and waiting for a job.
+    Idle,
+    /// Running a function to completion (single tenant).
+    Executing,
+    /// Rebooting between jobs to restore the known-clean state.
+    Rebooting,
+}
+
+impl fmt::Display for SbcState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            SbcState::Off => "off",
+            SbcState::Booting => "booting",
+            SbcState::Idle => "idle",
+            SbcState::Executing => "executing",
+            SbcState::Rebooting => "rebooting",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Error for an illegal lifecycle transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransitionError {
+    from: SbcState,
+    attempted: &'static str,
+}
+
+impl fmt::Display for TransitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot {} while {}", self.attempted, self.from)
+    }
+}
+
+impl std::error::Error for TransitionError {}
+
+/// Cumulative per-state residency, used by the energy report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StateResidency {
+    /// Time spent powered off.
+    pub off: SimDuration,
+    /// Time spent booting or rebooting.
+    pub booting: SimDuration,
+    /// Time spent idle (standby).
+    pub idle: SimDuration,
+    /// Time spent executing functions.
+    pub executing: SimDuration,
+}
+
+/// One BeagleBone Black worker node.
+///
+/// # Examples
+///
+/// ```
+/// use microfaas_hw::sbc::{SbcNode, SbcState};
+/// use microfaas_sim::SimTime;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut node = SbcNode::new(0, SimTime::ZERO);
+/// node.power_on(SimTime::ZERO)?;
+/// let ready_at = SimTime::ZERO + node.boot_duration();
+/// node.boot_complete(ready_at)?;
+/// assert_eq!(node.state(), SbcState::Idle);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SbcNode {
+    id: usize,
+    state: SbcState,
+    state_since: SimTime,
+    boot: BootProfile,
+    power_model: SbcPowerModel,
+    residency: StateResidency,
+    jobs_completed: u64,
+}
+
+impl SbcNode {
+    /// Creates a node that starts powered off at `now`, flashed with the
+    /// fully optimized ARM worker OS.
+    pub fn new(id: usize, now: SimTime) -> Self {
+        SbcNode {
+            id,
+            state: SbcState::Off,
+            state_since: now,
+            boot: BootProfile::fully_optimized(BootPlatform::Arm),
+            power_model: SbcPowerModel,
+            residency: StateResidency::default(),
+            jobs_completed: 0,
+        }
+    }
+
+    /// The node's identifier within the cluster.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> SbcState {
+        self.state
+    }
+
+    /// Wall-clock boot time of the flashed worker OS.
+    pub fn boot_duration(&self) -> SimDuration {
+        self.boot.boot_time().real
+    }
+
+    /// Number of functions run to completion on this node.
+    pub fn jobs_completed(&self) -> u64 {
+        self.jobs_completed
+    }
+
+    /// Cumulative per-state residency (up to the last transition).
+    pub fn residency(&self) -> StateResidency {
+        self.residency
+    }
+
+    /// Instantaneous power draw in the current state.
+    pub fn power(&self) -> Watts {
+        match self.state {
+            SbcState::Off => self.power_model.off(),
+            SbcState::Idle => self.power_model.standby(),
+            SbcState::Booting | SbcState::Executing | SbcState::Rebooting => {
+                self.power_model.busy()
+            }
+        }
+    }
+
+    fn transition(&mut self, now: SimTime, next: SbcState) {
+        let elapsed = now.duration_since(self.state_since);
+        match self.state {
+            SbcState::Off => self.residency.off += elapsed,
+            SbcState::Booting | SbcState::Rebooting => self.residency.booting += elapsed,
+            SbcState::Idle => self.residency.idle += elapsed,
+            SbcState::Executing => self.residency.executing += elapsed,
+        }
+        self.state = next;
+        self.state_since = now;
+    }
+
+    /// The orchestrator asserts PWR_BUT: off → booting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransitionError`] unless the node is off.
+    pub fn power_on(&mut self, now: SimTime) -> Result<(), TransitionError> {
+        match self.state {
+            SbcState::Off => {
+                self.transition(now, SbcState::Booting);
+                Ok(())
+            }
+            from => Err(TransitionError { from, attempted: "power on" }),
+        }
+    }
+
+    /// The worker OS reaches its first network connection: booting → idle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransitionError`] unless the node is booting or rebooting.
+    pub fn boot_complete(&mut self, now: SimTime) -> Result<(), TransitionError> {
+        match self.state {
+            SbcState::Booting | SbcState::Rebooting => {
+                self.transition(now, SbcState::Idle);
+                Ok(())
+            }
+            from => Err(TransitionError { from, attempted: "complete boot" }),
+        }
+    }
+
+    /// A job begins executing: idle → executing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransitionError`] unless the node is idle — the
+    /// run-to-completion guarantee.
+    pub fn start_job(&mut self, now: SimTime) -> Result<(), TransitionError> {
+        match self.state {
+            SbcState::Idle => {
+                self.transition(now, SbcState::Executing);
+                Ok(())
+            }
+            from => Err(TransitionError { from, attempted: "start a job" }),
+        }
+    }
+
+    /// The job finishes and the node reboots to a clean state for the
+    /// next one: executing → rebooting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransitionError`] unless the node is executing.
+    pub fn finish_job_and_reboot(&mut self, now: SimTime) -> Result<(), TransitionError> {
+        match self.state {
+            SbcState::Executing => {
+                self.jobs_completed += 1;
+                self.transition(now, SbcState::Rebooting);
+                Ok(())
+            }
+            from => Err(TransitionError { from, attempted: "finish a job" }),
+        }
+    }
+
+    /// The job finishes and the queue is empty, so the node powers down:
+    /// executing → off.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransitionError`] unless the node is executing.
+    pub fn finish_job_and_power_off(&mut self, now: SimTime) -> Result<(), TransitionError> {
+        match self.state {
+            SbcState::Executing => {
+                self.jobs_completed += 1;
+                self.transition(now, SbcState::Off);
+                Ok(())
+            }
+            from => Err(TransitionError { from, attempted: "finish a job" }),
+        }
+    }
+
+    /// The orchestrator powers an idle node down: idle → off.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransitionError`] unless the node is idle.
+    pub fn power_off(&mut self, now: SimTime) -> Result<(), TransitionError> {
+        match self.state {
+            SbcState::Idle => {
+                self.transition(now, SbcState::Off);
+                Ok(())
+            }
+            from => Err(TransitionError { from, attempted: "power off" }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn full_lifecycle() {
+        let mut node = SbcNode::new(3, at(0));
+        assert_eq!(node.state(), SbcState::Off);
+        node.power_on(at(1)).expect("off -> booting");
+        node.boot_complete(at(3)).expect("booting -> idle");
+        node.start_job(at(4)).expect("idle -> executing");
+        node.finish_job_and_reboot(at(6)).expect("executing -> rebooting");
+        node.boot_complete(at(8)).expect("rebooting -> idle");
+        node.start_job(at(8)).expect("idle -> executing");
+        node.finish_job_and_power_off(at(10)).expect("executing -> off");
+        assert_eq!(node.state(), SbcState::Off);
+        assert_eq!(node.jobs_completed(), 2);
+    }
+
+    #[test]
+    fn residency_accounts_every_second() {
+        let mut node = SbcNode::new(0, at(0));
+        node.power_on(at(5)).expect("on"); // 5 s off
+        node.boot_complete(at(7)).expect("boot"); // 2 s booting
+        node.start_job(at(10)).expect("start"); // 3 s idle
+        node.finish_job_and_power_off(at(14)).expect("finish"); // 4 s exec
+        let r = node.residency();
+        assert_eq!(r.off, SimDuration::from_secs(5));
+        assert_eq!(r.booting, SimDuration::from_secs(2));
+        assert_eq!(r.idle, SimDuration::from_secs(3));
+        assert_eq!(r.executing, SimDuration::from_secs(4));
+    }
+
+    #[test]
+    fn power_follows_state() {
+        let mut node = SbcNode::new(0, at(0));
+        assert_eq!(node.power().value(), 0.0);
+        node.power_on(at(0)).expect("on");
+        assert_eq!(node.power().value(), 1.96);
+        node.boot_complete(at(2)).expect("boot");
+        assert_eq!(node.power().value(), 0.128);
+        node.start_job(at(3)).expect("start");
+        assert_eq!(node.power().value(), 1.96);
+    }
+
+    #[test]
+    fn illegal_transitions_are_rejected() {
+        let mut node = SbcNode::new(0, at(0));
+        assert!(node.start_job(at(0)).is_err(), "cannot start a job while off");
+        assert!(node.boot_complete(at(0)).is_err());
+        assert!(node.finish_job_and_reboot(at(0)).is_err());
+        node.power_on(at(0)).expect("on");
+        assert!(node.power_on(at(1)).is_err(), "double power-on");
+        assert!(node.start_job(at(1)).is_err(), "cannot start mid-boot");
+    }
+
+    #[test]
+    fn run_to_completion_blocks_second_job() {
+        let mut node = SbcNode::new(0, at(0));
+        node.power_on(at(0)).expect("on");
+        node.boot_complete(at(2)).expect("boot");
+        node.start_job(at(3)).expect("first job");
+        let err = node.start_job(at(4)).expect_err("single tenancy");
+        assert_eq!(err.to_string(), "cannot start a job while executing");
+    }
+
+    #[test]
+    fn boot_duration_is_the_optimized_os() {
+        let node = SbcNode::new(0, at(0));
+        assert_eq!(node.boot_duration(), SimDuration::from_millis(1_510));
+    }
+}

@@ -1,0 +1,413 @@
+//! # microfaas-net
+//!
+//! A store-and-forward Ethernet model: NICs with line rates and
+//! autonegotiation delays, a managed switch with per-port FIFO queues, and
+//! a [`Network`] that computes message delivery times for the cluster
+//! simulator.
+//!
+//! The model charges each message:
+//!
+//! 1. serialization onto the sender's link (`bytes / line_rate`), queued
+//!    FIFO behind any transfer already occupying that port;
+//! 2. propagation + switch forwarding latency, **pipelined** — frames of
+//!    a large message stream through the switch while later frames are
+//!    still being serialized (cut-through at message granularity), so a
+//!    transfer costs one bottleneck-rate serialization, not two;
+//! 3. occupancy of the receiver's RX port for its own serialization time,
+//!    again queued FIFO per port.
+//!
+//! This is enough to reproduce the paper's bandwidth asymmetry (Fast
+//! Ethernet SBCs vs bridged Gigabit VMs) and the queueing that appears
+//! when many workers share one service node.
+//!
+//! # Examples
+//!
+//! ```
+//! use microfaas_net::{LinkSpec, Network};
+//! use microfaas_sim::SimTime;
+//!
+//! let mut net = Network::new(LinkSpec::gigabit());
+//! let sbc = net.add_node("sbc-0", LinkSpec::fast_ethernet());
+//! let service = net.add_node("postgres", LinkSpec::fast_ethernet());
+//!
+//! // 1 MB from the SBC to the service node: dominated by the sender's
+//! // 100 Mb/s link (~80 ms).
+//! let delivered = net.send(SimTime::ZERO, sbc, service, 1_000_000);
+//! assert!(delivered.as_secs_f64() > 0.08);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod topology;
+
+use std::fmt;
+
+use microfaas_sim::{SimDuration, SimTime};
+
+/// Physical characteristics of an Ethernet link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkSpec {
+    /// Line rate in bits per second.
+    pub bits_per_sec: u64,
+    /// One-way propagation + PHY latency.
+    pub latency: SimDuration,
+}
+
+impl LinkSpec {
+    /// 10/100 Fast Ethernet (the BeagleBone Black's NIC).
+    pub fn fast_ethernet() -> Self {
+        LinkSpec {
+            bits_per_sec: 100_000_000,
+            latency: SimDuration::from_micros(100),
+        }
+    }
+
+    /// Gigabit Ethernet (the rack server's NIC and the ToR switch ports).
+    pub fn gigabit() -> Self {
+        LinkSpec {
+            bits_per_sec: 1_000_000_000,
+            latency: SimDuration::from_micros(50),
+        }
+    }
+
+    /// Serialization delay for `bytes` on this link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line rate is zero.
+    pub fn serialization(&self, bytes: u64) -> SimDuration {
+        assert!(self.bits_per_sec > 0, "line rate must be positive");
+        SimDuration::from_micros(bytes * 8 * 1_000_000 / self.bits_per_sec)
+    }
+}
+
+/// Identifies a node attached to the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node#{}", self.0)
+    }
+}
+
+/// A single direction of one switch port: transfers occupy it FIFO.
+#[derive(Debug, Clone, Copy, Default)]
+struct PortQueue {
+    busy_until: Option<SimTime>,
+}
+
+impl PortQueue {
+    /// Reserves the port for a transfer of `duration` starting no earlier
+    /// than `now`; returns the completion time.
+    fn reserve(&mut self, now: SimTime, duration: SimDuration) -> SimTime {
+        let start = match self.busy_until {
+            Some(busy) => busy.max(now),
+            None => now,
+        };
+        let done = start + duration;
+        self.busy_until = Some(done);
+        done
+    }
+}
+
+#[derive(Debug)]
+struct Node {
+    name: String,
+    link: LinkSpec,
+    tx: PortQueue,
+    rx: PortQueue,
+    bytes_sent: u64,
+    bytes_received: u64,
+}
+
+/// Per-node traffic counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Total bytes this node has sent.
+    pub bytes_sent: u64,
+    /// Total bytes this node has received.
+    pub bytes_received: u64,
+}
+
+/// The switched network: every node connects to one managed switch, as in
+/// the paper's testbed (one 24-port managed GigE switch).
+#[derive(Debug)]
+pub struct Network {
+    switch_port: LinkSpec,
+    forwarding_latency: SimDuration,
+    nodes: Vec<Node>,
+    total_bytes: u64,
+    messages: u64,
+}
+
+impl Network {
+    /// Creates a network whose switch ports run at `switch_port` speed.
+    pub fn new(switch_port: LinkSpec) -> Self {
+        Network {
+            switch_port,
+            forwarding_latency: SimDuration::from_micros(10),
+            nodes: Vec::new(),
+            total_bytes: 0,
+            messages: 0,
+        }
+    }
+
+    /// Attaches a node with the given NIC and returns its id.
+    pub fn add_node(&mut self, name: impl Into<String>, link: LinkSpec) -> NodeId {
+        self.nodes.push(Node {
+            name: name.into(),
+            link,
+            tx: PortQueue::default(),
+            rx: PortQueue::default(),
+            bytes_sent: 0,
+            bytes_received: 0,
+        });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Number of attached nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The node's configured name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not belong to this network.
+    pub fn node_name(&self, node: NodeId) -> &str {
+        &self.nodes[node.0].name
+    }
+
+    /// Sends `bytes` from `from` to `to` starting at `now`; returns the
+    /// delivery completion time.
+    ///
+    /// The effective path rate is the slower of the sender's NIC, the
+    /// switch port, and the receiver's NIC, with FIFO queueing on the
+    /// sender's TX and receiver's RX sides; frames pipeline through the
+    /// switch, so the message pays one bottleneck-rate serialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from == to` or either id is foreign to this network.
+    pub fn send(&mut self, now: SimTime, from: NodeId, to: NodeId, bytes: u64) -> SimTime {
+        assert_ne!(from, to, "a node cannot send to itself over the switch");
+        let up_rate = self.nodes[from.0].link.bits_per_sec.min(self.switch_port.bits_per_sec);
+        let down_rate = self.nodes[to.0].link.bits_per_sec.min(self.switch_port.bits_per_sec);
+        let up_serialization = serialization(bytes, up_rate);
+        let down_serialization = serialization(bytes, down_rate);
+        let path_latency = self.nodes[from.0].link.latency
+            + self.forwarding_latency
+            + self.nodes[to.0].link.latency;
+
+        // Sender serializes onto its link (FIFO behind earlier sends).
+        let tx_start = match self.nodes[from.0].tx.busy_until {
+            Some(busy) => busy.max(now),
+            None => now,
+        };
+        let tx_done = self.nodes[from.0].tx.reserve(now, up_serialization);
+        // First byte reaches the receiver's port after the path latency;
+        // the RX port is then occupied for its own serialization time.
+        let first_byte = tx_start + path_latency;
+        let rx_done = self.nodes[to.0].rx.reserve(first_byte, down_serialization);
+        // The last byte cannot arrive before the sender finishes pushing
+        // it onto the wire.
+        let delivered = rx_done.max(tx_done + path_latency);
+
+        self.nodes[from.0].bytes_sent += bytes;
+        self.nodes[to.0].bytes_received += bytes;
+        self.total_bytes += bytes;
+        self.messages += 1;
+        delivered
+    }
+
+    /// A round trip: request `request_bytes` from `from` to `to`, the
+    /// service spends `service_time`, then `response_bytes` come back.
+    /// Returns when the response is fully received.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Self::send`].
+    pub fn round_trip(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        to: NodeId,
+        request_bytes: u64,
+        service_time: SimDuration,
+        response_bytes: u64,
+    ) -> SimTime {
+        let request_done = self.send(now, from, to, request_bytes);
+        self.send(request_done + service_time, to, from, response_bytes)
+    }
+
+    /// Traffic counters for one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not belong to this network.
+    pub fn traffic(&self, node: NodeId) -> TrafficStats {
+        let n = &self.nodes[node.0];
+        TrafficStats {
+            bytes_sent: n.bytes_sent,
+            bytes_received: n.bytes_received,
+        }
+    }
+
+    /// Total bytes carried since construction.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Total messages carried since construction.
+    pub fn message_count(&self) -> u64 {
+        self.messages
+    }
+}
+
+fn serialization(bytes: u64, bits_per_sec: u64) -> SimDuration {
+    assert!(bits_per_sec > 0, "line rate must be positive");
+    SimDuration::from_micros(bytes * 8 * 1_000_000 / bits_per_sec)
+}
+
+/// Ethernet autonegotiation delay, the boot-time cost the paper's worker
+/// OS patches away (stage **F** in Fig. 1). IEEE 802.3 negotiation takes
+/// on the order of seconds; the paper's driver patch skips it entirely by
+/// forcing the link mode.
+pub fn autonegotiation_delay() -> SimDuration {
+    SimDuration::from_millis(2_200)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_node_net() -> (Network, NodeId, NodeId) {
+        let mut net = Network::new(LinkSpec::gigabit());
+        let a = net.add_node("a", LinkSpec::fast_ethernet());
+        let b = net.add_node("b", LinkSpec::fast_ethernet());
+        (net, a, b)
+    }
+
+    #[test]
+    fn serialization_dominates_large_transfers() {
+        let (mut net, a, b) = two_node_net();
+        // 1 MB at 100 Mb/s = 80 ms, pipelined through the switch.
+        let delivered = net.send(SimTime::ZERO, a, b, 1_000_000);
+        let secs = delivered.as_secs_f64();
+        assert!((0.080..0.082).contains(&secs), "got {secs}");
+    }
+
+    #[test]
+    fn latency_dominates_small_transfers() {
+        let (mut net, a, b) = two_node_net();
+        let delivered = net.send(SimTime::ZERO, a, b, 64);
+        // 64 B at 100 Mb/s is ~5 µs each way; latency is 210 µs total.
+        assert!(delivered.as_micros() < 300, "got {}", delivered.as_micros());
+        assert!(delivered.as_micros() >= 210);
+    }
+
+    #[test]
+    fn gigabit_is_ten_times_faster() {
+        let mut net = Network::new(LinkSpec::gigabit());
+        let fast = net.add_node("fe", LinkSpec::fast_ethernet());
+        let gig = net.add_node("ge", LinkSpec::gigabit());
+        let sink1 = net.add_node("sink1", LinkSpec::gigabit());
+        let sink2 = net.add_node("sink2", LinkSpec::gigabit());
+        let slow = net.send(SimTime::ZERO, fast, sink1, 10_000_000);
+        let quick = net.send(SimTime::ZERO, gig, sink2, 10_000_000);
+        // Fast Ethernet bottleneck: ~800 ms; full GigE path: ~80 ms.
+        assert!((0.80..0.81).contains(&slow.as_secs_f64()), "slow {slow}");
+        assert!((0.080..0.081).contains(&quick.as_secs_f64()), "quick {quick}");
+        let ratio = slow.as_secs_f64() / quick.as_secs_f64();
+        assert!((9.0..11.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn sender_port_queues_fifo() {
+        let (mut net, a, b) = two_node_net();
+        let first = net.send(SimTime::ZERO, a, b, 1_000_000);
+        // Second send at t=0 must wait for the first to leave the TX port.
+        let second = net.send(SimTime::ZERO, a, b, 1_000_000);
+        assert!(second > first);
+        let gap = second.duration_since(first);
+        // The gap is one full serialization (80 ms up at the queue, and the
+        // downlink also queues behind the first frame).
+        assert!(gap.as_millis_f64() >= 79.0, "gap {gap}");
+    }
+
+    #[test]
+    fn receiver_port_is_shared_bottleneck() {
+        let mut net = Network::new(LinkSpec::gigabit());
+        let senders: Vec<NodeId> = (0..4)
+            .map(|i| net.add_node(format!("s{i}"), LinkSpec::gigabit()))
+            .collect();
+        let service = net.add_node("svc", LinkSpec::fast_ethernet());
+        let times: Vec<SimTime> = senders
+            .iter()
+            .map(|&s| net.send(SimTime::ZERO, s, service, 1_000_000))
+            .collect();
+        // All four converge on the service's 100 Mb/s RX: deliveries
+        // serialize at ~80 ms apart.
+        for pair in times.windows(2) {
+            let gap = pair[1].duration_since(pair[0]);
+            assert!(gap.as_millis_f64() >= 79.0, "gap {gap}");
+        }
+    }
+
+    #[test]
+    fn round_trip_includes_service_time() {
+        let (mut net, a, b) = two_node_net();
+        let done = net.round_trip(
+            SimTime::ZERO,
+            a,
+            b,
+            1_000,
+            SimDuration::from_millis(50),
+            1_000,
+        );
+        let millis = done.as_secs_f64() * 1e3;
+        assert!(millis > 50.0);
+        assert!(millis < 52.0, "got {done}");
+    }
+
+    #[test]
+    fn traffic_counters_track_both_directions() {
+        let (mut net, a, b) = two_node_net();
+        net.send(SimTime::ZERO, a, b, 500);
+        net.send(SimTime::from_secs(1), b, a, 300);
+        assert_eq!(
+            net.traffic(a),
+            TrafficStats { bytes_sent: 500, bytes_received: 300 }
+        );
+        assert_eq!(
+            net.traffic(b),
+            TrafficStats { bytes_sent: 300, bytes_received: 500 }
+        );
+        assert_eq!(net.total_bytes(), 800);
+        assert_eq!(net.message_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot send to itself")]
+    fn self_send_panics() {
+        let (mut net, a, _) = two_node_net();
+        net.send(SimTime::ZERO, a, a, 1);
+    }
+
+    #[test]
+    fn node_names_round_trip() {
+        let (net, a, b) = two_node_net();
+        assert_eq!(net.node_name(a), "a");
+        assert_eq!(net.node_name(b), "b");
+        assert_eq!(net.node_count(), 2);
+    }
+
+    #[test]
+    fn autoneg_delay_is_seconds_scale() {
+        let d = autonegotiation_delay();
+        assert!(d.as_secs_f64() > 1.0 && d.as_secs_f64() < 5.0);
+    }
+}

@@ -1,0 +1,226 @@
+//! Rack-scale topology: many ToR switches behind an aggregation uplink.
+//!
+//! The paper's TCO analysis wires 989 SBCs through 21 48-port ToR
+//! switches (Table II's network row). This module models that fabric:
+//! nodes attach to their ToR switch; same-switch traffic stays local;
+//! cross-switch traffic transits each switch's uplink, which is where
+//! contention appears at scale.
+
+use microfaas_sim::SimTime;
+
+use crate::{LinkSpec, Network, NodeId};
+
+/// Placement of a node in the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RackNodeId {
+    /// Which ToR switch the node hangs off.
+    pub switch: usize,
+    /// The node id inside that switch's [`Network`].
+    pub node: NodeId,
+}
+
+/// A multi-switch rack fabric.
+///
+/// # Examples
+///
+/// ```
+/// use microfaas_net::topology::RackFabric;
+/// use microfaas_net::LinkSpec;
+/// use microfaas_sim::SimTime;
+///
+/// // The paper's MicroFaaS rack: 989 nodes over 48-port switches.
+/// let mut fabric = RackFabric::new(48, LinkSpec::gigabit(), LinkSpec::gigabit());
+/// let nodes: Vec<_> = (0..989)
+///     .map(|i| fabric.add_node(format!("sbc-{i}"), LinkSpec::fast_ethernet()))
+///     .collect();
+/// assert_eq!(fabric.switch_count(), 21);
+///
+/// // Cross-switch transfer transits two uplinks.
+/// let t = fabric.send(SimTime::ZERO, nodes[0], nodes[500], 10_000);
+/// assert!(t > SimTime::ZERO);
+/// ```
+#[derive(Debug)]
+pub struct RackFabric {
+    ports_per_switch: usize,
+    switch_port: LinkSpec,
+    uplink: LinkSpec,
+    /// One [`Network`] per ToR switch; index = switch id.
+    switches: Vec<Network>,
+    /// The per-switch trunk proxy node inside each local network.
+    trunks: Vec<NodeId>,
+    /// Each switch's uplink modeled as a node on the aggregation network.
+    aggregation: Network,
+    uplink_nodes: Vec<NodeId>,
+    nodes_on_switch: Vec<usize>,
+}
+
+impl RackFabric {
+    /// Creates an empty fabric. `switch_port` is the ToR access-port
+    /// speed; `uplink` is each ToR's trunk to the aggregation switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports_per_switch` is zero.
+    pub fn new(ports_per_switch: usize, switch_port: LinkSpec, uplink: LinkSpec) -> Self {
+        assert!(ports_per_switch > 0, "switches need ports");
+        RackFabric {
+            ports_per_switch,
+            switch_port,
+            uplink,
+            switches: Vec::new(),
+            trunks: Vec::new(),
+            aggregation: Network::new(uplink),
+            uplink_nodes: Vec::new(),
+            nodes_on_switch: Vec::new(),
+        }
+    }
+
+    /// Attaches a node, filling switches in order and adding a new ToR
+    /// switch (with its aggregation uplink) whenever the current one is
+    /// full — exactly the ⌈N/ports⌉ sizing of the TCO model.
+    pub fn add_node(&mut self, name: impl Into<String>, link: LinkSpec) -> RackNodeId {
+        let need_new_switch = match self.nodes_on_switch.last() {
+            None => true,
+            Some(&count) => count >= self.ports_per_switch,
+        };
+        if need_new_switch {
+            let mut local = Network::new(self.switch_port);
+            // The trunk proxy represents the switch's uplink port inside
+            // the local network.
+            self.trunks.push(local.add_node("trunk", self.uplink));
+            self.switches.push(local);
+            self.nodes_on_switch.push(0);
+            let uplink_name = format!("tor-{}-uplink", self.switches.len() - 1);
+            self.uplink_nodes
+                .push(self.aggregation.add_node(uplink_name, self.uplink));
+        }
+        let switch = self.switches.len() - 1;
+        self.nodes_on_switch[switch] += 1;
+        let node = self.switches[switch].add_node(name, link);
+        RackNodeId { switch, node }
+    }
+
+    /// Number of ToR switches allocated so far.
+    pub fn switch_count(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Total attached nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes_on_switch.iter().sum()
+    }
+
+    /// Sends `bytes` between any two nodes. Same-switch traffic is
+    /// switched locally; cross-switch traffic pays source ToR → uplink →
+    /// aggregation → uplink → destination ToR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from == to`.
+    pub fn send(&mut self, now: SimTime, from: RackNodeId, to: RackNodeId, bytes: u64) -> SimTime {
+        assert!(
+            from != to,
+            "a node cannot send to itself over the fabric"
+        );
+        if from.switch == to.switch {
+            return self.switches[from.switch].send(now, from.node, to.node, bytes);
+        }
+        // Leg 1: source node onto its ToR, exiting via the trunk proxy
+        // (charges the node's serialization and the trunk port's FIFO).
+        let local_egress =
+            self.switches[from.switch].send(now, from.node, self.trunks[from.switch], bytes);
+        // Leg 2: the trunk hop across the aggregation network, where all
+        // cross-switch flows of a ToR contend on its single uplink.
+        let trunk_done = self.aggregation.send(
+            local_egress,
+            self.uplink_nodes[from.switch],
+            self.uplink_nodes[to.switch],
+            bytes,
+        );
+        // Leg 3: destination ToR delivers to the node's access port.
+        self.switches[to.switch].send(trunk_done, self.trunks[to.switch], to.node, bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microfaas_sim::SimDuration;
+
+    fn fabric() -> RackFabric {
+        RackFabric::new(4, LinkSpec::gigabit(), LinkSpec::gigabit())
+    }
+
+    #[test]
+    fn switch_sizing_matches_ceil_division() {
+        let mut f = fabric();
+        for i in 0..9 {
+            f.add_node(format!("n{i}"), LinkSpec::fast_ethernet());
+        }
+        assert_eq!(f.switch_count(), 3, "9 nodes over 4-port switches need 3");
+        assert_eq!(f.node_count(), 9);
+    }
+
+    #[test]
+    fn paper_rack_needs_21_switches() {
+        let mut f = RackFabric::new(48, LinkSpec::gigabit(), LinkSpec::gigabit());
+        for i in 0..989 {
+            f.add_node(format!("sbc-{i}"), LinkSpec::fast_ethernet());
+        }
+        assert_eq!(f.switch_count(), 21);
+    }
+
+    #[test]
+    fn same_switch_is_faster_than_cross_switch() {
+        let mut f = fabric();
+        let a = f.add_node("a", LinkSpec::gigabit());
+        let b = f.add_node("b", LinkSpec::gigabit());
+        for i in 0..3 {
+            f.add_node(format!("fill{i}"), LinkSpec::gigabit());
+        }
+        let far = f.add_node("far", LinkSpec::gigabit());
+        assert_ne!(a.switch, far.switch);
+        let local = f.send(SimTime::ZERO, a, b, 1_000_000);
+        let cross = f.send(SimTime::ZERO, a, far, 1_000_000);
+        assert!(
+            cross > local,
+            "cross-switch {cross} must exceed local {local}"
+        );
+    }
+
+    #[test]
+    fn cross_switch_contention_on_the_trunk() {
+        // Many nodes on switch 0 all send to nodes on switch 1: their
+        // transfers serialize on the shared trunk.
+        let mut f = RackFabric::new(8, LinkSpec::gigabit(), LinkSpec::gigabit());
+        let senders: Vec<RackNodeId> = (0..4)
+            .map(|i| f.add_node(format!("s{i}"), LinkSpec::gigabit()))
+            .collect();
+        for i in 0..4 {
+            f.add_node(format!("fill{i}"), LinkSpec::gigabit());
+        }
+        let receivers: Vec<RackNodeId> = (0..4)
+            .map(|i| f.add_node(format!("r{i}"), LinkSpec::gigabit()))
+            .collect();
+        assert_eq!(f.switch_count(), 2);
+        let times: Vec<SimTime> = senders
+            .iter()
+            .zip(&receivers)
+            .map(|(&s, &r)| f.send(SimTime::ZERO, s, r, 5_000_000))
+            .collect();
+        // 5 MB at 1 Gb/s = 40 ms per transfer on the shared trunk.
+        let spread = times.last().expect("sent").duration_since(times[0]);
+        assert!(
+            spread >= SimDuration::from_millis(100),
+            "four 40 ms transfers should serialize, spread {spread}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot send to itself")]
+    fn self_send_rejected() {
+        let mut f = fabric();
+        let a = f.add_node("a", LinkSpec::gigabit());
+        f.send(SimTime::ZERO, a, a, 1);
+    }
+}

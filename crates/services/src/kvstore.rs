@@ -1,0 +1,787 @@
+//! An in-memory key-value store with a RESP-style wire codec, standing in
+//! for the Redis server used by the paper's `RedisInsert` and
+//! `RedisUpdate` workloads.
+//!
+//! The wire format is RESP2: arrays of bulk strings for commands; simple
+//! strings, errors, integers, and bulk strings for replies. Byte-accurate
+//! encoding matters because the network simulator charges transfer time by
+//! message size.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed client command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `GET key` — fetch a value.
+    Get(String),
+    /// `SET key value` — insert or overwrite.
+    Set(String, Vec<u8>),
+    /// `DEL key [key...]` — remove keys, returning how many existed.
+    Del(Vec<String>),
+    /// `EXISTS key` — 1 if present, 0 otherwise.
+    Exists(String),
+    /// `INCR key` — increment an integer value, initializing to 0.
+    Incr(String),
+    /// `APPEND key value` — append bytes, returning the new length.
+    Append(String, Vec<u8>),
+    /// `DBSIZE` — number of keys.
+    DbSize,
+    /// `FLUSHDB` — remove all keys.
+    FlushDb,
+    /// `EXPIRE key seconds` — set a time-to-live.
+    Expire(String, u64),
+    /// `TTL key` — remaining ttl: -2 missing key, -1 no ttl, else seconds.
+    Ttl(String),
+    /// `PERSIST key` — clear a ttl; 1 if one was cleared.
+    Persist(String),
+    /// `KEYS pattern` — list keys matching a glob (`*`, `?`).
+    Keys(String),
+}
+
+/// A server reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// `+OK`-style simple string.
+    Simple(String),
+    /// `-ERR ...` error string.
+    Error(String),
+    /// `:n` integer.
+    Integer(i64),
+    /// `$n` bulk string payload.
+    Bulk(Vec<u8>),
+    /// `$-1` null bulk (missing key).
+    Null,
+}
+
+/// Errors from decoding the wire format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeRespError {
+    /// The buffer ended mid-message.
+    Incomplete,
+    /// A structural rule was violated.
+    Malformed(String),
+    /// The command name or arity is not supported.
+    UnknownCommand(String),
+}
+
+impl fmt::Display for DecodeRespError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeRespError::Incomplete => write!(f, "incomplete resp message"),
+            DecodeRespError::Malformed(why) => write!(f, "malformed resp: {why}"),
+            DecodeRespError::UnknownCommand(name) => write!(f, "unknown command '{name}'"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeRespError {}
+
+impl Command {
+    /// Encodes the command as a RESP array of bulk strings.
+    pub fn encode(&self) -> Vec<u8> {
+        let parts: Vec<Vec<u8>> = match self {
+            Command::Get(k) => vec![b"GET".to_vec(), k.clone().into_bytes()],
+            Command::Set(k, v) => vec![b"SET".to_vec(), k.clone().into_bytes(), v.clone()],
+            Command::Del(keys) => {
+                let mut parts = vec![b"DEL".to_vec()];
+                parts.extend(keys.iter().map(|k| k.clone().into_bytes()));
+                parts
+            }
+            Command::Exists(k) => vec![b"EXISTS".to_vec(), k.clone().into_bytes()],
+            Command::Incr(k) => vec![b"INCR".to_vec(), k.clone().into_bytes()],
+            Command::Append(k, v) => {
+                vec![b"APPEND".to_vec(), k.clone().into_bytes(), v.clone()]
+            }
+            Command::DbSize => vec![b"DBSIZE".to_vec()],
+            Command::FlushDb => vec![b"FLUSHDB".to_vec()],
+            Command::Expire(k, secs) => vec![
+                b"EXPIRE".to_vec(),
+                k.clone().into_bytes(),
+                secs.to_string().into_bytes(),
+            ],
+            Command::Ttl(k) => vec![b"TTL".to_vec(), k.clone().into_bytes()],
+            Command::Persist(k) => vec![b"PERSIST".to_vec(), k.clone().into_bytes()],
+            Command::Keys(pattern) => {
+                vec![b"KEYS".to_vec(), pattern.clone().into_bytes()]
+            }
+        };
+        let mut out = format!("*{}\r\n", parts.len()).into_bytes();
+        for part in parts {
+            out.extend_from_slice(format!("${}\r\n", part.len()).as_bytes());
+            out.extend_from_slice(&part);
+            out.extend_from_slice(b"\r\n");
+        }
+        out
+    }
+
+    /// Decodes a command from RESP bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeRespError`] for truncated or malformed input, or a
+    /// command the store does not implement.
+    pub fn decode(input: &[u8]) -> Result<Command, DecodeRespError> {
+        Command::decode_prefix(input).map(|(cmd, _rest)| cmd)
+    }
+
+    /// Decodes one command from the front of `input`, returning the
+    /// remainder — the building block of pipelining.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::decode`].
+    pub fn decode_prefix(input: &[u8]) -> Result<(Command, &[u8]), DecodeRespError> {
+        let (parts, rest) = decode_array(input)?;
+        let mut iter = parts.into_iter();
+        let name = iter
+            .next()
+            .ok_or_else(|| DecodeRespError::Malformed("empty command array".into()))?;
+        let name = String::from_utf8_lossy(&name).to_ascii_uppercase();
+        let mut args: Vec<Vec<u8>> = iter.collect();
+        let text = |arg: Vec<u8>| -> Result<String, DecodeRespError> {
+            String::from_utf8(arg)
+                .map_err(|_| DecodeRespError::Malformed("key is not utf-8".into()))
+        };
+        match (name.as_str(), args.len()) {
+            ("GET", 1) => Ok(Command::Get(text(args.remove(0))?)),
+            ("SET", 2) => {
+                let key = text(args.remove(0))?;
+                Ok(Command::Set(key, args.remove(0)))
+            }
+            ("DEL", n) if n >= 1 => Ok(Command::Del(
+                args.into_iter().map(text).collect::<Result<_, _>>()?,
+            )),
+            ("EXISTS", 1) => Ok(Command::Exists(text(args.remove(0))?)),
+            ("INCR", 1) => Ok(Command::Incr(text(args.remove(0))?)),
+            ("APPEND", 2) => {
+                let key = text(args.remove(0))?;
+                Ok(Command::Append(key, args.remove(0)))
+            }
+            ("DBSIZE", 0) => Ok(Command::DbSize),
+            ("FLUSHDB", 0) => Ok(Command::FlushDb),
+            ("EXPIRE", 2) => {
+                let key = text(args.remove(0))?;
+                let secs = text(args.remove(0))?
+                    .parse()
+                    .map_err(|_| DecodeRespError::Malformed("bad expire seconds".into()))?;
+                Ok(Command::Expire(key, secs))
+            }
+            ("TTL", 1) => Ok(Command::Ttl(text(args.remove(0))?)),
+            ("PERSIST", 1) => Ok(Command::Persist(text(args.remove(0))?)),
+            ("KEYS", 1) => Ok(Command::Keys(text(args.remove(0))?)),
+            _ => Err(DecodeRespError::UnknownCommand(name)),
+        }
+        .map(|cmd| (cmd, rest))
+    }
+
+    /// Decodes a whole pipeline of commands.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first malformed command; previously decoded commands
+    /// are discarded (the client would resend the pipeline).
+    pub fn decode_pipeline(mut input: &[u8]) -> Result<Vec<Command>, DecodeRespError> {
+        let mut commands = Vec::new();
+        while !input.is_empty() {
+            let (cmd, rest) = Command::decode_prefix(input)?;
+            commands.push(cmd);
+            input = rest;
+        }
+        Ok(commands)
+    }
+}
+
+impl Reply {
+    /// Encodes the reply in RESP2.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Reply::Simple(s) => format!("+{s}\r\n").into_bytes(),
+            Reply::Error(s) => format!("-ERR {s}\r\n").into_bytes(),
+            Reply::Integer(n) => format!(":{n}\r\n").into_bytes(),
+            Reply::Bulk(data) => {
+                let mut out = format!("${}\r\n", data.len()).into_bytes();
+                out.extend_from_slice(data);
+                out.extend_from_slice(b"\r\n");
+                out
+            }
+            Reply::Null => b"$-1\r\n".to_vec(),
+        }
+    }
+
+    /// Decodes a reply from RESP bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeRespError`] for truncated or malformed input.
+    pub fn decode(input: &[u8]) -> Result<Reply, DecodeRespError> {
+        let (first, rest) = split_first(input)?;
+        match first {
+            b'+' => Ok(Reply::Simple(read_line_str(rest)?.0)),
+            b'-' => {
+                let (line, _) = read_line_str(rest)?;
+                Ok(Reply::Error(
+                    line.strip_prefix("ERR ").unwrap_or(&line).to_string(),
+                ))
+            }
+            b':' => {
+                let (line, _) = read_line_str(rest)?;
+                line.parse()
+                    .map(Reply::Integer)
+                    .map_err(|_| DecodeRespError::Malformed(format!("bad integer '{line}'")))
+            }
+            b'$' => {
+                let (len_line, after) = read_line_str(rest)?;
+                if len_line == "-1" {
+                    return Ok(Reply::Null);
+                }
+                let len: usize = len_line
+                    .parse()
+                    .map_err(|_| DecodeRespError::Malformed(format!("bad length '{len_line}'")))?;
+                if after.len() < len + 2 {
+                    return Err(DecodeRespError::Incomplete);
+                }
+                Ok(Reply::Bulk(after[..len].to_vec()))
+            }
+            other => Err(DecodeRespError::Malformed(format!(
+                "unexpected type byte '{}'",
+                other as char
+            ))),
+        }
+    }
+}
+
+fn split_first(input: &[u8]) -> Result<(u8, &[u8]), DecodeRespError> {
+    match input.split_first() {
+        Some((&b, rest)) => Ok((b, rest)),
+        None => Err(DecodeRespError::Incomplete),
+    }
+}
+
+fn read_line(input: &[u8]) -> Result<(&[u8], &[u8]), DecodeRespError> {
+    let pos = input
+        .windows(2)
+        .position(|w| w == b"\r\n")
+        .ok_or(DecodeRespError::Incomplete)?;
+    Ok((&input[..pos], &input[pos + 2..]))
+}
+
+fn read_line_str(input: &[u8]) -> Result<(String, &[u8]), DecodeRespError> {
+    let (line, rest) = read_line(input)?;
+    let s = std::str::from_utf8(line)
+        .map_err(|_| DecodeRespError::Malformed("non-utf8 line".into()))?;
+    Ok((s.to_string(), rest))
+}
+
+fn decode_array(input: &[u8]) -> Result<(Vec<Vec<u8>>, &[u8]), DecodeRespError> {
+    let (first, rest) = split_first(input)?;
+    if first != b'*' {
+        return Err(DecodeRespError::Malformed("expected array".into()));
+    }
+    let (count_line, mut rest) = read_line_str(rest)?;
+    let count: usize = count_line
+        .parse()
+        .map_err(|_| DecodeRespError::Malformed(format!("bad array count '{count_line}'")))?;
+    let mut parts = Vec::with_capacity(count);
+    for _ in 0..count {
+        let (first, after) = split_first(rest)?;
+        if first != b'$' {
+            return Err(DecodeRespError::Malformed("expected bulk string".into()));
+        }
+        let (len_line, after) = read_line_str(after)?;
+        let len: usize = len_line
+            .parse()
+            .map_err(|_| DecodeRespError::Malformed(format!("bad length '{len_line}'")))?;
+        if after.len() < len + 2 {
+            return Err(DecodeRespError::Incomplete);
+        }
+        if &after[len..len + 2] != b"\r\n" {
+            return Err(DecodeRespError::Malformed("missing bulk terminator".into()));
+        }
+        parts.push(after[..len].to_vec());
+        rest = &after[len + 2..];
+    }
+    Ok((parts, rest))
+}
+
+/// The in-memory store.
+///
+/// # Examples
+///
+/// ```
+/// use microfaas_services::kvstore::{Command, KvStore, Reply};
+///
+/// let mut store = KvStore::new();
+/// store.execute(Command::Set("user:1".into(), b"ada".to_vec()));
+/// assert_eq!(
+///     store.execute(Command::Get("user:1".into())),
+///     Reply::Bulk(b"ada".to_vec())
+/// );
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct KvStore {
+    data: BTreeMap<String, Vec<u8>>,
+    /// key -> absolute expiry in logical milliseconds.
+    expiry: BTreeMap<String, u64>,
+    /// Logical clock in milliseconds, advanced by the host.
+    now_ms: u64,
+}
+
+impl KvStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        KvStore::default()
+    }
+
+    /// Advances the store's logical clock (milliseconds since start) and
+    /// evicts everything whose ttl has passed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clock would move backwards.
+    pub fn advance_clock_ms(&mut self, now_ms: u64) {
+        assert!(now_ms >= self.now_ms, "clock cannot run backwards");
+        self.now_ms = now_ms;
+        let expired: Vec<String> = self
+            .expiry
+            .iter()
+            .filter(|(_, &at)| at <= now_ms)
+            .map(|(k, _)| k.clone())
+            .collect();
+        for key in expired {
+            self.expiry.remove(&key);
+            self.data.remove(&key);
+        }
+    }
+
+    /// Number of keys currently stored.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns true if the store holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Executes a typed command.
+    pub fn execute(&mut self, command: Command) -> Reply {
+        match command {
+            Command::Get(key) => match self.data.get(&key) {
+                Some(value) => Reply::Bulk(value.clone()),
+                None => Reply::Null,
+            },
+            Command::Set(key, value) => {
+                // SET clears any previous ttl, as Redis does.
+                self.expiry.remove(&key);
+                self.data.insert(key, value);
+                Reply::Simple("OK".to_string())
+            }
+            Command::Del(keys) => {
+                let removed = keys
+                    .iter()
+                    .filter(|k| {
+                        self.expiry.remove(*k);
+                        self.data.remove(*k).is_some()
+                    })
+                    .count();
+                Reply::Integer(removed as i64)
+            }
+            Command::Exists(key) => Reply::Integer(self.data.contains_key(&key) as i64),
+            Command::Incr(key) => {
+                let entry = self.data.entry(key).or_insert_with(|| b"0".to_vec());
+                let current: i64 = match std::str::from_utf8(entry).ok().and_then(|s| s.parse().ok())
+                {
+                    Some(n) => n,
+                    None => {
+                        return Reply::Error(
+                            "value is not an integer or out of range".to_string(),
+                        )
+                    }
+                };
+                let next = current + 1;
+                *entry = next.to_string().into_bytes();
+                Reply::Integer(next)
+            }
+            Command::Append(key, value) => {
+                let entry = self.data.entry(key).or_default();
+                entry.extend_from_slice(&value);
+                Reply::Integer(entry.len() as i64)
+            }
+            Command::DbSize => Reply::Integer(self.data.len() as i64),
+            Command::FlushDb => {
+                self.data.clear();
+                self.expiry.clear();
+                Reply::Simple("OK".to_string())
+            }
+            Command::Expire(key, secs) => {
+                if self.data.contains_key(&key) {
+                    self.expiry.insert(key, self.now_ms + secs * 1_000);
+                    Reply::Integer(1)
+                } else {
+                    Reply::Integer(0)
+                }
+            }
+            Command::Ttl(key) => {
+                if !self.data.contains_key(&key) {
+                    Reply::Integer(-2)
+                } else {
+                    match self.expiry.get(&key) {
+                        None => Reply::Integer(-1),
+                        Some(&at) => Reply::Integer(((at - self.now_ms) / 1_000) as i64),
+                    }
+                }
+            }
+            Command::Persist(key) => {
+                Reply::Integer(self.expiry.remove(&key).is_some() as i64)
+            }
+            Command::Keys(pattern) => {
+                // Render as a newline-joined bulk string; a full RESP
+                // array reply type is not needed by any workload.
+                let matching: Vec<&str> = self
+                    .data
+                    .keys()
+                    .filter(|k| glob_match(&pattern, k))
+                    .map(String::as_str)
+                    .collect();
+                Reply::Bulk(matching.join("\n").into_bytes())
+            }
+        }
+    }
+
+    /// Decodes a wire-format request, executes it, and encodes the reply —
+    /// the entry point the simulated network delivers bytes to.
+    pub fn handle_raw(&mut self, request: &[u8]) -> Vec<u8> {
+        match Command::decode(request) {
+            Ok(command) => self.execute(command).encode(),
+            Err(e) => Reply::Error(e.to_string()).encode(),
+        }
+    }
+
+    /// Executes a whole RESP pipeline, returning the concatenated replies
+    /// (one per command, in order), as a real Redis server would.
+    pub fn handle_pipeline(&mut self, request: &[u8]) -> Vec<u8> {
+        match Command::decode_pipeline(request) {
+            Ok(commands) => commands
+                .into_iter()
+                .flat_map(|cmd| self.execute(cmd).encode())
+                .collect(),
+            Err(e) => Reply::Error(e.to_string()).encode(),
+        }
+    }
+}
+
+/// Glob matching with `*` (any run) and `?` (any one char), as Redis
+/// KEYS interprets patterns (without character classes).
+fn glob_match(pattern: &str, text: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = text.chars().collect();
+    // Iterative wildcard matcher with backtracking over the last '*'.
+    let (mut pi, mut ti) = (0usize, 0usize);
+    let (mut star, mut star_ti) = (None::<usize>, 0usize);
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '?' || p[pi] == t[ti]) {
+            pi += 1;
+            ti += 1;
+        } else if pi < p.len() && p[pi] == '*' {
+            star = Some(pi);
+            star_ti = ti;
+            pi += 1;
+        } else if let Some(star_pi) = star {
+            pi = star_pi + 1;
+            star_ti += 1;
+            ti = star_ti;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut store = KvStore::new();
+        assert_eq!(
+            store.execute(Command::Set("k".into(), b"v".to_vec())),
+            Reply::Simple("OK".into())
+        );
+        assert_eq!(store.execute(Command::Get("k".into())), Reply::Bulk(b"v".to_vec()));
+    }
+
+    #[test]
+    fn get_missing_is_null() {
+        let mut store = KvStore::new();
+        assert_eq!(store.execute(Command::Get("nope".into())), Reply::Null);
+    }
+
+    #[test]
+    fn set_overwrites() {
+        let mut store = KvStore::new();
+        store.execute(Command::Set("k".into(), b"a".to_vec()));
+        store.execute(Command::Set("k".into(), b"b".to_vec()));
+        assert_eq!(store.execute(Command::Get("k".into())), Reply::Bulk(b"b".to_vec()));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn del_reports_removed_count() {
+        let mut store = KvStore::new();
+        store.execute(Command::Set("a".into(), vec![]));
+        store.execute(Command::Set("b".into(), vec![]));
+        assert_eq!(
+            store.execute(Command::Del(vec!["a".into(), "b".into(), "c".into()])),
+            Reply::Integer(2)
+        );
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn incr_initializes_and_counts() {
+        let mut store = KvStore::new();
+        assert_eq!(store.execute(Command::Incr("n".into())), Reply::Integer(1));
+        assert_eq!(store.execute(Command::Incr("n".into())), Reply::Integer(2));
+        assert_eq!(store.execute(Command::Get("n".into())), Reply::Bulk(b"2".to_vec()));
+    }
+
+    #[test]
+    fn incr_non_integer_errors() {
+        let mut store = KvStore::new();
+        store.execute(Command::Set("s".into(), b"abc".to_vec()));
+        assert!(matches!(store.execute(Command::Incr("s".into())), Reply::Error(_)));
+    }
+
+    #[test]
+    fn append_returns_new_length() {
+        let mut store = KvStore::new();
+        assert_eq!(
+            store.execute(Command::Append("k".into(), b"foo".to_vec())),
+            Reply::Integer(3)
+        );
+        assert_eq!(
+            store.execute(Command::Append("k".into(), b"bar".to_vec())),
+            Reply::Integer(6)
+        );
+        assert_eq!(
+            store.execute(Command::Get("k".into())),
+            Reply::Bulk(b"foobar".to_vec())
+        );
+    }
+
+    #[test]
+    fn dbsize_and_flush() {
+        let mut store = KvStore::new();
+        store.execute(Command::Set("a".into(), vec![]));
+        store.execute(Command::Set("b".into(), vec![]));
+        assert_eq!(store.execute(Command::DbSize), Reply::Integer(2));
+        store.execute(Command::FlushDb);
+        assert_eq!(store.execute(Command::DbSize), Reply::Integer(0));
+    }
+
+    #[test]
+    fn command_wire_round_trip() {
+        let commands = vec![
+            Command::Get("key".into()),
+            Command::Set("key".into(), b"binary\x00value".to_vec()),
+            Command::Del(vec!["a".into(), "b".into()]),
+            Command::Exists("x".into()),
+            Command::Incr("counter".into()),
+            Command::Append("log".into(), b"line\n".to_vec()),
+            Command::DbSize,
+            Command::FlushDb,
+        ];
+        for cmd in commands {
+            let encoded = cmd.encode();
+            assert_eq!(Command::decode(&encoded).expect("round trip"), cmd);
+        }
+    }
+
+    #[test]
+    fn reply_wire_round_trip() {
+        let replies = vec![
+            Reply::Simple("OK".into()),
+            Reply::Error("boom".into()),
+            Reply::Integer(-42),
+            Reply::Bulk(b"with\r\nnewlines".to_vec()),
+            Reply::Null,
+        ];
+        for reply in replies {
+            let encoded = reply.encode();
+            assert_eq!(Reply::decode(&encoded).expect("round trip"), reply);
+        }
+    }
+
+    #[test]
+    fn known_resp_bytes() {
+        // The canonical Redis example: SET mykey myvalue.
+        let cmd = Command::Set("mykey".into(), b"myvalue".to_vec());
+        assert_eq!(
+            cmd.encode(),
+            b"*3\r\n$3\r\nSET\r\n$5\r\nmykey\r\n$7\r\nmyvalue\r\n"
+        );
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let full = Command::Set("k".into(), b"value".to_vec()).encode();
+        for cut in 0..full.len() {
+            assert!(
+                Command::decode(&full[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_unknown_command() {
+        let raw = b"*1\r\n$5\r\nBLPOP\r\n";
+        assert!(matches!(
+            Command::decode(raw),
+            Err(DecodeRespError::UnknownCommand(name)) if name == "BLPOP"
+        ));
+    }
+
+    #[test]
+    fn ttl_lifecycle() {
+        let mut store = KvStore::new();
+        store.execute(Command::Set("k".into(), b"v".to_vec()));
+        assert_eq!(store.execute(Command::Ttl("k".into())), Reply::Integer(-1));
+        assert_eq!(store.execute(Command::Ttl("ghost".into())), Reply::Integer(-2));
+        assert_eq!(
+            store.execute(Command::Expire("k".into(), 10)),
+            Reply::Integer(1)
+        );
+        assert_eq!(store.execute(Command::Ttl("k".into())), Reply::Integer(10));
+        store.advance_clock_ms(4_000);
+        assert_eq!(store.execute(Command::Ttl("k".into())), Reply::Integer(6));
+        store.advance_clock_ms(10_000);
+        assert_eq!(store.execute(Command::Get("k".into())), Reply::Null);
+        assert_eq!(store.execute(Command::Ttl("k".into())), Reply::Integer(-2));
+    }
+
+    #[test]
+    fn expire_on_missing_key_is_zero() {
+        let mut store = KvStore::new();
+        assert_eq!(
+            store.execute(Command::Expire("ghost".into(), 5)),
+            Reply::Integer(0)
+        );
+    }
+
+    #[test]
+    fn persist_clears_ttl() {
+        let mut store = KvStore::new();
+        store.execute(Command::Set("k".into(), vec![]));
+        store.execute(Command::Expire("k".into(), 1));
+        assert_eq!(store.execute(Command::Persist("k".into())), Reply::Integer(1));
+        assert_eq!(store.execute(Command::Persist("k".into())), Reply::Integer(0));
+        store.advance_clock_ms(60_000);
+        assert_eq!(store.execute(Command::Exists("k".into())), Reply::Integer(1));
+    }
+
+    #[test]
+    fn set_clears_existing_ttl() {
+        let mut store = KvStore::new();
+        store.execute(Command::Set("k".into(), b"a".to_vec()));
+        store.execute(Command::Expire("k".into(), 1));
+        store.execute(Command::Set("k".into(), b"b".to_vec()));
+        store.advance_clock_ms(60_000);
+        assert_eq!(store.execute(Command::Get("k".into())), Reply::Bulk(b"b".to_vec()));
+    }
+
+    #[test]
+    #[should_panic(expected = "clock cannot run backwards")]
+    fn clock_backwards_panics() {
+        let mut store = KvStore::new();
+        store.advance_clock_ms(10);
+        store.advance_clock_ms(5);
+    }
+
+    #[test]
+    fn pipeline_round_trip() {
+        let commands = vec![
+            Command::Set("a".into(), b"1".to_vec()),
+            Command::Incr("a".into()),
+            Command::Get("a".into()),
+            Command::DbSize,
+        ];
+        let wire: Vec<u8> = commands.iter().flat_map(Command::encode).collect();
+        assert_eq!(Command::decode_pipeline(&wire).expect("round trip"), commands);
+
+        let mut store = KvStore::new();
+        let replies = store.handle_pipeline(&wire);
+        assert_eq!(replies, b"+OK\r\n:2\r\n$1\r\n2\r\n:1\r\n");
+    }
+
+    #[test]
+    fn pipeline_rejects_trailing_garbage() {
+        let mut wire = Command::DbSize.encode();
+        wire.extend_from_slice(b"junk");
+        assert!(Command::decode_pipeline(&wire).is_err());
+    }
+
+    #[test]
+    fn ttl_round_trips_on_the_wire() {
+        for cmd in [
+            Command::Expire("k".into(), 30),
+            Command::Ttl("k".into()),
+            Command::Persist("k".into()),
+        ] {
+            assert_eq!(Command::decode(&cmd.encode()).expect("round trip"), cmd);
+        }
+    }
+
+    #[test]
+    fn glob_matcher_semantics() {
+        assert!(glob_match("*", ""));
+        assert!(glob_match("*", "anything"));
+        assert!(glob_match("user:*", "user:42"));
+        assert!(!glob_match("user:*", "session:42"));
+        assert!(glob_match("u?er:*", "user:42"));
+        assert!(!glob_match("u?er", "uber:x"));
+        assert!(glob_match("*:42", "user:42"));
+        assert!(glob_match("a*b*c", "aXXbYYc"));
+        assert!(!glob_match("a*b*c", "aXXbYY"));
+        assert!(glob_match("exact", "exact"));
+        assert!(!glob_match("exact", "exac"));
+        assert!(!glob_match("", "x"));
+        assert!(glob_match("", ""));
+    }
+
+    #[test]
+    fn keys_command_lists_matches_sorted() {
+        let mut store = KvStore::new();
+        for key in ["user:1", "user:2", "session:9"] {
+            store.execute(Command::Set(key.into(), vec![]));
+        }
+        let reply = store.execute(Command::Keys("user:*".into()));
+        assert_eq!(reply, Reply::Bulk(b"user:1\nuser:2".to_vec()));
+        let reply = store.execute(Command::Keys("*".into()));
+        assert_eq!(reply, Reply::Bulk(b"session:9\nuser:1\nuser:2".to_vec()));
+        let reply = store.execute(Command::Keys("nope*".into()));
+        assert_eq!(reply, Reply::Bulk(vec![]));
+    }
+
+    #[test]
+    fn keys_round_trips_on_the_wire() {
+        let cmd = Command::Keys("job:*".into());
+        assert_eq!(Command::decode(&cmd.encode()).expect("round trip"), cmd);
+    }
+
+    #[test]
+    fn handle_raw_end_to_end() {
+        let mut store = KvStore::new();
+        let reply = store.handle_raw(&Command::Set("k".into(), b"v".to_vec()).encode());
+        assert_eq!(reply, b"+OK\r\n");
+        let reply = store.handle_raw(&Command::Get("k".into()).encode());
+        assert_eq!(reply, b"$1\r\nv\r\n");
+        let reply = store.handle_raw(b"garbage");
+        assert!(reply.starts_with(b"-ERR"));
+    }
+}

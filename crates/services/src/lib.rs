@@ -1,0 +1,24 @@
+//! # microfaas-services
+//!
+//! In-memory implementations of the four backing services the paper's
+//! network-bound workloads talk to (each hosted on a dedicated SBC in the
+//! original testbed):
+//!
+//! * [`kvstore`] — a Redis-like key-value store with a RESP wire codec
+//!   (`RedisInsert`, `RedisUpdate`);
+//! * [`sqldb`] — a small SQL engine (`SQLSelect`, `SQLUpdate`);
+//! * [`objstore`] — an S3/MinIO-style object store (`COSGet`, `COSPut`);
+//! * [`mqueue`] — a Kafka-style partitioned log (`MQProduce`,
+//!   `MQConsume`).
+//!
+//! The services are real data structures with real wire encodings, so the
+//! byte counts that drive the network simulator come from actual encoded
+//! requests and responses rather than guesses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kvstore;
+pub mod mqueue;
+pub mod objstore;
+pub mod sqldb;

@@ -1,0 +1,525 @@
+//! A partitioned, log-structured message queue standing in for the Kafka
+//! broker used by the paper's `MQProduce` and `MQConsume` workloads.
+//!
+//! Topics are split into partitions; each partition is an append-only log
+//! addressed by offset. Producers pick a partition by key hash (or round
+//! robin); consumer groups track committed offsets per partition.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors from broker operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BrokerError {
+    /// Topic does not exist.
+    NoSuchTopic(String),
+    /// Topic already exists.
+    TopicExists(String),
+    /// Partition index out of range for the topic.
+    NoSuchPartition {
+        /// Topic name.
+        topic: String,
+        /// Requested partition.
+        partition: u32,
+    },
+    /// Requested offset is beyond the log end.
+    OffsetOutOfRange {
+        /// Requested offset.
+        requested: u64,
+        /// Next offset to be written (log end).
+        log_end: u64,
+    },
+}
+
+impl fmt::Display for BrokerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BrokerError::NoSuchTopic(t) => write!(f, "no such topic: {t}"),
+            BrokerError::TopicExists(t) => write!(f, "topic already exists: {t}"),
+            BrokerError::NoSuchPartition { topic, partition } => {
+                write!(f, "topic {topic} has no partition {partition}")
+            }
+            BrokerError::OffsetOutOfRange { requested, log_end } => {
+                write!(f, "offset {requested} beyond log end {log_end}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BrokerError {}
+
+/// A message as stored in (and fetched from) a partition log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Offset within the partition.
+    pub offset: u64,
+    /// Optional routing key.
+    pub key: Option<Vec<u8>>,
+    /// Payload bytes.
+    pub value: Vec<u8>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Partition {
+    log: Vec<Message>,
+    /// Offset of the first retained message (advances on truncation).
+    start_offset: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Topic {
+    partitions: Vec<Partition>,
+    round_robin: u32,
+}
+
+/// The in-memory broker.
+///
+/// # Examples
+///
+/// ```
+/// use microfaas_services::mqueue::Broker;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut broker = Broker::new();
+/// broker.create_topic("events", 4)?;
+/// let (partition, offset) = broker.produce("events", Some(b"user-1"), b"login".to_vec())?;
+/// let batch = broker.fetch("events", partition, offset, 10)?;
+/// assert_eq!(batch[0].value, b"login");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Broker {
+    topics: BTreeMap<String, Topic>,
+    /// (group, topic, partition) -> committed offset (next to consume).
+    committed: BTreeMap<(String, String, u32), u64>,
+}
+
+impl Broker {
+    /// Creates an empty broker.
+    pub fn new() -> Self {
+        Broker::default()
+    }
+
+    /// Creates a topic with `partitions` partitions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::TopicExists`] if the name is taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions` is zero.
+    pub fn create_topic(&mut self, topic: &str, partitions: u32) -> Result<(), BrokerError> {
+        assert!(partitions > 0, "topic must have at least one partition");
+        if self.topics.contains_key(topic) {
+            return Err(BrokerError::TopicExists(topic.to_string()));
+        }
+        self.topics.insert(
+            topic.to_string(),
+            Topic {
+                partitions: (0..partitions).map(|_| Partition::default()).collect(),
+                round_robin: 0,
+            },
+        );
+        Ok(())
+    }
+
+    /// Appends a message, choosing the partition by key hash (or round
+    /// robin when `key` is `None`). Returns `(partition, offset)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::NoSuchTopic`] if the topic is missing.
+    pub fn produce(
+        &mut self,
+        topic: &str,
+        key: Option<&[u8]>,
+        value: Vec<u8>,
+    ) -> Result<(u32, u64), BrokerError> {
+        let t = self
+            .topics
+            .get_mut(topic)
+            .ok_or_else(|| BrokerError::NoSuchTopic(topic.to_string()))?;
+        let partition = match key {
+            Some(key) => (fnv1a(key) % t.partitions.len() as u64) as u32,
+            None => {
+                let p = t.round_robin;
+                t.round_robin = (t.round_robin + 1) % t.partitions.len() as u32;
+                p
+            }
+        };
+        let p = &mut t.partitions[partition as usize];
+        let offset = p.start_offset + p.log.len() as u64;
+        p.log.push(Message {
+            offset,
+            key: key.map(<[u8]>::to_vec),
+            value,
+        });
+        Ok((partition, offset))
+    }
+
+    /// Fetches up to `max_messages` starting at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError`] if the topic/partition is unknown or the
+    /// offset is past the log end. Fetching exactly at the log end returns
+    /// an empty batch (a poll with no new data).
+    pub fn fetch(
+        &self,
+        topic: &str,
+        partition: u32,
+        offset: u64,
+        max_messages: usize,
+    ) -> Result<Vec<Message>, BrokerError> {
+        let (log, start) = self.partition_view(topic, partition)?;
+        let log_end = start + log.len() as u64;
+        if offset > log_end {
+            return Err(BrokerError::OffsetOutOfRange { requested: offset, log_end });
+        }
+        // Offsets below the retained start (after truncation) resume at
+        // the retained head, as a Kafka consumer with auto.offset.reset
+        // would.
+        let position = offset.saturating_sub(start) as usize;
+        Ok(log[position.min(log.len())..]
+            .iter()
+            .take(max_messages)
+            .cloned()
+            .collect())
+    }
+
+    /// The next offset that will be written to the partition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError`] if the topic or partition is unknown.
+    pub fn log_end_offset(&self, topic: &str, partition: u32) -> Result<u64, BrokerError> {
+        let (log, start) = self.partition_view(topic, partition)?;
+        Ok(start + log.len() as u64)
+    }
+
+    /// Commits `offset` (the next offset to consume) for a consumer group.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError`] if the topic or partition is unknown.
+    pub fn commit(
+        &mut self,
+        group: &str,
+        topic: &str,
+        partition: u32,
+        offset: u64,
+    ) -> Result<(), BrokerError> {
+        self.partition_view(topic, partition)?; // validate existence
+        self.committed
+            .insert((group.to_string(), topic.to_string(), partition), offset);
+        Ok(())
+    }
+
+    /// The committed offset for a group (0 if never committed).
+    pub fn committed_offset(&self, group: &str, topic: &str, partition: u32) -> u64 {
+        self.committed
+            .get(&(group.to_string(), topic.to_string(), partition))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Consumes the next batch for a consumer group and commits the new
+    /// position — the `MQConsume` workload's one-call path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError`] if the topic or partition is unknown.
+    pub fn consume(
+        &mut self,
+        group: &str,
+        topic: &str,
+        partition: u32,
+        max_messages: usize,
+    ) -> Result<Vec<Message>, BrokerError> {
+        let offset = self.committed_offset(group, topic, partition);
+        let batch = self.fetch(topic, partition, offset, max_messages)?;
+        if let Some(last) = batch.last() {
+            self.commit(group, topic, partition, last.offset + 1)?;
+        }
+        Ok(batch)
+    }
+
+    /// Number of partitions in a topic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::NoSuchTopic`] if the topic is missing.
+    pub fn partition_count(&self, topic: &str) -> Result<u32, BrokerError> {
+        self.topics
+            .get(topic)
+            .map(|t| t.partitions.len() as u32)
+            .ok_or_else(|| BrokerError::NoSuchTopic(topic.to_string()))
+    }
+
+    /// Applies a retention policy: drops messages with offsets below
+    /// `before_offset` in one partition (a Kafka log truncation).
+    /// Returns how many messages were dropped. Offsets of surviving
+    /// messages are unchanged; fetching a truncated offset yields
+    /// [`BrokerError::OffsetOutOfRange`]-free behaviour because offsets
+    /// below the new start simply return an empty range starting at the
+    /// retained head.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError`] if the topic or partition is unknown.
+    pub fn truncate_before(
+        &mut self,
+        topic: &str,
+        partition: u32,
+        before_offset: u64,
+    ) -> Result<usize, BrokerError> {
+        self.partition_view(topic, partition)?; // validate
+        let t = self.topics.get_mut(topic).expect("validated above");
+        let p = &mut t.partitions[partition as usize];
+        let keep_from = p
+            .log
+            .iter()
+            .position(|m| m.offset >= before_offset)
+            .unwrap_or(p.log.len());
+        p.log.drain(..keep_from);
+        p.start_offset = p
+            .log
+            .first()
+            .map_or(p.start_offset + keep_from as u64, |m| m.offset);
+        Ok(keep_from)
+    }
+
+    /// First retained offset in a partition (0 until truncated).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError`] if the topic or partition is unknown.
+    pub fn log_start_offset(&self, topic: &str, partition: u32) -> Result<u64, BrokerError> {
+        Ok(self.partition_view(topic, partition)?.1)
+    }
+
+    /// Fetches messages starting at `offset` until `max_bytes` of payload
+    /// have accumulated (at least one message is returned if available,
+    /// mirroring Kafka's fetch semantics).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::fetch`].
+    pub fn fetch_max_bytes(
+        &self,
+        topic: &str,
+        partition: u32,
+        offset: u64,
+        max_bytes: usize,
+    ) -> Result<Vec<Message>, BrokerError> {
+        let all = self.fetch(topic, partition, offset, usize::MAX)?;
+        let mut batch = Vec::new();
+        let mut bytes = 0;
+        for message in all {
+            if !batch.is_empty() && bytes + message.value.len() > max_bytes {
+                break;
+            }
+            bytes += message.value.len();
+            batch.push(message);
+        }
+        Ok(batch)
+    }
+
+    fn partition_view(
+        &self,
+        topic: &str,
+        partition: u32,
+    ) -> Result<(&Vec<Message>, u64), BrokerError> {
+        let t = self
+            .topics
+            .get(topic)
+            .ok_or_else(|| BrokerError::NoSuchTopic(topic.to_string()))?;
+        t.partitions
+            .get(partition as usize)
+            .map(|p| (&p.log, p.start_offset))
+            .ok_or(BrokerError::NoSuchPartition {
+                topic: topic.to_string(),
+                partition,
+            })
+    }
+}
+
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn broker() -> Broker {
+        let mut b = Broker::new();
+        b.create_topic("t", 3).expect("create");
+        b
+    }
+
+    #[test]
+    fn produce_assigns_sequential_offsets() {
+        let mut b = broker();
+        let (p0, o0) = b.produce("t", Some(b"k"), b"a".to_vec()).expect("produce");
+        let (p1, o1) = b.produce("t", Some(b"k"), b"b".to_vec()).expect("produce");
+        assert_eq!(p0, p1, "same key routes to the same partition");
+        assert_eq!((o0, o1), (0, 1));
+    }
+
+    #[test]
+    fn keyless_produce_round_robins() {
+        let mut b = broker();
+        let parts: Vec<u32> = (0..6)
+            .map(|i| b.produce("t", None, vec![i]).expect("produce").0)
+            .collect();
+        assert_eq!(parts, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn fetch_returns_from_offset_in_order() {
+        let mut b = broker();
+        for i in 0..5u8 {
+            b.produce("t", Some(b"k"), vec![i]).expect("produce");
+        }
+        let (partition, _) = b.produce("t", Some(b"k"), vec![5]).expect("produce");
+        let batch = b.fetch("t", partition, 2, 100).expect("fetch");
+        assert_eq!(batch.len(), 4);
+        assert_eq!(batch[0].value, vec![2]);
+        assert!(batch.windows(2).all(|w| w[1].offset == w[0].offset + 1));
+    }
+
+    #[test]
+    fn fetch_respects_max_messages() {
+        let mut b = broker();
+        for i in 0..10u8 {
+            b.produce("t", Some(b"k"), vec![i]).expect("produce");
+        }
+        let (partition, _) = b.produce("t", Some(b"k"), vec![10]).expect("produce");
+        assert_eq!(b.fetch("t", partition, 0, 3).expect("fetch").len(), 3);
+    }
+
+    #[test]
+    fn fetch_at_log_end_is_empty_not_error() {
+        let mut b = broker();
+        let (partition, offset) = b.produce("t", Some(b"k"), vec![1]).expect("produce");
+        assert!(b.fetch("t", partition, offset + 1, 10).expect("fetch").is_empty());
+    }
+
+    #[test]
+    fn fetch_past_log_end_errors() {
+        let b = broker();
+        assert_eq!(
+            b.fetch("t", 0, 5, 10),
+            Err(BrokerError::OffsetOutOfRange { requested: 5, log_end: 0 })
+        );
+    }
+
+    #[test]
+    fn consumer_group_tracks_position() {
+        let mut b = broker();
+        for i in 0..4u8 {
+            b.produce("t", Some(b"k"), vec![i]).expect("produce");
+        }
+        let (partition, _) = b.produce("t", Some(b"k"), vec![4]).expect("produce");
+        let first = b.consume("g", "t", partition, 2).expect("consume");
+        assert_eq!(first.len(), 2);
+        let second = b.consume("g", "t", partition, 2).expect("consume");
+        assert_eq!(second.len(), 2);
+        assert_eq!(second[0].offset, 2);
+        // An independent group starts from zero.
+        let other = b.consume("g2", "t", partition, 100).expect("consume");
+        assert_eq!(other.len(), 5);
+    }
+
+    #[test]
+    fn consume_with_no_data_commits_nothing() {
+        let mut b = broker();
+        assert!(b.consume("g", "t", 0, 10).expect("consume").is_empty());
+        assert_eq!(b.committed_offset("g", "t", 0), 0);
+    }
+
+    #[test]
+    fn error_paths() {
+        let mut b = broker();
+        assert_eq!(
+            b.produce("ghost", None, vec![]),
+            Err(BrokerError::NoSuchTopic("ghost".into()))
+        );
+        assert_eq!(
+            b.fetch("t", 9, 0, 1),
+            Err(BrokerError::NoSuchPartition { topic: "t".into(), partition: 9 })
+        );
+        assert_eq!(b.create_topic("t", 1), Err(BrokerError::TopicExists("t".into())));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn zero_partitions_panics() {
+        Broker::new().create_topic("bad", 0).ok();
+    }
+
+    #[test]
+    fn truncation_preserves_offsets() {
+        let mut b = broker();
+        for i in 0..10u8 {
+            b.produce("t", Some(b"k"), vec![i]).expect("produce");
+        }
+        let (partition, _) = b.produce("t", Some(b"k"), vec![10]).expect("produce");
+        let dropped = b.truncate_before("t", partition, 4).expect("truncate");
+        assert_eq!(dropped, 4);
+        assert_eq!(b.log_start_offset("t", partition).expect("lso"), 4);
+        assert_eq!(b.log_end_offset("t", partition).expect("leo"), 11);
+        // Fetching at a retained offset returns the right messages.
+        let batch = b.fetch("t", partition, 6, 100).expect("fetch");
+        assert_eq!(batch[0].offset, 6);
+        assert_eq!(batch[0].value, vec![6]);
+        // Fetching below the start resumes at the retained head.
+        let batch = b.fetch("t", partition, 0, 100).expect("fetch");
+        assert_eq!(batch[0].offset, 4);
+        // New produce continues the offset sequence.
+        let (_, offset) = b.produce("t", Some(b"k"), vec![11]).expect("produce");
+        assert_eq!(offset, 11);
+    }
+
+    #[test]
+    fn truncating_everything_keeps_offset_continuity() {
+        let mut b = broker();
+        let (partition, _) = b.produce("t", Some(b"k"), vec![0]).expect("produce");
+        b.produce("t", Some(b"k"), vec![1]).expect("produce");
+        b.truncate_before("t", partition, 100).expect("truncate");
+        assert_eq!(b.log_start_offset("t", partition).expect("lso"), 2);
+        assert_eq!(b.log_end_offset("t", partition).expect("leo"), 2);
+        let (_, offset) = b.produce("t", Some(b"k"), vec![2]).expect("produce");
+        assert_eq!(offset, 2, "offsets never restart");
+    }
+
+    #[test]
+    fn fetch_max_bytes_bounds_batches() {
+        let mut b = broker();
+        let (partition, _) = b.produce("t", Some(b"k"), vec![0; 100]).expect("produce");
+        b.produce("t", Some(b"k"), vec![1; 100]).expect("produce");
+        b.produce("t", Some(b"k"), vec![2; 100]).expect("produce");
+        let batch = b.fetch_max_bytes("t", partition, 0, 250).expect("fetch");
+        assert_eq!(batch.len(), 2, "two 100-byte messages fit in 250 bytes");
+        // A single over-sized message is still returned (progress
+        // guarantee).
+        let batch = b.fetch_max_bytes("t", partition, 0, 10).expect("fetch");
+        assert_eq!(batch.len(), 1);
+    }
+
+    #[test]
+    fn log_end_offset_advances() {
+        let mut b = broker();
+        assert_eq!(b.log_end_offset("t", 0).expect("leo"), 0);
+        let (partition, _) = b.produce("t", Some(b"x"), vec![1]).expect("produce");
+        assert_eq!(b.log_end_offset("t", partition).expect("leo"), 1);
+    }
+}

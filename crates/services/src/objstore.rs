@@ -1,0 +1,440 @@
+//! An in-memory cloud object store standing in for the MinIO server used
+//! by the paper's `COSGet` and `COSPut` workloads.
+//!
+//! Semantics follow the S3 model: named buckets holding objects keyed by
+//! arbitrary string paths, with byte payloads, content types, and ETags
+//! (an FNV-1a content fingerprint here — the simulator only needs change
+//! detection, not cryptographic strength).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors from object-store operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObjectStoreError {
+    /// Bucket does not exist.
+    NoSuchBucket(String),
+    /// Bucket already exists.
+    BucketExists(String),
+    /// Object key not found in the bucket.
+    NoSuchKey(String),
+    /// Bucket still contains objects and cannot be removed.
+    BucketNotEmpty(String),
+}
+
+impl fmt::Display for ObjectStoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjectStoreError::NoSuchBucket(b) => write!(f, "no such bucket: {b}"),
+            ObjectStoreError::BucketExists(b) => write!(f, "bucket already exists: {b}"),
+            ObjectStoreError::NoSuchKey(k) => write!(f, "no such key: {k}"),
+            ObjectStoreError::BucketNotEmpty(b) => write!(f, "bucket not empty: {b}"),
+        }
+    }
+}
+
+impl std::error::Error for ObjectStoreError {}
+
+/// Metadata attached to a stored object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectMeta {
+    /// Payload size in bytes.
+    pub size: usize,
+    /// MIME content type supplied at put time.
+    pub content_type: String,
+    /// FNV-1a fingerprint of the payload.
+    pub etag: u64,
+}
+
+#[derive(Debug, Clone)]
+struct StoredObject {
+    data: Vec<u8>,
+    meta: ObjectMeta,
+}
+
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// The in-memory object store.
+///
+/// # Examples
+///
+/// ```
+/// use microfaas_services::objstore::ObjectStore;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut store = ObjectStore::new();
+/// store.create_bucket("media")?;
+/// store.put("media", "cat.jpg", b"\xff\xd8...".to_vec(), "image/jpeg")?;
+/// let (data, meta) = store.get("media", "cat.jpg")?;
+/// assert_eq!(meta.content_type, "image/jpeg");
+/// assert_eq!(data.len(), meta.size);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ObjectStore {
+    buckets: BTreeMap<String, BTreeMap<String, StoredObject>>,
+}
+
+impl ObjectStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ObjectStore { buckets: BTreeMap::new() }
+    }
+
+    /// Creates a bucket.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ObjectStoreError::BucketExists`] if the name is taken.
+    pub fn create_bucket(&mut self, bucket: &str) -> Result<(), ObjectStoreError> {
+        if self.buckets.contains_key(bucket) {
+            return Err(ObjectStoreError::BucketExists(bucket.to_string()));
+        }
+        self.buckets.insert(bucket.to_string(), BTreeMap::new());
+        Ok(())
+    }
+
+    /// Deletes an empty bucket.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ObjectStoreError::NoSuchBucket`] or
+    /// [`ObjectStoreError::BucketNotEmpty`].
+    pub fn delete_bucket(&mut self, bucket: &str) -> Result<(), ObjectStoreError> {
+        match self.buckets.get(bucket) {
+            None => Err(ObjectStoreError::NoSuchBucket(bucket.to_string())),
+            Some(objects) if !objects.is_empty() => {
+                Err(ObjectStoreError::BucketNotEmpty(bucket.to_string()))
+            }
+            Some(_) => {
+                self.buckets.remove(bucket);
+                Ok(())
+            }
+        }
+    }
+
+    /// Stores an object, overwriting any previous version. Returns the
+    /// new object's metadata.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ObjectStoreError::NoSuchBucket`] if the bucket is missing.
+    pub fn put(
+        &mut self,
+        bucket: &str,
+        key: &str,
+        data: Vec<u8>,
+        content_type: &str,
+    ) -> Result<ObjectMeta, ObjectStoreError> {
+        let objects = self
+            .buckets
+            .get_mut(bucket)
+            .ok_or_else(|| ObjectStoreError::NoSuchBucket(bucket.to_string()))?;
+        let meta = ObjectMeta {
+            size: data.len(),
+            content_type: content_type.to_string(),
+            etag: fnv1a(&data),
+        };
+        objects.insert(key.to_string(), StoredObject { data, meta: meta.clone() });
+        Ok(meta)
+    }
+
+    /// Fetches an object's payload and metadata.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ObjectStoreError::NoSuchBucket`] or
+    /// [`ObjectStoreError::NoSuchKey`].
+    pub fn get(&self, bucket: &str, key: &str) -> Result<(Vec<u8>, ObjectMeta), ObjectStoreError> {
+        let objects = self
+            .buckets
+            .get(bucket)
+            .ok_or_else(|| ObjectStoreError::NoSuchBucket(bucket.to_string()))?;
+        let object = objects
+            .get(key)
+            .ok_or_else(|| ObjectStoreError::NoSuchKey(key.to_string()))?;
+        Ok((object.data.clone(), object.meta.clone()))
+    }
+
+    /// Fetches only the metadata (an S3 `HEAD`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::get`].
+    pub fn head(&self, bucket: &str, key: &str) -> Result<ObjectMeta, ObjectStoreError> {
+        let objects = self
+            .buckets
+            .get(bucket)
+            .ok_or_else(|| ObjectStoreError::NoSuchBucket(bucket.to_string()))?;
+        objects
+            .get(key)
+            .map(|o| o.meta.clone())
+            .ok_or_else(|| ObjectStoreError::NoSuchKey(key.to_string()))
+    }
+
+    /// Removes an object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ObjectStoreError::NoSuchBucket`] or
+    /// [`ObjectStoreError::NoSuchKey`].
+    pub fn delete(&mut self, bucket: &str, key: &str) -> Result<(), ObjectStoreError> {
+        let objects = self
+            .buckets
+            .get_mut(bucket)
+            .ok_or_else(|| ObjectStoreError::NoSuchBucket(bucket.to_string()))?;
+        objects
+            .remove(key)
+            .map(|_| ())
+            .ok_or_else(|| ObjectStoreError::NoSuchKey(key.to_string()))
+    }
+
+    /// Lists keys in a bucket with the given prefix, in lexicographic
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ObjectStoreError::NoSuchBucket`] if the bucket is missing.
+    pub fn list(&self, bucket: &str, prefix: &str) -> Result<Vec<String>, ObjectStoreError> {
+        let objects = self
+            .buckets
+            .get(bucket)
+            .ok_or_else(|| ObjectStoreError::NoSuchBucket(bucket.to_string()))?;
+        Ok(objects
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect())
+    }
+
+    /// Server-side copy (S3 `CopyObject`): duplicates payload and
+    /// content type; the ETag is identical because it is
+    /// content-derived.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ObjectStoreError`] if the source is missing or the
+    /// destination bucket does not exist.
+    pub fn copy(
+        &mut self,
+        src_bucket: &str,
+        src_key: &str,
+        dst_bucket: &str,
+        dst_key: &str,
+    ) -> Result<ObjectMeta, ObjectStoreError> {
+        let (data, meta) = self.get(src_bucket, src_key)?;
+        self.put(dst_bucket, dst_key, data, &meta.content_type)
+    }
+
+    /// Lists like S3 with a delimiter: returns `(keys, common_prefixes)`
+    /// where keys are the objects directly under `prefix` and
+    /// common prefixes are the "subdirectories".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ObjectStoreError::NoSuchBucket`] if the bucket is
+    /// missing.
+    pub fn list_with_delimiter(
+        &self,
+        bucket: &str,
+        prefix: &str,
+        delimiter: char,
+    ) -> Result<(Vec<String>, Vec<String>), ObjectStoreError> {
+        let all = self.list(bucket, prefix)?;
+        let mut keys = Vec::new();
+        let mut prefixes: Vec<String> = Vec::new();
+        for key in all {
+            match key[prefix.len()..].find(delimiter) {
+                Some(pos) => {
+                    let common = key[..prefix.len() + pos + 1].to_string();
+                    if prefixes.last() != Some(&common) {
+                        prefixes.push(common);
+                    }
+                }
+                None => keys.push(key),
+            }
+        }
+        Ok((keys, prefixes))
+    }
+
+    /// Names of all buckets, sorted.
+    pub fn bucket_names(&self) -> Vec<&str> {
+        self.buckets.keys().map(String::as_str).collect()
+    }
+
+    /// Total bytes stored across all buckets.
+    pub fn total_bytes(&self) -> usize {
+        self.buckets
+            .values()
+            .flat_map(|objects| objects.values())
+            .map(|o| o.data.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_round_trip() {
+        let mut store = ObjectStore::new();
+        store.create_bucket("b").expect("create");
+        let meta = store
+            .put("b", "k", b"payload".to_vec(), "application/octet-stream")
+            .expect("put");
+        assert_eq!(meta.size, 7);
+        let (data, got_meta) = store.get("b", "k").expect("get");
+        assert_eq!(data, b"payload");
+        assert_eq!(got_meta, meta);
+    }
+
+    #[test]
+    fn etag_changes_with_content() {
+        let mut store = ObjectStore::new();
+        store.create_bucket("b").expect("create");
+        let m1 = store.put("b", "k", b"v1".to_vec(), "text/plain").expect("put");
+        let m2 = store.put("b", "k", b"v2".to_vec(), "text/plain").expect("put");
+        assert_ne!(m1.etag, m2.etag);
+        let m3 = store.put("b", "k", b"v1".to_vec(), "text/plain").expect("put");
+        assert_eq!(m1.etag, m3.etag, "etag is content-determined");
+    }
+
+    #[test]
+    fn head_returns_meta_without_data() {
+        let mut store = ObjectStore::new();
+        store.create_bucket("b").expect("create");
+        store.put("b", "k", vec![0u8; 1000], "video/mp4").expect("put");
+        let meta = store.head("b", "k").expect("head");
+        assert_eq!(meta.size, 1000);
+        assert_eq!(meta.content_type, "video/mp4");
+    }
+
+    #[test]
+    fn missing_bucket_and_key_errors() {
+        let mut store = ObjectStore::new();
+        assert_eq!(
+            store.get("ghost", "k"),
+            Err(ObjectStoreError::NoSuchBucket("ghost".into()))
+        );
+        store.create_bucket("b").expect("create");
+        assert_eq!(store.get("b", "k"), Err(ObjectStoreError::NoSuchKey("k".into())));
+        assert_eq!(store.delete("b", "k"), Err(ObjectStoreError::NoSuchKey("k".into())));
+    }
+
+    #[test]
+    fn duplicate_bucket_rejected() {
+        let mut store = ObjectStore::new();
+        store.create_bucket("b").expect("create");
+        assert_eq!(
+            store.create_bucket("b"),
+            Err(ObjectStoreError::BucketExists("b".into()))
+        );
+    }
+
+    #[test]
+    fn delete_bucket_requires_empty() {
+        let mut store = ObjectStore::new();
+        store.create_bucket("b").expect("create");
+        store.put("b", "k", vec![1], "x").expect("put");
+        assert_eq!(
+            store.delete_bucket("b"),
+            Err(ObjectStoreError::BucketNotEmpty("b".into()))
+        );
+        store.delete("b", "k").expect("delete object");
+        store.delete_bucket("b").expect("delete bucket");
+        assert!(store.bucket_names().is_empty());
+    }
+
+    #[test]
+    fn list_filters_by_prefix_sorted() {
+        let mut store = ObjectStore::new();
+        store.create_bucket("b").expect("create");
+        for key in ["logs/2022/a", "logs/2021/z", "img/cat", "logs/2022/b"] {
+            store.put("b", key, vec![], "x").expect("put");
+        }
+        assert_eq!(
+            store.list("b", "logs/2022/").expect("list"),
+            vec!["logs/2022/a".to_string(), "logs/2022/b".to_string()]
+        );
+        assert_eq!(store.list("b", "").expect("list").len(), 4);
+        assert!(store.list("b", "nope").expect("list").is_empty());
+    }
+
+    #[test]
+    fn copy_preserves_content_and_etag() {
+        let mut store = ObjectStore::new();
+        store.create_bucket("src").expect("create");
+        store.create_bucket("dst").expect("create");
+        let original = store.put("src", "a", b"payload".to_vec(), "text/plain").expect("put");
+        let copied = store.copy("src", "a", "dst", "b").expect("copy");
+        assert_eq!(copied.etag, original.etag);
+        let (data, meta) = store.get("dst", "b").expect("get");
+        assert_eq!(data, b"payload");
+        assert_eq!(meta.content_type, "text/plain");
+        // Source remains.
+        assert!(store.get("src", "a").is_ok());
+    }
+
+    #[test]
+    fn copy_missing_source_errors() {
+        let mut store = ObjectStore::new();
+        store.create_bucket("b").expect("create");
+        assert_eq!(
+            store.copy("b", "ghost", "b", "x"),
+            Err(ObjectStoreError::NoSuchKey("ghost".into()))
+        );
+    }
+
+    #[test]
+    fn list_with_delimiter_splits_directories() {
+        let mut store = ObjectStore::new();
+        store.create_bucket("b").expect("create");
+        for key in [
+            "logs/2021/jan.txt",
+            "logs/2021/feb.txt",
+            "logs/2022/mar.txt",
+            "logs/readme",
+            "logs/notes",
+        ] {
+            store.put("b", key, vec![], "x").expect("put");
+        }
+        let (keys, prefixes) = store
+            .list_with_delimiter("b", "logs/", '/')
+            .expect("list");
+        assert_eq!(keys, vec!["logs/notes".to_string(), "logs/readme".to_string()]);
+        assert_eq!(
+            prefixes,
+            vec!["logs/2021/".to_string(), "logs/2022/".to_string()]
+        );
+    }
+
+    #[test]
+    fn list_with_delimiter_at_root() {
+        let mut store = ObjectStore::new();
+        store.create_bucket("b").expect("create");
+        store.put("b", "top", vec![], "x").expect("put");
+        store.put("b", "dir/nested", vec![], "x").expect("put");
+        let (keys, prefixes) = store.list_with_delimiter("b", "", '/').expect("list");
+        assert_eq!(keys, vec!["top".to_string()]);
+        assert_eq!(prefixes, vec!["dir/".to_string()]);
+    }
+
+    #[test]
+    fn total_bytes_accounts_overwrites() {
+        let mut store = ObjectStore::new();
+        store.create_bucket("b").expect("create");
+        store.put("b", "k", vec![0; 100], "x").expect("put");
+        assert_eq!(store.total_bytes(), 100);
+        store.put("b", "k", vec![0; 40], "x").expect("put");
+        assert_eq!(store.total_bytes(), 40);
+    }
+}

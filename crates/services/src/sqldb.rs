@@ -1,0 +1,1075 @@
+//! A small in-memory SQL engine standing in for the PostgreSQL server used
+//! by the paper's `SQLSelect` and `SQLUpdate` workloads.
+//!
+//! Supported statements:
+//!
+//! * `CREATE TABLE name (col TYPE, …)` with types `INTEGER`, `REAL`, `TEXT`
+//! * `INSERT INTO name VALUES (…), (…)`
+//! * `SELECT *|COUNT(*)|col,… FROM name [WHERE cond [AND cond…]]
+//!   [ORDER BY col [ASC|DESC]] [LIMIT n]`
+//! * `UPDATE name SET col = literal, … [WHERE …]`
+//! * `DELETE FROM name [WHERE …]`
+//!
+//! Comparison operators: `=`, `!=`, `<>`, `<`, `<=`, `>`, `>=`;
+//! conditions combine with `AND`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A SQL value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlValue {
+    /// 64-bit integer.
+    Integer(i64),
+    /// Double-precision float.
+    Real(f64),
+    /// UTF-8 text.
+    Text(String),
+    /// SQL NULL.
+    Null,
+}
+
+impl fmt::Display for SqlValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlValue::Integer(n) => write!(f, "{n}"),
+            SqlValue::Real(x) => write!(f, "{x}"),
+            SqlValue::Text(s) => write!(f, "{s}"),
+            SqlValue::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+/// Column data types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SqlType {
+    /// 64-bit integer column.
+    Integer,
+    /// Double-precision column.
+    Real,
+    /// Text column.
+    Text,
+}
+
+impl fmt::Display for SqlType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlType::Integer => write!(f, "INTEGER"),
+            SqlType::Real => write!(f, "REAL"),
+            SqlType::Text => write!(f, "TEXT"),
+        }
+    }
+}
+
+/// Errors produced by parsing or executing SQL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Syntax error with a human-readable description.
+    Syntax(String),
+    /// Table does not exist.
+    NoSuchTable(String),
+    /// Table already exists.
+    TableExists(String),
+    /// Column does not exist in the table.
+    NoSuchColumn(String),
+    /// Row arity or value type does not match the schema.
+    TypeMismatch(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Syntax(s) => write!(f, "syntax error: {s}"),
+            SqlError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            SqlError::TableExists(t) => write!(f, "table already exists: {t}"),
+            SqlError::NoSuchColumn(c) => write!(f, "no such column: {c}"),
+            SqlError::TypeMismatch(s) => write!(f, "type mismatch: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// Result of executing a statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutput {
+    /// `SELECT` results: column names and rows.
+    Rows {
+        /// Projected column names.
+        columns: Vec<String>,
+        /// Result rows in table order.
+        rows: Vec<Vec<SqlValue>>,
+    },
+    /// Row count affected by INSERT/UPDATE/DELETE, or 0 for CREATE.
+    Affected(usize),
+}
+
+// --------------------------------------------------------------------------
+// Tokenizer
+// --------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Number(String),
+    Str(String),
+    Symbol(char),
+    Op(String),
+}
+
+fn tokenize(sql: &str) -> Result<Vec<Token>, SqlError> {
+    let mut tokens = Vec::new();
+    let bytes = sql.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' | ')' | ',' | ';' | '*' => {
+                tokens.push(Token::Symbol(c));
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Op("=".into()));
+                i += 1;
+            }
+            '<' | '>' | '!' => {
+                let mut op = String::from(c);
+                if i + 1 < bytes.len() && (bytes[i + 1] == b'=' || (c == '<' && bytes[i + 1] == b'>'))
+                {
+                    op.push(bytes[i + 1] as char);
+                    i += 1;
+                }
+                if op == "!" {
+                    return Err(SqlError::Syntax("dangling '!'".into()));
+                }
+                tokens.push(Token::Op(op));
+                i += 1;
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(SqlError::Syntax("unterminated string literal".into()));
+                    }
+                    if bytes[i] == b'\'' {
+                        // Doubled quote escapes a quote.
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        s.push(bytes[i] as char);
+                        i += 1;
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            '0'..='9' | '-' | '.' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len()
+                    && matches!(bytes[i] as char, '0'..='9' | '.' | 'e' | 'E' | '+' | '-')
+                {
+                    // Stop '-' from gluing onto a following token unless it
+                    // follows an exponent marker.
+                    if matches!(bytes[i] as char, '+' | '-')
+                        && !matches!(bytes[i - 1] as char, 'e' | 'E')
+                    {
+                        break;
+                    }
+                    i += 1;
+                }
+                tokens.push(Token::Number(sql[start..i].to_string()));
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && matches!(bytes[i] as char, 'a'..='z' | 'A'..='Z' | '0'..='9' | '_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(sql[start..i].to_string()));
+            }
+            other => return Err(SqlError::Syntax(format!("unexpected character '{other}'"))),
+        }
+    }
+    Ok(tokens)
+}
+
+// --------------------------------------------------------------------------
+// Parser
+// --------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+struct Condition {
+    column: String,
+    op: String,
+    value: SqlValue,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Projection {
+    Star,
+    Columns(Vec<String>),
+    CountStar,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Statement {
+    Create {
+        table: String,
+        columns: Vec<(String, SqlType)>,
+    },
+    Insert {
+        table: String,
+        rows: Vec<Vec<SqlValue>>,
+    },
+    Select {
+        table: String,
+        projection: Projection,
+        conditions: Vec<Condition>, // implicit AND
+        order_by: Option<(String, bool)>, // (column, descending)
+        limit: Option<usize>,
+    },
+    Update {
+        table: String,
+        assignments: Vec<(String, SqlValue)>,
+        conditions: Vec<Condition>,
+    },
+    Delete {
+        table: String,
+        conditions: Vec<Condition>,
+    },
+}
+
+struct SqlParser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl SqlParser {
+    fn parse(sql: &str) -> Result<Statement, SqlError> {
+        let mut parser = SqlParser { tokens: tokenize(sql)?, pos: 0 };
+        let statement = parser.statement()?;
+        // Optional trailing semicolon.
+        if parser.peek() == Some(&Token::Symbol(';')) {
+            parser.pos += 1;
+        }
+        if parser.pos != parser.tokens.len() {
+            return Err(SqlError::Syntax("trailing tokens after statement".into()));
+        }
+        Ok(statement)
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Token, SqlError> {
+        let token = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| SqlError::Syntax("unexpected end of statement".into()))?;
+        self.pos += 1;
+        Ok(token)
+    }
+
+    fn keyword(&mut self, word: &str) -> Result<(), SqlError> {
+        match self.next()? {
+            Token::Ident(s) if s.eq_ignore_ascii_case(word) => Ok(()),
+            other => Err(SqlError::Syntax(format!("expected {word}, found {other:?}"))),
+        }
+    }
+
+    fn symbol(&mut self, c: char) -> Result<(), SqlError> {
+        match self.next()? {
+            Token::Symbol(s) if s == c => Ok(()),
+            other => Err(SqlError::Syntax(format!("expected '{c}', found {other:?}"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SqlError> {
+        match self.next()? {
+            Token::Ident(s) => Ok(s),
+            other => Err(SqlError::Syntax(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn literal(&mut self) -> Result<SqlValue, SqlError> {
+        match self.next()? {
+            Token::Number(n) => {
+                if n.contains(['.', 'e', 'E']) {
+                    n.parse()
+                        .map(SqlValue::Real)
+                        .map_err(|_| SqlError::Syntax(format!("bad number '{n}'")))
+                } else {
+                    n.parse()
+                        .map(SqlValue::Integer)
+                        .map_err(|_| SqlError::Syntax(format!("bad integer '{n}'")))
+                }
+            }
+            Token::Str(s) => Ok(SqlValue::Text(s)),
+            Token::Ident(s) if s.eq_ignore_ascii_case("null") => Ok(SqlValue::Null),
+            other => Err(SqlError::Syntax(format!("expected literal, found {other:?}"))),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement, SqlError> {
+        match self.next()? {
+            Token::Ident(word) if word.eq_ignore_ascii_case("create") => self.create(),
+            Token::Ident(word) if word.eq_ignore_ascii_case("insert") => self.insert(),
+            Token::Ident(word) if word.eq_ignore_ascii_case("select") => self.select(),
+            Token::Ident(word) if word.eq_ignore_ascii_case("update") => self.update(),
+            Token::Ident(word) if word.eq_ignore_ascii_case("delete") => self.delete(),
+            other => Err(SqlError::Syntax(format!("unknown statement {other:?}"))),
+        }
+    }
+
+    fn create(&mut self) -> Result<Statement, SqlError> {
+        self.keyword("table")?;
+        let table = self.ident()?;
+        self.symbol('(')?;
+        let mut columns = Vec::new();
+        loop {
+            let name = self.ident()?;
+            let type_name = self.ident()?;
+            let ty = match type_name.to_ascii_uppercase().as_str() {
+                "INTEGER" | "INT" | "BIGINT" => SqlType::Integer,
+                "REAL" | "FLOAT" | "DOUBLE" => SqlType::Real,
+                "TEXT" | "VARCHAR" => SqlType::Text,
+                other => return Err(SqlError::Syntax(format!("unknown type '{other}'"))),
+            };
+            columns.push((name, ty));
+            match self.next()? {
+                Token::Symbol(',') => continue,
+                Token::Symbol(')') => break,
+                other => return Err(SqlError::Syntax(format!("expected ',' or ')', found {other:?}"))),
+            }
+        }
+        Ok(Statement::Create { table, columns })
+    }
+
+    fn insert(&mut self) -> Result<Statement, SqlError> {
+        self.keyword("into")?;
+        let table = self.ident()?;
+        self.keyword("values")?;
+        let mut rows = Vec::new();
+        loop {
+            self.symbol('(')?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.literal()?);
+                match self.next()? {
+                    Token::Symbol(',') => continue,
+                    Token::Symbol(')') => break,
+                    other => {
+                        return Err(SqlError::Syntax(format!(
+                            "expected ',' or ')', found {other:?}"
+                        )))
+                    }
+                }
+            }
+            rows.push(row);
+            if self.peek() == Some(&Token::Symbol(',')) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(Statement::Insert { table, rows })
+    }
+
+    fn select(&mut self) -> Result<Statement, SqlError> {
+        let projection = if self.peek() == Some(&Token::Symbol('*')) {
+            self.pos += 1;
+            Projection::Star
+        } else if self.peek_keyword("count") {
+            self.pos += 1;
+            self.symbol('(')?;
+            self.symbol('*')?;
+            self.symbol(')')?;
+            Projection::CountStar
+        } else {
+            let mut cols = vec![self.ident()?];
+            while self.peek() == Some(&Token::Symbol(',')) {
+                self.pos += 1;
+                cols.push(self.ident()?);
+            }
+            Projection::Columns(cols)
+        };
+        self.keyword("from")?;
+        let table = self.ident()?;
+        let conditions = self.where_clause()?;
+        let order_by = if self.peek_keyword("order") {
+            self.pos += 1;
+            self.keyword("by")?;
+            let column = self.ident()?;
+            let descending = if self.peek_keyword("desc") {
+                self.pos += 1;
+                true
+            } else {
+                if self.peek_keyword("asc") {
+                    self.pos += 1;
+                }
+                false
+            };
+            Some((column, descending))
+        } else {
+            None
+        };
+        let limit = if self.peek_keyword("limit") {
+            self.pos += 1;
+            match self.literal()? {
+                SqlValue::Integer(n) if n >= 0 => Some(n as usize),
+                other => {
+                    return Err(SqlError::Syntax(format!(
+                        "LIMIT expects a non-negative integer, got {other:?}"
+                    )))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(Statement::Select { table, projection, conditions, order_by, limit })
+    }
+
+    fn peek_keyword(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(word))
+    }
+
+    fn update(&mut self) -> Result<Statement, SqlError> {
+        let table = self.ident()?;
+        self.keyword("set")?;
+        let mut assignments = Vec::new();
+        loop {
+            let column = self.ident()?;
+            match self.next()? {
+                Token::Op(op) if op == "=" => {}
+                other => return Err(SqlError::Syntax(format!("expected '=', found {other:?}"))),
+            }
+            assignments.push((column, self.literal()?));
+            if self.peek() == Some(&Token::Symbol(',')) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let conditions = self.where_clause()?;
+        Ok(Statement::Update { table, assignments, conditions })
+    }
+
+    fn delete(&mut self) -> Result<Statement, SqlError> {
+        self.keyword("from")?;
+        let table = self.ident()?;
+        let conditions = self.where_clause()?;
+        Ok(Statement::Delete { table, conditions })
+    }
+
+    fn where_clause(&mut self) -> Result<Vec<Condition>, SqlError> {
+        let mut conditions = Vec::new();
+        if self.peek_keyword("where") {
+            self.pos += 1;
+            loop {
+                let column = self.ident()?;
+                let op = match self.next()? {
+                    Token::Op(op) => op,
+                    other => {
+                        return Err(SqlError::Syntax(format!(
+                            "expected comparison operator, found {other:?}"
+                        )))
+                    }
+                };
+                let value = self.literal()?;
+                conditions.push(Condition { column, op, value });
+                if self.peek_keyword("and") {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        Ok(conditions)
+    }
+}
+
+// --------------------------------------------------------------------------
+// Executor
+// --------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Table {
+    columns: Vec<(String, SqlType)>,
+    rows: Vec<Vec<SqlValue>>,
+}
+
+impl Table {
+    fn column_index(&self, name: &str) -> Result<usize, SqlError> {
+        self.columns
+            .iter()
+            .position(|(c, _)| c.eq_ignore_ascii_case(name))
+            .ok_or_else(|| SqlError::NoSuchColumn(name.to_string()))
+    }
+}
+
+/// The in-memory database.
+///
+/// # Examples
+///
+/// ```
+/// use microfaas_services::sqldb::{Database, QueryOutput, SqlValue};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut db = Database::new();
+/// db.execute("CREATE TABLE users (id INTEGER, name TEXT)")?;
+/// db.execute("INSERT INTO users VALUES (1, 'ada'), (2, 'grace')")?;
+/// let out = db.execute("SELECT name FROM users WHERE id = 2")?;
+/// assert_eq!(
+///     out,
+///     QueryOutput::Rows {
+///         columns: vec!["name".to_string()],
+///         rows: vec![vec![SqlValue::Text("grace".to_string())]],
+///     }
+/// );
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Database { tables: BTreeMap::new() }
+    }
+
+    /// Parses and executes one SQL statement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SqlError`] for syntax errors, unknown tables or columns,
+    /// and schema violations.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryOutput, SqlError> {
+        match SqlParser::parse(sql)? {
+            Statement::Create { table, columns } => {
+                if self.tables.contains_key(&table) {
+                    return Err(SqlError::TableExists(table));
+                }
+                self.tables.insert(table, Table { columns, rows: Vec::new() });
+                Ok(QueryOutput::Affected(0))
+            }
+            Statement::Insert { table, rows } => {
+                let t = self
+                    .tables
+                    .get_mut(&table)
+                    .ok_or(SqlError::NoSuchTable(table))?;
+                for row in &rows {
+                    if row.len() != t.columns.len() {
+                        return Err(SqlError::TypeMismatch(format!(
+                            "expected {} values, got {}",
+                            t.columns.len(),
+                            row.len()
+                        )));
+                    }
+                    for (value, (name, ty)) in row.iter().zip(&t.columns) {
+                        check_type(value, *ty, name)?;
+                    }
+                }
+                let count = rows.len();
+                t.rows.extend(rows);
+                Ok(QueryOutput::Affected(count))
+            }
+            Statement::Select { table, projection, conditions, order_by, limit } => {
+                let t = self
+                    .tables
+                    .get(&table)
+                    .ok_or(SqlError::NoSuchTable(table))?;
+                let predicate = compile_conditions(t, &conditions)?;
+                let mut matching: Vec<&Vec<SqlValue>> =
+                    t.rows.iter().filter(|row| predicate(row)).collect();
+                if let Some((column, descending)) = &order_by {
+                    let idx = t.column_index(column)?;
+                    matching.sort_by(|a, b| {
+                        let ordering = compare(&a[idx], &b[idx])
+                            .unwrap_or(std::cmp::Ordering::Equal);
+                        if *descending { ordering.reverse() } else { ordering }
+                    });
+                }
+                if let Some(limit) = limit {
+                    matching.truncate(limit);
+                }
+                if projection == Projection::CountStar {
+                    return Ok(QueryOutput::Rows {
+                        columns: vec!["count".to_string()],
+                        rows: vec![vec![SqlValue::Integer(matching.len() as i64)]],
+                    });
+                }
+                let indices: Vec<usize> = match &projection {
+                    Projection::Star => (0..t.columns.len()).collect(),
+                    Projection::Columns(cols) => cols
+                        .iter()
+                        .map(|c| t.column_index(c))
+                        .collect::<Result<_, _>>()?,
+                    Projection::CountStar => unreachable!("handled above"),
+                };
+                let rows: Vec<Vec<SqlValue>> = matching
+                    .into_iter()
+                    .map(|row| indices.iter().map(|&i| row[i].clone()).collect())
+                    .collect();
+                let columns = indices
+                    .iter()
+                    .map(|&i| t.columns[i].0.clone())
+                    .collect();
+                Ok(QueryOutput::Rows { columns, rows })
+            }
+            Statement::Update { table, assignments, conditions } => {
+                let t = self
+                    .tables
+                    .get_mut(&table)
+                    .ok_or(SqlError::NoSuchTable(table))?;
+                let compiled: Vec<(usize, SqlValue)> = assignments
+                    .into_iter()
+                    .map(|(col, value)| {
+                        let idx = t.column_index(&col)?;
+                        check_type(&value, t.columns[idx].1, &col)?;
+                        Ok((idx, value))
+                    })
+                    .collect::<Result<_, SqlError>>()?;
+                let predicate = compile_conditions(t, &conditions)?;
+                let mut affected = 0;
+                // Two passes keep the borrow checker happy: find then write.
+                let matching: Vec<usize> = t
+                    .rows
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, row)| predicate(row))
+                    .map(|(i, _)| i)
+                    .collect();
+                for i in matching {
+                    for (idx, value) in &compiled {
+                        t.rows[i][*idx] = value.clone();
+                    }
+                    affected += 1;
+                }
+                Ok(QueryOutput::Affected(affected))
+            }
+            Statement::Delete { table, conditions } => {
+                let t = self
+                    .tables
+                    .get_mut(&table)
+                    .ok_or(SqlError::NoSuchTable(table))?;
+                let predicate = compile_conditions(t, &conditions)?;
+                let before = t.rows.len();
+                t.rows.retain(|row| !predicate(row));
+                Ok(QueryOutput::Affected(before - t.rows.len()))
+            }
+        }
+    }
+
+    /// Names of existing tables, sorted.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// Number of rows in `table`, if it exists.
+    pub fn row_count(&self, table: &str) -> Option<usize> {
+        self.tables.get(table).map(|t| t.rows.len())
+    }
+
+    /// Wire entry point: executes the UTF-8 SQL in `request` and renders
+    /// the outcome as a tab-separated byte payload (rows terminated by
+    /// `\n`), or an `!ERROR:` line.
+    pub fn handle_raw(&mut self, request: &[u8]) -> Vec<u8> {
+        let sql = match std::str::from_utf8(request) {
+            Ok(s) => s,
+            Err(_) => return b"!ERROR: request is not utf-8".to_vec(),
+        };
+        match self.execute(sql) {
+            Ok(QueryOutput::Affected(n)) => format!("OK {n}\n").into_bytes(),
+            Ok(QueryOutput::Rows { columns, rows }) => {
+                let mut out = String::new();
+                out.push_str(&columns.join("\t"));
+                out.push('\n');
+                for row in rows {
+                    let fields: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                    out.push_str(&fields.join("\t"));
+                    out.push('\n');
+                }
+                out.into_bytes()
+            }
+            Err(e) => format!("!ERROR: {e}\n").into_bytes(),
+        }
+    }
+}
+
+fn check_type(value: &SqlValue, ty: SqlType, column: &str) -> Result<(), SqlError> {
+    let ok = matches!(
+        (value, ty),
+        (SqlValue::Null, _)
+            | (SqlValue::Integer(_), SqlType::Integer)
+            | (SqlValue::Integer(_), SqlType::Real)
+            | (SqlValue::Real(_), SqlType::Real)
+            | (SqlValue::Text(_), SqlType::Text)
+    );
+    if ok {
+        Ok(())
+    } else {
+        Err(SqlError::TypeMismatch(format!(
+            "column '{column}' has type {ty}, got {value:?}"
+        )))
+    }
+}
+
+/// A compiled row predicate.
+type RowPredicate = Box<dyn Fn(&[SqlValue]) -> bool>;
+
+fn compile_conditions(
+    table: &Table,
+    conditions: &[Condition],
+) -> Result<RowPredicate, SqlError> {
+    let compiled: Vec<(usize, String, SqlValue)> = conditions
+        .iter()
+        .map(|cond| {
+            Ok((
+                table.column_index(&cond.column)?,
+                cond.op.clone(),
+                cond.value.clone(),
+            ))
+        })
+        .collect::<Result<_, SqlError>>()?;
+    Ok(Box::new(move |row: &[SqlValue]| {
+        compiled.iter().all(|(idx, op, target)| {
+            let ordering = compare(&row[*idx], target);
+            match (op.as_str(), ordering) {
+                (_, None) => false, // NULL never compares true
+                ("=", Some(o)) => o == std::cmp::Ordering::Equal,
+                ("!=" | "<>", Some(o)) => o != std::cmp::Ordering::Equal,
+                ("<", Some(o)) => o == std::cmp::Ordering::Less,
+                ("<=", Some(o)) => o != std::cmp::Ordering::Greater,
+                (">", Some(o)) => o == std::cmp::Ordering::Greater,
+                (">=", Some(o)) => o != std::cmp::Ordering::Less,
+                _ => false,
+            }
+        })
+    }))
+}
+
+fn compare(a: &SqlValue, b: &SqlValue) -> Option<std::cmp::Ordering> {
+    match (a, b) {
+        (SqlValue::Integer(x), SqlValue::Integer(y)) => Some(x.cmp(y)),
+        (SqlValue::Real(x), SqlValue::Real(y)) => x.partial_cmp(y),
+        (SqlValue::Integer(x), SqlValue::Real(y)) => (*x as f64).partial_cmp(y),
+        (SqlValue::Real(x), SqlValue::Integer(y)) => x.partial_cmp(&(*y as f64)),
+        (SqlValue::Text(x), SqlValue::Text(y)) => Some(x.cmp(y)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded() -> Database {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE users (id INTEGER, name TEXT, score REAL)")
+            .expect("create");
+        db.execute(
+            "INSERT INTO users VALUES (1, 'ada', 9.5), (2, 'grace', 8.0), (3, 'alan', 9.5)",
+        )
+        .expect("insert");
+        db
+    }
+
+    #[test]
+    fn create_insert_select_star() {
+        let mut db = seeded();
+        let out = db.execute("SELECT * FROM users").expect("select");
+        match out {
+            QueryOutput::Rows { columns, rows } => {
+                assert_eq!(columns, vec!["id", "name", "score"]);
+                assert_eq!(rows.len(), 3);
+            }
+            other => panic!("expected rows, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn projection_selects_columns_in_order() {
+        let mut db = seeded();
+        let out = db.execute("SELECT score, id FROM users WHERE name = 'ada'").expect("q");
+        assert_eq!(
+            out,
+            QueryOutput::Rows {
+                columns: vec!["score".into(), "id".into()],
+                rows: vec![vec![SqlValue::Real(9.5), SqlValue::Integer(1)]],
+            }
+        );
+    }
+
+    #[test]
+    fn where_operators() {
+        let mut db = seeded();
+        let count = |db: &mut Database, sql: &str| match db.execute(sql).expect("q") {
+            QueryOutput::Rows { rows, .. } => rows.len(),
+            _ => panic!("expected rows"),
+        };
+        assert_eq!(count(&mut db, "SELECT * FROM users WHERE id = 2"), 1);
+        assert_eq!(count(&mut db, "SELECT * FROM users WHERE id != 2"), 2);
+        assert_eq!(count(&mut db, "SELECT * FROM users WHERE id <> 2"), 2);
+        assert_eq!(count(&mut db, "SELECT * FROM users WHERE id < 3"), 2);
+        assert_eq!(count(&mut db, "SELECT * FROM users WHERE id <= 3"), 3);
+        assert_eq!(count(&mut db, "SELECT * FROM users WHERE id > 1"), 2);
+        assert_eq!(count(&mut db, "SELECT * FROM users WHERE id >= 3"), 1);
+        assert_eq!(count(&mut db, "SELECT * FROM users WHERE score = 9.5"), 2);
+        assert_eq!(count(&mut db, "SELECT * FROM users WHERE name > 'alan'"), 1);
+    }
+
+    #[test]
+    fn update_with_condition() {
+        let mut db = seeded();
+        let out = db
+            .execute("UPDATE users SET score = 10.0 WHERE score = 9.5")
+            .expect("update");
+        assert_eq!(out, QueryOutput::Affected(2));
+        let out = db.execute("SELECT * FROM users WHERE score = 10.0").expect("q");
+        assert!(matches!(out, QueryOutput::Rows { rows, .. } if rows.len() == 2));
+    }
+
+    #[test]
+    fn update_all_rows_without_where() {
+        let mut db = seeded();
+        let out = db.execute("UPDATE users SET score = 0").expect("update");
+        assert_eq!(out, QueryOutput::Affected(3));
+    }
+
+    #[test]
+    fn update_multiple_assignments() {
+        let mut db = seeded();
+        db.execute("UPDATE users SET name = 'x', score = 1.0 WHERE id = 1")
+            .expect("update");
+        let out = db.execute("SELECT name, score FROM users WHERE id = 1").expect("q");
+        assert_eq!(
+            out,
+            QueryOutput::Rows {
+                columns: vec!["name".into(), "score".into()],
+                rows: vec![vec![SqlValue::Text("x".into()), SqlValue::Real(1.0)]],
+            }
+        );
+    }
+
+    #[test]
+    fn delete_rows() {
+        let mut db = seeded();
+        assert_eq!(
+            db.execute("DELETE FROM users WHERE id > 1").expect("delete"),
+            QueryOutput::Affected(2)
+        );
+        assert_eq!(db.row_count("users"), Some(1));
+    }
+
+    #[test]
+    fn null_handling() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (a INTEGER)").expect("create");
+        db.execute("INSERT INTO t VALUES (NULL), (1)").expect("insert");
+        // NULL never matches a comparison.
+        let out = db.execute("SELECT * FROM t WHERE a = 1").expect("q");
+        assert!(matches!(out, QueryOutput::Rows { rows, .. } if rows.len() == 1));
+        let out = db.execute("SELECT * FROM t WHERE a != 1").expect("q");
+        assert!(matches!(out, QueryOutput::Rows { rows, .. } if rows.is_empty()));
+    }
+
+    #[test]
+    fn string_escaping() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (s TEXT)").expect("create");
+        db.execute("INSERT INTO t VALUES ('it''s')").expect("insert");
+        let out = db.execute("SELECT s FROM t").expect("q");
+        assert_eq!(
+            out,
+            QueryOutput::Rows {
+                columns: vec!["s".into()],
+                rows: vec![vec![SqlValue::Text("it's".into())]],
+            }
+        );
+    }
+
+    #[test]
+    fn negative_and_float_literals() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (a INTEGER, b REAL)").expect("create");
+        db.execute("INSERT INTO t VALUES (-5, -2.5)").expect("insert");
+        let out = db.execute("SELECT * FROM t WHERE a < 0").expect("q");
+        assert!(matches!(out, QueryOutput::Rows { rows, .. } if rows.len() == 1));
+    }
+
+    #[test]
+    fn integer_accepted_into_real_column() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (x REAL)").expect("create");
+        db.execute("INSERT INTO t VALUES (3)").expect("insert");
+    }
+
+    #[test]
+    fn error_cases() {
+        let mut db = seeded();
+        assert!(matches!(
+            db.execute("SELECT * FROM ghosts"),
+            Err(SqlError::NoSuchTable(t)) if t == "ghosts"
+        ));
+        assert!(matches!(
+            db.execute("SELECT ghost FROM users"),
+            Err(SqlError::NoSuchColumn(_))
+        ));
+        assert!(matches!(
+            db.execute("CREATE TABLE users (id INTEGER)"),
+            Err(SqlError::TableExists(_))
+        ));
+        assert!(matches!(
+            db.execute("INSERT INTO users VALUES (1)"),
+            Err(SqlError::TypeMismatch(_))
+        ));
+        assert!(matches!(
+            db.execute("INSERT INTO users VALUES ('x', 'y', 'z')"),
+            Err(SqlError::TypeMismatch(_))
+        ));
+        assert!(db.execute("SELEC * FROM users").is_err());
+        assert!(db.execute("SELECT * FROM users WHERE").is_err());
+        assert!(db.execute("").is_err());
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let mut db = Database::new();
+        db.execute("create table T (A integer)").expect("create");
+        db.execute("insert into T values (7)").expect("insert");
+        let out = db.execute("select a from T where A = 7").expect("q");
+        assert!(matches!(out, QueryOutput::Rows { rows, .. } if rows.len() == 1));
+    }
+
+    #[test]
+    fn handle_raw_renders_rows_and_errors() {
+        let mut db = seeded();
+        let out = db.handle_raw(b"SELECT id, name FROM users WHERE id = 1");
+        assert_eq!(out, b"id\tname\n1\tada\n");
+        let out = db.handle_raw(b"UPDATE users SET score = 1 WHERE id = 1");
+        assert_eq!(out, b"OK 1\n");
+        let out = db.handle_raw(b"DROP TABLE users");
+        assert!(out.starts_with(b"!ERROR:"));
+    }
+
+    #[test]
+    fn trailing_semicolon_accepted() {
+        let mut db = seeded();
+        assert!(db.execute("SELECT * FROM users;").is_ok());
+    }
+
+    #[test]
+    fn order_by_ascending_and_descending() {
+        let mut db = seeded();
+        let names = |out: QueryOutput| match out {
+            QueryOutput::Rows { rows, .. } => rows
+                .into_iter()
+                .map(|r| r[0].to_string())
+                .collect::<Vec<_>>(),
+            _ => panic!("expected rows"),
+        };
+        let asc = names(db.execute("SELECT name FROM users ORDER BY name").expect("q"));
+        assert_eq!(asc, vec!["ada", "alan", "grace"]);
+        let desc = names(
+            db.execute("SELECT name FROM users ORDER BY name DESC").expect("q"),
+        );
+        assert_eq!(desc, vec!["grace", "alan", "ada"]);
+        let by_id = names(
+            db.execute("SELECT name FROM users ORDER BY id ASC").expect("q"),
+        );
+        assert_eq!(by_id, vec!["ada", "grace", "alan"]);
+    }
+
+    #[test]
+    fn limit_truncates_results() {
+        let mut db = seeded();
+        let out = db
+            .execute("SELECT * FROM users ORDER BY id LIMIT 2")
+            .expect("q");
+        assert!(matches!(out, QueryOutput::Rows { rows, .. } if rows.len() == 2));
+        let out = db.execute("SELECT * FROM users LIMIT 0").expect("q");
+        assert!(matches!(out, QueryOutput::Rows { rows, .. } if rows.is_empty()));
+        assert!(db.execute("SELECT * FROM users LIMIT -3").is_err());
+    }
+
+    #[test]
+    fn count_star_aggregates() {
+        let mut db = seeded();
+        let out = db.execute("SELECT COUNT(*) FROM users").expect("q");
+        assert_eq!(
+            out,
+            QueryOutput::Rows {
+                columns: vec!["count".into()],
+                rows: vec![vec![SqlValue::Integer(3)]],
+            }
+        );
+        let out = db
+            .execute("SELECT COUNT(*) FROM users WHERE score = 9.5")
+            .expect("q");
+        assert!(matches!(
+            out,
+            QueryOutput::Rows { rows, .. } if rows[0][0] == SqlValue::Integer(2)
+        ));
+    }
+
+    #[test]
+    fn where_and_conjunction() {
+        let mut db = seeded();
+        let out = db
+            .execute("SELECT name FROM users WHERE score = 9.5 AND id > 1")
+            .expect("q");
+        assert_eq!(
+            out,
+            QueryOutput::Rows {
+                columns: vec!["name".into()],
+                rows: vec![vec![SqlValue::Text("alan".into())]],
+            }
+        );
+        // AND applies to UPDATE and DELETE too.
+        assert_eq!(
+            db.execute("UPDATE users SET score = 0 WHERE score = 9.5 AND id = 1")
+                .expect("q"),
+            QueryOutput::Affected(1)
+        );
+        assert_eq!(
+            db.execute("DELETE FROM users WHERE id > 0 AND id < 3").expect("q"),
+            QueryOutput::Affected(2)
+        );
+    }
+
+    #[test]
+    fn order_limit_compose_with_where() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (n INTEGER)").expect("create");
+        for n in [5, 3, 9, 1, 7, 2] {
+            db.execute(&format!("INSERT INTO t VALUES ({n})")).expect("insert");
+        }
+        let out = db
+            .execute("SELECT n FROM t WHERE n > 2 ORDER BY n DESC LIMIT 3")
+            .expect("q");
+        assert_eq!(
+            out,
+            QueryOutput::Rows {
+                columns: vec!["n".into()],
+                rows: vec![
+                    vec![SqlValue::Integer(9)],
+                    vec![SqlValue::Integer(7)],
+                    vec![SqlValue::Integer(5)],
+                ],
+            }
+        );
+    }
+}

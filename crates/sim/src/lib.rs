@@ -1,0 +1,52 @@
+//! # microfaas-sim
+//!
+//! Deterministic discrete-event simulation kernel used by every model in
+//! the MicroFaaS reproduction.
+//!
+//! The crate provides four small building blocks:
+//!
+//! * [`SimTime`] / [`SimDuration`] — microsecond-resolution simulated time;
+//! * [`EventQueue`] — a deterministic event queue with FIFO tie-breaking
+//!   and cancellation;
+//! * [`Rng`] / [`SplitMix64`] — reproducible pseudo-random generators
+//!   implemented in-crate so the stream can never change underneath us;
+//! * [`OnlineStats`], [`Samples`], [`TimeWeighted`] — measurement helpers,
+//!   including the time-weighted integrator that turns power (watts) into
+//!   energy (joules).
+//!
+//! # Examples
+//!
+//! A tiny simulation — a Poisson arrival process counted over one minute:
+//!
+//! ```
+//! use microfaas_sim::{EventQueue, Rng, SimDuration, SimTime};
+//!
+//! let mut queue = EventQueue::new();
+//! let mut rng = Rng::new(42);
+//! let horizon = SimTime::from_secs(60);
+//!
+//! queue.schedule(SimTime::ZERO, "arrival");
+//! let mut count = 0;
+//! while let Some((now, _event)) = queue.pop() {
+//!     if now >= horizon {
+//!         break;
+//!     }
+//!     count += 1;
+//!     let gap = SimDuration::from_secs_f64(rng.exponential(1.0));
+//!     queue.schedule(now + gap, "arrival");
+//! }
+//! assert!(count > 30 && count < 100, "~60 arrivals expected, got {count}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod queue;
+mod rng;
+mod stats;
+mod time;
+
+pub use queue::{EventId, EventQueue};
+pub use rng::{Rng, SplitMix64};
+pub use stats::{OnlineStats, Samples, TimeWeighted};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,314 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The simulator must be bit-for-bit reproducible across runs and platforms,
+//! so we implement our own small generators rather than depending on an
+//! external crate whose stream might change between versions:
+//!
+//! * [`SplitMix64`] — used to seed other generators from a single `u64`.
+//! * [`Rng`] (xoshiro256\*\*) — the general-purpose generator used by every
+//!   stochastic model (arrival processes, runtime jitter, input generation).
+
+/// SplitMix64 generator (Steele, Lea & Flood), used for seeding.
+///
+/// # Examples
+///
+/// ```
+/// use microfaas_sim::SplitMix64;
+///
+/// let mut sm = SplitMix64::new(42);
+/// let a = sm.next_u64();
+/// let b = sm.next_u64();
+/// assert_ne!(a, b);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256\*\* generator (Blackman & Vigna): fast, high-quality, and
+/// fully deterministic for a given seed.
+///
+/// # Examples
+///
+/// ```
+/// use microfaas_sim::Rng;
+///
+/// let mut rng = Rng::new(7);
+/// let roll = rng.range_u64(1, 7); // a six-sided die
+/// assert!((1..=6).contains(&roll));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator, expanding `seed` with [`SplitMix64`].
+    pub fn new(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Rng {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Returns the next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns a uniformly distributed value in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniformly distributed integer in `[lo, hi)` using rejection
+    /// sampling (no modulo bias).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        let span = hi - lo;
+        // Rejection zone to remove modulo bias.
+        let zone = u64::MAX - (u64::MAX % span + 1) % span;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return lo + v % span;
+            }
+        }
+    }
+
+    /// Returns a uniformly distributed `usize` in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        self.range_u64(0, n as u64) as usize
+    }
+
+    /// Returns a uniformly distributed value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or either bound is not finite.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad range [{lo}, {hi})");
+        lo + self.next_f64() * (hi - lo)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.next_f64() < p
+    }
+
+    /// Draws from an exponential distribution with the given mean
+    /// (inter-arrival times of a Poisson process).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not positive and finite.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean.is_finite() && mean > 0.0, "mean must be positive, got {mean}");
+        // Inverse-CDF; 1 - u avoids ln(0).
+        -mean * (1.0 - self.next_f64()).ln()
+    }
+
+    /// Draws from a normal distribution via Box–Muller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative or either parameter is not finite.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(
+            mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0,
+            "bad normal parameters ({mean}, {std_dev})"
+        );
+        let u1 = 1.0 - self.next_f64();
+        let u2 = self.next_f64();
+        mean + std_dev * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Fills `buf` with pseudo-random bytes.
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        for chunk in buf.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+
+    /// Chooses `k` distinct indices from `[0, n)` (a uniform random sample
+    /// without replacement), in selection order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} distinct items from {n}");
+        // Partial Fisher–Yates over an index vector.
+        let mut pool: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = i + self.index(n - i);
+            pool.swap(i, j);
+        }
+        pool.truncate(k);
+        pool
+    }
+
+    /// Derives an independent child generator; useful for giving each model
+    /// component its own stream so component order never perturbs results.
+    pub fn fork(&mut self) -> Rng {
+        Rng::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::new(123);
+        let mut b = Rng::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Rng::new(9);
+        for _ in 0..10_000 {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v), "out of range: {v}");
+        }
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut rng = Rng::new(4);
+        for _ in 0..10_000 {
+            let v = rng.range_u64(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn range_hits_all_values() {
+        let mut rng = Rng::new(5);
+        let mut seen = [false; 6];
+        for _ in 0..1_000 {
+            seen[rng.range_u64(0, 6) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "some die faces never rolled");
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut rng = Rng::new(11);
+        let n = 100_000;
+        let total: f64 = (0..n).map(|_| rng.exponential(2.0)).sum();
+        let mean = total / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean} too far from 2.0");
+    }
+
+    #[test]
+    fn normal_moments_converge() {
+        let mut rng = Rng::new(13);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05);
+        assert!((var - 4.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn sample_indices_are_distinct_and_in_range() {
+        let mut rng = Rng::new(17);
+        for _ in 0..100 {
+            let sample = rng.sample_indices(10, 4);
+            assert_eq!(sample.len(), 4);
+            let mut sorted = sample.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 4, "duplicate indices in {sample:?}");
+            assert!(sample.iter().all(|&i| i < 10));
+        }
+    }
+
+    #[test]
+    fn sample_full_population_is_permutation() {
+        let mut rng = Rng::new(19);
+        let mut sample = rng.sample_indices(8, 8);
+        sample.sort_unstable();
+        assert_eq!(sample, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = Rng::new(23);
+        assert!(!(0..100).any(|_| rng.chance(0.0)));
+        assert!((0..100).all(|_| rng.chance(1.0)));
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = Rng::new(29);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn forked_rngs_are_independent_of_parent_use() {
+        let mut parent1 = Rng::new(31);
+        let child1 = parent1.fork();
+        let mut parent2 = Rng::new(31);
+        let child2 = parent2.fork();
+        assert_eq!(child1, child2);
+    }
+}

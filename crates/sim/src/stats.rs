@@ -1,0 +1,395 @@
+//! Measurement helpers: online summary statistics, sample sets with
+//! percentiles, and time-weighted values (the basis of energy metering).
+
+use crate::time::{SimDuration, SimTime};
+
+/// Streaming mean/variance via Welford's algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use microfaas_sim::OnlineStats;
+///
+/// let mut s = OnlineStats::new();
+/// for v in [2.0, 4.0, 6.0] {
+///     s.record(v);
+/// }
+/// assert_eq!(s.mean(), 4.0);
+/// assert_eq!(s.count(), 3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite.
+    pub fn record(&mut self, value: f64) {
+        assert!(value.is_finite(), "cannot record non-finite value {value}");
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0 if fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`None` if empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` if empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 += other.m2
+            + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A sample collection that retains observations for exact percentiles.
+///
+/// # Examples
+///
+/// ```
+/// use microfaas_sim::Samples;
+///
+/// let mut s = Samples::new();
+/// s.extend((1..=100).map(f64::from));
+/// assert_eq!(s.percentile(50.0), Some(50.0));
+/// assert_eq!(s.percentile(99.0), Some(99.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Samples {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl Samples {
+    /// Creates an empty sample set.
+    pub fn new() -> Self {
+        Samples { values: Vec::new(), sorted: true }
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite.
+    pub fn record(&mut self, value: f64) {
+        assert!(value.is_finite(), "cannot record non-finite value {value}");
+        self.values.push(value);
+        self.sorted = false;
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns true if no observations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Arithmetic mean (`None` if empty).
+    pub fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            None
+        } else {
+            Some(self.values.iter().sum::<f64>() / self.values.len() as f64)
+        }
+    }
+
+    /// The `p`-th percentile (nearest-rank), `None` if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&mut self, p: f64) -> Option<f64> {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        if self.values.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.values
+                .sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+            self.sorted = true;
+        }
+        let rank = ((p / 100.0) * self.values.len() as f64).ceil() as usize;
+        Some(self.values[rank.saturating_sub(1)])
+    }
+
+    /// Immutable view of the recorded values (unspecified order).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+impl Extend<f64> for Samples {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+impl FromIterator<f64> for Samples {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Samples::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// A piecewise-constant value tracked over simulated time, with exact
+/// integration — used to turn a power trace (watts) into energy (joules).
+///
+/// # Examples
+///
+/// ```
+/// use microfaas_sim::{SimTime, TimeWeighted};
+///
+/// let mut power = TimeWeighted::new(SimTime::ZERO, 0.0);
+/// power.set(SimTime::from_secs(1), 10.0); // 10 W from t=1s
+/// power.set(SimTime::from_secs(3), 0.0);  // off at t=3s
+/// assert_eq!(power.integral(SimTime::from_secs(3)), 20.0); // 10 W x 2 s
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeWeighted {
+    last_time: SimTime,
+    value: f64,
+    integral: f64,
+    weighted_duration: SimDuration,
+    start: SimTime,
+}
+
+impl TimeWeighted {
+    /// Starts tracking at `start` with the given initial value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is not finite.
+    pub fn new(start: SimTime, initial: f64) -> Self {
+        assert!(initial.is_finite(), "initial value must be finite");
+        TimeWeighted {
+            last_time: start,
+            value: initial,
+            integral: 0.0,
+            weighted_duration: SimDuration::ZERO,
+            start,
+        }
+    }
+
+    /// The current value.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Updates the value at instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the previous update or `value` is not finite.
+    pub fn set(&mut self, at: SimTime, value: f64) {
+        assert!(value.is_finite(), "value must be finite, got {value}");
+        self.accumulate(at);
+        self.value = value;
+    }
+
+    /// Adds `delta` to the current value at instant `at`.
+    pub fn add(&mut self, at: SimTime, delta: f64) {
+        let next = self.value + delta;
+        self.set(at, next);
+    }
+
+    fn accumulate(&mut self, at: SimTime) {
+        let dt = at.duration_since(self.last_time);
+        self.integral += self.value * dt.as_secs_f64();
+        self.weighted_duration += dt;
+        self.last_time = at;
+    }
+
+    /// The integral of the value from the start instant to `until`
+    /// (value × seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `until` precedes the last update.
+    pub fn integral(&self, until: SimTime) -> f64 {
+        let dt = until.duration_since(self.last_time);
+        self.integral + self.value * dt.as_secs_f64()
+    }
+
+    /// Time-weighted average of the value from start to `until`.
+    /// Returns the current value if no time has elapsed.
+    pub fn time_average(&self, until: SimTime) -> f64 {
+        let total = until.duration_since(self.start);
+        if total.is_zero() {
+            self.value
+        } else {
+            self.integral(until) / total.as_secs_f64()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_mean_and_variance() {
+        let mut s = OnlineStats::new();
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(v);
+        }
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert_eq!(s.std_dev(), 2.0);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn online_stats_merge_matches_sequential() {
+        let all: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut combined = OnlineStats::new();
+        for &v in &all {
+            combined.record(v);
+        }
+        let mut left = OnlineStats::new();
+        let mut right = OnlineStats::new();
+        for &v in &all[..37] {
+            left.record(v);
+        }
+        for &v in &all[37..] {
+            right.record(v);
+        }
+        left.merge(&right);
+        assert!((left.mean() - combined.mean()).abs() < 1e-9);
+        assert!((left.variance() - combined.variance()).abs() < 1e-9);
+        assert_eq!(left.count(), combined.count());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s = OnlineStats::new();
+        s.record(3.0);
+        let before = s.clone();
+        s.merge(&OnlineStats::new());
+        assert_eq!(s, before);
+
+        let mut empty = OnlineStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut s: Samples = (1..=10).map(f64::from).collect();
+        assert_eq!(s.percentile(0.0), Some(1.0));
+        assert_eq!(s.percentile(10.0), Some(1.0));
+        assert_eq!(s.percentile(50.0), Some(5.0));
+        assert_eq!(s.percentile(100.0), Some(10.0));
+    }
+
+    #[test]
+    fn percentile_of_empty_is_none() {
+        let mut s = Samples::new();
+        assert_eq!(s.percentile(50.0), None);
+        assert_eq!(s.mean(), None);
+    }
+
+    #[test]
+    fn time_weighted_integral_piecewise() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 5.0);
+        tw.set(SimTime::from_secs(2), 10.0);
+        tw.set(SimTime::from_secs(4), 0.0);
+        // 5 W x 2 s + 10 W x 2 s + 0 W x 6 s = 30 J
+        assert_eq!(tw.integral(SimTime::from_secs(10)), 30.0);
+        assert_eq!(tw.time_average(SimTime::from_secs(10)), 3.0);
+    }
+
+    #[test]
+    fn time_weighted_add_tracks_deltas() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        tw.add(SimTime::from_secs(1), 2.0);
+        tw.add(SimTime::from_secs(2), 2.0);
+        tw.add(SimTime::from_secs(3), -4.0);
+        assert_eq!(tw.value(), 0.0);
+        // 0x1 + 2x1 + 4x1 = 6
+        assert_eq!(tw.integral(SimTime::from_secs(3)), 6.0);
+    }
+
+    #[test]
+    fn time_average_at_start_is_current_value() {
+        let tw = TimeWeighted::new(SimTime::from_secs(5), 7.5);
+        assert_eq!(tw.time_average(SimTime::from_secs(5)), 7.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn recording_nan_panics() {
+        OnlineStats::new().record(f64::NAN);
+    }
+}

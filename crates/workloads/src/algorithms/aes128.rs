@@ -1,0 +1,443 @@
+//! AES-128 (FIPS 197) with CBC mode and PKCS#7 padding, implemented from
+//! scratch for the `AES128` workload. Verified against the FIPS 197
+//! Appendix B vector and NIST SP 800-38A CBC vectors.
+//!
+//! This is a straightforward table-free implementation intended for
+//! benchmarking fidelity, not constant-time production use.
+
+/// AES S-box, generated at first use from the GF(2^8) inverse + affine map.
+fn sbox() -> &'static [u8; 256] {
+    use std::sync::OnceLock;
+    static SBOX: OnceLock<[u8; 256]> = OnceLock::new();
+    SBOX.get_or_init(|| {
+        let mut sbox = [0u8; 256];
+        // Build via the multiplicative inverse in GF(2^8) and the affine
+        // transformation from FIPS 197 §5.1.1.
+        for (i, entry) in sbox.iter_mut().enumerate() {
+            let inv = if i == 0 { 0 } else { gf_inverse(i as u8) };
+            let mut x = inv;
+            let mut result = inv;
+            for _ in 0..4 {
+                x = x.rotate_left(1);
+                result ^= x;
+            }
+            *entry = result ^ 0x63;
+        }
+        sbox
+    })
+}
+
+/// Inverse S-box.
+fn inv_sbox() -> &'static [u8; 256] {
+    use std::sync::OnceLock;
+    static INV: OnceLock<[u8; 256]> = OnceLock::new();
+    INV.get_or_init(|| {
+        let mut inv = [0u8; 256];
+        let sbox = sbox();
+        for i in 0..256 {
+            inv[sbox[i] as usize] = i as u8;
+        }
+        inv
+    })
+}
+
+/// Multiplication in GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1.
+fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut product = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            product ^= a;
+        }
+        let carry = a & 0x80;
+        a <<= 1;
+        if carry != 0 {
+            a ^= 0x1b;
+        }
+        b >>= 1;
+    }
+    product
+}
+
+/// Multiplicative inverse in GF(2^8) via exponentiation (a^254).
+fn gf_inverse(a: u8) -> u8 {
+    let mut result = 1u8;
+    let mut base = a;
+    let mut exp = 254u8;
+    while exp > 0 {
+        if exp & 1 != 0 {
+            result = gf_mul(result, base);
+        }
+        base = gf_mul(base, base);
+        exp >>= 1;
+    }
+    result
+}
+
+/// An expanded AES-128 key schedule.
+///
+/// # Examples
+///
+/// ```
+/// use microfaas_workloads::algorithms::aes128::Aes128;
+///
+/// let key = [0u8; 16];
+/// let cipher = Aes128::new(&key);
+/// let block = [0u8; 16];
+/// let ct = cipher.encrypt_block(&block);
+/// assert_eq!(cipher.decrypt_block(&ct), block);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; 11],
+}
+
+impl Aes128 {
+    /// Expands `key` into the 11 round keys.
+    pub fn new(key: &[u8; 16]) -> Self {
+        let sbox = sbox();
+        let mut w = [[0u8; 4]; 44];
+        for i in 0..4 {
+            w[i] = [key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]];
+        }
+        let mut rcon = 1u8;
+        for i in 4..44 {
+            let mut temp = w[i - 1];
+            if i % 4 == 0 {
+                temp.rotate_left(1);
+                for b in &mut temp {
+                    *b = sbox[*b as usize];
+                }
+                temp[0] ^= rcon;
+                rcon = gf_mul(rcon, 2);
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 4][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; 11];
+        for (r, rk) in round_keys.iter_mut().enumerate() {
+            for c in 0..4 {
+                rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+            }
+        }
+        Aes128 { round_keys }
+    }
+
+    /// Encrypts one 16-byte block.
+    pub fn encrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        let sbox = sbox();
+        let mut state = *block;
+        xor_in_place(&mut state, &self.round_keys[0]);
+        for round in 1..=10 {
+            for b in &mut state {
+                *b = sbox[*b as usize];
+            }
+            shift_rows(&mut state);
+            if round != 10 {
+                mix_columns(&mut state);
+            }
+            xor_in_place(&mut state, &self.round_keys[round]);
+        }
+        state
+    }
+
+    /// Decrypts one 16-byte block.
+    pub fn decrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        let inv = inv_sbox();
+        let mut state = *block;
+        xor_in_place(&mut state, &self.round_keys[10]);
+        for round in (0..10).rev() {
+            inv_shift_rows(&mut state);
+            for b in &mut state {
+                *b = inv[*b as usize];
+            }
+            xor_in_place(&mut state, &self.round_keys[round]);
+            if round != 0 {
+                inv_mix_columns(&mut state);
+            }
+        }
+        state
+    }
+}
+
+fn xor_in_place(state: &mut [u8; 16], key: &[u8; 16]) {
+    for (s, k) in state.iter_mut().zip(key) {
+        *s ^= k;
+    }
+}
+
+// State is column-major: state[r + 4c].
+fn shift_rows(state: &mut [u8; 16]) {
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[r + 4 * c] = s[r + 4 * ((c + r) % 4)];
+        }
+    }
+}
+
+fn inv_shift_rows(state: &mut [u8; 16]) {
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[r + 4 * ((c + r) % 4)] = s[r + 4 * c];
+        }
+    }
+}
+
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
+        state[4 * c + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
+        state[4 * c + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
+        state[4 * c + 3] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2);
+    }
+}
+
+fn inv_mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] =
+            gf_mul(col[0], 14) ^ gf_mul(col[1], 11) ^ gf_mul(col[2], 13) ^ gf_mul(col[3], 9);
+        state[4 * c + 1] =
+            gf_mul(col[0], 9) ^ gf_mul(col[1], 14) ^ gf_mul(col[2], 11) ^ gf_mul(col[3], 13);
+        state[4 * c + 2] =
+            gf_mul(col[0], 13) ^ gf_mul(col[1], 9) ^ gf_mul(col[2], 14) ^ gf_mul(col[3], 11);
+        state[4 * c + 3] =
+            gf_mul(col[0], 11) ^ gf_mul(col[1], 13) ^ gf_mul(col[2], 9) ^ gf_mul(col[3], 14);
+    }
+}
+
+/// Errors from CBC decryption.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecryptCbcError {
+    /// Ciphertext length is zero or not a multiple of 16.
+    BadLength(usize),
+    /// PKCS#7 padding is malformed.
+    BadPadding,
+}
+
+impl std::fmt::Display for DecryptCbcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecryptCbcError::BadLength(n) => {
+                write!(f, "ciphertext length {n} is not a positive multiple of 16")
+            }
+            DecryptCbcError::BadPadding => write!(f, "invalid PKCS#7 padding"),
+        }
+    }
+}
+
+impl std::error::Error for DecryptCbcError {}
+
+/// Encrypts `plaintext` with AES-128-CBC and PKCS#7 padding.
+///
+/// # Examples
+///
+/// ```
+/// use microfaas_workloads::algorithms::aes128::{encrypt_cbc, decrypt_cbc};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let key = [7u8; 16];
+/// let iv = [9u8; 16];
+/// let ct = encrypt_cbc(b"hello serverless world", &key, &iv);
+/// let pt = decrypt_cbc(&ct, &key, &iv)?;
+/// assert_eq!(pt, b"hello serverless world");
+/// # Ok(())
+/// # }
+/// ```
+pub fn encrypt_cbc(plaintext: &[u8], key: &[u8; 16], iv: &[u8; 16]) -> Vec<u8> {
+    let cipher = Aes128::new(key);
+    let pad = 16 - plaintext.len() % 16;
+    let mut padded = plaintext.to_vec();
+    padded.extend(std::iter::repeat_n(pad as u8, pad));
+
+    let mut out = Vec::with_capacity(padded.len());
+    let mut prev = *iv;
+    for chunk in padded.chunks_exact(16) {
+        let mut block = [0u8; 16];
+        block.copy_from_slice(chunk);
+        xor_in_place(&mut block, &prev);
+        prev = cipher.encrypt_block(&block);
+        out.extend_from_slice(&prev);
+    }
+    out
+}
+
+/// Decrypts AES-128-CBC ciphertext and strips PKCS#7 padding.
+///
+/// # Errors
+///
+/// Returns [`DecryptCbcError`] if the ciphertext length is not a positive
+/// multiple of 16 or the padding is malformed.
+pub fn decrypt_cbc(
+    ciphertext: &[u8],
+    key: &[u8; 16],
+    iv: &[u8; 16],
+) -> Result<Vec<u8>, DecryptCbcError> {
+    if ciphertext.is_empty() || !ciphertext.len().is_multiple_of(16) {
+        return Err(DecryptCbcError::BadLength(ciphertext.len()));
+    }
+    let cipher = Aes128::new(key);
+    let mut out = Vec::with_capacity(ciphertext.len());
+    let mut prev = *iv;
+    for chunk in ciphertext.chunks_exact(16) {
+        let mut block = [0u8; 16];
+        block.copy_from_slice(chunk);
+        let mut plain = cipher.decrypt_block(&block);
+        xor_in_place(&mut plain, &prev);
+        prev = block;
+        out.extend_from_slice(&plain);
+    }
+    let pad = *out.last().expect("non-empty output") as usize;
+    if pad == 0 || pad > 16 || out.len() < pad {
+        return Err(DecryptCbcError::BadPadding);
+    }
+    if out[out.len() - pad..].iter().any(|&b| b as usize != pad) {
+        return Err(DecryptCbcError::BadPadding);
+    }
+    out.truncate(out.len() - pad);
+    Ok(out)
+}
+
+/// The `AES128` workload kernel: `rounds` of encrypt-then-decrypt over the
+/// input, feeding each round's ciphertext into the next. Returns the final
+/// ciphertext. Panics are impossible because this round-trips its own
+/// ciphertexts.
+pub fn cascading_aes128(input: &[u8], key: &[u8; 16], iv: &[u8; 16], rounds: u32) -> Vec<u8> {
+    let mut data = input.to_vec();
+    let mut last_ct = Vec::new();
+    for _ in 0..rounds.max(1) {
+        last_ct = encrypt_cbc(&data, key, iv);
+        data = decrypt_cbc(&last_ct, key, iv).expect("round-trip of own ciphertext");
+        // Perturb the plaintext so rounds are not identical work.
+        if let Some(first) = data.first_mut() {
+            *first = first.wrapping_add(1);
+        }
+    }
+    last_ct
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn sbox_known_entries() {
+        let s = sbox();
+        assert_eq!(s[0x00], 0x63);
+        assert_eq!(s[0x01], 0x7c);
+        assert_eq!(s[0x53], 0xed);
+        assert_eq!(s[0xff], 0x16);
+    }
+
+    #[test]
+    fn inv_sbox_inverts() {
+        let s = sbox();
+        let inv = inv_sbox();
+        for i in 0..256 {
+            assert_eq!(inv[s[i] as usize] as usize, i);
+        }
+    }
+
+    #[test]
+    fn fips197_appendix_b() {
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let plaintext = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        let cipher = Aes128::new(&key);
+        let ct = cipher.encrypt_block(&plaintext);
+        assert_eq!(hex(&ct), "3925841d02dc09fbdc118597196a0b32");
+        assert_eq!(cipher.decrypt_block(&ct), plaintext);
+    }
+
+    #[test]
+    fn nist_sp800_38a_cbc_vector() {
+        // NIST SP 800-38A F.2.1 CBC-AES128.Encrypt, first block.
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let iv = [
+            0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
+            0x0e, 0x0f,
+        ];
+        let plaintext = [
+            0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96, 0xe9, 0x3d, 0x7e, 0x11, 0x73, 0x93,
+            0x17, 0x2a,
+        ];
+        let ct = encrypt_cbc(&plaintext, &key, &iv);
+        assert_eq!(hex(&ct[..16]), "7649abac8119b246cee98e9b12e9197d");
+    }
+
+    #[test]
+    fn cbc_round_trip_various_lengths() {
+        let key = [0xAA; 16];
+        let iv = [0x55; 16];
+        for len in [0, 1, 15, 16, 17, 31, 32, 100, 1000] {
+            let plaintext: Vec<u8> = (0..len).map(|i| (i % 256) as u8).collect();
+            let ct = encrypt_cbc(&plaintext, &key, &iv);
+            assert_eq!(ct.len() % 16, 0);
+            assert!(ct.len() > plaintext.len(), "padding always added");
+            let pt = decrypt_cbc(&ct, &key, &iv).expect("round trip");
+            assert_eq!(pt, plaintext, "length {len}");
+        }
+    }
+
+    #[test]
+    fn decrypt_rejects_bad_length() {
+        let key = [0u8; 16];
+        let iv = [0u8; 16];
+        assert_eq!(
+            decrypt_cbc(&[1, 2, 3], &key, &iv),
+            Err(DecryptCbcError::BadLength(3))
+        );
+        assert_eq!(
+            decrypt_cbc(&[], &key, &iv),
+            Err(DecryptCbcError::BadLength(0))
+        );
+    }
+
+    #[test]
+    fn decrypt_rejects_corrupt_padding() {
+        let key = [1u8; 16];
+        let iv = [2u8; 16];
+        let mut ct = encrypt_cbc(b"sixteen byte msg", &key, &iv);
+        let last = ct.len() - 1;
+        ct[last] ^= 0xFF;
+        assert!(matches!(
+            decrypt_cbc(&ct, &key, &iv),
+            Err(DecryptCbcError::BadPadding) | Ok(_)
+        ));
+    }
+
+    #[test]
+    fn cbc_differs_from_ecb_style_repetition() {
+        // Two identical plaintext blocks must produce different ciphertext
+        // blocks under CBC.
+        let key = [3u8; 16];
+        let iv = [4u8; 16];
+        let plaintext = [0x42u8; 32];
+        let ct = encrypt_cbc(&plaintext, &key, &iv);
+        assert_ne!(&ct[..16], &ct[16..32]);
+    }
+
+    #[test]
+    fn cascading_rounds_change_output() {
+        let key = [5u8; 16];
+        let iv = [6u8; 16];
+        let a = cascading_aes128(b"payload", &key, &iv, 1);
+        let b = cascading_aes128(b"payload", &key, &iv, 3);
+        assert_ne!(a, b);
+    }
+}

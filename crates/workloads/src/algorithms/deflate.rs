@@ -1,0 +1,712 @@
+//! DEFLATE (RFC 1951), implemented from scratch for the `Decompress`
+//! workload.
+//!
+//! [`inflate`] handles all three block types (stored, fixed-Huffman,
+//! dynamic-Huffman). [`compress`] is a real LZ77 compressor emitting
+//! fixed-Huffman blocks — enough to generate realistic compressed inputs
+//! for the workload and to property-test the inflater by round-trip.
+
+use std::fmt;
+
+/// Errors produced while decoding a DEFLATE stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InflateError {
+    /// The input ended before the final block completed.
+    UnexpectedEof,
+    /// A reserved block type (11) was encountered.
+    ReservedBlockType,
+    /// A stored block's length check failed (LEN != !NLEN).
+    StoredLengthMismatch,
+    /// A Huffman code table was over- or under-subscribed.
+    InvalidHuffmanTable,
+    /// A decoded symbol was invalid in its context.
+    InvalidSymbol(u16),
+    /// A back-reference pointed before the start of the output.
+    DistanceTooFar {
+        /// Requested distance.
+        distance: usize,
+        /// Bytes available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for InflateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InflateError::UnexpectedEof => write!(f, "unexpected end of deflate stream"),
+            InflateError::ReservedBlockType => write!(f, "reserved block type"),
+            InflateError::StoredLengthMismatch => write!(f, "stored block length mismatch"),
+            InflateError::InvalidHuffmanTable => write!(f, "invalid huffman code table"),
+            InflateError::InvalidSymbol(s) => write!(f, "invalid symbol {s}"),
+            InflateError::DistanceTooFar { distance, available } => write!(
+                f,
+                "back-reference distance {distance} exceeds {available} bytes of output"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InflateError {}
+
+/// LSB-first bit reader over a byte slice.
+struct BitReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    bit_buf: u64,
+    bit_count: u32,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        BitReader { data, pos: 0, bit_buf: 0, bit_count: 0 }
+    }
+
+    fn refill(&mut self) {
+        while self.bit_count <= 56 && self.pos < self.data.len() {
+            self.bit_buf |= (self.data[self.pos] as u64) << self.bit_count;
+            self.pos += 1;
+            self.bit_count += 8;
+        }
+    }
+
+    fn take(&mut self, n: u32) -> Result<u32, InflateError> {
+        debug_assert!(n <= 32);
+        if self.bit_count < n {
+            self.refill();
+            if self.bit_count < n {
+                return Err(InflateError::UnexpectedEof);
+            }
+        }
+        let mask = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+        let value = (self.bit_buf as u32) & mask;
+        self.bit_buf >>= n;
+        self.bit_count -= n;
+        Ok(value)
+    }
+
+    /// Peeks up to 16 bits without consuming (shorter near EOF).
+    fn peek16(&mut self) -> u32 {
+        self.refill();
+        (self.bit_buf & 0xFFFF) as u32
+    }
+
+    fn consume(&mut self, n: u32) -> Result<(), InflateError> {
+        if self.bit_count < n {
+            return Err(InflateError::UnexpectedEof);
+        }
+        self.bit_buf >>= n;
+        self.bit_count -= n;
+        Ok(())
+    }
+
+    fn align_to_byte(&mut self) {
+        let drop = self.bit_count % 8;
+        self.bit_buf >>= drop;
+        self.bit_count -= drop;
+    }
+
+    fn read_bytes(&mut self, out: &mut Vec<u8>, len: usize) -> Result<(), InflateError> {
+        debug_assert_eq!(self.bit_count % 8, 0);
+        for _ in 0..len {
+            if self.bit_count >= 8 {
+                out.push((self.bit_buf & 0xFF) as u8);
+                self.bit_buf >>= 8;
+                self.bit_count -= 8;
+            } else if self.pos < self.data.len() {
+                out.push(self.data[self.pos]);
+                self.pos += 1;
+            } else {
+                return Err(InflateError::UnexpectedEof);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A canonical-Huffman decoding table (single-level lookup).
+struct Huffman {
+    /// counts[len] = number of codes with that bit length.
+    counts: [u16; 16],
+    /// Symbols ordered by (length, symbol).
+    symbols: Vec<u16>,
+}
+
+impl Huffman {
+    /// Builds the decoder from per-symbol code lengths (0 = unused).
+    fn from_lengths(lengths: &[u8]) -> Result<Self, InflateError> {
+        let mut counts = [0u16; 16];
+        for &len in lengths {
+            if len > 15 {
+                return Err(InflateError::InvalidHuffmanTable);
+            }
+            counts[len as usize] += 1;
+        }
+        counts[0] = 0;
+        // Kraft inequality check: the code must not be over-subscribed,
+        // and (unless it has <=1 code) must be complete.
+        let mut remaining = 1i32;
+        let mut total = 0u32;
+        for &count in &counts[1..] {
+            remaining <<= 1;
+            remaining -= count as i32;
+            if remaining < 0 {
+                return Err(InflateError::InvalidHuffmanTable);
+            }
+            total += count as u32;
+        }
+        if remaining != 0 && total > 1 {
+            return Err(InflateError::InvalidHuffmanTable);
+        }
+
+        let mut offsets = [0u16; 16];
+        for len in 1..15 {
+            offsets[len + 1] = offsets[len] + counts[len];
+        }
+        let mut symbols = vec![0u16; lengths.iter().filter(|&&l| l != 0).count()];
+        for (sym, &len) in lengths.iter().enumerate() {
+            if len != 0 {
+                symbols[offsets[len as usize] as usize] = sym as u16;
+                offsets[len as usize] += 1;
+            }
+        }
+        Ok(Huffman { counts, symbols })
+    }
+
+    /// Decodes one symbol. DEFLATE codes are packed MSB-first within the
+    /// LSB-first bit stream, so we accumulate bit-by-bit.
+    fn decode(&self, reader: &mut BitReader<'_>) -> Result<u16, InflateError> {
+        let peeked = reader.peek16();
+        let mut code = 0i32;
+        let mut first = 0i32;
+        let mut index = 0i32;
+        for len in 1..16 {
+            code |= ((peeked >> (len - 1)) & 1) as i32;
+            let count = self.counts[len] as i32;
+            if code - first < count {
+                reader.consume(len as u32)?;
+                return Ok(self.symbols[(index + (code - first)) as usize]);
+            }
+            index += count;
+            first = (first + count) << 1;
+            code <<= 1;
+        }
+        Err(InflateError::UnexpectedEof)
+    }
+}
+
+const LENGTH_BASE: [u16; 29] = [
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131,
+    163, 195, 227, 258,
+];
+const LENGTH_EXTRA: [u8; 29] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+];
+const DIST_BASE: [u16; 30] = [
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537,
+    2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+];
+const DIST_EXTRA: [u8; 30] = [
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13,
+    13,
+];
+const CODE_LENGTH_ORDER: [usize; 19] = [
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+];
+
+fn fixed_literal_lengths() -> Vec<u8> {
+    let mut lengths = vec![8u8; 288];
+    for l in &mut lengths[144..256] {
+        *l = 9;
+    }
+    for l in &mut lengths[256..280] {
+        *l = 7;
+    }
+    lengths
+}
+
+/// Decompresses a raw DEFLATE stream (no zlib/gzip wrapper).
+///
+/// # Errors
+///
+/// Returns an [`InflateError`] describing the first malformation found.
+///
+/// # Examples
+///
+/// ```
+/// use microfaas_workloads::algorithms::deflate::{compress, inflate};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let data = b"to be or not to be, that is the question".repeat(4);
+/// let packed = compress(&data);
+/// assert!(packed.len() < data.len());
+/// assert_eq!(inflate(&packed)?, data);
+/// # Ok(())
+/// # }
+/// ```
+pub fn inflate(input: &[u8]) -> Result<Vec<u8>, InflateError> {
+    let mut reader = BitReader::new(input);
+    let mut out = Vec::new();
+    loop {
+        let final_block = reader.take(1)? == 1;
+        match reader.take(2)? {
+            0 => inflate_stored(&mut reader, &mut out)?,
+            1 => {
+                let lit = Huffman::from_lengths(&fixed_literal_lengths())?;
+                // All 32 5-bit distance codes exist; 30 and 31 are invalid
+                // symbols caught after decode.
+                let dist = Huffman::from_lengths(&[5u8; 32])?;
+                inflate_block(&mut reader, &mut out, &lit, &dist)?;
+            }
+            2 => {
+                let (lit, dist) = read_dynamic_tables(&mut reader)?;
+                inflate_block(&mut reader, &mut out, &lit, &dist)?;
+            }
+            _ => return Err(InflateError::ReservedBlockType),
+        }
+        if final_block {
+            return Ok(out);
+        }
+    }
+}
+
+fn inflate_stored(reader: &mut BitReader<'_>, out: &mut Vec<u8>) -> Result<(), InflateError> {
+    reader.align_to_byte();
+    let len = reader.take(16)? as u16;
+    let nlen = reader.take(16)? as u16;
+    if len != !nlen {
+        return Err(InflateError::StoredLengthMismatch);
+    }
+    reader.read_bytes(out, len as usize)
+}
+
+fn read_dynamic_tables(
+    reader: &mut BitReader<'_>,
+) -> Result<(Huffman, Huffman), InflateError> {
+    let hlit = reader.take(5)? as usize + 257;
+    let hdist = reader.take(5)? as usize + 1;
+    let hclen = reader.take(4)? as usize + 4;
+
+    let mut code_lengths = [0u8; 19];
+    for &idx in CODE_LENGTH_ORDER.iter().take(hclen) {
+        code_lengths[idx] = reader.take(3)? as u8;
+    }
+    let code_huffman = Huffman::from_lengths(&code_lengths)?;
+
+    let mut lengths = vec![0u8; hlit + hdist];
+    let mut i = 0;
+    while i < lengths.len() {
+        let sym = code_huffman.decode(reader)?;
+        match sym {
+            0..=15 => {
+                lengths[i] = sym as u8;
+                i += 1;
+            }
+            16 => {
+                if i == 0 {
+                    return Err(InflateError::InvalidSymbol(16));
+                }
+                let prev = lengths[i - 1];
+                let repeat = reader.take(2)? as usize + 3;
+                if i + repeat > lengths.len() {
+                    return Err(InflateError::InvalidHuffmanTable);
+                }
+                for slot in &mut lengths[i..i + repeat] {
+                    *slot = prev;
+                }
+                i += repeat;
+            }
+            17 | 18 => {
+                let repeat = if sym == 17 {
+                    reader.take(3)? as usize + 3
+                } else {
+                    reader.take(7)? as usize + 11
+                };
+                if i + repeat > lengths.len() {
+                    return Err(InflateError::InvalidHuffmanTable);
+                }
+                i += repeat;
+            }
+            other => return Err(InflateError::InvalidSymbol(other)),
+        }
+    }
+    let lit = Huffman::from_lengths(&lengths[..hlit])?;
+    let dist = Huffman::from_lengths(&lengths[hlit..])?;
+    Ok((lit, dist))
+}
+
+fn inflate_block(
+    reader: &mut BitReader<'_>,
+    out: &mut Vec<u8>,
+    lit: &Huffman,
+    dist: &Huffman,
+) -> Result<(), InflateError> {
+    loop {
+        let sym = lit.decode(reader)?;
+        match sym {
+            0..=255 => out.push(sym as u8),
+            256 => return Ok(()),
+            257..=285 => {
+                let idx = (sym - 257) as usize;
+                let length =
+                    LENGTH_BASE[idx] as usize + reader.take(LENGTH_EXTRA[idx] as u32)? as usize;
+                let dsym = dist.decode(reader)? as usize;
+                if dsym >= 30 {
+                    return Err(InflateError::InvalidSymbol(dsym as u16));
+                }
+                let distance =
+                    DIST_BASE[dsym] as usize + reader.take(DIST_EXTRA[dsym] as u32)? as usize;
+                if distance > out.len() {
+                    return Err(InflateError::DistanceTooFar {
+                        distance,
+                        available: out.len(),
+                    });
+                }
+                // Byte-by-byte copy: overlapping copies (distance < length)
+                // intentionally replicate recent output.
+                let start = out.len() - distance;
+                for k in 0..length {
+                    let byte = out[start + k];
+                    out.push(byte);
+                }
+            }
+            other => return Err(InflateError::InvalidSymbol(other)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compressor
+// ---------------------------------------------------------------------------
+
+/// LSB-first bit writer.
+struct BitWriter {
+    out: Vec<u8>,
+    bit_buf: u64,
+    bit_count: u32,
+}
+
+impl BitWriter {
+    fn new() -> Self {
+        BitWriter { out: Vec::new(), bit_buf: 0, bit_count: 0 }
+    }
+
+    fn write(&mut self, value: u32, bits: u32) {
+        self.bit_buf |= (value as u64) << self.bit_count;
+        self.bit_count += bits;
+        while self.bit_count >= 8 {
+            self.out.push((self.bit_buf & 0xFF) as u8);
+            self.bit_buf >>= 8;
+            self.bit_count -= 8;
+        }
+    }
+
+    /// Writes a Huffman code (bits are emitted MSB-first per DEFLATE).
+    fn write_code(&mut self, code: u32, bits: u32) {
+        let mut reversed = 0u32;
+        for i in 0..bits {
+            reversed |= ((code >> i) & 1) << (bits - 1 - i);
+        }
+        self.write(reversed, bits);
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        if self.bit_count > 0 {
+            self.out.push((self.bit_buf & 0xFF) as u8);
+        }
+        self.out
+    }
+}
+
+/// Fixed-Huffman code for a literal/length symbol: (code, bits).
+fn fixed_literal_code(sym: u16) -> (u32, u32) {
+    match sym {
+        0..=143 => (0x30 + sym as u32, 8),
+        144..=255 => (0x190 + (sym as u32 - 144), 9),
+        256..=279 => (sym as u32 - 256, 7),
+        _ => (0xC0 + (sym as u32 - 280), 8),
+    }
+}
+
+fn length_to_symbol(length: usize) -> (u16, u8, u16) {
+    debug_assert!((3..=258).contains(&length));
+    let mut idx = LENGTH_BASE
+        .iter()
+        .rposition(|&base| base as usize <= length)
+        .expect("length >= 3");
+    // Length 258 must use the dedicated extra-bit-free code 285.
+    if length == 258 {
+        idx = 28;
+    }
+    (
+        257 + idx as u16,
+        LENGTH_EXTRA[idx],
+        (length - LENGTH_BASE[idx] as usize) as u16,
+    )
+}
+
+fn distance_to_symbol(distance: usize) -> (u16, u8, u16) {
+    debug_assert!((1..=32768).contains(&distance));
+    let idx = DIST_BASE
+        .iter()
+        .rposition(|&base| base as usize <= distance)
+        .expect("distance >= 1");
+    (
+        idx as u16,
+        DIST_EXTRA[idx],
+        (distance - DIST_BASE[idx] as usize) as u16,
+    )
+}
+
+const WINDOW_SIZE: usize = 32 * 1024;
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 258;
+const HASH_BITS: u32 = 15;
+
+fn hash3(data: &[u8], pos: usize) -> usize {
+    let v = (data[pos] as u32) | ((data[pos + 1] as u32) << 8) | ((data[pos + 2] as u32) << 16);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compresses `data` into a raw DEFLATE stream of fixed-Huffman blocks
+/// using greedy LZ77 with hash-chain matching.
+///
+/// # Examples
+///
+/// ```
+/// use microfaas_workloads::algorithms::deflate::{compress, inflate};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let round_trip = inflate(&compress(b"abcabcabcabc"))?;
+/// assert_eq!(round_trip, b"abcabcabcabc");
+/// # Ok(())
+/// # }
+/// ```
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut writer = BitWriter::new();
+    // Single fixed-Huffman block: BFINAL=1, BTYPE=01.
+    writer.write(1, 1);
+    writer.write(1, 2);
+
+    let mut head = vec![usize::MAX; 1 << HASH_BITS];
+    let mut prev = vec![usize::MAX; data.len()];
+    let mut pos = 0;
+    while pos < data.len() {
+        let mut best_len = 0;
+        let mut best_dist = 0;
+        if pos + MIN_MATCH <= data.len() {
+            let mut candidate = head[hash3(data, pos)];
+            let mut chain = 0;
+            while candidate != usize::MAX && pos - candidate <= WINDOW_SIZE && chain < 64 {
+                let limit = (data.len() - pos).min(MAX_MATCH);
+                let mut len = 0;
+                while len < limit && data[candidate + len] == data[pos + len] {
+                    len += 1;
+                }
+                if len > best_len {
+                    best_len = len;
+                    best_dist = pos - candidate;
+                    if len == limit {
+                        break;
+                    }
+                }
+                candidate = prev[candidate];
+                chain += 1;
+            }
+        }
+
+        if best_len >= MIN_MATCH {
+            let (sym, extra_bits, extra) = length_to_symbol(best_len);
+            let (code, bits) = fixed_literal_code(sym);
+            writer.write_code(code, bits);
+            if extra_bits > 0 {
+                writer.write(extra as u32, extra_bits as u32);
+            }
+            let (dsym, dextra_bits, dextra) = distance_to_symbol(best_dist);
+            writer.write_code(dsym as u32, 5);
+            if dextra_bits > 0 {
+                writer.write(dextra as u32, dextra_bits as u32);
+            }
+            // Insert hash entries for every position the match covers.
+            let end = pos + best_len;
+            while pos < end {
+                if pos + MIN_MATCH <= data.len() {
+                    let h = hash3(data, pos);
+                    prev[pos] = head[h];
+                    head[h] = pos;
+                }
+                pos += 1;
+            }
+        } else {
+            let (code, bits) = fixed_literal_code(data[pos] as u16);
+            writer.write_code(code, bits);
+            if pos + MIN_MATCH <= data.len() {
+                let h = hash3(data, pos);
+                prev[pos] = head[h];
+                head[h] = pos;
+            }
+            pos += 1;
+        }
+    }
+
+    // End-of-block symbol.
+    let (code, bits) = fixed_literal_code(256);
+    writer.write_code(code, bits);
+    writer.finish()
+}
+
+/// Compresses `data` as a single stored (uncompressed) DEFLATE block —
+/// useful as a worst-case input and to exercise the stored-block decoder.
+///
+/// # Panics
+///
+/// Panics if `data` is longer than 65,535 bytes (one stored block).
+pub fn compress_stored(data: &[u8]) -> Vec<u8> {
+    assert!(data.len() <= 0xFFFF, "stored block limited to 65535 bytes");
+    let mut out = Vec::with_capacity(data.len() + 5);
+    out.push(0b001); // BFINAL=1, BTYPE=00
+    let len = data.len() as u16;
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&(!len).to_le_bytes());
+    out.extend_from_slice(data);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inflate_stored_block() {
+        let packed = compress_stored(b"hello");
+        assert_eq!(inflate(&packed).expect("valid"), b"hello");
+    }
+
+    #[test]
+    fn inflate_empty_stored_block() {
+        let packed = compress_stored(b"");
+        assert_eq!(inflate(&packed).expect("valid"), b"");
+    }
+
+    #[test]
+    fn stored_length_check_enforced() {
+        let mut packed = compress_stored(b"abc");
+        packed[2] ^= 0xFF; // corrupt NLEN
+        assert_eq!(inflate(&packed), Err(InflateError::StoredLengthMismatch));
+    }
+
+    #[test]
+    fn round_trip_compressible_text() {
+        let data = b"the quick brown fox jumps over the lazy dog. ".repeat(50);
+        let packed = compress(&data);
+        assert!(packed.len() < data.len() / 2, "should compress well");
+        assert_eq!(inflate(&packed).expect("valid"), data);
+    }
+
+    #[test]
+    fn round_trip_incompressible_bytes() {
+        // Pseudo-random bytes: compressor must still round-trip.
+        let mut state = 0x1234_5678u32;
+        let data: Vec<u8> = (0..10_000)
+            .map(|_| {
+                state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                (state >> 24) as u8
+            })
+            .collect();
+        assert_eq!(inflate(&compress(&data)).expect("valid"), data);
+    }
+
+    #[test]
+    fn round_trip_edge_sizes() {
+        for len in [0usize, 1, 2, 3, 4, 257, 258, 259, 300] {
+            let data: Vec<u8> = std::iter::repeat(b"ab".iter().copied())
+                .flatten()
+                .take(len)
+                .collect();
+            assert_eq!(inflate(&compress(&data)).expect("valid"), data, "len {len}");
+        }
+    }
+
+    #[test]
+    fn round_trip_long_runs_use_overlapping_copies() {
+        let data = vec![b'z'; 5_000];
+        let packed = compress(&data);
+        assert!(packed.len() < 100, "a run should compress tiny, got {}", packed.len());
+        assert_eq!(inflate(&packed).expect("valid"), data);
+    }
+
+    #[test]
+    fn known_fixed_huffman_stream() {
+        // Raw deflate of "hello hello" produced by zlib level 9 with
+        // wbits=-15 (fixed block): literals then a back-reference.
+        let packed: &[u8] = &[0xcb, 0x48, 0xcd, 0xc9, 0xc9, 0x57, 0xc8, 0x00, 0x91, 0x00];
+        assert_eq!(inflate(packed).expect("valid"), b"hello hello");
+        // And of "hello hello " (trailing space) — dynamic vs fixed choice
+        // differs only in the back-reference length.
+        let packed: &[u8] = &[0xcb, 0x48, 0xcd, 0xc9, 0xc9, 0x57, 0xc8, 0x00, 0x93, 0x00];
+        assert_eq!(inflate(packed).expect("valid"), b"hello hello ");
+    }
+
+    #[test]
+    fn reserved_block_type_rejected() {
+        // BFINAL=1, BTYPE=11.
+        assert_eq!(inflate(&[0b0000_0111]), Err(InflateError::ReservedBlockType));
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let data = b"some reasonably long input for the compressor".repeat(3);
+        let packed = compress(&data);
+        let truncated = &packed[..packed.len() / 2];
+        assert!(inflate(truncated).is_err());
+    }
+
+    #[test]
+    fn distance_too_far_rejected() {
+        // Fixed block: length code then distance pointing past output start.
+        let mut w = BitWriter::new();
+        w.write(1, 1); // BFINAL
+        w.write(1, 2); // fixed
+        let (code, bits) = fixed_literal_code(b'a' as u16);
+        w.write_code(code, bits);
+        let (sym, _, _) = length_to_symbol(3);
+        let (code, bits) = fixed_literal_code(sym);
+        w.write_code(code, bits);
+        w.write_code(3, 5); // distance symbol 3 => distance 4 > 1 available
+        let (code, bits) = fixed_literal_code(256);
+        w.write_code(code, bits);
+        let packed = w.finish();
+        assert!(matches!(
+            inflate(&packed),
+            Err(InflateError::DistanceTooFar { distance: 4, available: 1 })
+        ));
+    }
+
+    #[test]
+    fn length_symbol_boundaries() {
+        assert_eq!(length_to_symbol(3), (257, 0, 0));
+        assert_eq!(length_to_symbol(10), (264, 0, 0));
+        assert_eq!(length_to_symbol(11), (265, 1, 0));
+        assert_eq!(length_to_symbol(12), (265, 1, 1));
+        assert_eq!(length_to_symbol(258), (285, 0, 0));
+    }
+
+    #[test]
+    fn distance_symbol_boundaries() {
+        assert_eq!(distance_to_symbol(1), (0, 0, 0));
+        assert_eq!(distance_to_symbol(4), (3, 0, 0));
+        assert_eq!(distance_to_symbol(5), (4, 1, 0));
+        assert_eq!(distance_to_symbol(32768), (29, 13, 8191));
+    }
+
+    #[test]
+    fn multi_block_streams_concatenate() {
+        // Two stored blocks: first not final.
+        let mut packed = Vec::new();
+        packed.push(0b000); // BFINAL=0, BTYPE=00
+        packed.extend_from_slice(&3u16.to_le_bytes());
+        packed.extend_from_slice(&(!3u16).to_le_bytes());
+        packed.extend_from_slice(b"abc");
+        packed.extend_from_slice(&compress_stored(b"def"));
+        assert_eq!(inflate(&packed).expect("valid"), b"abcdef");
+    }
+}

@@ -1,0 +1,280 @@
+//! The `HTMLGen` workload: a small HTML template engine that dynamically
+//! generates a page from a data model, mirroring the FunctionBench-style
+//! "render and serve HTML" serverless function.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A value bindable into a template.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A string, HTML-escaped on substitution.
+    Text(String),
+    /// A number, rendered with `Display`.
+    Number(f64),
+    /// A list of rows, each a map of column name to text.
+    Table(Vec<BTreeMap<String, String>>),
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Text(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Text(s)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Value {
+        Value::Number(n)
+    }
+}
+
+/// Error produced while rendering a template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RenderError {
+    /// A `{{name}}` placeholder had no binding.
+    MissingBinding(String),
+    /// A `{{#table name}}` block referenced a non-table value.
+    NotATable(String),
+    /// A block was opened but never closed.
+    UnclosedBlock(String),
+}
+
+impl fmt::Display for RenderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RenderError::MissingBinding(name) => write!(f, "no binding for '{name}'"),
+            RenderError::NotATable(name) => write!(f, "binding '{name}' is not a table"),
+            RenderError::UnclosedBlock(name) => write!(f, "unclosed block '{name}'"),
+        }
+    }
+}
+
+impl std::error::Error for RenderError {}
+
+/// Escapes the five significant HTML characters.
+pub fn escape_html(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    for ch in input.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// A compiled template. Syntax:
+///
+/// * `{{name}}` — substitute a [`Value::Text`] (escaped) or
+///   [`Value::Number`];
+/// * `{{#table name}} … {{col}} … {{/table}}` — repeat the enclosed
+///   fragment for each row of a [`Value::Table`], binding column names.
+///
+/// # Examples
+///
+/// ```
+/// use microfaas_workloads::algorithms::htmlgen::{Template, Value};
+/// use std::collections::BTreeMap;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let tpl = Template::new("<h1>{{title}}</h1>");
+/// let mut bindings = BTreeMap::new();
+/// bindings.insert("title".to_string(), Value::from("Hello & welcome"));
+/// assert_eq!(tpl.render(&bindings)?, "<h1>Hello &amp; welcome</h1>");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Template {
+    source: String,
+}
+
+impl Template {
+    /// Wraps `source` as a template (parsing happens during render).
+    pub fn new(source: impl Into<String>) -> Self {
+        Template { source: source.into() }
+    }
+
+    /// Renders the template against `bindings`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RenderError`] if a placeholder is unbound, a table block
+    /// names a non-table, or a block is unclosed.
+    pub fn render(&self, bindings: &BTreeMap<String, Value>) -> Result<String, RenderError> {
+        render_fragment(&self.source, bindings)
+    }
+}
+
+fn render_fragment(
+    source: &str,
+    bindings: &BTreeMap<String, Value>,
+) -> Result<String, RenderError> {
+    let mut out = String::with_capacity(source.len());
+    let mut rest = source;
+    while let Some(open) = rest.find("{{") {
+        out.push_str(&rest[..open]);
+        let after = &rest[open + 2..];
+        let close = after.find("}}").ok_or_else(|| {
+            RenderError::UnclosedBlock(after.chars().take(20).collect())
+        })?;
+        let tag = after[..close].trim();
+        rest = &after[close + 2..];
+
+        if let Some(name) = tag.strip_prefix("#table ") {
+            let name = name.trim();
+            let end_tag = "{{/table}}";
+            let body_end = rest
+                .find(end_tag)
+                .ok_or_else(|| RenderError::UnclosedBlock(name.to_string()))?;
+            let body = &rest[..body_end];
+            rest = &rest[body_end + end_tag.len()..];
+            match bindings.get(name) {
+                Some(Value::Table(rows)) => {
+                    for row in rows {
+                        let row_bindings: BTreeMap<String, Value> = row
+                            .iter()
+                            .map(|(k, v)| (k.clone(), Value::Text(v.clone())))
+                            .collect();
+                        out.push_str(&render_fragment(body, &row_bindings)?);
+                    }
+                }
+                Some(_) => return Err(RenderError::NotATable(name.to_string())),
+                None => return Err(RenderError::MissingBinding(name.to_string())),
+            }
+        } else {
+            match bindings.get(tag) {
+                Some(Value::Text(s)) => out.push_str(&escape_html(s)),
+                Some(Value::Number(n)) => out.push_str(&n.to_string()),
+                Some(Value::Table(_)) => return Err(RenderError::NotATable(tag.to_string())),
+                None => return Err(RenderError::MissingBinding(tag.to_string())),
+            }
+        }
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+/// The `HTMLGen` kernel: generates a product-listing page with `rows`
+/// table rows, exercising escaping, substitution, and iteration.
+pub fn generate_page(rows: usize) -> String {
+    let tpl = Template::new(
+        "<!DOCTYPE html><html><head><title>{{title}}</title></head><body>\
+         <h1>{{title}}</h1><p>Showing {{count}} items</p>\
+         <table>{{#table items}}<tr><td>{{id}}</td><td>{{name}}</td>\
+         <td>{{price}}</td></tr>{{/table}}</table></body></html>",
+    );
+    let items: Vec<BTreeMap<String, String>> = (0..rows)
+        .map(|i| {
+            let mut row = BTreeMap::new();
+            row.insert("id".to_string(), i.to_string());
+            row.insert("name".to_string(), format!("Item <{}> & co.", i * 7 % 100));
+            row.insert("price".to_string(), format!("${}.{:02}", i % 90 + 10, i % 100));
+            row
+        })
+        .collect();
+    let mut bindings = BTreeMap::new();
+    bindings.insert("title".to_string(), Value::from("MicroFaaS Catalog"));
+    bindings.insert("count".to_string(), Value::Number(rows as f64));
+    bindings.insert("items".to_string(), Value::Table(items));
+    tpl.render(&bindings).expect("static template renders")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bind(pairs: &[(&str, Value)]) -> BTreeMap<String, Value> {
+        pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+    }
+
+    #[test]
+    fn substitutes_text_and_numbers() {
+        let tpl = Template::new("{{a}} costs {{n}}");
+        let out = tpl
+            .render(&bind(&[("a", Value::from("tea")), ("n", Value::Number(3.5))]))
+            .expect("renders");
+        assert_eq!(out, "tea costs 3.5");
+    }
+
+    #[test]
+    fn escapes_html_in_text() {
+        let tpl = Template::new("{{x}}");
+        let out = tpl
+            .render(&bind(&[("x", Value::from("<script>alert('&')</script>"))]))
+            .expect("renders");
+        assert_eq!(out, "&lt;script&gt;alert(&#39;&amp;&#39;)&lt;/script&gt;");
+    }
+
+    #[test]
+    fn table_block_iterates_rows() {
+        let tpl = Template::new("<ul>{{#table t}}<li>{{v}}</li>{{/table}}</ul>");
+        let rows = vec![
+            [("v".to_string(), "a".to_string())].into_iter().collect(),
+            [("v".to_string(), "b".to_string())].into_iter().collect(),
+        ];
+        let out = tpl
+            .render(&bind(&[("t", Value::Table(rows))]))
+            .expect("renders");
+        assert_eq!(out, "<ul><li>a</li><li>b</li></ul>");
+    }
+
+    #[test]
+    fn empty_table_renders_nothing() {
+        let tpl = Template::new("[{{#table t}}x{{/table}}]");
+        let out = tpl.render(&bind(&[("t", Value::Table(vec![]))])).expect("renders");
+        assert_eq!(out, "[]");
+    }
+
+    #[test]
+    fn missing_binding_is_an_error() {
+        let tpl = Template::new("{{nope}}");
+        assert_eq!(
+            tpl.render(&BTreeMap::new()),
+            Err(RenderError::MissingBinding("nope".to_string()))
+        );
+    }
+
+    #[test]
+    fn table_block_on_text_is_an_error() {
+        let tpl = Template::new("{{#table x}}{{/table}}");
+        assert_eq!(
+            tpl.render(&bind(&[("x", Value::from("s"))])),
+            Err(RenderError::NotATable("x".to_string()))
+        );
+    }
+
+    #[test]
+    fn unclosed_block_is_an_error() {
+        let tpl = Template::new("{{#table t}} no end");
+        assert!(matches!(
+            tpl.render(&bind(&[("t", Value::Table(vec![]))])),
+            Err(RenderError::UnclosedBlock(_))
+        ));
+    }
+
+    #[test]
+    fn generated_page_is_well_formed() {
+        let page = generate_page(25);
+        assert!(page.starts_with("<!DOCTYPE html>"));
+        assert!(page.ends_with("</html>"));
+        assert_eq!(page.matches("<tr>").count(), 25);
+        assert!(page.contains("&lt;"), "item names must be escaped");
+        assert!(!page.contains("Item <"), "raw angle brackets must not leak");
+    }
+
+    #[test]
+    fn page_size_scales_with_rows() {
+        assert!(generate_page(100).len() > generate_page(10).len());
+    }
+}

@@ -1,0 +1,11 @@
+//! From-scratch implementations of every compute kernel the Table-I
+//! workload suite needs: hashing, encryption, decompression, regular
+//! expressions, numeric kernels, and HTML generation.
+
+pub mod aes128;
+pub mod deflate;
+pub mod htmlgen;
+pub mod md5;
+pub mod numeric;
+pub mod regex;
+pub mod sha256;

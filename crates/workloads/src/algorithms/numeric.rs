@@ -1,0 +1,226 @@
+//! Numeric kernels: the `FloatOps` trigonometric loop and the `MatMul`
+//! dense matrix multiplication, both adapted from FunctionBench.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// The `FloatOps` kernel: `n` iterations of the FunctionBench float
+/// benchmark body `sqrt(sin(x) + cos(x) + tan(x))` accumulated so the
+/// optimizer cannot elide the loop.
+///
+/// # Examples
+///
+/// ```
+/// use microfaas_workloads::algorithms::numeric::float_ops;
+///
+/// let acc = float_ops(1_000);
+/// assert!(acc.is_finite());
+/// ```
+pub fn float_ops(n: u64) -> f64 {
+    let mut acc = 0.0f64;
+    for i in 0..n {
+        let x = (i as f64 + 1.0) * 0.001;
+        let v = x.sin() + x.cos() + x.tan();
+        // abs before sqrt keeps the result real for all x.
+        acc += v.abs().sqrt();
+    }
+    acc
+}
+
+/// A dense row-major `f64` matrix.
+///
+/// # Examples
+///
+/// ```
+/// use microfaas_workloads::algorithms::numeric::Matrix;
+///
+/// let identity = Matrix::identity(3);
+/// let m = Matrix::from_fn(3, 3, |r, c| (r * 3 + c) as f64);
+/// assert_eq!(m.multiply(&identity), m);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates the identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` for each element.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m[(r, c)] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Computes `self × rhs` with a cache-friendly ikj loop order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn multiply(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "inner dimensions must agree: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Sum of all elements — a cheap checksum for benchmarks.
+    pub fn checksum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix {}x{}", self.rows, self.cols)
+    }
+}
+
+/// The `MatMul` kernel: multiplies two pseudo-random `n × n` matrices
+/// generated from `seed` and returns the product's checksum.
+pub fn mat_mul(n: usize, seed: u64) -> f64 {
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    if state == 0 {
+        state = 0x853C_49E6_748F_EA9B;
+    }
+    let mut next = move || {
+        // xorshift64*
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 40) as f64 / (1u64 << 24) as f64
+    };
+    let a = Matrix::from_fn(n, n, |_, _| next());
+    let b = Matrix::from_fn(n, n, |_, _| next());
+    a.multiply(&b).checksum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_ops_is_deterministic_and_monotone() {
+        assert_eq!(float_ops(100), float_ops(100));
+        assert!(float_ops(200) > float_ops(100));
+        assert_eq!(float_ops(0), 0.0);
+    }
+
+    #[test]
+    fn identity_is_multiplicative_identity() {
+        let m = Matrix::from_fn(4, 4, |r, c| (r * 4 + c) as f64);
+        assert_eq!(m.multiply(&Matrix::identity(4)), m);
+        assert_eq!(Matrix::identity(4).multiply(&m), m);
+    }
+
+    #[test]
+    fn known_product() {
+        let a = Matrix::from_fn(2, 3, |r, c| (r * 3 + c + 1) as f64); // [[1,2,3],[4,5,6]]
+        let b = Matrix::from_fn(3, 2, |r, c| (r * 2 + c + 1) as f64); // [[1,2],[3,4],[5,6]]
+        let p = a.multiply(&b);
+        assert_eq!(p[(0, 0)], 22.0);
+        assert_eq!(p[(0, 1)], 28.0);
+        assert_eq!(p[(1, 0)], 49.0);
+        assert_eq!(p[(1, 1)], 64.0);
+    }
+
+    #[test]
+    fn rectangular_dimensions() {
+        let a = Matrix::zeros(2, 5);
+        let b = Matrix::zeros(5, 7);
+        let p = a.multiply(&b);
+        assert_eq!((p.rows(), p.cols()), (2, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn dimension_mismatch_panics() {
+        Matrix::zeros(2, 3).multiply(&Matrix::zeros(2, 3));
+    }
+
+    #[test]
+    fn associativity_within_tolerance() {
+        let a = Matrix::from_fn(5, 5, |r, c| ((r + 2 * c) % 7) as f64);
+        let b = Matrix::from_fn(5, 5, |r, c| ((3 * r + c) % 5) as f64);
+        let c = Matrix::from_fn(5, 5, |r, c| ((r * c) % 3) as f64);
+        let left = a.multiply(&b).multiply(&c);
+        let right = a.multiply(&b.multiply(&c));
+        for r in 0..5 {
+            for col in 0..5 {
+                assert!((left[(r, col)] - right[(r, col)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn mat_mul_kernel_deterministic() {
+        assert_eq!(mat_mul(16, 42), mat_mul(16, 42));
+        assert_ne!(mat_mul(16, 42), mat_mul(16, 43));
+    }
+}

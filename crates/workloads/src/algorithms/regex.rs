@@ -1,0 +1,779 @@
+//! A small regular-expression engine (Thompson NFA construction with
+//! breadth-first simulation) for the `RegExSearch` and `RegExMatch`
+//! workloads.
+//!
+//! Supported syntax: literals, `.`, character classes `[a-z0-9]` and
+//! negated classes `[^…]`, escapes `\d \D \w \W \s \S` plus escaped
+//! metacharacters, repetition `* + ?` and bounded `{m}`/`{m,n}`/`{m,}`,
+//! alternation `|`, grouping `(…)`, and anchors `^` / `$`.
+//!
+//! The simulation is linear in the input for `is_match`; matching never
+//! backtracks, so pathological patterns like `(a+)+` stay fast.
+
+use std::fmt;
+
+/// Error produced when a pattern fails to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePatternError {
+    /// Byte offset in the pattern where the problem was found.
+    pub position: usize,
+    message: String,
+}
+
+impl fmt::Display for ParsePatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at pattern offset {}", self.message, self.position)
+    }
+}
+
+impl std::error::Error for ParsePatternError {}
+
+fn err(position: usize, message: impl Into<String>) -> ParsePatternError {
+    ParsePatternError { position, message: message.into() }
+}
+
+// --------------------------------------------------------------------------
+// AST
+// --------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Ast {
+    Empty,
+    Char(CharSet),
+    AnchorStart,
+    AnchorEnd,
+    Concat(Vec<Ast>),
+    Alternate(Vec<Ast>),
+    Repeat {
+        node: Box<Ast>,
+        min: u32,
+        max: Option<u32>,
+    },
+}
+
+/// A set of byte values, stored as a 256-bit bitmap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CharSet {
+    bits: [u64; 4],
+}
+
+impl CharSet {
+    fn empty() -> Self {
+        CharSet { bits: [0; 4] }
+    }
+
+    fn single(b: u8) -> Self {
+        let mut set = CharSet::empty();
+        set.insert(b);
+        set
+    }
+
+    fn insert(&mut self, b: u8) {
+        self.bits[(b >> 6) as usize] |= 1u64 << (b & 63);
+    }
+
+    fn insert_range(&mut self, lo: u8, hi: u8) {
+        for b in lo..=hi {
+            self.insert(b);
+        }
+    }
+
+    fn contains(&self, b: u8) -> bool {
+        self.bits[(b >> 6) as usize] & (1u64 << (b & 63)) != 0
+    }
+
+    fn negate(&mut self) {
+        for word in &mut self.bits {
+            *word = !*word;
+        }
+    }
+
+    fn union(&mut self, other: &CharSet) {
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= b;
+        }
+    }
+
+    fn any_byte() -> Self {
+        let mut set = CharSet::empty();
+        set.negate();
+        // `.` conventionally excludes newline.
+        set.bits[(b'\n' >> 6) as usize] &= !(1u64 << (b'\n' & 63));
+        set
+    }
+
+    fn digits() -> Self {
+        let mut set = CharSet::empty();
+        set.insert_range(b'0', b'9');
+        set
+    }
+
+    fn word() -> Self {
+        let mut set = CharSet::empty();
+        set.insert_range(b'a', b'z');
+        set.insert_range(b'A', b'Z');
+        set.insert_range(b'0', b'9');
+        set.insert(b'_');
+        set
+    }
+
+    fn whitespace() -> Self {
+        let mut set = CharSet::empty();
+        for b in [b' ', b'\t', b'\n', b'\r', 0x0b, 0x0c] {
+            set.insert(b);
+        }
+        set
+    }
+}
+
+// --------------------------------------------------------------------------
+// Parser (recursive descent)
+// --------------------------------------------------------------------------
+
+struct Parser<'a> {
+    pattern: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse(pattern: &'a str) -> Result<Ast, ParsePatternError> {
+        let mut parser = Parser { pattern: pattern.as_bytes(), pos: 0 };
+        let ast = parser.alternation()?;
+        if parser.pos != parser.pattern.len() {
+            return Err(err(parser.pos, "unexpected ')'"));
+        }
+        Ok(ast)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.pattern.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn alternation(&mut self) -> Result<Ast, ParsePatternError> {
+        let mut branches = vec![self.concat()?];
+        while self.peek() == Some(b'|') {
+            self.bump();
+            branches.push(self.concat()?);
+        }
+        Ok(if branches.len() == 1 {
+            branches.pop().expect("one branch")
+        } else {
+            Ast::Alternate(branches)
+        })
+    }
+
+    fn concat(&mut self) -> Result<Ast, ParsePatternError> {
+        let mut parts = Vec::new();
+        while let Some(b) = self.peek() {
+            if b == b'|' || b == b')' {
+                break;
+            }
+            parts.push(self.repetition()?);
+        }
+        Ok(match parts.len() {
+            0 => Ast::Empty,
+            1 => parts.pop().expect("one part"),
+            _ => Ast::Concat(parts),
+        })
+    }
+
+    fn repetition(&mut self) -> Result<Ast, ParsePatternError> {
+        let start = self.pos;
+        let atom = self.atom()?;
+        let node = match self.peek() {
+            Some(b'*') => {
+                self.bump();
+                Ast::Repeat { node: Box::new(atom), min: 0, max: None }
+            }
+            Some(b'+') => {
+                self.bump();
+                Ast::Repeat { node: Box::new(atom), min: 1, max: None }
+            }
+            Some(b'?') => {
+                self.bump();
+                Ast::Repeat { node: Box::new(atom), min: 0, max: Some(1) }
+            }
+            Some(b'{') => {
+                self.bump();
+                let (min, max) = self.bounds()?;
+                if let Some(max) = max {
+                    if max < min {
+                        return Err(err(start, "repetition bound max < min"));
+                    }
+                }
+                Ast::Repeat { node: Box::new(atom), min, max }
+            }
+            _ => atom,
+        };
+        if matches!(node, Ast::Repeat { .. }) {
+            if let Ast::Repeat { node: ref inner, .. } = node {
+                if matches!(**inner, Ast::AnchorStart | Ast::AnchorEnd) {
+                    return Err(err(start, "cannot repeat an anchor"));
+                }
+            }
+        }
+        Ok(node)
+    }
+
+    fn bounds(&mut self) -> Result<(u32, Option<u32>), ParsePatternError> {
+        let min = self.number()?;
+        match self.bump() {
+            Some(b'}') => Ok((min, Some(min))),
+            Some(b',') => {
+                if self.peek() == Some(b'}') {
+                    self.bump();
+                    Ok((min, None))
+                } else {
+                    let max = self.number()?;
+                    match self.bump() {
+                        Some(b'}') => Ok((min, Some(max))),
+                        _ => Err(err(self.pos, "expected '}'")),
+                    }
+                }
+            }
+            _ => Err(err(self.pos, "expected ',' or '}'")),
+        }
+    }
+
+    fn number(&mut self) -> Result<u32, ParsePatternError> {
+        let start = self.pos;
+        let mut value: u32 = 0;
+        let mut any = false;
+        while let Some(b @ b'0'..=b'9') = self.peek() {
+            self.bump();
+            any = true;
+            value = value
+                .checked_mul(10)
+                .and_then(|v| v.checked_add((b - b'0') as u32))
+                .ok_or_else(|| err(start, "repetition bound too large"))?;
+            if value > 1_000 {
+                return Err(err(start, "repetition bound exceeds 1000"));
+            }
+        }
+        if !any {
+            return Err(err(start, "expected a number"));
+        }
+        Ok(value)
+    }
+
+    fn atom(&mut self) -> Result<Ast, ParsePatternError> {
+        let start = self.pos;
+        match self.bump() {
+            None => Err(err(start, "unexpected end of pattern")),
+            Some(b'(') => {
+                let inner = self.alternation()?;
+                match self.bump() {
+                    Some(b')') => Ok(inner),
+                    _ => Err(err(start, "unclosed group")),
+                }
+            }
+            Some(b'[') => self.char_class(start),
+            Some(b'.') => Ok(Ast::Char(CharSet::any_byte())),
+            Some(b'^') => Ok(Ast::AnchorStart),
+            Some(b'$') => Ok(Ast::AnchorEnd),
+            Some(b'\\') => self.escape(start).map(Ast::Char),
+            Some(b @ (b'*' | b'+' | b'?')) => {
+                Err(err(start, format!("dangling repetition operator '{}'", b as char)))
+            }
+            Some(b) => Ok(Ast::Char(CharSet::single(b))),
+        }
+    }
+
+    fn escape(&mut self, start: usize) -> Result<CharSet, ParsePatternError> {
+        match self.bump() {
+            None => Err(err(start, "trailing backslash")),
+            Some(b'd') => Ok(CharSet::digits()),
+            Some(b'D') => {
+                let mut set = CharSet::digits();
+                set.negate();
+                Ok(set)
+            }
+            Some(b'w') => Ok(CharSet::word()),
+            Some(b'W') => {
+                let mut set = CharSet::word();
+                set.negate();
+                Ok(set)
+            }
+            Some(b's') => Ok(CharSet::whitespace()),
+            Some(b'S') => {
+                let mut set = CharSet::whitespace();
+                set.negate();
+                Ok(set)
+            }
+            Some(b'n') => Ok(CharSet::single(b'\n')),
+            Some(b't') => Ok(CharSet::single(b'\t')),
+            Some(b'r') => Ok(CharSet::single(b'\r')),
+            Some(
+                b @ (b'\\' | b'.' | b'*' | b'+' | b'?' | b'(' | b')' | b'[' | b']' | b'{' | b'}'
+                | b'|' | b'^' | b'$' | b'-' | b'/'),
+            ) => Ok(CharSet::single(b)),
+            Some(b) => Err(err(start, format!("unknown escape '\\{}'", b as char))),
+        }
+    }
+
+    fn char_class(&mut self, start: usize) -> Result<Ast, ParsePatternError> {
+        let negated = if self.peek() == Some(b'^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut set = CharSet::empty();
+        let mut first = true;
+        loop {
+            let item_start = self.pos;
+            match self.bump() {
+                None => return Err(err(start, "unclosed character class")),
+                Some(b']') if !first => break,
+                Some(b) => {
+                    let lo_set = if b == b'\\' {
+                        self.escape(item_start)?
+                    } else {
+                        CharSet::single(b)
+                    };
+                    // Range only applies to single characters.
+                    if self.peek() == Some(b'-') && self.pattern.get(self.pos + 1) != Some(&b']') {
+                        if lo_set != CharSet::single(b) || b == b'\\' {
+                            return Err(err(item_start, "range bound must be a literal"));
+                        }
+                        self.bump(); // consume '-'
+                        let hi_pos = self.pos;
+                        let hi = match self.bump() {
+                            Some(b'\\') => {
+                                let hs = self.escape(hi_pos)?;
+                                // Only single-char escapes are valid bounds.
+                                let mut found = None;
+                                for v in 0..=255u8 {
+                                    if hs.contains(v) {
+                                        if found.is_some() {
+                                            return Err(err(
+                                                hi_pos,
+                                                "range bound must be a literal",
+                                            ));
+                                        }
+                                        found = Some(v);
+                                    }
+                                }
+                                found.ok_or_else(|| err(hi_pos, "empty range bound"))?
+                            }
+                            Some(h) => h,
+                            None => return Err(err(start, "unclosed character class")),
+                        };
+                        if hi < b {
+                            return Err(err(item_start, "character range out of order"));
+                        }
+                        set.insert_range(b, hi);
+                    } else {
+                        set.union(&lo_set);
+                    }
+                }
+            }
+            first = false;
+        }
+        if negated {
+            set.negate();
+        }
+        Ok(Ast::Char(set))
+    }
+}
+
+// --------------------------------------------------------------------------
+// NFA
+// --------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum State {
+    Char { set: CharSet, next: usize },
+    Split { a: usize, b: usize },
+    AnchorStart { next: usize },
+    AnchorEnd { next: usize },
+    Accept,
+}
+
+/// A compiled regular expression.
+///
+/// # Examples
+///
+/// ```
+/// use microfaas_workloads::algorithms::regex::Regex;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let re = Regex::new(r"[a-z]+@[a-z]+\.(com|org)")?;
+/// assert!(re.is_match("mail me at someone@example.org today"));
+/// assert_eq!(re.find_all("a@b.com c@d.org"), vec![(0, 7), (8, 15)]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Regex {
+    states: Vec<State>,
+    start: usize,
+    pattern: String,
+}
+
+struct Compiler {
+    states: Vec<State>,
+}
+
+impl Compiler {
+    fn push(&mut self, state: State) -> usize {
+        self.states.push(state);
+        self.states.len() - 1
+    }
+
+    /// Compiles `ast`, arranging for the fragment to continue at `next`.
+    /// Returns the fragment's entry state.
+    fn compile(&mut self, ast: &Ast, next: usize) -> usize {
+        match ast {
+            Ast::Empty => next,
+            Ast::Char(set) => self.push(State::Char { set: *set, next }),
+            Ast::AnchorStart => self.push(State::AnchorStart { next }),
+            Ast::AnchorEnd => self.push(State::AnchorEnd { next }),
+            Ast::Concat(parts) => {
+                let mut entry = next;
+                for part in parts.iter().rev() {
+                    entry = self.compile(part, entry);
+                }
+                entry
+            }
+            Ast::Alternate(branches) => {
+                let entries: Vec<usize> =
+                    branches.iter().map(|b| self.compile(b, next)).collect();
+                entries
+                    .into_iter()
+                    .reduce(|a, b| self.push(State::Split { a, b }))
+                    .expect("alternation has branches")
+            }
+            Ast::Repeat { node, min, max } => self.compile_repeat(node, *min, *max, next),
+        }
+    }
+
+    fn compile_repeat(&mut self, node: &Ast, min: u32, max: Option<u32>, next: usize) -> usize {
+        match max {
+            None => {
+                // Unbounded tail: a loop split.
+                let split_idx = self.push(State::Split { a: 0, b: next });
+                let body = self.compile(node, split_idx);
+                if let State::Split { a, .. } = &mut self.states[split_idx] {
+                    *a = body;
+                }
+                let mut entry = split_idx;
+                for _ in 0..min {
+                    entry = self.compile(node, entry);
+                }
+                entry
+            }
+            Some(max) => {
+                // min required copies then (max - min) optional copies.
+                let mut entry = next;
+                for _ in min..max {
+                    let body = self.compile(node, entry);
+                    entry = self.push(State::Split { a: body, b: next });
+                }
+                for _ in 0..min {
+                    entry = self.compile(node, entry);
+                }
+                entry
+            }
+        }
+    }
+}
+
+impl Regex {
+    /// Compiles `pattern`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParsePatternError`] for malformed syntax.
+    pub fn new(pattern: &str) -> Result<Self, ParsePatternError> {
+        let ast = Parser::parse(pattern)?;
+        let mut compiler = Compiler { states: Vec::new() };
+        let accept = compiler.push(State::Accept);
+        let start = compiler.compile(&ast, accept);
+        Ok(Regex {
+            states: compiler.states,
+            start,
+            pattern: pattern.to_string(),
+        })
+    }
+
+    /// The original pattern string.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Adds `state` and everything reachable through ε-transitions to the
+    /// active set. `at_start`/`at_end` describe the current text position.
+    fn add_state(
+        &self,
+        state: usize,
+        list: &mut Vec<usize>,
+        on_list: &mut [bool],
+        at_start: bool,
+        at_end: bool,
+    ) {
+        if on_list[state] {
+            return;
+        }
+        on_list[state] = true;
+        match &self.states[state] {
+            State::Split { a, b } => {
+                self.add_state(*a, list, on_list, at_start, at_end);
+                self.add_state(*b, list, on_list, at_start, at_end);
+            }
+            State::AnchorStart { next } => {
+                if at_start {
+                    self.add_state(*next, list, on_list, at_start, at_end);
+                }
+            }
+            State::AnchorEnd { next } => {
+                if at_end {
+                    self.add_state(*next, list, on_list, at_start, at_end);
+                }
+            }
+            _ => list.push(state),
+        }
+    }
+
+    /// Runs the NFA from byte offset `from`, returning the end offset of
+    /// the longest match starting there.
+    fn run_from(&self, text: &[u8], from: usize) -> Option<usize> {
+        let mut current = Vec::new();
+        let mut on_list = vec![false; self.states.len()];
+        self.add_state(
+            self.start,
+            &mut current,
+            &mut on_list,
+            from == 0,
+            from == text.len(),
+        );
+        let mut last_match = if current.iter().any(|&s| matches!(self.states[s], State::Accept)) {
+            Some(from)
+        } else {
+            None
+        };
+
+        let mut next_list = Vec::new();
+        for (offset, &byte) in text[from..].iter().enumerate() {
+            if current.is_empty() {
+                break;
+            }
+            next_list.clear();
+            let mut next_on = vec![false; self.states.len()];
+            let pos_after = from + offset + 1;
+            for &s in &current {
+                if let State::Char { set, next } = &self.states[s] {
+                    if set.contains(byte) {
+                        self.add_state(
+                            *next,
+                            &mut next_list,
+                            &mut next_on,
+                            false,
+                            pos_after == text.len(),
+                        );
+                    }
+                }
+            }
+            std::mem::swap(&mut current, &mut next_list);
+            if current.iter().any(|&s| matches!(self.states[s], State::Accept)) {
+                last_match = Some(pos_after);
+            }
+        }
+        last_match
+    }
+
+    /// Returns true if the pattern matches anywhere in `text`
+    /// (the `RegExMatch` workload semantics).
+    pub fn is_match(&self, text: &str) -> bool {
+        let bytes = text.as_bytes();
+        (0..=bytes.len()).any(|from| self.run_from(bytes, from).is_some())
+    }
+
+    /// Finds all leftmost-longest non-overlapping matches
+    /// (the `RegExSearch` workload semantics). Returns byte ranges.
+    pub fn find_all(&self, text: &str) -> Vec<(usize, usize)> {
+        let bytes = text.as_bytes();
+        let mut matches = Vec::new();
+        let mut from = 0;
+        while from <= bytes.len() {
+            match self.run_from(bytes, from) {
+                Some(end) => {
+                    matches.push((from, end));
+                    // Empty matches must still make progress.
+                    from = if end == from { from + 1 } else { end };
+                }
+                None => from += 1,
+            }
+        }
+        matches
+    }
+}
+
+impl fmt::Display for Regex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "/{}/", self.pattern)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn re(pattern: &str) -> Regex {
+        Regex::new(pattern).expect("valid pattern")
+    }
+
+    #[test]
+    fn literal_match() {
+        assert!(re("abc").is_match("xxabcxx"));
+        assert!(!re("abc").is_match("ab c"));
+    }
+
+    #[test]
+    fn dot_matches_any_but_newline() {
+        assert!(re("a.c").is_match("abc"));
+        assert!(re("a.c").is_match("a0c"));
+        assert!(!re("a.c").is_match("a\nc"));
+    }
+
+    #[test]
+    fn star_plus_question() {
+        assert!(re("ab*c").is_match("ac"));
+        assert!(re("ab*c").is_match("abbbbc"));
+        assert!(!re("ab+c").is_match("ac"));
+        assert!(re("ab+c").is_match("abc"));
+        assert!(re("ab?c").is_match("ac"));
+        assert!(re("ab?c").is_match("abc"));
+        assert!(!re("ab?c").is_match("abbc"));
+    }
+
+    #[test]
+    fn bounded_repetition() {
+        let r = re("a{3}");
+        assert!(r.is_match("aaa"));
+        assert!(!r.is_match("aa"));
+        let r = re("^a{2,4}$");
+        assert!(!r.is_match("a"));
+        assert!(r.is_match("aa"));
+        assert!(r.is_match("aaaa"));
+        assert!(!r.is_match("aaaaa"));
+        let r = re("^a{2,}$");
+        assert!(r.is_match("aaaaaa"));
+        assert!(!r.is_match("a"));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        let r = re("(cat|dog)s?");
+        assert!(r.is_match("I have cats"));
+        assert!(r.is_match("one dog"));
+        assert!(!r.is_match("bird"));
+    }
+
+    #[test]
+    fn char_classes() {
+        assert!(re("[abc]+").is_match("cab"));
+        assert!(!re("^[abc]+$").is_match("abd"));
+        assert!(re("[a-f0-9]+").is_match("deadbeef42"));
+        assert!(re("[^0-9]").is_match("a"));
+        assert!(!re("^[^0-9]+$").is_match("a1b"));
+        assert!(re("[-x]").is_match("-"));
+    }
+
+    #[test]
+    fn escapes() {
+        assert!(re(r"\d{3}-\d{4}").is_match("call 555-1234 now"));
+        assert!(re(r"\w+").is_match("hello_world9"));
+        assert!(re(r"\s").is_match("a b"));
+        assert!(!re(r"\S").is_match(" \t\n"));
+        assert!(re(r"\.").is_match("a.b"));
+        assert!(!re(r"\.").is_match("ab"));
+    }
+
+    #[test]
+    fn anchors() {
+        assert!(re("^abc").is_match("abcdef"));
+        assert!(!re("^abc").is_match("xabc"));
+        assert!(re("abc$").is_match("xyzabc"));
+        assert!(!re("abc$").is_match("abcx"));
+        assert!(re("^$").is_match(""));
+        assert!(!re("^$").is_match("a"));
+    }
+
+    #[test]
+    fn find_all_leftmost_longest() {
+        let r = re("a+");
+        assert_eq!(r.find_all("aa b aaa a"), vec![(0, 2), (5, 8), (9, 10)]);
+    }
+
+    #[test]
+    fn find_all_no_overlap() {
+        let r = re("aba");
+        assert_eq!(r.find_all("ababa"), vec![(0, 3)]);
+    }
+
+    #[test]
+    fn find_all_with_empty_match_progresses() {
+        let r = re("a*");
+        // Every position yields a match; empty matches advance by one.
+        let matches = r.find_all("ba");
+        assert_eq!(matches, vec![(0, 0), (1, 2), (2, 2)]);
+    }
+
+    #[test]
+    fn email_like_pattern() {
+        let r = re(r"[a-zA-Z0-9_]+@[a-z]+\.[a-z]{2,3}");
+        assert_eq!(r.find_all("hi bob@mail.com and eve@x.org!"), vec![(3, 15), (20, 29)]);
+    }
+
+    #[test]
+    fn pathological_pattern_is_fast() {
+        // (a+)+b on "aaaa...a" blows up a backtracker; Thompson is linear.
+        let r = re("(a+)+b");
+        let text = "a".repeat(2_000);
+        let start = std::time::Instant::now();
+        assert!(!r.is_match(&text));
+        assert!(start.elapsed().as_secs() < 5, "NFA simulation must not backtrack");
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Regex::new("(abc").is_err());
+        assert!(Regex::new("abc)").is_err());
+        assert!(Regex::new("[abc").is_err());
+        assert!(Regex::new("a{3,1}").is_err());
+        assert!(Regex::new("*a").is_err());
+        assert!(Regex::new(r"\q").is_err());
+        assert!(Regex::new("[z-a]").is_err());
+        assert!(Regex::new("a{").is_err());
+        assert!(Regex::new("a{99999}").is_err());
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let e = Regex::new("ab[cd").expect_err("unclosed class");
+        assert_eq!(e.position, 2);
+        assert!(e.to_string().contains("offset 2"));
+    }
+
+    #[test]
+    fn nested_repetition() {
+        let r = re("^(ab){2,3}$");
+        assert!(!r.is_match("ab"));
+        assert!(r.is_match("abab"));
+        assert!(r.is_match("ababab"));
+        assert!(!r.is_match("abababab"));
+    }
+
+    #[test]
+    fn class_with_escape_inside() {
+        let r = re(r"[\d.]+");
+        assert_eq!(r.find_all("ip 10.0.0.1 ok"), vec![(3, 11)]);
+    }
+}

@@ -1,0 +1,16 @@
+//! # microfaas-workloads
+//!
+//! The 17 serverless workload functions of the paper's Table I, with every
+//! compute kernel implemented from scratch (see [`algorithms`]) and a
+//! per-platform service-time calibration used by the cluster simulator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithms;
+pub mod calibration;
+pub mod interp;
+pub mod suite;
+
+pub use calibration::{service_time, ServiceTime, WorkerPlatform};
+pub use suite::{run_function, FunctionId, ServiceBackends, WorkloadClass};

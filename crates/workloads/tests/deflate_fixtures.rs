@@ -1,0 +1,39 @@
+//! Cross-validation of the DEFLATE inflater against a zlib-produced
+//! dynamic-Huffman stream, with the plaintext verified through our own
+//! SHA-256 implementation (two independently-tested modules checking each
+//! other).
+
+use microfaas_workloads::algorithms::deflate::inflate;
+use microfaas_workloads::algorithms::sha256::sha256;
+
+/// zlib level 9, wbits = -15, on 3,000 bytes of skewed text; the encoder
+/// chose a dynamic-Huffman block (first byte & 7 == 0b101).
+const PACKED: &[u8] = include_bytes!("fixtures/dynamic_block.deflate");
+
+#[test]
+fn zlib_dynamic_block_inflates_to_expected_plaintext() {
+    assert_eq!(PACKED[0] & 0b111, 0b101, "fixture must be a final dynamic block");
+    let plain = inflate(PACKED).expect("zlib output is valid deflate");
+    assert_eq!(plain.len(), 3_000);
+    let digest: String = sha256(&plain).iter().map(|b| format!("{b:02x}")).collect();
+    assert_eq!(
+        digest,
+        "2dcb289adffac25d2d73c29cad59586af3ec2f57ba6eec7fd74a181a149c0076"
+    );
+}
+
+#[test]
+fn truncations_of_dynamic_block_never_panic() {
+    for cut in (0..PACKED.len()).step_by(41) {
+        let _ = inflate(&PACKED[..cut]); // must return Err, not panic
+    }
+}
+
+#[test]
+fn bit_flips_in_dynamic_block_never_panic() {
+    for i in (0..PACKED.len()).step_by(17) {
+        let mut corrupted = PACKED.to_vec();
+        corrupted[i] ^= 0x10;
+        let _ = inflate(&corrupted); // any Result is fine; no panic/UB
+    }
+}

@@ -1,0 +1,49 @@
+//! Walks the worker-OS boot-time optimization pipeline (paper Fig. 1),
+//! showing how each stage contributes and what a partially optimized OS
+//! would cost the cluster in throughput.
+//!
+//! ```bash
+//! cargo run --release --example boot_optimization
+//! ```
+
+use microfaas_hw::boot::{BootPlatform, BootProfile};
+use microfaas_workloads::calibration::{suite_mean_total, WorkerPlatform};
+
+fn main() {
+    println!("Boot-time pipeline on the BeagleBone Black (ARM):\n");
+    let mut cumulative_saved = 0.0;
+    let baseline = BootProfile::baseline_time(BootPlatform::Arm).real.as_secs_f64();
+    let mut previous = baseline;
+    for (stage, time) in BootProfile::progression(BootPlatform::Arm) {
+        let real = time.real.as_secs_f64();
+        if let Some(stage) = stage {
+            let saved = previous - real;
+            cumulative_saved += saved;
+            println!("{stage:<48} saved {saved:>5.2}s -> boot {real:>5.2}s");
+        } else {
+            println!("{:<48} {:>18}", "baseline (stock distribution)", format!("boot {real:.2}s"));
+        }
+        previous = real;
+    }
+    println!(
+        "\ntotal saved: {cumulative_saved:.2}s of {baseline:.2}s ({:.0}%)",
+        cumulative_saved / baseline * 100.0
+    );
+
+    // What the boot work buys the cluster: since workers reboot between
+    // jobs, boot time is paid on *every* invocation.
+    let mean_job = suite_mean_total(WorkerPlatform::ArmSbc).as_secs_f64();
+    let optimized_boot = BootProfile::fully_optimized(BootPlatform::Arm)
+        .boot_time()
+        .real
+        .as_secs_f64();
+    let optimized_rate = 10.0 * 60.0 / (mean_job + optimized_boot);
+    let stock_rate = 10.0 * 60.0 / (mean_job + baseline);
+    println!("\nbecause every job pays one reboot:");
+    println!("  10-SBC throughput with the stock OS:     {stock_rate:>6.1} func/min");
+    println!("  10-SBC throughput with the optimized OS: {optimized_rate:>6.1} func/min");
+    println!(
+        "  -> the Fig. 1 engineering is worth {:.1}x in throughput",
+        optimized_rate / stock_rate
+    );
+}

@@ -1,0 +1,60 @@
+//! Drives the platform's HTTP front door: deploy functions, list them,
+//! and invoke a few over parsed HTTP/1.1 — the request path a real
+//! client of the platform would exercise.
+//!
+//! ```bash
+//! cargo run --release --example http_gateway
+//! ```
+
+use std::error::Error;
+
+use microfaas::gateway::Gateway;
+use microfaas::registry::{FunctionRegistry, FunctionSpec};
+use microfaas_sim::SimDuration;
+use microfaas_workloads::FunctionId;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // Deploy the paper suite plus one custom function with a timeout.
+    let mut registry = FunctionRegistry::paper_suite();
+    registry.deploy(
+        "log-archiver",
+        FunctionSpec {
+            handler: FunctionId::Decompress,
+            memory_mb: 256,
+            timeout: Some(SimDuration::from_secs(30)),
+        },
+    )?;
+    let mut gateway = Gateway::new(registry, 2022);
+
+    // Deploy a user-authored handler in the platform's scripting
+    // language (the MicroPython stand-in), then invoke it like any other.
+    let script = r#"
+        let payload = "order-7431";
+        let fingerprint = sha256_hex(payload);
+        return "receipt:" + fingerprint;
+    "#;
+    let deploy = format!(
+        "POST /deploy/receipt-maker HTTP/1.1\r\ncontent-length: {}\r\n\r\n{script}",
+        script.len()
+    );
+
+    let requests: &[&str] = &[
+        "GET /healthz HTTP/1.1\r\n\r\n",
+        "GET /functions HTTP/1.1\r\n\r\n",
+        "POST /invoke/RegExSearch HTTP/1.1\r\n\r\n",
+        "POST /invoke/RedisInsert HTTP/1.1\r\n\r\n",
+        "POST /invoke/log-archiver HTTP/1.1\r\n\r\n",
+        &deploy,
+        "POST /invoke/receipt-maker HTTP/1.1\r\n\r\n",
+        "POST /invoke/NoSuchFunction HTTP/1.1\r\n\r\n",
+    ];
+    for raw in requests {
+        let request_line = raw.lines().next().unwrap_or_default();
+        let response = gateway.handle(raw.as_bytes());
+        let body = String::from_utf8_lossy(&response.body);
+        let preview: String = body.lines().next().unwrap_or_default().chars().take(60).collect();
+        println!("{request_line:<44} -> {} {preview}", response.status);
+    }
+    println!("\nserved {} successful invocations", gateway.invocations());
+    Ok(())
+}

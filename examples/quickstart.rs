@@ -1,0 +1,34 @@
+//! Quickstart: stand up both clusters, run a scaled-down version of the
+//! paper's evaluation, and print the headline comparison.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use microfaas::config::WorkloadMix;
+use microfaas::conventional::{run_conventional, ConventionalConfig};
+use microfaas::micro::{run_microfaas, MicroFaasConfig};
+
+fn main() {
+    // 50 invocations of each of the 17 Table-I functions.
+    let mix = WorkloadMix::quick();
+
+    println!("Simulating the MicroFaaS cluster (10 BeagleBone Black SBCs)...");
+    let micro = run_microfaas(&MicroFaasConfig::paper_prototype(mix.clone(), 42));
+    println!("  {micro}");
+
+    println!("Simulating the conventional cluster (6 microVMs on one rack server)...");
+    let conventional = run_conventional(&ConventionalConfig::paper_baseline(mix, 42));
+    println!("  {conventional}");
+
+    let micro_jpf = micro.joules_per_function().expect("jobs completed");
+    let conv_jpf = conventional.joules_per_function().expect("jobs completed");
+    println!();
+    println!("energy efficiency:");
+    println!("  MicroFaaS     {micro_jpf:>6.2} J/function   (paper: 5.7)");
+    println!("  Conventional  {conv_jpf:>6.2} J/function   (paper: 32.0)");
+    println!(
+        "  -> MicroFaaS is {:.1}x more energy-efficient (paper: 5.6x)",
+        conv_jpf / micro_jpf
+    );
+}

@@ -1,0 +1,62 @@
+//! Compares the orchestration plane's scheduling policies under
+//! arrival-driven load, and visualizes a small run as an ASCII timeline.
+//!
+//! ```bash
+//! cargo run --release --example scheduling_study
+//! ```
+
+use microfaas::config::{Jitter, WorkloadMix};
+use microfaas::micro::{run_microfaas, MicroFaasConfig};
+use microfaas::openloop::{run_open_loop, ArrivalProcess, OpenLoopConfig, SchedulerPolicy};
+use microfaas::timeline::Timeline;
+use microfaas_sim::SimDuration;
+use microfaas_workloads::FunctionId;
+
+fn main() {
+    // --- Part 1: policies under 2 jobs/s of Poisson arrivals. ---
+    println!("scheduling policies at 2.0 jobs/s over 10 minutes:\n");
+    println!(
+        "{:<14} {:>9} {:>9} {:>9} {:>13} {:>13}",
+        "policy", "mean lat", "p95 lat", "J/func", "mean powered", "power cycles"
+    );
+    for (name, policy) in [
+        ("random", SchedulerPolicy::RandomQueue),
+        ("least-loaded", SchedulerPolicy::LeastLoaded),
+        ("power-aware", SchedulerPolicy::PowerAware),
+    ] {
+        let run = run_open_loop(&OpenLoopConfig {
+            workers: 10,
+            seed: 2022,
+            duration: SimDuration::from_secs(600),
+            arrival: ArrivalProcess::Poisson { per_second: 2.0 },
+            scheduler: policy,
+            jitter: Jitter::default_run_to_run(),
+            functions: FunctionId::ALL.to_vec(),
+        });
+        println!(
+            "{name:<14} {:>8.2}s {:>8.2}s {:>9.2} {:>13.2} {:>13}",
+            run.mean_latency_s,
+            run.p95_latency_s,
+            run.joules_per_function,
+            run.mean_powered_on,
+            run.power_cycles
+        );
+    }
+    println!(
+        "\nleast-loaded buys latency; power-aware packing buys fewer cold\n\
+         boots; energy per function barely moves — power gating already\n\
+         makes the cluster energy-proportional regardless of placement."
+    );
+
+    // --- Part 2: what a saturated run looks like, worker by worker. ---
+    println!("\nworker timeline of a small saturated run ('#' executing):\n");
+    let run = run_microfaas(&MicroFaasConfig::paper_prototype(
+        WorkloadMix::new(FunctionId::ALL.to_vec(), 8),
+        7,
+    ));
+    let timeline = Timeline::from_run(&run);
+    print!("{}", timeline.render(72));
+    if let Some(gap) = timeline.mean_gap() {
+        println!("\nthe gaps between jobs are the clean-state reboot: mean {gap}");
+    }
+}

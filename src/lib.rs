@@ -1,0 +1,40 @@
+//! # microfaas-repro
+//!
+//! Facade crate for the MicroFaaS reproduction. Re-exports every
+//! subsystem under one roof so the examples and workspace-level
+//! integration tests have a single dependency:
+//!
+//! * [`sim`] — deterministic discrete-event kernel;
+//! * [`net`] — switched-Ethernet network model;
+//! * [`hw`] — SBC / rack-server / boot-pipeline / power models;
+//! * [`services`] — KV store, SQL engine, object store, message queue;
+//! * [`workloads`] — the 17 Table-I functions and their calibration;
+//! * [`energy`] — power metering;
+//! * [`tco`] — the Cui et al. cost model (Table II);
+//! * [`platform`] — the MicroFaaS core: clusters, orchestration,
+//!   experiment drivers.
+//!
+//! # Examples
+//!
+//! ```
+//! use microfaas_repro::platform::config::WorkloadMix;
+//! use microfaas_repro::platform::micro::{run_microfaas, MicroFaasConfig};
+//!
+//! let run = run_microfaas(&MicroFaasConfig::paper_prototype(
+//!     WorkloadMix::quick(),
+//!     1,
+//! ));
+//! assert!(run.functions_per_minute() > 150.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use microfaas as platform;
+pub use microfaas_energy as energy;
+pub use microfaas_hw as hw;
+pub use microfaas_net as net;
+pub use microfaas_services as services;
+pub use microfaas_sim as sim;
+pub use microfaas_tco as tco;
+pub use microfaas_workloads as workloads;

@@ -1,0 +1,116 @@
+//! A cross-service integration scenario: a small "serverless
+//! application" that exercises all four backing services through their
+//! wire/typed interfaces in one coherent flow — events arrive on the
+//! message queue, get processed into the KV store and SQL database, and
+//! artifacts land in the object store.
+
+use microfaas_services::kvstore::{Command, KvStore, Reply};
+use microfaas_services::mqueue::Broker;
+use microfaas_services::objstore::ObjectStore;
+use microfaas_services::sqldb::{Database, QueryOutput, SqlValue};
+use microfaas_workloads::algorithms::deflate::{compress, inflate};
+use microfaas_workloads::algorithms::sha256::sha256;
+
+#[test]
+fn event_processing_pipeline() {
+    // --- Setup: the backing services of a tiny analytics app. ---
+    let mut mq = Broker::new();
+    mq.create_topic("clicks", 2).expect("fresh topic");
+    let mut kv = KvStore::new();
+    let mut sql = Database::new();
+    sql.execute("CREATE TABLE clicks (user INTEGER, page TEXT)").expect("schema");
+    let mut cos = ObjectStore::new();
+    cos.create_bucket("archives").expect("fresh bucket");
+
+    // --- Producers: 40 click events, keyed by user. ---
+    for i in 0..40u32 {
+        let user = i % 5;
+        let payload = format!("user={user};page=/item/{}", i % 7);
+        mq.produce("clicks", Some(user.to_string().as_bytes()), payload.into_bytes())
+            .expect("produce");
+    }
+
+    // --- Consumer: drain both partitions, fan out to KV + SQL. ---
+    let mut processed = 0;
+    for partition in 0..2 {
+        loop {
+            let batch = mq.consume("pipeline", "clicks", partition, 8).expect("consume");
+            if batch.is_empty() {
+                break;
+            }
+            for message in batch {
+                let text = String::from_utf8(message.value.clone()).expect("utf-8 payload");
+                let user: i64 = text
+                    .split(';')
+                    .next()
+                    .and_then(|kv| kv.strip_prefix("user="))
+                    .expect("payload format")
+                    .parse()
+                    .expect("numeric user");
+                let page = text.split("page=").nth(1).expect("payload format");
+                // Per-user counter through the RESP wire path.
+                let counter_key = format!("clicks:user:{user}");
+                let raw =
+                    kv.handle_raw(&Command::Incr(counter_key).encode());
+                assert_eq!(raw.first(), Some(&b':'), "INCR returns an integer");
+                // Row store.
+                sql.execute(&format!("INSERT INTO clicks VALUES ({user}, '{page}')"))
+                    .expect("insert");
+                processed += 1;
+            }
+        }
+    }
+    assert_eq!(processed, 40, "every event consumed exactly once");
+
+    // --- Aggregation: SQL sees all rows; counters add up. ---
+    let out = sql.execute("SELECT COUNT(*) FROM clicks").expect("count");
+    assert_eq!(
+        out,
+        QueryOutput::Rows {
+            columns: vec!["count".to_string()],
+            rows: vec![vec![SqlValue::Integer(40)]],
+        }
+    );
+    let mut counter_total = 0i64;
+    for user in 0..5 {
+        match kv.execute(Command::Get(format!("clicks:user:{user}"))) {
+            Reply::Bulk(data) => {
+                counter_total += String::from_utf8(data)
+                    .expect("ascii digits")
+                    .parse::<i64>()
+                    .expect("counter value");
+            }
+            other => panic!("expected a counter, got {other:?}"),
+        }
+    }
+    assert_eq!(counter_total, 40, "KV counters match event count");
+
+    // --- Archival: export, compress, store, verify integrity. ---
+    let export = match sql.execute("SELECT page FROM clicks ORDER BY page").expect("export") {
+        QueryOutput::Rows { rows, .. } => rows
+            .into_iter()
+            .map(|row| row[0].to_string())
+            .collect::<Vec<_>>()
+            .join("\n"),
+        other => panic!("expected rows, got {other:?}"),
+    };
+    let packed = compress(export.as_bytes());
+    assert!(packed.len() < export.len(), "click logs compress well");
+    let digest = sha256(export.as_bytes());
+    cos.put("archives", "clicks/2022-03.deflate", packed, "application/octet-stream")
+        .expect("archive");
+
+    // A later reader restores the archive bit-for-bit.
+    let (stored, meta) = cos.get("archives", "clicks/2022-03.deflate").expect("restore");
+    assert_eq!(meta.content_type, "application/octet-stream");
+    let restored = inflate(&stored).expect("valid deflate");
+    assert_eq!(sha256(&restored), digest, "integrity through the full pipeline");
+
+    // The queue's committed offsets reflect full consumption.
+    for partition in 0..2 {
+        assert_eq!(
+            mq.committed_offset("pipeline", "clicks", partition),
+            mq.log_end_offset("clicks", partition).expect("leo"),
+        );
+    }
+}
