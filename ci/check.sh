@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# The full pre-merge gate. Everything here runs offline (the two
+# external dev-dependencies are vendored shims — see README "Offline
+# workflow").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> cargo doc (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "All checks passed."

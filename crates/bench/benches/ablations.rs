@@ -9,7 +9,10 @@ use microfaas_bench::banner;
 use microfaas_workloads::FunctionId;
 
 fn main() {
-    banner("Design-choice ablations", "paper §V discussion and §VI future work");
+    banner(
+        "Design-choice ablations",
+        "paper §V discussion and §VI future work",
+    );
     let seed = 2022;
 
     // 1. Gigabit NIC upgrade: the paper predicts it "would likely reduce
@@ -71,8 +74,7 @@ fn main() {
     );
     println!(
         "  -> the isolation guarantee costs {:.0}% throughput",
-        (1.0 - with_reboot.functions_per_minute() / without_reboot.functions_per_minute())
-            * 100.0
+        (1.0 - with_reboot.functions_per_minute() / without_reboot.functions_per_minute()) * 100.0
     );
 
     // 4. Assignment policy: work-conserving shared queue vs the paper's

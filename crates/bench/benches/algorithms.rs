@@ -54,7 +54,9 @@ fn bench_deflate(c: &mut Criterion) {
         .collect();
     let packed = compress(&document);
     group.throughput(Throughput::Bytes(document.len() as u64));
-    group.bench_function("compress_64k", |b| b.iter(|| compress(black_box(&document))));
+    group.bench_function("compress_64k", |b| {
+        b.iter(|| compress(black_box(&document)))
+    });
     group.bench_function("inflate_64k", |b| {
         b.iter(|| inflate(black_box(&packed)).expect("valid"))
     });

@@ -33,7 +33,10 @@ fn bench_cluster_runs(c: &mut Criterion) {
     });
     c.bench_function("conventional_run_340_jobs", |b| {
         b.iter(|| {
-            run_conventional(black_box(&ConventionalConfig::paper_baseline(mix.clone(), 1)))
+            run_conventional(black_box(&ConventionalConfig::paper_baseline(
+                mix.clone(),
+                1,
+            )))
         })
     });
 }

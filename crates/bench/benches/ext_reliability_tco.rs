@@ -36,14 +36,23 @@ fn main() {
         );
         println!(
             "{:<14} {:>6} {:>12} {:>10.2} (closed form)",
-            "", "", "", expected_failures(&spec)
+            "",
+            "",
+            "",
+            expected_failures(&spec)
         );
         achieved.push(report.online_rate);
     }
 
     // TCO with the achieved (simulated) online rates at 50% utilization.
-    let conv_conditions = Conditions { utilization: 0.5, online_rate: achieved[1] };
-    let micro_conditions = Conditions { utilization: 0.5, online_rate: achieved[0] };
+    let conv_conditions = Conditions {
+        utilization: 0.5,
+        online_rate: achieved[1],
+    };
+    let micro_conditions = Conditions {
+        utilization: 0.5,
+        online_rate: achieved[0],
+    };
     let conv = model.evaluate(&ClusterSpec::conventional_rack(), conv_conditions);
     let micro = model.evaluate(&ClusterSpec::microfaas_rack(), micro_conditions);
     println!("\nTCO with MTBF-derived online rates (50% utilization):");

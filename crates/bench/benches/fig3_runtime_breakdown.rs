@@ -6,15 +6,17 @@ use microfaas::experiment::compare_suites;
 use microfaas_bench::{banner, vs_paper};
 
 fn main() {
-    banner("Per-function runtime breakdown", "paper Fig. 3 + §V headline");
+    banner(
+        "Per-function runtime breakdown",
+        "paper Fig. 3 + §V headline",
+    );
     // 200 invocations per function keeps the bench under a minute while
     // staying within ~1% of the 1,000-invocation means.
     let cmp = compare_suites(200, 2022);
 
     println!(
         "{:<13} | {:>10} {:>10} {:>10} | {:>10} {:>10} {:>10} | {:>6}",
-        "function", "uF work", "uF ovh", "uF total", "conv work", "conv ovh", "conv total",
-        "ratio"
+        "function", "uF work", "uF ovh", "uF total", "conv work", "conv ovh", "conv total", "ratio"
     );
     for row in &cmp.rows {
         println!(
@@ -63,12 +65,13 @@ fn main() {
             32.0
         )
     );
-    println!(
-        "  efficiency gain {}",
-        vs_paper(cmp.efficiency_gain(), 5.6)
-    );
+    println!("  efficiency gain {}", vs_paper(cmp.efficiency_gain(), 5.6));
 
-    assert_eq!(faster.len(), 4, "Fig. 3 claim: 4 functions faster on MicroFaaS");
+    assert_eq!(
+        faster.len(),
+        4,
+        "Fig. 3 claim: 4 functions faster on MicroFaaS"
+    );
     assert_eq!(within.len(), 9, "Fig. 3 claim: 9 more within half speed");
     println!("\nFig. 3 regenerated: aggregate claims hold.");
 }

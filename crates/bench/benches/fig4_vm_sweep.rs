@@ -16,8 +16,7 @@ fn main() {
 
     println!(
         "{:>4} {:>16} {:>14}   (MicroFaaS ref: {:.1} f/min, {:.2} J/func)",
-        "VMs", "func/min", "J/func", reference.functions_per_minute,
-        reference.joules_per_function
+        "VMs", "func/min", "J/func", reference.functions_per_minute, reference.joules_per_function
     );
     for point in &sweep {
         let marker = if point.joules_per_function < reference.joules_per_function {
@@ -36,7 +35,10 @@ fn main() {
         .iter()
         .map(|p| p.joules_per_function)
         .fold(f64::INFINITY, f64::min);
-    println!("\n6-VM cluster:  {}", vs_paper(at_six.joules_per_function, 32.0));
+    println!(
+        "\n6-VM cluster:  {}",
+        vs_paper(at_six.joules_per_function, 32.0)
+    );
     println!("peak efficiency: {}", vs_paper(peak, 16.1));
     println!(
         "MicroFaaS stays {:.1}x better even at the conventional peak",
@@ -44,9 +46,14 @@ fn main() {
     );
 
     assert!(
-        sweep.iter().all(|p| p.joules_per_function > reference.joules_per_function),
+        sweep
+            .iter()
+            .all(|p| p.joules_per_function > reference.joules_per_function),
         "MicroFaaS must beat every VM count (the paper's Fig. 4 takeaway)"
     );
-    assert!((peak - 16.1).abs() < 2.5, "peak {peak:.1} should be near 16.1");
+    assert!(
+        (peak - 16.1).abs() < 2.5,
+        "peak {peak:.1} should be near 16.1"
+    );
     println!("\nFig. 4 regenerated: MicroFaaS line below conventional everywhere.");
 }

@@ -5,10 +5,16 @@ use microfaas::experiment::energy_proportionality;
 use microfaas_bench::banner;
 
 fn main() {
-    banner("Energy proportionality: power vs active workers", "paper Fig. 5");
+    banner(
+        "Energy proportionality: power vs active workers",
+        "paper Fig. 5",
+    );
     let series = energy_proportionality(10);
 
-    println!("{:>8} {:>16} {:>16}", "active", "10-SBC cluster", "rack server");
+    println!(
+        "{:>8} {:>16} {:>16}",
+        "active", "10-SBC cluster", "rack server"
+    );
     for point in &series {
         println!(
             "{:>8} {:>14.2} W {:>14.2} W",
@@ -28,7 +34,10 @@ fn main() {
     );
 
     // The takeaways the paper draws from Fig. 5.
-    assert_eq!(idle.sbc_cluster_watts, 0.0, "powered-down SBCs draw nothing");
+    assert_eq!(
+        idle.sbc_cluster_watts, 0.0,
+        "powered-down SBCs draw nothing"
+    );
     assert_eq!(idle.vm_cluster_watts, 60.0, "the server idles at its floor");
     assert!(
         full.sbc_cluster_watts < idle.vm_cluster_watts,

@@ -22,12 +22,16 @@ fn main() {
         (
             "Ideal (100% util., 100% OR)",
             Conditions::ideal(),
-            [82_451.0, 574.0, 41_676.0, 124_701.0, 51_923.0, 12_280.0, 17_884.0, 82_087.0],
+            [
+                82_451.0, 574.0, 41_676.0, 124_701.0, 51_923.0, 12_280.0, 17_884.0, 82_087.0,
+            ],
         ),
         (
             "Realistic (50% util., 95% OR)",
             Conditions::realistic(),
-            [86_791.0, 574.0, 29_242.0, 116_607.0, 54_655.0, 12_280.0, 11_778.0, 78_713.0],
+            [
+                86_791.0, 574.0, 29_242.0, 116_607.0, 54_655.0, 12_280.0, 11_778.0, 78_713.0,
+            ],
         ),
     ];
 
@@ -61,7 +65,11 @@ fn main() {
         println!(
             "MicroFaaS saves {:.1}% (paper: {})",
             savings_percent(&conv, &micro),
-            if conditions == Conditions::ideal() { "34.2%" } else { "32.5%" }
+            if conditions == Conditions::ideal() {
+                "34.2%"
+            } else {
+                "32.5%"
+            }
         );
     }
     println!("\nTable II regenerated: all eight dollar figures within $5.");

@@ -49,9 +49,7 @@ impl Args {
         while let Some(token) = iter.next() {
             let key = token
                 .strip_prefix("--")
-                .ok_or_else(|| {
-                    ParseArgsError(format!("unexpected positional argument '{token}'"))
-                })?
+                .ok_or_else(|| ParseArgsError(format!("unexpected positional argument '{token}'")))?
                 .to_string();
             let value = iter
                 .next()
@@ -69,9 +67,9 @@ impl Args {
     pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ParseArgsError> {
         match self.options.get(key) {
             None => Ok(default),
-            Some(raw) => raw.parse().map_err(|_| {
-                ParseArgsError(format!("invalid value '{raw}' for '--{key}'"))
-            }),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| ParseArgsError(format!("invalid value '{raw}' for '--{key}'"))),
         }
     }
 

@@ -3,12 +3,17 @@
 use std::path::Path;
 
 use microfaas::config::WorkloadMix;
-use microfaas::experiment::{compare_suites, energy_proportionality, microfaas_reference, vm_sweep};
+use microfaas::conventional::{run_conventional_with, ConventionalConfig};
+use microfaas::experiment::{
+    compare_suites, compare_suites_metered, energy_proportionality, microfaas_reference, vm_sweep,
+};
+use microfaas::micro::{run_microfaas_with, MicroFaasConfig};
 use microfaas::openloop::{run_open_loop, ArrivalProcess, OpenLoopConfig, SchedulerPolicy};
+use microfaas::timeline::Timeline;
 use microfaas::Jitter;
 use microfaas_hw::boot::{BootPlatform, BootProfile};
 use microfaas_hw::reliability::{simulate_fleet, FleetSpec};
-use microfaas_sim::{Rng, SimDuration};
+use microfaas_sim::{MetricsRegistry, Observer, Rng, SimDuration, TraceBuffer};
 use microfaas_tco::{savings_percent, ClusterSpec, Conditions, CostModel};
 use microfaas_workloads::suite::{run_function, FunctionId, ServiceBackends};
 
@@ -38,6 +43,7 @@ pub fn dispatch(args: &Args) -> Result<(), ParseArgsError> {
         "reliability" => reliability(args),
         "timeline" => timeline(args),
         "scale" => scale(args),
+        "trace" => trace(args),
         other => Err(ParseArgsError(format!(
             "unknown subcommand '{other}'\n\n{}",
             usage()
@@ -54,6 +60,7 @@ USAGE: microfaas <subcommand> [--flag value]...
 SUBCOMMANDS
   compare          run the full suite on both clusters (Fig. 3 + headline)
                      --invocations N (default 100)  --seed S  --csv PATH
+                     --metrics-out PATH (Prometheus text exposition)
   boot             worker-OS boot-time progression (Fig. 1)
                      --csv PATH
   sweep            conventional-cluster VM sweep (Fig. 4)
@@ -73,6 +80,13 @@ SUBCOMMANDS
                      --invocations N (default 15)  --width N (default 72)  --seed S
   scale            MicroFaaS worker-count linearity sweep (paper SIII-c)
                      --invocations N (default 30)  --seed S  --csv PATH
+  trace            record a traced run and export observability artifacts
+                     --cluster micro|conventional (default micro)
+                     --invocations N (default 25)  --seed S
+                     --buffer N (trace capacity, default 1048576)
+                     --out PATH (JSON-lines trace)
+                     --metrics-out PATH (Prometheus text exposition)
+                     --csv PATH (flattened metrics as metric,value rows)
   help             this text"
 }
 
@@ -85,16 +99,35 @@ fn maybe_csv(args: &Args, csv: &Csv) -> Result<(), ParseArgsError> {
     Ok(())
 }
 
+fn write_text(path: &str, text: &str) -> Result<(), ParseArgsError> {
+    std::fs::write(path, text)
+        .map_err(|e| ParseArgsError(format!("cannot write '{path}': {e}")))?;
+    println!("wrote {path}");
+    Ok(())
+}
+
 fn compare(args: &Args) -> Result<(), ParseArgsError> {
-    args.expect_only(&["invocations", "seed", "csv"])?;
+    args.expect_only(&["invocations", "seed", "csv", "metrics-out"])?;
     let invocations = args.get_or("invocations", 100u32)?;
     let seed = args.get_or("seed", 2022u64)?;
-    let cmp = compare_suites(invocations, seed);
+    let mut metrics = MetricsRegistry::new();
+    let cmp = if args.get_str("metrics-out").is_some() {
+        compare_suites_metered(invocations, seed, &mut metrics)
+    } else {
+        compare_suites(invocations, seed)
+    };
 
     let mut csv = Csv::new(&[
-        "function", "micro_exec_ms", "micro_overhead_ms", "conv_exec_ms", "conv_overhead_ms",
+        "function",
+        "micro_exec_ms",
+        "micro_overhead_ms",
+        "conv_exec_ms",
+        "conv_overhead_ms",
     ]);
-    println!("{:<13} {:>12} {:>12} {:>12}", "function", "uF total", "conv total", "ratio");
+    println!(
+        "{:<13} {:>12} {:>12} {:>12}",
+        "function", "uF total", "conv total", "ratio"
+    );
     for row in &cmp.rows {
         println!(
             "{:<13} {:>10.0}ms {:>10.0}ms {:>12.2}",
@@ -113,7 +146,13 @@ fn compare(args: &Args) -> Result<(), ParseArgsError> {
     }
     println!("\n{}", cmp.micro);
     println!("{}", cmp.conventional);
-    println!("efficiency gain: {:.2}x (paper: 5.6x)", cmp.efficiency_gain());
+    println!(
+        "efficiency gain: {:.2}x (paper: 5.6x)",
+        cmp.efficiency_gain()
+    );
+    if let Some(path) = args.get_str("metrics-out") {
+        write_text(path, &metrics.render_prometheus())?;
+    }
     maybe_csv(args, &csv)
 }
 
@@ -158,7 +197,11 @@ fn sweep(args: &Args) -> Result<(), ParseArgsError> {
             "{:>4} {:>14.1} {:>12.2}",
             point.vms, point.functions_per_minute, point.joules_per_function
         );
-        csv.row_display(&[&point.vms, &point.functions_per_minute, &point.joules_per_function]);
+        csv.row_display(&[
+            &point.vms,
+            &point.functions_per_minute,
+            &point.joules_per_function,
+        ]);
     }
     maybe_csv(args, &csv)
 }
@@ -168,7 +211,10 @@ fn proportionality(args: &Args) -> Result<(), ParseArgsError> {
     let workers = args.get_or("workers", 10usize)?;
     let series = energy_proportionality(workers);
     let mut csv = Csv::new(&["active", "sbc_watts", "server_watts"]);
-    println!("{:>8} {:>14} {:>14}", "active", "SBC cluster", "rack server");
+    println!(
+        "{:>8} {:>14} {:>14}",
+        "active", "SBC cluster", "rack server"
+    );
     for point in &series {
         println!(
             "{:>8} {:>12.2} W {:>12.2} W",
@@ -193,10 +239,17 @@ fn tco(args: &Args) -> Result<(), ParseArgsError> {
         ));
     }
     let model = CostModel::benchmark_datacenter();
-    let conditions = Conditions { utilization, online_rate };
+    let conditions = Conditions {
+        utilization,
+        online_rate,
+    };
     let conv = model.evaluate(&ClusterSpec::conventional_rack(), conditions);
     let micro = model.evaluate(&ClusterSpec::microfaas_rack(), conditions);
-    println!("conditions: {:.0}% utilization, {:.1}% online rate", utilization * 100.0, online_rate * 100.0);
+    println!(
+        "conditions: {:.0}% utilization, {:.1}% online rate",
+        utilization * 100.0,
+        online_rate * 100.0
+    );
     println!("  {conv}");
     println!("  {micro}");
     println!("  MicroFaaS saves {:.1}%", savings_percent(&conv, &micro));
@@ -248,7 +301,10 @@ fn openloop(args: &Args) -> Result<(), ParseArgsError> {
     println!("p95 latency:      {:.2} s", run.p95_latency_s);
     println!("mean power:       {:.2} W", run.mean_power_w);
     println!("energy/function:  {:.2} J", run.joules_per_function);
-    println!("mean powered-on:  {:.2} of {} workers", run.mean_powered_on, config.workers);
+    println!(
+        "mean powered-on:  {:.2} of {} workers",
+        run.mean_powered_on, config.workers
+    );
     println!("power cycles:     {}", run.power_cycles);
     Ok(())
 }
@@ -297,10 +353,12 @@ fn scale(args: &Args) -> Result<(), ParseArgsError> {
     args.expect_only(&["invocations", "seed", "csv"])?;
     let invocations = args.get_or("invocations", 30u32)?;
     let seed = args.get_or("seed", 2022u64)?;
-    let points =
-        microfaas::experiment::sbc_scale_sweep(&[5, 10, 20, 40, 80], invocations, seed);
+    let points = microfaas::experiment::sbc_scale_sweep(&[5, 10, 20, 40, 80], invocations, seed);
     let mut csv = Csv::new(&["workers", "func_per_min", "per_node", "joules_per_function"]);
-    println!("{:>8} {:>14} {:>12} {:>10}", "workers", "func/min", "per node", "J/func");
+    println!(
+        "{:>8} {:>14} {:>12} {:>10}",
+        "workers", "func/min", "per node", "J/func"
+    );
     for point in &points {
         let per_node = point.functions_per_minute / point.workers as f64;
         println!(
@@ -315,6 +373,84 @@ fn scale(args: &Args) -> Result<(), ParseArgsError> {
         ]);
     }
     println!("\nper-node rate and J/func stay flat: capacity and cost scale linearly (SIII-c).");
+    maybe_csv(args, &csv)
+}
+
+fn trace(args: &Args) -> Result<(), ParseArgsError> {
+    args.expect_only(&[
+        "cluster",
+        "invocations",
+        "seed",
+        "buffer",
+        "out",
+        "metrics-out",
+        "csv",
+    ])?;
+    let invocations = args.get_or("invocations", 25u32)?;
+    let seed = args.get_or("seed", 2022u64)?;
+    let capacity = args.get_or("buffer", 1_048_576usize)?;
+    if capacity == 0 {
+        return Err(ParseArgsError("--buffer must be positive".to_string()));
+    }
+    let mix = evaluation_mix(invocations);
+    let mut buffer = TraceBuffer::new(capacity);
+    let mut metrics = MetricsRegistry::new();
+    let cluster = args.get_str("cluster").unwrap_or("micro");
+    let run = {
+        let mut observer = Observer::full(&mut buffer, &mut metrics);
+        match cluster {
+            "micro" => {
+                run_microfaas_with(&MicroFaasConfig::paper_prototype(mix, seed), &mut observer)
+            }
+            "conventional" => run_conventional_with(
+                &ConventionalConfig::paper_baseline(mix, seed),
+                &mut observer,
+            ),
+            other => {
+                return Err(ParseArgsError(format!(
+                    "unknown cluster '{other}' (micro | conventional)"
+                )))
+            }
+        }
+    };
+
+    println!(
+        "captured {} events ({} dropped by the ring buffer)",
+        buffer.len(),
+        buffer.dropped()
+    );
+    let mut kinds: Vec<(&'static str, usize)> = Vec::new();
+    for record in buffer.iter() {
+        let kind = record.event.kind();
+        match kinds.iter_mut().find(|(k, _)| *k == kind) {
+            Some((_, n)) => *n += 1,
+            None => kinds.push((kind, 1)),
+        }
+    }
+    for (kind, n) in &kinds {
+        println!("  {kind:<20} {n:>7}");
+    }
+    let timeline = Timeline::from_trace(buffer.iter(), run.workers);
+    match timeline.overlap_violation() {
+        None => println!("single-tenancy check on the reconstructed Gantt: OK"),
+        Some((a, b)) => {
+            return Err(ParseArgsError(format!(
+                "trace violates single tenancy: {a:?} overlaps {b:?}"
+            )))
+        }
+    }
+    println!("{run}");
+
+    if let Some(path) = args.get_str("out") {
+        write_text(path, &buffer.to_json_lines())?;
+    }
+    if let Some(path) = args.get_str("metrics-out") {
+        write_text(path, &metrics.render_prometheus())?;
+    }
+    let mut csv = Csv::new(&["metric", "value"]);
+    for (name, value) in metrics.flatten() {
+        csv.row_display(&[&name, &value]);
+    }
     maybe_csv(args, &csv)
 }
 
@@ -393,6 +529,78 @@ mod tests {
     #[test]
     fn evaluation_mix_scales() {
         assert_eq!(evaluation_mix(10).total_jobs(), 170);
+    }
+
+    #[test]
+    fn trace_validates_flags() {
+        assert!(run(&["trace", "--cluster", "mystery"]).is_err());
+        assert!(run(&["trace", "--buffer", "0"]).is_err());
+        run(&["trace", "--invocations", "2", "--seed", "1"]).expect("micro runs");
+        run(&["trace", "--cluster", "conventional", "--invocations", "2"]).expect("conv runs");
+    }
+
+    #[test]
+    fn trace_exports_all_three_artifacts() {
+        let dir = std::env::temp_dir();
+        let jsonl = dir.join("microfaas_cli_test_trace.jsonl");
+        let prom = dir.join("microfaas_cli_test_trace.prom");
+        let csv = dir.join("microfaas_cli_test_trace.csv");
+        for path in [&jsonl, &prom, &csv] {
+            let _ = std::fs::remove_file(path);
+        }
+        run(&[
+            "trace",
+            "--invocations",
+            "2",
+            "--seed",
+            "7",
+            "--out",
+            jsonl.to_str().expect("utf-8 temp path"),
+            "--metrics-out",
+            prom.to_str().expect("utf-8 temp path"),
+            "--csv",
+            csv.to_str().expect("utf-8 temp path"),
+        ])
+        .expect("runs");
+
+        let trace = std::fs::read_to_string(&jsonl).expect("trace written");
+        assert!(trace
+            .lines()
+            .next()
+            .expect("nonempty")
+            .starts_with("{\"seq\":0,"));
+        assert!(trace.contains("\"type\":\"job_completed\""));
+
+        let exposition = std::fs::read_to_string(&prom).expect("metrics written");
+        assert!(exposition.contains("# TYPE micro_jobs_completed_total counter"));
+        assert!(exposition.contains("micro_jobs_completed_total 34"));
+
+        let flat = std::fs::read_to_string(&csv).expect("csv written");
+        assert!(flat.starts_with("metric,value"));
+        assert!(flat.contains("micro_jobs_completed_total,34"));
+        for path in [&jsonl, &prom, &csv] {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    #[test]
+    fn compare_metrics_out_covers_both_clusters() {
+        let path = std::env::temp_dir().join("microfaas_cli_test_compare.prom");
+        let _ = std::fs::remove_file(&path);
+        run(&[
+            "compare",
+            "--invocations",
+            "2",
+            "--seed",
+            "5",
+            "--metrics-out",
+            path.to_str().expect("utf-8 temp path"),
+        ])
+        .expect("runs");
+        let exposition = std::fs::read_to_string(&path).expect("metrics written");
+        assert!(exposition.contains("micro_jobs_completed_total 34"));
+        assert!(exposition.contains("conv_jobs_completed_total 34"));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

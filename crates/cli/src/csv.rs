@@ -29,7 +29,10 @@ impl Csv {
         assert!(!header.is_empty(), "csv needs at least one column");
         let mut body = String::new();
         writeln!(body, "{}", header.join(",")).expect("writing to String cannot fail");
-        Csv { columns: header.len(), body }
+        Csv {
+            columns: header.len(),
+            body,
+        }
     }
 
     /// Appends one row, quoting fields that contain commas or quotes.

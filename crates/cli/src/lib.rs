@@ -11,3 +11,10 @@
 pub mod args;
 pub mod commands;
 pub mod csv;
+
+/// Compiles and runs every Rust sample in `docs/OBSERVABILITY.md` as a
+/// doctest, so the inspection workflow documentation can never drift
+/// from the APIs it demonstrates.
+#[cfg(doctest)]
+#[doc = include_str!("../../../docs/OBSERVABILITY.md")]
+mod observability_docs {}

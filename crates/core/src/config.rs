@@ -38,7 +38,10 @@ impl WorkloadMix {
     pub fn new(functions: Vec<FunctionId>, invocations_per_function: u32) -> Self {
         assert!(!functions.is_empty(), "mix needs at least one function");
         assert!(invocations_per_function > 0, "need at least one invocation");
-        WorkloadMix { functions, invocations_per_function }
+        WorkloadMix {
+            functions,
+            invocations_per_function,
+        }
     }
 
     /// Functions in the mix.

@@ -5,12 +5,16 @@
 use microfaas_energy::EnergyMeter;
 use microfaas_hw::server::RackServer;
 use microfaas_net::{LinkSpec, Network, NodeId};
-use microfaas_sim::{EventQueue, Rng, SimDuration, SimTime};
+use microfaas_sim::trace::{Endpoint, Observer, TraceEvent, WorkerState};
+use microfaas_sim::{
+    CounterId, EventQueue, HistogramId, MetricsRegistry, Rng, SimDuration, SimTime,
+};
 use microfaas_workloads::calibration::{service_time, WorkerPlatform};
 use microfaas_workloads::FunctionId;
 
 use crate::config::{Assignment, Jitter, WorkloadMix};
 use crate::job::{Dispatcher, Job, JobRecord};
+use crate::micro::{publish_run_gauges, EXEC_BUCKETS, OVERHEAD_BUCKETS};
 use crate::report::ClusterRun;
 
 /// Configuration of a conventional cluster run.
@@ -60,6 +64,29 @@ struct InFlight {
     exec: SimDuration,
 }
 
+/// Per-run metric handles for this cluster, all prefixed `conv_`.
+struct ConvMetrics {
+    jobs_enqueued: CounterId,
+    jobs_completed: CounterId,
+    reboots: CounterId,
+    net_bytes: CounterId,
+    exec_seconds: HistogramId,
+    overhead_seconds: HistogramId,
+}
+
+impl ConvMetrics {
+    fn register(metrics: &mut MetricsRegistry) -> Self {
+        ConvMetrics {
+            jobs_enqueued: metrics.counter("conv_jobs_enqueued_total"),
+            jobs_completed: metrics.counter("conv_jobs_completed_total"),
+            reboots: metrics.counter("conv_vm_reboots_total"),
+            net_bytes: metrics.counter("conv_net_bytes_total"),
+            exec_seconds: metrics.histogram("conv_exec_seconds", &EXEC_BUCKETS),
+            overhead_seconds: metrics.histogram("conv_overhead_seconds", &OVERHEAD_BUCKETS),
+        }
+    }
+}
+
 /// Runs the conventional cluster to completion.
 ///
 /// CPU contention is sampled at dispatch: a job's execution and reboot
@@ -83,6 +110,39 @@ struct InFlight {
 /// assert_eq!(run.jobs_completed(), 20);
 /// ```
 pub fn run_conventional(config: &ConventionalConfig) -> ClusterRun {
+    run_conventional_with(config, &mut Observer::disabled())
+}
+
+/// Runs the conventional cluster while reporting trace events and
+/// `conv_*` metrics into `observer`. [`run_conventional`] is this entry
+/// point with [`Observer::disabled`]; results are bit-identical either
+/// way.
+///
+/// The host's shared power channel is traced as worker `0` in
+/// [`TraceEvent::PowerSample`] events.
+///
+/// # Examples
+///
+/// ```
+/// use microfaas::config::WorkloadMix;
+/// use microfaas::conventional::{run_conventional_with, ConventionalConfig};
+/// use microfaas_sim::trace::{Observer, TraceBuffer};
+/// use microfaas_sim::MetricsRegistry;
+/// use microfaas_workloads::FunctionId;
+///
+/// let mix = WorkloadMix::new(vec![FunctionId::RegexMatch], 5);
+/// let config = ConventionalConfig::paper_baseline(mix, 42);
+/// let mut trace = TraceBuffer::new(4096);
+/// let mut metrics = MetricsRegistry::new();
+/// let run = run_conventional_with(&config, &mut Observer::full(&mut trace, &mut metrics));
+/// assert_eq!(run.jobs_completed(), 5);
+/// assert!(metrics.render_prometheus().contains("conv_jobs_completed_total 5"));
+/// assert!(!trace.is_empty());
+/// ```
+pub fn run_conventional_with(
+    config: &ConventionalConfig,
+    observer: &mut Observer<'_>,
+) -> ClusterRun {
     let mut rng = Rng::new(config.seed);
     let mut queue: EventQueue<Event> = EventQueue::new();
     let mut meter = EnergyMeter::new(SimTime::ZERO);
@@ -107,11 +167,40 @@ pub fn run_conventional(config: &ConventionalConfig) -> ClusterRun {
         FunctionId::MqProduce | FunctionId::MqConsume => mq_node,
         _ => orchestrator,
     };
+    let endpoint_of = |function: FunctionId| match function {
+        FunctionId::RedisInsert | FunctionId::RedisUpdate => Endpoint::Service("kvstore"),
+        FunctionId::SqlSelect | FunctionId::SqlUpdate => Endpoint::Service("sqldb"),
+        FunctionId::CosGet | FunctionId::CosPut => Endpoint::Service("objstore"),
+        FunctionId::MqProduce | FunctionId::MqConsume => Endpoint::Service("mqueue"),
+        _ => Endpoint::Orchestrator,
+    };
 
     let host_channel = meter.add_channel("rack-server");
     meter.set_power(SimTime::ZERO, host_channel, server.power().value());
+    observer.emit(
+        SimTime::ZERO,
+        TraceEvent::PowerSample {
+            worker: 0,
+            watts: server.power().value(),
+        },
+    );
 
     let jobs = config.mix.jobs(&mut rng);
+    let handles = observer.metrics().map(ConvMetrics::register);
+    if observer.is_tracing() {
+        for job in &jobs {
+            observer.emit(
+                SimTime::ZERO,
+                TraceEvent::JobEnqueued {
+                    job: job.id,
+                    function: job.function.name(),
+                },
+            );
+        }
+    }
+    if let (Some(metrics), Some(h)) = (observer.metrics(), handles.as_ref()) {
+        metrics.add(h.jobs_enqueued, jobs.len() as u64);
+    }
     let mut dispatcher = Dispatcher::new(config.assignment, config.vms, jobs, &mut rng);
 
     let mut in_flight: Vec<Option<InFlight>> = (0..config.vms).map(|_| None).collect();
@@ -131,6 +220,7 @@ pub fn run_conventional(config: &ConventionalConfig) -> ClusterRun {
             &mut meter,
             host_channel,
             &mut rng,
+            observer,
         );
     }
 
@@ -144,16 +234,41 @@ pub fn run_conventional(config: &ConventionalConfig) -> ClusterRun {
                     .mul_f64(config.jitter.factor(&mut rng));
                 let transfer_start = now + fixed;
                 let peer = peer_of(flight.job.function);
+                let bytes = st.transfer_bytes();
                 let delivered = if flight.job.function == FunctionId::CosGet {
-                    net.send(transfer_start, peer, vm_nodes[v], st.transfer_bytes())
+                    net.send(transfer_start, peer, vm_nodes[v], bytes)
                 } else {
-                    net.send(transfer_start, vm_nodes[v], peer, st.transfer_bytes())
+                    net.send(transfer_start, vm_nodes[v], peer, bytes)
                 };
+                let (src, dst) = if flight.job.function == FunctionId::CosGet {
+                    (endpoint_of(flight.job.function), Endpoint::Worker(v))
+                } else {
+                    (Endpoint::Worker(v), endpoint_of(flight.job.function))
+                };
+                observer.emit(transfer_start, TraceEvent::NetTransfer { src, dst, bytes });
+                if let (Some(metrics), Some(h)) = (observer.metrics(), handles.as_ref()) {
+                    metrics.add(h.net_bytes, bytes);
+                }
                 queue.schedule(delivered, Event::JobDone(v));
             }
             Event::JobDone(v) => {
                 let flight = in_flight[v].take().expect("job in flight");
                 let overhead = now.duration_since(flight.started + flight.exec);
+                observer.emit(
+                    now,
+                    TraceEvent::JobCompleted {
+                        job: flight.job.id,
+                        function: flight.job.function.name(),
+                        worker: v,
+                        exec: flight.exec,
+                        overhead,
+                    },
+                );
+                if let (Some(metrics), Some(h)) = (observer.metrics(), handles.as_ref()) {
+                    metrics.inc(h.jobs_completed);
+                    metrics.observe(h.exec_seconds, flight.exec.as_secs_f64());
+                    metrics.observe(h.overhead_seconds, overhead.as_secs_f64());
+                }
                 records.push(JobRecord {
                     job: flight.job,
                     worker: v,
@@ -164,6 +279,23 @@ pub fn run_conventional(config: &ConventionalConfig) -> ClusterRun {
                 last_completion = now;
                 server.finish_job(v, now).expect("vm was executing");
                 meter.set_power(now, host_channel, server.power().value());
+                observer.emit(
+                    now,
+                    TraceEvent::WorkerStateChange {
+                        worker: v,
+                        state: WorkerState::Rebooting,
+                    },
+                );
+                observer.emit(
+                    now,
+                    TraceEvent::PowerSample {
+                        worker: 0,
+                        watts: server.power().value(),
+                    },
+                );
+                if let (Some(metrics), Some(h)) = (observer.metrics(), handles.as_ref()) {
+                    metrics.inc(h.reboots);
+                }
                 let reboot = if config.reboot_between_jobs {
                     server.vm_boot_duration().mul_f64(server.current_slowdown())
                 } else {
@@ -174,6 +306,20 @@ pub fn run_conventional(config: &ConventionalConfig) -> ClusterRun {
             Event::RebootDone(v) => {
                 server.reboot_complete(v, now).expect("vm was rebooting");
                 meter.set_power(now, host_channel, server.power().value());
+                observer.emit(
+                    now,
+                    TraceEvent::WorkerStateChange {
+                        worker: v,
+                        state: WorkerState::Idle,
+                    },
+                );
+                observer.emit(
+                    now,
+                    TraceEvent::PowerSample {
+                        worker: 0,
+                        watts: server.power().value(),
+                    },
+                );
                 dispatch(
                     v,
                     now,
@@ -185,6 +331,7 @@ pub fn run_conventional(config: &ConventionalConfig) -> ClusterRun {
                     &mut meter,
                     host_channel,
                     &mut rng,
+                    observer,
                 );
             }
         }
@@ -194,14 +341,19 @@ pub fn run_conventional(config: &ConventionalConfig) -> ClusterRun {
     // reads must not precede the meter's newest sample.
     let end = queue.now().max(last_completion);
     let energy = meter.report(end, records.len() as u64);
-    ClusterRun {
+    let run = ClusterRun {
         label: format!("Conventional ({} VMs)", config.vms),
         workers: config.vms,
         energy,
         makespan: last_completion.duration_since(SimTime::ZERO),
         records,
         timed_out: 0,
+    };
+    if let Some(metrics) = observer.metrics() {
+        meter.publish_metrics(metrics, "conv", end);
+        publish_run_gauges(metrics, "conv", &run);
     }
+    run
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -216,15 +368,42 @@ fn dispatch(
     meter: &mut EnergyMeter,
     host_channel: microfaas_energy::ChannelId,
     rng: &mut Rng,
+    observer: &mut Observer<'_>,
 ) {
     if let Some(job) = dispatcher.pull(v) {
         server.start_job(v, now).expect("vm is idle");
         meter.set_power(now, host_channel, server.power().value());
+        observer.emit(
+            now,
+            TraceEvent::JobStarted {
+                job: job.id,
+                function: job.function.name(),
+                worker: v,
+            },
+        );
+        observer.emit(
+            now,
+            TraceEvent::WorkerStateChange {
+                worker: v,
+                state: WorkerState::Executing,
+            },
+        );
+        observer.emit(
+            now,
+            TraceEvent::PowerSample {
+                worker: 0,
+                watts: server.power().value(),
+            },
+        );
         let slowdown = server.current_slowdown();
         let exec = service_time(job.function)
             .exec(WorkerPlatform::X86Vm)
             .mul_f64(config.jitter.factor(rng) * slowdown);
-        in_flight[v] = Some(InFlight { job, started: now, exec });
+        in_flight[v] = Some(InFlight {
+            job,
+            started: now,
+            exec,
+        });
         queue.schedule(now + exec, Event::ExecDone(v));
     }
     // An idle VM simply waits; the host idle floor keeps burning 60 W —
@@ -234,7 +413,9 @@ fn dispatch(
 /// Average host power with exactly `busy` of the VMs active — the
 /// closed-form behind Fig. 5's VM line.
 pub fn vm_cluster_power(busy: usize) -> f64 {
-    microfaas_hw::ServerPowerModel::opteron_6172().draw(busy).value()
+    microfaas_hw::ServerPowerModel::opteron_6172()
+        .draw(busy)
+        .value()
 }
 
 #[cfg(test)]
@@ -259,10 +440,8 @@ mod tests {
 
     #[test]
     fn throughput_near_paper_value() {
-        let config = ConventionalConfig::paper_baseline(
-            WorkloadMix::new(FunctionId::ALL.to_vec(), 100),
-            2,
-        );
+        let config =
+            ConventionalConfig::paper_baseline(WorkloadMix::new(FunctionId::ALL.to_vec(), 100), 2);
         let run = run_conventional(&config);
         let fpm = run.functions_per_minute();
         assert!(
@@ -273,10 +452,8 @@ mod tests {
 
     #[test]
     fn energy_per_function_near_paper_value() {
-        let config = ConventionalConfig::paper_baseline(
-            WorkloadMix::new(FunctionId::ALL.to_vec(), 100),
-            3,
-        );
+        let config =
+            ConventionalConfig::paper_baseline(WorkloadMix::new(FunctionId::ALL.to_vec(), 100), 3);
         let run = run_conventional(&config);
         let jpf = run.joules_per_function().expect("jobs ran");
         assert!((jpf - 32.0).abs() < 3.0, "{jpf:.2} J/func vs paper 32.0");
@@ -285,14 +462,15 @@ mod tests {
     #[test]
     fn idle_floor_dominates_small_vm_counts() {
         // 1 VM: nearly all energy is the 60 W floor, so J/func is huge.
-        let mut config = ConventionalConfig::paper_baseline(
-            WorkloadMix::new(FunctionId::ALL.to_vec(), 30),
-            4,
-        );
+        let mut config =
+            ConventionalConfig::paper_baseline(WorkloadMix::new(FunctionId::ALL.to_vec(), 30), 4);
         config.vms = 1;
         let run = run_conventional(&config);
         let jpf = run.joules_per_function().expect("jobs ran");
-        assert!(jpf > 80.0, "single-VM J/func should exceed 80, got {jpf:.1}");
+        assert!(
+            jpf > 80.0,
+            "single-VM J/func should exceed 80, got {jpf:.1}"
+        );
     }
 
     #[test]
@@ -305,8 +483,7 @@ mod tests {
         config20.vms = 20;
         let oversubscribed = run_conventional(&config20);
         // Throughput barely improves past saturation (within ~8%).
-        let ratio = oversubscribed.functions_per_minute()
-            / at_saturation.functions_per_minute();
+        let ratio = oversubscribed.functions_per_minute() / at_saturation.functions_per_minute();
         assert!(
             ratio < 1.08,
             "20 VMs should not out-run 16 by much, ratio {ratio:.3}"
@@ -322,10 +499,8 @@ mod tests {
 
     #[test]
     fn per_function_exec_matches_calibration() {
-        let mut config = ConventionalConfig::paper_baseline(
-            WorkloadMix::new(FunctionId::ALL.to_vec(), 40),
-            6,
-        );
+        let mut config =
+            ConventionalConfig::paper_baseline(WorkloadMix::new(FunctionId::ALL.to_vec(), 40), 6);
         config.jitter = Jitter::none();
         let run = run_conventional(&config);
         for (function, stats) in run.per_function() {

@@ -2,11 +2,14 @@
 //! evaluation (Section V). The bench targets in `microfaas-bench` print
 //! these results; integration tests assert their shapes.
 
+use microfaas_sim::{MetricsRegistry, Observer};
 use microfaas_workloads::FunctionId;
 
 use crate::config::WorkloadMix;
-use crate::conventional::{run_conventional, vm_cluster_power, ConventionalConfig};
-use crate::micro::{run_microfaas, sbc_cluster_power, MicroFaasConfig};
+use crate::conventional::{
+    run_conventional, run_conventional_with, vm_cluster_power, ConventionalConfig,
+};
+use crate::micro::{run_microfaas, run_microfaas_with, sbc_cluster_power, MicroFaasConfig};
 use crate::report::ClusterRun;
 
 /// One row of the Fig. 3 runtime-breakdown chart.
@@ -90,7 +93,33 @@ pub fn compare_suites(invocations_per_function: u32, seed: u64) -> SuiteComparis
     let mix = WorkloadMix::new(FunctionId::ALL.to_vec(), invocations_per_function);
     let micro = run_microfaas(&MicroFaasConfig::paper_prototype(mix.clone(), seed));
     let conventional = run_conventional(&ConventionalConfig::paper_baseline(mix, seed));
+    breakdown(micro, conventional)
+}
 
+/// [`compare_suites`] with metrics collection: both runs publish their
+/// `micro_*` / `conv_*` series into the same registry, ready for one
+/// combined Prometheus exposition (`microfaas compare --metrics-out`).
+///
+/// Metrics collection never perturbs the simulation — the comparison is
+/// bit-identical to [`compare_suites`] at the same arguments.
+pub fn compare_suites_metered(
+    invocations_per_function: u32,
+    seed: u64,
+    metrics: &mut MetricsRegistry,
+) -> SuiteComparison {
+    let mix = WorkloadMix::new(FunctionId::ALL.to_vec(), invocations_per_function);
+    let micro = run_microfaas_with(
+        &MicroFaasConfig::paper_prototype(mix.clone(), seed),
+        &mut Observer::metered(metrics),
+    );
+    let conventional = run_conventional_with(
+        &ConventionalConfig::paper_baseline(mix, seed),
+        &mut Observer::metered(metrics),
+    );
+    breakdown(micro, conventional)
+}
+
+fn breakdown(micro: ClusterRun, conventional: ClusterRun) -> SuiteComparison {
     let micro_stats = micro.per_function();
     let conv_stats = conventional.per_function();
     let rows = FunctionId::ALL
@@ -104,7 +133,11 @@ pub fn compare_suites(invocations_per_function: u32, seed: u64) -> SuiteComparis
         })
         .collect();
 
-    SuiteComparison { micro, conventional, rows }
+    SuiteComparison {
+        micro,
+        conventional,
+        rows,
+    }
 }
 
 /// One point of the Fig. 4 VM-count sweep.
@@ -268,7 +301,10 @@ mod tests {
         let j1 = sweep[0].joules_per_function;
         let j6 = sweep[5].joules_per_function;
         let j16 = sweep[15].joules_per_function;
-        assert!(j1 > j6 && j6 > j16, "J/func should fall: {j1:.1} > {j6:.1} > {j16:.1}");
+        assert!(
+            j1 > j6 && j6 > j16,
+            "J/func should fall: {j1:.1} > {j6:.1} > {j16:.1}"
+        );
         // The paper's peak efficiency is ~16.1 J/func.
         assert!((j16 - 16.1).abs() < 2.5, "peak {j16:.1} vs paper 16.1");
     }
@@ -284,7 +320,10 @@ mod tests {
             .collect();
         for pair in per_node.windows(2) {
             let drift = (pair[1] / pair[0] - 1.0).abs();
-            assert!(drift < 0.05, "per-node rate must stay flat, drift {drift:.3}");
+            assert!(
+                drift < 0.05,
+                "per-node rate must stay flat, drift {drift:.3}"
+            );
         }
         let jpf: Vec<f64> = points.iter().map(|p| p.joules_per_function).collect();
         for pair in jpf.windows(2) {

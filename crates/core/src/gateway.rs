@@ -11,7 +11,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use microfaas_sim::Rng;
+use microfaas_sim::{MetricsRegistry, Rng};
 use microfaas_workloads::interp::Script;
 use microfaas_workloads::suite::{run_function, ServiceBackends};
 
@@ -64,8 +64,7 @@ impl HttpRequest {
     ///
     /// Returns [`ParseHttpError`] for truncated or malformed requests.
     pub fn parse(input: &[u8]) -> Result<HttpRequest, ParseHttpError> {
-        let header_end = find_subsequence(input, b"\r\n\r\n")
-            .ok_or(ParseHttpError::Incomplete)?;
+        let header_end = find_subsequence(input, b"\r\n\r\n").ok_or(ParseHttpError::Incomplete)?;
         let head = std::str::from_utf8(&input[..header_end])
             .map_err(|_| ParseHttpError::Malformed("non-utf8 header block".into()))?;
         let mut lines = head.split("\r\n");
@@ -87,7 +86,9 @@ impl HttpRequest {
             return Err(ParseHttpError::UnsupportedVersion(version.to_string()));
         }
         if parts.next().is_some() {
-            return Err(ParseHttpError::Malformed("extra tokens in request line".into()));
+            return Err(ParseHttpError::Malformed(
+                "extra tokens in request line".into(),
+            ));
         }
 
         let mut headers = BTreeMap::new();
@@ -134,7 +135,11 @@ pub struct HttpResponse {
 
 impl HttpResponse {
     fn new(status: u16, body: impl Into<Vec<u8>>, content_type: &str) -> Self {
-        HttpResponse { status, body: body.into(), content_type: content_type.to_string() }
+        HttpResponse {
+            status,
+            body: body.into(),
+            content_type: content_type.to_string(),
+        }
     }
 
     /// Renders the response as HTTP/1.1 wire bytes.
@@ -178,6 +183,7 @@ pub struct Gateway {
     scripts: BTreeMap<String, Script>,
     rng: Rng,
     invocations: u64,
+    metrics: MetricsRegistry,
 }
 
 impl Gateway {
@@ -189,12 +195,24 @@ impl Gateway {
             scripts: BTreeMap::new(),
             rng: Rng::new(seed),
             invocations: 0,
+            metrics: MetricsRegistry::new(),
         }
     }
 
     /// Total successful invocations served.
     pub fn invocations(&self) -> u64 {
         self.invocations
+    }
+
+    /// The gateway's own operational metrics (`gateway_*`), also served
+    /// over HTTP at `GET /metrics`.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    fn bump(&mut self, name: &str) {
+        let counter = self.metrics.counter(name);
+        self.metrics.inc(counter);
     }
 
     /// Handles one raw HTTP request and produces the response.
@@ -204,14 +222,30 @@ impl Gateway {
     /// * `POST /deploy/<name>` — deploy the request body as a script
     ///   (the MicroPython-style user-authored handler);
     /// * `GET /functions` — list deployments, one name per line;
+    /// * `GET /metrics` — Prometheus text exposition of `gateway_*`;
     /// * `GET /healthz` — liveness probe.
     pub fn handle(&mut self, raw: &[u8]) -> HttpResponse {
+        let response = self.route(raw);
+        let counter = self.metrics.counter(&format!(
+            "gateway_responses_total{{status=\"{}\"}}",
+            response.status
+        ));
+        self.metrics.inc(counter);
+        response
+    }
+
+    fn route(&mut self, raw: &[u8]) -> HttpResponse {
         let request = match HttpRequest::parse(raw) {
             Ok(request) => request,
             Err(e) => return HttpResponse::new(400, e.to_string(), "text/plain"),
         };
         match (request.method.as_str(), request.path.as_str()) {
             ("GET", "/healthz") => HttpResponse::new(200, "ok", "text/plain"),
+            ("GET", "/metrics") => HttpResponse::new(
+                200,
+                self.metrics.render_prometheus(),
+                "text/plain; version=0.0.4",
+            ),
             ("GET", "/functions") => {
                 let mut names: Vec<&str> = self.registry.names();
                 names.extend(self.scripts.keys().map(String::as_str));
@@ -224,7 +258,11 @@ impl Gateway {
                     return HttpResponse::new(400, "missing function name", "text/plain");
                 }
                 if self.registry.resolve(&name).is_ok() || self.scripts.contains_key(&name) {
-                    return HttpResponse::new(400, format!("'{name}' already deployed"), "text/plain");
+                    return HttpResponse::new(
+                        400,
+                        format!("'{name}' already deployed"),
+                        "text/plain",
+                    );
                 }
                 let source = match std::str::from_utf8(&request.body) {
                     Ok(source) => source,
@@ -233,6 +271,7 @@ impl Gateway {
                 match Script::compile(source) {
                     Ok(script) => {
                         self.scripts.insert(name.clone(), script);
+                        self.bump("gateway_deploys_total");
                         HttpResponse::new(200, format!("deployed {name}"), "text/plain")
                     }
                     Err(e) => HttpResponse::new(400, e.to_string(), "text/plain"),
@@ -244,6 +283,7 @@ impl Gateway {
                     return match script.run(SCRIPT_FUEL) {
                         Ok(value) => {
                             self.invocations += 1;
+                            self.bump("gateway_invocations_total");
                             HttpResponse::new(200, value.to_string(), "text/plain")
                         }
                         Err(e) => HttpResponse::new(500, e.to_string(), "text/plain"),
@@ -256,6 +296,7 @@ impl Gateway {
                         match run_function(handler, 1, &mut self.rng, &mut self.backends) {
                             Ok(output) => {
                                 self.invocations += 1;
+                                self.bump("gateway_invocations_total");
                                 HttpResponse::new(200, output.summary, "text/plain")
                             }
                             Err(e) => HttpResponse::new(500, e.to_string(), "text/plain"),
@@ -294,7 +335,10 @@ mod tests {
             HttpRequest::parse(b"POST /x HTTP/1.1\r\ncontent-length: 10\r\n\r\nshort"),
             Err(ParseHttpError::Incomplete)
         );
-        assert_eq!(HttpRequest::parse(b"GET /x"), Err(ParseHttpError::Incomplete));
+        assert_eq!(
+            HttpRequest::parse(b"GET /x"),
+            Err(ParseHttpError::Incomplete)
+        );
         assert!(matches!(
             HttpRequest::parse(b"GET /x HTTP/2\r\n\r\n"),
             Err(ParseHttpError::UnsupportedVersion(_))
@@ -314,7 +358,9 @@ mod tests {
         let mut gw = gateway();
         let response = gw.handle(b"POST /invoke/RegExMatch HTTP/1.1\r\n\r\n");
         assert_eq!(response.status, 200);
-        assert!(String::from_utf8(response.body).expect("utf-8").contains("matched"));
+        assert!(String::from_utf8(response.body)
+            .expect("utf-8")
+            .contains("matched"));
         assert_eq!(gw.invocations(), 1);
     }
 
@@ -340,7 +386,10 @@ mod tests {
     #[test]
     fn wrong_method_and_route() {
         let mut gw = gateway();
-        assert_eq!(gw.handle(b"GET /invoke/CascSHA HTTP/1.1\r\n\r\n").status, 404);
+        assert_eq!(
+            gw.handle(b"GET /invoke/CascSHA HTTP/1.1\r\n\r\n").status,
+            404
+        );
         assert_eq!(gw.handle(b"DELETE /functions HTTP/1.1\r\n\r\n").status, 405);
         assert_eq!(gw.handle(b"total garbage").status, 400);
     }
@@ -398,8 +447,34 @@ mod tests {
         assert_eq!(gw.handle(deploy.as_bytes()).status, 200);
         let response = gw.handle(b"POST /invoke/spin HTTP/1.1\r\n\r\n");
         assert_eq!(response.status, 500);
-        assert!(String::from_utf8(response.body).expect("utf-8").contains("fuel"));
+        assert!(String::from_utf8(response.body)
+            .expect("utf-8")
+            .contains("fuel"));
         assert_eq!(gw.invocations(), 0);
+    }
+
+    #[test]
+    fn metrics_route_exposes_counters() {
+        let mut gw = gateway();
+        assert_eq!(
+            gw.handle(b"POST /invoke/RegExMatch HTTP/1.1\r\n\r\n")
+                .status,
+            200
+        );
+        assert_eq!(gw.handle(b"POST /invoke/Nope HTTP/1.1\r\n\r\n").status, 404);
+
+        let response = gw.handle(b"GET /metrics HTTP/1.1\r\n\r\n");
+        assert_eq!(response.status, 200);
+        assert_eq!(response.content_type, "text/plain; version=0.0.4");
+        let text = String::from_utf8(response.body).expect("utf-8");
+        assert!(text.contains("gateway_invocations_total 1"));
+        assert!(text.contains("gateway_responses_total{status=\"200\"} 1"));
+        assert!(text.contains("gateway_responses_total{status=\"404\"} 1"));
+        // The registry view matches the HTTP exposition.
+        assert!(gw
+            .metrics()
+            .render_prometheus()
+            .contains("gateway_invocations_total 1"));
     }
 
     #[test]

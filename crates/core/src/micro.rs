@@ -6,7 +6,10 @@ use microfaas_energy::EnergyMeter;
 use microfaas_hw::gpio::{PowerAction, PowerController};
 use microfaas_hw::sbc::SbcNode;
 use microfaas_net::{LinkSpec, Network, NodeId};
-use microfaas_sim::{EventId, EventQueue, Rng, SimDuration, SimTime};
+use microfaas_sim::trace::{Endpoint, Observer, TraceEvent, WorkerState};
+use microfaas_sim::{
+    CounterId, EventId, EventQueue, HistogramId, MetricsRegistry, Rng, SimDuration, SimTime,
+};
 use microfaas_workloads::calibration::{service_time, WorkerPlatform};
 use microfaas_workloads::FunctionId;
 
@@ -95,6 +98,38 @@ struct InFlight {
     timeout: Option<EventId>,
 }
 
+/// Histogram bucket upper bounds (seconds) shared by the cluster
+/// simulators so micro/conventional exec and overhead distributions
+/// land in comparable buckets.
+pub(crate) const EXEC_BUCKETS: [f64; 9] = [0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0];
+/// See [`EXEC_BUCKETS`]; overheads are an order of magnitude smaller.
+pub(crate) const OVERHEAD_BUCKETS: [f64; 9] = [0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5];
+
+/// Per-run metric handles for this cluster, all prefixed `micro_`.
+struct MicroMetrics {
+    jobs_enqueued: CounterId,
+    jobs_completed: CounterId,
+    jobs_timed_out: CounterId,
+    boots: CounterId,
+    net_bytes: CounterId,
+    exec_seconds: HistogramId,
+    overhead_seconds: HistogramId,
+}
+
+impl MicroMetrics {
+    fn register(metrics: &mut MetricsRegistry) -> Self {
+        MicroMetrics {
+            jobs_enqueued: metrics.counter("micro_jobs_enqueued_total"),
+            jobs_completed: metrics.counter("micro_jobs_completed_total"),
+            jobs_timed_out: metrics.counter("micro_jobs_timed_out_total"),
+            boots: metrics.counter("micro_worker_boots_total"),
+            net_bytes: metrics.counter("micro_net_bytes_total"),
+            exec_seconds: metrics.histogram("micro_exec_seconds", &EXEC_BUCKETS),
+            overhead_seconds: metrics.histogram("micro_overhead_seconds", &OVERHEAD_BUCKETS),
+        }
+    }
+}
+
 /// Runs the configured cluster to completion and reports the results.
 ///
 /// # Panics
@@ -113,6 +148,37 @@ struct InFlight {
 /// assert_eq!(run.jobs_completed(), 20);
 /// ```
 pub fn run_microfaas(config: &MicroFaasConfig) -> ClusterRun {
+    run_microfaas_with(config, &mut Observer::disabled())
+}
+
+/// Runs the cluster while reporting trace events and `micro_*` metrics
+/// into `observer`. [`run_microfaas`] is this entry point with
+/// [`Observer::disabled`]; the simulated results are bit-identical
+/// either way because observation never touches the run's RNG.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_microfaas`].
+///
+/// # Examples
+///
+/// ```
+/// use microfaas::config::WorkloadMix;
+/// use microfaas::micro::{run_microfaas_with, MicroFaasConfig};
+/// use microfaas_sim::trace::{Observer, TraceBuffer};
+/// use microfaas_sim::MetricsRegistry;
+/// use microfaas_workloads::FunctionId;
+///
+/// let mix = WorkloadMix::new(vec![FunctionId::RegexMatch], 5);
+/// let config = MicroFaasConfig::paper_prototype(mix, 42);
+/// let mut trace = TraceBuffer::new(4096);
+/// let mut metrics = MetricsRegistry::new();
+/// let run = run_microfaas_with(&config, &mut Observer::full(&mut trace, &mut metrics));
+/// assert_eq!(run.jobs_completed(), 5);
+/// assert!(metrics.render_prometheus().contains("micro_jobs_completed_total 5"));
+/// assert!(trace.to_json_lines().lines().count() > 5);
+/// ```
+pub fn run_microfaas_with(config: &MicroFaasConfig, observer: &mut Observer<'_>) -> ClusterRun {
     assert!(config.workers > 0, "cluster needs at least one worker");
     assert!(
         config.crypto_exec_scale > 0.0 && config.crypto_exec_scale <= 1.0,
@@ -152,6 +218,13 @@ pub fn run_microfaas(config: &MicroFaasConfig) -> ClusterRun {
         FunctionId::MqProduce | FunctionId::MqConsume => mq_node,
         _ => orchestrator,
     };
+    let endpoint_of = |function: FunctionId| match function {
+        FunctionId::RedisInsert | FunctionId::RedisUpdate => Endpoint::Service("kvstore"),
+        FunctionId::SqlSelect | FunctionId::SqlUpdate => Endpoint::Service("sqldb"),
+        FunctionId::CosGet | FunctionId::CosPut => Endpoint::Service("objstore"),
+        FunctionId::MqProduce | FunctionId::MqConsume => Endpoint::Service("mqueue"),
+        _ => Endpoint::Orchestrator,
+    };
 
     let mut nodes: Vec<SbcNode> = (0..config.workers)
         .map(|w| SbcNode::new(w, SimTime::ZERO))
@@ -163,6 +236,21 @@ pub fn run_microfaas(config: &MicroFaasConfig) -> ClusterRun {
     // The orchestration plane queues every invocation up front
     // (paper §IV-D), under the configured assignment policy.
     let jobs = config.mix.jobs(&mut rng);
+    let handles = observer.metrics().map(MicroMetrics::register);
+    if observer.is_tracing() {
+        for job in &jobs {
+            observer.emit(
+                SimTime::ZERO,
+                TraceEvent::JobEnqueued {
+                    job: job.id,
+                    function: job.function.name(),
+                },
+            );
+        }
+    }
+    if let (Some(metrics), Some(h)) = (observer.metrics(), handles.as_ref()) {
+        metrics.add(h.jobs_enqueued, jobs.len() as u64);
+    }
     let mut dispatcher = Dispatcher::new(config.assignment, config.workers, jobs, &mut rng);
 
     // Power on every worker that has work.
@@ -182,12 +270,35 @@ pub fn run_microfaas(config: &MicroFaasConfig) -> ClusterRun {
         match event {
             Event::PowerEffective(w) => {
                 nodes[w].power_on(now).expect("scheduled only while off");
-                meter.set_power(now, channels[w], nodes[w].power().value());
+                let watts = nodes[w].power().value();
+                meter.set_power(now, channels[w], watts);
+                observer.emit(
+                    now,
+                    TraceEvent::WorkerStateChange {
+                        worker: w,
+                        state: WorkerState::Booting,
+                    },
+                );
+                observer.emit(now, TraceEvent::PowerSample { worker: w, watts });
+                if let (Some(metrics), Some(h)) = (observer.metrics(), handles.as_ref()) {
+                    metrics.inc(h.boots);
+                }
                 queue.schedule(now + nodes[w].boot_duration(), Event::BootDone(w));
             }
             Event::BootDone(w) => {
-                nodes[w].boot_complete(now).expect("scheduled only while booting");
-                meter.set_power(now, channels[w], nodes[w].power().value());
+                nodes[w]
+                    .boot_complete(now)
+                    .expect("scheduled only while booting");
+                let watts = nodes[w].power().value();
+                meter.set_power(now, channels[w], watts);
+                observer.emit(
+                    now,
+                    TraceEvent::WorkerStateChange {
+                        worker: w,
+                        state: WorkerState::Idle,
+                    },
+                );
+                observer.emit(now, TraceEvent::PowerSample { worker: w, watts });
                 start_next_job(
                     w,
                     now,
@@ -200,6 +311,7 @@ pub fn run_microfaas(config: &MicroFaasConfig) -> ClusterRun {
                     &channels,
                     &mut gpio,
                     &mut rng,
+                    observer,
                 );
             }
             Event::ExecDone(w) => {
@@ -212,11 +324,21 @@ pub fn run_microfaas(config: &MicroFaasConfig) -> ClusterRun {
                 // where port contention can stretch it beyond nominal.
                 let transfer_start = now + fixed;
                 let peer = peer_of(flight.job.function);
+                let bytes = st.transfer_bytes();
                 let delivered = if flight.job.function == FunctionId::CosGet {
-                    net.send(transfer_start, peer, worker_nodes[w], st.transfer_bytes())
+                    net.send(transfer_start, peer, worker_nodes[w], bytes)
                 } else {
-                    net.send(transfer_start, worker_nodes[w], peer, st.transfer_bytes())
+                    net.send(transfer_start, worker_nodes[w], peer, bytes)
                 };
+                let (src, dst) = if flight.job.function == FunctionId::CosGet {
+                    (endpoint_of(flight.job.function), Endpoint::Worker(w))
+                } else {
+                    (Endpoint::Worker(w), endpoint_of(flight.job.function))
+                };
+                observer.emit(transfer_start, TraceEvent::NetTransfer { src, dst, bytes });
+                if let (Some(metrics), Some(h)) = (observer.metrics(), handles.as_ref()) {
+                    metrics.add(h.net_bytes, bytes);
+                }
                 let pending = queue.schedule(delivered, Event::JobDone(w));
                 in_flight[w].as_mut().expect("job in flight").pending = pending;
             }
@@ -226,6 +348,21 @@ pub fn run_microfaas(config: &MicroFaasConfig) -> ClusterRun {
                     queue.cancel(timeout_event);
                 }
                 let overhead = now.duration_since(flight.started + flight.exec);
+                observer.emit(
+                    now,
+                    TraceEvent::JobCompleted {
+                        job: flight.job.id,
+                        function: flight.job.function.name(),
+                        worker: w,
+                        exec: flight.exec,
+                        overhead,
+                    },
+                );
+                if let (Some(metrics), Some(h)) = (observer.metrics(), handles.as_ref()) {
+                    metrics.inc(h.jobs_completed);
+                    metrics.observe(h.exec_seconds, flight.exec.as_secs_f64());
+                    metrics.observe(h.overhead_seconds, overhead.as_secs_f64());
+                }
                 records.push(JobRecord {
                     job: flight.job,
                     worker: w,
@@ -245,13 +382,52 @@ pub fn run_microfaas(config: &MicroFaasConfig) -> ClusterRun {
                         // Model standby as the idle draw without the FSM
                         // round trip: the node is "parked".
                         meter.set_power(now, channels[w], 0.128);
+                        observer.emit(
+                            now,
+                            TraceEvent::WorkerStateChange {
+                                worker: w,
+                                state: WorkerState::Idle,
+                            },
+                        );
+                        observer.emit(
+                            now,
+                            TraceEvent::PowerSample {
+                                worker: w,
+                                watts: 0.128,
+                            },
+                        );
                     } else {
                         gpio.actuate(now, w, PowerAction::Off);
                         meter.set_power(now, channels[w], 0.0);
+                        observer.emit(
+                            now,
+                            TraceEvent::WorkerStateChange {
+                                worker: w,
+                                state: WorkerState::Off,
+                            },
+                        );
+                        observer.emit(
+                            now,
+                            TraceEvent::PowerSample {
+                                worker: w,
+                                watts: 0.0,
+                            },
+                        );
                     }
                 } else {
-                    nodes[w].finish_job_and_reboot(now).expect("job was executing");
-                    meter.set_power(now, channels[w], nodes[w].power().value());
+                    nodes[w]
+                        .finish_job_and_reboot(now)
+                        .expect("job was executing");
+                    let watts = nodes[w].power().value();
+                    meter.set_power(now, channels[w], watts);
+                    observer.emit(
+                        now,
+                        TraceEvent::WorkerStateChange {
+                            worker: w,
+                            state: WorkerState::Rebooting,
+                        },
+                    );
+                    observer.emit(now, TraceEvent::PowerSample { worker: w, watts });
                     let reboot = if config.reboot_between_jobs {
                         nodes[w].boot_duration()
                     } else {
@@ -264,6 +440,17 @@ pub fn run_microfaas(config: &MicroFaasConfig) -> ClusterRun {
                 let flight = in_flight[w].take().expect("job in flight");
                 queue.cancel(flight.pending);
                 timed_out += 1;
+                observer.emit(
+                    now,
+                    TraceEvent::JobTimedOut {
+                        job: flight.job.id,
+                        function: flight.job.function.name(),
+                        worker: w,
+                    },
+                );
+                if let (Some(metrics), Some(h)) = (observer.metrics(), handles.as_ref()) {
+                    metrics.inc(h.jobs_timed_out);
+                }
                 // The worker is reset exactly as after a normal job: the
                 // reboot restores the clean state the next tenant needs.
                 if !dispatcher.has_work(w) {
@@ -272,13 +459,35 @@ pub fn run_microfaas(config: &MicroFaasConfig) -> ClusterRun {
                         .expect("job was executing");
                     gpio.actuate(now, w, PowerAction::Off);
                     meter.set_power(now, channels[w], 0.0);
-                } else {
-                    nodes[w].finish_job_and_reboot(now).expect("job was executing");
-                    meter.set_power(now, channels[w], nodes[w].power().value());
-                    queue.schedule(
-                        now + nodes[w].boot_duration(),
-                        Event::BootDone(w),
+                    observer.emit(
+                        now,
+                        TraceEvent::WorkerStateChange {
+                            worker: w,
+                            state: WorkerState::Off,
+                        },
                     );
+                    observer.emit(
+                        now,
+                        TraceEvent::PowerSample {
+                            worker: w,
+                            watts: 0.0,
+                        },
+                    );
+                } else {
+                    nodes[w]
+                        .finish_job_and_reboot(now)
+                        .expect("job was executing");
+                    let watts = nodes[w].power().value();
+                    meter.set_power(now, channels[w], watts);
+                    observer.emit(
+                        now,
+                        TraceEvent::WorkerStateChange {
+                            worker: w,
+                            state: WorkerState::Rebooting,
+                        },
+                    );
+                    observer.emit(now, TraceEvent::PowerSample { worker: w, watts });
+                    queue.schedule(now + nodes[w].boot_duration(), Event::BootDone(w));
                 }
             }
         }
@@ -288,13 +497,39 @@ pub fn run_microfaas(config: &MicroFaasConfig) -> ClusterRun {
     // meter after the final completion; report at the later instant.
     let end = queue.now().max(last_completion);
     let energy = meter.report(end, records.len() as u64);
-    ClusterRun {
+    let run = ClusterRun {
         label: format!("MicroFaaS ({} SBCs)", config.workers),
         workers: config.workers,
         energy,
         makespan: last_completion.duration_since(SimTime::ZERO),
         records,
         timed_out,
+    };
+    // Headline gauges are computed from the finished run itself, so the
+    // exposition agrees bit-for-bit with the `ClusterRun` accessors.
+    if let Some(metrics) = observer.metrics() {
+        meter.publish_metrics(metrics, "micro", end);
+        publish_run_gauges(metrics, "micro", &run);
+    }
+    run
+}
+
+/// Publishes the headline `ClusterRun` aggregates as `{prefix}_*`
+/// gauges, identical to the values the accessors return.
+pub(crate) fn publish_run_gauges(metrics: &mut MetricsRegistry, prefix: &str, run: &ClusterRun) {
+    let pairs = [
+        ("makespan_seconds", run.makespan.as_secs_f64()),
+        ("total_joules", run.energy.total_joules),
+        ("average_watts", run.energy.average_watts),
+        (
+            "joules_per_function",
+            run.joules_per_function().unwrap_or(0.0),
+        ),
+        ("functions_per_minute", run.functions_per_minute()),
+    ];
+    for (name, value) in pairs {
+        let gauge = metrics.gauge(&format!("{prefix}_{name}"));
+        metrics.set_gauge(gauge, value);
     }
 }
 
@@ -311,11 +546,29 @@ fn start_next_job(
     channels: &[microfaas_energy::ChannelId],
     gpio: &mut PowerController,
     rng: &mut Rng,
+    observer: &mut Observer<'_>,
 ) {
     match dispatcher.pull(w) {
         Some(job) => {
             nodes[w].start_job(now).expect("node is idle");
-            meter.set_power(now, channels[w], nodes[w].power().value());
+            let watts = nodes[w].power().value();
+            meter.set_power(now, channels[w], watts);
+            observer.emit(
+                now,
+                TraceEvent::JobStarted {
+                    job: job.id,
+                    function: job.function.name(),
+                    worker: w,
+                },
+            );
+            observer.emit(
+                now,
+                TraceEvent::WorkerStateChange {
+                    worker: w,
+                    state: WorkerState::Executing,
+                },
+            );
+            observer.emit(now, TraceEvent::PowerSample { worker: w, watts });
             let st = service_time(job.function);
             let mut exec = st
                 .exec(WorkerPlatform::ArmSbc)
@@ -327,7 +580,13 @@ fn start_next_job(
             let timeout = config
                 .invocation_timeout
                 .map(|limit| queue.schedule(now + limit, Event::TimedOut(w)));
-            in_flight[w] = Some(InFlight { job, started: now, exec, pending, timeout });
+            in_flight[w] = Some(InFlight {
+                job,
+                started: now,
+                exec,
+                pending,
+                timeout,
+            });
         }
         None => {
             // Booted with nothing to do (possible when the initial random
@@ -336,6 +595,20 @@ fn start_next_job(
                 nodes[w].power_off(now).expect("node is idle");
                 gpio.actuate(now, w, PowerAction::Off);
                 meter.set_power(now, channels[w], 0.0);
+                observer.emit(
+                    now,
+                    TraceEvent::WorkerStateChange {
+                        worker: w,
+                        state: WorkerState::Off,
+                    },
+                );
+                observer.emit(
+                    now,
+                    TraceEvent::PowerSample {
+                        worker: w,
+                        watts: 0.0,
+                    },
+                );
             }
         }
     }
@@ -351,7 +624,10 @@ fn is_crypto(function: FunctionId) -> bool {
 /// Average cluster power with exactly `active` of `total` workers busy —
 /// the closed-form behind Fig. 5's SBC line.
 pub fn sbc_cluster_power(total: usize, active: usize, power_gating: bool) -> f64 {
-    assert!(active <= total, "cannot have more active workers than workers");
+    assert!(
+        active <= total,
+        "cannot have more active workers than workers"
+    );
     let idle_draw = if power_gating { 0.0 } else { 0.128 };
     active as f64 * 1.96 + (total - active) as f64 * idle_draw
 }
@@ -419,7 +695,9 @@ mod tests {
         upgraded_config.worker_nic_bits_per_sec = 1_000_000_000;
         let upgraded = run_microfaas(&upgraded_config);
         let stock_ovh = stock.per_function()[&FunctionId::CosGet].overhead_ms.mean();
-        let upgraded_ovh = upgraded.per_function()[&FunctionId::CosGet].overhead_ms.mean();
+        let upgraded_ovh = upgraded.per_function()[&FunctionId::CosGet]
+            .overhead_ms
+            .mean();
         assert!(
             upgraded_ovh < stock_ovh / 2.0,
             "GigE should halve COSGet overhead: {stock_ovh:.0} -> {upgraded_ovh:.0} ms"
@@ -450,10 +728,8 @@ mod tests {
 
     #[test]
     fn per_function_times_match_calibration() {
-        let mut config = MicroFaasConfig::paper_prototype(
-            WorkloadMix::new(FunctionId::ALL.to_vec(), 60),
-            9,
-        );
+        let mut config =
+            MicroFaasConfig::paper_prototype(WorkloadMix::new(FunctionId::ALL.to_vec(), 60), 9);
         config.jitter = Jitter::none();
         let run = run_microfaas(&config);
         for (function, stats) in run.per_function() {
@@ -487,7 +763,9 @@ mod tests {
         assert_eq!(run.timed_out, 30, "every MatMul must be killed");
         assert_eq!(run.jobs_completed(), 30, "every RegexMatch must finish");
         assert!(
-            run.per_function().keys().all(|&f| f == FunctionId::RegexMatch),
+            run.per_function()
+                .keys()
+                .all(|&f| f == FunctionId::RegexMatch),
             "only RegexMatch completions should be recorded"
         );
     }
@@ -537,7 +815,10 @@ mod tests {
             run_microfaas(&config).functions_per_minute()
         };
         let ratio_gige = run_gige(20) / run_gige(5);
-        assert!(ratio_gige > 3.0, "GigE services scale ~linearly, got {ratio_gige:.2}x");
+        assert!(
+            ratio_gige > 3.0,
+            "GigE services scale ~linearly, got {ratio_gige:.2}x"
+        );
     }
 
     #[test]

@@ -13,11 +13,16 @@ use std::collections::VecDeque;
 use microfaas_energy::EnergyMeter;
 use microfaas_hw::gpio::{PowerAction, PowerController};
 use microfaas_hw::sbc::{SbcNode, SbcState};
-use microfaas_sim::{EventQueue, Rng, Samples, SimDuration, SimTime, TimeWeighted};
+use microfaas_sim::trace::{Observer, TraceEvent, WorkerState};
+use microfaas_sim::{
+    CounterId, EventQueue, HistogramId, MetricsRegistry, Rng, Samples, SimDuration, SimTime,
+    TimeWeighted,
+};
 use microfaas_workloads::calibration::{service_time, WorkerPlatform};
 use microfaas_workloads::FunctionId;
 
 use crate::config::Jitter;
+use crate::micro::EXEC_BUCKETS;
 
 /// How invocations arrive at the orchestration plane.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -115,6 +120,8 @@ enum Event {
 
 #[derive(Debug, Clone, Copy)]
 struct QueuedJob {
+    /// Arrival ordinal, used as the job id in trace events.
+    id: u64,
     function: FunctionId,
     arrived: SimTime,
 }
@@ -125,7 +132,30 @@ struct Worker {
     /// Set between the GPIO press and BootDone so the scheduler can see
     /// "waking" nodes as powered.
     waking: bool,
-    current: Option<(QueuedJob, SimDuration)>,
+    /// `(job, exec, started)` for the in-flight invocation.
+    current: Option<(QueuedJob, SimDuration, SimTime)>,
+}
+
+/// Per-run metric handles for the open-loop simulation, prefixed `open_`.
+struct OpenMetrics {
+    jobs_arrived: CounterId,
+    jobs_completed: CounterId,
+    exec_seconds: HistogramId,
+    latency_seconds: HistogramId,
+}
+
+impl OpenMetrics {
+    fn register(metrics: &mut MetricsRegistry) -> Self {
+        OpenMetrics {
+            jobs_arrived: metrics.counter("open_jobs_arrived_total"),
+            jobs_completed: metrics.counter("open_jobs_completed_total"),
+            exec_seconds: metrics.histogram("open_exec_seconds", &EXEC_BUCKETS),
+            latency_seconds: metrics.histogram(
+                "open_latency_seconds",
+                &[0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 120.0],
+            ),
+        }
+    }
 }
 
 impl Worker {
@@ -145,11 +175,37 @@ impl Worker {
 /// Panics if `workers` is zero, `functions` is empty, or the arrival
 /// process is non-positive.
 pub fn run_open_loop(config: &OpenLoopConfig) -> OpenLoopRun {
+    run_open_loop_with(config, &mut Observer::disabled())
+}
+
+/// Runs the open-loop simulation while reporting trace events and
+/// `open_*` metrics into `observer`. [`run_open_loop`] is this entry
+/// point with [`Observer::disabled`]; results are bit-identical either
+/// way.
+///
+/// # Examples
+///
+/// ```
+/// use microfaas::openloop::{run_open_loop_with, OpenLoopConfig};
+/// use microfaas_sim::trace::{Observer, TraceBuffer};
+/// use microfaas_sim::SimDuration;
+///
+/// let config = OpenLoopConfig::paper_arrangement(2, SimDuration::from_secs(30), 42);
+/// let mut trace = TraceBuffer::new(65_536);
+/// let run = run_open_loop_with(&config, &mut Observer::tracing(&mut trace));
+/// let completions = trace
+///     .iter()
+///     .filter(|r| r.event.kind() == "job_completed")
+///     .count() as u64;
+/// assert_eq!(completions, run.completed);
+/// ```
+pub fn run_open_loop_with(config: &OpenLoopConfig, observer: &mut Observer<'_>) -> OpenLoopRun {
     assert!(config.workers > 0, "cluster needs at least one worker");
     assert!(!config.functions.is_empty(), "need at least one function");
     if let ArrivalProcess::Poisson { per_second } = config.arrival {
         assert!(per_second > 0.0, "arrival rate must be positive");
     }
+    let handles = observer.metrics().map(OpenMetrics::register);
 
     let mut rng = Rng::new(config.seed);
     let mut queue: EventQueue<Event> = EventQueue::new();
@@ -188,7 +244,21 @@ pub fn run_open_loop(config: &OpenLoopConfig) -> OpenLoopRun {
                 for _ in 0..batch {
                     arrived += 1;
                     let function = config.functions[rng.index(config.functions.len())];
-                    let job = QueuedJob { function, arrived: now };
+                    let job = QueuedJob {
+                        id: arrived,
+                        function,
+                        arrived: now,
+                    };
+                    observer.emit(
+                        now,
+                        TraceEvent::JobEnqueued {
+                            job: job.id,
+                            function: function.name(),
+                        },
+                    );
+                    if let (Some(metrics), Some(h)) = (observer.metrics(), handles.as_ref()) {
+                        metrics.inc(h.jobs_arrived);
+                    }
                     let w = place(config.scheduler, &workers, &mut rng);
                     workers[w].queue.push_back(job);
                     match workers[w].node.state() {
@@ -199,7 +269,17 @@ pub fn run_open_loop(config: &OpenLoopConfig) -> OpenLoopRun {
                             queue.schedule(effective, Event::PowerEffective(w));
                         }
                         SbcState::Idle => {
-                            begin_job(w, now, config, &mut workers, &mut queue, &mut meter, &channels, &mut rng);
+                            begin_job(
+                                w,
+                                now,
+                                config,
+                                &mut workers,
+                                &mut queue,
+                                &mut meter,
+                                &channels,
+                                &mut rng,
+                                observer,
+                            );
                         }
                         _ => {}
                     }
@@ -215,25 +295,69 @@ pub fn run_open_loop(config: &OpenLoopConfig) -> OpenLoopRun {
             Event::PowerEffective(w) => {
                 workers[w].waking = false;
                 workers[w].node.power_on(now).expect("was off");
-                meter.set_power(now, channels[w], workers[w].node.power().value());
+                let watts = workers[w].node.power().value();
+                meter.set_power(now, channels[w], watts);
+                observer.emit(
+                    now,
+                    TraceEvent::WorkerStateChange {
+                        worker: w,
+                        state: WorkerState::Booting,
+                    },
+                );
+                observer.emit(now, TraceEvent::PowerSample { worker: w, watts });
                 queue.schedule(now + workers[w].node.boot_duration(), Event::BootDone(w));
             }
             Event::BootDone(w) => {
                 workers[w].node.boot_complete(now).expect("was booting");
-                meter.set_power(now, channels[w], workers[w].node.power().value());
-                begin_job(w, now, config, &mut workers, &mut queue, &mut meter, &channels, &mut rng);
+                let watts = workers[w].node.power().value();
+                meter.set_power(now, channels[w], watts);
+                observer.emit(
+                    now,
+                    TraceEvent::WorkerStateChange {
+                        worker: w,
+                        state: WorkerState::Idle,
+                    },
+                );
+                observer.emit(now, TraceEvent::PowerSample { worker: w, watts });
+                begin_job(
+                    w,
+                    now,
+                    config,
+                    &mut workers,
+                    &mut queue,
+                    &mut meter,
+                    &channels,
+                    &mut rng,
+                    observer,
+                );
             }
             Event::ExecDone(w) => {
-                let (job, _exec) = workers[w].current.expect("job in flight");
+                let (job, _exec, _started) = workers[w].current.expect("job in flight");
                 let overhead = service_time(job.function)
                     .overhead(WorkerPlatform::ArmSbc)
                     .mul_f64(config.jitter.factor(&mut rng));
                 queue.schedule(now + overhead, Event::JobDone(w));
             }
             Event::JobDone(w) => {
-                let (job, _) = workers[w].current.take().expect("job in flight");
+                let (job, exec, started) = workers[w].current.take().expect("job in flight");
                 completed += 1;
-                latencies.record(now.duration_since(job.arrived).as_secs_f64());
+                let latency = now.duration_since(job.arrived);
+                latencies.record(latency.as_secs_f64());
+                observer.emit(
+                    now,
+                    TraceEvent::JobCompleted {
+                        job: job.id,
+                        function: job.function.name(),
+                        worker: w,
+                        exec,
+                        overhead: now.duration_since(started + exec),
+                    },
+                );
+                if let (Some(metrics), Some(h)) = (observer.metrics(), handles.as_ref()) {
+                    metrics.inc(h.jobs_completed);
+                    metrics.observe(h.exec_seconds, exec.as_secs_f64());
+                    metrics.observe(h.latency_seconds, latency.as_secs_f64());
+                }
                 if workers[w].queue.is_empty() {
                     workers[w]
                         .node
@@ -242,13 +366,36 @@ pub fn run_open_loop(config: &OpenLoopConfig) -> OpenLoopRun {
                     powered_on.add(now, -1.0);
                     gpio.actuate(now, w, PowerAction::Off);
                     meter.set_power(now, channels[w], 0.0);
-                } else {
-                    workers[w].node.finish_job_and_reboot(now).expect("was executing");
-                    meter.set_power(now, channels[w], workers[w].node.power().value());
-                    queue.schedule(
-                        now + workers[w].node.boot_duration(),
-                        Event::BootDone(w),
+                    observer.emit(
+                        now,
+                        TraceEvent::WorkerStateChange {
+                            worker: w,
+                            state: WorkerState::Off,
+                        },
                     );
+                    observer.emit(
+                        now,
+                        TraceEvent::PowerSample {
+                            worker: w,
+                            watts: 0.0,
+                        },
+                    );
+                } else {
+                    workers[w]
+                        .node
+                        .finish_job_and_reboot(now)
+                        .expect("was executing");
+                    let watts = workers[w].node.power().value();
+                    meter.set_power(now, channels[w], watts);
+                    observer.emit(
+                        now,
+                        TraceEvent::WorkerStateChange {
+                            worker: w,
+                            state: WorkerState::Rebooting,
+                        },
+                    );
+                    observer.emit(now, TraceEvent::PowerSample { worker: w, watts });
+                    queue.schedule(now + workers[w].node.boot_duration(), Event::BootDone(w));
                 }
             }
         }
@@ -256,7 +403,7 @@ pub fn run_open_loop(config: &OpenLoopConfig) -> OpenLoopRun {
 
     let end = queue.now().max(horizon);
     let report = meter.report(end, completed);
-    OpenLoopRun {
+    let run = OpenLoopRun {
         completed,
         mean_latency_s: latencies.mean().unwrap_or(0.0),
         p95_latency_s: latencies.percentile(95.0).unwrap_or(0.0),
@@ -264,8 +411,37 @@ pub fn run_open_loop(config: &OpenLoopConfig) -> OpenLoopRun {
         joules_per_function: report.joules_per_function().unwrap_or(f64::NAN),
         mean_powered_on: powered_on.time_average(end),
         offered_per_second: arrived as f64 / config.duration.as_secs_f64(),
-        power_cycles: (0..config.workers).map(|w| gpio.power_on_count(w) as u64).sum(),
+        power_cycles: (0..config.workers)
+            .map(|w| gpio.power_on_count(w) as u64)
+            .sum(),
+    };
+    // Gauges come from the finished run so the exposition agrees
+    // bit-for-bit with the returned aggregates.
+    if let Some(metrics) = observer.metrics() {
+        meter.publish_metrics(metrics, "open", end);
+        let cycles = metrics.counter("open_power_cycles_total");
+        metrics.add(cycles, run.power_cycles);
+        let pairs = [
+            ("open_mean_latency_seconds", run.mean_latency_s),
+            ("open_p95_latency_seconds", run.p95_latency_s),
+            ("open_mean_power_watts", run.mean_power_w),
+            (
+                "open_joules_per_function",
+                if run.joules_per_function.is_finite() {
+                    run.joules_per_function
+                } else {
+                    0.0
+                },
+            ),
+            ("open_mean_powered_on", run.mean_powered_on),
+            ("open_offered_per_second", run.offered_per_second),
+        ];
+        for (name, value) in pairs {
+            let gauge = metrics.gauge(name);
+            metrics.set_gauge(gauge, value);
+        }
     }
+    run
 }
 
 /// Runs the same arrival process against the conventional cluster:
@@ -310,7 +486,11 @@ pub fn run_open_loop_conventional(config: &OpenLoopConfig, vms: usize) -> OpenLo
                 for _ in 0..batch {
                     arrived += 1;
                     let function = config.functions[rng.index(config.functions.len())];
-                    let job = QueuedJob { function, arrived: now };
+                    let job = QueuedJob {
+                        id: arrived,
+                        function,
+                        arrived: now,
+                    };
                     // Pick the emptiest VM (work-conserving enough for a
                     // fair comparison; the scheduler study lives on the
                     // MicroFaaS side).
@@ -318,8 +498,7 @@ pub fn run_open_loop_conventional(config: &OpenLoopConfig, vms: usize) -> OpenLo
                         .min_by_key(|&v| queues[v].len() + usize::from(current[v].is_some()))
                         .expect("at least one vm");
                     queues[v].push_back(job);
-                    if current[v].is_none() && server.vm(v).state() == microfaas_hw::VmState::Idle
-                    {
+                    if current[v].is_none() && server.vm(v).state() == microfaas_hw::VmState::Idle {
                         let job = queues[v].pop_front().expect("just pushed");
                         current[v] = Some(job);
                         server.start_job(v, now).expect("vm is idle");
@@ -432,15 +611,33 @@ fn begin_job(
     meter: &mut EnergyMeter,
     channels: &[microfaas_energy::ChannelId],
     rng: &mut Rng,
+    observer: &mut Observer<'_>,
 ) {
     match workers[w].queue.pop_front() {
         Some(job) => {
             workers[w].node.start_job(now).expect("node is idle");
-            meter.set_power(now, channels[w], workers[w].node.power().value());
+            let watts = workers[w].node.power().value();
+            meter.set_power(now, channels[w], watts);
+            observer.emit(
+                now,
+                TraceEvent::JobStarted {
+                    job: job.id,
+                    function: job.function.name(),
+                    worker: w,
+                },
+            );
+            observer.emit(
+                now,
+                TraceEvent::WorkerStateChange {
+                    worker: w,
+                    state: WorkerState::Executing,
+                },
+            );
+            observer.emit(now, TraceEvent::PowerSample { worker: w, watts });
             let exec = service_time(job.function)
                 .exec(WorkerPlatform::ArmSbc)
                 .mul_f64(config.jitter.factor(rng));
-            workers[w].current = Some((job, exec));
+            workers[w].current = Some((job, exec, now));
             queue.schedule(now + exec, Event::ExecDone(w));
         }
         None => {
@@ -474,7 +671,10 @@ mod tests {
             SimDuration::from_secs(300),
             1,
         ));
-        assert!(run.completed > 500, "about 600 jobs should arrive and finish");
+        assert!(
+            run.completed > 500,
+            "about 600 jobs should arrive and finish"
+        );
         assert!(run.mean_latency_s > 0.0);
     }
 
@@ -621,7 +821,10 @@ mod tests {
         // The two simulators advance their RNG streams differently, so
         // arrival counts only agree statistically.
         let ratio = conv.completed as f64 / micro.completed as f64;
-        assert!((0.8..1.2).contains(&ratio), "completions should be comparable");
+        assert!(
+            (0.8..1.2).contains(&ratio),
+            "completions should be comparable"
+        );
     }
 
     #[test]

@@ -101,7 +101,11 @@ impl FunctionRegistry {
             registry
                 .deploy(
                     handler.name(),
-                    FunctionSpec { handler, memory_mb: 128, timeout: None },
+                    FunctionSpec {
+                        handler,
+                        memory_mb: 128,
+                        timeout: None,
+                    },
                 )
                 .expect("paper names are unique and within limits");
         }
@@ -119,7 +123,9 @@ impl FunctionRegistry {
             return Err(RegistryError::NameTaken(name.to_string()));
         }
         if spec.memory_mb > WORKER_MEMORY_MB {
-            return Err(RegistryError::MemoryExceedsWorker { requested_mb: spec.memory_mb });
+            return Err(RegistryError::MemoryExceedsWorker {
+                requested_mb: spec.memory_mb,
+            });
         }
         if spec.timeout == Some(SimDuration::ZERO) {
             return Err(RegistryError::ZeroTimeout);
@@ -171,14 +177,23 @@ mod tests {
     use super::*;
 
     fn spec(handler: FunctionId) -> FunctionSpec {
-        FunctionSpec { handler, memory_mb: 64, timeout: None }
+        FunctionSpec {
+            handler,
+            memory_mb: 64,
+            timeout: None,
+        }
     }
 
     #[test]
     fn deploy_resolve_remove() {
         let mut registry = FunctionRegistry::new();
-        registry.deploy("f", spec(FunctionId::FloatOps)).expect("deploy");
-        assert_eq!(registry.resolve("f").expect("found").handler, FunctionId::FloatOps);
+        registry
+            .deploy("f", spec(FunctionId::FloatOps))
+            .expect("deploy");
+        assert_eq!(
+            registry.resolve("f").expect("found").handler,
+            FunctionId::FloatOps
+        );
         assert_eq!(registry.len(), 1);
         registry.remove("f").expect("removed");
         assert!(registry.is_empty());
@@ -191,7 +206,9 @@ mod tests {
     #[test]
     fn duplicate_names_rejected() {
         let mut registry = FunctionRegistry::new();
-        registry.deploy("f", spec(FunctionId::FloatOps)).expect("deploy");
+        registry
+            .deploy("f", spec(FunctionId::FloatOps))
+            .expect("deploy");
         assert_eq!(
             registry.deploy("f", spec(FunctionId::MatMul)),
             Err(RegistryError::NameTaken("f".to_string()))
@@ -208,7 +225,9 @@ mod tests {
         };
         assert_eq!(
             registry.deploy("fat", fat),
-            Err(RegistryError::MemoryExceedsWorker { requested_mb: 1_024 })
+            Err(RegistryError::MemoryExceedsWorker {
+                requested_mb: 1_024
+            })
         );
         // Exactly the worker's RAM is allowed (single tenancy).
         let exact = FunctionSpec {
@@ -227,7 +246,10 @@ mod tests {
             memory_mb: 64,
             timeout: Some(SimDuration::ZERO),
         };
-        assert_eq!(registry.deploy("broken", broken), Err(RegistryError::ZeroTimeout));
+        assert_eq!(
+            registry.deploy("broken", broken),
+            Err(RegistryError::ZeroTimeout)
+        );
     }
 
     #[test]

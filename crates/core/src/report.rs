@@ -29,11 +29,33 @@ pub struct ClusterRun {
 
 impl ClusterRun {
     /// Jobs completed.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use microfaas::config::WorkloadMix;
+    /// use microfaas::micro::{run_microfaas, MicroFaasConfig};
+    ///
+    /// let run = run_microfaas(&MicroFaasConfig::paper_prototype(WorkloadMix::quick(), 42));
+    /// assert_eq!(run.jobs_completed(), run.records.len() as u64);
+    /// assert!(run.jobs_completed() > 0);
+    /// ```
     pub fn jobs_completed(&self) -> u64 {
         self.records.len() as u64
     }
 
     /// Cluster throughput in functions per minute.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use microfaas::config::WorkloadMix;
+    /// use microfaas::micro::{run_microfaas, MicroFaasConfig};
+    ///
+    /// let run = run_microfaas(&MicroFaasConfig::paper_prototype(WorkloadMix::quick(), 42));
+    /// let expected = run.jobs_completed() as f64 * 60.0 / run.makespan.as_secs_f64();
+    /// assert_eq!(run.functions_per_minute(), expected);
+    /// ```
     pub fn functions_per_minute(&self) -> f64 {
         if self.makespan.is_zero() {
             return 0.0;
@@ -42,17 +64,54 @@ impl ClusterRun {
     }
 
     /// Energy per function in joules.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use microfaas::config::WorkloadMix;
+    /// use microfaas::micro::{run_microfaas, MicroFaasConfig};
+    ///
+    /// let run = run_microfaas(&MicroFaasConfig::paper_prototype(WorkloadMix::quick(), 42));
+    /// let jpf = run.joules_per_function().expect("jobs completed");
+    /// // The paper's SBC cluster lands near 5.7 J per function.
+    /// assert!((1.0..20.0).contains(&jpf));
+    /// ```
     pub fn joules_per_function(&self) -> Option<f64> {
         self.energy.joules_per_function()
     }
 
     /// Per-function aggregation (the Fig. 3 bars).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use microfaas::config::WorkloadMix;
+    /// use microfaas::micro::{run_microfaas, MicroFaasConfig};
+    /// use microfaas_workloads::FunctionId;
+    ///
+    /// let mix = WorkloadMix::new(vec![FunctionId::CascSha], 5);
+    /// let run = run_microfaas(&MicroFaasConfig::paper_prototype(mix, 42));
+    /// let stats = run.per_function();
+    /// assert_eq!(stats.len(), 1);
+    /// assert_eq!(stats[&FunctionId::CascSha].exec_ms.count(), 5);
+    /// ```
     pub fn per_function(&self) -> BTreeMap<FunctionId, FunctionStats> {
         aggregate(&self.records)
     }
 
     /// Worker-visible job-time percentiles (exec + overhead) in
     /// milliseconds: `(p50, p95, p99)`. Returns `None` for an empty run.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use microfaas::config::WorkloadMix;
+    /// use microfaas::micro::{run_microfaas, MicroFaasConfig};
+    ///
+    /// let run = run_microfaas(&MicroFaasConfig::paper_prototype(WorkloadMix::quick(), 42));
+    /// let (p50, p95, p99) = run.latency_percentiles_ms().expect("jobs completed");
+    /// assert!(p50 <= p95 && p95 <= p99);
+    /// ```
     pub fn latency_percentiles_ms(&self) -> Option<(f64, f64, f64)> {
         if self.records.is_empty() {
             return None;
@@ -114,7 +173,10 @@ mod tests {
     fn throughput_and_energy_math() {
         let records: Vec<JobRecord> = (0..120)
             .map(|i| JobRecord {
-                job: Job { id: i, function: FunctionId::FloatOps },
+                job: Job {
+                    id: i,
+                    function: FunctionId::FloatOps,
+                },
                 worker: 0,
                 started: SimTime::ZERO,
                 exec: SimDuration::from_millis(100),
@@ -139,7 +201,10 @@ mod tests {
     fn latency_percentiles_ordered() {
         let records: Vec<JobRecord> = (1..=100)
             .map(|i| JobRecord {
-                job: Job { id: i, function: FunctionId::FloatOps },
+                job: Job {
+                    id: i,
+                    function: FunctionId::FloatOps,
+                },
                 worker: 0,
                 started: SimTime::ZERO,
                 exec: SimDuration::from_millis(i * 10),

@@ -2,6 +2,9 @@
 //! a text-mode Gantt view for eyeballing scheduling behaviour and
 //! debugging utilization anomalies.
 
+use std::collections::HashMap;
+
+use microfaas_sim::trace::{TraceEvent, TraceRecord};
 use microfaas_sim::{SimDuration, SimTime};
 
 use crate::report::ClusterRun;
@@ -57,6 +60,67 @@ impl Timeline {
             workers: run.workers,
             spans,
             end: SimTime::ZERO + run.makespan,
+        }
+    }
+
+    /// Rebuilds the timeline from a recorded trace stream.
+    ///
+    /// Spans open at [`TraceEvent::JobStarted`] and close at the matching
+    /// [`TraceEvent::JobCompleted`] or [`TraceEvent::JobTimedOut`]; jobs
+    /// still in flight when the stream ends are dropped. The time axis
+    /// extends to the latest timestamp in the stream, so trailing power
+    /// samples stretch the chart exactly like the run's makespan does.
+    ///
+    /// On a full (non-overwritten) trace of a deterministic run this
+    /// reproduces [`Timeline::from_run`] span for span, which is how the
+    /// trace pipeline is validated against the simulator's own records.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use microfaas::config::WorkloadMix;
+    /// use microfaas::micro::{run_microfaas_with, MicroFaasConfig};
+    /// use microfaas::timeline::Timeline;
+    /// use microfaas_sim::{Observer, TraceBuffer};
+    /// use microfaas_workloads::FunctionId;
+    ///
+    /// let mix = WorkloadMix::new(vec![FunctionId::RegexMatch], 12);
+    /// let config = MicroFaasConfig::paper_prototype(mix, 3);
+    /// let mut buffer = TraceBuffer::new(65_536);
+    /// let run = run_microfaas_with(&config, &mut Observer::tracing(&mut buffer));
+    /// let timeline = Timeline::from_trace(buffer.iter(), run.workers);
+    /// assert_eq!(timeline.overlap_violation(), None);
+    /// ```
+    pub fn from_trace<'a>(
+        records: impl IntoIterator<Item = &'a TraceRecord>,
+        workers: usize,
+    ) -> Self {
+        let mut open: HashMap<u64, (usize, SimTime)> = HashMap::new();
+        let mut spans = Vec::new();
+        let mut end = SimTime::ZERO;
+        for record in records {
+            end = end.max(record.at);
+            match record.event {
+                TraceEvent::JobStarted { job, worker, .. } => {
+                    open.insert(job, (worker, record.at));
+                }
+                TraceEvent::JobCompleted { job, .. } | TraceEvent::JobTimedOut { job, .. } => {
+                    if let Some((worker, from)) = open.remove(&job) {
+                        spans.push(BusySpan {
+                            worker,
+                            from,
+                            until: record.at,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        spans.sort_by_key(|s| (s.worker, s.from));
+        Timeline {
+            workers,
+            spans,
+            end,
         }
     }
 
@@ -195,18 +259,52 @@ mod tests {
     }
 
     #[test]
+    fn trace_reconstruction_matches_the_run_records() {
+        use crate::micro::run_microfaas_with;
+        use microfaas_sim::{Observer, TraceBuffer};
+
+        let mix = WorkloadMix::new(vec![FunctionId::RegexMatch, FunctionId::CascSha], 25);
+        let config = MicroFaasConfig::paper_prototype(mix, 9);
+        let mut buffer = TraceBuffer::new(1 << 16);
+        let run = run_microfaas_with(&config, &mut Observer::tracing(&mut buffer));
+        assert_eq!(buffer.dropped(), 0, "buffer must hold the whole run");
+
+        let from_run = Timeline::from_run(&run);
+        let from_trace = Timeline::from_trace(buffer.iter(), run.workers);
+        assert_eq!(from_trace.spans(), from_run.spans());
+        assert_eq!(from_trace.overlap_violation(), None);
+        assert_eq!(from_trace.render(40), from_run.render(40));
+    }
+
+    #[test]
     fn overlap_detector_fires_on_bad_data() {
         let spans = vec![
-            BusySpan { worker: 0, from: SimTime::ZERO, until: SimTime::from_secs(5) },
-            BusySpan { worker: 0, from: SimTime::from_secs(3), until: SimTime::from_secs(6) },
+            BusySpan {
+                worker: 0,
+                from: SimTime::ZERO,
+                until: SimTime::from_secs(5),
+            },
+            BusySpan {
+                worker: 0,
+                from: SimTime::from_secs(3),
+                until: SimTime::from_secs(6),
+            },
         ];
-        let timeline = Timeline { workers: 1, spans, end: SimTime::from_secs(6) };
+        let timeline = Timeline {
+            workers: 1,
+            spans,
+            end: SimTime::from_secs(6),
+        };
         assert!(timeline.overlap_violation().is_some());
     }
 
     #[test]
     fn empty_run_renders_idle_chart() {
-        let timeline = Timeline { workers: 2, spans: vec![], end: SimTime::ZERO };
+        let timeline = Timeline {
+            workers: 2,
+            spans: vec![],
+            end: SimTime::ZERO,
+        };
         let chart = timeline.render(10);
         assert!(chart.contains("w0"));
         assert!(!chart.contains('#'));

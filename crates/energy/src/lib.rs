@@ -49,7 +49,10 @@ impl EnergyMeter {
     /// Creates a meter that starts integrating at `start`, with no
     /// channels attached.
     pub fn new(start: SimTime) -> Self {
-        EnergyMeter { start, channels: Vec::new() }
+        EnergyMeter {
+            start,
+            channels: Vec::new(),
+        }
     }
 
     /// Attaches a new channel (initially drawing 0 W) and returns its id.
@@ -104,18 +107,51 @@ impl EnergyMeter {
         self.channels[channel.0].trace.integral(until)
     }
 
+    /// Publishes one `{prefix}_channel_joules{channel="..."}` gauge per
+    /// channel into `metrics`, integrated up to `until`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use microfaas_energy::EnergyMeter;
+    /// use microfaas_sim::metrics::MetricsRegistry;
+    /// use microfaas_sim::SimTime;
+    ///
+    /// let mut meter = EnergyMeter::new(SimTime::ZERO);
+    /// let node = meter.add_channel("sbc-0");
+    /// meter.set_power(SimTime::ZERO, node, 2.0);
+    ///
+    /// let mut metrics = MetricsRegistry::new();
+    /// meter.publish_metrics(&mut metrics, "micro", SimTime::from_secs(3));
+    /// assert!(metrics
+    ///     .render_prometheus()
+    ///     .contains("micro_channel_joules{channel=\"sbc-0\"} 6"));
+    /// ```
+    pub fn publish_metrics(
+        &self,
+        metrics: &mut microfaas_sim::MetricsRegistry,
+        prefix: &str,
+        until: SimTime,
+    ) {
+        for channel in &self.channels {
+            let name = format!("{prefix}_channel_joules{{channel=\"{}\"}}", channel.name);
+            let gauge = metrics.gauge(&name);
+            metrics.set_gauge(gauge, channel.trace.integral(until));
+        }
+    }
+
     /// Snapshot of the whole meter at `until`.
     pub fn report(&self, until: SimTime, functions_completed: u64) -> EnergyReport {
-        let total_joules: f64 = self
-            .channels
-            .iter()
-            .map(|c| c.trace.integral(until))
-            .sum();
+        let total_joules: f64 = self.channels.iter().map(|c| c.trace.integral(until)).sum();
         let elapsed = until.duration_since(self.start).as_secs_f64();
         EnergyReport {
             total_joules,
             elapsed_seconds: elapsed,
-            average_watts: if elapsed > 0.0 { total_joules / elapsed } else { 0.0 },
+            average_watts: if elapsed > 0.0 {
+                total_joules / elapsed
+            } else {
+                0.0
+            },
             functions_completed,
         }
     }
@@ -140,8 +176,7 @@ impl EnergyReport {
     ///
     /// Returns `None` if nothing completed.
     pub fn joules_per_function(&self) -> Option<f64> {
-        (self.functions_completed > 0)
-            .then(|| self.total_joules / self.functions_completed as f64)
+        (self.functions_completed > 0).then(|| self.total_joules / self.functions_completed as f64)
     }
 
     /// Completed functions per minute.
@@ -159,8 +194,7 @@ impl fmt::Display for EnergyReport {
         write!(
             f,
             "{:.1} J over {:.1} s ({:.2} W avg, {} functions",
-            self.total_joules, self.elapsed_seconds, self.average_watts,
-            self.functions_completed
+            self.total_joules, self.elapsed_seconds, self.average_watts, self.functions_completed
         )?;
         if let Some(jpf) = self.joules_per_function() {
             write!(f, ", {jpf:.2} J/function")?;

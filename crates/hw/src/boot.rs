@@ -178,7 +178,10 @@ impl BootProfile {
 
     /// Starts from the unoptimized baseline.
     pub fn baseline(platform: BootPlatform) -> Self {
-        BootProfile { platform, applied: Vec::new() }
+        BootProfile {
+            platform,
+            applied: Vec::new(),
+        }
     }
 
     /// A profile with every stage applied — the shipped worker OS.
@@ -266,7 +269,12 @@ mod tests {
     fn cpu_time_never_exceeds_real_time() {
         for platform in [BootPlatform::Arm, BootPlatform::X86] {
             for (_, t) in BootProfile::progression(platform) {
-                assert!(t.cpu <= t.real, "{platform:?}: cpu {} > real {}", t.cpu, t.real);
+                assert!(
+                    t.cpu <= t.real,
+                    "{platform:?}: cpu {} > real {}",
+                    t.cpu,
+                    t.real
+                );
             }
         }
     }
@@ -306,12 +314,18 @@ mod tests {
         let optimized = before.boot_time().real;
         let mut without_nic = BootProfile::baseline(BootPlatform::Arm);
         for stage in BootStage::ALL {
-            if !matches!(stage, BootStage::SkipAutonegotiation | BootStage::NoPhyReset) {
+            if !matches!(
+                stage,
+                BootStage::SkipAutonegotiation | BootStage::NoPhyReset
+            ) {
                 without_nic.apply(stage);
             }
         }
         let gap = without_nic.boot_time().real - optimized;
-        assert!(gap.as_secs_f64() > 2.0, "NIC patches should save > 2 s, got {gap}");
+        assert!(
+            gap.as_secs_f64() > 2.0,
+            "NIC patches should save > 2 s, got {gap}"
+        );
         let _ = before.apply(BootStage::StaticIpv4);
     }
 
@@ -323,9 +337,6 @@ mod tests {
 
     #[test]
     fn display_includes_letter() {
-        assert_eq!(
-            BootStage::FalconMode.to_string(),
-            "(E) U-Boot falcon mode"
-        );
+        assert_eq!(BootStage::FalconMode.to_string(), "(E) U-Boot falcon mode");
     }
 }

@@ -61,7 +61,10 @@ pub struct PowerController {
 impl PowerController {
     /// A controller wired to `workers` PWR_BUT pins.
     pub fn new(workers: usize) -> Self {
-        PowerController { workers, log: Vec::new() }
+        PowerController {
+            workers,
+            log: Vec::new(),
+        }
     }
 
     /// Hold time for a press to register (button debounce).
@@ -81,7 +84,11 @@ impl PowerController {
             "worker {worker} is not wired (controller has {} lines)",
             self.workers
         );
-        self.log.push(PowerEvent { at: now, worker, action });
+        self.log.push(PowerEvent {
+            at: now,
+            worker,
+            action,
+        });
         now + self.debounce()
     }
 
@@ -110,7 +117,11 @@ mod tests {
         assert_eq!(effective, SimTime::from_secs(1) + gpio.debounce());
         assert_eq!(
             gpio.log(),
-            &[PowerEvent { at: SimTime::from_secs(1), worker: 0, action: PowerAction::On }]
+            &[PowerEvent {
+                at: SimTime::from_secs(1),
+                worker: 0,
+                action: PowerAction::On
+            }]
         );
     }
 

@@ -87,10 +87,7 @@ impl ServerPowerModel {
     /// package maximum). A powered-on host always pays the idle floor —
     /// the crux of the paper's energy-proportionality argument.
     pub fn draw(&self, busy_vms: usize) -> Watts {
-        Watts(
-            (self.idle_watts + self.per_busy_vm_watts * busy_vms as f64)
-                .min(self.max_watts),
-        )
+        Watts((self.idle_watts + self.per_busy_vm_watts * busy_vms as f64).min(self.max_watts))
     }
 }
 

@@ -188,7 +188,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "fleet needs nodes")]
     fn empty_fleet_panics() {
-        let spec = FleetSpec { nodes: 0, ..FleetSpec::microfaas_rack() };
+        let spec = FleetSpec {
+            nodes: 0,
+            ..FleetSpec::microfaas_rack()
+        };
         simulate_fleet(&spec, &mut Rng::new(0));
     }
 }

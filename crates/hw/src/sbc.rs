@@ -167,7 +167,10 @@ impl SbcNode {
                 self.transition(now, SbcState::Booting);
                 Ok(())
             }
-            from => Err(TransitionError { from, attempted: "power on" }),
+            from => Err(TransitionError {
+                from,
+                attempted: "power on",
+            }),
         }
     }
 
@@ -182,7 +185,10 @@ impl SbcNode {
                 self.transition(now, SbcState::Idle);
                 Ok(())
             }
-            from => Err(TransitionError { from, attempted: "complete boot" }),
+            from => Err(TransitionError {
+                from,
+                attempted: "complete boot",
+            }),
         }
     }
 
@@ -198,7 +204,10 @@ impl SbcNode {
                 self.transition(now, SbcState::Executing);
                 Ok(())
             }
-            from => Err(TransitionError { from, attempted: "start a job" }),
+            from => Err(TransitionError {
+                from,
+                attempted: "start a job",
+            }),
         }
     }
 
@@ -215,7 +224,10 @@ impl SbcNode {
                 self.transition(now, SbcState::Rebooting);
                 Ok(())
             }
-            from => Err(TransitionError { from, attempted: "finish a job" }),
+            from => Err(TransitionError {
+                from,
+                attempted: "finish a job",
+            }),
         }
     }
 
@@ -232,7 +244,10 @@ impl SbcNode {
                 self.transition(now, SbcState::Off);
                 Ok(())
             }
-            from => Err(TransitionError { from, attempted: "finish a job" }),
+            from => Err(TransitionError {
+                from,
+                attempted: "finish a job",
+            }),
         }
     }
 
@@ -247,7 +262,10 @@ impl SbcNode {
                 self.transition(now, SbcState::Off);
                 Ok(())
             }
-            from => Err(TransitionError { from, attempted: "power off" }),
+            from => Err(TransitionError {
+                from,
+                attempted: "power off",
+            }),
         }
     }
 }
@@ -267,10 +285,12 @@ mod tests {
         node.power_on(at(1)).expect("off -> booting");
         node.boot_complete(at(3)).expect("booting -> idle");
         node.start_job(at(4)).expect("idle -> executing");
-        node.finish_job_and_reboot(at(6)).expect("executing -> rebooting");
+        node.finish_job_and_reboot(at(6))
+            .expect("executing -> rebooting");
         node.boot_complete(at(8)).expect("rebooting -> idle");
         node.start_job(at(8)).expect("idle -> executing");
-        node.finish_job_and_power_off(at(10)).expect("executing -> off");
+        node.finish_job_and_power_off(at(10))
+            .expect("executing -> off");
         assert_eq!(node.state(), SbcState::Off);
         assert_eq!(node.jobs_completed(), 2);
     }
@@ -304,7 +324,10 @@ mod tests {
     #[test]
     fn illegal_transitions_are_rejected() {
         let mut node = SbcNode::new(0, at(0));
-        assert!(node.start_job(at(0)).is_err(), "cannot start a job while off");
+        assert!(
+            node.start_job(at(0)).is_err(),
+            "cannot start a job while off"
+        );
         assert!(node.boot_complete(at(0)).is_err());
         assert!(node.finish_job_and_reboot(at(0)).is_err());
         node.power_on(at(0)).expect("on");

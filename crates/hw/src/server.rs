@@ -49,7 +49,12 @@ pub struct VmWorker {
 
 impl VmWorker {
     fn new(id: usize, now: SimTime) -> Self {
-        VmWorker { id, state: VmState::Idle, state_since: now, jobs_completed: 0 }
+        VmWorker {
+            id,
+            state: VmState::Idle,
+            state_since: now,
+            jobs_completed: 0,
+        }
     }
 
     /// The worker's identifier within the host.
@@ -83,7 +88,11 @@ pub struct VmTransitionError {
 
 impl fmt::Display for VmTransitionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "vm {} cannot {} while {}", self.vm, self.attempted, self.from)
+        write!(
+            f,
+            "vm {} cannot {} while {}",
+            self.vm, self.attempted, self.from
+        )
     }
 }
 
@@ -218,7 +227,11 @@ impl RackServer {
                 worker.state_since = now;
                 Ok(())
             }
-            from => Err(VmTransitionError { vm, from, attempted: "start a job" }),
+            from => Err(VmTransitionError {
+                vm,
+                from,
+                attempted: "start a job",
+            }),
         }
     }
 
@@ -237,7 +250,11 @@ impl RackServer {
                 worker.state_since = now;
                 Ok(())
             }
-            from => Err(VmTransitionError { vm, from, attempted: "finish a job" }),
+            from => Err(VmTransitionError {
+                vm,
+                from,
+                attempted: "finish a job",
+            }),
         }
     }
 
@@ -254,7 +271,11 @@ impl RackServer {
                 worker.state_since = now;
                 Ok(())
             }
-            from => Err(VmTransitionError { vm, from, attempted: "complete a reboot" }),
+            from => Err(VmTransitionError {
+                vm,
+                from,
+                attempted: "complete a reboot",
+            }),
         }
     }
 
@@ -292,7 +313,10 @@ mod tests {
         let server = RackServer::new(20, SimTime::ZERO);
         assert_eq!(server.slowdown(16), 1.0, "16 VMs exactly fill 12 cores");
         let s20 = server.slowdown(20);
-        assert!((s20 - 1.25).abs() < 1e-9, "20 x 0.75 / 12 = 1.25, got {s20}");
+        assert!(
+            (s20 - 1.25).abs() < 1e-9,
+            "20 x 0.75 / 12 = 1.25, got {s20}"
+        );
     }
 
     #[test]
@@ -300,7 +324,9 @@ mod tests {
         let mut server = RackServer::new(2, SimTime::ZERO);
         server.start_job(0, SimTime::from_secs(1)).expect("start");
         server.finish_job(0, SimTime::from_secs(2)).expect("finish");
-        server.reboot_complete(0, SimTime::from_secs(3)).expect("reboot");
+        server
+            .reboot_complete(0, SimTime::from_secs(3))
+            .expect("reboot");
         assert_eq!(server.vm(0).jobs_completed(), 1);
         assert_eq!(server.vm(0).state(), VmState::Idle);
         assert_eq!(server.total_jobs(), 1);

@@ -194,8 +194,14 @@ impl Network {
     /// Panics if `from == to` or either id is foreign to this network.
     pub fn send(&mut self, now: SimTime, from: NodeId, to: NodeId, bytes: u64) -> SimTime {
         assert_ne!(from, to, "a node cannot send to itself over the switch");
-        let up_rate = self.nodes[from.0].link.bits_per_sec.min(self.switch_port.bits_per_sec);
-        let down_rate = self.nodes[to.0].link.bits_per_sec.min(self.switch_port.bits_per_sec);
+        let up_rate = self.nodes[from.0]
+            .link
+            .bits_per_sec
+            .min(self.switch_port.bits_per_sec);
+        let down_rate = self.nodes[to.0]
+            .link
+            .bits_per_sec
+            .min(self.switch_port.bits_per_sec);
         let up_serialization = serialization(bytes, up_rate);
         let down_serialization = serialization(bytes, down_rate);
         let path_latency = self.nodes[from.0].link.latency
@@ -320,7 +326,10 @@ mod tests {
         let quick = net.send(SimTime::ZERO, gig, sink2, 10_000_000);
         // Fast Ethernet bottleneck: ~800 ms; full GigE path: ~80 ms.
         assert!((0.80..0.81).contains(&slow.as_secs_f64()), "slow {slow}");
-        assert!((0.080..0.081).contains(&quick.as_secs_f64()), "quick {quick}");
+        assert!(
+            (0.080..0.081).contains(&quick.as_secs_f64()),
+            "quick {quick}"
+        );
         let ratio = slow.as_secs_f64() / quick.as_secs_f64();
         assert!((9.0..11.0).contains(&ratio), "ratio {ratio}");
     }
@@ -380,11 +389,17 @@ mod tests {
         net.send(SimTime::from_secs(1), b, a, 300);
         assert_eq!(
             net.traffic(a),
-            TrafficStats { bytes_sent: 500, bytes_received: 300 }
+            TrafficStats {
+                bytes_sent: 500,
+                bytes_received: 300
+            }
         );
         assert_eq!(
             net.traffic(b),
-            TrafficStats { bytes_sent: 300, bytes_received: 500 }
+            TrafficStats {
+                bytes_sent: 300,
+                bytes_received: 500
+            }
         );
         assert_eq!(net.total_bytes(), 800);
         assert_eq!(net.message_count(), 2);

@@ -118,10 +118,7 @@ impl RackFabric {
     ///
     /// Panics if `from == to`.
     pub fn send(&mut self, now: SimTime, from: RackNodeId, to: RackNodeId, bytes: u64) -> SimTime {
-        assert!(
-            from != to,
-            "a node cannot send to itself over the fabric"
-        );
+        assert!(from != to, "a node cannot send to itself over the fabric");
         if from.switch == to.switch {
             return self.switches[from.switch].send(now, from.node, to.node, bytes);
         }

@@ -390,13 +390,13 @@ impl KvStore {
             Command::Exists(key) => Reply::Integer(self.data.contains_key(&key) as i64),
             Command::Incr(key) => {
                 let entry = self.data.entry(key).or_insert_with(|| b"0".to_vec());
-                let current: i64 = match std::str::from_utf8(entry).ok().and_then(|s| s.parse().ok())
+                let current: i64 = match std::str::from_utf8(entry)
+                    .ok()
+                    .and_then(|s| s.parse().ok())
                 {
                     Some(n) => n,
                     None => {
-                        return Reply::Error(
-                            "value is not an integer or out of range".to_string(),
-                        )
+                        return Reply::Error("value is not an integer or out of range".to_string())
                     }
                 };
                 let next = current + 1;
@@ -432,9 +432,7 @@ impl KvStore {
                     }
                 }
             }
-            Command::Persist(key) => {
-                Reply::Integer(self.expiry.remove(&key).is_some() as i64)
-            }
+            Command::Persist(key) => Reply::Integer(self.expiry.remove(&key).is_some() as i64),
             Command::Keys(pattern) => {
                 // Render as a newline-joined bulk string; a full RESP
                 // array reply type is not needed by any workload.
@@ -512,7 +510,10 @@ mod tests {
             store.execute(Command::Set("k".into(), b"v".to_vec())),
             Reply::Simple("OK".into())
         );
-        assert_eq!(store.execute(Command::Get("k".into())), Reply::Bulk(b"v".to_vec()));
+        assert_eq!(
+            store.execute(Command::Get("k".into())),
+            Reply::Bulk(b"v".to_vec())
+        );
     }
 
     #[test]
@@ -526,7 +527,10 @@ mod tests {
         let mut store = KvStore::new();
         store.execute(Command::Set("k".into(), b"a".to_vec()));
         store.execute(Command::Set("k".into(), b"b".to_vec()));
-        assert_eq!(store.execute(Command::Get("k".into())), Reply::Bulk(b"b".to_vec()));
+        assert_eq!(
+            store.execute(Command::Get("k".into())),
+            Reply::Bulk(b"b".to_vec())
+        );
         assert_eq!(store.len(), 1);
     }
 
@@ -547,14 +551,20 @@ mod tests {
         let mut store = KvStore::new();
         assert_eq!(store.execute(Command::Incr("n".into())), Reply::Integer(1));
         assert_eq!(store.execute(Command::Incr("n".into())), Reply::Integer(2));
-        assert_eq!(store.execute(Command::Get("n".into())), Reply::Bulk(b"2".to_vec()));
+        assert_eq!(
+            store.execute(Command::Get("n".into())),
+            Reply::Bulk(b"2".to_vec())
+        );
     }
 
     #[test]
     fn incr_non_integer_errors() {
         let mut store = KvStore::new();
         store.execute(Command::Set("s".into(), b"abc".to_vec()));
-        assert!(matches!(store.execute(Command::Incr("s".into())), Reply::Error(_)));
+        assert!(matches!(
+            store.execute(Command::Incr("s".into())),
+            Reply::Error(_)
+        ));
     }
 
     #[test]
@@ -652,7 +662,10 @@ mod tests {
         let mut store = KvStore::new();
         store.execute(Command::Set("k".into(), b"v".to_vec()));
         assert_eq!(store.execute(Command::Ttl("k".into())), Reply::Integer(-1));
-        assert_eq!(store.execute(Command::Ttl("ghost".into())), Reply::Integer(-2));
+        assert_eq!(
+            store.execute(Command::Ttl("ghost".into())),
+            Reply::Integer(-2)
+        );
         assert_eq!(
             store.execute(Command::Expire("k".into(), 10)),
             Reply::Integer(1)
@@ -679,10 +692,19 @@ mod tests {
         let mut store = KvStore::new();
         store.execute(Command::Set("k".into(), vec![]));
         store.execute(Command::Expire("k".into(), 1));
-        assert_eq!(store.execute(Command::Persist("k".into())), Reply::Integer(1));
-        assert_eq!(store.execute(Command::Persist("k".into())), Reply::Integer(0));
+        assert_eq!(
+            store.execute(Command::Persist("k".into())),
+            Reply::Integer(1)
+        );
+        assert_eq!(
+            store.execute(Command::Persist("k".into())),
+            Reply::Integer(0)
+        );
         store.advance_clock_ms(60_000);
-        assert_eq!(store.execute(Command::Exists("k".into())), Reply::Integer(1));
+        assert_eq!(
+            store.execute(Command::Exists("k".into())),
+            Reply::Integer(1)
+        );
     }
 
     #[test]
@@ -692,7 +714,10 @@ mod tests {
         store.execute(Command::Expire("k".into(), 1));
         store.execute(Command::Set("k".into(), b"b".to_vec()));
         store.advance_clock_ms(60_000);
-        assert_eq!(store.execute(Command::Get("k".into())), Reply::Bulk(b"b".to_vec()));
+        assert_eq!(
+            store.execute(Command::Get("k".into())),
+            Reply::Bulk(b"b".to_vec())
+        );
     }
 
     #[test]
@@ -712,7 +737,10 @@ mod tests {
             Command::DbSize,
         ];
         let wire: Vec<u8> = commands.iter().flat_map(Command::encode).collect();
-        assert_eq!(Command::decode_pipeline(&wire).expect("round trip"), commands);
+        assert_eq!(
+            Command::decode_pipeline(&wire).expect("round trip"),
+            commands
+        );
 
         let mut store = KvStore::new();
         let replies = store.handle_pipeline(&wire);

@@ -176,7 +176,10 @@ impl Broker {
         let (log, start) = self.partition_view(topic, partition)?;
         let log_end = start + log.len() as u64;
         if offset > log_end {
-            return Err(BrokerError::OffsetOutOfRange { requested: offset, log_end });
+            return Err(BrokerError::OffsetOutOfRange {
+                requested: offset,
+                log_end,
+            });
         }
         // Offsets below the retained start (after truncation) resume at
         // the retained head, as a Kafka consumer with auto.offset.reset
@@ -410,7 +413,10 @@ mod tests {
     fn fetch_at_log_end_is_empty_not_error() {
         let mut b = broker();
         let (partition, offset) = b.produce("t", Some(b"k"), vec![1]).expect("produce");
-        assert!(b.fetch("t", partition, offset + 1, 10).expect("fetch").is_empty());
+        assert!(b
+            .fetch("t", partition, offset + 1, 10)
+            .expect("fetch")
+            .is_empty());
     }
 
     #[test]
@@ -418,7 +424,10 @@ mod tests {
         let b = broker();
         assert_eq!(
             b.fetch("t", 0, 5, 10),
-            Err(BrokerError::OffsetOutOfRange { requested: 5, log_end: 0 })
+            Err(BrokerError::OffsetOutOfRange {
+                requested: 5,
+                log_end: 0
+            })
         );
     }
 
@@ -455,9 +464,15 @@ mod tests {
         );
         assert_eq!(
             b.fetch("t", 9, 0, 1),
-            Err(BrokerError::NoSuchPartition { topic: "t".into(), partition: 9 })
+            Err(BrokerError::NoSuchPartition {
+                topic: "t".into(),
+                partition: 9
+            })
         );
-        assert_eq!(b.create_topic("t", 1), Err(BrokerError::TopicExists("t".into())));
+        assert_eq!(
+            b.create_topic("t", 1),
+            Err(BrokerError::TopicExists("t".into()))
+        );
     }
 
     #[test]

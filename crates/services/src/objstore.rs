@@ -86,7 +86,9 @@ pub struct ObjectStore {
 impl ObjectStore {
     /// Creates an empty store.
     pub fn new() -> Self {
-        ObjectStore { buckets: BTreeMap::new() }
+        ObjectStore {
+            buckets: BTreeMap::new(),
+        }
     }
 
     /// Creates a bucket.
@@ -143,7 +145,13 @@ impl ObjectStore {
             content_type: content_type.to_string(),
             etag: fnv1a(&data),
         };
-        objects.insert(key.to_string(), StoredObject { data, meta: meta.clone() });
+        objects.insert(
+            key.to_string(),
+            StoredObject {
+                data,
+                meta: meta.clone(),
+            },
+        );
         Ok(meta)
     }
 
@@ -301,10 +309,16 @@ mod tests {
     fn etag_changes_with_content() {
         let mut store = ObjectStore::new();
         store.create_bucket("b").expect("create");
-        let m1 = store.put("b", "k", b"v1".to_vec(), "text/plain").expect("put");
-        let m2 = store.put("b", "k", b"v2".to_vec(), "text/plain").expect("put");
+        let m1 = store
+            .put("b", "k", b"v1".to_vec(), "text/plain")
+            .expect("put");
+        let m2 = store
+            .put("b", "k", b"v2".to_vec(), "text/plain")
+            .expect("put");
         assert_ne!(m1.etag, m2.etag);
-        let m3 = store.put("b", "k", b"v1".to_vec(), "text/plain").expect("put");
+        let m3 = store
+            .put("b", "k", b"v1".to_vec(), "text/plain")
+            .expect("put");
         assert_eq!(m1.etag, m3.etag, "etag is content-determined");
     }
 
@@ -312,7 +326,9 @@ mod tests {
     fn head_returns_meta_without_data() {
         let mut store = ObjectStore::new();
         store.create_bucket("b").expect("create");
-        store.put("b", "k", vec![0u8; 1000], "video/mp4").expect("put");
+        store
+            .put("b", "k", vec![0u8; 1000], "video/mp4")
+            .expect("put");
         let meta = store.head("b", "k").expect("head");
         assert_eq!(meta.size, 1000);
         assert_eq!(meta.content_type, "video/mp4");
@@ -326,8 +342,14 @@ mod tests {
             Err(ObjectStoreError::NoSuchBucket("ghost".into()))
         );
         store.create_bucket("b").expect("create");
-        assert_eq!(store.get("b", "k"), Err(ObjectStoreError::NoSuchKey("k".into())));
-        assert_eq!(store.delete("b", "k"), Err(ObjectStoreError::NoSuchKey("k".into())));
+        assert_eq!(
+            store.get("b", "k"),
+            Err(ObjectStoreError::NoSuchKey("k".into()))
+        );
+        assert_eq!(
+            store.delete("b", "k"),
+            Err(ObjectStoreError::NoSuchKey("k".into()))
+        );
     }
 
     #[test]
@@ -374,7 +396,9 @@ mod tests {
         let mut store = ObjectStore::new();
         store.create_bucket("src").expect("create");
         store.create_bucket("dst").expect("create");
-        let original = store.put("src", "a", b"payload".to_vec(), "text/plain").expect("put");
+        let original = store
+            .put("src", "a", b"payload".to_vec(), "text/plain")
+            .expect("put");
         let copied = store.copy("src", "a", "dst", "b").expect("copy");
         assert_eq!(copied.etag, original.etag);
         let (data, meta) = store.get("dst", "b").expect("get");
@@ -407,10 +431,11 @@ mod tests {
         ] {
             store.put("b", key, vec![], "x").expect("put");
         }
-        let (keys, prefixes) = store
-            .list_with_delimiter("b", "logs/", '/')
-            .expect("list");
-        assert_eq!(keys, vec!["logs/notes".to_string(), "logs/readme".to_string()]);
+        let (keys, prefixes) = store.list_with_delimiter("b", "logs/", '/').expect("list");
+        assert_eq!(
+            keys,
+            vec!["logs/notes".to_string(), "logs/readme".to_string()]
+        );
         assert_eq!(
             prefixes,
             vec!["logs/2021/".to_string(), "logs/2022/".to_string()]

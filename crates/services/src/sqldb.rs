@@ -135,7 +135,8 @@ fn tokenize(sql: &str) -> Result<Vec<Token>, SqlError> {
             }
             '<' | '>' | '!' => {
                 let mut op = String::from(c);
-                if i + 1 < bytes.len() && (bytes[i + 1] == b'=' || (c == '<' && bytes[i + 1] == b'>'))
+                if i + 1 < bytes.len()
+                    && (bytes[i + 1] == b'=' || (c == '<' && bytes[i + 1] == b'>'))
                 {
                     op.push(bytes[i + 1] as char);
                     i += 1;
@@ -232,7 +233,7 @@ enum Statement {
     Select {
         table: String,
         projection: Projection,
-        conditions: Vec<Condition>, // implicit AND
+        conditions: Vec<Condition>,       // implicit AND
         order_by: Option<(String, bool)>, // (column, descending)
         limit: Option<usize>,
     },
@@ -254,7 +255,10 @@ struct SqlParser {
 
 impl SqlParser {
     fn parse(sql: &str) -> Result<Statement, SqlError> {
-        let mut parser = SqlParser { tokens: tokenize(sql)?, pos: 0 };
+        let mut parser = SqlParser {
+            tokens: tokenize(sql)?,
+            pos: 0,
+        };
         let statement = parser.statement()?;
         // Optional trailing semicolon.
         if parser.peek() == Some(&Token::Symbol(';')) {
@@ -283,7 +287,9 @@ impl SqlParser {
     fn keyword(&mut self, word: &str) -> Result<(), SqlError> {
         match self.next()? {
             Token::Ident(s) if s.eq_ignore_ascii_case(word) => Ok(()),
-            other => Err(SqlError::Syntax(format!("expected {word}, found {other:?}"))),
+            other => Err(SqlError::Syntax(format!(
+                "expected {word}, found {other:?}"
+            ))),
         }
     }
 
@@ -297,7 +303,9 @@ impl SqlParser {
     fn ident(&mut self) -> Result<String, SqlError> {
         match self.next()? {
             Token::Ident(s) => Ok(s),
-            other => Err(SqlError::Syntax(format!("expected identifier, found {other:?}"))),
+            other => Err(SqlError::Syntax(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -316,7 +324,9 @@ impl SqlParser {
             }
             Token::Str(s) => Ok(SqlValue::Text(s)),
             Token::Ident(s) if s.eq_ignore_ascii_case("null") => Ok(SqlValue::Null),
-            other => Err(SqlError::Syntax(format!("expected literal, found {other:?}"))),
+            other => Err(SqlError::Syntax(format!(
+                "expected literal, found {other:?}"
+            ))),
         }
     }
 
@@ -349,7 +359,11 @@ impl SqlParser {
             match self.next()? {
                 Token::Symbol(',') => continue,
                 Token::Symbol(')') => break,
-                other => return Err(SqlError::Syntax(format!("expected ',' or ')', found {other:?}"))),
+                other => {
+                    return Err(SqlError::Syntax(format!(
+                        "expected ',' or ')', found {other:?}"
+                    )))
+                }
             }
         }
         Ok(Statement::Create { table, columns })
@@ -436,7 +450,13 @@ impl SqlParser {
         } else {
             None
         };
-        Ok(Statement::Select { table, projection, conditions, order_by, limit })
+        Ok(Statement::Select {
+            table,
+            projection,
+            conditions,
+            order_by,
+            limit,
+        })
     }
 
     fn peek_keyword(&self, word: &str) -> bool {
@@ -461,7 +481,11 @@ impl SqlParser {
             }
         }
         let conditions = self.where_clause()?;
-        Ok(Statement::Update { table, assignments, conditions })
+        Ok(Statement::Update {
+            table,
+            assignments,
+            conditions,
+        })
     }
 
     fn delete(&mut self) -> Result<Statement, SqlError> {
@@ -547,7 +571,9 @@ pub struct Database {
 impl Database {
     /// Creates an empty database.
     pub fn new() -> Self {
-        Database { tables: BTreeMap::new() }
+        Database {
+            tables: BTreeMap::new(),
+        }
     }
 
     /// Parses and executes one SQL statement.
@@ -562,7 +588,13 @@ impl Database {
                 if self.tables.contains_key(&table) {
                     return Err(SqlError::TableExists(table));
                 }
-                self.tables.insert(table, Table { columns, rows: Vec::new() });
+                self.tables.insert(
+                    table,
+                    Table {
+                        columns,
+                        rows: Vec::new(),
+                    },
+                );
                 Ok(QueryOutput::Affected(0))
             }
             Statement::Insert { table, rows } => {
@@ -586,7 +618,13 @@ impl Database {
                 t.rows.extend(rows);
                 Ok(QueryOutput::Affected(count))
             }
-            Statement::Select { table, projection, conditions, order_by, limit } => {
+            Statement::Select {
+                table,
+                projection,
+                conditions,
+                order_by,
+                limit,
+            } => {
                 let t = self
                     .tables
                     .get(&table)
@@ -597,9 +635,13 @@ impl Database {
                 if let Some((column, descending)) = &order_by {
                     let idx = t.column_index(column)?;
                     matching.sort_by(|a, b| {
-                        let ordering = compare(&a[idx], &b[idx])
-                            .unwrap_or(std::cmp::Ordering::Equal);
-                        if *descending { ordering.reverse() } else { ordering }
+                        let ordering =
+                            compare(&a[idx], &b[idx]).unwrap_or(std::cmp::Ordering::Equal);
+                        if *descending {
+                            ordering.reverse()
+                        } else {
+                            ordering
+                        }
                     });
                 }
                 if let Some(limit) = limit {
@@ -623,13 +665,14 @@ impl Database {
                     .into_iter()
                     .map(|row| indices.iter().map(|&i| row[i].clone()).collect())
                     .collect();
-                let columns = indices
-                    .iter()
-                    .map(|&i| t.columns[i].0.clone())
-                    .collect();
+                let columns = indices.iter().map(|&i| t.columns[i].0.clone()).collect();
                 Ok(QueryOutput::Rows { columns, rows })
             }
-            Statement::Update { table, assignments, conditions } => {
+            Statement::Update {
+                table,
+                assignments,
+                conditions,
+            } => {
                 let t = self
                     .tables
                     .get_mut(&table)
@@ -730,10 +773,7 @@ fn check_type(value: &SqlValue, ty: SqlType, column: &str) -> Result<(), SqlErro
 /// A compiled row predicate.
 type RowPredicate = Box<dyn Fn(&[SqlValue]) -> bool>;
 
-fn compile_conditions(
-    table: &Table,
-    conditions: &[Condition],
-) -> Result<RowPredicate, SqlError> {
+fn compile_conditions(table: &Table, conditions: &[Condition]) -> Result<RowPredicate, SqlError> {
     let compiled: Vec<(usize, String, SqlValue)> = conditions
         .iter()
         .map(|cond| {
@@ -780,10 +820,8 @@ mod tests {
         let mut db = Database::new();
         db.execute("CREATE TABLE users (id INTEGER, name TEXT, score REAL)")
             .expect("create");
-        db.execute(
-            "INSERT INTO users VALUES (1, 'ada', 9.5), (2, 'grace', 8.0), (3, 'alan', 9.5)",
-        )
-        .expect("insert");
+        db.execute("INSERT INTO users VALUES (1, 'ada', 9.5), (2, 'grace', 8.0), (3, 'alan', 9.5)")
+            .expect("insert");
         db
     }
 
@@ -803,7 +841,9 @@ mod tests {
     #[test]
     fn projection_selects_columns_in_order() {
         let mut db = seeded();
-        let out = db.execute("SELECT score, id FROM users WHERE name = 'ada'").expect("q");
+        let out = db
+            .execute("SELECT score, id FROM users WHERE name = 'ada'")
+            .expect("q");
         assert_eq!(
             out,
             QueryOutput::Rows {
@@ -838,7 +878,9 @@ mod tests {
             .execute("UPDATE users SET score = 10.0 WHERE score = 9.5")
             .expect("update");
         assert_eq!(out, QueryOutput::Affected(2));
-        let out = db.execute("SELECT * FROM users WHERE score = 10.0").expect("q");
+        let out = db
+            .execute("SELECT * FROM users WHERE score = 10.0")
+            .expect("q");
         assert!(matches!(out, QueryOutput::Rows { rows, .. } if rows.len() == 2));
     }
 
@@ -854,7 +896,9 @@ mod tests {
         let mut db = seeded();
         db.execute("UPDATE users SET name = 'x', score = 1.0 WHERE id = 1")
             .expect("update");
-        let out = db.execute("SELECT name, score FROM users WHERE id = 1").expect("q");
+        let out = db
+            .execute("SELECT name, score FROM users WHERE id = 1")
+            .expect("q");
         assert_eq!(
             out,
             QueryOutput::Rows {
@@ -868,7 +912,8 @@ mod tests {
     fn delete_rows() {
         let mut db = seeded();
         assert_eq!(
-            db.execute("DELETE FROM users WHERE id > 1").expect("delete"),
+            db.execute("DELETE FROM users WHERE id > 1")
+                .expect("delete"),
             QueryOutput::Affected(2)
         );
         assert_eq!(db.row_count("users"), Some(1));
@@ -878,7 +923,8 @@ mod tests {
     fn null_handling() {
         let mut db = Database::new();
         db.execute("CREATE TABLE t (a INTEGER)").expect("create");
-        db.execute("INSERT INTO t VALUES (NULL), (1)").expect("insert");
+        db.execute("INSERT INTO t VALUES (NULL), (1)")
+            .expect("insert");
         // NULL never matches a comparison.
         let out = db.execute("SELECT * FROM t WHERE a = 1").expect("q");
         assert!(matches!(out, QueryOutput::Rows { rows, .. } if rows.len() == 1));
@@ -890,7 +936,8 @@ mod tests {
     fn string_escaping() {
         let mut db = Database::new();
         db.execute("CREATE TABLE t (s TEXT)").expect("create");
-        db.execute("INSERT INTO t VALUES ('it''s')").expect("insert");
+        db.execute("INSERT INTO t VALUES ('it''s')")
+            .expect("insert");
         let out = db.execute("SELECT s FROM t").expect("q");
         assert_eq!(
             out,
@@ -904,8 +951,10 @@ mod tests {
     #[test]
     fn negative_and_float_literals() {
         let mut db = Database::new();
-        db.execute("CREATE TABLE t (a INTEGER, b REAL)").expect("create");
-        db.execute("INSERT INTO t VALUES (-5, -2.5)").expect("insert");
+        db.execute("CREATE TABLE t (a INTEGER, b REAL)")
+            .expect("create");
+        db.execute("INSERT INTO t VALUES (-5, -2.5)")
+            .expect("insert");
         let out = db.execute("SELECT * FROM t WHERE a < 0").expect("q");
         assert!(matches!(out, QueryOutput::Rows { rows, .. } if rows.len() == 1));
     }
@@ -981,14 +1030,19 @@ mod tests {
                 .collect::<Vec<_>>(),
             _ => panic!("expected rows"),
         };
-        let asc = names(db.execute("SELECT name FROM users ORDER BY name").expect("q"));
+        let asc = names(
+            db.execute("SELECT name FROM users ORDER BY name")
+                .expect("q"),
+        );
         assert_eq!(asc, vec!["ada", "alan", "grace"]);
         let desc = names(
-            db.execute("SELECT name FROM users ORDER BY name DESC").expect("q"),
+            db.execute("SELECT name FROM users ORDER BY name DESC")
+                .expect("q"),
         );
         assert_eq!(desc, vec!["grace", "alan", "ada"]);
         let by_id = names(
-            db.execute("SELECT name FROM users ORDER BY id ASC").expect("q"),
+            db.execute("SELECT name FROM users ORDER BY id ASC")
+                .expect("q"),
         );
         assert_eq!(by_id, vec!["ada", "grace", "alan"]);
     }
@@ -1045,7 +1099,8 @@ mod tests {
             QueryOutput::Affected(1)
         );
         assert_eq!(
-            db.execute("DELETE FROM users WHERE id > 0 AND id < 3").expect("q"),
+            db.execute("DELETE FROM users WHERE id > 0 AND id < 3")
+                .expect("q"),
             QueryOutput::Affected(2)
         );
     }
@@ -1055,7 +1110,8 @@ mod tests {
         let mut db = Database::new();
         db.execute("CREATE TABLE t (n INTEGER)").expect("create");
         for n in [5, 3, 9, 1, 7, 2] {
-            db.execute(&format!("INSERT INTO t VALUES ({n})")).expect("insert");
+            db.execute(&format!("INSERT INTO t VALUES ({n})"))
+                .expect("insert");
         }
         let out = db
             .execute("SELECT n FROM t WHERE n > 2 ORDER BY n DESC LIMIT 3")

@@ -7,7 +7,8 @@ use microfaas_services::sqldb::{Database, QueryOutput, SqlValue};
 
 fn seeded() -> Database {
     let mut db = Database::new();
-    db.execute("CREATE TABLE t (a INTEGER, b TEXT, c REAL)").expect("create");
+    db.execute("CREATE TABLE t (a INTEGER, b TEXT, c REAL)")
+        .expect("create");
     for i in 0..20 {
         db.execute(&format!("INSERT INTO t VALUES ({i}, 'row{i}', {i}.5)"))
             .expect("insert");
@@ -16,7 +17,9 @@ fn seeded() -> Database {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+    #![proptest_config(ProptestConfig::with_cases(
+        if cfg!(feature = "heavy-tests") { 2048 } else { 512 }
+    ))]
 
     /// Arbitrary byte soup never panics the parser or executor.
     #[test]

@@ -14,6 +14,14 @@
 //!   including the time-weighted integrator that turns power (watts) into
 //!   energy (joules).
 //!
+//! Two observability modules ride on top of the kernel (see
+//! `docs/OBSERVABILITY.md` at the repository root):
+//!
+//! * [`trace`] — typed [`TraceEvent`]s recorded through an [`Observer`]
+//!   into a ring-buffer [`TraceBuffer`], exported as JSON lines;
+//! * [`metrics`] — a [`MetricsRegistry`] of named counters, gauges, and
+//!   fixed-bucket histograms with Prometheus text exposition.
+//!
 //! # Examples
 //!
 //! A tiny simulation — a Poisson arrival process counted over one minute:
@@ -41,12 +49,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod metrics;
 mod queue;
 mod rng;
 mod stats;
 mod time;
+pub mod trace;
 
+pub use metrics::{CounterId, GaugeId, HistogramId, MetricsRegistry};
 pub use queue::{EventId, EventQueue};
 pub use rng::{Rng, SplitMix64};
 pub use stats::{OnlineStats, Samples, TimeWeighted};
 pub use time::{SimDuration, SimTime};
+pub use trace::{Endpoint, Observer, TraceBuffer, TraceEvent, TraceRecord, TraceSink, WorkerState};

@@ -1,0 +1,416 @@
+//! Named counters, gauges, and fixed-bucket histograms with
+//! Prometheus-style text exposition.
+//!
+//! The cluster simulators publish into a [`MetricsRegistry`] through
+//! cheap integer handles ([`CounterId`], [`GaugeId`], [`HistogramId`])
+//! obtained once per run, so the hot event loop never re-hashes metric
+//! names. Rendering happens after the run:
+//! [`MetricsRegistry::render_prometheus`] produces the classic
+//! `/metrics` text format, and [`MetricsRegistry::flatten`] yields
+//! `(sample name, value)` pairs for CSV export.
+//!
+//! Metric names follow Prometheus conventions: a base name matching
+//! `[a-zA-Z_:][a-zA-Z0-9_:]*`, optionally followed by a `{...}` label
+//! block that is carried through to the exposition verbatim (e.g.
+//! `micro_channel_joules{channel="sbc-0"}`).
+
+use std::fmt::Write as _;
+
+/// Handle to a counter registered in a [`MetricsRegistry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a gauge registered in a [`MetricsRegistry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a histogram registered in a [`MetricsRegistry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+/// A fixed-bucket histogram: one count per upper bound (`value <=
+/// bound`, Prometheus `le` semantics) plus an overflow bucket.
+#[derive(Debug, Clone, PartialEq)]
+struct Histogram {
+    bounds: Vec<f64>,
+    /// `bounds.len() + 1` entries; the last is the overflow (`+Inf`).
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        for pair in bounds.windows(2) {
+            assert!(
+                pair[0] < pair[1],
+                "histogram bounds must be strictly increasing, got {} then {}",
+                pair[0],
+                pair[1]
+            );
+        }
+        for &bound in bounds {
+            assert!(bound.is_finite(), "histogram bound {bound} is not finite");
+        }
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    fn observe(&mut self, value: f64) {
+        assert!(value.is_finite(), "observed value {value} is not finite");
+        let slot = self
+            .bounds
+            .iter()
+            .position(|&bound| value <= bound)
+            .unwrap_or(self.bounds.len());
+        self.counts[slot] += 1;
+        self.sum += value;
+        self.count += 1;
+    }
+}
+
+/// A registry of named metrics, published into by the simulators and
+/// rendered to Prometheus text or CSV rows afterwards.
+///
+/// # Examples
+///
+/// ```
+/// use microfaas_sim::metrics::MetricsRegistry;
+///
+/// let mut metrics = MetricsRegistry::new();
+/// let jobs = metrics.counter("jobs_completed");
+/// let latency = metrics.histogram("latency_seconds", &[0.1, 1.0]);
+/// metrics.inc(jobs);
+/// metrics.observe(latency, 0.25);
+///
+/// let text = metrics.render_prometheus();
+/// assert!(text.contains("jobs_completed 1"));
+/// assert!(text.contains("latency_seconds_bucket{le=\"1\"} 1"));
+/// assert!(text.contains("latency_seconds_count 1"));
+/// ```
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct MetricsRegistry {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
+    histograms: Vec<(String, Histogram)>,
+}
+
+/// Splits `name` into `(base, labels)` and panics unless the base is a
+/// valid Prometheus metric name and the optional label block is
+/// `{...}`-delimited.
+fn split_name(name: &str) -> (&str, &str) {
+    let (base, labels) = match name.find('{') {
+        None => (name, ""),
+        Some(brace) => {
+            let labels = &name[brace..];
+            assert!(
+                labels.ends_with('}') && labels.len() > 2,
+                "label block in metric name '{name}' must be non-empty and end with '}}'"
+            );
+            (&name[..brace], labels)
+        }
+    };
+    let mut chars = base.chars();
+    let head_ok = chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':');
+    assert!(
+        head_ok && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+        "invalid metric name '{name}': base must match [a-zA-Z_:][a-zA-Z0-9_:]*"
+    );
+    (base, labels)
+}
+
+/// Inserts `extra` into an existing label block (or creates one).
+fn with_label(base: &str, labels: &str, suffix: &str, extra: &str) -> String {
+    if labels.is_empty() {
+        format!("{base}{suffix}{{{extra}}}")
+    } else {
+        let inner = &labels[1..labels.len() - 1];
+        format!("{base}{suffix}{{{inner},{extra}}}")
+    }
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or finds) the counter `name` and returns its handle.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        split_name(name);
+        if let Some(i) = self.counters.iter().position(|(n, _)| n == name) {
+            return CounterId(i);
+        }
+        self.counters.push((name.to_string(), 0));
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Increments a counter by one.
+    pub fn inc(&mut self, id: CounterId) {
+        self.add(id, 1);
+    }
+
+    /// Increments a counter by `delta`.
+    pub fn add(&mut self, id: CounterId, delta: u64) {
+        self.counters[id.0].1 += delta;
+    }
+
+    /// Current value of a counter.
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters[id.0].1
+    }
+
+    /// Registers (or finds) the gauge `name` and returns its handle.
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        split_name(name);
+        if let Some(i) = self.gauges.iter().position(|(n, _)| n == name) {
+            return GaugeId(i);
+        }
+        self.gauges.push((name.to_string(), 0.0));
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Sets a gauge to `value`.
+    pub fn set_gauge(&mut self, id: GaugeId, value: f64) {
+        assert!(value.is_finite(), "gauge value {value} is not finite");
+        self.gauges[id.0].1 = value;
+    }
+
+    /// Current value of a gauge.
+    pub fn gauge_value(&self, id: GaugeId) -> f64 {
+        self.gauges[id.0].1
+    }
+
+    /// Registers (or finds) the histogram `name` with the given upper
+    /// bucket bounds (strictly increasing, finite; an overflow bucket
+    /// is always appended). Re-registering an existing name requires
+    /// identical bounds.
+    pub fn histogram(&mut self, name: &str, bounds: &[f64]) -> HistogramId {
+        split_name(name);
+        if let Some(i) = self.histograms.iter().position(|(n, _)| n == name) {
+            assert_eq!(
+                self.histograms[i].1.bounds, bounds,
+                "histogram '{name}' re-registered with different bounds"
+            );
+            return HistogramId(i);
+        }
+        self.histograms
+            .push((name.to_string(), Histogram::new(bounds)));
+        HistogramId(self.histograms.len() - 1)
+    }
+
+    /// Records one observation into a histogram.
+    pub fn observe(&mut self, id: HistogramId, value: f64) {
+        self.histograms[id.0].1.observe(value);
+    }
+
+    /// Total number of observations recorded in a histogram.
+    pub fn histogram_count(&self, id: HistogramId) -> u64 {
+        self.histograms[id.0].1.count
+    }
+
+    /// Sum of all observations recorded in a histogram.
+    pub fn histogram_sum(&self, id: HistogramId) -> f64 {
+        self.histograms[id.0].1.sum
+    }
+
+    /// Per-bucket (non-cumulative) counts; the last entry is the
+    /// overflow bucket.
+    pub fn bucket_counts(&self, id: HistogramId) -> &[u64] {
+        &self.histograms[id.0].1.counts
+    }
+
+    /// The upper bounds the histogram was registered with.
+    pub fn bucket_bounds(&self, id: HistogramId) -> &[f64] {
+        &self.histograms[id.0].1.bounds
+    }
+
+    /// True if nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Renders every metric in the Prometheus text exposition format
+    /// (`# TYPE` comments, cumulative `_bucket{le=...}` samples,
+    /// `_sum`/`_count` for histograms), in registration order.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut typed: Vec<String> = Vec::new();
+        let mut type_line = |out: &mut String, base: &str, kind: &str| {
+            if !typed.iter().any(|seen| seen == base) {
+                typed.push(base.to_string());
+                let _ = writeln!(out, "# TYPE {base} {kind}");
+            }
+        };
+        for (name, value) in &self.counters {
+            let (base, _) = split_name(name);
+            type_line(&mut out, base, "counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, value) in &self.gauges {
+            let (base, _) = split_name(name);
+            type_line(&mut out, base, "gauge");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, histogram) in &self.histograms {
+            let (base, labels) = split_name(name);
+            type_line(&mut out, base, "histogram");
+            let mut cumulative = 0;
+            for (i, &bucket) in histogram.counts.iter().enumerate() {
+                cumulative += bucket;
+                let le = if i < histogram.bounds.len() {
+                    histogram.bounds[i].to_string()
+                } else {
+                    "+Inf".to_string()
+                };
+                let sample = with_label(base, labels, "_bucket", &format!("le=\"{le}\""));
+                let _ = writeln!(out, "{sample} {cumulative}");
+            }
+            let _ = writeln!(out, "{base}_sum{labels} {}", histogram.sum);
+            let _ = writeln!(out, "{base}_count{labels} {}", histogram.count);
+        }
+        out
+    }
+
+    /// Flattens every metric into `(sample name, value)` rows suitable
+    /// for CSV export. Histograms expand into their cumulative buckets
+    /// plus `_sum` and `_count`, mirroring [`Self::render_prometheus`].
+    pub fn flatten(&self) -> Vec<(String, f64)> {
+        let mut rows = Vec::new();
+        for (name, value) in &self.counters {
+            rows.push((name.clone(), *value as f64));
+        }
+        for (name, value) in &self.gauges {
+            rows.push((name.clone(), *value));
+        }
+        for (name, histogram) in &self.histograms {
+            let (base, labels) = split_name(name);
+            let mut cumulative = 0;
+            for (i, &bucket) in histogram.counts.iter().enumerate() {
+                cumulative += bucket;
+                let le = if i < histogram.bounds.len() {
+                    histogram.bounds[i].to_string()
+                } else {
+                    "+Inf".to_string()
+                };
+                rows.push((
+                    with_label(base, labels, "_bucket", &format!("le=\"{le}\"")),
+                    cumulative as f64,
+                ));
+            }
+            rows.push((format!("{base}_sum{labels}"), histogram.sum));
+            rows.push((format!("{base}_count{labels}"), histogram.count as f64));
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_get_or_create_and_accumulate() {
+        let mut m = MetricsRegistry::new();
+        let a = m.counter("jobs_total");
+        let b = m.counter("jobs_total");
+        assert_eq!(a, b);
+        m.inc(a);
+        m.add(b, 4);
+        assert_eq!(m.counter_value(a), 5);
+    }
+
+    #[test]
+    fn gauges_hold_the_last_value() {
+        let mut m = MetricsRegistry::new();
+        let g = m.gauge("power_watts");
+        m.set_gauge(g, 1.5);
+        m.set_gauge(g, 0.128);
+        assert_eq!(m.gauge_value(g), 0.128);
+    }
+
+    #[test]
+    fn histogram_boundary_values_land_in_the_le_bucket() {
+        let mut m = MetricsRegistry::new();
+        let h = m.histogram("latency", &[1.0, 2.0]);
+        // Exactly on a bound -> that bucket (le semantics); above the
+        // last bound -> overflow.
+        m.observe(h, 1.0);
+        m.observe(h, 1.5);
+        m.observe(h, 2.0);
+        m.observe(h, 2.000001);
+        assert_eq!(m.bucket_counts(h), &[1, 2, 1]);
+        assert_eq!(m.histogram_count(h), 4);
+        assert!((m.histogram_sum(h) - 6.500001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_cumulative() {
+        let mut m = MetricsRegistry::new();
+        let h = m.histogram("lat_seconds", &[0.5, 1.0]);
+        m.observe(h, 0.2);
+        m.observe(h, 0.7);
+        m.observe(h, 9.0);
+        let text = m.render_prometheus();
+        assert!(text.contains("# TYPE lat_seconds histogram"));
+        assert!(text.contains("lat_seconds_bucket{le=\"0.5\"} 1"));
+        assert!(text.contains("lat_seconds_bucket{le=\"1\"} 2"));
+        assert!(text.contains("lat_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("lat_seconds_count 3"));
+    }
+
+    #[test]
+    fn labelled_names_share_one_type_line() {
+        let mut m = MetricsRegistry::new();
+        let a = m.gauge("joules{channel=\"sbc-0\"}");
+        let b = m.gauge("joules{channel=\"sbc-1\"}");
+        m.set_gauge(a, 1.0);
+        m.set_gauge(b, 2.0);
+        let text = m.render_prometheus();
+        assert_eq!(text.matches("# TYPE joules gauge").count(), 1);
+        assert!(text.contains("joules{channel=\"sbc-0\"} 1"));
+        assert!(text.contains("joules{channel=\"sbc-1\"} 2"));
+    }
+
+    #[test]
+    fn labelled_histogram_buckets_merge_labels() {
+        let mut m = MetricsRegistry::new();
+        let h = m.histogram("exec{cluster=\"micro\"}", &[1.0]);
+        m.observe(h, 0.5);
+        let text = m.render_prometheus();
+        assert!(text.contains("exec_bucket{cluster=\"micro\",le=\"1\"} 1"));
+        assert!(text.contains("exec_sum{cluster=\"micro\"} 0.5"));
+    }
+
+    #[test]
+    fn flatten_mirrors_the_exposition() {
+        let mut m = MetricsRegistry::new();
+        let c = m.counter("n");
+        m.add(c, 7);
+        let h = m.histogram("d", &[1.0]);
+        m.observe(h, 3.0);
+        let rows = m.flatten();
+        assert!(rows.contains(&("n".to_string(), 7.0)));
+        assert!(rows.contains(&("d_bucket{le=\"+Inf\"}".to_string(), 1.0)));
+        assert!(rows.contains(&("d_sum".to_string(), 3.0)));
+        assert!(rows.contains(&("d_count".to_string(), 1.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_are_rejected() {
+        MetricsRegistry::new().histogram("h", &[2.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn bad_names_are_rejected() {
+        MetricsRegistry::new().counter("9starts_with_digit");
+    }
+}

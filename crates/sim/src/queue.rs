@@ -98,7 +98,11 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time: at, seq, event });
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            event,
+        });
         EventId(seq)
     }
 

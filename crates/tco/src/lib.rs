@@ -70,7 +70,11 @@ impl ClusterSpec {
     pub fn conventional_rack() -> Self {
         ClusterSpec {
             name: "Conventional".to_string(),
-            node: NodeSpec { unit_cost: 2_011.0, busy_watts: 150.0, idle_watts: 60.0 },
+            node: NodeSpec {
+                unit_cost: 2_011.0,
+                busy_watts: 150.0,
+                idle_watts: 60.0,
+            },
             node_count: 41,
             switch_cost: 500.0,
             switch_watts: 40.87,
@@ -85,7 +89,11 @@ impl ClusterSpec {
     pub fn microfaas_rack() -> Self {
         ClusterSpec {
             name: "MicroFaaS".to_string(),
-            node: NodeSpec { unit_cost: 52.50, busy_watts: 1.96, idle_watts: 0.128 },
+            node: NodeSpec {
+                unit_cost: 52.50,
+                busy_watts: 1.96,
+                idle_watts: 0.128,
+            },
             node_count: 989,
             switch_cost: 500.0,
             switch_watts: 40.87,
@@ -133,12 +141,18 @@ pub struct Conditions {
 impl Conditions {
     /// Table II's "Ideal": 100% utilization, 100% online rate.
     pub fn ideal() -> Self {
-        Conditions { utilization: 1.0, online_rate: 1.0 }
+        Conditions {
+            utilization: 1.0,
+            online_rate: 1.0,
+        }
     }
 
     /// Table II's "Realistic": 50% utilization, 95% online rate.
     pub fn realistic() -> Self {
-        Conditions { utilization: 0.5, online_rate: 0.95 }
+        Conditions {
+            utilization: 0.5,
+            online_rate: 0.95,
+        }
     }
 
     fn validate(&self) {
@@ -188,8 +202,7 @@ impl CostModel {
     /// Panics if `conditions` carry out-of-range fractions.
     pub fn evaluate(&self, cluster: &ClusterSpec, conditions: Conditions) -> CostBreakdown {
         conditions.validate();
-        let compute =
-            cluster.node_count as f64 * cluster.node.unit_cost / conditions.online_rate;
+        let compute = cluster.node_count as f64 * cluster.node.unit_cost / conditions.online_rate;
         let network = cluster.switch_count() as f64 * cluster.switch_cost
             + cluster.node_count as f64 * cluster.cable_cost_per_node;
 
@@ -320,7 +333,10 @@ mod tests {
         );
         // The paper reports 32.5%–34.2% savings.
         assert!((34.2 - ideal).abs() < 0.2, "ideal savings {ideal:.1}%");
-        assert!((32.5 - realistic).abs() < 0.2, "realistic savings {realistic:.1}%");
+        assert!(
+            (32.5 - realistic).abs() < 0.2,
+            "realistic savings {realistic:.1}%"
+        );
     }
 
     #[test]
@@ -348,15 +364,17 @@ mod tests {
         let model = CostModel::benchmark_datacenter();
         let b = model.evaluate(
             &ClusterSpec::microfaas_rack(),
-            Conditions { utilization: 0.0, online_rate: 1.0 },
+            Conditions {
+                utilization: 0.0,
+                online_rate: 1.0,
+            },
         );
-        let switch_only = model.pue
-            * 21.0
-            * 40.87
-            * model.horizon_hours
-            / 1_000.0
-            * model.electricity_per_kwh;
-        assert!(b.energy < switch_only * 1.2, "nodes add < 20% over switches");
+        let switch_only =
+            model.pue * 21.0 * 40.87 * model.horizon_hours / 1_000.0 * model.electricity_per_kwh;
+        assert!(
+            b.energy < switch_only * 1.2,
+            "nodes add < 20% over switches"
+        );
     }
 
     #[test]
@@ -364,7 +382,10 @@ mod tests {
     fn out_of_range_conditions_panic() {
         CostModel::benchmark_datacenter().evaluate(
             &ClusterSpec::microfaas_rack(),
-            Conditions { utilization: 1.5, online_rate: 1.0 },
+            Conditions {
+                utilization: 1.5,
+                online_rate: 1.0,
+            },
         );
     }
 

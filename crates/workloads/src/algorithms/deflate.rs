@@ -38,7 +38,10 @@ impl fmt::Display for InflateError {
             InflateError::StoredLengthMismatch => write!(f, "stored block length mismatch"),
             InflateError::InvalidHuffmanTable => write!(f, "invalid huffman code table"),
             InflateError::InvalidSymbol(s) => write!(f, "invalid symbol {s}"),
-            InflateError::DistanceTooFar { distance, available } => write!(
+            InflateError::DistanceTooFar {
+                distance,
+                available,
+            } => write!(
                 f,
                 "back-reference distance {distance} exceeds {available} bytes of output"
             ),
@@ -58,7 +61,12 @@ struct BitReader<'a> {
 
 impl<'a> BitReader<'a> {
     fn new(data: &'a [u8]) -> Self {
-        BitReader { data, pos: 0, bit_buf: 0, bit_count: 0 }
+        BitReader {
+            data,
+            pos: 0,
+            bit_buf: 0,
+            bit_count: 0,
+        }
     }
 
     fn refill(&mut self) {
@@ -279,9 +287,7 @@ fn inflate_stored(reader: &mut BitReader<'_>, out: &mut Vec<u8>) -> Result<(), I
     reader.read_bytes(out, len as usize)
 }
 
-fn read_dynamic_tables(
-    reader: &mut BitReader<'_>,
-) -> Result<(Huffman, Huffman), InflateError> {
+fn read_dynamic_tables(reader: &mut BitReader<'_>) -> Result<(Huffman, Huffman), InflateError> {
     let hlit = reader.take(5)? as usize + 257;
     let hdist = reader.take(5)? as usize + 1;
     let hclen = reader.take(4)? as usize + 4;
@@ -387,7 +393,11 @@ struct BitWriter {
 
 impl BitWriter {
     fn new() -> Self {
-        BitWriter { out: Vec::new(), bit_buf: 0, bit_count: 0 }
+        BitWriter {
+            out: Vec::new(),
+            bit_buf: 0,
+            bit_count: 0,
+        }
     }
 
     fn write(&mut self, value: u32, bits: u32) {
@@ -630,7 +640,11 @@ mod tests {
     fn round_trip_long_runs_use_overlapping_copies() {
         let data = vec![b'z'; 5_000];
         let packed = compress(&data);
-        assert!(packed.len() < 100, "a run should compress tiny, got {}", packed.len());
+        assert!(
+            packed.len() < 100,
+            "a run should compress tiny, got {}",
+            packed.len()
+        );
         assert_eq!(inflate(&packed).expect("valid"), data);
     }
 
@@ -649,7 +663,10 @@ mod tests {
     #[test]
     fn reserved_block_type_rejected() {
         // BFINAL=1, BTYPE=11.
-        assert_eq!(inflate(&[0b0000_0111]), Err(InflateError::ReservedBlockType));
+        assert_eq!(
+            inflate(&[0b0000_0111]),
+            Err(InflateError::ReservedBlockType)
+        );
     }
 
     #[test]
@@ -677,7 +694,10 @@ mod tests {
         let packed = w.finish();
         assert!(matches!(
             inflate(&packed),
-            Err(InflateError::DistanceTooFar { distance: 4, available: 1 })
+            Err(InflateError::DistanceTooFar {
+                distance: 4,
+                available: 1
+            })
         ));
     }
 

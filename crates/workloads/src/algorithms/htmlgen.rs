@@ -102,7 +102,9 @@ pub struct Template {
 impl Template {
     /// Wraps `source` as a template (parsing happens during render).
     pub fn new(source: impl Into<String>) -> Self {
-        Template { source: source.into() }
+        Template {
+            source: source.into(),
+        }
     }
 
     /// Renders the template against `bindings`.
@@ -125,9 +127,9 @@ fn render_fragment(
     while let Some(open) = rest.find("{{") {
         out.push_str(&rest[..open]);
         let after = &rest[open + 2..];
-        let close = after.find("}}").ok_or_else(|| {
-            RenderError::UnclosedBlock(after.chars().take(20).collect())
-        })?;
+        let close = after
+            .find("}}")
+            .ok_or_else(|| RenderError::UnclosedBlock(after.chars().take(20).collect()))?;
         let tag = after[..close].trim();
         rest = &after[close + 2..];
 
@@ -179,7 +181,10 @@ pub fn generate_page(rows: usize) -> String {
             let mut row = BTreeMap::new();
             row.insert("id".to_string(), i.to_string());
             row.insert("name".to_string(), format!("Item <{}> & co.", i * 7 % 100));
-            row.insert("price".to_string(), format!("${}.{:02}", i % 90 + 10, i % 100));
+            row.insert(
+                "price".to_string(),
+                format!("${}.{:02}", i % 90 + 10, i % 100),
+            );
             row
         })
         .collect();
@@ -195,14 +200,20 @@ mod tests {
     use super::*;
 
     fn bind(pairs: &[(&str, Value)]) -> BTreeMap<String, Value> {
-        pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
     }
 
     #[test]
     fn substitutes_text_and_numbers() {
         let tpl = Template::new("{{a}} costs {{n}}");
         let out = tpl
-            .render(&bind(&[("a", Value::from("tea")), ("n", Value::Number(3.5))]))
+            .render(&bind(&[
+                ("a", Value::from("tea")),
+                ("n", Value::Number(3.5)),
+            ]))
             .expect("renders");
         assert_eq!(out, "tea costs 3.5");
     }
@@ -232,7 +243,9 @@ mod tests {
     #[test]
     fn empty_table_renders_nothing() {
         let tpl = Template::new("[{{#table t}}x{{/table}}]");
-        let out = tpl.render(&bind(&[("t", Value::Table(vec![]))])).expect("renders");
+        let out = tpl
+            .render(&bind(&[("t", Value::Table(vec![]))]))
+            .expect("renders");
         assert_eq!(out, "[]");
     }
 

@@ -29,7 +29,10 @@ impl fmt::Display for ParsePatternError {
 impl std::error::Error for ParsePatternError {}
 
 fn err(position: usize, message: impl Into<String>) -> ParsePatternError {
-    ParsePatternError { position, message: message.into() }
+    ParsePatternError {
+        position,
+        message: message.into(),
+    }
 }
 
 // --------------------------------------------------------------------------
@@ -137,7 +140,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn parse(pattern: &'a str) -> Result<Ast, ParsePatternError> {
-        let mut parser = Parser { pattern: pattern.as_bytes(), pos: 0 };
+        let mut parser = Parser {
+            pattern: pattern.as_bytes(),
+            pos: 0,
+        };
         let ast = parser.alternation()?;
         if parser.pos != parser.pattern.len() {
             return Err(err(parser.pos, "unexpected ')'"));
@@ -189,15 +195,27 @@ impl<'a> Parser<'a> {
         let node = match self.peek() {
             Some(b'*') => {
                 self.bump();
-                Ast::Repeat { node: Box::new(atom), min: 0, max: None }
+                Ast::Repeat {
+                    node: Box::new(atom),
+                    min: 0,
+                    max: None,
+                }
             }
             Some(b'+') => {
                 self.bump();
-                Ast::Repeat { node: Box::new(atom), min: 1, max: None }
+                Ast::Repeat {
+                    node: Box::new(atom),
+                    min: 1,
+                    max: None,
+                }
             }
             Some(b'?') => {
                 self.bump();
-                Ast::Repeat { node: Box::new(atom), min: 0, max: Some(1) }
+                Ast::Repeat {
+                    node: Box::new(atom),
+                    min: 0,
+                    max: Some(1),
+                }
             }
             Some(b'{') => {
                 self.bump();
@@ -207,12 +225,19 @@ impl<'a> Parser<'a> {
                         return Err(err(start, "repetition bound max < min"));
                     }
                 }
-                Ast::Repeat { node: Box::new(atom), min, max }
+                Ast::Repeat {
+                    node: Box::new(atom),
+                    min,
+                    max,
+                }
             }
             _ => atom,
         };
         if matches!(node, Ast::Repeat { .. }) {
-            if let Ast::Repeat { node: ref inner, .. } = node {
+            if let Ast::Repeat {
+                node: ref inner, ..
+            } = node
+            {
                 if matches!(**inner, Ast::AnchorStart | Ast::AnchorEnd) {
                     return Err(err(start, "cannot repeat an anchor"));
                 }
@@ -278,9 +303,10 @@ impl<'a> Parser<'a> {
             Some(b'^') => Ok(Ast::AnchorStart),
             Some(b'$') => Ok(Ast::AnchorEnd),
             Some(b'\\') => self.escape(start).map(Ast::Char),
-            Some(b @ (b'*' | b'+' | b'?')) => {
-                Err(err(start, format!("dangling repetition operator '{}'", b as char)))
-            }
+            Some(b @ (b'*' | b'+' | b'?')) => Err(err(
+                start,
+                format!("dangling repetition operator '{}'", b as char),
+            )),
             Some(b) => Ok(Ast::Char(CharSet::single(b))),
         }
     }
@@ -443,8 +469,7 @@ impl Compiler {
                 entry
             }
             Ast::Alternate(branches) => {
-                let entries: Vec<usize> =
-                    branches.iter().map(|b| self.compile(b, next)).collect();
+                let entries: Vec<usize> = branches.iter().map(|b| self.compile(b, next)).collect();
                 entries
                     .into_iter()
                     .reduce(|a, b| self.push(State::Split { a, b }))
@@ -553,7 +578,10 @@ impl Regex {
             from == 0,
             from == text.len(),
         );
-        let mut last_match = if current.iter().any(|&s| matches!(self.states[s], State::Accept)) {
+        let mut last_match = if current
+            .iter()
+            .any(|&s| matches!(self.states[s], State::Accept))
+        {
             Some(from)
         } else {
             None
@@ -581,7 +609,10 @@ impl Regex {
                 }
             }
             std::mem::swap(&mut current, &mut next_list);
-            if current.iter().any(|&s| matches!(self.states[s], State::Accept)) {
+            if current
+                .iter()
+                .any(|&s| matches!(self.states[s], State::Accept))
+            {
                 last_match = Some(pos_after);
             }
         }
@@ -729,7 +760,10 @@ mod tests {
     #[test]
     fn email_like_pattern() {
         let r = re(r"[a-zA-Z0-9_]+@[a-z]+\.[a-z]{2,3}");
-        assert_eq!(r.find_all("hi bob@mail.com and eve@x.org!"), vec![(3, 15), (20, 29)]);
+        assert_eq!(
+            r.find_all("hi bob@mail.com and eve@x.org!"),
+            vec![(3, 15), (20, 29)]
+        );
     }
 
     #[test]
@@ -739,7 +773,10 @@ mod tests {
         let text = "a".repeat(2_000);
         let start = std::time::Instant::now();
         assert!(!r.is_match(&text));
-        assert!(start.elapsed().as_secs() < 5, "NFA simulation must not backtrack");
+        assert!(
+            start.elapsed().as_secs() < 5,
+            "NFA simulation must not backtrack"
+        );
     }
 
     #[test]

@@ -233,16 +233,14 @@ mod tests {
     #[test]
     fn cluster_throughputs_match_paper() {
         // 10 SBCs, jobs back-to-back with a reboot between each.
-        let arm = suite_mean_total(WorkerPlatform::ArmSbc)
-            + WorkerPlatform::ArmSbc.reboot_time();
+        let arm = suite_mean_total(WorkerPlatform::ArmSbc) + WorkerPlatform::ArmSbc.reboot_time();
         let sbc_cluster = 10.0 * 60.0 / arm.as_secs_f64();
         assert!(
             (sbc_cluster - 200.6).abs() < 4.0,
             "10-SBC throughput {sbc_cluster:.1} f/min vs paper 200.6"
         );
 
-        let x86 = suite_mean_total(WorkerPlatform::X86Vm)
-            + WorkerPlatform::X86Vm.reboot_time();
+        let x86 = suite_mean_total(WorkerPlatform::X86Vm) + WorkerPlatform::X86Vm.reboot_time();
         let vm_cluster = 6.0 * 60.0 / x86.as_secs_f64();
         assert!(
             (vm_cluster - 211.7).abs() < 5.0,
@@ -257,8 +255,7 @@ mod tests {
             for p in [WorkerPlatform::ArmSbc, WorkerPlatform::X86Vm] {
                 let rebuilt = t.overhead_with_nic(p, p.nic_bits_per_sec());
                 let nominal = t.overhead(p);
-                let diff =
-                    (rebuilt.as_millis_f64() - nominal.as_millis_f64()).abs();
+                let diff = (rebuilt.as_millis_f64() - nominal.as_millis_f64()).abs();
                 assert!(diff < 0.01, "{f:?} on {p:?}: {rebuilt} vs {nominal}");
             }
         }

@@ -211,14 +211,14 @@ fn lex(source: &str) -> Result<Vec<Token>, ScriptError> {
                     while i < bytes.len() && bytes[i].is_ascii_digit() {
                         i += 1;
                     }
-                    let value: f64 = source[start..i]
-                        .parse()
-                        .map_err(|_| ScriptError::Parse(format!("bad float '{}'", &source[start..i])))?;
+                    let value: f64 = source[start..i].parse().map_err(|_| {
+                        ScriptError::Parse(format!("bad float '{}'", &source[start..i]))
+                    })?;
                     tokens.push(Token::Float(value));
                 } else {
-                    let value: i64 = source[start..i]
-                        .parse()
-                        .map_err(|_| ScriptError::Parse(format!("bad int '{}'", &source[start..i])))?;
+                    let value: i64 = source[start..i].parse().map_err(|_| {
+                        ScriptError::Parse(format!("bad int '{}'", &source[start..i]))
+                    })?;
                     tokens.push(Token::Int(value));
                 }
             }
@@ -235,7 +235,11 @@ fn lex(source: &str) -> Result<Vec<Token>, ScriptError> {
                     None => tokens.push(Token::Ident(word.to_string())),
                 }
             }
-            other => return Err(ScriptError::Parse(format!("unexpected character '{other}'"))),
+            other => {
+                return Err(ScriptError::Parse(format!(
+                    "unexpected character '{other}'"
+                )))
+            }
         }
     }
     Ok(tokens)
@@ -289,7 +293,9 @@ impl Parser {
         if &found == token {
             Ok(())
         } else {
-            Err(ScriptError::Parse(format!("expected {token:?}, found {found:?}")))
+            Err(ScriptError::Parse(format!(
+                "expected {token:?}, found {found:?}"
+            )))
         }
     }
 
@@ -359,7 +365,9 @@ impl Parser {
     fn ident(&mut self) -> Result<String, ScriptError> {
         match self.next()? {
             Token::Ident(name) => Ok(name),
-            other => Err(ScriptError::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(ScriptError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -554,7 +562,10 @@ impl Script {
         fuel: u64,
         inputs: &BTreeMap<String, Value>,
     ) -> Result<Value, ScriptError> {
-        let mut interpreter = Interpreter { variables: inputs.clone(), fuel };
+        let mut interpreter = Interpreter {
+            variables: inputs.clone(),
+            fuel,
+        };
         for statement in &self.statements {
             if let Flow::Returned(value) = interpreter.execute(statement)? {
                 return Ok(value);
@@ -582,7 +593,11 @@ impl Interpreter {
                 Ok(Flow::Normal)
             }
             Stmt::If(condition, then_block, else_block) => {
-                let branch = if self.truthy(condition)? { then_block } else { else_block };
+                let branch = if self.truthy(condition)? {
+                    then_block
+                } else {
+                    else_block
+                };
                 for statement in branch {
                     if let Flow::Returned(value) = self.execute(statement)? {
                         return Ok(Flow::Returned(value));
@@ -683,9 +698,7 @@ fn binary_op(op: &str, lhs: Value, rhs: Value) -> Result<Value, ScriptError> {
         ("+", Int(a), Int(b)) => Int(a.wrapping_add(b)),
         ("-", Int(a), Int(b)) => Int(a.wrapping_sub(b)),
         ("*", Int(a), Int(b)) => Int(a.wrapping_mul(b)),
-        ("/", Int(_), Int(0)) | ("%", Int(_), Int(0)) => {
-            return Err(ScriptError::DivisionByZero)
-        }
+        ("/", Int(_), Int(0)) | ("%", Int(_), Int(0)) => return Err(ScriptError::DivisionByZero),
         ("/", Int(a), Int(b)) => Int(a.wrapping_div(b)),
         ("%", Int(a), Int(b)) => Int(a.wrapping_rem(b)),
         ("+", Float(a), Float(b)) => Float(a + b),
@@ -727,7 +740,9 @@ fn binary_op(op: &str, lhs: Value, rhs: Value) -> Result<Value, ScriptError> {
 
 fn call_builtin(name: &str, mut args: Vec<Value>) -> Result<Value, ScriptError> {
     let arity_error = |expected: usize, got: usize| {
-        ScriptError::TypeMismatch(format!("{name}() expects {expected} argument(s), got {got}"))
+        ScriptError::TypeMismatch(format!(
+            "{name}() expects {expected} argument(s), got {got}"
+        ))
     };
     let one = |args: &mut Vec<Value>| -> Result<Value, ScriptError> {
         if args.len() != 1 {
@@ -825,10 +840,7 @@ mod tests {
 
     #[test]
     fn variables_and_reassignment() {
-        assert_eq!(
-            eval("let x = 3; x = x * x; return x + 1;"),
-            Value::Int(10)
-        );
+        assert_eq!(eval("let x = 3; x = x * x; return x + 1;"), Value::Int(10));
     }
 
     #[test]
@@ -875,7 +887,10 @@ mod tests {
             Value::Str("microfaas".to_string())
         );
         assert_eq!(eval("return len(\"hello\");"), Value::Int(5));
-        assert_eq!(eval("return str(42) + \"!\";"), Value::Str("42!".to_string()));
+        assert_eq!(
+            eval("return str(42) + \"!\";"),
+            Value::Str("42!".to_string())
+        );
         assert_eq!(eval("return int(\"17\") + 1;"), Value::Int(18));
     }
 

@@ -367,8 +367,8 @@ pub fn run_function(
             format!("inflated {} -> {} bytes", packed.len(), unpacked.len())
         }
         FunctionId::RegexSearch => {
-            let re = Regex::new(r"[a-z]+@[a-z]+\.(com|org|net)")
-                .map_err(|e| fail(e.to_string()))?;
+            let re =
+                Regex::new(r"[a-z]+@[a-z]+\.(com|org|net)").map_err(|e| fail(e.to_string()))?;
             let text = synth_log_text(64 * 1024 * scale as usize, rng);
             let matches = re.find_all(&text);
             format!("found {} matches", matches.len())
@@ -432,8 +432,7 @@ pub fn run_function(
         FunctionId::SqlUpdate => {
             let id = rng.index(100);
             let version = rng.range_u64(1, 1_000_000);
-            let request =
-                format!("UPDATE records SET version = {version} WHERE id = {id}");
+            let request = format!("UPDATE records SET version = {version} WHERE id = {id}");
             request_bytes = request.len() as u64;
             let raw_reply = backends.sql.handle_raw(request.as_bytes());
             response_bytes = raw_reply.len() as u64;
@@ -483,18 +482,26 @@ pub fn run_function(
                 .consume("workers", "events", partition, 16)
                 .map_err(|e| fail(e.to_string()))?;
             response_bytes = batch.iter().map(|m| m.value.len() as u64 + 16).sum();
-            format!("consumed {} messages from partition {partition}", batch.len())
+            format!(
+                "consumed {} messages from partition {partition}",
+                batch.len()
+            )
         }
     };
-    Ok(FunctionOutput { function, summary, request_bytes, response_bytes })
+    Ok(FunctionOutput {
+        function,
+        summary,
+        request_bytes,
+        response_bytes,
+    })
 }
 
 /// Generates pseudo-log text sprinkled with email addresses for the regex
 /// workloads.
 fn synth_log_text(len: usize, rng: &mut Rng) -> String {
     let words = [
-        "request", "handled", "by", "worker", "node", "in", "cluster", "with", "status",
-        "ok", "error", "retry", "timeout",
+        "request", "handled", "by", "worker", "node", "in", "cluster", "with", "status", "ok",
+        "error", "retry", "timeout",
     ];
     let mut text = String::with_capacity(len + 32);
     while text.len() < len {
@@ -602,8 +609,7 @@ mod tests {
     fn cosget_response_is_the_eight_mib_object() {
         let mut backends = ServiceBackends::seeded();
         let mut rng = Rng::new(22);
-        let out =
-            run_function(FunctionId::CosGet, 1, &mut rng, &mut backends).expect("runs");
+        let out = run_function(FunctionId::CosGet, 1, &mut rng, &mut backends).expect("runs");
         assert_eq!(out.response_bytes, 8 * 1024 * 1024);
     }
 
@@ -611,8 +617,7 @@ mod tests {
     fn sql_update_affects_exactly_one_row() {
         let mut backends = ServiceBackends::seeded();
         let mut rng = Rng::new(4);
-        let out =
-            run_function(FunctionId::SqlUpdate, 1, &mut rng, &mut backends).expect("runs");
+        let out = run_function(FunctionId::SqlUpdate, 1, &mut rng, &mut backends).expect("runs");
         assert_eq!(out.summary, "updated 1 rows");
     }
 
@@ -620,8 +625,7 @@ mod tests {
     fn mq_consume_drains_seeded_messages() {
         let mut backends = ServiceBackends::seeded();
         let mut rng = Rng::new(6);
-        let out =
-            run_function(FunctionId::MqConsume, 1, &mut rng, &mut backends).expect("runs");
+        let out = run_function(FunctionId::MqConsume, 1, &mut rng, &mut backends).expect("runs");
         assert!(out.summary.starts_with("consumed"));
     }
 

@@ -12,13 +12,17 @@ const PACKED: &[u8] = include_bytes!("fixtures/dynamic_block.deflate");
 
 #[test]
 fn zlib_dynamic_block_inflates_to_expected_plaintext() {
-    assert_eq!(PACKED[0] & 0b111, 0b101, "fixture must be a final dynamic block");
+    assert_eq!(
+        PACKED[0] & 0b111,
+        0b101,
+        "fixture must be a final dynamic block"
+    );
     let plain = inflate(PACKED).expect("zlib output is valid deflate");
     assert_eq!(plain.len(), 3_000);
     let digest: String = sha256(&plain).iter().map(|b| format!("{b:02x}")).collect();
     assert_eq!(
         digest,
-        "2dcb289adffac25d2d73c29cad59586af3ec2f57ba6eec7fd74a181a149c0076"
+        "ce526e565a8227bfc5ca6573a627d2d4e8fb235b741f828334f0df63c5dd1358"
     );
 }
 

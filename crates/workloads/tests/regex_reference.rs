@@ -148,11 +148,13 @@ fn pattern_strategy() -> impl Strategy<Value = RefPattern> {
 }
 
 fn text_strategy() -> impl Strategy<Value = Vec<u8>> {
-    prop::collection::vec(prop_oneof![(b'a'..=b'f'), Just(b'\n')], 0..12)
+    prop::collection::vec(prop_oneof![b'a'..=b'f', Just(b'\n')], 0..12)
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+    #![proptest_config(ProptestConfig::with_cases(
+        if cfg!(feature = "heavy-tests") { 1024 } else { 256 }
+    ))]
 
     /// The script interpreter never panics on arbitrary source text —
     /// parse errors and runtime errors only (here because this test

@@ -12,7 +12,9 @@ use microfaas_workloads::calibration::{suite_mean_total, WorkerPlatform};
 fn main() {
     println!("Boot-time pipeline on the BeagleBone Black (ARM):\n");
     let mut cumulative_saved = 0.0;
-    let baseline = BootProfile::baseline_time(BootPlatform::Arm).real.as_secs_f64();
+    let baseline = BootProfile::baseline_time(BootPlatform::Arm)
+        .real
+        .as_secs_f64();
     let mut previous = baseline;
     for (stage, time) in BootProfile::progression(BootPlatform::Arm) {
         let real = time.real.as_secs_f64();
@@ -21,7 +23,11 @@ fn main() {
             cumulative_saved += saved;
             println!("{stage:<48} saved {saved:>5.2}s -> boot {real:>5.2}s");
         } else {
-            println!("{:<48} {:>18}", "baseline (stock distribution)", format!("boot {real:.2}s"));
+            println!(
+                "{:<48} {:>18}",
+                "baseline (stock distribution)",
+                format!("boot {real:.2}s")
+            );
         }
         previous = real;
     }

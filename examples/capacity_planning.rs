@@ -27,7 +27,10 @@ fn main() {
     // The §III-c pitch: MicroFaaS cost scales *linearly* with capacity,
     // so a provider can quote a tight per-node cost for any target size.
     println!("scaling a MicroFaaS deployment (realistic conditions):");
-    println!("{:>10} {:>10} {:>14} {:>16}", "SBCs", "switches", "5-year cost", "$ per node");
+    println!(
+        "{:>10} {:>10} {:>14} {:>16}",
+        "SBCs", "switches", "5-year cost", "$ per node"
+    );
     for servers_replaced in [10u64, 41, 100, 500] {
         let spec = ClusterSpec::microfaas_sized(servers_replaced, 989.0 / 41.0);
         let cost = model.evaluate(&spec, Conditions::realistic());

@@ -52,9 +52,25 @@ fn main() -> Result<(), Box<dyn Error>> {
         let request_line = raw.lines().next().unwrap_or_default();
         let response = gateway.handle(raw.as_bytes());
         let body = String::from_utf8_lossy(&response.body);
-        let preview: String = body.lines().next().unwrap_or_default().chars().take(60).collect();
+        let preview: String = body
+            .lines()
+            .next()
+            .unwrap_or_default()
+            .chars()
+            .take(60)
+            .collect();
         println!("{request_line:<44} -> {} {preview}", response.status);
     }
     println!("\nserved {} successful invocations", gateway.invocations());
+
+    // The gateway meters itself; scrape the Prometheus exposition.
+    let scrape = gateway.handle(b"GET /metrics HTTP/1.1\r\n\r\n");
+    println!("\nGET /metrics ->");
+    for line in String::from_utf8_lossy(&scrape.body)
+        .lines()
+        .filter(|l| !l.starts_with('#'))
+    {
+        println!("  {line}");
+    }
     Ok(())
 }

@@ -15,8 +15,14 @@ fn throughput_matched_clusters() {
     let cmp = comparison();
     let micro = cmp.micro.functions_per_minute();
     let conv = cmp.conventional.functions_per_minute();
-    assert!((micro - 200.6).abs() < 6.0, "MicroFaaS {micro:.1} vs 200.6 f/min");
-    assert!((conv - 211.7).abs() < 7.0, "Conventional {conv:.1} vs 211.7 f/min");
+    assert!(
+        (micro - 200.6).abs() < 6.0,
+        "MicroFaaS {micro:.1} vs 200.6 f/min"
+    );
+    assert!(
+        (conv - 211.7).abs() < 7.0,
+        "Conventional {conv:.1} vs 211.7 f/min"
+    );
 }
 
 #[test]
@@ -24,8 +30,14 @@ fn five_point_six_times_energy_efficiency() {
     let cmp = comparison();
     let micro = cmp.micro.joules_per_function().expect("jobs ran");
     let conv = cmp.conventional.joules_per_function().expect("jobs ran");
-    assert!((micro - 5.7).abs() < 0.5, "MicroFaaS {micro:.2} vs 5.7 J/func");
-    assert!((conv - 32.0).abs() < 2.0, "Conventional {conv:.2} vs 32.0 J/func");
+    assert!(
+        (micro - 5.7).abs() < 0.5,
+        "MicroFaaS {micro:.2} vs 5.7 J/func"
+    );
+    assert!(
+        (conv - 32.0).abs() < 2.0,
+        "Conventional {conv:.2} vs 32.0 J/func"
+    );
     let gain = cmp.efficiency_gain();
     assert!((gain - 5.6).abs() < 0.5, "gain {gain:.2} vs paper 5.6x");
 }
@@ -33,8 +45,16 @@ fn five_point_six_times_energy_efficiency() {
 #[test]
 fn fig3_function_speed_split() {
     let cmp = comparison();
-    assert_eq!(cmp.faster_on_microfaas().len(), 4, "4 of 17 faster on MicroFaaS");
-    assert_eq!(cmp.within_half_speed().len(), 9, "9 more at better than half speed");
+    assert_eq!(
+        cmp.faster_on_microfaas().len(),
+        4,
+        "4 of 17 faster on MicroFaaS"
+    );
+    assert_eq!(
+        cmp.within_half_speed().len(),
+        9,
+        "9 more at better than half speed"
+    );
 }
 
 #[test]
@@ -44,7 +64,10 @@ fn fig4_peak_efficiency_at_saturation() {
         .iter()
         .map(|p| p.joules_per_function)
         .fold(f64::INFINITY, f64::min);
-    assert!((peak - 16.1).abs() < 2.0, "peak {peak:.1} vs paper 16.1 J/func");
+    assert!(
+        (peak - 16.1).abs() < 2.0,
+        "peak {peak:.1} vs paper 16.1 J/func"
+    );
     // Efficiency is monotone improving up to the saturation knee.
     for pair in sweep[..16].windows(2) {
         assert!(
@@ -60,7 +83,10 @@ fn fig5_energy_proportionality_endpoints() {
     assert_eq!(series[0].sbc_cluster_watts, 0.0);
     assert_eq!(series[0].vm_cluster_watts, 60.0);
     let full = series.last().expect("non-empty");
-    assert!(full.sbc_cluster_watts < 20.0, "10 busy SBCs stay under 20 W");
+    assert!(
+        full.sbc_cluster_watts < 20.0,
+        "10 busy SBCs stay under 20 W"
+    );
 }
 
 #[test]
@@ -74,7 +100,10 @@ fn table2_tco_reduction() {
         &model.evaluate(&ClusterSpec::conventional_rack(), Conditions::realistic()),
         &model.evaluate(&ClusterSpec::microfaas_rack(), Conditions::realistic()),
     );
-    assert!((ideal - 34.2).abs() < 0.1, "ideal savings {ideal:.1}% vs 34.2%");
+    assert!(
+        (ideal - 34.2).abs() < 0.1,
+        "ideal savings {ideal:.1}% vs 34.2%"
+    );
     assert!(
         (realistic - 32.5).abs() < 0.1,
         "realistic savings {realistic:.1}% vs 32.5%"

@@ -18,7 +18,8 @@ fn event_processing_pipeline() {
     mq.create_topic("clicks", 2).expect("fresh topic");
     let mut kv = KvStore::new();
     let mut sql = Database::new();
-    sql.execute("CREATE TABLE clicks (user INTEGER, page TEXT)").expect("schema");
+    sql.execute("CREATE TABLE clicks (user INTEGER, page TEXT)")
+        .expect("schema");
     let mut cos = ObjectStore::new();
     cos.create_bucket("archives").expect("fresh bucket");
 
@@ -26,15 +27,21 @@ fn event_processing_pipeline() {
     for i in 0..40u32 {
         let user = i % 5;
         let payload = format!("user={user};page=/item/{}", i % 7);
-        mq.produce("clicks", Some(user.to_string().as_bytes()), payload.into_bytes())
-            .expect("produce");
+        mq.produce(
+            "clicks",
+            Some(user.to_string().as_bytes()),
+            payload.into_bytes(),
+        )
+        .expect("produce");
     }
 
     // --- Consumer: drain both partitions, fan out to KV + SQL. ---
     let mut processed = 0;
     for partition in 0..2 {
         loop {
-            let batch = mq.consume("pipeline", "clicks", partition, 8).expect("consume");
+            let batch = mq
+                .consume("pipeline", "clicks", partition, 8)
+                .expect("consume");
             if batch.is_empty() {
                 break;
             }
@@ -50,8 +57,7 @@ fn event_processing_pipeline() {
                 let page = text.split("page=").nth(1).expect("payload format");
                 // Per-user counter through the RESP wire path.
                 let counter_key = format!("clicks:user:{user}");
-                let raw =
-                    kv.handle_raw(&Command::Incr(counter_key).encode());
+                let raw = kv.handle_raw(&Command::Incr(counter_key).encode());
                 assert_eq!(raw.first(), Some(&b':'), "INCR returns an integer");
                 // Row store.
                 sql.execute(&format!("INSERT INTO clicks VALUES ({user}, '{page}')"))
@@ -86,7 +92,10 @@ fn event_processing_pipeline() {
     assert_eq!(counter_total, 40, "KV counters match event count");
 
     // --- Archival: export, compress, store, verify integrity. ---
-    let export = match sql.execute("SELECT page FROM clicks ORDER BY page").expect("export") {
+    let export = match sql
+        .execute("SELECT page FROM clicks ORDER BY page")
+        .expect("export")
+    {
         QueryOutput::Rows { rows, .. } => rows
             .into_iter()
             .map(|row| row[0].to_string())
@@ -97,14 +106,25 @@ fn event_processing_pipeline() {
     let packed = compress(export.as_bytes());
     assert!(packed.len() < export.len(), "click logs compress well");
     let digest = sha256(export.as_bytes());
-    cos.put("archives", "clicks/2022-03.deflate", packed, "application/octet-stream")
-        .expect("archive");
+    cos.put(
+        "archives",
+        "clicks/2022-03.deflate",
+        packed,
+        "application/octet-stream",
+    )
+    .expect("archive");
 
     // A later reader restores the archive bit-for-bit.
-    let (stored, meta) = cos.get("archives", "clicks/2022-03.deflate").expect("restore");
+    let (stored, meta) = cos
+        .get("archives", "clicks/2022-03.deflate")
+        .expect("restore");
     assert_eq!(meta.content_type, "application/octet-stream");
     let restored = inflate(&stored).expect("valid deflate");
-    assert_eq!(sha256(&restored), digest, "integrity through the full pipeline");
+    assert_eq!(
+        sha256(&restored),
+        digest,
+        "integrity through the full pipeline"
+    );
 
     // The queue's committed offsets reflect full consumption.
     for partition in 0..2 {

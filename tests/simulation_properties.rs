@@ -11,15 +11,10 @@ use microfaas::timeline::Timeline;
 use microfaas_workloads::FunctionId;
 
 fn mix_strategy() -> impl Strategy<Value = WorkloadMix> {
-    (
-        prop::collection::btree_set(0usize..17, 1..17),
-        1u32..8,
-    )
-        .prop_map(|(indices, invocations)| {
-            let functions: Vec<FunctionId> =
-                indices.into_iter().map(|i| FunctionId::ALL[i]).collect();
-            WorkloadMix::new(functions, invocations)
-        })
+    (prop::collection::btree_set(0usize..17, 1..17), 1u32..8).prop_map(|(indices, invocations)| {
+        let functions: Vec<FunctionId> = indices.into_iter().map(|i| FunctionId::ALL[i]).collect();
+        WorkloadMix::new(functions, invocations)
+    })
 }
 
 fn micro_config_strategy() -> impl Strategy<Value = MicroFaasConfig> {
@@ -29,7 +24,10 @@ fn micro_config_strategy() -> impl Strategy<Value = MicroFaasConfig> {
         any::<u64>(),
         any::<bool>(),
         any::<bool>(),
-        prop_oneof![Just(Assignment::WorkConserving), Just(Assignment::RandomStatic)],
+        prop_oneof![
+            Just(Assignment::WorkConserving),
+            Just(Assignment::RandomStatic)
+        ],
     )
         .prop_map(|(mix, workers, seed, reboot, gating, assignment)| {
             let mut config = MicroFaasConfig::paper_prototype(mix, seed);
@@ -42,7 +40,9 @@ fn micro_config_strategy() -> impl Strategy<Value = MicroFaasConfig> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    #![proptest_config(ProptestConfig::with_cases(
+        if cfg!(feature = "heavy-tests") { 192 } else { 48 }
+    ))]
 
     /// Every queued job completes exactly once, whatever the config.
     #[test]

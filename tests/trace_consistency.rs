@@ -1,0 +1,174 @@
+//! Cross-checks the observability pipeline against the simulators' own
+//! aggregates: on a deterministic seed, the JSON-lines trace and the
+//! metrics registry must agree with [`ClusterRun`] bit for bit, and
+//! recording them must not perturb the simulation at all.
+
+use std::collections::HashMap;
+
+use microfaas::config::WorkloadMix;
+use microfaas::conventional::{run_conventional, run_conventional_with, ConventionalConfig};
+use microfaas::micro::{run_microfaas, run_microfaas_with, MicroFaasConfig};
+use microfaas::report::ClusterRun;
+use microfaas::timeline::Timeline;
+use microfaas_sim::trace::TraceEvent;
+use microfaas_sim::{MetricsRegistry, Observer, SimTime, TraceBuffer};
+use microfaas_workloads::FunctionId;
+
+const SEED: u64 = 2022;
+
+fn mix() -> WorkloadMix {
+    WorkloadMix::new(FunctionId::ALL.to_vec(), 10)
+}
+
+fn traced_micro() -> (ClusterRun, TraceBuffer, MetricsRegistry) {
+    let config = MicroFaasConfig::paper_prototype(mix(), SEED);
+    let mut buffer = TraceBuffer::new(1 << 20);
+    let mut metrics = MetricsRegistry::new();
+    let run = run_microfaas_with(&config, &mut Observer::full(&mut buffer, &mut metrics));
+    assert_eq!(buffer.dropped(), 0, "buffer must hold the whole run");
+    (run, buffer, metrics)
+}
+
+fn traced_conventional() -> (ClusterRun, TraceBuffer, MetricsRegistry) {
+    let config = ConventionalConfig::paper_baseline(mix(), SEED);
+    let mut buffer = TraceBuffer::new(1 << 20);
+    let mut metrics = MetricsRegistry::new();
+    let run = run_conventional_with(&config, &mut Observer::full(&mut buffer, &mut metrics));
+    assert_eq!(buffer.dropped(), 0, "buffer must hold the whole run");
+    (run, buffer, metrics)
+}
+
+/// Sums of per-function execution time (µs) and completion counts, keyed
+/// by function label.
+fn exec_totals_from_records(run: &ClusterRun) -> HashMap<&'static str, (u64, u64)> {
+    let mut totals: HashMap<&'static str, (u64, u64)> = HashMap::new();
+    for record in &run.records {
+        let entry = totals.entry(record.job.function.name()).or_default();
+        entry.0 += record.exec.as_micros();
+        entry.1 += 1;
+    }
+    totals
+}
+
+fn exec_totals_from_trace(buffer: &TraceBuffer) -> HashMap<&'static str, (u64, u64)> {
+    let mut totals: HashMap<&'static str, (u64, u64)> = HashMap::new();
+    for record in buffer.iter() {
+        if let TraceEvent::JobCompleted { function, exec, .. } = record.event {
+            let entry = totals.entry(function).or_default();
+            entry.0 += exec.as_micros();
+            entry.1 += 1;
+        }
+    }
+    totals
+}
+
+#[test]
+fn tracing_does_not_perturb_the_simulation() {
+    let config = MicroFaasConfig::paper_prototype(mix(), SEED);
+    let baseline = run_microfaas(&config);
+    let (traced, _, _) = traced_micro();
+    assert_eq!(baseline.makespan, traced.makespan);
+    assert_eq!(baseline.energy, traced.energy);
+    assert_eq!(baseline.records, traced.records);
+
+    let config = ConventionalConfig::paper_baseline(mix(), SEED);
+    let baseline = run_conventional(&config);
+    let (traced, _, _) = traced_conventional();
+    assert_eq!(baseline.makespan, traced.makespan);
+    assert_eq!(baseline.energy, traced.energy);
+    assert_eq!(baseline.records, traced.records);
+}
+
+#[test]
+fn trace_job_counts_and_makespan_match_the_run() {
+    for (run, buffer, _) in [traced_micro(), traced_conventional()] {
+        let completed = buffer
+            .iter()
+            .filter(|r| matches!(r.event, TraceEvent::JobCompleted { .. }))
+            .count() as u64;
+        assert_eq!(completed, run.jobs_completed());
+
+        let enqueued = buffer
+            .iter()
+            .filter(|r| matches!(r.event, TraceEvent::JobEnqueued { .. }))
+            .count();
+        assert_eq!(enqueued, mix().total_jobs() as usize);
+
+        let last_completion = buffer
+            .iter()
+            .filter(|r| matches!(r.event, TraceEvent::JobCompleted { .. }))
+            .map(|r| r.at)
+            .max()
+            .expect("jobs completed");
+        assert_eq!(last_completion, SimTime::ZERO + run.makespan);
+    }
+}
+
+#[test]
+fn per_function_exec_totals_match_exactly() {
+    for (run, buffer, _) in [traced_micro(), traced_conventional()] {
+        assert_eq!(
+            exec_totals_from_trace(&buffer),
+            exec_totals_from_records(&run)
+        );
+    }
+}
+
+#[test]
+fn reconstructed_gantt_matches_and_passes_single_tenancy() {
+    for (run, buffer, _) in [traced_micro(), traced_conventional()] {
+        let from_trace = Timeline::from_trace(buffer.iter(), run.workers);
+        let from_run = Timeline::from_run(&run);
+        assert_eq!(from_trace.spans(), from_run.spans());
+        assert_eq!(from_trace.overlap_violation(), None);
+    }
+}
+
+#[test]
+fn headline_gauges_equal_run_accessors_bit_for_bit() {
+    for (prefix, (run, _, metrics)) in [("micro", traced_micro()), ("conv", traced_conventional())]
+    {
+        let flat: HashMap<String, f64> = metrics.flatten().into_iter().collect();
+        let gauge = |name: &str| flat[&format!("{prefix}_{name}")];
+        assert_eq!(gauge("makespan_seconds"), run.makespan.as_secs_f64());
+        assert_eq!(gauge("total_joules"), run.energy.total_joules);
+        assert_eq!(gauge("average_watts"), run.energy.average_watts);
+        assert_eq!(
+            gauge("joules_per_function"),
+            run.joules_per_function().expect("jobs ran")
+        );
+        assert_eq!(gauge("functions_per_minute"), run.functions_per_minute());
+        assert_eq!(
+            flat[&format!("{prefix}_jobs_completed_total")],
+            run.jobs_completed() as f64
+        );
+    }
+}
+
+#[test]
+fn channel_energy_gauges_sum_to_the_total() {
+    let (run, _, metrics) = traced_micro();
+    let channel_sum: f64 = metrics
+        .flatten()
+        .into_iter()
+        .filter(|(name, _)| name.starts_with("micro_channel_joules"))
+        .map(|(_, joules)| joules)
+        .sum();
+    assert!((channel_sum - run.energy.total_joules).abs() < 1e-9);
+}
+
+#[test]
+fn trace_dump_is_well_formed_json_lines() {
+    let (_, buffer, _) = traced_micro();
+    let dump = buffer.to_json_lines();
+    let lines: Vec<&str> = dump.lines().collect();
+    assert_eq!(lines.len(), buffer.len());
+    for (i, line) in lines.iter().enumerate() {
+        assert!(
+            line.starts_with(&format!("{{\"seq\":{i},\"at_us\":")),
+            "line {i}: {line}"
+        );
+        assert!(line.ends_with('}'), "line {i} must close its object");
+        assert!(line.contains("\"type\":\""), "line {i} must be typed");
+    }
+}

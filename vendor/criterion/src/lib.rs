@@ -1,0 +1,282 @@
+//! Offline shim for the [`criterion`](https://docs.rs/criterion) crate.
+//!
+//! Like the vendored `proptest`, this exists so the workspace builds and
+//! benches with **no network and no crates.io registry cache** (see
+//! `README.md`, "Offline workflow"). It implements the API subset the
+//! `microfaas-bench` targets use — groups, throughput annotation,
+//! parameterized benchmarks, and the `criterion_group!`/`criterion_main!`
+//! macros — with a simple wall-clock measurement loop instead of
+//! criterion's statistical machinery.
+//!
+//! Behaviour:
+//!
+//! - `cargo bench` runs each benchmark for ~80 ms after a short warm-up
+//!   and prints mean time per iteration (plus MB/s when a byte
+//!   throughput is set).
+//! - `cargo test` invokes bench executables with `--test`; in that mode
+//!   each benchmark body runs exactly once as a smoke test, mirroring
+//!   upstream criterion.
+//!
+//! # Examples
+//!
+//! ```
+//! use criterion::{Bencher, Criterion};
+//!
+//! let mut c = Criterion::test_mode();
+//! c.bench_function("add", |b: &mut Bencher| b.iter(|| 1 + 1));
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark (after warm-up).
+const MEASURE_TARGET: Duration = Duration::from_millis(80);
+
+/// Identifier for one parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name and a parameter, e.g. `sha256/4096`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Work-per-iteration annotation used to derive rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration (reported as MB/s).
+    Bytes(u64),
+    /// Logical elements processed per iteration (reported as Melem/s).
+    Elements(u64),
+}
+
+/// Times closures; handed to benchmark bodies.
+#[derive(Debug)]
+pub struct Bencher {
+    test_mode: bool,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records the mean wall-clock time
+    /// per call. In test mode the routine runs exactly once.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            self.mean_ns = 0.0;
+            return;
+        }
+        // Warm-up: one call, which also sizes the first batch.
+        let warm = Instant::now();
+        std::hint::black_box(routine());
+        let once = warm.elapsed().max(Duration::from_nanos(20));
+
+        let mut batch = (MEASURE_TARGET.as_nanos() / 8 / once.as_nanos()).clamp(1, 1 << 20) as u64;
+        let mut total = Duration::ZERO;
+        let mut iterations = 0u64;
+        while total < MEASURE_TARGET {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            total += start.elapsed();
+            iterations += batch;
+            batch = batch.saturating_mul(2).min(1 << 22);
+        }
+        self.mean_ns = total.as_nanos() as f64 / iterations as f64;
+    }
+}
+
+/// The benchmark driver. One instance is shared by every target listed
+/// in [`criterion_group!`].
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    /// Inspects the command line the way upstream criterion does:
+    /// `--test` (passed by `cargo test` to `harness = false` bench
+    /// executables) switches to run-once smoke mode.
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// A driver that runs every benchmark body exactly once (used by
+    /// doctests and smoke tests).
+    pub fn test_mode() -> Self {
+        Criterion { test_mode: true }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(self.test_mode, name, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a throughput annotation.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the work-per-iteration for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(self.criterion.test_mode, &label, self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Runs a plain benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, name);
+        run_one(self.criterion.test_mode, &label, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is
+    /// per-benchmark in this shim).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    test_mode: bool,
+    label: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        test_mode,
+        mean_ns: f64::NAN,
+    };
+    f(&mut bencher);
+    if test_mode {
+        println!("test bench {label} ... ok (ran once)");
+        return;
+    }
+    let mean_ns = bencher.mean_ns;
+    let rate = match throughput {
+        Some(Throughput::Bytes(bytes)) if mean_ns > 0.0 => {
+            format!("  ({:.1} MB/s)", bytes as f64 / mean_ns * 1e9 / 1e6)
+        }
+        Some(Throughput::Elements(n)) if mean_ns > 0.0 => {
+            format!("  ({:.2} Melem/s)", n as f64 / mean_ns * 1e9 / 1e6)
+        }
+        _ => String::new(),
+    };
+    println!("{label:<48} {}{rate}", format_time(mean_ns));
+}
+
+fn format_time(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:>10.3} s/iter", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:>10.3} ms/iter", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:>10.3} us/iter", ns / 1e3)
+    } else {
+        format!("{ns:>10.1} ns/iter")
+    }
+}
+
+/// Declares a callable group of benchmark functions.
+///
+/// Only the positional form `criterion_group!(name, target, ...)` is
+/// supported (which is the only form this workspace uses).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_each_body_once() {
+        let mut calls = 0u32;
+        let mut c = Criterion::test_mode();
+        c.bench_function("counted", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::test_mode();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_with_input(BenchmarkId::new("id", 7), &vec![1u8; 8], |b, data| {
+            b.iter(|| data.iter().map(|&x| x as u64).sum::<u64>())
+        });
+        group.bench_function("plain", |b| b.iter(|| 2 + 2));
+        group.finish();
+    }
+
+    #[test]
+    fn time_formatting_picks_sane_units() {
+        assert!(format_time(12.0).contains("ns/iter"));
+        assert!(format_time(12_000.0).contains("us/iter"));
+        assert!(format_time(12_000_000.0).contains("ms/iter"));
+        assert!(format_time(2e9).contains("s/iter"));
+    }
+}

@@ -1,0 +1,1000 @@
+//! Offline shim for the [`proptest`](https://docs.rs/proptest) crate.
+//!
+//! The reproduction workspace must build and test on machines with **no
+//! network and no crates.io registry cache** (see `README.md`, "Offline
+//! workflow"). Cargo resolves every dependency in the graph against the
+//! registry index even when a dependency is unused, so the only way to
+//! keep property tests runnable offline is to vendor the dependency.
+//!
+//! This crate implements the *subset* of the proptest API the workspace
+//! uses, with real random generation (a seeded SplitMix64 generator, so
+//! runs are reproducible) but **no shrinking**: on failure the offending
+//! inputs are printed verbatim instead of being minimized. Supported
+//! surface:
+//!
+//! - [`proptest!`] with an optional `#![proptest_config(..)]` header
+//! - [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`], [`prop_oneof!`]
+//! - [`strategy::Strategy`] with `prop_map` and `boxed`
+//! - [`arbitrary::any`] for the primitive types and byte arrays
+//! - integer / float range strategies (`0u64..100`, `b'a'..=b'e'`, ...)
+//! - [`collection::vec`], [`collection::btree_set`], [`option::of`],
+//!   [`strategy::Just`], tuple strategies up to arity 8
+//! - `&str` regex-shaped string strategies for the pattern subset
+//!   `atom{m,n}` where `atom` is `.` or a `[...]` class (e.g. `".{0,80}"`,
+//!   `"[a-z/]{1,12}"`)
+//!
+//! The number of cases per property comes from `ProptestConfig::cases`
+//! and can be overridden globally with the `PROPTEST_CASES` environment
+//! variable, exactly like upstream.
+//!
+//! # Examples
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(64))]
+//!
+//!     // In a real test file this would carry `#[test]`; omitted here so
+//!     // the doctest can invoke the expanded function directly.
+//!     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//!
+//! addition_commutes();
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Debug;
+
+pub mod test_runner {
+    //! The execution machinery behind the [`proptest!`](crate::proptest) macro.
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// The case was rejected by [`prop_assume!`](crate::prop_assume);
+        /// it does not count towards the target case count.
+        Reject,
+        /// An assertion failed with the given message.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure with a message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError::Fail(message.into())
+        }
+
+        /// Builds a rejection (assume-style filtering).
+        pub fn reject() -> Self {
+            TestCaseError::Reject
+        }
+    }
+
+    /// Deterministic SplitMix64 generator used to drive all strategies.
+    ///
+    /// Each property gets a generator seeded from its module path and
+    /// name, so a failing case reproduces on every run.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds deterministically from an arbitrary label (FNV-1a).
+        pub fn deterministic(label: &str) -> Self {
+            let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+            for byte in label.bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: hash }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0, "below(0) has no valid output");
+            // Multiply-shift keeps the bias negligible for test purposes.
+            let wide = u128::from(self.next_u64()) * u128::from(bound);
+            (wide >> 64) as u64
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies: the [`Strategy`] trait and the
+    //! combinators the workspace uses.
+
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of one type.
+    ///
+    /// Unlike upstream proptest there is no value tree and no shrinking:
+    /// `generate` produces a finished value directly.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use proptest::prelude::*;
+    /// use proptest::test_runner::TestRng;
+    ///
+    /// let strategy = (0u32..10).prop_map(|n| n * 2);
+    /// let mut rng = TestRng::deterministic("doc");
+    /// let value = strategy.generate(&mut rng);
+    /// assert!(value < 20 && value % 2 == 0);
+    /// ```
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy so heterogeneous strategies with the
+        /// same `Value` can live in one collection (see
+        /// [`prop_oneof!`](crate::prop_oneof)).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(move |rng| self.generate(rng)))
+        }
+    }
+
+    /// A type-erased strategy producing `V`.
+    pub struct BoxedStrategy<V>(Box<dyn Fn(&mut TestRng) -> V>);
+
+    impl<V> Debug for BoxedStrategy<V> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("BoxedStrategy")
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (self.0)(rng)
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The combinator behind [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between type-erased alternatives
+    /// (the engine behind [`prop_oneof!`](crate::prop_oneof)).
+    #[derive(Debug)]
+    pub struct OneOf<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> OneOf<V> {
+        /// Builds from a non-empty list of alternatives.
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            OneOf { options }
+        }
+    }
+
+    impl<V> Strategy for OneOf<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let index = rng.below(self.options.len() as u64) as usize;
+            self.options[index].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let width = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(width) as i128) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    let width = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                    if width > u64::MAX as u128 {
+                        return rng.next_u64() as $t;
+                    }
+                    (*self.start() as i128 + rng.below(width as u64) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+    tuple_strategy!(A, B, C, D, E, F, G);
+    tuple_strategy!(A, B, C, D, E, F, G, H);
+
+    /// `&str` patterns act as string strategies over a regex subset:
+    /// a sequence of `.`/`[class]`/literal atoms, each with an optional
+    /// `{m,n}`, `{m}`, `*`, `+` or `?` quantifier.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let pieces = crate::pattern::parse(self);
+            crate::pattern::generate(&pieces, rng)
+        }
+    }
+
+    /// Strategy returned by [`any`](crate::arbitrary::any).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+
+    impl<T: crate::arbitrary::Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` for the primitive types the workspace fuzzes with.
+
+    use std::marker::PhantomData;
+
+    use crate::strategy::Any;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical "uniform over the whole domain" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy for any [`Arbitrary`] type.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use proptest::prelude::*;
+    /// use proptest::test_runner::TestRng;
+    ///
+    /// let mut rng = TestRng::deterministic("doc");
+    /// let _word: u64 = any::<u64>().generate(&mut rng);
+    /// let _flag: bool = any::<bool>().generate(&mut rng);
+    /// ```
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite, sign-balanced, spanning many magnitudes.
+            let magnitude = rng.unit_f64() * 2e12 - 1e12;
+            magnitude
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            loop {
+                if let Some(c) = char::from_u32(rng.below(0x11_0000) as u32) {
+                    return c;
+                }
+            }
+        }
+    }
+
+    impl<const N: usize> Arbitrary for [u8; N] {
+        fn arbitrary(rng: &mut TestRng) -> [u8; N] {
+            let mut out = [0u8; N];
+            for byte in &mut out {
+                *byte = rng.next_u64() as u8;
+            }
+            out
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::*`).
+
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Vec`s with a length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates `Vec<S::Value>` with a length in `size`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use proptest::prelude::*;
+    /// use proptest::test_runner::TestRng;
+    ///
+    /// let strategy = prop::collection::vec(any::<u8>(), 1..10);
+    /// let bytes = strategy.generate(&mut TestRng::deterministic("doc"));
+    /// assert!((1..10).contains(&bytes.len()));
+    /// ```
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.clone().generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for ordered sets with a target size drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates `BTreeSet<S::Value>` aiming for a size in `size`.
+    ///
+    /// If the element domain is too small to reach the drawn size the set
+    /// is returned at its achievable size (mirroring upstream's bounded
+    /// rejection behaviour without the failure mode).
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.clone().generate(rng);
+            let mut set = BTreeSet::new();
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < target * 20 + 50 {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+pub mod option {
+    //! Optional-value strategies (`prop::option::*`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `Option<S::Value>`, `None` half the time.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    /// Wraps `inner` in an `Option` strategy.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 1 == 0 {
+                Some(self.0.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+mod pattern {
+    //! The regex subset used by `&str` string strategies.
+
+    use crate::test_runner::TestRng;
+
+    #[derive(Debug, Clone)]
+    pub(crate) enum Atom {
+        AnyChar,
+        /// Inclusive character ranges; single characters are `(c, c)`.
+        Class(Vec<(char, char)>),
+        Literal(char),
+    }
+
+    #[derive(Debug, Clone)]
+    pub(crate) struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    /// Parses the supported subset; panics (with the pattern) on anything
+    /// fancier, because a silently-wrong generator is worse than a loud
+    /// one.
+    pub(crate) fn parse(pattern: &str) -> Vec<Piece> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pieces = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '.' => {
+                    i += 1;
+                    Atom::AnyChar
+                }
+                '[' => {
+                    i += 1;
+                    let mut ranges = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let lo = chars[i];
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            ranges.push((lo, chars[i + 2]));
+                            i += 3;
+                        } else {
+                            ranges.push((lo, lo));
+                            i += 1;
+                        }
+                    }
+                    assert!(
+                        i < chars.len(),
+                        "unterminated class in string strategy pattern {pattern:?}"
+                    );
+                    i += 1; // closing ']'
+                    assert!(
+                        !ranges.is_empty(),
+                        "empty class in string strategy pattern {pattern:?}"
+                    );
+                    Atom::Class(ranges)
+                }
+                '\\' => {
+                    assert!(
+                        i + 1 < chars.len(),
+                        "dangling escape in string strategy pattern {pattern:?}"
+                    );
+                    i += 2;
+                    Atom::Literal(chars[i - 1])
+                }
+                c => {
+                    assert!(
+                        !"(){}|?*+".contains(c),
+                        "unsupported pattern feature {c:?} in string strategy {pattern:?} \
+                         (offline proptest shim supports only `.`/`[class]`/literal atoms \
+                         with {{m,n}} quantifiers)"
+                    );
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            };
+            let (min, max) = parse_quantifier(&chars, &mut i, pattern);
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    fn parse_quantifier(chars: &[char], i: &mut usize, pattern: &str) -> (usize, usize) {
+        match chars.get(*i) {
+            Some('{') => {
+                *i += 1;
+                let min = parse_number(chars, i, pattern);
+                let max = match chars.get(*i) {
+                    Some(',') => {
+                        *i += 1;
+                        parse_number(chars, i, pattern)
+                    }
+                    _ => min,
+                };
+                assert_eq!(
+                    chars.get(*i),
+                    Some(&'}'),
+                    "malformed quantifier in string strategy pattern {pattern:?}"
+                );
+                *i += 1;
+                assert!(min <= max, "inverted quantifier in pattern {pattern:?}");
+                (min, max)
+            }
+            Some('*') => {
+                *i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                *i += 1;
+                (1, 8)
+            }
+            Some('?') => {
+                *i += 1;
+                (0, 1)
+            }
+            _ => (1, 1),
+        }
+    }
+
+    fn parse_number(chars: &[char], i: &mut usize, pattern: &str) -> usize {
+        let start = *i;
+        while chars.get(*i).is_some_and(|c| c.is_ascii_digit()) {
+            *i += 1;
+        }
+        assert!(
+            *i > start,
+            "expected a number in string strategy pattern {pattern:?}"
+        );
+        chars[start..*i]
+            .iter()
+            .collect::<String>()
+            .parse()
+            .expect("digits")
+    }
+
+    pub(crate) fn generate(pieces: &[Piece], rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in pieces {
+            let count = piece.min + rng.below((piece.max - piece.min + 1) as u64) as usize;
+            for _ in 0..count {
+                out.push(generate_atom(&piece.atom, rng));
+            }
+        }
+        out
+    }
+
+    fn generate_atom(atom: &Atom, rng: &mut TestRng) -> char {
+        match atom {
+            Atom::Literal(c) => *c,
+            Atom::AnyChar => {
+                // Mostly printable ASCII with an occasional arbitrary
+                // scalar so parsers still see non-ASCII input.
+                if rng.below(10) < 9 {
+                    char::from_u32(0x20 + rng.below(0x5f) as u32).expect("printable ascii")
+                } else {
+                    crate::arbitrary::Arbitrary::arbitrary(rng)
+                }
+            }
+            Atom::Class(ranges) => {
+                let total: u64 = ranges
+                    .iter()
+                    .map(|&(lo, hi)| hi as u64 - lo as u64 + 1)
+                    .sum();
+                let mut pick = rng.below(total);
+                for &(lo, hi) in ranges {
+                    let span = hi as u64 - lo as u64 + 1;
+                    if pick < span {
+                        return char::from_u32(lo as u32 + pick as u32).expect("valid scalar");
+                    }
+                    pick -= span;
+                }
+                unreachable!("pick < total by construction")
+            }
+        }
+    }
+}
+
+/// Per-property run configuration, normally set through
+/// `#![proptest_config(ProptestConfig::with_cases(N))]`.
+///
+/// # Examples
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// let config = ProptestConfig::with_cases(48);
+/// assert_eq!(config.cases, 48);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of *accepted* cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// Cases to actually run: the `PROPTEST_CASES` environment variable
+    /// overrides the configured count when set.
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(value) => value.parse().unwrap_or(self.cases),
+            Err(_) => self.cases,
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+#[doc(hidden)]
+pub fn __format_input(name: &str, value: &dyn Debug, out: &mut String) {
+    use std::fmt::Write as _;
+    let _ = write!(out, "{name} = {value:?}; ");
+}
+
+/// Defines property tests.
+///
+/// Each `fn name(arg in strategy, ...) { body }` item expands to a plain
+/// `#[test]` function that draws inputs from the strategies and runs the
+/// body once per case. `prop_assert*` failures abort the test and print
+/// the generated inputs (no shrinking in this offline shim).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            let __cases: u32 = __config.effective_cases();
+            let mut __rng = $crate::test_runner::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let mut __passed: u32 = 0;
+            let mut __rejected: u32 = 0;
+            while __passed < __cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut __rng);)*
+                let mut __inputs = ::std::string::String::new();
+                $($crate::__format_input(stringify!($arg), &$arg, &mut __inputs);)*
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => {
+                        __passed += 1;
+                    }
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {
+                        __rejected += 1;
+                        ::std::assert!(
+                            __rejected <= __cases.saturating_mul(16).saturating_add(1024),
+                            "too many rejected inputs ({} rejects while targeting {} cases)",
+                            __rejected,
+                            __cases,
+                        );
+                    }
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(__message)) => {
+                        ::std::panic!(
+                            "proptest case failed after {} passing case(s): {}\n    inputs: {}",
+                            __passed,
+                            __message,
+                            __inputs,
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body; failure aborts the
+/// current case with the generated inputs attached.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        if !(*__left == *__right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion failed: `{} == {}`\n     left: {:?}\n    right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __left,
+                    __right,
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__left, __right) = (&$left, &$right);
+        if !(*__left == *__right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "{}\nassertion failed: `{} == {}`\n     left: {:?}\n    right: {:?}",
+                    ::std::format!($($fmt)+),
+                    stringify!($left),
+                    stringify!($right),
+                    __left,
+                    __right,
+                ),
+            ));
+        }
+    }};
+}
+
+/// Inequality assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        if *__left == *__right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion failed: `{} != {}`\n     both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __left,
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__left, __right) = (&$left, &$right);
+        if *__left == *__right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "{}\nassertion failed: `{} != {}`\n     both: {:?}",
+                    ::std::format!($($fmt)+),
+                    stringify!($left),
+                    stringify!($right),
+                    __left,
+                ),
+            ));
+        }
+    }};
+}
+
+/// Discards the current case (it does not count towards the target case
+/// count) when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice between strategies that produce the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// `prop::collection::vec`, `prop::option::of`, ... — upstream
+    /// proptest aliases the crate root as `prop` in its prelude.
+    pub use crate as prop;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic("ranges");
+        for _ in 0..1_000 {
+            let v = (10u64..20).generate(&mut rng);
+            assert!((10..20).contains(&v));
+            let b = (b'a'..=b'e').generate(&mut rng);
+            assert!((b'a'..=b'e').contains(&b));
+            let f = (0.0f64..1.0).generate(&mut rng);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_their_own_shape() {
+        let mut rng = TestRng::deterministic("strings");
+        for _ in 0..500 {
+            let s = "[a-z/]{1,12}".generate(&mut rng);
+            assert!((1..=12).contains(&s.chars().count()), "{s:?}");
+            assert!(
+                s.chars().all(|c| c == '/' || c.is_ascii_lowercase()),
+                "{s:?}"
+            );
+
+            let t = ".{0,80}".generate(&mut rng);
+            assert!(t.chars().count() <= 80);
+        }
+    }
+
+    #[test]
+    fn btree_set_respects_target_when_domain_allows() {
+        let mut rng = TestRng::deterministic("sets");
+        for _ in 0..200 {
+            let s = crate::collection::btree_set(0usize..17, 1..17).generate(&mut rng);
+            assert!((1..17).contains(&s.len()));
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_reproduces() {
+        let a: Vec<u64> = {
+            let mut rng = TestRng::deterministic("same");
+            (0..32).map(|_| rng.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = TestRng::deterministic("same");
+            (0..32).map(|_| rng.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_expansion_runs(xs in prop::collection::vec(any::<u8>(), 0..8), flip in any::<bool>()) {
+            prop_assume!(xs.len() != 7);
+            prop_assert!(xs.len() < 8);
+            if flip {
+                prop_assert_eq!(xs.len(), xs.iter().count());
+            } else {
+                prop_assert_ne!(xs.len(), usize::MAX);
+            }
+        }
+    }
+}
