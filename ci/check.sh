@@ -17,4 +17,14 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
+echo "==> fault-injection smoke run (examples/faults_crash.json)"
+out="$(cargo run --release -q -p microfaas-cli -- faults \
+    --plan examples/faults_crash.json --invocations 2 --seed 7)"
+echo "$out" | grep -q "faults injected" || {
+    echo "faults subcommand printed no fault summary"; exit 1; }
+echo "$out" | grep -q "faults injected:   0" && {
+    echo "checked-in plan injected no faults"; exit 1; }
+echo "$out" | grep -q "accounted:         34 of 34 submitted" || {
+    echo "faulted run lost jobs"; exit 1; }
+
 echo "All checks passed."

@@ -5,6 +5,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use microfaas::config::WorkloadMix;
 use microfaas::conventional::{run_conventional, ConventionalConfig};
 use microfaas::micro::{run_microfaas, MicroFaasConfig};
+use microfaas::FaultsConfig;
+use microfaas_sim::faults::FaultPlan;
 use microfaas_sim::{EventQueue, SimTime};
 use microfaas_workloads::FunctionId;
 use std::hint::black_box;
@@ -41,5 +43,34 @@ fn bench_cluster_runs(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_event_queue, bench_cluster_runs);
+fn bench_faulted_run(c: &mut Criterion) {
+    // The fault hooks' overhead when they actually fire: a scheduled
+    // crash plus probabilistic noise over the same 340-job workload.
+    let mix = WorkloadMix::new(FunctionId::ALL.to_vec(), 20);
+    let plan = FaultPlan::from_json(
+        r#"{
+            "seed": 99,
+            "faults": [
+                {"kind": "crash", "worker": 3, "at_s": 10.0},
+                {"kind": "boot_failure", "p": 0.1},
+                {"kind": "net_loss", "p": 0.02}
+            ]
+        }"#,
+    )
+    .expect("valid plan");
+    c.bench_function("microfaas_run_340_jobs_faulted", |b| {
+        b.iter(|| {
+            let mut config = MicroFaasConfig::paper_prototype(mix.clone(), 1);
+            config.faults = FaultsConfig::with_plan(plan.clone());
+            run_microfaas(black_box(&config))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_cluster_runs,
+    bench_faulted_run
+);
 criterion_main!(benches);

@@ -23,6 +23,7 @@ fn config(per_second: f64, scheduler: SchedulerPolicy) -> OpenLoopConfig {
         scheduler,
         jitter: Jitter::default_run_to_run(),
         functions: FunctionId::ALL.to_vec(),
+        faults: microfaas::FaultsConfig::none(),
     }
 }
 

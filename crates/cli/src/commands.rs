@@ -5,14 +5,16 @@ use std::path::Path;
 use microfaas::config::WorkloadMix;
 use microfaas::conventional::{run_conventional_with, ConventionalConfig};
 use microfaas::experiment::{
-    compare_suites, compare_suites_metered, energy_proportionality, microfaas_reference, vm_sweep,
+    compare_suites, compare_suites_faulted, compare_suites_metered, energy_proportionality,
+    microfaas_reference, vm_sweep,
 };
 use microfaas::micro::{run_microfaas_with, MicroFaasConfig};
 use microfaas::openloop::{run_open_loop, ArrivalProcess, OpenLoopConfig, SchedulerPolicy};
 use microfaas::timeline::Timeline;
-use microfaas::Jitter;
+use microfaas::{FaultsConfig, Jitter};
 use microfaas_hw::boot::{BootPlatform, BootProfile};
 use microfaas_hw::reliability::{simulate_fleet, FleetSpec};
+use microfaas_sim::faults::FaultPlan;
 use microfaas_sim::{MetricsRegistry, Observer, Rng, SimDuration, TraceBuffer};
 use microfaas_tco::{savings_percent, ClusterSpec, Conditions, CostModel};
 use microfaas_workloads::suite::{run_function, FunctionId, ServiceBackends};
@@ -44,6 +46,7 @@ pub fn dispatch(args: &Args) -> Result<(), ParseArgsError> {
         "timeline" => timeline(args),
         "scale" => scale(args),
         "trace" => trace(args),
+        "faults" => faults(args),
         other => Err(ParseArgsError(format!(
             "unknown subcommand '{other}'\n\n{}",
             usage()
@@ -61,6 +64,7 @@ SUBCOMMANDS
   compare          run the full suite on both clusters (Fig. 3 + headline)
                      --invocations N (default 100)  --seed S  --csv PATH
                      --metrics-out PATH (Prometheus text exposition)
+                     --faults PATH (JSON fault plan applied to both clusters)
   boot             worker-OS boot-time progression (Fig. 1)
                      --csv PATH
   sweep            conventional-cluster VM sweep (Fig. 4)
@@ -87,6 +91,14 @@ SUBCOMMANDS
                      --out PATH (JSON-lines trace)
                      --metrics-out PATH (Prometheus text exposition)
                      --csv PATH (flattened metrics as metric,value rows)
+  faults           run a cluster under an injected fault plan
+                     --plan PATH (default examples/faults_crash.json)
+                     --cluster micro|conventional (default micro)
+                     --invocations N (default 25)  --seed S
+                     --width N (timeline columns, default 72)
+                     --out PATH (JSON-lines trace)
+                     --metrics-out PATH (Prometheus text exposition)
+                     --csv PATH (flattened metrics as metric,value rows)
   help             this text"
 }
 
@@ -106,12 +118,26 @@ fn write_text(path: &str, text: &str) -> Result<(), ParseArgsError> {
     Ok(())
 }
 
+fn load_plan(path: &str) -> Result<FaultPlan, ParseArgsError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ParseArgsError(format!("cannot read '{path}': {e}")))?;
+    FaultPlan::from_json(&text).map_err(|e| ParseArgsError(format!("'{path}': {e}")))
+}
+
 fn compare(args: &Args) -> Result<(), ParseArgsError> {
-    args.expect_only(&["invocations", "seed", "csv", "metrics-out"])?;
+    args.expect_only(&["invocations", "seed", "csv", "metrics-out", "faults"])?;
     let invocations = args.get_or("invocations", 100u32)?;
     let seed = args.get_or("seed", 2022u64)?;
+    let plan = args.get_str("faults").map(load_plan).transpose()?;
     let mut metrics = MetricsRegistry::new();
-    let cmp = if args.get_str("metrics-out").is_some() {
+    let cmp = if let Some(plan) = &plan {
+        compare_suites_faulted(
+            invocations,
+            seed,
+            &FaultsConfig::with_plan(plan.clone()),
+            &mut metrics,
+        )
+    } else if args.get_str("metrics-out").is_some() {
         compare_suites_metered(invocations, seed, &mut metrics)
     } else {
         compare_suites(invocations, seed)
@@ -150,6 +176,20 @@ fn compare(args: &Args) -> Result<(), ParseArgsError> {
         "efficiency gain: {:.2}x (paper: 5.6x)",
         cmp.efficiency_gain()
     );
+    // Only a non-empty plan gets the extra lines, so a run with an
+    // empty plan prints byte-identically to a fault-free compare.
+    if plan.as_ref().is_some_and(|p| !p.is_empty()) {
+        for run in [&cmp.micro, &cmp.conventional] {
+            println!(
+                "faults [{}]: {} injected, {} requeued, {} retries, {} dropped",
+                run.label,
+                run.faults.injected,
+                run.faults.requeued,
+                run.faults.retries,
+                run.dropped.len()
+            );
+        }
+    }
     if let Some(path) = args.get_str("metrics-out") {
         write_text(path, &metrics.render_prometheus())?;
     }
@@ -294,6 +334,7 @@ fn openloop(args: &Args) -> Result<(), ParseArgsError> {
         scheduler,
         jitter: Jitter::default_run_to_run(),
         functions: FunctionId::ALL.to_vec(),
+        faults: FaultsConfig::none(),
     };
     let run = run_open_loop(&config);
     println!("completed:        {}", run.completed);
@@ -439,6 +480,81 @@ fn trace(args: &Args) -> Result<(), ParseArgsError> {
             )))
         }
     }
+    println!("{run}");
+
+    if let Some(path) = args.get_str("out") {
+        write_text(path, &buffer.to_json_lines())?;
+    }
+    if let Some(path) = args.get_str("metrics-out") {
+        write_text(path, &metrics.render_prometheus())?;
+    }
+    let mut csv = Csv::new(&["metric", "value"]);
+    for (name, value) in metrics.flatten() {
+        csv.row_display(&[&name, &value]);
+    }
+    maybe_csv(args, &csv)
+}
+
+fn faults(args: &Args) -> Result<(), ParseArgsError> {
+    args.expect_only(&[
+        "plan",
+        "cluster",
+        "invocations",
+        "seed",
+        "width",
+        "out",
+        "metrics-out",
+        "csv",
+    ])?;
+    let path = args.get_str("plan").unwrap_or("examples/faults_crash.json");
+    let plan = load_plan(path)?;
+    let invocations = args.get_or("invocations", 25u32)?;
+    let seed = args.get_or("seed", 2022u64)?;
+    let width = args.get_or("width", 72usize)?;
+    if width == 0 {
+        return Err(ParseArgsError("--width must be positive".to_string()));
+    }
+    let mix = evaluation_mix(invocations);
+    let submitted = mix.total_jobs();
+    let mut buffer = TraceBuffer::new(1_048_576);
+    let mut metrics = MetricsRegistry::new();
+    let cluster = args.get_str("cluster").unwrap_or("micro");
+    let run = {
+        let mut observer = Observer::full(&mut buffer, &mut metrics);
+        match cluster {
+            "micro" => {
+                let mut config = MicroFaasConfig::paper_prototype(mix, seed);
+                config.faults = FaultsConfig::with_plan(plan);
+                run_microfaas_with(&config, &mut observer)
+            }
+            "conventional" => {
+                let mut config = ConventionalConfig::paper_baseline(mix, seed);
+                config.faults = FaultsConfig::with_plan(plan);
+                run_conventional_with(&config, &mut observer)
+            }
+            other => {
+                return Err(ParseArgsError(format!(
+                    "unknown cluster '{other}' (micro | conventional)"
+                )))
+            }
+        }
+    };
+
+    println!("fault plan: {path}");
+    println!("faults injected:   {}", run.faults.injected);
+    println!("jobs requeued:     {}", run.faults.requeued);
+    println!("retries scheduled: {}", run.faults.retries);
+    println!("timed out:         {}", run.timed_out());
+    println!("shed:              {}", run.shed());
+    println!("failed:            {}", run.failed());
+    println!(
+        "accounted:         {} of {} submitted",
+        run.jobs_accounted(),
+        submitted
+    );
+    let timeline = Timeline::from_trace(buffer.iter(), run.workers);
+    println!("\ntimeline (`#` busy, `x` crashed, `.` not executing):");
+    print!("{}", timeline.render(width));
     println!("{run}");
 
     if let Some(path) = args.get_str("out") {
@@ -601,6 +717,86 @@ mod tests {
         assert!(exposition.contains("micro_jobs_completed_total 34"));
         assert!(exposition.contains("conv_jobs_completed_total 34"));
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// The checked-in example plan, resolved from the crate dir so the
+    /// test passes regardless of the runner's working directory.
+    const EXAMPLE_PLAN: &str = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/faults_crash.json"
+    );
+
+    #[test]
+    fn faults_validates_flags() {
+        assert!(run(&["faults", "--plan", "/nonexistent/plan.json"]).is_err());
+        assert!(run(&["faults", "--plan", EXAMPLE_PLAN, "--cluster", "mystery"]).is_err());
+        assert!(run(&["faults", "--plan", EXAMPLE_PLAN, "--width", "0"]).is_err());
+    }
+
+    #[test]
+    fn faults_runs_the_checked_in_plan_on_both_clusters() {
+        run(&[
+            "faults",
+            "--plan",
+            EXAMPLE_PLAN,
+            "--invocations",
+            "2",
+            "--seed",
+            "7",
+        ])
+        .expect("micro runs");
+        run(&[
+            "faults",
+            "--plan",
+            EXAMPLE_PLAN,
+            "--cluster",
+            "conventional",
+            "--invocations",
+            "2",
+            "--seed",
+            "7",
+        ])
+        .expect("conv runs");
+    }
+
+    #[test]
+    fn faults_exports_metrics_with_nonzero_injection_count() {
+        let path = std::env::temp_dir().join("microfaas_cli_test_faults.prom");
+        let _ = std::fs::remove_file(&path);
+        run(&[
+            "faults",
+            "--plan",
+            EXAMPLE_PLAN,
+            "--invocations",
+            "2",
+            "--seed",
+            "7",
+            "--metrics-out",
+            path.to_str().expect("utf-8 temp path"),
+        ])
+        .expect("runs");
+        let exposition = std::fs::read_to_string(&path).expect("metrics written");
+        assert!(exposition.contains("micro_faults_injected_total"));
+        assert!(
+            !exposition.contains("micro_faults_injected_total 0"),
+            "the scheduled crash must fire"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compare_accepts_a_fault_plan() {
+        run(&[
+            "compare",
+            "--invocations",
+            "2",
+            "--seed",
+            "5",
+            "--faults",
+            EXAMPLE_PLAN,
+        ])
+        .expect("runs");
+        assert!(run(&["compare", "--faults", "/nonexistent/plan.json"]).is_err());
     }
 
     #[test]

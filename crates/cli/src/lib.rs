@@ -18,3 +18,10 @@ pub mod csv;
 #[cfg(doctest)]
 #[doc = include_str!("../../../docs/OBSERVABILITY.md")]
 mod observability_docs {}
+
+/// Compiles and runs every Rust sample in `docs/FAILURE_MODEL.md` as a
+/// doctest, so the failure-model handbook can never drift from the
+/// fault-injection and recovery APIs it documents.
+#[cfg(doctest)]
+#[doc = include_str!("../../../docs/FAILURE_MODEL.md")]
+mod failure_model_docs {}

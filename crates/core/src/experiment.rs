@@ -10,6 +10,7 @@ use crate::conventional::{
     run_conventional, run_conventional_with, vm_cluster_power, ConventionalConfig,
 };
 use crate::micro::{run_microfaas, run_microfaas_with, sbc_cluster_power, MicroFaasConfig};
+use crate::recovery::FaultsConfig;
 use crate::report::ClusterRun;
 
 /// One row of the Fig. 3 runtime-breakdown chart.
@@ -116,6 +117,28 @@ pub fn compare_suites_metered(
         &ConventionalConfig::paper_baseline(mix, seed),
         &mut Observer::metered(metrics),
     );
+    breakdown(micro, conventional)
+}
+
+/// [`compare_suites_metered`] under a fault plan: both clusters run the
+/// same `faults` configuration (`microfaas compare --faults plan.json`).
+///
+/// With [`FaultsConfig::none`] this is bit-identical to
+/// [`compare_suites_metered`] at the same arguments — the fault hooks
+/// schedule nothing and draw nothing from an empty plan.
+pub fn compare_suites_faulted(
+    invocations_per_function: u32,
+    seed: u64,
+    faults: &FaultsConfig,
+    metrics: &mut MetricsRegistry,
+) -> SuiteComparison {
+    let mix = WorkloadMix::new(FunctionId::ALL.to_vec(), invocations_per_function);
+    let mut micro_config = MicroFaasConfig::paper_prototype(mix.clone(), seed);
+    micro_config.faults = faults.clone();
+    let mut conv_config = ConventionalConfig::paper_baseline(mix, seed);
+    conv_config.faults = faults.clone();
+    let micro = run_microfaas_with(&micro_config, &mut Observer::metered(metrics));
+    let conventional = run_conventional_with(&conv_config, &mut Observer::metered(metrics));
     breakdown(micro, conventional)
 }
 

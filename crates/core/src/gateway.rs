@@ -150,6 +150,7 @@ impl HttpResponse {
             404 => "Not Found",
             405 => "Method Not Allowed",
             500 => "Internal Server Error",
+            504 => "Gateway Timeout",
             _ => "Unknown",
         };
         let mut out = format!(
@@ -285,6 +286,13 @@ impl Gateway {
                             self.invocations += 1;
                             self.bump("gateway_invocations_total");
                             HttpResponse::new(200, value.to_string(), "text/plain")
+                        }
+                        // Fuel exhaustion is the interpreter-level
+                        // invocation timeout, so it maps to 504 like any
+                        // upstream that never answered, not to a 500.
+                        Err(e @ microfaas_workloads::interp::ScriptError::OutOfFuel) => {
+                            self.bump("gateway_timeouts_total");
+                            HttpResponse::new(504, e.to_string(), "text/plain")
                         }
                         Err(e) => HttpResponse::new(500, e.to_string(), "text/plain"),
                     };
@@ -446,11 +454,15 @@ mod tests {
         );
         assert_eq!(gw.handle(deploy.as_bytes()).status, 200);
         let response = gw.handle(b"POST /invoke/spin HTTP/1.1\r\n\r\n");
-        assert_eq!(response.status, 500);
+        assert_eq!(response.status, 504, "a runaway invocation times out");
         assert!(String::from_utf8(response.body)
             .expect("utf-8")
             .contains("fuel"));
         assert_eq!(gw.invocations(), 0);
+        let metrics = gw.handle(b"GET /metrics HTTP/1.1\r\n\r\n");
+        let text = String::from_utf8(metrics.body).expect("utf-8");
+        assert!(text.contains("gateway_timeouts_total 1"));
+        assert!(text.contains("gateway_responses_total{status=\"504\"} 1"));
     }
 
     #[test]

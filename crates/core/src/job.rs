@@ -121,6 +121,53 @@ impl Dispatcher {
     pub fn remaining(&self) -> usize {
         self.shared.len() + self.per_worker.iter().map(|q| q.len()).sum::<usize>()
     }
+
+    /// Puts a recovered job back at the *head* of worker `w`'s queue so
+    /// a retried invocation runs before fresh arrivals.
+    pub fn requeue_front(&mut self, w: usize, job: Job) {
+        match self.mode {
+            crate::config::Assignment::WorkConserving => self.shared.push_front(job),
+            crate::config::Assignment::RandomStatic => self.per_worker[w].push_front(job),
+        }
+    }
+
+    /// Appends a job to worker `w`'s queue (redistribution target).
+    pub fn enqueue_back(&mut self, w: usize, job: Job) {
+        match self.mode {
+            crate::config::Assignment::WorkConserving => self.shared.push_back(job),
+            crate::config::Assignment::RandomStatic => self.per_worker[w].push_back(job),
+        }
+    }
+
+    /// Removes every queued job matching `drop`, returning them in
+    /// deterministic order (shared queue first, then per-worker queues
+    /// by index). Used for graceful degradation under lost capacity.
+    pub fn shed_where(&mut self, mut drop: impl FnMut(&Job) -> bool) -> Vec<Job> {
+        let mut shed = Vec::new();
+        let mut strain = |queue: &mut std::collections::VecDeque<Job>| {
+            let mut kept = std::collections::VecDeque::with_capacity(queue.len());
+            for job in queue.drain(..) {
+                if drop(&job) {
+                    shed.push(job);
+                } else {
+                    kept.push_back(job);
+                }
+            }
+            *queue = kept;
+        };
+        strain(&mut self.shared);
+        for queue in &mut self.per_worker {
+            strain(queue);
+        }
+        shed
+    }
+
+    /// Drains everything statically assigned to a dead worker so the
+    /// orchestrator can redistribute it. The shared (work-conserving)
+    /// queue is untouched: surviving workers already pull from it.
+    pub fn drain_worker(&mut self, w: usize) -> Vec<Job> {
+        self.per_worker[w].drain(..).collect()
+    }
 }
 
 /// Builds the per-function aggregation from raw records.
@@ -152,6 +199,66 @@ mod tests {
             rec(FunctionId::FloatOps, 100, 25).total(),
             SimDuration::from_millis(125)
         );
+    }
+
+    #[test]
+    fn requeue_front_jumps_the_line() {
+        let mut rng = microfaas_sim::Rng::new(1);
+        let jobs: Vec<Job> = (0..4)
+            .map(|id| Job {
+                id,
+                function: FunctionId::FloatOps,
+            })
+            .collect();
+        let mut d = Dispatcher::new(crate::config::Assignment::WorkConserving, 2, jobs, &mut rng);
+        let retried = Job {
+            id: 99,
+            function: FunctionId::CascSha,
+        };
+        d.requeue_front(0, retried);
+        assert_eq!(d.pull(1), Some(retried), "retry runs before fresh work");
+        assert_eq!(d.remaining(), 4);
+    }
+
+    #[test]
+    fn shed_where_keeps_order_of_survivors() {
+        let mut rng = microfaas_sim::Rng::new(2);
+        let jobs: Vec<Job> = (0..6)
+            .map(|id| Job {
+                id,
+                function: if id % 2 == 0 {
+                    FunctionId::MatMul
+                } else {
+                    FunctionId::RedisInsert
+                },
+            })
+            .collect();
+        let mut d = Dispatcher::new(crate::config::Assignment::WorkConserving, 2, jobs, &mut rng);
+        let shed = d.shed_where(|job| job.function == FunctionId::MatMul);
+        assert_eq!(shed.iter().map(|j| j.id).collect::<Vec<_>>(), vec![0, 2, 4]);
+        assert_eq!(d.pull(0).map(|j| j.id), Some(1), "survivors keep order");
+        assert_eq!(d.remaining(), 2);
+    }
+
+    #[test]
+    fn drain_worker_empties_only_the_static_queue() {
+        let mut rng = microfaas_sim::Rng::new(3);
+        let jobs: Vec<Job> = (0..10)
+            .map(|id| Job {
+                id,
+                function: FunctionId::FloatOps,
+            })
+            .collect();
+        let mut d = Dispatcher::new(crate::config::Assignment::RandomStatic, 2, jobs, &mut rng);
+        let before = d.remaining();
+        let drained = d.drain_worker(0);
+        assert!(!drained.is_empty(), "seed 3 assigns worker 0 some jobs");
+        assert_eq!(d.remaining(), before - drained.len());
+        assert!(!d.has_work(0));
+        for job in drained {
+            d.enqueue_back(1, job);
+        }
+        assert_eq!(d.remaining(), before, "redistribution conserves jobs");
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //! * [`conventional`] — the virtualization-based baseline (microVMs on a
 //!   rack server with CPU contention and an idle power floor);
 //! * [`report`] — run results: throughput, energy, per-function stats;
+//! * [`recovery`] — retry/backoff, crash detection, and load-shedding
+//!   policies for injected faults (see `docs/FAILURE_MODEL.md`);
 //! * [`experiment`] — one function per paper figure/table.
 //!
 //! # Examples
@@ -39,7 +41,9 @@ pub mod experiment;
 pub mod gateway;
 pub mod job;
 pub mod micro;
+pub(crate) mod netmap;
 pub mod openloop;
+pub mod recovery;
 pub mod registry;
 pub mod report;
 pub mod timeline;
@@ -48,4 +52,5 @@ pub use config::{Jitter, WorkloadMix};
 pub use conventional::{run_conventional, ConventionalConfig};
 pub use job::{Job, JobRecord};
 pub use micro::{run_microfaas, MicroFaasConfig};
-pub use report::ClusterRun;
+pub use recovery::{FaultsConfig, RetryPolicy};
+pub use report::{ClusterRun, DroppedJob, FaultSummary, Outcome};

@@ -1,12 +1,19 @@
 //! The MicroFaaS cluster simulator: SBC workers driven by the
 //! orchestration plane through GPIO power control, run-to-completion
 //! scheduling, reboots between jobs, and power-gating of idle nodes.
+//!
+//! Fault injection (crashes, boot failures, hangs, lost transfers) and
+//! the recovery policies around it are documented in
+//! `docs/FAILURE_MODEL.md`; with an empty
+//! [`FaultPlan`](microfaas_sim::faults::FaultPlan) the machinery is
+//! inert and runs are bit-identical to a build without it.
 
-use microfaas_energy::EnergyMeter;
+use microfaas_energy::{ChannelId, EnergyMeter};
 use microfaas_hw::gpio::{PowerAction, PowerController};
-use microfaas_hw::sbc::SbcNode;
-use microfaas_net::{LinkSpec, Network, NodeId};
-use microfaas_sim::trace::{Endpoint, Observer, TraceEvent, WorkerState};
+use microfaas_hw::sbc::{SbcNode, SbcState};
+use microfaas_net::LinkSpec;
+use microfaas_sim::faults::FaultKind;
+use microfaas_sim::trace::{Observer, TraceEvent, WorkerState};
 use microfaas_sim::{
     CounterId, EventId, EventQueue, HistogramId, MetricsRegistry, Rng, SimDuration, SimTime,
 };
@@ -15,7 +22,10 @@ use microfaas_workloads::FunctionId;
 
 use crate::config::{Assignment, Jitter, WorkloadMix};
 use crate::job::{Dispatcher, Job, JobRecord};
-use crate::report::ClusterRun;
+use crate::netmap::ClusterNet;
+use crate::recovery::{priority_of, FaultRuntime, FaultsConfig, Priority};
+use crate::registry::FunctionRegistry;
+use crate::report::{ClusterRun, DroppedJob, Outcome};
 
 /// Configuration of a MicroFaaS cluster run.
 #[derive(Debug, Clone)]
@@ -50,8 +60,17 @@ pub struct MicroFaasConfig {
     /// 8-Pi cluster.
     pub service_nic_bits_per_sec: u64,
     /// Kill invocations that run longer than this (platform timeout).
-    /// `None` is the paper's pure run-to-completion model.
+    /// `None` is the paper's pure run-to-completion model. Combined with
+    /// any per-function timeout from [`MicroFaasConfig::registry`]; the
+    /// tighter limit wins.
     pub invocation_timeout: Option<SimDuration>,
+    /// Deployed-function metadata; a function's
+    /// [`crate::registry::FunctionSpec::timeout`] is enforced per
+    /// invocation. The paper suite deploys everything without timeouts.
+    pub registry: FunctionRegistry,
+    /// Fault plan and recovery policies ([`FaultsConfig::none`] keeps
+    /// the run fault-free and bit-identical to earlier builds).
+    pub faults: FaultsConfig,
 }
 
 impl MicroFaasConfig {
@@ -69,6 +88,8 @@ impl MicroFaasConfig {
             assignment: Assignment::WorkConserving,
             service_nic_bits_per_sec: 1_000_000_000,
             invocation_timeout: None,
+            registry: FunctionRegistry::paper_suite(),
+            faults: FaultsConfig::none(),
         }
     }
 }
@@ -85,17 +106,33 @@ enum Event {
     JobDone(usize),
     /// The platform timeout fired; the invocation is killed.
     TimedOut(usize),
+    /// An injected crash takes the node down.
+    Crash(usize),
+    /// The orchestrator's heartbeat notices the crash; recovery begins.
+    Recover(usize),
+    /// The supervision deadline for a hung or transfer-starved
+    /// invocation: kill it, requeue, and reset the worker.
+    Watchdog(usize),
+    /// The sender retries a result transfer the network lost.
+    Retransmit(usize),
+    /// Backoff elapsed; the orchestrator requeues the invocation.
+    Retry(Job),
 }
 
 struct InFlight {
     job: Job,
     started: SimTime,
     exec: SimDuration,
-    /// The next scheduled progress event (ExecDone, then JobDone),
-    /// cancelled if the timeout fires first.
-    pending: EventId,
+    /// The next scheduled progress event (ExecDone, then JobDone, or a
+    /// Retransmit), cancelled if the timeout or a crash fires first.
+    /// `None` while the invocation hangs with only a watchdog armed.
+    pending: Option<EventId>,
     /// The timeout event, cancelled when the job completes in time.
     timeout: Option<EventId>,
+    /// The supervision deadline for hangs / exhausted retransmits.
+    watchdog: Option<EventId>,
+    /// Result transfers attempted so far (0 until ExecDone).
+    transfer_tries: u32,
 }
 
 /// Histogram bucket upper bounds (seconds) shared by the cluster
@@ -112,6 +149,11 @@ struct MicroMetrics {
     jobs_timed_out: CounterId,
     boots: CounterId,
     net_bytes: CounterId,
+    faults_injected: CounterId,
+    jobs_requeued: CounterId,
+    job_retries: CounterId,
+    jobs_shed: CounterId,
+    jobs_failed: CounterId,
     exec_seconds: HistogramId,
     overhead_seconds: HistogramId,
 }
@@ -124,6 +166,11 @@ impl MicroMetrics {
             jobs_timed_out: metrics.counter("micro_jobs_timed_out_total"),
             boots: metrics.counter("micro_worker_boots_total"),
             net_bytes: metrics.counter("micro_net_bytes_total"),
+            faults_injected: metrics.counter("micro_faults_injected_total"),
+            jobs_requeued: metrics.counter("micro_jobs_requeued_total"),
+            job_retries: metrics.counter("micro_job_retries_total"),
+            jobs_shed: metrics.counter("micro_jobs_shed_total"),
+            jobs_failed: metrics.counter("micro_jobs_failed_total"),
             exec_seconds: metrics.histogram("micro_exec_seconds", &EXEC_BUCKETS),
             overhead_seconds: metrics.histogram("micro_overhead_seconds", &OVERHEAD_BUCKETS),
         }
@@ -134,7 +181,8 @@ impl MicroMetrics {
 ///
 /// # Panics
 ///
-/// Panics if `workers` is zero or `crypto_exec_scale` is not in (0, 1].
+/// Panics if `workers` is zero, `crypto_exec_scale` is not in (0, 1],
+/// or the fault plan fails validation.
 ///
 /// # Examples
 ///
@@ -184,334 +232,711 @@ pub fn run_microfaas_with(config: &MicroFaasConfig, observer: &mut Observer<'_>)
         config.crypto_exec_scale > 0.0 && config.crypto_exec_scale <= 1.0,
         "crypto accelerator can only speed execution up"
     );
+    MicroSim::new(config, observer).run()
+}
 
-    let mut rng = Rng::new(config.seed);
-    let mut queue: EventQueue<Event> = EventQueue::new();
-    let mut gpio = PowerController::new(config.workers);
-    let mut meter = EnergyMeter::new(SimTime::ZERO);
+/// All mutable state of one MicroFaaS run, so the event handlers can be
+/// plain methods instead of functions threading a dozen arguments.
+struct MicroSim<'a, 'b> {
+    config: &'a MicroFaasConfig,
+    observer: &'a mut Observer<'b>,
+    rng: Rng,
+    queue: EventQueue<Event>,
+    gpio: PowerController,
+    meter: EnergyMeter,
+    cnet: ClusterNet,
+    nodes: Vec<SbcNode>,
+    channels: Vec<ChannelId>,
+    dispatcher: Dispatcher,
+    in_flight: Vec<Option<InFlight>>,
+    /// The pending PowerEffective/BootDone event per worker, cancelled
+    /// when a crash interrupts the boot.
+    boot_pending: Vec<Option<EventId>>,
+    records: Vec<JobRecord>,
+    last_completion: SimTime,
+    fr: FaultRuntime,
+    handles: Option<MicroMetrics>,
+}
 
-    // Network topology: workers on their (possibly upgraded) NICs; the
-    // orchestrator and the four service hosts on GigE so each cluster's
-    // own worker NIC is the bottleneck.
-    let worker_link = LinkSpec {
-        bits_per_sec: config.worker_nic_bits_per_sec,
-        latency: LinkSpec::fast_ethernet().latency,
-    };
-    let mut net = Network::new(LinkSpec::gigabit());
-    let worker_nodes: Vec<NodeId> = (0..config.workers)
-        .map(|w| net.add_node(format!("sbc-{w}"), worker_link))
-        .collect();
-    let service_link = LinkSpec {
-        bits_per_sec: config.service_nic_bits_per_sec,
-        latency: LinkSpec::gigabit().latency,
-    };
-    let orchestrator = net.add_node("orchestrator", LinkSpec::gigabit());
-    let kv_node = net.add_node("kvstore", service_link);
-    let sql_node = net.add_node("sqldb", service_link);
-    let cos_node = net.add_node("objstore", service_link);
-    let mq_node = net.add_node("mqueue", service_link);
+impl<'a, 'b> MicroSim<'a, 'b> {
+    fn new(config: &'a MicroFaasConfig, observer: &'a mut Observer<'b>) -> Self {
+        let mut rng = Rng::new(config.seed);
+        let mut meter = EnergyMeter::new(SimTime::ZERO);
 
-    let peer_of = |function: FunctionId| match function {
-        FunctionId::RedisInsert | FunctionId::RedisUpdate => kv_node,
-        FunctionId::SqlSelect | FunctionId::SqlUpdate => sql_node,
-        FunctionId::CosGet | FunctionId::CosPut => cos_node,
-        FunctionId::MqProduce | FunctionId::MqConsume => mq_node,
-        _ => orchestrator,
-    };
-    let endpoint_of = |function: FunctionId| match function {
-        FunctionId::RedisInsert | FunctionId::RedisUpdate => Endpoint::Service("kvstore"),
-        FunctionId::SqlSelect | FunctionId::SqlUpdate => Endpoint::Service("sqldb"),
-        FunctionId::CosGet | FunctionId::CosPut => Endpoint::Service("objstore"),
-        FunctionId::MqProduce | FunctionId::MqConsume => Endpoint::Service("mqueue"),
-        _ => Endpoint::Orchestrator,
-    };
+        // Network topology: workers on their (possibly upgraded) NICs;
+        // the orchestrator and the four service hosts on GigE so each
+        // cluster's own worker NIC is the bottleneck.
+        let worker_link = LinkSpec {
+            bits_per_sec: config.worker_nic_bits_per_sec,
+            latency: LinkSpec::fast_ethernet().latency,
+        };
+        let service_link = LinkSpec {
+            bits_per_sec: config.service_nic_bits_per_sec,
+            latency: LinkSpec::gigabit().latency,
+        };
+        let cnet = ClusterNet::new("sbc-", config.workers, worker_link, service_link);
 
-    let mut nodes: Vec<SbcNode> = (0..config.workers)
-        .map(|w| SbcNode::new(w, SimTime::ZERO))
-        .collect();
-    let channels: Vec<_> = (0..config.workers)
-        .map(|w| meter.add_channel(format!("sbc-{w}")))
-        .collect();
+        let nodes: Vec<SbcNode> = (0..config.workers)
+            .map(|w| SbcNode::new(w, SimTime::ZERO))
+            .collect();
+        let channels: Vec<ChannelId> = (0..config.workers)
+            .map(|w| meter.add_channel(format!("sbc-{w}")))
+            .collect();
 
-    // The orchestration plane queues every invocation up front
-    // (paper §IV-D), under the configured assignment policy.
-    let jobs = config.mix.jobs(&mut rng);
-    let handles = observer.metrics().map(MicroMetrics::register);
-    if observer.is_tracing() {
-        for job in &jobs {
-            observer.emit(
-                SimTime::ZERO,
-                TraceEvent::JobEnqueued {
+        // The orchestration plane queues every invocation up front
+        // (paper §IV-D), under the configured assignment policy.
+        let jobs = config.mix.jobs(&mut rng);
+        let handles = observer.metrics().map(MicroMetrics::register);
+        if observer.is_tracing() {
+            for job in &jobs {
+                observer.emit(
+                    SimTime::ZERO,
+                    TraceEvent::JobEnqueued {
+                        job: job.id,
+                        function: job.function.name(),
+                    },
+                );
+            }
+        }
+        if let (Some(metrics), Some(h)) = (observer.metrics(), handles.as_ref()) {
+            metrics.add(h.jobs_enqueued, jobs.len() as u64);
+        }
+        let fr = FaultRuntime::new(&config.faults.plan, config.workers, jobs.len());
+        let dispatcher = Dispatcher::new(config.assignment, config.workers, jobs, &mut rng);
+
+        MicroSim {
+            config,
+            observer,
+            rng,
+            queue: EventQueue::new(),
+            gpio: PowerController::new(config.workers),
+            meter,
+            cnet,
+            nodes,
+            channels,
+            dispatcher,
+            in_flight: (0..config.workers).map(|_| None).collect(),
+            boot_pending: vec![None; config.workers],
+            records: Vec::with_capacity(config.mix.total_jobs() as usize),
+            last_completion: SimTime::ZERO,
+            fr,
+            handles,
+        }
+    }
+
+    fn run(mut self) -> ClusterRun {
+        // Planned crashes are ordinary events; an empty plan schedules
+        // nothing, keeping the event sequence bit-identical. Crashes
+        // aimed past the fleet (a plan written for a larger cluster)
+        // are no-ops.
+        for (at, w) in self.fr.injector.scheduled_crashes().to_vec() {
+            if w < self.config.workers {
+                self.queue.schedule(at, Event::Crash(w));
+            }
+        }
+
+        // Power on every worker that has work.
+        for w in 0..self.config.workers {
+            if self.dispatcher.has_work(w) {
+                let effective = self.gpio.actuate(SimTime::ZERO, w, PowerAction::On);
+                self.boot_pending[w] =
+                    Some(self.queue.schedule(effective, Event::PowerEffective(w)));
+            }
+        }
+
+        while let Some((now, event)) = self.queue.pop() {
+            match event {
+                Event::PowerEffective(w) => self.on_power_effective(w, now),
+                Event::BootDone(w) => self.on_boot_done(w, now),
+                Event::ExecDone(w) => self.on_exec_done(w, now),
+                Event::JobDone(w) => self.on_job_done(w, now),
+                Event::TimedOut(w) => self.on_timed_out(w, now),
+                Event::Crash(w) => self.on_crash(w, now),
+                Event::Recover(w) => self.on_recover(w, now),
+                Event::Watchdog(w) => self.on_watchdog(w, now),
+                Event::Retransmit(w) => self.on_retransmit(w, now),
+                Event::Retry(job) => self.on_retry(job, now),
+            }
+        }
+
+        // With every worker dead, queued work has nowhere to go: account
+        // each stranded job so completions + drops always equal
+        // submissions. Fault-free runs drain their queues and skip this.
+        let at_end = self.queue.now();
+        for w in 0..self.config.workers {
+            while let Some(job) = self.dispatcher.pull(w) {
+                self.drop_failed(job, at_end);
+            }
+            if let Some(flight) = self.in_flight[w].take() {
+                self.drop_failed(flight.job, at_end);
+            }
+        }
+
+        // A worker that booted to an already-drained queue may touch the
+        // meter after the final completion; report at the later instant.
+        let end = self.queue.now().max(self.last_completion);
+        let energy = self.meter.report(end, self.records.len() as u64);
+        let run = ClusterRun {
+            label: format!("MicroFaaS ({} SBCs)", self.config.workers),
+            workers: self.config.workers,
+            energy,
+            makespan: self.last_completion.duration_since(SimTime::ZERO),
+            records: std::mem::take(&mut self.records),
+            dropped: std::mem::take(&mut self.fr.dropped),
+            faults: self.fr.summary,
+        };
+        // Headline gauges are computed from the finished run itself, so
+        // the exposition agrees bit-for-bit with the `ClusterRun`
+        // accessors.
+        if let Some(metrics) = self.observer.metrics() {
+            self.meter.publish_metrics(metrics, "micro", end);
+            publish_run_gauges(metrics, "micro", &run);
+        }
+        run
+    }
+
+    /// Meters `watts` and emits the state-change + power-sample pair.
+    fn mark(&mut self, now: SimTime, w: usize, state: WorkerState, watts: f64) {
+        self.meter.set_power(now, self.channels[w], watts);
+        self.observer
+            .emit(now, TraceEvent::WorkerStateChange { worker: w, state });
+        self.observer
+            .emit(now, TraceEvent::PowerSample { worker: w, watts });
+    }
+
+    fn with_metrics(&mut self, apply: impl FnOnce(&mut MetricsRegistry, &MicroMetrics)) {
+        if let (Some(metrics), Some(h)) = (self.observer.metrics(), self.handles.as_ref()) {
+            apply(metrics, h);
+        }
+    }
+
+    fn fault_injected(&mut self, now: SimTime, w: usize, kind: FaultKind) {
+        self.fr.summary.injected += 1;
+        self.observer.emit(
+            now,
+            TraceEvent::FaultInjected {
+                worker: w,
+                fault: kind.label(),
+            },
+        );
+        self.with_metrics(|m, h| m.inc(h.faults_injected));
+    }
+
+    fn drop_failed(&mut self, job: Job, now: SimTime) {
+        let attempts = self.fr.attempts[job.id as usize];
+        self.observer.emit(
+            now,
+            TraceEvent::JobFailed {
+                job: job.id,
+                function: job.function.name(),
+                attempts,
+            },
+        );
+        self.fr.dropped.push(DroppedJob {
+            job,
+            outcome: Outcome::Failed,
+            attempts,
+        });
+        self.with_metrics(|m, h| m.inc(h.jobs_failed));
+    }
+
+    /// The effective kill deadline for one invocation: the tighter of
+    /// the platform timeout and the function's deployed timeout.
+    fn timeout_limit(&self, function: FunctionId) -> Option<SimDuration> {
+        let deployed = self
+            .config
+            .registry
+            .resolve(function.name())
+            .ok()
+            .and_then(|spec| spec.timeout);
+        match (self.config.invocation_timeout, deployed) {
+            (Some(platform), Some(per_function)) => Some(platform.min(per_function)),
+            (platform, per_function) => platform.or(per_function),
+        }
+    }
+
+    fn on_power_effective(&mut self, w: usize, now: SimTime) {
+        self.boot_pending[w] = None;
+        self.nodes[w]
+            .power_on(now)
+            .expect("scheduled only while off");
+        let watts = self.nodes[w].power().value();
+        self.mark(now, w, WorkerState::Booting, watts);
+        self.with_metrics(|m, h| m.inc(h.boots));
+        self.boot_pending[w] = Some(
+            self.queue
+                .schedule(now + self.nodes[w].boot_duration(), Event::BootDone(w)),
+        );
+    }
+
+    fn on_boot_done(&mut self, w: usize, now: SimTime) {
+        self.boot_pending[w] = None;
+        if self.fr.injector.boot_fails(w) {
+            self.fault_injected(now, w, FaultKind::BootFailure);
+            self.fr.boot_failures[w] += 1;
+            if self.fr.boot_failures[w] > self.config.faults.max_boot_retries {
+                // The node never comes up: declare it dead and move its
+                // statically assigned queue to the survivors.
+                self.fr.dead[w] = true;
+                self.nodes[w].crash(now).expect("node was booting");
+                self.mark(now, w, WorkerState::Crashed, 0.0);
+                self.redistribute(w, now);
+                self.maybe_shed(now);
+            } else {
+                // The boot wedged; the orchestrator power-cycles and the
+                // node spends another boot window at boot power.
+                self.with_metrics(|m, h| m.inc(h.boots));
+                self.boot_pending[w] = Some(
+                    self.queue
+                        .schedule(now + self.nodes[w].boot_duration(), Event::BootDone(w)),
+                );
+            }
+            return;
+        }
+        self.fr.boot_failures[w] = 0;
+        self.nodes[w]
+            .boot_complete(now)
+            .expect("scheduled only while booting");
+        let watts = self.nodes[w].power().value();
+        self.mark(now, w, WorkerState::Idle, watts);
+        self.start_next_job(w, now);
+    }
+
+    fn on_exec_done(&mut self, w: usize, now: SimTime) {
+        let job = self.in_flight[w].as_ref().expect("job in flight").job;
+        let st = service_time(job.function);
+        let fixed = st
+            .fixed_overhead(WorkerPlatform::ArmSbc)
+            .mul_f64(self.config.jitter.factor(&mut self.rng));
+        // The byte-proportional part travels the simulated switch, where
+        // port contention can stretch it beyond nominal.
+        self.attempt_transfer(w, now + fixed);
+    }
+
+    /// Pushes the result transfer through the switch; an injected loss
+    /// consumes the wire, then either retransmits or hands the job to
+    /// the watchdog once the retry budget is spent.
+    fn attempt_transfer(&mut self, w: usize, start: SimTime) {
+        let job = self.in_flight[w].as_ref().expect("job in flight").job;
+        let bytes = service_time(job.function).transfer_bytes();
+        let lost = self.fr.injector.transfer_lost(w);
+        if lost {
+            self.fault_injected(start, w, FaultKind::NetLoss);
+        }
+        let (delivered, src, dst) = self.cnet.transfer(start, w, job.function, bytes, lost);
+        self.observer
+            .emit(start, TraceEvent::NetTransfer { src, dst, bytes });
+        self.with_metrics(|m, h| m.add(h.net_bytes, bytes));
+        if !lost {
+            let pending = self.queue.schedule(delivered, Event::JobDone(w));
+            self.in_flight[w].as_mut().expect("job in flight").pending = Some(pending);
+            return;
+        }
+        let tries = {
+            let flight = self.in_flight[w].as_mut().expect("job in flight");
+            flight.transfer_tries += 1;
+            flight.transfer_tries
+        };
+        if tries <= self.config.faults.retry.max_attempts {
+            let eid = self.queue.schedule(
+                delivered + self.config.faults.retransmit_delay,
+                Event::Retransmit(w),
+            );
+            self.in_flight[w].as_mut().expect("job in flight").pending = Some(eid);
+        } else {
+            // Every copy vanished: when the last one would have arrived,
+            // the orchestrator's supervision gives up on this worker.
+            let eid = self.queue.schedule(delivered, Event::Watchdog(w));
+            let flight = self.in_flight[w].as_mut().expect("job in flight");
+            flight.pending = None;
+            flight.watchdog = Some(eid);
+        }
+    }
+
+    fn on_retransmit(&mut self, w: usize, now: SimTime) {
+        self.attempt_transfer(w, now);
+    }
+
+    fn on_job_done(&mut self, w: usize, now: SimTime) {
+        let flight = self.in_flight[w].take().expect("job in flight");
+        if let Some(timeout_event) = flight.timeout {
+            self.queue.cancel(timeout_event);
+        }
+        let overhead = now.duration_since(flight.started + flight.exec);
+        self.observer.emit(
+            now,
+            TraceEvent::JobCompleted {
+                job: flight.job.id,
+                function: flight.job.function.name(),
+                worker: w,
+                exec: flight.exec,
+                overhead,
+            },
+        );
+        self.with_metrics(|m, h| {
+            m.inc(h.jobs_completed);
+            m.observe(h.exec_seconds, flight.exec.as_secs_f64());
+            m.observe(h.overhead_seconds, overhead.as_secs_f64());
+        });
+        self.records.push(JobRecord {
+            job: flight.job,
+            worker: w,
+            started: flight.started,
+            exec: flight.exec,
+            overhead,
+        });
+        self.last_completion = now;
+        self.release_worker(w, now, false);
+    }
+
+    fn on_timed_out(&mut self, w: usize, now: SimTime) {
+        let flight = self.in_flight[w].take().expect("job in flight");
+        if let Some(pending) = flight.pending {
+            self.queue.cancel(pending);
+        }
+        if let Some(watchdog) = flight.watchdog {
+            self.queue.cancel(watchdog);
+        }
+        self.fr.dropped.push(DroppedJob {
+            job: flight.job,
+            outcome: Outcome::TimedOut,
+            attempts: self.fr.attempts[flight.job.id as usize],
+        });
+        self.observer.emit(
+            now,
+            TraceEvent::JobTimedOut {
+                job: flight.job.id,
+                function: flight.job.function.name(),
+                worker: w,
+            },
+        );
+        self.with_metrics(|m, h| m.inc(h.jobs_timed_out));
+        // The worker is reset exactly as after a normal job: the reboot
+        // restores the clean state the next tenant needs.
+        self.release_worker(w, now, true);
+    }
+
+    fn on_crash(&mut self, w: usize, now: SimTime) {
+        if self.fr.dead[w] || matches!(self.nodes[w].state(), SbcState::Off | SbcState::Crashed) {
+            // Nothing is running to crash; the planned fault fizzles.
+            return;
+        }
+        self.fault_injected(now, w, FaultKind::Crash);
+        if let Some(eid) = self.boot_pending[w].take() {
+            self.queue.cancel(eid);
+        }
+        if let Some(flight) = self.in_flight[w].take() {
+            if let Some(pending) = flight.pending {
+                self.queue.cancel(pending);
+            }
+            if let Some(timeout) = flight.timeout {
+                self.queue.cancel(timeout);
+            }
+            if let Some(watchdog) = flight.watchdog {
+                self.queue.cancel(watchdog);
+            }
+            self.requeue(flight.job, w, now);
+        }
+        self.nodes[w].crash(now).expect("node is powered");
+        self.mark(now, w, WorkerState::Crashed, 0.0);
+        self.queue
+            .schedule(now + self.config.faults.detection_delay, Event::Recover(w));
+        self.maybe_shed(now);
+    }
+
+    fn on_recover(&mut self, w: usize, now: SimTime) {
+        if self.fr.dead[w] || self.nodes[w].state() != SbcState::Crashed {
+            return;
+        }
+        self.nodes[w].recover(now).expect("node crashed");
+        let watts = self.nodes[w].power().value();
+        self.mark(now, w, WorkerState::Booting, watts);
+        self.with_metrics(|m, h| m.inc(h.boots));
+        self.boot_pending[w] = Some(
+            self.queue
+                .schedule(now + self.nodes[w].boot_duration(), Event::BootDone(w)),
+        );
+    }
+
+    fn on_watchdog(&mut self, w: usize, now: SimTime) {
+        let Some(flight) = self.in_flight[w].take() else {
+            return;
+        };
+        if let Some(pending) = flight.pending {
+            self.queue.cancel(pending);
+        }
+        if let Some(timeout) = flight.timeout {
+            self.queue.cancel(timeout);
+        }
+        self.requeue(flight.job, w, now);
+        self.release_worker(w, now, true);
+    }
+
+    fn on_retry(&mut self, job: Job, now: SimTime) {
+        let Some(target) = (0..self.config.workers).find(|&w| !self.fr.dead[w]) else {
+            self.drop_failed(job, now);
+            return;
+        };
+        self.dispatcher.requeue_front(target, job);
+        self.wake_if_needed(now);
+    }
+
+    /// Pulls a job back off a failed worker and schedules its retry (or
+    /// declares it failed once the budget is spent).
+    fn requeue(&mut self, job: Job, w: usize, now: SimTime) {
+        self.fr.summary.requeued += 1;
+        self.observer.emit(
+            now,
+            TraceEvent::JobRequeued {
+                job: job.id,
+                function: job.function.name(),
+                worker: w,
+            },
+        );
+        self.with_metrics(|m, h| m.inc(h.jobs_requeued));
+        let attempt = self.fr.next_attempt(job);
+        if attempt <= self.config.faults.retry.max_attempts {
+            let delay = self
+                .config
+                .faults
+                .retry
+                .backoff(attempt, self.fr.injector.jitter01());
+            self.fr.summary.retries += 1;
+            self.observer.emit(
+                now,
+                TraceEvent::JobRetryScheduled {
+                    job: job.id,
+                    function: job.function.name(),
+                    attempt,
+                    delay,
+                },
+            );
+            self.with_metrics(|m, h| m.inc(h.job_retries));
+            self.queue.schedule(now + delay, Event::Retry(job));
+        } else {
+            let attempts = attempt - 1;
+            self.observer.emit(
+                now,
+                TraceEvent::JobFailed {
+                    job: job.id,
+                    function: job.function.name(),
+                    attempts,
+                },
+            );
+            self.fr.dropped.push(DroppedJob {
+                job,
+                outcome: Outcome::Failed,
+                attempts,
+            });
+            self.with_metrics(|m, h| m.inc(h.jobs_failed));
+        }
+    }
+
+    /// If no live worker is on a path that ends in pulling the queue
+    /// (booting, executing, or recovering), wake one up for the
+    /// requeued/redistributed work.
+    fn wake_if_needed(&mut self, now: SimTime) {
+        let will_pull = (0..self.config.workers).any(|w| {
+            !self.fr.dead[w]
+                && matches!(
+                    self.nodes[w].state(),
+                    SbcState::Booting
+                        | SbcState::Rebooting
+                        | SbcState::Executing
+                        | SbcState::Crashed
+                )
+        });
+        if will_pull {
+            return;
+        }
+        let Some(w) = (0..self.config.workers).find(|&w| !self.fr.dead[w]) else {
+            return;
+        };
+        match self.nodes[w].state() {
+            // A power-on already in the GPIO actuation window will pull
+            // the queue when it lands; actuating again would leave a
+            // stale PowerEffective firing into the middle of that boot.
+            SbcState::Off if self.boot_pending[w].is_none() => {
+                let effective = self.gpio.actuate(now, w, PowerAction::On);
+                self.boot_pending[w] =
+                    Some(self.queue.schedule(effective, Event::PowerEffective(w)));
+            }
+            // A parked (standby) node starts the next job directly.
+            SbcState::Idle => self.start_next_job(w, now),
+            _ => {}
+        }
+    }
+
+    /// Moves a dead worker's statically assigned queue to the survivors
+    /// round-robin; with nobody left, the jobs are failed outright.
+    fn redistribute(&mut self, w: usize, now: SimTime) {
+        let stranded = self.dispatcher.drain_worker(w);
+        if stranded.is_empty() {
+            return;
+        }
+        if self.fr.live_workers() == 0 {
+            for job in stranded {
+                self.drop_failed(job, now);
+            }
+            return;
+        }
+        let live: Vec<usize> = (0..self.config.workers)
+            .filter(|&x| !self.fr.dead[x])
+            .collect();
+        for (i, job) in stranded.into_iter().enumerate() {
+            self.dispatcher.enqueue_back(live[i % live.len()], job);
+        }
+        self.wake_if_needed(now);
+    }
+
+    /// Graceful degradation: when live capacity falls below the
+    /// configured fraction, queued batch work is shed so the surviving
+    /// workers serve interactive invocations first.
+    fn maybe_shed(&mut self, now: SimTime) {
+        let up = (0..self.config.workers)
+            .filter(|&w| !self.fr.dead[w] && self.nodes[w].state() != SbcState::Crashed)
+            .count();
+        let floor = self.config.faults.shed_below_capacity * self.config.workers as f64;
+        if (up as f64) >= floor {
+            return;
+        }
+        let shed = self
+            .dispatcher
+            .shed_where(|job| priority_of(job.function) == Priority::Batch);
+        for job in shed {
+            self.observer.emit(
+                now,
+                TraceEvent::JobShed {
                     job: job.id,
                     function: job.function.name(),
                 },
             );
-        }
-    }
-    if let (Some(metrics), Some(h)) = (observer.metrics(), handles.as_ref()) {
-        metrics.add(h.jobs_enqueued, jobs.len() as u64);
-    }
-    let mut dispatcher = Dispatcher::new(config.assignment, config.workers, jobs, &mut rng);
-
-    // Power on every worker that has work.
-    for w in 0..config.workers {
-        if dispatcher.has_work(w) {
-            let effective = gpio.actuate(SimTime::ZERO, w, PowerAction::On);
-            queue.schedule(effective, Event::PowerEffective(w));
+            self.fr.dropped.push(DroppedJob {
+                job,
+                outcome: Outcome::Shed,
+                attempts: self.fr.attempts[job.id as usize],
+            });
+            self.with_metrics(|m, h| m.inc(h.jobs_shed));
         }
     }
 
-    let mut in_flight: Vec<Option<InFlight>> = (0..config.workers).map(|_| None).collect();
-    let mut records: Vec<JobRecord> = Vec::with_capacity(config.mix.total_jobs() as usize);
-    let mut last_completion = SimTime::ZERO;
-    let mut timed_out: u64 = 0;
-
-    while let Some((now, event)) = queue.pop() {
-        match event {
-            Event::PowerEffective(w) => {
-                nodes[w].power_on(now).expect("scheduled only while off");
-                let watts = nodes[w].power().value();
-                meter.set_power(now, channels[w], watts);
-                observer.emit(
-                    now,
-                    TraceEvent::WorkerStateChange {
-                        worker: w,
-                        state: WorkerState::Booting,
-                    },
-                );
-                observer.emit(now, TraceEvent::PowerSample { worker: w, watts });
-                if let (Some(metrics), Some(h)) = (observer.metrics(), handles.as_ref()) {
-                    metrics.inc(h.boots);
-                }
-                queue.schedule(now + nodes[w].boot_duration(), Event::BootDone(w));
-            }
-            Event::BootDone(w) => {
-                nodes[w]
-                    .boot_complete(now)
-                    .expect("scheduled only while booting");
-                let watts = nodes[w].power().value();
-                meter.set_power(now, channels[w], watts);
-                observer.emit(
+    /// Frees a worker whose invocation ended. `forced` resets (timeout,
+    /// hang, lost result) always reboot to a clean state and never park,
+    /// matching the pre-fault timeout semantics.
+    fn release_worker(&mut self, w: usize, now: SimTime, forced: bool) {
+        if !self.dispatcher.has_work(w) {
+            // Queue drained: power fully down (energy proportionality),
+            // or idle in standby if gating is disabled for the ablation.
+            self.nodes[w]
+                .finish_job_and_power_off(now)
+                .expect("job was executing");
+            if !forced && !self.config.power_gating {
+                // Model standby as the idle draw without the FSM round
+                // trip: the node is "parked".
+                self.meter.set_power(now, self.channels[w], 0.128);
+                self.observer.emit(
                     now,
                     TraceEvent::WorkerStateChange {
                         worker: w,
                         state: WorkerState::Idle,
                     },
                 );
-                observer.emit(now, TraceEvent::PowerSample { worker: w, watts });
-                start_next_job(
-                    w,
+                self.observer.emit(
                     now,
-                    config,
-                    &mut nodes,
-                    &mut dispatcher,
-                    &mut in_flight,
-                    &mut queue,
-                    &mut meter,
-                    &channels,
-                    &mut gpio,
-                    &mut rng,
-                    observer,
-                );
-            }
-            Event::ExecDone(w) => {
-                let flight = in_flight[w].as_ref().expect("job in flight");
-                let st = service_time(flight.job.function);
-                let fixed = st
-                    .fixed_overhead(WorkerPlatform::ArmSbc)
-                    .mul_f64(config.jitter.factor(&mut rng));
-                // The byte-proportional part travels the simulated switch,
-                // where port contention can stretch it beyond nominal.
-                let transfer_start = now + fixed;
-                let peer = peer_of(flight.job.function);
-                let bytes = st.transfer_bytes();
-                let delivered = if flight.job.function == FunctionId::CosGet {
-                    net.send(transfer_start, peer, worker_nodes[w], bytes)
-                } else {
-                    net.send(transfer_start, worker_nodes[w], peer, bytes)
-                };
-                let (src, dst) = if flight.job.function == FunctionId::CosGet {
-                    (endpoint_of(flight.job.function), Endpoint::Worker(w))
-                } else {
-                    (Endpoint::Worker(w), endpoint_of(flight.job.function))
-                };
-                observer.emit(transfer_start, TraceEvent::NetTransfer { src, dst, bytes });
-                if let (Some(metrics), Some(h)) = (observer.metrics(), handles.as_ref()) {
-                    metrics.add(h.net_bytes, bytes);
-                }
-                let pending = queue.schedule(delivered, Event::JobDone(w));
-                in_flight[w].as_mut().expect("job in flight").pending = pending;
-            }
-            Event::JobDone(w) => {
-                let flight = in_flight[w].take().expect("job in flight");
-                if let Some(timeout_event) = flight.timeout {
-                    queue.cancel(timeout_event);
-                }
-                let overhead = now.duration_since(flight.started + flight.exec);
-                observer.emit(
-                    now,
-                    TraceEvent::JobCompleted {
-                        job: flight.job.id,
-                        function: flight.job.function.name(),
+                    TraceEvent::PowerSample {
                         worker: w,
-                        exec: flight.exec,
-                        overhead,
+                        watts: 0.128,
                     },
                 );
-                if let (Some(metrics), Some(h)) = (observer.metrics(), handles.as_ref()) {
-                    metrics.inc(h.jobs_completed);
-                    metrics.observe(h.exec_seconds, flight.exec.as_secs_f64());
-                    metrics.observe(h.overhead_seconds, overhead.as_secs_f64());
+            } else {
+                self.gpio.actuate(now, w, PowerAction::Off);
+                self.mark(now, w, WorkerState::Off, 0.0);
+            }
+        } else {
+            self.nodes[w]
+                .finish_job_and_reboot(now)
+                .expect("job was executing");
+            let watts = self.nodes[w].power().value();
+            self.mark(now, w, WorkerState::Rebooting, watts);
+            let reboot = if forced || self.config.reboot_between_jobs {
+                self.nodes[w].boot_duration()
+            } else {
+                SimDuration::ZERO
+            };
+            self.boot_pending[w] = Some(self.queue.schedule(now + reboot, Event::BootDone(w)));
+        }
+    }
+
+    fn start_next_job(&mut self, w: usize, now: SimTime) {
+        match self.dispatcher.pull(w) {
+            Some(job) => {
+                self.nodes[w].start_job(now).expect("node is idle");
+                let watts = self.nodes[w].power().value();
+                self.meter.set_power(now, self.channels[w], watts);
+                self.observer.emit(
+                    now,
+                    TraceEvent::JobStarted {
+                        job: job.id,
+                        function: job.function.name(),
+                        worker: w,
+                    },
+                );
+                self.observer.emit(
+                    now,
+                    TraceEvent::WorkerStateChange {
+                        worker: w,
+                        state: WorkerState::Executing,
+                    },
+                );
+                self.observer
+                    .emit(now, TraceEvent::PowerSample { worker: w, watts });
+                let st = service_time(job.function);
+                let mut exec = st
+                    .exec(WorkerPlatform::ArmSbc)
+                    .mul_f64(self.config.jitter.factor(&mut self.rng));
+                if self.config.crypto_exec_scale < 1.0 && is_crypto(job.function) {
+                    exec = exec.mul_f64(self.config.crypto_exec_scale);
                 }
-                records.push(JobRecord {
-                    job: flight.job,
-                    worker: w,
-                    started: flight.started,
-                    exec: flight.exec,
-                    overhead,
+                let (pending, watchdog) = if self.fr.injector.hangs(w) {
+                    // The invocation wedges: no progress event, only the
+                    // supervision deadline.
+                    self.fault_injected(now, w, FaultKind::Hang);
+                    let deadline = now + self.config.faults.hang_watchdog;
+                    (
+                        None,
+                        Some(self.queue.schedule(deadline, Event::Watchdog(w))),
+                    )
+                } else {
+                    (
+                        Some(self.queue.schedule(now + exec, Event::ExecDone(w))),
+                        None,
+                    )
+                };
+                let timeout = self
+                    .timeout_limit(job.function)
+                    .map(|limit| self.queue.schedule(now + limit, Event::TimedOut(w)));
+                self.in_flight[w] = Some(InFlight {
+                    job,
+                    started: now,
+                    exec,
+                    pending,
+                    timeout,
+                    watchdog,
+                    transfer_tries: 0,
                 });
-                last_completion = now;
-                if !dispatcher.has_work(w) {
-                    // Queue drained: power fully down (energy
-                    // proportionality), or idle in standby if gating is
-                    // disabled for the ablation.
-                    nodes[w]
-                        .finish_job_and_power_off(now)
-                        .expect("job was executing");
-                    if !config.power_gating {
-                        // Model standby as the idle draw without the FSM
-                        // round trip: the node is "parked".
-                        meter.set_power(now, channels[w], 0.128);
-                        observer.emit(
-                            now,
-                            TraceEvent::WorkerStateChange {
-                                worker: w,
-                                state: WorkerState::Idle,
-                            },
-                        );
-                        observer.emit(
-                            now,
-                            TraceEvent::PowerSample {
-                                worker: w,
-                                watts: 0.128,
-                            },
-                        );
-                    } else {
-                        gpio.actuate(now, w, PowerAction::Off);
-                        meter.set_power(now, channels[w], 0.0);
-                        observer.emit(
-                            now,
-                            TraceEvent::WorkerStateChange {
-                                worker: w,
-                                state: WorkerState::Off,
-                            },
-                        );
-                        observer.emit(
-                            now,
-                            TraceEvent::PowerSample {
-                                worker: w,
-                                watts: 0.0,
-                            },
-                        );
-                    }
-                } else {
-                    nodes[w]
-                        .finish_job_and_reboot(now)
-                        .expect("job was executing");
-                    let watts = nodes[w].power().value();
-                    meter.set_power(now, channels[w], watts);
-                    observer.emit(
-                        now,
-                        TraceEvent::WorkerStateChange {
-                            worker: w,
-                            state: WorkerState::Rebooting,
-                        },
-                    );
-                    observer.emit(now, TraceEvent::PowerSample { worker: w, watts });
-                    let reboot = if config.reboot_between_jobs {
-                        nodes[w].boot_duration()
-                    } else {
-                        SimDuration::ZERO
-                    };
-                    queue.schedule(now + reboot, Event::BootDone(w));
-                }
             }
-            Event::TimedOut(w) => {
-                let flight = in_flight[w].take().expect("job in flight");
-                queue.cancel(flight.pending);
-                timed_out += 1;
-                observer.emit(
-                    now,
-                    TraceEvent::JobTimedOut {
-                        job: flight.job.id,
-                        function: flight.job.function.name(),
-                        worker: w,
-                    },
-                );
-                if let (Some(metrics), Some(h)) = (observer.metrics(), handles.as_ref()) {
-                    metrics.inc(h.jobs_timed_out);
-                }
-                // The worker is reset exactly as after a normal job: the
-                // reboot restores the clean state the next tenant needs.
-                if !dispatcher.has_work(w) {
-                    nodes[w]
-                        .finish_job_and_power_off(now)
-                        .expect("job was executing");
-                    gpio.actuate(now, w, PowerAction::Off);
-                    meter.set_power(now, channels[w], 0.0);
-                    observer.emit(
-                        now,
-                        TraceEvent::WorkerStateChange {
-                            worker: w,
-                            state: WorkerState::Off,
-                        },
-                    );
-                    observer.emit(
-                        now,
-                        TraceEvent::PowerSample {
-                            worker: w,
-                            watts: 0.0,
-                        },
-                    );
-                } else {
-                    nodes[w]
-                        .finish_job_and_reboot(now)
-                        .expect("job was executing");
-                    let watts = nodes[w].power().value();
-                    meter.set_power(now, channels[w], watts);
-                    observer.emit(
-                        now,
-                        TraceEvent::WorkerStateChange {
-                            worker: w,
-                            state: WorkerState::Rebooting,
-                        },
-                    );
-                    observer.emit(now, TraceEvent::PowerSample { worker: w, watts });
-                    queue.schedule(now + nodes[w].boot_duration(), Event::BootDone(w));
+            None => {
+                // Booted with nothing to do (possible when the initial
+                // random assignment left this worker a short queue):
+                // power back off.
+                if self.config.power_gating {
+                    self.nodes[w].power_off(now).expect("node is idle");
+                    self.gpio.actuate(now, w, PowerAction::Off);
+                    self.mark(now, w, WorkerState::Off, 0.0);
                 }
             }
         }
     }
-
-    // A worker that booted to an already-drained queue may touch the
-    // meter after the final completion; report at the later instant.
-    let end = queue.now().max(last_completion);
-    let energy = meter.report(end, records.len() as u64);
-    let run = ClusterRun {
-        label: format!("MicroFaaS ({} SBCs)", config.workers),
-        workers: config.workers,
-        energy,
-        makespan: last_completion.duration_since(SimTime::ZERO),
-        records,
-        timed_out,
-    };
-    // Headline gauges are computed from the finished run itself, so the
-    // exposition agrees bit-for-bit with the `ClusterRun` accessors.
-    if let Some(metrics) = observer.metrics() {
-        meter.publish_metrics(metrics, "micro", end);
-        publish_run_gauges(metrics, "micro", &run);
-    }
-    run
 }
 
 /// Publishes the headline `ClusterRun` aggregates as `{prefix}_*`
@@ -530,87 +955,6 @@ pub(crate) fn publish_run_gauges(metrics: &mut MetricsRegistry, prefix: &str, ru
     for (name, value) in pairs {
         let gauge = metrics.gauge(&format!("{prefix}_{name}"));
         metrics.set_gauge(gauge, value);
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn start_next_job(
-    w: usize,
-    now: SimTime,
-    config: &MicroFaasConfig,
-    nodes: &mut [SbcNode],
-    dispatcher: &mut Dispatcher,
-    in_flight: &mut [Option<InFlight>],
-    queue: &mut EventQueue<Event>,
-    meter: &mut EnergyMeter,
-    channels: &[microfaas_energy::ChannelId],
-    gpio: &mut PowerController,
-    rng: &mut Rng,
-    observer: &mut Observer<'_>,
-) {
-    match dispatcher.pull(w) {
-        Some(job) => {
-            nodes[w].start_job(now).expect("node is idle");
-            let watts = nodes[w].power().value();
-            meter.set_power(now, channels[w], watts);
-            observer.emit(
-                now,
-                TraceEvent::JobStarted {
-                    job: job.id,
-                    function: job.function.name(),
-                    worker: w,
-                },
-            );
-            observer.emit(
-                now,
-                TraceEvent::WorkerStateChange {
-                    worker: w,
-                    state: WorkerState::Executing,
-                },
-            );
-            observer.emit(now, TraceEvent::PowerSample { worker: w, watts });
-            let st = service_time(job.function);
-            let mut exec = st
-                .exec(WorkerPlatform::ArmSbc)
-                .mul_f64(config.jitter.factor(rng));
-            if config.crypto_exec_scale < 1.0 && is_crypto(job.function) {
-                exec = exec.mul_f64(config.crypto_exec_scale);
-            }
-            let pending = queue.schedule(now + exec, Event::ExecDone(w));
-            let timeout = config
-                .invocation_timeout
-                .map(|limit| queue.schedule(now + limit, Event::TimedOut(w)));
-            in_flight[w] = Some(InFlight {
-                job,
-                started: now,
-                exec,
-                pending,
-                timeout,
-            });
-        }
-        None => {
-            // Booted with nothing to do (possible when the initial random
-            // assignment left this worker a short queue): power back off.
-            if config.power_gating {
-                nodes[w].power_off(now).expect("node is idle");
-                gpio.actuate(now, w, PowerAction::Off);
-                meter.set_power(now, channels[w], 0.0);
-                observer.emit(
-                    now,
-                    TraceEvent::WorkerStateChange {
-                        worker: w,
-                        state: WorkerState::Off,
-                    },
-                );
-                observer.emit(
-                    now,
-                    TraceEvent::PowerSample {
-                        worker: w,
-                        watts: 0.0,
-                    },
-                );
-            }
-        }
     }
 }
 
@@ -635,6 +979,8 @@ pub fn sbc_cluster_power(total: usize, active: usize, power_gating: bool) -> f64
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::registry::FunctionSpec;
+    use microfaas_sim::faults::{FaultPlan, FaultSpec, FaultTrigger};
 
     fn quick_config(seed: u64) -> MicroFaasConfig {
         MicroFaasConfig::paper_prototype(WorkloadMix::quick(), seed)
@@ -760,14 +1106,42 @@ mod tests {
         let mut config = MicroFaasConfig::paper_prototype(mix, 11);
         config.invocation_timeout = Some(SimDuration::from_secs(2));
         let run = run_microfaas(&config);
-        assert_eq!(run.timed_out, 30, "every MatMul must be killed");
+        assert_eq!(run.timed_out(), 30, "every MatMul must be killed");
         assert_eq!(run.jobs_completed(), 30, "every RegexMatch must finish");
+        assert_eq!(run.jobs_accounted(), 60);
         assert!(
             run.per_function()
                 .keys()
                 .all(|&f| f == FunctionId::RegexMatch),
             "only RegexMatch completions should be recorded"
         );
+    }
+
+    #[test]
+    fn registry_timeout_is_enforced_per_function() {
+        // Same kill switch, but deployed on the function itself instead
+        // of platform-wide: only MatMul carries the 2 s deadline.
+        let mix = WorkloadMix::new(vec![FunctionId::MatMul, FunctionId::RegexMatch], 30);
+        let mut config = MicroFaasConfig::paper_prototype(mix, 11);
+        let name = FunctionId::MatMul.name();
+        config
+            .registry
+            .remove(name)
+            .expect("paper suite has MatMul");
+        config
+            .registry
+            .deploy(
+                name,
+                FunctionSpec {
+                    handler: FunctionId::MatMul,
+                    memory_mb: 128,
+                    timeout: Some(SimDuration::from_secs(2)),
+                },
+            )
+            .expect("redeploy with timeout");
+        let run = run_microfaas(&config);
+        assert_eq!(run.timed_out(), 30, "every MatMul must be killed");
+        assert_eq!(run.jobs_completed(), 30, "every RegexMatch must finish");
     }
 
     #[test]
@@ -779,14 +1153,16 @@ mod tests {
         let mut config = MicroFaasConfig::paper_prototype(mix, 12);
         config.invocation_timeout = Some(SimDuration::from_secs(1));
         let limited = run_microfaas(&config);
-        assert_eq!(limited.timed_out, 40);
+        assert_eq!(limited.timed_out(), 40);
         assert!(limited.makespan < unlimited.makespan);
     }
 
     #[test]
     fn no_timeout_means_no_kills() {
         let run = run_microfaas(&quick_config(13));
-        assert_eq!(run.timed_out, 0);
+        assert_eq!(run.timed_out(), 0);
+        assert!(run.dropped.is_empty());
+        assert_eq!(run.faults, Default::default());
     }
 
     #[test]
@@ -819,6 +1195,155 @@ mod tests {
             ratio_gige > 3.0,
             "GigE services scale ~linearly, got {ratio_gige:.2}x"
         );
+    }
+
+    #[test]
+    fn crashed_worker_recovers_and_the_job_is_retried() {
+        // MatMul keeps every worker executing from ~1.5 s to ~6.2 s, so
+        // a crash at t=5 s lands mid-invocation: the job is requeued,
+        // retried elsewhere, and nothing is lost.
+        let mix = WorkloadMix::new(vec![FunctionId::MatMul], 40);
+        let mut config = MicroFaasConfig::paper_prototype(mix, 21);
+        config.faults = FaultsConfig::with_plan(FaultPlan {
+            seed: 9,
+            faults: vec![FaultSpec {
+                kind: FaultKind::Crash,
+                worker: Some(3),
+                trigger: FaultTrigger::At(SimTime::from_secs(5)),
+            }],
+        });
+        let run = run_microfaas(&config);
+        assert_eq!(run.faults.injected, 1);
+        assert_eq!(run.faults.requeued, 1);
+        assert_eq!(run.faults.retries, 1);
+        assert_eq!(run.jobs_completed(), 40, "the retry must recover the job");
+        assert_eq!(run.jobs_accounted(), 40);
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic_too() {
+        let mix = WorkloadMix::new(vec![FunctionId::MatMul, FunctionId::RedisInsert], 30);
+        let plan = FaultPlan {
+            seed: 5,
+            faults: vec![
+                FaultSpec {
+                    kind: FaultKind::Crash,
+                    worker: Some(2),
+                    trigger: FaultTrigger::At(SimTime::from_secs(4)),
+                },
+                FaultSpec {
+                    kind: FaultKind::BootFailure,
+                    worker: None,
+                    trigger: FaultTrigger::Probability(0.2),
+                },
+                FaultSpec {
+                    kind: FaultKind::NetLoss,
+                    worker: None,
+                    trigger: FaultTrigger::Probability(0.1),
+                },
+            ],
+        };
+        let mut config = MicroFaasConfig::paper_prototype(mix, 22);
+        config.faults = FaultsConfig::with_plan(plan);
+        let a = run_microfaas(&config);
+        let b = run_microfaas(&config);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.energy.total_joules, b.energy.total_joules);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.dropped, b.dropped);
+    }
+
+    #[test]
+    fn losing_most_workers_sheds_batch_work() {
+        // Crashing 6 of 10 workers drops live capacity to 4 < 5 (the
+        // 0.5 floor): queued CPU-bound work is shed, interactive
+        // store/queue calls keep their place.
+        let mix = WorkloadMix::new(vec![FunctionId::MatMul, FunctionId::RedisInsert], 100);
+        let mut config = MicroFaasConfig::paper_prototype(mix, 23);
+        let faults = (0..6)
+            .map(|w| FaultSpec {
+                kind: FaultKind::Crash,
+                worker: Some(w),
+                trigger: FaultTrigger::At(SimTime::from_secs(3)),
+            })
+            .collect();
+        config.faults = FaultsConfig::with_plan(FaultPlan { seed: 1, faults });
+        let run = run_microfaas(&config);
+        assert!(run.shed() > 0, "batch jobs must be shed");
+        assert!(run
+            .dropped
+            .iter()
+            .filter(|d| d.outcome == Outcome::Shed)
+            .all(|d| priority_of(d.job.function) == Priority::Batch));
+        assert_eq!(run.jobs_accounted(), 200);
+    }
+
+    #[test]
+    fn permanent_boot_failure_kills_the_cluster_but_accounts_every_job() {
+        // With boot failure certain, no worker ever comes up: after the
+        // retry budget each node is declared dead and every submitted
+        // job lands in `dropped`.
+        let mix = WorkloadMix::new(vec![FunctionId::RegexMatch], 30);
+        let mut config = MicroFaasConfig::paper_prototype(mix, 24);
+        config.faults = FaultsConfig::with_plan(FaultPlan {
+            seed: 2,
+            faults: vec![FaultSpec {
+                kind: FaultKind::BootFailure,
+                worker: None,
+                trigger: FaultTrigger::Probability(1.0),
+            }],
+        });
+        let run = run_microfaas(&config);
+        assert_eq!(run.jobs_completed(), 0);
+        assert_eq!(
+            run.jobs_accounted(),
+            30,
+            "every job reaches a terminal state"
+        );
+        assert!(run.faults.injected >= 4 * 10, "4 failed boots per worker");
+    }
+
+    #[test]
+    fn certain_hangs_exhaust_the_retry_budget() {
+        let mix = WorkloadMix::new(vec![FunctionId::RegexMatch], 2);
+        let mut config = MicroFaasConfig::paper_prototype(mix, 25);
+        config.workers = 1;
+        config.faults = FaultsConfig::with_plan(FaultPlan {
+            seed: 3,
+            faults: vec![FaultSpec {
+                kind: FaultKind::Hang,
+                worker: None,
+                trigger: FaultTrigger::Probability(1.0),
+            }],
+        });
+        let run = run_microfaas(&config);
+        assert_eq!(run.jobs_completed(), 0);
+        assert_eq!(run.failed(), 2);
+        assert_eq!(run.jobs_accounted(), 2);
+        // Initial attempt + 3 retries per job, each hanging once.
+        assert_eq!(run.faults.injected, 8);
+        assert_eq!(run.faults.retries, 6);
+        assert!(run.dropped.iter().all(|d| d.attempts == 3));
+    }
+
+    #[test]
+    fn certain_net_loss_fails_jobs_after_retransmits() {
+        let mix = WorkloadMix::new(vec![FunctionId::RedisInsert], 3);
+        let mut config = MicroFaasConfig::paper_prototype(mix, 26);
+        config.workers = 2;
+        config.faults = FaultsConfig::with_plan(FaultPlan {
+            seed: 4,
+            faults: vec![FaultSpec {
+                kind: FaultKind::NetLoss,
+                worker: None,
+                trigger: FaultTrigger::Probability(1.0),
+            }],
+        });
+        let run = run_microfaas(&config);
+        assert_eq!(run.jobs_completed(), 0, "no result ever arrives");
+        assert_eq!(run.failed(), 3);
+        assert_eq!(run.jobs_accounted(), 3);
+        assert!(run.faults.injected > 0);
     }
 
     #[test]

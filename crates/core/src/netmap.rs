@@ -1,0 +1,152 @@
+//! The network topology both evaluation clusters share: workers behind
+//! their NIC link, the orchestrator on GigE, and the four backing
+//! services (kvstore, sqldb, objstore, mqueue) that network-bound
+//! functions talk to.
+
+use microfaas_net::{LinkSpec, Network, NodeId};
+use microfaas_sim::trace::Endpoint;
+use microfaas_sim::SimTime;
+use microfaas_workloads::FunctionId;
+
+/// A cluster's switch plus the node roster: `count` workers named
+/// `{prefix}{w}`, the orchestrator, and one host per backing service.
+pub(crate) struct ClusterNet {
+    net: Network,
+    workers: Vec<NodeId>,
+    orchestrator: NodeId,
+    kv: NodeId,
+    sql: NodeId,
+    cos: NodeId,
+    mq: NodeId,
+}
+
+impl ClusterNet {
+    /// Builds the topology on a GigE backbone. The orchestrator always
+    /// sits on GigE; workers and services use the links the config asks
+    /// for (Fast Ethernet SBCs, GigE VMs, SBC-hosted services, ...).
+    pub fn new(prefix: &str, count: usize, worker_link: LinkSpec, service_link: LinkSpec) -> Self {
+        let mut net = Network::new(LinkSpec::gigabit());
+        let workers = (0..count)
+            .map(|w| net.add_node(format!("{prefix}{w}"), worker_link))
+            .collect();
+        let orchestrator = net.add_node("orchestrator", LinkSpec::gigabit());
+        let kv = net.add_node("kvstore", service_link);
+        let sql = net.add_node("sqldb", service_link);
+        let cos = net.add_node("objstore", service_link);
+        let mq = net.add_node("mqueue", service_link);
+        ClusterNet {
+            net,
+            workers,
+            orchestrator,
+            kv,
+            sql,
+            cos,
+            mq,
+        }
+    }
+
+    /// The node `function`'s result transfer talks to.
+    pub fn peer_of(&self, function: FunctionId) -> NodeId {
+        match function {
+            FunctionId::RedisInsert | FunctionId::RedisUpdate => self.kv,
+            FunctionId::SqlSelect | FunctionId::SqlUpdate => self.sql,
+            FunctionId::CosGet | FunctionId::CosPut => self.cos,
+            FunctionId::MqProduce | FunctionId::MqConsume => self.mq,
+            _ => self.orchestrator,
+        }
+    }
+
+    /// The trace-level endpoint label for `function`'s peer.
+    pub fn endpoint_of(function: FunctionId) -> Endpoint {
+        match function {
+            FunctionId::RedisInsert | FunctionId::RedisUpdate => Endpoint::Service("kvstore"),
+            FunctionId::SqlSelect | FunctionId::SqlUpdate => Endpoint::Service("sqldb"),
+            FunctionId::CosGet | FunctionId::CosPut => Endpoint::Service("objstore"),
+            FunctionId::MqProduce | FunctionId::MqConsume => Endpoint::Service("mqueue"),
+            _ => Endpoint::Orchestrator,
+        }
+    }
+
+    /// Runs the result transfer for `function` on worker `w` through the
+    /// switch, returning the delivery time and the trace endpoints.
+    /// COSGet downloads, so its bytes flow service → worker; everything
+    /// else uploads. A `lost` transfer occupies the wire identically but
+    /// never arrives (the payload is counted as lost by the network).
+    pub fn transfer(
+        &mut self,
+        now: SimTime,
+        w: usize,
+        function: FunctionId,
+        bytes: u64,
+        lost: bool,
+    ) -> (SimTime, Endpoint, Endpoint) {
+        let peer = self.peer_of(function);
+        let (from, to, src, dst) = if function == FunctionId::CosGet {
+            (
+                peer,
+                self.workers[w],
+                Self::endpoint_of(function),
+                Endpoint::Worker(w),
+            )
+        } else {
+            (
+                self.workers[w],
+                peer,
+                Endpoint::Worker(w),
+                Self::endpoint_of(function),
+            )
+        };
+        let delivered = if lost {
+            self.net.send_lost(now, from, to, bytes)
+        } else {
+            self.net.send(now, from, to, bytes)
+        };
+        (delivered, src, dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cnet() -> ClusterNet {
+        ClusterNet::new("sbc-", 4, LinkSpec::fast_ethernet(), LinkSpec::gigabit())
+    }
+
+    #[test]
+    fn network_bound_functions_map_to_their_service() {
+        let cnet = cnet();
+        assert_eq!(cnet.peer_of(FunctionId::RedisInsert), cnet.kv);
+        assert_eq!(cnet.peer_of(FunctionId::SqlUpdate), cnet.sql);
+        assert_eq!(cnet.peer_of(FunctionId::CosPut), cnet.cos);
+        assert_eq!(cnet.peer_of(FunctionId::MqConsume), cnet.mq);
+        assert_eq!(cnet.peer_of(FunctionId::MatMul), cnet.orchestrator);
+        assert_eq!(
+            ClusterNet::endpoint_of(FunctionId::CosGet),
+            Endpoint::Service("objstore")
+        );
+        assert_eq!(
+            ClusterNet::endpoint_of(FunctionId::FloatOps),
+            Endpoint::Orchestrator
+        );
+    }
+
+    #[test]
+    fn cosget_downloads_everything_else_uploads() {
+        let mut cnet = cnet();
+        let (_, src, dst) = cnet.transfer(SimTime::ZERO, 2, FunctionId::CosGet, 1_000, false);
+        assert_eq!(src, Endpoint::Service("objstore"));
+        assert_eq!(dst, Endpoint::Worker(2));
+        let (_, src, dst) = cnet.transfer(SimTime::ZERO, 1, FunctionId::RedisInsert, 100, false);
+        assert_eq!(src, Endpoint::Worker(1));
+        assert_eq!(dst, Endpoint::Service("kvstore"));
+    }
+
+    #[test]
+    fn lost_transfers_take_wire_time_but_count_as_lost() {
+        let mut cnet = cnet();
+        let (delivered, _, _) = cnet.transfer(SimTime::ZERO, 0, FunctionId::CosPut, 100_000, true);
+        assert!(delivered > SimTime::ZERO);
+        assert_eq!(cnet.net.lost_count(), 1);
+    }
+}

@@ -13,16 +13,18 @@ use std::collections::VecDeque;
 use microfaas_energy::EnergyMeter;
 use microfaas_hw::gpio::{PowerAction, PowerController};
 use microfaas_hw::sbc::{SbcNode, SbcState};
+use microfaas_sim::faults::FaultKind;
 use microfaas_sim::trace::{Observer, TraceEvent, WorkerState};
 use microfaas_sim::{
-    CounterId, EventQueue, HistogramId, MetricsRegistry, Rng, Samples, SimDuration, SimTime,
-    TimeWeighted,
+    CounterId, EventId, EventQueue, HistogramId, MetricsRegistry, Rng, Samples, SimDuration,
+    SimTime, TimeWeighted,
 };
 use microfaas_workloads::calibration::{service_time, WorkerPlatform};
 use microfaas_workloads::FunctionId;
 
 use crate::config::Jitter;
 use crate::micro::EXEC_BUCKETS;
+use crate::recovery::FaultsConfig;
 
 /// How invocations arrive at the orchestration plane.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -70,6 +72,12 @@ pub struct OpenLoopConfig {
     pub jitter: Jitter,
     /// Functions drawn uniformly per arrival.
     pub functions: Vec<FunctionId>,
+    /// Fault plan; the open-loop simulator honours **scheduled node
+    /// crashes** only (the probabilistic kinds are a closed-loop
+    /// concern) and [`run_open_loop_conventional`] ignores faults
+    /// entirely. A crash lands only if the node is executing at that
+    /// instant — a powered-off node has nothing to kill.
+    pub faults: FaultsConfig,
 }
 
 impl OpenLoopConfig {
@@ -84,6 +92,7 @@ impl OpenLoopConfig {
             scheduler: SchedulerPolicy::RandomQueue,
             jitter: Jitter::default_run_to_run(),
             functions: FunctionId::ALL.to_vec(),
+            faults: FaultsConfig::none(),
         }
     }
 }
@@ -107,6 +116,8 @@ pub struct OpenLoopRun {
     pub offered_per_second: f64,
     /// Total power-on actuations (GPIO wear; cold boots paid).
     pub power_cycles: u64,
+    /// Scheduled crashes that actually landed on an executing node.
+    pub faults_injected: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -116,6 +127,8 @@ enum Event {
     BootDone(usize),
     ExecDone(usize),
     JobDone(usize),
+    Crash(usize),
+    Recover(usize),
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -134,6 +147,9 @@ struct Worker {
     waking: bool,
     /// `(job, exec, started)` for the in-flight invocation.
     current: Option<(QueuedJob, SimDuration, SimTime)>,
+    /// The invocation's next lifecycle event (ExecDone or JobDone),
+    /// cancelled when an injected crash interrupts it.
+    pending: Option<EventId>,
 }
 
 /// Per-run metric handles for the open-loop simulation, prefixed `open_`.
@@ -220,6 +236,7 @@ pub fn run_open_loop_with(config: &OpenLoopConfig, observer: &mut Observer<'_>) 
             queue: VecDeque::new(),
             waking: false,
             current: None,
+            pending: None,
         })
         .collect();
 
@@ -227,8 +244,15 @@ pub fn run_open_loop_with(config: &OpenLoopConfig, observer: &mut Observer<'_>) 
     let mut latencies = Samples::new();
     let mut completed: u64 = 0;
     let mut arrived: u64 = 0;
+    let mut faults_injected: u64 = 0;
     let horizon = SimTime::ZERO + config.duration;
 
+    let injector = microfaas_sim::faults::FaultInjector::new(&config.faults.plan);
+    for (at, w) in injector.scheduled_crashes() {
+        if *w < config.workers {
+            queue.schedule(*at, Event::Crash(*w));
+        }
+    }
     queue.schedule(SimTime::ZERO, Event::Arrival);
 
     while let Some((now, event)) = queue.pop() {
@@ -336,9 +360,10 @@ pub fn run_open_loop_with(config: &OpenLoopConfig, observer: &mut Observer<'_>) 
                 let overhead = service_time(job.function)
                     .overhead(WorkerPlatform::ArmSbc)
                     .mul_f64(config.jitter.factor(&mut rng));
-                queue.schedule(now + overhead, Event::JobDone(w));
+                workers[w].pending = Some(queue.schedule(now + overhead, Event::JobDone(w)));
             }
             Event::JobDone(w) => {
+                workers[w].pending = None;
                 let (job, exec, started) = workers[w].current.take().expect("job in flight");
                 completed += 1;
                 let latency = now.duration_since(job.arrived);
@@ -398,6 +423,63 @@ pub fn run_open_loop_with(config: &OpenLoopConfig, observer: &mut Observer<'_>) 
                     queue.schedule(now + workers[w].node.boot_duration(), Event::BootDone(w));
                 }
             }
+            Event::Crash(w) => {
+                // A crash only lands on a node that is actually running
+                // an invocation; a gated-off node has nothing to kill.
+                if workers[w].node.state() != SbcState::Executing {
+                    continue;
+                }
+                faults_injected += 1;
+                observer.emit(
+                    now,
+                    TraceEvent::FaultInjected {
+                        worker: w,
+                        fault: FaultKind::Crash.label(),
+                    },
+                );
+                if let Some(pending) = workers[w].pending.take() {
+                    queue.cancel(pending);
+                }
+                // The invocation is re-queued at the front, keeping its
+                // original arrival time so the latency metrics absorb
+                // the full recovery cost.
+                if let Some((job, _, _)) = workers[w].current.take() {
+                    workers[w].queue.push_front(job);
+                }
+                workers[w].node.crash(now).expect("node was executing");
+                powered_on.add(now, -1.0);
+                meter.set_power(now, channels[w], 0.0);
+                observer.emit(
+                    now,
+                    TraceEvent::WorkerStateChange {
+                        worker: w,
+                        state: WorkerState::Crashed,
+                    },
+                );
+                observer.emit(
+                    now,
+                    TraceEvent::PowerSample {
+                        worker: w,
+                        watts: 0.0,
+                    },
+                );
+                queue.schedule(now + config.faults.detection_delay, Event::Recover(w));
+            }
+            Event::Recover(w) => {
+                workers[w].node.recover(now).expect("node was crashed");
+                powered_on.add(now, 1.0);
+                let watts = workers[w].node.power().value();
+                meter.set_power(now, channels[w], watts);
+                observer.emit(
+                    now,
+                    TraceEvent::WorkerStateChange {
+                        worker: w,
+                        state: WorkerState::Booting,
+                    },
+                );
+                observer.emit(now, TraceEvent::PowerSample { worker: w, watts });
+                queue.schedule(now + workers[w].node.boot_duration(), Event::BootDone(w));
+            }
         }
     }
 
@@ -414,6 +496,7 @@ pub fn run_open_loop_with(config: &OpenLoopConfig, observer: &mut Observer<'_>) 
         power_cycles: (0..config.workers)
             .map(|w| gpio.power_on_count(w) as u64)
             .sum(),
+        faults_injected,
     };
     // Gauges come from the finished run so the exposition agrees
     // bit-for-bit with the returned aggregates.
@@ -550,6 +633,9 @@ pub fn run_open_loop_conventional(config: &OpenLoopConfig, vms: usize) -> OpenLo
                 }
             }
             Event::PowerEffective(_) => unreachable!("VMs never power-cycle"),
+            Event::Crash(_) | Event::Recover(_) => {
+                unreachable!("fault plans are ignored on the conventional open loop")
+            }
         }
     }
 
@@ -564,6 +650,7 @@ pub fn run_open_loop_conventional(config: &OpenLoopConfig, vms: usize) -> OpenLo
         mean_powered_on: vms as f64,
         offered_per_second: arrived as f64 / config.duration.as_secs_f64(),
         power_cycles: 0,
+        faults_injected: 0,
     }
 }
 
@@ -638,7 +725,7 @@ fn begin_job(
                 .exec(WorkerPlatform::ArmSbc)
                 .mul_f64(config.jitter.factor(rng));
             workers[w].current = Some((job, exec, now));
-            queue.schedule(now + exec, Event::ExecDone(w));
+            workers[w].pending = Some(queue.schedule(now + exec, Event::ExecDone(w)));
         }
         None => {
             // A node is only woken or rebooted when its queue holds work,
@@ -651,6 +738,7 @@ fn begin_job(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use microfaas_sim::faults::{FaultPlan, FaultSpec, FaultTrigger};
 
     fn config(arrival: ArrivalProcess, scheduler: SchedulerPolicy, seed: u64) -> OpenLoopConfig {
         OpenLoopConfig {
@@ -661,6 +749,7 @@ mod tests {
             scheduler,
             jitter: Jitter::default_run_to_run(),
             functions: FunctionId::ALL.to_vec(),
+            faults: FaultsConfig::none(),
         }
     }
 
@@ -838,6 +927,60 @@ mod tests {
         let expected = run.offered_per_second * 600.0;
         assert!((run.completed as f64 - expected).abs() < 1.0);
         assert!(run.mean_power_w >= 60.0, "never below the idle floor");
+    }
+
+    #[test]
+    fn scheduled_crash_recovers_and_nothing_is_lost() {
+        // Saturating load keeps every node executing, so crashes at
+        // t=30 s and t=90 s land mid-invocation; the re-queued jobs
+        // complete after recovery and the drain still finishes clean.
+        let mut cfg = config(
+            ArrivalProcess::Poisson { per_second: 2.0 },
+            SchedulerPolicy::LeastLoaded,
+            12,
+        );
+        cfg.faults = FaultsConfig::with_plan(FaultPlan {
+            seed: 3,
+            faults: vec![
+                FaultSpec {
+                    kind: FaultKind::Crash,
+                    worker: Some(1),
+                    trigger: FaultTrigger::At(SimTime::from_secs(30)),
+                },
+                FaultSpec {
+                    kind: FaultKind::Crash,
+                    worker: Some(4),
+                    trigger: FaultTrigger::At(SimTime::from_secs(90)),
+                },
+            ],
+        });
+        let run = run_open_loop(&cfg);
+        // A crash scheduled while the target happens to be powered off
+        // or rebooting is a no-op, so only a lower bound is guaranteed.
+        assert!(run.faults_injected >= 1, "at least one crash must land");
+        let expected = run.offered_per_second * 600.0;
+        assert!(
+            (run.completed as f64 - expected).abs() < 1.0,
+            "completed {} vs arrived {expected}",
+            run.completed
+        );
+    }
+
+    #[test]
+    fn empty_plan_changes_nothing_in_open_loop() {
+        let base = config(
+            ArrivalProcess::Poisson { per_second: 1.0 },
+            SchedulerPolicy::RandomQueue,
+            6,
+        );
+        let mut explicit = base.clone();
+        explicit.faults = FaultsConfig::with_plan(FaultPlan::empty());
+        let a = run_open_loop(&base);
+        let b = run_open_loop(&explicit);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.mean_power_w, b.mean_power_w);
+        assert_eq!(a.mean_latency_s, b.mean_latency_s);
+        assert_eq!(b.faults_injected, 0);
     }
 
     #[test]

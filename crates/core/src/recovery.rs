@@ -1,0 +1,239 @@
+//! Orchestrator-level recovery policies for injected faults: bounded
+//! retry with exponential backoff, crash detection delay, and graceful
+//! degradation (shedding low-priority work when capacity drops).
+//!
+//! The fault *mechanisms* live in [`microfaas_sim::faults`]; this
+//! module is the *policy* layer both cluster simulators share. The full
+//! failure model — taxonomy, per-cluster recovery semantics, and the
+//! backoff math below — is documented in `docs/FAILURE_MODEL.md`.
+
+use microfaas_sim::faults::{FaultInjector, FaultPlan};
+use microfaas_sim::SimDuration;
+use microfaas_workloads::{FunctionId, WorkloadClass};
+
+use crate::job::Job;
+use crate::report::{DroppedJob, FaultSummary};
+
+/// Scheduling priority of an invocation, derived from its Table-I
+/// workload class: network-bound functions are interactive store/queue
+/// operations a client is waiting on, CPU-bound functions are batch
+/// compute that can be shed first under degraded capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Priority {
+    /// Sheddable batch compute (CPU- or RAM-bound functions).
+    Batch,
+    /// Latency-sensitive service calls (network-bound functions).
+    Interactive,
+}
+
+/// The priority the orchestrator assigns to `function`.
+///
+/// # Examples
+///
+/// ```
+/// use microfaas::recovery::{priority_of, Priority};
+/// use microfaas_workloads::FunctionId;
+///
+/// assert_eq!(priority_of(FunctionId::MatMul), Priority::Batch);
+/// assert_eq!(priority_of(FunctionId::RedisInsert), Priority::Interactive);
+/// ```
+pub fn priority_of(function: FunctionId) -> Priority {
+    match function.class() {
+        WorkloadClass::CpuBound => Priority::Batch,
+        WorkloadClass::NetworkBound => Priority::Interactive,
+    }
+}
+
+/// Bounded retry with exponential backoff and jitter.
+///
+/// Attempt `n` (1-based) backs off for
+/// `min(cap, base × 2ⁿ⁻¹) × (0.5 + 0.5 × jitter)` with `jitter` drawn
+/// uniformly from `[0, 1)` out of the fault plan's private RNG stream —
+/// full-jitter-style spreading without touching simulation randomness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries before an invocation is declared failed.
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: SimDuration,
+    /// Ceiling the exponential curve saturates at.
+    pub backoff_cap: SimDuration,
+}
+
+impl RetryPolicy {
+    /// The orchestrator default: 3 attempts, 250 ms doubling to a 2 s cap.
+    pub fn standard() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: SimDuration::from_millis(250),
+            backoff_cap: SimDuration::from_secs(2),
+        }
+    }
+
+    /// Backoff before retry `attempt` (1-based), jittered by
+    /// `jitter01 ∈ [0, 1)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use microfaas::recovery::RetryPolicy;
+    /// use microfaas_sim::SimDuration;
+    ///
+    /// let policy = RetryPolicy::standard();
+    /// // Zero jitter halves the nominal delay; the curve still doubles.
+    /// assert_eq!(policy.backoff(1, 0.0), SimDuration::from_millis(125));
+    /// assert_eq!(policy.backoff(2, 0.0), SimDuration::from_millis(250));
+    /// // The cap bounds late attempts regardless of the exponent.
+    /// assert!(policy.backoff(30, 0.999) <= policy.backoff_cap);
+    /// ```
+    pub fn backoff(&self, attempt: u32, jitter01: f64) -> SimDuration {
+        let doublings = attempt.saturating_sub(1).min(30);
+        let nominal = self
+            .base_backoff
+            .mul_f64((1u64 << doublings) as f64)
+            .min(self.backoff_cap);
+        nominal.mul_f64(0.5 + 0.5 * jitter01.clamp(0.0, 1.0))
+    }
+}
+
+/// Fault plan plus every recovery-policy knob a cluster run consumes.
+#[derive(Debug, Clone)]
+pub struct FaultsConfig {
+    /// What goes wrong ([`FaultPlan::empty`] keeps runs bit-identical
+    /// to a fault-free build).
+    pub plan: FaultPlan,
+    /// Retry/backoff policy for recovered invocations.
+    pub retry: RetryPolicy,
+    /// Heartbeat lag before the orchestrator notices a dead worker and
+    /// starts recovery.
+    pub detection_delay: SimDuration,
+    /// When live workers drop below this fraction of the fleet, queued
+    /// [`Priority::Batch`] jobs are shed to protect interactive work.
+    pub shed_below_capacity: f64,
+    /// Watchdog deadline for a hung invocation (fires only when a hang
+    /// fault was injected, so fault-free runs schedule nothing).
+    pub hang_watchdog: SimDuration,
+    /// Wait before retransmitting a lost result transfer.
+    pub retransmit_delay: SimDuration,
+    /// Consecutive boot failures before a worker is declared dead and
+    /// its queue redistributed.
+    pub max_boot_retries: u32,
+}
+
+impl FaultsConfig {
+    /// No faults, standard policies — the default for every config
+    /// constructor, guaranteeing unchanged behavior.
+    pub fn none() -> Self {
+        FaultsConfig::with_plan(FaultPlan::empty())
+    }
+
+    /// Standard policies around a specific plan.
+    pub fn with_plan(plan: FaultPlan) -> Self {
+        FaultsConfig {
+            plan,
+            retry: RetryPolicy::standard(),
+            detection_delay: SimDuration::from_millis(500),
+            shed_below_capacity: 0.5,
+            hang_watchdog: SimDuration::from_secs(30),
+            retransmit_delay: SimDuration::from_millis(50),
+            max_boot_retries: 3,
+        }
+    }
+}
+
+/// Per-run bookkeeping the cluster event loops thread through their
+/// fault handling: the injector, per-job retry attempts, per-worker
+/// boot-failure streaks and dead flags, and the dropped/summary output
+/// that lands in [`crate::report::ClusterRun`].
+#[derive(Debug)]
+pub(crate) struct FaultRuntime {
+    pub injector: FaultInjector,
+    pub attempts: Vec<u32>,
+    pub boot_failures: Vec<u32>,
+    pub dead: Vec<bool>,
+    pub dropped: Vec<DroppedJob>,
+    pub summary: FaultSummary,
+}
+
+impl FaultRuntime {
+    pub fn new(plan: &FaultPlan, workers: usize, total_jobs: usize) -> Self {
+        FaultRuntime {
+            injector: FaultInjector::new(plan),
+            attempts: vec![0; total_jobs],
+            boot_failures: vec![0; workers],
+            dead: vec![false; workers],
+            dropped: Vec::new(),
+            summary: FaultSummary::default(),
+        }
+    }
+
+    /// Consumes one retry attempt for `job` and reports the 1-based
+    /// attempt number.
+    pub fn next_attempt(&mut self, job: Job) -> u32 {
+        let slot = &mut self.attempts[job.id as usize];
+        *slot += 1;
+        *slot
+    }
+
+    /// Workers that have not been declared permanently dead.
+    pub fn live_workers(&self) -> usize {
+        self.dead.iter().filter(|&&d| !d).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_then_saturates() {
+        let policy = RetryPolicy::standard();
+        // Full jitter (≈1) gives the nominal curve.
+        let near = |d: SimDuration, ms: u64| {
+            let nominal = SimDuration::from_millis(ms);
+            d > nominal.mul_f64(0.49) && d <= nominal
+        };
+        assert!(near(policy.backoff(1, 0.999), 250));
+        assert!(near(policy.backoff(2, 0.999), 500));
+        assert!(near(policy.backoff(3, 0.999), 1000));
+        assert!(near(policy.backoff(4, 0.999), 2000));
+        assert!(near(policy.backoff(5, 0.999), 2000), "cap holds");
+        assert!(near(policy.backoff(64, 0.999), 2000), "huge attempts safe");
+    }
+
+    #[test]
+    fn jitter_spreads_but_never_exceeds_nominal() {
+        let policy = RetryPolicy::standard();
+        let lo = policy.backoff(2, 0.0);
+        let hi = policy.backoff(2, 0.999);
+        assert!(lo < hi);
+        assert_eq!(lo, SimDuration::from_millis(250), "floor is half nominal");
+        assert!(hi <= SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn priorities_split_the_suite_in_two() {
+        let interactive = FunctionId::ALL
+            .iter()
+            .filter(|f| priority_of(**f) == Priority::Interactive)
+            .count();
+        // Table I: 9 CPU-bound, 8 network-bound functions.
+        assert_eq!(interactive, 8);
+        assert!(Priority::Batch < Priority::Interactive, "shed batch first");
+    }
+
+    #[test]
+    fn runtime_tracks_attempts_and_liveness() {
+        let mut rt = FaultRuntime::new(&FaultPlan::empty(), 4, 10);
+        assert_eq!(rt.live_workers(), 4);
+        let job = Job {
+            id: 7,
+            function: FunctionId::CascSha,
+        };
+        assert_eq!(rt.next_attempt(job), 1);
+        assert_eq!(rt.next_attempt(job), 2);
+        rt.dead[2] = true;
+        assert_eq!(rt.live_workers(), 3);
+        assert!(!rt.injector.is_active());
+    }
+}

@@ -8,7 +8,51 @@ use microfaas_energy::EnergyReport;
 use microfaas_sim::SimDuration;
 use microfaas_workloads::FunctionId;
 
-use crate::job::{aggregate, FunctionStats, JobRecord};
+use crate::job::{aggregate, FunctionStats, Job, JobRecord};
+
+/// Why an invocation did not complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Killed by the per-invocation timeout (terminal: not retried).
+    TimedOut,
+    /// Shed from the queue to protect degraded capacity.
+    Shed,
+    /// Lost to faults after exhausting the retry budget.
+    Failed,
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Outcome::TimedOut => "timed_out",
+            Outcome::Shed => "shed",
+            Outcome::Failed => "failed",
+        })
+    }
+}
+
+/// One invocation that did not complete, with its typed [`Outcome`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DroppedJob {
+    /// The invocation.
+    pub job: Job,
+    /// Why it was dropped.
+    pub outcome: Outcome,
+    /// Retry attempts consumed before the drop.
+    pub attempts: u32,
+}
+
+/// Counters for the fault-injection and recovery machinery
+/// (see `docs/FAILURE_MODEL.md`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultSummary {
+    /// Faults fired from the active plan.
+    pub injected: u64,
+    /// In-flight jobs pulled back off failed workers.
+    pub requeued: u64,
+    /// Backoff retries scheduled by the orchestrator.
+    pub retries: u64,
+}
 
 /// Everything measured during one cluster run.
 #[derive(Debug, Clone)]
@@ -23,8 +67,10 @@ pub struct ClusterRun {
     pub makespan: SimDuration,
     /// Raw per-job records (successful invocations only).
     pub records: Vec<JobRecord>,
-    /// Invocations killed by the platform timeout.
-    pub timed_out: u64,
+    /// Invocations that did not complete, each with a typed [`Outcome`].
+    pub dropped: Vec<DroppedJob>,
+    /// Fault-injection and recovery counters (all zero without a plan).
+    pub faults: FaultSummary,
 }
 
 impl ClusterRun {
@@ -42,6 +88,53 @@ impl ClusterRun {
     /// ```
     pub fn jobs_completed(&self) -> u64 {
         self.records.len() as u64
+    }
+
+    /// Invocations killed by the per-invocation timeout.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use microfaas::config::WorkloadMix;
+    /// use microfaas::micro::{run_microfaas, MicroFaasConfig};
+    ///
+    /// let run = run_microfaas(&MicroFaasConfig::paper_prototype(WorkloadMix::quick(), 42));
+    /// assert_eq!(run.timed_out(), 0, "no timeout configured, no kills");
+    /// ```
+    pub fn timed_out(&self) -> u64 {
+        self.count_outcome(Outcome::TimedOut)
+    }
+
+    /// Queued invocations shed under degraded capacity.
+    pub fn shed(&self) -> u64 {
+        self.count_outcome(Outcome::Shed)
+    }
+
+    /// Invocations lost to faults after exhausting their retry budget.
+    pub fn failed(&self) -> u64 {
+        self.count_outcome(Outcome::Failed)
+    }
+
+    fn count_outcome(&self, outcome: Outcome) -> u64 {
+        self.dropped.iter().filter(|d| d.outcome == outcome).count() as u64
+    }
+
+    /// Every submitted invocation reached exactly one terminal state,
+    /// so completions plus drops account for the whole workload.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use microfaas::config::WorkloadMix;
+    /// use microfaas::micro::{run_microfaas, MicroFaasConfig};
+    ///
+    /// let mix = WorkloadMix::quick();
+    /// let submitted = mix.total_jobs();
+    /// let run = run_microfaas(&MicroFaasConfig::paper_prototype(mix, 42));
+    /// assert_eq!(run.jobs_accounted(), submitted);
+    /// ```
+    pub fn jobs_accounted(&self) -> u64 {
+        self.jobs_completed() + self.dropped.len() as u64
     }
 
     /// Cluster throughput in functions per minute.
@@ -142,6 +235,11 @@ impl fmt::Display for ClusterRun {
         if let Some(jpf) = self.joules_per_function() {
             write!(f, ", {jpf:.2} J/func")?;
         }
+        // Only faulted/timed-out runs mention drops, so fault-free
+        // output stays byte-identical to builds without fault support.
+        if !self.dropped.is_empty() {
+            write!(f, ", {} dropped", self.dropped.len())?;
+        }
         write!(f, ")")
     }
 }
@@ -165,7 +263,8 @@ mod tests {
             },
             makespan: SimDuration::from_secs(makespan_secs),
             records,
-            timed_out: 0,
+            dropped: vec![],
+            faults: FaultSummary::default(),
         }
     }
 
@@ -214,5 +313,31 @@ mod tests {
         let run = run_with(records, 60, 100.0);
         let (p50, p95, p99) = run.latency_percentiles_ms().expect("non-empty");
         assert_eq!((p50, p95, p99), (500.0, 950.0, 990.0));
+    }
+
+    #[test]
+    fn dropped_jobs_split_by_outcome() {
+        let mut run = run_with(vec![], 1, 0.0);
+        for (id, outcome) in [
+            (0, Outcome::TimedOut),
+            (1, Outcome::TimedOut),
+            (2, Outcome::Shed),
+            (3, Outcome::Failed),
+        ] {
+            run.dropped.push(DroppedJob {
+                job: Job {
+                    id,
+                    function: FunctionId::CascSha,
+                },
+                outcome,
+                attempts: if outcome == Outcome::Failed { 3 } else { 0 },
+            });
+        }
+        assert_eq!(run.timed_out(), 2);
+        assert_eq!(run.shed(), 1);
+        assert_eq!(run.failed(), 1);
+        assert_eq!(run.jobs_accounted(), 4);
+        assert!(run.to_string().contains("4 dropped"));
+        assert_eq!(Outcome::TimedOut.to_string(), "timed_out");
     }
 }

@@ -4,7 +4,7 @@
 
 use std::collections::HashMap;
 
-use microfaas_sim::trace::{TraceEvent, TraceRecord};
+use microfaas_sim::trace::{TraceEvent, TraceRecord, WorkerState};
 use microfaas_sim::{SimDuration, SimTime};
 
 use crate::report::ClusterRun;
@@ -40,6 +40,10 @@ pub struct BusySpan {
 pub struct Timeline {
     workers: usize,
     spans: Vec<BusySpan>,
+    /// Intervals a worker spent crashed (from a `Crashed` state change
+    /// until the next state change). Only trace reconstruction can see
+    /// these; [`Timeline::from_run`] leaves them empty.
+    outages: Vec<BusySpan>,
     end: SimTime,
 }
 
@@ -59,6 +63,7 @@ impl Timeline {
         Timeline {
             workers: run.workers,
             spans,
+            outages: Vec::new(),
             end: SimTime::ZERO + run.makespan,
         }
     }
@@ -96,7 +101,9 @@ impl Timeline {
         workers: usize,
     ) -> Self {
         let mut open: HashMap<u64, (usize, SimTime)> = HashMap::new();
+        let mut down: HashMap<usize, SimTime> = HashMap::new();
         let mut spans = Vec::new();
+        let mut outages = Vec::new();
         let mut end = SimTime::ZERO;
         for record in records {
             end = end.max(record.at);
@@ -113,13 +120,35 @@ impl Timeline {
                         });
                     }
                 }
+                TraceEvent::WorkerStateChange { worker, state } => {
+                    if state == WorkerState::Crashed {
+                        down.entry(worker).or_insert(record.at);
+                    } else if let Some(from) = down.remove(&worker) {
+                        outages.push(BusySpan {
+                            worker,
+                            from,
+                            until: record.at,
+                        });
+                    }
+                }
                 _ => {}
             }
         }
+        // A worker still down when the stream ends stays down to the edge
+        // of the chart.
+        for (worker, from) in down {
+            outages.push(BusySpan {
+                worker,
+                from,
+                until: end,
+            });
+        }
         spans.sort_by_key(|s| (s.worker, s.from));
+        outages.sort_by_key(|s| (s.worker, s.from));
         Timeline {
             workers,
             spans,
+            outages,
             end,
         }
     }
@@ -127,6 +156,12 @@ impl Timeline {
     /// Busy spans, sorted by worker then start time.
     pub fn spans(&self) -> &[BusySpan] {
         &self.spans
+    }
+
+    /// Crash outages, sorted by worker then start time. Empty unless the
+    /// timeline was rebuilt from a trace of a faulted run.
+    pub fn outages(&self) -> &[BusySpan] {
+        &self.outages
     }
 
     /// Per-worker busy fraction over the run.
@@ -154,8 +189,11 @@ impl Timeline {
     }
 
     /// Renders an ASCII Gantt chart, one row per worker, `width`
-    /// characters across the makespan: `#` busy, `.` not executing
-    /// (booting, rebooting, off, or idle).
+    /// characters across the makespan: `#` busy, `x` crashed, `.` not
+    /// executing (booting, rebooting, off, or idle). Crash intervals are
+    /// distinct from ordinary reboot gaps so a fault-injection run reads
+    /// differently from a healthy one at a glance; where a cell is both
+    /// (a job closed the instant the crash hit), busy wins.
     ///
     /// # Panics
     ///
@@ -167,11 +205,13 @@ impl Timeline {
         for worker in 0..self.workers {
             let mut row = vec!['.'; width];
             if total > 0.0 {
-                for span in self.spans.iter().filter(|s| s.worker == worker) {
-                    let a = (span.from.as_secs_f64() / total * width as f64) as usize;
-                    let b = (span.until.as_secs_f64() / total * width as f64).ceil() as usize;
-                    for cell in row.iter_mut().take(b.min(width)).skip(a.min(width)) {
-                        *cell = '#';
+                for (glyph, spans) in [('x', &self.outages), ('#', &self.spans)] {
+                    for span in spans.iter().filter(|s| s.worker == worker) {
+                        let a = (span.from.as_secs_f64() / total * width as f64) as usize;
+                        let b = (span.until.as_secs_f64() / total * width as f64).ceil() as usize;
+                        for cell in row.iter_mut().take(b.min(width)).skip(a.min(width)) {
+                            *cell = glyph;
+                        }
                     }
                 }
             }
@@ -293,9 +333,43 @@ mod tests {
         let timeline = Timeline {
             workers: 1,
             spans,
+            outages: vec![],
             end: SimTime::from_secs(6),
         };
         assert!(timeline.overlap_violation().is_some());
+    }
+
+    #[test]
+    fn crash_outages_render_with_their_own_glyph() {
+        use crate::micro::run_microfaas_with;
+        use crate::recovery::FaultsConfig;
+        use microfaas_sim::faults::{FaultKind, FaultPlan, FaultSpec, FaultTrigger};
+        use microfaas_sim::{Observer, TraceBuffer};
+
+        let mix = WorkloadMix::new(vec![FunctionId::MatMul], 40);
+        let mut config = MicroFaasConfig::paper_prototype(mix, 9);
+        config.faults = FaultsConfig::with_plan(FaultPlan {
+            seed: 4,
+            faults: vec![FaultSpec {
+                kind: FaultKind::Crash,
+                worker: Some(3),
+                trigger: FaultTrigger::At(SimTime::from_secs(10)),
+            }],
+        });
+        let mut buffer = TraceBuffer::new(1 << 16);
+        run_microfaas_with(&config, &mut Observer::tracing(&mut buffer));
+        let timeline = Timeline::from_trace(buffer.iter(), config.workers);
+        let outages = timeline.outages();
+        assert!(!outages.is_empty(), "the injected crash must show up");
+        assert!(outages.iter().all(|o| o.worker == 3));
+        let chart = timeline.render(120);
+        let crashed_row = chart.lines().nth(3).expect("worker 3 row");
+        assert!(
+            crashed_row.contains('x'),
+            "crash interval must render as x: {crashed_row}"
+        );
+        let healthy_row = chart.lines().next().expect("worker 0 row");
+        assert!(!healthy_row.contains('x'), "healthy workers stay x-free");
     }
 
     #[test]
@@ -303,6 +377,7 @@ mod tests {
         let timeline = Timeline {
             workers: 2,
             spans: vec![],
+            outages: vec![],
             end: SimTime::ZERO,
         };
         let chart = timeline.render(10);

@@ -22,6 +22,9 @@ pub enum SbcState {
     Executing,
     /// Rebooting between jobs to restore the known-clean state.
     Rebooting,
+    /// Down after a fault; draws nothing until the orchestrator
+    /// power-cycles it back through a full boot.
+    Crashed,
 }
 
 impl fmt::Display for SbcState {
@@ -32,6 +35,7 @@ impl fmt::Display for SbcState {
             SbcState::Idle => "idle",
             SbcState::Executing => "executing",
             SbcState::Rebooting => "rebooting",
+            SbcState::Crashed => "crashed",
         };
         write!(f, "{name}")
     }
@@ -136,7 +140,7 @@ impl SbcNode {
     /// Instantaneous power draw in the current state.
     pub fn power(&self) -> Watts {
         match self.state {
-            SbcState::Off => self.power_model.off(),
+            SbcState::Off | SbcState::Crashed => self.power_model.off(),
             SbcState::Idle => self.power_model.standby(),
             SbcState::Booting | SbcState::Executing | SbcState::Rebooting => {
                 self.power_model.busy()
@@ -147,7 +151,7 @@ impl SbcNode {
     fn transition(&mut self, now: SimTime, next: SbcState) {
         let elapsed = now.duration_since(self.state_since);
         match self.state {
-            SbcState::Off => self.residency.off += elapsed,
+            SbcState::Off | SbcState::Crashed => self.residency.off += elapsed,
             SbcState::Booting | SbcState::Rebooting => self.residency.booting += elapsed,
             SbcState::Idle => self.residency.idle += elapsed,
             SbcState::Executing => self.residency.executing += elapsed,
@@ -268,6 +272,46 @@ impl SbcNode {
             }),
         }
     }
+
+    /// An injected fault drops the node: any powered state → crashed.
+    /// An in-flight job is lost, *not* counted as completed — the
+    /// orchestrator requeues it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransitionError`] if the node is off or already
+    /// crashed (there is nothing left to kill).
+    pub fn crash(&mut self, now: SimTime) -> Result<(), TransitionError> {
+        match self.state {
+            SbcState::Booting | SbcState::Idle | SbcState::Executing | SbcState::Rebooting => {
+                self.transition(now, SbcState::Crashed);
+                Ok(())
+            }
+            from => Err(TransitionError {
+                from,
+                attempted: "crash",
+            }),
+        }
+    }
+
+    /// The orchestrator power-cycles a crashed node back to life:
+    /// crashed → booting (a full cold boot follows).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransitionError`] unless the node is crashed.
+    pub fn recover(&mut self, now: SimTime) -> Result<(), TransitionError> {
+        match self.state {
+            SbcState::Crashed => {
+                self.transition(now, SbcState::Booting);
+                Ok(())
+            }
+            from => Err(TransitionError {
+                from,
+                attempted: "recover",
+            }),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -349,5 +393,38 @@ mod tests {
     fn boot_duration_is_the_optimized_os() {
         let node = SbcNode::new(0, at(0));
         assert_eq!(node.boot_duration(), SimDuration::from_millis(1_510));
+    }
+
+    #[test]
+    fn crash_drops_the_job_and_recovery_is_a_cold_boot() {
+        let mut node = SbcNode::new(0, at(0));
+        node.power_on(at(0)).expect("on");
+        node.boot_complete(at(2)).expect("boot");
+        node.start_job(at(3)).expect("start");
+        node.crash(at(5)).expect("executing -> crashed");
+        assert_eq!(node.state(), SbcState::Crashed);
+        assert_eq!(node.power().value(), 0.0, "a crashed node draws nothing");
+        assert_eq!(node.jobs_completed(), 0, "the in-flight job is lost");
+        assert!(node.start_job(at(6)).is_err(), "dead nodes take no work");
+        node.recover(at(7)).expect("crashed -> booting");
+        assert_eq!(node.state(), SbcState::Booting);
+        node.boot_complete(at(9)).expect("booting -> idle");
+        // Residency: 2 s executing (3..5), 2 s down counted as off (5..7),
+        // then 2 s booting for the recovery cold boot (7..9).
+        let r = node.residency();
+        assert_eq!(r.executing, SimDuration::from_secs(2));
+        assert_eq!(r.off, SimDuration::from_secs(2));
+        assert_eq!(r.booting, SimDuration::from_secs(2 + 2));
+    }
+
+    #[test]
+    fn crash_needs_a_powered_node() {
+        let mut node = SbcNode::new(0, at(0));
+        let err = node.crash(at(0)).expect_err("off nodes cannot crash");
+        assert_eq!(err.to_string(), "cannot crash while off");
+        assert!(node.recover(at(0)).is_err(), "nothing to recover");
+        node.power_on(at(0)).expect("on");
+        node.crash(at(1)).expect("booting -> crashed");
+        assert!(node.crash(at(2)).is_err(), "already down");
     }
 }

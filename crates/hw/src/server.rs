@@ -25,6 +25,8 @@ pub enum VmState {
     Executing,
     /// Rebooting its worker OS between jobs.
     Rebooting,
+    /// The QEMU process died; the VM burns no CPU until respawned.
+    Crashed,
 }
 
 impl fmt::Display for VmState {
@@ -33,6 +35,7 @@ impl fmt::Display for VmState {
             VmState::Idle => "idle",
             VmState::Executing => "executing",
             VmState::Rebooting => "rebooting",
+            VmState::Crashed => "crashed",
         };
         write!(f, "{name}")
     }
@@ -72,9 +75,10 @@ impl VmWorker {
         self.jobs_completed
     }
 
-    /// Whether the VM currently occupies host CPU.
+    /// Whether the VM currently occupies host CPU. A crashed VM's
+    /// process is gone, so its CPU share flows back to the survivors.
     pub fn is_busy(&self) -> bool {
-        !matches!(self.state, VmState::Idle)
+        !matches!(self.state, VmState::Idle | VmState::Crashed)
     }
 }
 
@@ -279,6 +283,57 @@ impl RackServer {
         }
     }
 
+    /// An injected fault kills `vm`'s QEMU process: any live state →
+    /// crashed. An in-flight job is lost (not counted) and the VM's CPU
+    /// share immediately rebalances to the surviving workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmTransitionError`] if the VM is already crashed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vm` is out of range.
+    pub fn crash_vm(&mut self, vm: usize, now: SimTime) -> Result<(), VmTransitionError> {
+        let worker = self.vm_mut(vm);
+        match worker.state {
+            VmState::Idle | VmState::Executing | VmState::Rebooting => {
+                worker.state = VmState::Crashed;
+                worker.state_since = now;
+                Ok(())
+            }
+            from => Err(VmTransitionError {
+                vm,
+                from,
+                attempted: "crash",
+            }),
+        }
+    }
+
+    /// The orchestrator spawns a replacement QEMU process for a crashed
+    /// VM: crashed → rebooting. The respawn occupies CPU until
+    /// [`RackServer::reboot_complete`], like any other boot — callers
+    /// model the extra process-spawn cost as a longer boot window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmTransitionError`] unless the VM is crashed.
+    pub fn respawn_vm(&mut self, vm: usize, now: SimTime) -> Result<(), VmTransitionError> {
+        let worker = self.vm_mut(vm);
+        match worker.state {
+            VmState::Crashed => {
+                worker.state = VmState::Rebooting;
+                worker.state_since = now;
+                Ok(())
+            }
+            from => Err(VmTransitionError {
+                vm,
+                from,
+                attempted: "respawn",
+            }),
+        }
+    }
+
     /// Total jobs completed across all VMs.
     pub fn total_jobs(&self) -> u64 {
         self.vms.iter().map(|v| v.jobs_completed).sum()
@@ -376,5 +431,45 @@ mod tests {
     #[should_panic(expected = "exceed the host's")]
     fn overcommitted_memory_panics() {
         RackServer::new(31, SimTime::ZERO);
+    }
+
+    #[test]
+    fn crashed_vm_frees_its_cpu_share() {
+        let mut server = RackServer::new(2, SimTime::ZERO);
+        server.start_job(0, SimTime::ZERO).expect("start");
+        server.start_job(1, SimTime::ZERO).expect("start");
+        assert_eq!(server.busy_vms(), 2);
+        server.crash_vm(1, SimTime::from_secs(1)).expect("crash");
+        assert_eq!(server.vm(1).state(), VmState::Crashed);
+        assert_eq!(server.busy_vms(), 1, "dead QEMU burns no CPU");
+        assert_eq!(
+            server.vm(1).jobs_completed(),
+            0,
+            "the in-flight job is lost, not completed"
+        );
+        assert!(
+            server.start_job(1, SimTime::from_secs(2)).is_err(),
+            "crashed VMs take no work"
+        );
+        assert!(server.crash_vm(1, SimTime::from_secs(2)).is_err());
+    }
+
+    #[test]
+    fn respawn_goes_through_a_reboot_window() {
+        let mut server = RackServer::new(1, SimTime::ZERO);
+        assert!(
+            server.respawn_vm(0, SimTime::ZERO).is_err(),
+            "only crashed VMs respawn"
+        );
+        server.crash_vm(0, SimTime::ZERO).expect("crash idle VM");
+        server
+            .respawn_vm(0, SimTime::from_secs(1))
+            .expect("respawn");
+        assert_eq!(server.vm(0).state(), VmState::Rebooting);
+        assert_eq!(server.busy_vms(), 1, "the respawn burns CPU like a boot");
+        server
+            .reboot_complete(0, SimTime::from_secs(2))
+            .expect("respawn finishes");
+        assert_eq!(server.vm(0).state(), VmState::Idle);
     }
 }

@@ -140,6 +140,7 @@ pub struct Network {
     nodes: Vec<Node>,
     total_bytes: u64,
     messages: u64,
+    messages_lost: u64,
 }
 
 impl Network {
@@ -151,6 +152,7 @@ impl Network {
             nodes: Vec::new(),
             total_bytes: 0,
             messages: 0,
+            messages_lost: 0,
         }
     }
 
@@ -270,6 +272,27 @@ impl Network {
     /// Total messages carried since construction.
     pub fn message_count(&self) -> u64 {
         self.messages
+    }
+
+    /// Sends like [`Self::send`], but the message is lost in flight: it
+    /// occupies both ports and counts as carried traffic, yet the
+    /// payload never arrives. The returned instant is when delivery
+    /// *would* have completed — the earliest moment a sender-side
+    /// timeout can notice the loss and trigger a retransmission (used
+    /// by the fault-injection model, `docs/FAILURE_MODEL.md`).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Self::send`].
+    pub fn send_lost(&mut self, now: SimTime, from: NodeId, to: NodeId, bytes: u64) -> SimTime {
+        let would_deliver = self.send(now, from, to, bytes);
+        self.messages_lost += 1;
+        would_deliver
+    }
+
+    /// Messages recorded as lost via [`Self::send_lost`].
+    pub fn lost_count(&self) -> u64 {
+        self.messages_lost
     }
 }
 
@@ -403,6 +426,23 @@ mod tests {
         );
         assert_eq!(net.total_bytes(), 800);
         assert_eq!(net.message_count(), 2);
+    }
+
+    #[test]
+    fn lost_messages_still_occupy_the_wire() {
+        let (mut net, a, b) = two_node_net();
+        let would_deliver = net.send_lost(SimTime::ZERO, a, b, 1_000_000);
+        assert!(
+            would_deliver.as_secs_f64() > 0.08,
+            "loss noticed after the window"
+        );
+        assert_eq!(net.lost_count(), 1);
+        assert_eq!(net.message_count(), 1, "the frames were carried");
+        // The retransmission queues behind the wasted transmission.
+        let retransmitted = net.send(would_deliver, a, b, 1_000_000);
+        assert!(retransmitted > would_deliver);
+        assert_eq!(net.lost_count(), 1, "plain send is not a loss");
+        assert_eq!(net.traffic(a).bytes_sent, 2_000_000);
     }
 
     #[test]

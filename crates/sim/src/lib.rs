@@ -22,6 +22,12 @@
 //! * [`metrics`] — a [`MetricsRegistry`] of named counters, gauges, and
 //!   fixed-bucket histograms with Prometheus text exposition.
 //!
+//! And one fault-injection module (see `docs/FAILURE_MODEL.md`):
+//!
+//! * [`faults`] — seeded [`FaultPlan`]s (node crashes, boot failures,
+//!   hangs, transfer losses) drawn through a [`FaultInjector`] whose
+//!   private RNG stream keeps fault-free runs bit-identical.
+//!
 //! # Examples
 //!
 //! A tiny simulation — a Poisson arrival process counted over one minute:
@@ -49,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod metrics;
 mod queue;
 mod rng;
@@ -56,6 +63,7 @@ mod stats;
 mod time;
 pub mod trace;
 
+pub use faults::{FaultInjector, FaultKind, FaultPlan, FaultPlanError, FaultSpec, FaultTrigger};
 pub use metrics::{CounterId, GaugeId, HistogramId, MetricsRegistry};
 pub use queue::{EventId, EventQueue};
 pub use rng::{Rng, SplitMix64};

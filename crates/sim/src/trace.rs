@@ -34,6 +34,8 @@ pub enum WorkerState {
     Executing,
     /// Rebooting between jobs for a pristine runtime.
     Rebooting,
+    /// Down after an injected fault; drawing nothing until recovered.
+    Crashed,
 }
 
 impl WorkerState {
@@ -45,6 +47,7 @@ impl WorkerState {
             WorkerState::Idle => "idle",
             WorkerState::Executing => "executing",
             WorkerState::Rebooting => "rebooting",
+            WorkerState::Crashed => "crashed",
         }
     }
 }
@@ -141,6 +144,49 @@ pub enum TraceEvent {
         /// Payload size in bytes.
         bytes: u64,
     },
+    /// A fault from the active [`crate::faults::FaultPlan`] fired.
+    FaultInjected {
+        /// Worker the fault struck.
+        worker: usize,
+        /// Fault kind label (`"crash"`, `"boot_failure"`, ...).
+        fault: &'static str,
+    },
+    /// An in-flight job was pulled back off a failed worker.
+    JobRequeued {
+        /// Job id.
+        job: u64,
+        /// Function name label.
+        function: &'static str,
+        /// Worker the job was running on when it failed.
+        worker: usize,
+    },
+    /// The orchestrator scheduled a bounded retry with backoff.
+    JobRetryScheduled {
+        /// Job id.
+        job: u64,
+        /// Function name label.
+        function: &'static str,
+        /// Retry attempt number (1 = first retry).
+        attempt: u32,
+        /// Backoff delay before the job re-enters the queue.
+        delay: SimDuration,
+    },
+    /// A queued job was shed to protect degraded capacity.
+    JobShed {
+        /// Job id.
+        job: u64,
+        /// Function name label.
+        function: &'static str,
+    },
+    /// A job exhausted its retry budget and was abandoned.
+    JobFailed {
+        /// Job id.
+        job: u64,
+        /// Function name label.
+        function: &'static str,
+        /// Retry attempts consumed before giving up.
+        attempts: u32,
+    },
 }
 
 impl TraceEvent {
@@ -155,6 +201,11 @@ impl TraceEvent {
             TraceEvent::JobTimedOut { .. } => "job_timed_out",
             TraceEvent::PowerSample { .. } => "power_sample",
             TraceEvent::NetTransfer { .. } => "net_transfer",
+            TraceEvent::FaultInjected { .. } => "fault_injected",
+            TraceEvent::JobRequeued { .. } => "job_requeued",
+            TraceEvent::JobRetryScheduled { .. } => "job_retry_scheduled",
+            TraceEvent::JobShed { .. } => "job_shed",
+            TraceEvent::JobFailed { .. } => "job_failed",
         }
     }
 }
@@ -238,6 +289,45 @@ impl TraceRecord {
                 let _ = write!(
                     out,
                     ",\"src\":\"{src}\",\"dst\":\"{dst}\",\"bytes\":{bytes}"
+                );
+            }
+            TraceEvent::FaultInjected { worker, fault } => {
+                let _ = write!(out, ",\"worker\":{worker},\"fault\":\"{fault}\"");
+            }
+            TraceEvent::JobRequeued {
+                job,
+                function,
+                worker,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"job\":{job},\"function\":\"{function}\",\"worker\":{worker}"
+                );
+            }
+            TraceEvent::JobRetryScheduled {
+                job,
+                function,
+                attempt,
+                delay,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"job\":{job},\"function\":\"{function}\",\"attempt\":{attempt},\
+                     \"delay_us\":{}",
+                    delay.as_micros()
+                );
+            }
+            TraceEvent::JobShed { job, function } => {
+                let _ = write!(out, ",\"job\":{job},\"function\":\"{function}\"");
+            }
+            TraceEvent::JobFailed {
+                job,
+                function,
+                attempts,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"job\":{job},\"function\":\"{function}\",\"attempts\":{attempts}"
                 );
             }
         }
@@ -555,6 +645,30 @@ mod tests {
                 dst: Endpoint::Service("kv"),
                 bytes: 1500,
             },
+            TraceEvent::FaultInjected {
+                worker: 3,
+                fault: "crash",
+            },
+            TraceEvent::JobRequeued {
+                job: 9,
+                function: "CascSHA",
+                worker: 3,
+            },
+            TraceEvent::JobRetryScheduled {
+                job: 9,
+                function: "CascSHA",
+                attempt: 1,
+                delay: SimDuration::from_millis(250),
+            },
+            TraceEvent::JobShed {
+                job: 10,
+                function: "MatMul",
+            },
+            TraceEvent::JobFailed {
+                job: 9,
+                function: "CascSHA",
+                attempts: 3,
+            },
         ];
         let mut buffer = TraceBuffer::new(events.len());
         for (i, &event) in events.iter().enumerate() {
@@ -569,9 +683,27 @@ mod tests {
             );
         }
         // Spot-check endpoint rendering.
-        let last = buffer.iter().last().unwrap().to_json();
-        assert!(last.contains("\"src\":\"worker:2\""), "{last}");
-        assert!(last.contains("\"dst\":\"kv\""), "{last}");
+        let transfer = buffer
+            .iter()
+            .find(|r| r.event.kind() == "net_transfer")
+            .unwrap()
+            .to_json();
+        assert!(transfer.contains("\"src\":\"worker:2\""), "{transfer}");
+        assert!(transfer.contains("\"dst\":\"kv\""), "{transfer}");
+        // And fault-event payloads.
+        let retry = buffer
+            .iter()
+            .find(|r| r.event.kind() == "job_retry_scheduled")
+            .unwrap()
+            .to_json();
+        assert!(retry.contains("\"attempt\":1"), "{retry}");
+        assert!(retry.contains("\"delay_us\":250000"), "{retry}");
+        let fault = buffer
+            .iter()
+            .find(|r| r.event.kind() == "fault_injected")
+            .unwrap()
+            .to_json();
+        assert!(fault.contains("\"fault\":\"crash\""), "{fault}");
     }
 
     #[test]

@@ -32,6 +32,7 @@ fn main() {
             scheduler: policy,
             jitter: Jitter::default_run_to_run(),
             functions: FunctionId::ALL.to_vec(),
+            faults: microfaas::FaultsConfig::none(),
         });
         println!(
             "{name:<14} {:>8.2}s {:>8.2}s {:>9.2} {:>13.2} {:>13}",
