@@ -27,4 +27,17 @@ echo "$out" | grep -q "faults injected:   0" && {
 echo "$out" | grep -q "accounted:         34 of 34 submitted" || {
     echo "faulted run lost jobs"; exit 1; }
 
+echo "==> serial/parallel determinism parity (tests/parallel_exec.rs)"
+cargo test -q --test parallel_exec
+
+echo "==> parallel sweep smoke: --jobs 2 CSV must be byte-identical to --jobs 1"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+cargo run --release -q -p microfaas-cli -- sweep \
+    --max-vms 4 --invocations 2 --seed 7 --jobs 1 --csv "$tmpdir/serial.csv"
+cargo run --release -q -p microfaas-cli -- sweep \
+    --max-vms 4 --invocations 2 --seed 7 --jobs 2 --csv "$tmpdir/parallel.csv"
+cmp "$tmpdir/serial.csv" "$tmpdir/parallel.csv" || {
+    echo "parallel sweep diverged from serial"; exit 1; }
+
 echo "All checks passed."

@@ -5,8 +5,8 @@ use std::path::Path;
 use microfaas::config::WorkloadMix;
 use microfaas::conventional::{run_conventional_with, ConventionalConfig};
 use microfaas::experiment::{
-    compare_suites, compare_suites_faulted, compare_suites_metered, energy_proportionality,
-    microfaas_reference, vm_sweep,
+    compare_suites_faulted_jobs, compare_suites_jobs, conventional_replicates,
+    energy_proportionality, micro_replicates, microfaas_reference, vm_sweep_jobs,
 };
 use microfaas::micro::{run_microfaas_with, MicroFaasConfig};
 use microfaas::openloop::{run_open_loop, ArrivalProcess, OpenLoopConfig, SchedulerPolicy};
@@ -15,7 +15,7 @@ use microfaas::{FaultsConfig, Jitter};
 use microfaas_hw::boot::{BootPlatform, BootProfile};
 use microfaas_hw::reliability::{simulate_fleet, FleetSpec};
 use microfaas_sim::faults::FaultPlan;
-use microfaas_sim::{MetricsRegistry, Observer, Rng, SimDuration, TraceBuffer};
+use microfaas_sim::{Jobs, MetricsRegistry, Observer, Rng, SimDuration, TraceBuffer};
 use microfaas_tco::{savings_percent, ClusterSpec, Conditions, CostModel};
 use microfaas_workloads::suite::{run_function, FunctionId, ServiceBackends};
 
@@ -65,10 +65,12 @@ SUBCOMMANDS
                      --invocations N (default 100)  --seed S  --csv PATH
                      --metrics-out PATH (Prometheus text exposition)
                      --faults PATH (JSON fault plan applied to both clusters)
+                     --jobs N (parallel runs; default: available cores)
   boot             worker-OS boot-time progression (Fig. 1)
                      --csv PATH
   sweep            conventional-cluster VM sweep (Fig. 4)
                      --max-vms N (default 20)  --invocations N  --seed S  --csv PATH
+                     --jobs N (parallel sweep points; default: available cores)
   proportionality  power vs active workers (Fig. 5)
                      --workers N (default 10)  --csv PATH
   tco              5-year lifetime cost (Table II)
@@ -84,6 +86,7 @@ SUBCOMMANDS
                      --invocations N (default 15)  --width N (default 72)  --seed S
   scale            MicroFaaS worker-count linearity sweep (paper SIII-c)
                      --invocations N (default 30)  --seed S  --csv PATH
+                     --jobs N (parallel sweep points; default: available cores)
   trace            record a traced run and export observability artifacts
                      --cluster micro|conventional (default micro)
                      --invocations N (default 25)  --seed S
@@ -99,7 +102,14 @@ SUBCOMMANDS
                      --out PATH (JSON-lines trace)
                      --metrics-out PATH (Prometheus text exposition)
                      --csv PATH (flattened metrics as metric,value rows)
-  help             this text"
+                     --replicates R (Monte-Carlo over seeds S..S+R-1; prints
+                       aggregate stats instead of the single-run timeline)
+                     --jobs N (parallel replicates; default: available cores)
+  help             this text
+
+Parallel runs are bit-identical to serial: sweeps and replicates fan out
+over --jobs threads but gather results in canonical order (set
+MICROFAAS_JOBS to change the default; see docs/PERFORMANCE.md)."
 }
 
 fn maybe_csv(args: &Args, csv: &Csv) -> Result<(), ParseArgsError> {
@@ -118,6 +128,16 @@ fn write_text(path: &str, text: &str) -> Result<(), ParseArgsError> {
     Ok(())
 }
 
+/// Resolves `--jobs N` (default: available parallelism, overridable via
+/// the `MICROFAAS_JOBS` environment variable). Any job count yields
+/// bit-identical results — see `docs/PERFORMANCE.md`.
+fn jobs_flag(args: &Args) -> Result<Jobs, ParseArgsError> {
+    match args.get_str("jobs") {
+        None => Ok(Jobs::auto()),
+        Some(raw) => raw.parse::<Jobs>().map_err(ParseArgsError),
+    }
+}
+
 fn load_plan(path: &str) -> Result<FaultPlan, ParseArgsError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| ParseArgsError(format!("cannot read '{path}': {e}")))?;
@@ -125,22 +145,32 @@ fn load_plan(path: &str) -> Result<FaultPlan, ParseArgsError> {
 }
 
 fn compare(args: &Args) -> Result<(), ParseArgsError> {
-    args.expect_only(&["invocations", "seed", "csv", "metrics-out", "faults"])?;
+    args.expect_only(&[
+        "invocations",
+        "seed",
+        "csv",
+        "metrics-out",
+        "faults",
+        "jobs",
+    ])?;
     let invocations = args.get_or("invocations", 100u32)?;
     let seed = args.get_or("seed", 2022u64)?;
+    let jobs = jobs_flag(args)?;
     let plan = args.get_str("faults").map(load_plan).transpose()?;
     let mut metrics = MetricsRegistry::new();
-    let cmp = if let Some(plan) = &plan {
-        compare_suites_faulted(
+    let cmp = if plan.is_some() || args.get_str("metrics-out").is_some() {
+        compare_suites_faulted_jobs(
             invocations,
             seed,
-            &FaultsConfig::with_plan(plan.clone()),
+            &plan
+                .clone()
+                .map(FaultsConfig::with_plan)
+                .unwrap_or_else(FaultsConfig::none),
             &mut metrics,
+            jobs,
         )
-    } else if args.get_str("metrics-out").is_some() {
-        compare_suites_metered(invocations, seed, &mut metrics)
     } else {
-        compare_suites(invocations, seed)
+        compare_suites_jobs(invocations, seed, jobs)
     };
 
     let mut csv = Csv::new(&[
@@ -220,12 +250,13 @@ fn boot(args: &Args) -> Result<(), ParseArgsError> {
 }
 
 fn sweep(args: &Args) -> Result<(), ParseArgsError> {
-    args.expect_only(&["max-vms", "invocations", "seed", "csv"])?;
+    args.expect_only(&["max-vms", "invocations", "seed", "csv", "jobs"])?;
     let max_vms = args.get_or("max-vms", 20usize)?;
     let invocations = args.get_or("invocations", 40u32)?;
     let seed = args.get_or("seed", 2022u64)?;
+    let jobs = jobs_flag(args)?;
     let reference = microfaas_reference(invocations, seed);
-    let points = vm_sweep(max_vms, invocations, seed);
+    let points = vm_sweep_jobs(max_vms, invocations, seed, jobs);
     let mut csv = Csv::new(&["vms", "func_per_min", "joules_per_function"]);
     println!(
         "(MicroFaaS reference: {:.1} f/min, {:.2} J/func)",
@@ -391,10 +422,12 @@ fn timeline(args: &Args) -> Result<(), ParseArgsError> {
 }
 
 fn scale(args: &Args) -> Result<(), ParseArgsError> {
-    args.expect_only(&["invocations", "seed", "csv"])?;
+    args.expect_only(&["invocations", "seed", "csv", "jobs"])?;
     let invocations = args.get_or("invocations", 30u32)?;
     let seed = args.get_or("seed", 2022u64)?;
-    let points = microfaas::experiment::sbc_scale_sweep(&[5, 10, 20, 40, 80], invocations, seed);
+    let jobs = jobs_flag(args)?;
+    let points =
+        microfaas::experiment::sbc_scale_sweep_jobs(&[5, 10, 20, 40, 80], invocations, seed, jobs);
     let mut csv = Csv::new(&["workers", "func_per_min", "per_node", "joules_per_function"]);
     println!(
         "{:>8} {:>14} {:>12} {:>10}",
@@ -505,6 +538,8 @@ fn faults(args: &Args) -> Result<(), ParseArgsError> {
         "out",
         "metrics-out",
         "csv",
+        "jobs",
+        "replicates",
     ])?;
     let path = args.get_str("plan").unwrap_or("examples/faults_crash.json");
     let plan = load_plan(path)?;
@@ -513,6 +548,14 @@ fn faults(args: &Args) -> Result<(), ParseArgsError> {
     let width = args.get_or("width", 72usize)?;
     if width == 0 {
         return Err(ParseArgsError("--width must be positive".to_string()));
+    }
+    let jobs = jobs_flag(args)?;
+    let replicates = args.get_or("replicates", 1u32)?;
+    if replicates == 0 {
+        return Err(ParseArgsError("--replicates must be positive".to_string()));
+    }
+    if replicates > 1 {
+        return faults_replicated(args, path, plan, invocations, seed, jobs, replicates);
     }
     let mix = evaluation_mix(invocations);
     let submitted = mix.total_jobs();
@@ -565,6 +608,104 @@ fn faults(args: &Args) -> Result<(), ParseArgsError> {
     }
     let mut csv = Csv::new(&["metric", "value"]);
     for (name, value) in metrics.flatten() {
+        csv.row_display(&[&name, &value]);
+    }
+    maybe_csv(args, &csv)
+}
+
+/// The `faults --replicates R` Monte-Carlo mode: runs `R` seed
+/// replicates of the faulted cluster concurrently (under `--jobs`) and
+/// prints aggregate statistics instead of a single-run timeline. The
+/// per-seed runs are aggregated in canonical seed order, so the numbers
+/// are bit-identical at every job count.
+fn faults_replicated(
+    args: &Args,
+    path: &str,
+    plan: FaultPlan,
+    invocations: u32,
+    seed: u64,
+    jobs: Jobs,
+    replicates: u32,
+) -> Result<(), ParseArgsError> {
+    for flag in ["out", "metrics-out"] {
+        if args.get_str(flag).is_some() {
+            return Err(ParseArgsError(format!(
+                "--{flag} exports single-run artifacts; drop it or run with --replicates 1"
+            )));
+        }
+    }
+    let mix = evaluation_mix(invocations);
+    let submitted_per_run = mix.total_jobs();
+    let cluster = args.get_str("cluster").unwrap_or("micro");
+    let summary = match cluster {
+        "micro" => {
+            let mut config = MicroFaasConfig::paper_prototype(mix, seed);
+            config.faults = FaultsConfig::with_plan(plan);
+            micro_replicates(&config, replicates, seed, jobs)
+        }
+        "conventional" => {
+            let mut config = ConventionalConfig::paper_baseline(mix, seed);
+            config.faults = FaultsConfig::with_plan(plan);
+            conventional_replicates(&config, replicates, seed, jobs)
+        }
+        other => {
+            return Err(ParseArgsError(format!(
+                "unknown cluster '{other}' (micro | conventional)"
+            )))
+        }
+    };
+
+    println!("fault plan: {path}");
+    println!(
+        "replicates:        {} (seeds {}..={})",
+        summary.runs,
+        seed,
+        seed + (replicates - 1) as u64
+    );
+    let fpm = &summary.functions_per_minute;
+    println!(
+        "throughput:        {:.1} ± {:.1} func/min (min {:.1}, max {:.1})",
+        fpm.mean(),
+        fpm.std_dev(),
+        fpm.min().unwrap_or(f64::NAN),
+        fpm.max().unwrap_or(f64::NAN)
+    );
+    let jpf = &summary.joules_per_function;
+    println!(
+        "energy:            {:.2} ± {:.2} J/func",
+        jpf.mean(),
+        jpf.std_dev()
+    );
+    println!(
+        "makespan:          {:.1} ± {:.1} s",
+        summary.makespan_seconds.mean(),
+        summary.makespan_seconds.std_dev()
+    );
+    println!(
+        "faults injected:   {} total ({:.1} per run)",
+        summary.faults_injected,
+        summary.faults_injected as f64 / replicates as f64
+    );
+    println!("retries scheduled: {}", summary.fault_retries);
+    println!(
+        "accounted:         {} of {} submitted",
+        summary.jobs_completed + summary.jobs_dropped,
+        submitted_per_run * replicates as u64
+    );
+
+    let mut csv = Csv::new(&["metric", "value"]);
+    for (name, value) in [
+        ("replicates", summary.runs as f64),
+        ("func_per_min_mean", fpm.mean()),
+        ("func_per_min_std", fpm.std_dev()),
+        ("joules_per_function_mean", jpf.mean()),
+        ("joules_per_function_std", jpf.std_dev()),
+        ("makespan_seconds_mean", summary.makespan_seconds.mean()),
+        ("faults_injected_total", summary.faults_injected as f64),
+        ("retries_total", summary.fault_retries as f64),
+        ("jobs_completed_total", summary.jobs_completed as f64),
+        ("jobs_dropped_total", summary.jobs_dropped as f64),
+    ] {
         csv.row_display(&[&name, &value]);
     }
     maybe_csv(args, &csv)
@@ -624,6 +765,37 @@ mod tests {
     #[test]
     fn compare_small_runs() {
         run(&["compare", "--invocations", "5", "--seed", "1"]).expect("runs");
+    }
+
+    #[test]
+    fn jobs_flag_is_validated() {
+        assert!(run(&["compare", "--invocations", "2", "--jobs", "0"]).is_err());
+        assert!(run(&["sweep", "--max-vms", "2", "--jobs", "nope"]).is_err());
+        run(&[
+            "compare",
+            "--invocations",
+            "2",
+            "--seed",
+            "1",
+            "--jobs",
+            "2",
+        ])
+        .expect("runs");
+    }
+
+    #[test]
+    fn sweep_and_scale_accept_jobs() {
+        run(&[
+            "sweep",
+            "--max-vms",
+            "3",
+            "--invocations",
+            "2",
+            "--jobs",
+            "2",
+        ])
+        .expect("sweep runs");
+        run(&["scale", "--invocations", "2", "--seed", "2", "--jobs", "3"]).expect("scale runs");
     }
 
     #[test]
@@ -757,6 +929,75 @@ mod tests {
             "7",
         ])
         .expect("conv runs");
+    }
+
+    #[test]
+    fn faults_replicates_validates_and_runs() {
+        assert!(run(&["faults", "--plan", EXAMPLE_PLAN, "--replicates", "0"]).is_err());
+        assert!(
+            run(&[
+                "faults",
+                "--plan",
+                EXAMPLE_PLAN,
+                "--replicates",
+                "2",
+                "--out",
+                "/tmp/never.jsonl",
+            ])
+            .is_err(),
+            "trace export is a single-run artifact"
+        );
+        run(&[
+            "faults",
+            "--plan",
+            EXAMPLE_PLAN,
+            "--invocations",
+            "2",
+            "--seed",
+            "7",
+            "--replicates",
+            "3",
+            "--jobs",
+            "2",
+        ])
+        .expect("replicated micro runs");
+        run(&[
+            "faults",
+            "--plan",
+            EXAMPLE_PLAN,
+            "--cluster",
+            "conventional",
+            "--invocations",
+            "2",
+            "--replicates",
+            "2",
+        ])
+        .expect("replicated conv runs");
+    }
+
+    #[test]
+    fn faults_replicates_csv_exports_summary() {
+        let path = std::env::temp_dir().join("microfaas_cli_test_replicates.csv");
+        let _ = std::fs::remove_file(&path);
+        run(&[
+            "faults",
+            "--plan",
+            EXAMPLE_PLAN,
+            "--invocations",
+            "2",
+            "--seed",
+            "7",
+            "--replicates",
+            "2",
+            "--csv",
+            path.to_str().expect("utf-8 temp path"),
+        ])
+        .expect("runs");
+        let written = std::fs::read_to_string(&path).expect("csv written");
+        assert!(written.starts_with("metric,value"));
+        assert!(written.contains("replicates,2"));
+        assert!(written.contains("func_per_min_mean,"));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

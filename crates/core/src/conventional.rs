@@ -7,6 +7,8 @@
 //! power-cycled, and its CPU share rebalances onto the survivors while
 //! it is down. See `docs/FAILURE_MODEL.md`.
 
+use std::sync::Arc;
+
 use microfaas_energy::{ChannelId, EnergyMeter};
 use microfaas_hw::server::{RackServer, VmState};
 use microfaas_net::LinkSpec;
@@ -36,8 +38,9 @@ pub struct ConventionalConfig {
     /// Number of microVMs on the rack server (the paper uses 6 for
     /// throughput parity with 10 SBCs, and sweeps 1–20 for Fig. 4).
     pub vms: usize,
-    /// Workload to run.
-    pub mix: WorkloadMix,
+    /// Workload to run. Shared behind an [`Arc`] so sweeps and
+    /// replicates clone configs without copying the function list.
+    pub mix: Arc<WorkloadMix>,
     /// RNG seed.
     pub seed: u64,
     /// Run-to-run service-time variation.
@@ -59,11 +62,13 @@ pub struct ConventionalConfig {
 }
 
 impl ConventionalConfig {
-    /// The paper's throughput-matched baseline: six microVMs.
-    pub fn paper_baseline(mix: WorkloadMix, seed: u64) -> Self {
+    /// The paper's throughput-matched baseline: six microVMs. Accepts
+    /// the mix owned or pre-shared (`Arc<WorkloadMix>` — both convert),
+    /// so sweeps build it once and share it across points.
+    pub fn paper_baseline(mix: impl Into<Arc<WorkloadMix>>, seed: u64) -> Self {
         ConventionalConfig {
             vms: 6,
-            mix,
+            mix: mix.into(),
             seed,
             jitter: Jitter::default_run_to_run(),
             reboot_between_jobs: true,
@@ -269,7 +274,9 @@ impl<'a, 'b> ConvSim<'a, 'b> {
             config,
             observer,
             rng,
-            queue: EventQueue::new(),
+            // Sized like the MicroFaaS queue: a few live events per VM
+            // plus timers and planned crashes, reserved up front.
+            queue: EventQueue::with_capacity(4 * config.vms + 16),
             meter,
             server,
             cnet,

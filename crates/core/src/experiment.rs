@@ -1,8 +1,20 @@
 //! Experiment drivers — one function per figure or table of the paper's
 //! evaluation (Section V). The bench targets in `microfaas-bench` print
 //! these results; integration tests assert their shapes.
+//!
+//! Every sweep and replicate driver here runs on the parallel
+//! deterministic experiment engine ([`microfaas_sim::exec`]): pass
+//! [`Jobs`] to the `*_jobs` variants to fan independent simulation runs
+//! across cores. Output is **bit-identical** for every job count — each
+//! run derives all randomness from its own config and seed, and results
+//! are gathered in canonical submission order (see
+//! `docs/PERFORMANCE.md`). The plain entry points default to
+//! [`Jobs::auto`] (available parallelism, overridable via the
+//! `MICROFAAS_JOBS` environment variable).
 
-use microfaas_sim::{MetricsRegistry, Observer};
+use std::sync::Arc;
+
+use microfaas_sim::{exec, Jobs, MetricsRegistry, Observer, OnlineStats};
 use microfaas_workloads::FunctionId;
 
 use crate::config::WorkloadMix;
@@ -12,6 +24,15 @@ use crate::conventional::{
 use crate::micro::{run_microfaas, run_microfaas_with, sbc_cluster_power, MicroFaasConfig};
 use crate::recovery::FaultsConfig;
 use crate::report::ClusterRun;
+
+/// The paper's evaluation mix, shared across sweep points without
+/// re-allocating the function list per run.
+fn suite_mix(invocations_per_function: u32) -> Arc<WorkloadMix> {
+    Arc::new(WorkloadMix::new(
+        FunctionId::ALL.to_vec(),
+        invocations_per_function,
+    ))
+}
 
 /// One row of the Fig. 3 runtime-breakdown chart.
 #[derive(Debug, Clone, PartialEq)]
@@ -90,10 +111,30 @@ impl SuiteComparison {
 
 /// Runs the paper's main experiment — the full suite on both clusters —
 /// with `invocations_per_function` per function (the paper uses 1,000).
+/// The two cluster runs execute concurrently under [`Jobs::auto`].
 pub fn compare_suites(invocations_per_function: u32, seed: u64) -> SuiteComparison {
-    let mix = WorkloadMix::new(FunctionId::ALL.to_vec(), invocations_per_function);
-    let micro = run_microfaas(&MicroFaasConfig::paper_prototype(mix.clone(), seed));
-    let conventional = run_conventional(&ConventionalConfig::paper_baseline(mix, seed));
+    compare_suites_jobs(invocations_per_function, seed, Jobs::auto())
+}
+
+/// [`compare_suites`] with an explicit [`Jobs`] budget: the MicroFaaS
+/// and conventional runs are independent simulations, so with `jobs >=
+/// 2` they execute on separate threads. Bit-identical at every job
+/// count.
+pub fn compare_suites_jobs(
+    invocations_per_function: u32,
+    seed: u64,
+    jobs: Jobs,
+) -> SuiteComparison {
+    let mix = suite_mix(invocations_per_function);
+    let mut runs = exec::par_map_indexed(jobs, 2, |i| {
+        if i == 0 {
+            run_microfaas(&MicroFaasConfig::paper_prototype(Arc::clone(&mix), seed))
+        } else {
+            run_conventional(&ConventionalConfig::paper_baseline(Arc::clone(&mix), seed))
+        }
+    });
+    let conventional = runs.pop().expect("two runs");
+    let micro = runs.pop().expect("two runs");
     breakdown(micro, conventional)
 }
 
@@ -108,16 +149,27 @@ pub fn compare_suites_metered(
     seed: u64,
     metrics: &mut MetricsRegistry,
 ) -> SuiteComparison {
-    let mix = WorkloadMix::new(FunctionId::ALL.to_vec(), invocations_per_function);
-    let micro = run_microfaas_with(
-        &MicroFaasConfig::paper_prototype(mix.clone(), seed),
-        &mut Observer::metered(metrics),
-    );
-    let conventional = run_conventional_with(
-        &ConventionalConfig::paper_baseline(mix, seed),
-        &mut Observer::metered(metrics),
-    );
-    breakdown(micro, conventional)
+    compare_suites_metered_jobs(invocations_per_function, seed, metrics, Jobs::auto())
+}
+
+/// [`compare_suites_metered`] with an explicit [`Jobs`] budget. In
+/// parallel mode each cluster meters into a private registry; merging
+/// micro-then-conv in canonical order reproduces the sequential
+/// registration order, so the rendered exposition is byte-identical to
+/// the serial path.
+pub fn compare_suites_metered_jobs(
+    invocations_per_function: u32,
+    seed: u64,
+    metrics: &mut MetricsRegistry,
+    jobs: Jobs,
+) -> SuiteComparison {
+    compare_suites_faulted_jobs(
+        invocations_per_function,
+        seed,
+        &FaultsConfig::none(),
+        metrics,
+        jobs,
+    )
 }
 
 /// [`compare_suites_metered`] under a fault plan: both clusters run the
@@ -132,13 +184,57 @@ pub fn compare_suites_faulted(
     faults: &FaultsConfig,
     metrics: &mut MetricsRegistry,
 ) -> SuiteComparison {
-    let mix = WorkloadMix::new(FunctionId::ALL.to_vec(), invocations_per_function);
-    let mut micro_config = MicroFaasConfig::paper_prototype(mix.clone(), seed);
-    micro_config.faults = faults.clone();
-    let mut conv_config = ConventionalConfig::paper_baseline(mix, seed);
-    conv_config.faults = faults.clone();
-    let micro = run_microfaas_with(&micro_config, &mut Observer::metered(metrics));
-    let conventional = run_conventional_with(&conv_config, &mut Observer::metered(metrics));
+    compare_suites_faulted_jobs(
+        invocations_per_function,
+        seed,
+        faults,
+        metrics,
+        Jobs::auto(),
+    )
+}
+
+/// [`compare_suites_faulted`] with an explicit [`Jobs`] budget; fault
+/// counters and the metrics exposition stay bit-identical to the serial
+/// path at every job count.
+pub fn compare_suites_faulted_jobs(
+    invocations_per_function: u32,
+    seed: u64,
+    faults: &FaultsConfig,
+    metrics: &mut MetricsRegistry,
+    jobs: Jobs,
+) -> SuiteComparison {
+    let mix = suite_mix(invocations_per_function);
+    let micro_config = {
+        let mut config = MicroFaasConfig::paper_prototype(Arc::clone(&mix), seed);
+        config.faults = faults.clone();
+        config
+    };
+    let conv_config = {
+        let mut config = ConventionalConfig::paper_baseline(Arc::clone(&mix), seed);
+        config.faults = faults.clone();
+        config
+    };
+    if jobs.is_serial() {
+        let micro = run_microfaas_with(&micro_config, &mut Observer::metered(metrics));
+        let conventional = run_conventional_with(&conv_config, &mut Observer::metered(metrics));
+        return breakdown(micro, conventional);
+    }
+    // Each run meters into its own registry; the per-run registries are
+    // merged below in canonical (micro, conv) order, which reproduces
+    // the serial registration order byte-for-byte.
+    let mut runs = exec::par_map_indexed(jobs, 2, |i| {
+        let mut private = MetricsRegistry::new();
+        let run = if i == 0 {
+            run_microfaas_with(&micro_config, &mut Observer::metered(&mut private))
+        } else {
+            run_conventional_with(&conv_config, &mut Observer::metered(&mut private))
+        };
+        (run, private)
+    });
+    let (conventional, conv_metrics) = runs.pop().expect("two runs");
+    let (micro, micro_metrics) = runs.pop().expect("two runs");
+    metrics.merge(&micro_metrics);
+    metrics.merge(&conv_metrics);
     breakdown(micro, conventional)
 }
 
@@ -175,23 +271,33 @@ pub struct VmSweepPoint {
 }
 
 /// Sweeps the conventional cluster from 1 to `max_vms` VMs (Fig. 4's
-/// x-axis), returning one simulated point per count.
+/// x-axis), returning one simulated point per count. Points run in
+/// parallel under [`Jobs::auto`].
 pub fn vm_sweep(max_vms: usize, invocations_per_function: u32, seed: u64) -> Vec<VmSweepPoint> {
-    (1..=max_vms)
-        .map(|vms| {
-            let mut config = ConventionalConfig::paper_baseline(
-                WorkloadMix::new(FunctionId::ALL.to_vec(), invocations_per_function),
-                seed,
-            );
-            config.vms = vms;
-            let run = run_conventional(&config);
-            VmSweepPoint {
-                vms,
-                functions_per_minute: run.functions_per_minute(),
-                joules_per_function: run.joules_per_function().unwrap_or(f64::NAN),
-            }
-        })
-        .collect()
+    vm_sweep_jobs(max_vms, invocations_per_function, seed, Jobs::auto())
+}
+
+/// [`vm_sweep`] with an explicit [`Jobs`] budget. Every point is an
+/// independent run seeded identically, so the sweep is bit-identical at
+/// every job count; the mix is built once and shared across points.
+pub fn vm_sweep_jobs(
+    max_vms: usize,
+    invocations_per_function: u32,
+    seed: u64,
+    jobs: Jobs,
+) -> Vec<VmSweepPoint> {
+    let mix = suite_mix(invocations_per_function);
+    exec::par_map_indexed(jobs, max_vms, |i| {
+        let vms = i + 1;
+        let mut config = ConventionalConfig::paper_baseline(Arc::clone(&mix), seed);
+        config.vms = vms;
+        let run = run_conventional(&config);
+        VmSweepPoint {
+            vms,
+            functions_per_minute: run.functions_per_minute(),
+            joules_per_function: run.joules_per_function().unwrap_or(f64::NAN),
+        }
+    })
 }
 
 /// The MicroFaaS reference lines drawn across Fig. 4.
@@ -206,7 +312,7 @@ pub struct MicroFaasReference {
 /// Measures the 10-SBC reference for Fig. 4.
 pub fn microfaas_reference(invocations_per_function: u32, seed: u64) -> MicroFaasReference {
     let run = run_microfaas(&MicroFaasConfig::paper_prototype(
-        WorkloadMix::new(FunctionId::ALL.to_vec(), invocations_per_function),
+        suite_mix(invocations_per_function),
         seed,
     ));
     MicroFaasReference {
@@ -229,28 +335,35 @@ pub struct SbcScalePoint {
 
 /// Sweeps the MicroFaaS cluster size. The paper argues capacity and cost
 /// scale linearly with node count; throughput per node and J/function
-/// should stay constant across the sweep.
+/// should stay constant across the sweep. Points run in parallel under
+/// [`Jobs::auto`].
 pub fn sbc_scale_sweep(
     worker_counts: &[usize],
     invocations_per_function: u32,
     seed: u64,
 ) -> Vec<SbcScalePoint> {
-    worker_counts
-        .iter()
-        .map(|&workers| {
-            let mut config = MicroFaasConfig::paper_prototype(
-                WorkloadMix::new(FunctionId::ALL.to_vec(), invocations_per_function),
-                seed,
-            );
-            config.workers = workers;
-            let run = run_microfaas(&config);
-            SbcScalePoint {
-                workers,
-                functions_per_minute: run.functions_per_minute(),
-                joules_per_function: run.joules_per_function().unwrap_or(f64::NAN),
-            }
-        })
-        .collect()
+    sbc_scale_sweep_jobs(worker_counts, invocations_per_function, seed, Jobs::auto())
+}
+
+/// [`sbc_scale_sweep`] with an explicit [`Jobs`] budget; bit-identical
+/// at every job count.
+pub fn sbc_scale_sweep_jobs(
+    worker_counts: &[usize],
+    invocations_per_function: u32,
+    seed: u64,
+    jobs: Jobs,
+) -> Vec<SbcScalePoint> {
+    let mix = suite_mix(invocations_per_function);
+    exec::par_map(jobs, worker_counts, |&workers| {
+        let mut config = MicroFaasConfig::paper_prototype(Arc::clone(&mix), seed);
+        config.workers = workers;
+        let run = run_microfaas(&config);
+        SbcScalePoint {
+            workers,
+            functions_per_minute: run.functions_per_minute(),
+            joules_per_function: run.joules_per_function().unwrap_or(f64::NAN),
+        }
+    })
 }
 
 /// One point of the Fig. 5 energy-proportionality chart.
@@ -275,6 +388,116 @@ pub fn energy_proportionality(max_workers: usize) -> Vec<ProportionalityPoint> {
             vm_cluster_watts: vm_cluster_power(active),
         })
         .collect()
+}
+
+/// Aggregate statistics over `n` seed replicates of one cluster
+/// configuration — the statistically-honest way to report a headline
+/// number (mean ± spread over seeds rather than one lucky run).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReplicateSummary {
+    /// Replicates aggregated.
+    pub runs: u32,
+    /// Throughput distribution over replicates, functions per minute.
+    pub functions_per_minute: OnlineStats,
+    /// Energy distribution over replicates, joules per function.
+    pub joules_per_function: OnlineStats,
+    /// Makespan distribution over replicates, seconds.
+    pub makespan_seconds: OnlineStats,
+    /// Completed invocations across all replicates.
+    pub jobs_completed: u64,
+    /// Dropped invocations (timed out, shed, or failed) across all
+    /// replicates.
+    pub jobs_dropped: u64,
+    /// Faults injected across all replicates.
+    pub faults_injected: u64,
+    /// Recovery retries scheduled across all replicates.
+    pub fault_retries: u64,
+}
+
+impl ReplicateSummary {
+    /// Folds completed runs (in canonical seed order) into the summary.
+    pub fn from_runs(runs: &[ClusterRun]) -> Self {
+        let mut summary = ReplicateSummary {
+            runs: runs.len() as u32,
+            ..ReplicateSummary::default()
+        };
+        for run in runs {
+            summary
+                .functions_per_minute
+                .record(run.functions_per_minute());
+            if let Some(jpf) = run.joules_per_function() {
+                summary.joules_per_function.record(jpf);
+            }
+            summary.makespan_seconds.record(run.makespan.as_secs_f64());
+            summary.jobs_completed += run.jobs_completed();
+            summary.jobs_dropped += run.dropped.len() as u64;
+            summary.faults_injected += run.faults.injected;
+            summary.fault_retries += run.faults.retries;
+        }
+        summary
+    }
+}
+
+/// Runs `n` independent replicates — replicate `i` calls `run_at(base_seed
+/// + i)` — with up to `jobs` concurrent workers, and aggregates them
+/// via [`sim::stats`](OnlineStats). Replicates are folded in canonical
+/// seed order, so the summary (including its floating-point
+/// accumulations) is bit-identical at every job count.
+///
+/// # Examples
+///
+/// ```
+/// use microfaas::config::WorkloadMix;
+/// use microfaas::experiment::run_replicates;
+/// use microfaas::micro::{run_microfaas, MicroFaasConfig};
+/// use microfaas_sim::Jobs;
+/// use std::sync::Arc;
+///
+/// let mix = Arc::new(WorkloadMix::quick());
+/// let summary = run_replicates(3, 42, Jobs::serial(), |seed| {
+///     run_microfaas(&MicroFaasConfig::paper_prototype(Arc::clone(&mix), seed))
+/// });
+/// assert_eq!(summary.runs, 3);
+/// assert_eq!(summary.functions_per_minute.count(), 3);
+/// assert!(summary.functions_per_minute.mean() > 0.0);
+/// ```
+pub fn run_replicates<F>(n: u32, base_seed: u64, jobs: Jobs, run_at: F) -> ReplicateSummary
+where
+    F: Fn(u64) -> ClusterRun + Sync,
+{
+    let runs = exec::par_map_indexed(jobs, n as usize, |i| run_at(base_seed + i as u64));
+    ReplicateSummary::from_runs(&runs)
+}
+
+/// [`run_replicates`] over the MicroFaaS cluster: replicate `i` runs
+/// `base` with seed `base_seed + i`. Cloning the config per replicate
+/// is cheap — the mix and fault plan are [`Arc`]-shared.
+pub fn micro_replicates(
+    base: &MicroFaasConfig,
+    n: u32,
+    base_seed: u64,
+    jobs: Jobs,
+) -> ReplicateSummary {
+    run_replicates(n, base_seed, jobs, |seed| {
+        let mut config = base.clone();
+        config.seed = seed;
+        run_microfaas(&config)
+    })
+}
+
+/// [`run_replicates`] over the conventional cluster: replicate `i` runs
+/// `base` with seed `base_seed + i`.
+pub fn conventional_replicates(
+    base: &ConventionalConfig,
+    n: u32,
+    base_seed: u64,
+    jobs: Jobs,
+) -> ReplicateSummary {
+    run_replicates(n, base_seed, jobs, |seed| {
+        let mut config = base.clone();
+        config.seed = seed;
+        run_conventional(&config)
+    })
 }
 
 #[cfg(test)]
@@ -353,6 +576,39 @@ mod tests {
             let drift = (pair[1] / pair[0] - 1.0).abs();
             assert!(drift < 0.05, "J/func must stay flat, drift {drift:.3}");
         }
+    }
+
+    #[test]
+    fn replicates_aggregate_across_seeds() {
+        let base = MicroFaasConfig::paper_prototype(WorkloadMix::quick(), 0);
+        let summary = micro_replicates(&base, 4, 100, Jobs::serial());
+        assert_eq!(summary.runs, 4);
+        assert_eq!(summary.functions_per_minute.count(), 4);
+        assert!(
+            summary.functions_per_minute.std_dev() > 0.0,
+            "different seeds must produce different throughput"
+        );
+        let per_run = WorkloadMix::quick().total_jobs();
+        assert_eq!(summary.jobs_completed, 4 * per_run);
+        assert_eq!(summary.jobs_dropped, 0);
+        assert_eq!(summary.faults_injected, 0);
+    }
+
+    #[test]
+    fn conventional_replicates_share_the_config() {
+        let base = ConventionalConfig::paper_baseline(WorkloadMix::quick(), 0);
+        let summary = conventional_replicates(&base, 3, 7, Jobs::new(2));
+        assert_eq!(summary.runs, 3);
+        assert_eq!(summary.makespan_seconds.count(), 3);
+        assert!(summary.joules_per_function.mean() > 0.0);
+    }
+
+    #[test]
+    fn replicate_summary_is_jobs_invariant() {
+        let base = MicroFaasConfig::paper_prototype(WorkloadMix::quick(), 0);
+        let serial = micro_replicates(&base, 5, 40, Jobs::serial());
+        let parallel = micro_replicates(&base, 5, 40, Jobs::new(8));
+        assert_eq!(serial, parallel);
     }
 
     #[test]

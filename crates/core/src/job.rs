@@ -85,10 +85,17 @@ impl Dispatcher {
         rng: &mut microfaas_sim::Rng,
     ) -> Self {
         assert!(workers > 0, "dispatcher needs at least one worker");
+        // Reserve each queue for its expected share up front (the full
+        // workload for the shared queue, jobs/workers plus slack for the
+        // static split) so dispatch never regrows a ring buffer.
+        let (shared_cap, per_worker_cap) = match mode {
+            crate::config::Assignment::WorkConserving => (jobs.len(), 0),
+            crate::config::Assignment::RandomStatic => (0, jobs.len() / workers + workers),
+        };
         let mut dispatcher = Dispatcher {
             mode,
-            shared: std::collections::VecDeque::new(),
-            per_worker: vec![std::collections::VecDeque::new(); workers],
+            shared: std::collections::VecDeque::with_capacity(shared_cap),
+            per_worker: vec![std::collections::VecDeque::with_capacity(per_worker_cap); workers],
         };
         match mode {
             crate::config::Assignment::WorkConserving => dispatcher.shared.extend(jobs),

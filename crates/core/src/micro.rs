@@ -8,6 +8,8 @@
 //! [`FaultPlan`](microfaas_sim::faults::FaultPlan) the machinery is
 //! inert and runs are bit-identical to a build without it.
 
+use std::sync::Arc;
+
 use microfaas_energy::{ChannelId, EnergyMeter};
 use microfaas_hw::gpio::{PowerAction, PowerController};
 use microfaas_hw::sbc::{SbcNode, SbcState};
@@ -32,8 +34,9 @@ use crate::report::{ClusterRun, DroppedJob, Outcome};
 pub struct MicroFaasConfig {
     /// Number of SBC worker nodes (the paper's prototype has 10).
     pub workers: usize,
-    /// Workload to run.
-    pub mix: WorkloadMix,
+    /// Workload to run. Shared behind an [`Arc`] so sweeps and
+    /// replicates clone configs without copying the function list.
+    pub mix: Arc<WorkloadMix>,
     /// RNG seed; equal seeds give bit-identical runs.
     pub seed: u64,
     /// Run-to-run service-time variation.
@@ -75,10 +78,12 @@ pub struct MicroFaasConfig {
 
 impl MicroFaasConfig {
     /// The paper's prototype: 10 SBCs, Fast Ethernet, reboot + power-gate.
-    pub fn paper_prototype(mix: WorkloadMix, seed: u64) -> Self {
+    /// Accepts the mix owned or pre-shared (`Arc<WorkloadMix>` — both
+    /// convert), so sweeps build it once and share it across points.
+    pub fn paper_prototype(mix: impl Into<Arc<WorkloadMix>>, seed: u64) -> Self {
         MicroFaasConfig {
             workers: 10,
-            mix,
+            mix: mix.into(),
             seed,
             jitter: Jitter::default_run_to_run(),
             worker_nic_bits_per_sec: 100_000_000,
@@ -308,7 +313,10 @@ impl<'a, 'b> MicroSim<'a, 'b> {
             config,
             observer,
             rng,
-            queue: EventQueue::new(),
+            // Peak outstanding events: one progress event per worker
+            // plus timeout/watchdog timers and a handful of planned
+            // crashes — sized up front so the hot loop never regrows.
+            queue: EventQueue::with_capacity(4 * config.workers + 16),
             gpio: PowerController::new(config.workers),
             meter,
             cnet,
@@ -1015,7 +1023,7 @@ mod tests {
     #[test]
     fn throughput_near_paper_value() {
         let mut config = MicroFaasConfig::paper_prototype(WorkloadMix::quick(), 3);
-        config.mix = WorkloadMix::new(FunctionId::ALL.to_vec(), 100);
+        config.mix = WorkloadMix::new(FunctionId::ALL.to_vec(), 100).into();
         let run = run_microfaas(&config);
         let fpm = run.functions_per_minute();
         assert!(
@@ -1027,7 +1035,7 @@ mod tests {
     #[test]
     fn energy_per_function_near_paper_value() {
         let mut config = MicroFaasConfig::paper_prototype(WorkloadMix::quick(), 4);
-        config.mix = WorkloadMix::new(FunctionId::ALL.to_vec(), 100);
+        config.mix = WorkloadMix::new(FunctionId::ALL.to_vec(), 100).into();
         let run = run_microfaas(&config);
         let jpf = run.joules_per_function().expect("jobs ran");
         assert!((jpf - 5.7).abs() < 0.6, "{jpf:.2} J/func vs paper 5.7");

@@ -7,6 +7,8 @@
 //! failure model — taxonomy, per-cluster recovery semantics, and the
 //! backoff math below — is documented in `docs/FAILURE_MODEL.md`.
 
+use std::sync::Arc;
+
 use microfaas_sim::faults::{FaultInjector, FaultPlan};
 use microfaas_sim::SimDuration;
 use microfaas_workloads::{FunctionId, WorkloadClass};
@@ -100,8 +102,10 @@ impl RetryPolicy {
 #[derive(Debug, Clone)]
 pub struct FaultsConfig {
     /// What goes wrong ([`FaultPlan::empty`] keeps runs bit-identical
-    /// to a fault-free build).
-    pub plan: FaultPlan,
+    /// to a fault-free build). Shared behind an [`Arc`] so cloning a
+    /// config — e.g. once per sweep point or replicate — never copies
+    /// the plan's fault list.
+    pub plan: Arc<FaultPlan>,
     /// Retry/backoff policy for recovered invocations.
     pub retry: RetryPolicy,
     /// Heartbeat lag before the orchestrator notices a dead worker and
@@ -127,10 +131,11 @@ impl FaultsConfig {
         FaultsConfig::with_plan(FaultPlan::empty())
     }
 
-    /// Standard policies around a specific plan.
-    pub fn with_plan(plan: FaultPlan) -> Self {
+    /// Standard policies around a specific plan (owned or pre-shared
+    /// [`Arc`] — both convert).
+    pub fn with_plan(plan: impl Into<Arc<FaultPlan>>) -> Self {
         FaultsConfig {
-            plan,
+            plan: plan.into(),
             retry: RetryPolicy::standard(),
             detection_delay: SimDuration::from_millis(500),
             shed_below_capacity: 0.5,

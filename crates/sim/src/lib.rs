@@ -28,6 +28,12 @@
 //!   hangs, transfer losses) drawn through a [`FaultInjector`] whose
 //!   private RNG stream keeps fault-free runs bit-identical.
 //!
+//! Finally, [`exec`] is the parallel deterministic experiment engine
+//! (see `docs/PERFORMANCE.md`): it fans independent runs — sweep
+//! points, seed replicates, fault scenarios — across threads with a
+//! [`Jobs`] knob while gathering results in canonical submission order,
+//! so parallel output is bit-identical to the serial path.
+//!
 //! # Examples
 //!
 //! A tiny simulation — a Poisson arrival process counted over one minute:
@@ -55,6 +61,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod exec;
 pub mod faults;
 pub mod metrics;
 mod queue;
@@ -63,6 +70,7 @@ mod stats;
 mod time;
 pub mod trace;
 
+pub use exec::{par_map, par_map_indexed, Jobs};
 pub use faults::{FaultInjector, FaultKind, FaultPlan, FaultPlanError, FaultSpec, FaultTrigger};
 pub use metrics::{CounterId, GaugeId, HistogramId, MetricsRegistry};
 pub use queue::{EventId, EventQueue};

@@ -231,6 +231,58 @@ impl MetricsRegistry {
         &self.histograms[id.0].1.bounds
     }
 
+    /// Folds every metric from `other` into this registry.
+    ///
+    /// Counters and histogram buckets are summed; gauges take `other`'s
+    /// value (last-write-wins, matching sequential `set_gauge` order).
+    /// Metrics not yet present are registered in `other`'s order, so
+    /// merging per-run registries in canonical submission order
+    /// reproduces the exposition a single sequential registry would
+    /// have produced — this is what lets the parallel experiment
+    /// engine meter runs into private registries and still render
+    /// byte-identical `/metrics` text (see `docs/PERFORMANCE.md`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a histogram exists in both registries with different
+    /// bucket bounds.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use microfaas_sim::metrics::MetricsRegistry;
+    ///
+    /// let mut a = MetricsRegistry::new();
+    /// let jobs = a.counter("jobs");
+    /// a.add(jobs, 2);
+    ///
+    /// let mut b = MetricsRegistry::new();
+    /// let jobs_b = b.counter("jobs");
+    /// b.add(jobs_b, 3);
+    ///
+    /// a.merge(&b);
+    /// assert_eq!(a.counter_value(jobs), 5);
+    /// ```
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, value) in &other.counters {
+            let id = self.counter(name);
+            self.add(id, *value);
+        }
+        for (name, value) in &other.gauges {
+            let id = self.gauge(name);
+            self.set_gauge(id, *value);
+        }
+        for (name, histogram) in &other.histograms {
+            let id = self.histogram(name, &histogram.bounds);
+            let ours = &mut self.histograms[id.0].1;
+            for (slot, count) in ours.counts.iter_mut().zip(&histogram.counts) {
+                *slot += count;
+            }
+            ours.sum += histogram.sum;
+            ours.count += histogram.count;
+        }
+    }
+
     /// True if nothing has been registered.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
@@ -400,6 +452,65 @@ mod tests {
         assert!(rows.contains(&("d_bucket{le=\"+Inf\"}".to_string(), 1.0)));
         assert!(rows.contains(&("d_sum".to_string(), 3.0)));
         assert!(rows.contains(&("d_count".to_string(), 1.0)));
+    }
+
+    #[test]
+    fn merge_reproduces_sequential_registration() {
+        // Publishing into one shared registry...
+        let mut sequential = MetricsRegistry::new();
+        let c = sequential.counter("micro_jobs");
+        sequential.add(c, 4);
+        let g = sequential.gauge("micro_watts");
+        sequential.set_gauge(g, 2.5);
+        let h = sequential.histogram("micro_exec", &[1.0, 5.0]);
+        sequential.observe(h, 0.5);
+        sequential.observe(h, 3.0);
+        let c2 = sequential.counter("conv_jobs");
+        sequential.add(c2, 9);
+
+        // ...must render the same bytes as merging two private
+        // registries in the same canonical order.
+        let mut micro = MetricsRegistry::new();
+        let c = micro.counter("micro_jobs");
+        micro.add(c, 4);
+        let g = micro.gauge("micro_watts");
+        micro.set_gauge(g, 2.5);
+        let h = micro.histogram("micro_exec", &[1.0, 5.0]);
+        micro.observe(h, 0.5);
+        micro.observe(h, 3.0);
+        let mut conv = MetricsRegistry::new();
+        let c2 = conv.counter("conv_jobs");
+        conv.add(c2, 9);
+
+        let mut merged = MetricsRegistry::new();
+        merged.merge(&micro);
+        merged.merge(&conv);
+        assert_eq!(merged, sequential);
+        assert_eq!(merged.render_prometheus(), sequential.render_prometheus());
+    }
+
+    #[test]
+    fn merge_sums_overlapping_metrics() {
+        let mut a = MetricsRegistry::new();
+        let h = a.histogram("lat", &[1.0]);
+        a.observe(h, 0.5);
+        let mut b = MetricsRegistry::new();
+        let hb = b.histogram("lat", &[1.0]);
+        b.observe(hb, 2.0);
+        a.merge(&b);
+        assert_eq!(a.bucket_counts(h), &[1, 1]);
+        assert_eq!(a.histogram_count(h), 2);
+        assert!((a.histogram_sum(h) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bounds")]
+    fn merge_rejects_mismatched_histograms() {
+        let mut a = MetricsRegistry::new();
+        a.histogram("lat", &[1.0]);
+        let mut b = MetricsRegistry::new();
+        b.histogram("lat", &[2.0]);
+        a.merge(&b);
     }
 
     #[test]

@@ -72,8 +72,26 @@ pub struct EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Creates an empty queue with room for `capacity` pending events
+    /// before the backing heap reallocates. Simulators that know their
+    /// peak outstanding-event count (roughly jobs in flight plus a few
+    /// timers per worker) use this to keep the hot loop allocation-free.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use microfaas_sim::{EventQueue, SimTime};
+    ///
+    /// let mut q = EventQueue::with_capacity(128);
+    /// q.schedule(SimTime::from_millis(1), "ready");
+    /// assert_eq!(q.len(), 1);
+    /// ```
+    pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: BinaryHeap::with_capacity(capacity),
             cancelled: HashSet::new(),
             next_seq: 0,
             now: SimTime::ZERO,
@@ -124,7 +142,10 @@ impl<E> EventQueue<E> {
     /// timestamp. Returns `None` when the queue is exhausted.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
+            // Fast path: most runs cancel nothing (or have already
+            // drained their cancellations), so skip the hash lookup
+            // entirely when the tombstone set is empty.
+            if !self.cancelled.is_empty() && self.cancelled.remove(&entry.seq) {
                 continue;
             }
             self.now = entry.time;
@@ -137,7 +158,7 @@ impl<E> EventQueue<E> {
     /// removing it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
+            if !self.cancelled.is_empty() && self.cancelled.contains(&entry.seq) {
                 let seq = entry.seq;
                 self.heap.pop();
                 self.cancelled.remove(&seq);
@@ -146,6 +167,11 @@ impl<E> EventQueue<E> {
             return Some(entry.time);
         }
         None
+    }
+
+    /// Reserves room for at least `additional` more pending events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
     }
 
     /// Number of pending (non-cancelled) events.
@@ -240,6 +266,18 @@ mod tests {
         q.cancel(head);
         assert_eq!(q.peek_time(), Some(SimTime::from_millis(2)));
         assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut q = EventQueue::with_capacity(64);
+        q.reserve(16);
+        let keep = q.schedule(SimTime::from_millis(1), "keep");
+        let drop = q.schedule(SimTime::from_millis(2), "drop");
+        q.cancel(drop);
+        let _ = keep;
+        let events: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(events, vec!["keep"]);
     }
 
     #[test]

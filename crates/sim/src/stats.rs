@@ -17,13 +17,21 @@ use crate::time::{SimDuration, SimTime};
 /// assert_eq!(s.mean(), 4.0);
 /// assert_eq!(s.count(), 3);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OnlineStats {
     count: u64,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+}
+
+impl Default for OnlineStats {
+    /// Same as [`OnlineStats::new`]. (A derived `Default` would
+    /// zero-initialize `min`/`max`, poisoning the first comparison.)
+    fn default() -> Self {
+        OnlineStats::new()
+    }
 }
 
 impl OnlineStats {
@@ -298,6 +306,19 @@ impl TimeWeighted {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn default_accumulator_tracks_min_and_max_like_new() {
+        let mut via_default = OnlineStats::default();
+        via_default.record(140.0);
+        via_default.record(158.0);
+        assert_eq!(via_default.min(), Some(140.0));
+        assert_eq!(via_default.max(), Some(158.0));
+
+        let mut negative = OnlineStats::default();
+        negative.record(-3.0);
+        assert_eq!(negative.max(), Some(-3.0));
+    }
 
     #[test]
     fn online_stats_mean_and_variance() {
