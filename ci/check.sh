@@ -11,6 +11,9 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
 echo "==> cargo doc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
@@ -39,5 +42,17 @@ cargo run --release -q -p microfaas-cli -- sweep \
     --max-vms 4 --invocations 2 --seed 7 --jobs 2 --csv "$tmpdir/parallel.csv"
 cmp "$tmpdir/serial.csv" "$tmpdir/parallel.csv" || {
     echo "parallel sweep diverged from serial"; exit 1; }
+
+echo "==> policy sweep smoke: sched --jobs 2 Pareto CSV must be byte-identical to --jobs 1"
+cargo run --release -q -p microfaas-cli -- sched \
+    --rate 0.5 --duration-secs 120 --workers 4 --seed 7 \
+    --jobs 1 --csv "$tmpdir/sched_serial.csv"
+cargo run --release -q -p microfaas-cli -- sched \
+    --rate 0.5 --duration-secs 120 --workers 4 --seed 7 \
+    --jobs 2 --csv "$tmpdir/sched_parallel.csv"
+cmp "$tmpdir/sched_serial.csv" "$tmpdir/sched_parallel.csv" || {
+    echo "parallel policy sweep diverged from serial"; exit 1; }
+grep -q ",1$" "$tmpdir/sched_serial.csv" || {
+    echo "policy sweep flagged no Pareto-front points"; exit 1; }
 
 echo "All checks passed."

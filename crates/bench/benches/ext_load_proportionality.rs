@@ -21,6 +21,7 @@ fn config(per_second: f64, scheduler: SchedulerPolicy) -> OpenLoopConfig {
         duration: SimDuration::from_secs(900),
         arrival: ArrivalProcess::Poisson { per_second },
         scheduler,
+        governor: microfaas_sched::GovernorKind::RebootPerJob,
         jitter: Jitter::default_run_to_run(),
         functions: FunctionId::ALL.to_vec(),
         faults: microfaas::FaultsConfig::none(),
@@ -38,7 +39,7 @@ fn main() {
         "load/s", "uF power", "uF J/f", "conv power", "conv J/f", "uF p95"
     );
     for load in [0.25, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0] {
-        let cfg = config(load, SchedulerPolicy::RandomQueue);
+        let cfg = config(load, SchedulerPolicy::RandomStatic);
         let micro = run_open_loop(&cfg);
         let conv = run_open_loop_conventional(&cfg, 6);
         println!(
@@ -60,7 +61,7 @@ fn main() {
         "policy", "mean lat", "p95 lat", "mean powered", "power cycles"
     );
     for (name, policy) in [
-        ("random", SchedulerPolicy::RandomQueue),
+        ("random", SchedulerPolicy::RandomStatic),
         ("least-loaded", SchedulerPolicy::LeastLoaded),
         ("power-aware", SchedulerPolicy::PowerAware),
     ] {

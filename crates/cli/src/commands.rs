@@ -6,7 +6,8 @@ use microfaas::config::WorkloadMix;
 use microfaas::conventional::{run_conventional_with, ConventionalConfig};
 use microfaas::experiment::{
     compare_suites_faulted_jobs, compare_suites_jobs, conventional_replicates,
-    energy_proportionality, micro_replicates, microfaas_reference, vm_sweep_jobs,
+    energy_proportionality, micro_replicates, microfaas_reference, policy_sweep_csv,
+    policy_sweep_jobs, vm_sweep_jobs,
 };
 use microfaas::micro::{run_microfaas_with, MicroFaasConfig};
 use microfaas::openloop::{run_open_loop, ArrivalProcess, OpenLoopConfig, SchedulerPolicy};
@@ -14,6 +15,7 @@ use microfaas::timeline::Timeline;
 use microfaas::{FaultsConfig, Jitter};
 use microfaas_hw::boot::{BootPlatform, BootProfile};
 use microfaas_hw::reliability::{simulate_fleet, FleetSpec};
+use microfaas_sched::GovernorKind;
 use microfaas_sim::faults::FaultPlan;
 use microfaas_sim::{Jobs, MetricsRegistry, Observer, Rng, SimDuration, TraceBuffer};
 use microfaas_tco::{savings_percent, ClusterSpec, Conditions, CostModel};
@@ -42,6 +44,7 @@ pub fn dispatch(args: &Args) -> Result<(), ParseArgsError> {
         "tco" => tco(args),
         "workloads" => workloads(args),
         "openloop" => openloop(args),
+        "sched" => sched(args),
         "reliability" => reliability(args),
         "timeline" => timeline(args),
         "scale" => scale(args),
@@ -78,8 +81,16 @@ SUBCOMMANDS
   workloads        execute all 17 functions for real (Table I)
                      --seed S
   openloop         arrival-driven run with power gating
-                     --rate F (jobs/s, default 1.0)  --policy random|least-loaded|power-aware
+                     --rate F (jobs/s, default 1.0)
+                     --policy work-conserving|random|least-loaded|jsq|warm-first|power-aware
+                     --governor reboot-per-job|keep-alive|always-on|warm-pool
                      --duration-secs N (default 600)  --workers N  --seed S
+  sched            placement x governor sweep with latency-energy Pareto front
+                     --rate F (jobs/s, default 0.1 — sparse load, where the
+                       warm governors trade energy for latency)
+                     --duration-secs N (default 1200)  --workers N (default 10)
+                     --seed S (default 1)  --csv PATH (docs/EXPERIMENTS.md columns)
+                     --jobs N (parallel sweep points; default: available cores)
   reliability      MTBF-driven fleet failure simulation
                      --seed S
   timeline         ASCII Gantt of worker activity for a small run
@@ -342,32 +353,41 @@ fn workloads(args: &Args) -> Result<(), ParseArgsError> {
 }
 
 fn openloop(args: &Args) -> Result<(), ParseArgsError> {
-    args.expect_only(&["rate", "policy", "duration-secs", "workers", "seed"])?;
+    args.expect_only(&[
+        "rate",
+        "policy",
+        "governor",
+        "duration-secs",
+        "workers",
+        "seed",
+    ])?;
     let rate = args.get_or("rate", 1.0f64)?;
     if rate <= 0.0 {
         return Err(ParseArgsError("--rate must be positive".to_string()));
     }
-    let scheduler = match args.get_str("policy").unwrap_or("random") {
-        "random" => SchedulerPolicy::RandomQueue,
-        "least-loaded" => SchedulerPolicy::LeastLoaded,
-        "power-aware" => SchedulerPolicy::PowerAware,
-        other => {
-            return Err(ParseArgsError(format!(
-                "unknown policy '{other}' (random | least-loaded | power-aware)"
-            )))
-        }
-    };
+    let scheduler: SchedulerPolicy = args
+        .get_str("policy")
+        .unwrap_or("random")
+        .parse()
+        .map_err(|e: microfaas_sched::PolicyParseError| ParseArgsError(e.to_string()))?;
+    let governor: GovernorKind = args
+        .get_str("governor")
+        .unwrap_or("reboot-per-job")
+        .parse()
+        .map_err(|e: microfaas_sched::PolicyParseError| ParseArgsError(e.to_string()))?;
     let config = OpenLoopConfig {
         workers: args.get_or("workers", 10usize)?,
         seed: args.get_or("seed", 2022u64)?,
         duration: SimDuration::from_secs(args.get_or("duration-secs", 600u64)?),
         arrival: ArrivalProcess::Poisson { per_second: rate },
         scheduler,
+        governor,
         jitter: Jitter::default_run_to_run(),
         functions: FunctionId::ALL.to_vec(),
         faults: FaultsConfig::none(),
     };
     let run = run_open_loop(&config);
+    println!("policy:           {scheduler} / {governor}");
     println!("completed:        {}", run.completed);
     println!("mean latency:     {:.2} s", run.mean_latency_s);
     println!("p95 latency:      {:.2} s", run.p95_latency_s);
@@ -378,6 +398,59 @@ fn openloop(args: &Args) -> Result<(), ParseArgsError> {
         run.mean_powered_on, config.workers
     );
     println!("power cycles:     {}", run.power_cycles);
+    Ok(())
+}
+
+fn sched(args: &Args) -> Result<(), ParseArgsError> {
+    args.expect_only(&["rate", "duration-secs", "workers", "seed", "jobs", "csv"])?;
+    let rate = args.get_or("rate", 0.1f64)?;
+    if rate <= 0.0 {
+        return Err(ParseArgsError("--rate must be positive".to_string()));
+    }
+    let duration = SimDuration::from_secs(args.get_or("duration-secs", 1200u64)?);
+    let workers = args.get_or("workers", 10usize)?;
+    if workers == 0 {
+        return Err(ParseArgsError("--workers must be positive".to_string()));
+    }
+    let seed = args.get_or("seed", 1u64)?;
+    let jobs = jobs_flag(args)?;
+    let points = policy_sweep_jobs(rate, duration, workers, seed, jobs);
+    println!(
+        "policy sweep: {} workers, {rate} jobs/s for {:.0} s, seed {seed} \
+         ({} placement x governor points)",
+        workers,
+        duration.as_secs_f64(),
+        points.len()
+    );
+    println!(
+        "{:<20} {:<14} {:>6} {:>9} {:>9} {:>8} {:>8} {:>7}  pareto",
+        "placement", "governor", "done", "mean_lat", "p95_lat", "watts", "J/func", "cycles"
+    );
+    for p in &points {
+        println!(
+            "{:<20} {:<14} {:>6} {:>8.2}s {:>8.2}s {:>8.2} {:>8.2} {:>7} {}",
+            p.placement.label(),
+            p.governor.label(),
+            p.completed,
+            p.mean_latency_s,
+            p.p95_latency_s,
+            p.mean_power_w,
+            p.joules_per_function,
+            p.power_cycles,
+            if p.pareto { "   *" } else { "" }
+        );
+    }
+    let front: Vec<String> = points
+        .iter()
+        .filter(|p| p.pareto)
+        .map(|p| format!("{}/{}", p.placement.label(), p.governor.label()))
+        .collect();
+    println!("\nlatency-energy Pareto front: {}", front.join(", "));
+    if let Some(path) = args.get_str("csv") {
+        // The CSV is rendered by the library so --jobs N output is
+        // byte-identical for every N (ci/check.sh compares them).
+        write_text(path, &policy_sweep_csv(&points))?;
+    }
     Ok(())
 }
 
@@ -752,8 +825,59 @@ mod tests {
     #[test]
     fn openloop_validates_policy_and_rate() {
         assert!(run(&["openloop", "--policy", "mystery"]).is_err());
+        assert!(run(&["openloop", "--governor", "mystery"]).is_err());
         assert!(run(&["openloop", "--rate", "-1"]).is_err());
         run(&["openloop", "--rate", "1.0", "--duration-secs", "60"]).expect("runs");
+        run(&[
+            "openloop",
+            "--rate",
+            "0.5",
+            "--duration-secs",
+            "60",
+            "--policy",
+            "jsq",
+            "--governor",
+            "keep-alive",
+        ])
+        .expect("runs with new policies");
+    }
+
+    #[test]
+    fn sched_validates_flags() {
+        assert!(run(&["sched", "--rate", "0"]).is_err());
+        assert!(run(&["sched", "--workers", "0"]).is_err());
+        assert!(run(&["sched", "--jobs", "nope"]).is_err());
+    }
+
+    #[test]
+    fn sched_sweep_exports_pareto_csv() {
+        let path = std::env::temp_dir().join("microfaas_cli_test_sched.csv");
+        let _ = std::fs::remove_file(&path);
+        run(&[
+            "sched",
+            "--rate",
+            "0.5",
+            "--duration-secs",
+            "120",
+            "--seed",
+            "4",
+            "--jobs",
+            "2",
+            "--csv",
+            path.to_str().expect("utf-8 temp path"),
+        ])
+        .expect("runs");
+        let written = std::fs::read_to_string(&path).expect("csv written");
+        assert!(written.starts_with(
+            "placement,governor,completed,mean_latency_s,p95_latency_s,\
+             mean_power_w,joules_per_function,power_cycles,pareto"
+        ));
+        assert_eq!(written.lines().count(), 25, "header + 24 policy points");
+        assert!(
+            written.lines().any(|l| l.ends_with(",1")),
+            "some row sits on the Pareto front"
+        );
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -25,3 +25,10 @@ mod observability_docs {}
 #[cfg(doctest)]
 #[doc = include_str!("../../../docs/FAILURE_MODEL.md")]
 mod failure_model_docs {}
+
+/// Compiles and runs every Rust sample in `docs/SCHEDULING.md` as a
+/// doctest, so the scheduling and power-governor handbook can never
+/// drift from the `microfaas-sched` APIs it documents.
+#[cfg(doctest)]
+#[doc = include_str!("../../../docs/SCHEDULING.md")]
+mod scheduling_docs {}

@@ -1,5 +1,6 @@
 //! Experiment configuration shared by both cluster simulators.
 
+use microfaas_sched::PlacementKind;
 use microfaas_sim::Rng;
 use microfaas_workloads::FunctionId;
 
@@ -80,18 +81,18 @@ impl WorkloadMix {
 }
 
 /// How the orchestration plane maps jobs to worker queues.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Assignment {
-    /// One shared FIFO; an idle worker takes the next job. This measures
-    /// saturated cluster *capacity* — the "capable of N func/min" numbers
-    /// the paper reports — without the makespan tail a static random
-    /// split adds.
-    WorkConserving,
-    /// The paper's literal mechanism: every job lands in one uniformly
-    /// random per-worker queue up front. Queue-length imbalance then
-    /// stretches the makespan (the slowest queue finishes last).
-    RandomStatic,
-}
+///
+/// Since the scheduling subsystem landed this is the full
+/// [`PlacementKind`] policy family from `microfaas-sched`; the alias
+/// keeps the historical `Assignment::WorkConserving` /
+/// `Assignment::RandomStatic` spellings working. `WorkConserving` is
+/// one shared FIFO measuring saturated cluster *capacity* (the
+/// "capable of N func/min" numbers the paper reports); `RandomStatic`
+/// is the paper's literal mechanism — every job lands in one uniformly
+/// random per-worker queue up front, and queue-length imbalance then
+/// stretches the makespan. See `docs/SCHEDULING.md` for the other four
+/// policies.
+pub type Assignment = PlacementKind;
 
 /// Multiplicative runtime jitter: real systems never repeat a measurement
 /// exactly, and the percentile columns of the reports need spread.

@@ -12,6 +12,7 @@ use std::sync::Arc;
 use microfaas_energy::{ChannelId, EnergyMeter};
 use microfaas_hw::server::{RackServer, VmState};
 use microfaas_net::LinkSpec;
+use microfaas_sched::{governor, GovernorKind};
 use microfaas_sim::faults::FaultKind;
 use microfaas_sim::trace::{Observer, TraceEvent, WorkerState};
 use microfaas_sim::{
@@ -22,7 +23,7 @@ use microfaas_workloads::FunctionId;
 
 use crate::config::{Assignment, Jitter, WorkloadMix};
 use crate::job::{Dispatcher, Job, JobRecord};
-use crate::micro::{publish_run_gauges, EXEC_BUCKETS, OVERHEAD_BUCKETS};
+use crate::micro::{publish_run_gauges, SchedMetrics, EXEC_BUCKETS, OVERHEAD_BUCKETS};
 use crate::netmap::ClusterNet;
 use crate::recovery::{priority_of, FaultRuntime, FaultsConfig, Priority};
 use crate::registry::FunctionRegistry;
@@ -50,6 +51,12 @@ pub struct ConventionalConfig {
     pub reboot_between_jobs: bool,
     /// How the orchestration plane maps jobs to VMs.
     pub assignment: Assignment,
+    /// Between-jobs power policy. VMs have no per-node gating to govern
+    /// (the rack host's idle floor draws regardless), so only the
+    /// [`microfaas_sched::Governor::reboot_between_jobs`] decision
+    /// applies here: any governor other than the default
+    /// [`GovernorKind::RebootPerJob`] skips the between-jobs reboot.
+    pub governor: GovernorKind,
     /// Kill invocations that run longer than this (platform-wide
     /// limit). Combined with any per-function timeout from
     /// [`ConventionalConfig::registry`]; the tighter limit wins.
@@ -73,6 +80,7 @@ impl ConventionalConfig {
             jitter: Jitter::default_run_to_run(),
             reboot_between_jobs: true,
             assignment: Assignment::WorkConserving,
+            governor: GovernorKind::RebootPerJob,
             invocation_timeout: None,
             registry: FunctionRegistry::paper_suite(),
             faults: FaultsConfig::none(),
@@ -228,6 +236,13 @@ struct ConvSim<'a, 'b> {
     last_completion: SimTime,
     fr: FaultRuntime,
     handles: Option<ConvMetrics>,
+    /// The governor's between-jobs reboot decision, resolved once at
+    /// construction (it is time-invariant for every governor).
+    reboot_between: bool,
+    /// Whether a non-default scheduling policy is active; new telemetry
+    /// is gated on this so default runs stay byte-identical.
+    sched_active: bool,
+    sched_handles: Option<SchedMetrics>,
 }
 
 impl<'a, 'b> ConvSim<'a, 'b> {
@@ -268,7 +283,46 @@ impl<'a, 'b> ConvSim<'a, 'b> {
             metrics.add(h.jobs_enqueued, jobs.len() as u64);
         }
         let fr = FaultRuntime::new(&config.faults.plan, config.vms, jobs.len());
-        let dispatcher = Dispatcher::new(config.assignment, config.vms, jobs, &mut rng);
+        // LeastLoaded balances expected x86 execution seconds.
+        let dispatcher =
+            Dispatcher::with_weights(config.assignment, config.vms, jobs, &mut rng, |function| {
+                service_time(function)
+                    .exec(WorkerPlatform::X86Vm)
+                    .as_secs_f64()
+            });
+
+        // Observation only (no RNG, no events): legacy defaults keep
+        // traces and expositions byte-identical.
+        let sched_active = !(config.assignment.is_legacy_assignment()
+            && config.governor == GovernorKind::RebootPerJob);
+        let sched_handles = if sched_active {
+            observer.metrics().map(SchedMetrics::register)
+        } else {
+            None
+        };
+        if sched_active {
+            let placed: Vec<(usize, u64)> = dispatcher
+                .placements()
+                .map(|(v, job)| (v, job.id))
+                .collect();
+            if observer.is_tracing() {
+                for &(v, id) in &placed {
+                    observer.emit(
+                        SimTime::ZERO,
+                        TraceEvent::PlacementDecision {
+                            job: id,
+                            worker: v,
+                            policy: config.assignment.label(),
+                        },
+                    );
+                }
+            }
+            if let (Some(metrics), Some(h)) = (observer.metrics(), sched_handles.as_ref()) {
+                metrics.add(h.placements, placed.len() as u64);
+            }
+        }
+        let reboot_between =
+            governor(config.governor).reboot_between_jobs(config.reboot_between_jobs);
 
         ConvSim {
             config,
@@ -288,6 +342,9 @@ impl<'a, 'b> ConvSim<'a, 'b> {
             last_completion: SimTime::ZERO,
             fr,
             handles,
+            reboot_between,
+            sched_active,
+            sched_handles,
         }
     }
 
@@ -738,13 +795,25 @@ impl<'a, 'b> ConvSim<'a, 'b> {
         self.server.finish_job(v, now).expect("vm was executing");
         self.mark(now, v, WorkerState::Rebooting);
         self.with_metrics(|m, h| m.inc(h.reboots));
-        let reboot = if forced || self.config.reboot_between_jobs {
+        let reboot = if forced || self.reboot_between {
             self.server
                 .vm_boot_duration()
                 .mul_f64(self.server.current_slowdown())
         } else {
             SimDuration::ZERO
         };
+        // Warm/cold accounting only where another job actually follows.
+        if self.sched_active && self.dispatcher.has_work(v) {
+            let warm = reboot.is_zero();
+            if let (Some(metrics), Some(h)) = (self.observer.metrics(), self.sched_handles.as_ref())
+            {
+                if warm {
+                    metrics.inc(h.warm_hits);
+                } else {
+                    metrics.inc(h.cold_boots);
+                }
+            }
+        }
         self.boot_pending[v] = Some(self.queue.schedule(now + reboot, Event::RebootDone(v)));
     }
 

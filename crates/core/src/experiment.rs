@@ -14,7 +14,8 @@
 
 use std::sync::Arc;
 
-use microfaas_sim::{exec, Jobs, MetricsRegistry, Observer, OnlineStats};
+use microfaas_sched::{pareto_front, GovernorKind, PlacementKind};
+use microfaas_sim::{exec, Jobs, MetricsRegistry, Observer, OnlineStats, SimDuration};
 use microfaas_workloads::FunctionId;
 
 use crate::config::WorkloadMix;
@@ -22,6 +23,7 @@ use crate::conventional::{
     run_conventional, run_conventional_with, vm_cluster_power, ConventionalConfig,
 };
 use crate::micro::{run_microfaas, run_microfaas_with, sbc_cluster_power, MicroFaasConfig};
+use crate::openloop::{run_open_loop, ArrivalProcess, OpenLoopConfig};
 use crate::recovery::FaultsConfig;
 use crate::report::ClusterRun;
 
@@ -438,8 +440,8 @@ impl ReplicateSummary {
     }
 }
 
-/// Runs `n` independent replicates — replicate `i` calls `run_at(base_seed
-/// + i)` — with up to `jobs` concurrent workers, and aggregates them
+/// Runs `n` independent replicates — replicate `i` calls
+/// `run_at(base_seed + i)` — with up to `jobs` concurrent workers, and aggregates them
 /// via [`sim::stats`](OnlineStats). Replicates are folded in canonical
 /// seed order, so the summary (including its floating-point
 /// accumulations) is bit-identical at every job count.
@@ -500,9 +502,220 @@ pub fn conventional_replicates(
     })
 }
 
+/// One point of the placement × governor policy sweep: a full open-loop
+/// run under one `(placement, governor)` pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyPoint {
+    /// Placement policy this point ran under.
+    pub placement: PlacementKind,
+    /// Power governor this point ran under.
+    pub governor: GovernorKind,
+    /// Jobs completed over the run.
+    pub completed: u64,
+    /// Mean end-to-end latency, seconds.
+    pub mean_latency_s: f64,
+    /// 95th-percentile end-to-end latency, seconds.
+    pub p95_latency_s: f64,
+    /// Time-averaged cluster power, watts.
+    pub mean_power_w: f64,
+    /// Energy per completed function, joules.
+    pub joules_per_function: f64,
+    /// GPIO power-on actuations (cold boots paid).
+    pub power_cycles: u64,
+    /// Whether this point sits on the latency–energy Pareto front
+    /// (minimizing both [`PolicyPoint::mean_latency_s`] and
+    /// [`PolicyPoint::joules_per_function`]) over the whole sweep.
+    pub pareto: bool,
+}
+
+/// Crosses every [`PlacementKind`] with every [`GovernorKind`]
+/// (24 combinations) on the open-loop cluster and flags the
+/// latency–energy Pareto front. The interesting regime is **sparse**
+/// load — per-node idle gaps above the ~23 s standby/boot break-even —
+/// where keeping nodes warm genuinely trades energy for latency; at
+/// saturating rates keep-alive simply dominates and the front
+/// collapses. Points run in parallel under [`Jobs::auto`].
+pub fn policy_sweep(
+    per_second: f64,
+    duration: SimDuration,
+    workers: usize,
+    seed: u64,
+) -> Vec<PolicyPoint> {
+    policy_sweep_jobs(per_second, duration, workers, seed, Jobs::auto())
+}
+
+/// [`policy_sweep`] with an explicit [`Jobs`] budget. Each point is an
+/// independent, identically-seeded run and results are gathered in
+/// canonical order, so the sweep is bit-identical at every job count.
+pub fn policy_sweep_jobs(
+    per_second: f64,
+    duration: SimDuration,
+    workers: usize,
+    seed: u64,
+    jobs: Jobs,
+) -> Vec<PolicyPoint> {
+    let combos: Vec<(PlacementKind, GovernorKind)> = PlacementKind::ALL
+        .into_iter()
+        .flat_map(|p| GovernorKind::ALL.into_iter().map(move |g| (p, g)))
+        .collect();
+    let mut points = exec::par_map(jobs, &combos, |&(placement, governor)| {
+        let mut config = OpenLoopConfig::paper_arrangement(1, duration, seed);
+        config.workers = workers;
+        config.arrival = ArrivalProcess::Poisson { per_second };
+        config.scheduler = placement;
+        config.governor = governor;
+        let run = run_open_loop(&config);
+        PolicyPoint {
+            placement,
+            governor,
+            completed: run.completed,
+            mean_latency_s: run.mean_latency_s,
+            p95_latency_s: run.p95_latency_s,
+            mean_power_w: run.mean_power_w,
+            joules_per_function: run.joules_per_function,
+            power_cycles: run.power_cycles,
+            pareto: false,
+        }
+    });
+    let coords: Vec<(f64, f64)> = points
+        .iter()
+        .map(|p| (p.mean_latency_s, p.joules_per_function))
+        .collect();
+    for (point, on_front) in points.iter_mut().zip(pareto_front(&coords)) {
+        point.pareto = on_front;
+    }
+    points
+}
+
+/// Renders a sweep as the CSV the `sched` CLI subcommand emits (see
+/// `docs/EXPERIMENTS.md` for the column contract).
+pub fn policy_sweep_csv(points: &[PolicyPoint]) -> String {
+    let mut out = String::from(
+        "placement,governor,completed,mean_latency_s,p95_latency_s,\
+         mean_power_w,joules_per_function,power_cycles,pareto\n",
+    );
+    for p in points {
+        out.push_str(&format!(
+            "{},{},{},{:.6},{:.6},{:.6},{:.6},{},{}\n",
+            p.placement.label(),
+            p.governor.label(),
+            p.completed,
+            p.mean_latency_s,
+            p.p95_latency_s,
+            p.mean_power_w,
+            p.joules_per_function,
+            p.power_cycles,
+            u8::from(p.pareto),
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The `sched` CLI subcommand's default sweep arrangement; tests
+    /// pin the acceptance property at exactly these settings.
+    fn default_sweep() -> Vec<PolicyPoint> {
+        policy_sweep(0.1, SimDuration::from_secs(1200), 10, 1)
+    }
+
+    #[test]
+    fn policy_sweep_covers_the_full_cross_product() {
+        let points = default_sweep();
+        assert_eq!(points.len(), 24);
+        for p in PlacementKind::ALL {
+            for g in GovernorKind::ALL {
+                assert_eq!(
+                    points
+                        .iter()
+                        .filter(|pt| pt.placement == p && pt.governor == g)
+                        .count(),
+                    1,
+                    "missing ({p}, {g})"
+                );
+            }
+        }
+        assert!(
+            points.iter().any(|p| p.pareto),
+            "a non-empty sweep has a non-empty Pareto front"
+        );
+        // Front membership is consistent: no point may dominate a
+        // front member on both axes.
+        for a in points.iter().filter(|p| p.pareto) {
+            for b in &points {
+                assert!(
+                    !(b.mean_latency_s < a.mean_latency_s
+                        && b.joules_per_function < a.joules_per_function),
+                    "{}/{} dominates front member {}/{}",
+                    b.placement,
+                    b.governor,
+                    a.placement,
+                    a.governor
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn warm_governors_trade_energy_for_latency_in_the_sweep() {
+        // The acceptance property for the whole subsystem: under the
+        // sweep's sparse default load, KeepAlive and WarmPool must pay
+        // strictly more energy than RebootPerJob for strictly lower
+        // mean latency, at the paper's random placement.
+        let points = default_sweep();
+        let at = |g: &str| {
+            points
+                .iter()
+                .find(|p| p.placement == PlacementKind::RandomStatic && p.governor.label() == g)
+                .unwrap()
+        };
+        let reboot = at("reboot-per-job");
+        for warm in ["keep-alive", "warm-pool"] {
+            let point = at(warm);
+            assert!(
+                point.joules_per_function > reboot.joules_per_function,
+                "{warm} J/func {:.3} must exceed reboot-per-job {:.3}",
+                point.joules_per_function,
+                reboot.joules_per_function
+            );
+            assert!(
+                point.mean_latency_s < reboot.mean_latency_s,
+                "{warm} mean latency {:.3}s must beat reboot-per-job {:.3}s",
+                point.mean_latency_s,
+                reboot.mean_latency_s
+            );
+        }
+    }
+
+    #[test]
+    fn policy_sweep_is_bit_identical_across_job_counts() {
+        let serial = policy_sweep_jobs(0.5, SimDuration::from_secs(300), 10, 9, Jobs::serial());
+        let parallel = policy_sweep_jobs(0.5, SimDuration::from_secs(300), 10, 9, Jobs::new(4));
+        assert_eq!(serial, parallel);
+        assert_eq!(
+            policy_sweep_csv(&serial),
+            policy_sweep_csv(&parallel),
+            "CSV must be byte-identical at any job count"
+        );
+    }
+
+    #[test]
+    fn policy_sweep_csv_shape() {
+        let points = policy_sweep_jobs(0.5, SimDuration::from_secs(300), 10, 9, Jobs::serial());
+        let csv = policy_sweep_csv(&points);
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "placement,governor,completed,mean_latency_s,p95_latency_s,\
+             mean_power_w,joules_per_function,power_cycles,pareto"
+        );
+        assert_eq!(csv.lines().count(), 25);
+        for line in lines {
+            assert_eq!(line.split(',').count(), 9, "bad row: {line}");
+        }
+    }
 
     #[test]
     fn suite_comparison_reproduces_fig3_claims() {

@@ -72,8 +72,10 @@ pub struct Dispatcher {
 }
 
 impl Dispatcher {
-    /// Distributes `jobs` over `workers` queues according to `mode`,
-    /// using `rng` for the random-static split.
+    /// Distributes `jobs` over `workers` queues according to `mode`
+    /// with every job weighted equally. Engines that know per-function
+    /// costs use [`Dispatcher::with_weights`] so `LeastLoaded` balances
+    /// expected seconds instead of job counts.
     ///
     /// # Panics
     ///
@@ -84,43 +86,92 @@ impl Dispatcher {
         jobs: Vec<Job>,
         rng: &mut microfaas_sim::Rng,
     ) -> Self {
+        Self::with_weights(mode, workers, jobs, rng, |_| 1.0)
+    }
+
+    /// Distributes `jobs` over `workers` queues according to `mode`.
+    ///
+    /// `WorkConserving` keeps the single shared FIFO; every other
+    /// [`PlacementKind`](crate::config::Assignment) places each job
+    /// statically through the `microfaas-sched` policy, with `weight`
+    /// supplying the expected cost a `LeastLoaded` policy balances.
+    ///
+    /// Determinism: `rng` is the simulation stream, and the only policy
+    /// that draws from it is the legacy `RandomStatic` — exactly one
+    /// `index(workers)` per job, the historical sequence the bit-compat
+    /// goldens pin. The four new placements are deterministic picks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn with_weights(
+        mode: crate::config::Assignment,
+        workers: usize,
+        jobs: Vec<Job>,
+        rng: &mut microfaas_sim::Rng,
+        weight: impl Fn(FunctionId) -> f64,
+    ) -> Self {
         assert!(workers > 0, "dispatcher needs at least one worker");
+        let mut placement = microfaas_sched::placement(mode);
         // Reserve each queue for its expected share up front (the full
         // workload for the shared queue, jobs/workers plus slack for the
-        // static split) so dispatch never regrows a ring buffer.
-        let (shared_cap, per_worker_cap) = match mode {
-            crate::config::Assignment::WorkConserving => (jobs.len(), 0),
-            crate::config::Assignment::RandomStatic => (0, jobs.len() / workers + workers),
+        // static splits) so dispatch never regrows a ring buffer.
+        let (shared_cap, per_worker_cap) = if placement.shared_queue() {
+            (jobs.len(), 0)
+        } else {
+            (0, jobs.len() / workers + workers)
         };
         let mut dispatcher = Dispatcher {
             mode,
             shared: std::collections::VecDeque::with_capacity(shared_cap),
             per_worker: vec![std::collections::VecDeque::with_capacity(per_worker_cap); workers],
         };
-        match mode {
-            crate::config::Assignment::WorkConserving => dispatcher.shared.extend(jobs),
-            crate::config::Assignment::RandomStatic => {
-                for job in jobs {
-                    dispatcher.per_worker[rng.index(workers)].push_back(job);
-                }
+        if placement.shared_queue() {
+            dispatcher.shared.extend(jobs);
+        } else {
+            // A worker holding at least one job boots at t = 0, so the
+            // packing policies treat "has work" as "will be warm".
+            let mut views = vec![
+                microfaas_sched::NodeView {
+                    queued: 0,
+                    busy: false,
+                    powered: false,
+                    load: 0.0,
+                };
+                workers
+            ];
+            for job in jobs {
+                let w = placement.place(&views, rng);
+                views[w].queued += 1;
+                views[w].load += weight(job.function);
+                views[w].powered = true;
+                dispatcher.per_worker[w].push_back(job);
             }
         }
         dispatcher
     }
 
+    /// Whether this dispatcher runs one shared FIFO (work-conserving)
+    /// instead of static per-worker queues.
+    fn is_shared(&self) -> bool {
+        self.mode == crate::config::Assignment::WorkConserving
+    }
+
     /// Whether worker `w` has any work available.
     pub fn has_work(&self, w: usize) -> bool {
-        match self.mode {
-            crate::config::Assignment::WorkConserving => !self.shared.is_empty(),
-            crate::config::Assignment::RandomStatic => !self.per_worker[w].is_empty(),
+        if self.is_shared() {
+            !self.shared.is_empty()
+        } else {
+            !self.per_worker[w].is_empty()
         }
     }
 
     /// Takes the next job for worker `w`, if any.
     pub fn pull(&mut self, w: usize) -> Option<Job> {
-        match self.mode {
-            crate::config::Assignment::WorkConserving => self.shared.pop_front(),
-            crate::config::Assignment::RandomStatic => self.per_worker[w].pop_front(),
+        if self.is_shared() {
+            self.shared.pop_front()
+        } else {
+            self.per_worker[w].pop_front()
         }
     }
 
@@ -132,17 +183,19 @@ impl Dispatcher {
     /// Puts a recovered job back at the *head* of worker `w`'s queue so
     /// a retried invocation runs before fresh arrivals.
     pub fn requeue_front(&mut self, w: usize, job: Job) {
-        match self.mode {
-            crate::config::Assignment::WorkConserving => self.shared.push_front(job),
-            crate::config::Assignment::RandomStatic => self.per_worker[w].push_front(job),
+        if self.is_shared() {
+            self.shared.push_front(job);
+        } else {
+            self.per_worker[w].push_front(job);
         }
     }
 
     /// Appends a job to worker `w`'s queue (redistribution target).
     pub fn enqueue_back(&mut self, w: usize, job: Job) {
-        match self.mode {
-            crate::config::Assignment::WorkConserving => self.shared.push_back(job),
-            crate::config::Assignment::RandomStatic => self.per_worker[w].push_back(job),
+        if self.is_shared() {
+            self.shared.push_back(job);
+        } else {
+            self.per_worker[w].push_back(job);
         }
     }
 
@@ -174,6 +227,17 @@ impl Dispatcher {
     /// queue is untouched: surviving workers already pull from it.
     pub fn drain_worker(&mut self, w: usize) -> Vec<Job> {
         self.per_worker[w].drain(..).collect()
+    }
+
+    /// Iterates the static `(worker, job)` placements, worker-major
+    /// (empty for the shared-queue policy, which places at pull time).
+    /// The engines trace these as `placement_decision` events when a
+    /// non-default policy is active.
+    pub fn placements(&self) -> impl Iterator<Item = (usize, &Job)> + '_ {
+        self.per_worker
+            .iter()
+            .enumerate()
+            .flat_map(|(w, queue)| queue.iter().map(move |job| (w, job)))
     }
 }
 
@@ -266,6 +330,189 @@ mod tests {
             d.enqueue_back(1, job);
         }
         assert_eq!(d.remaining(), before, "redistribution conserves jobs");
+    }
+
+    #[test]
+    fn random_static_with_more_workers_than_jobs() {
+        // 3 jobs across 8 workers: every job must land somewhere, most
+        // workers stay empty, and the empty queues behave (no work, no
+        // panic on pull/drain).
+        let mut rng = microfaas_sim::Rng::new(5);
+        let jobs: Vec<Job> = (0..3)
+            .map(|id| Job {
+                id,
+                function: FunctionId::FloatOps,
+            })
+            .collect();
+        let mut d = Dispatcher::new(crate::config::Assignment::RandomStatic, 8, jobs, &mut rng);
+        assert_eq!(d.remaining(), 3);
+        let occupied = (0..8).filter(|&w| d.has_work(w)).count();
+        assert!((1..=3).contains(&occupied));
+        let mut pulled = 0;
+        for w in 0..8 {
+            if !d.has_work(w) {
+                assert_eq!(d.pull(w), None, "empty queue pulls nothing");
+                assert!(d.drain_worker(w).is_empty());
+            }
+            while let Some(_job) = d.pull(w) {
+                pulled += 1;
+            }
+        }
+        assert_eq!(pulled, 3, "no job may vanish");
+        assert_eq!(d.remaining(), 0);
+    }
+
+    #[test]
+    fn drain_after_requeue_recovers_the_crashed_job_first() {
+        // A mid-job crash requeues the in-flight job at the head of its
+        // worker's queue; if the worker then never comes back, draining
+        // it must surface that job *first* so redistribution preserves
+        // the retry-before-fresh-work ordering.
+        let mut rng = microfaas_sim::Rng::new(3);
+        let jobs: Vec<Job> = (0..10)
+            .map(|id| Job {
+                id,
+                function: FunctionId::FloatOps,
+            })
+            .collect();
+        let mut d = Dispatcher::new(crate::config::Assignment::RandomStatic, 2, jobs, &mut rng);
+        let in_flight = d.pull(0).expect("seed 3 assigns worker 0 work");
+        let queued_behind = d.remaining();
+        d.requeue_front(0, in_flight);
+        assert_eq!(d.remaining(), queued_behind + 1);
+        let drained = d.drain_worker(0);
+        assert_eq!(
+            drained.first(),
+            Some(&in_flight),
+            "the crashed job leads the drained queue"
+        );
+        assert!(!d.has_work(0), "the dead worker's queue is empty");
+        for job in drained {
+            d.enqueue_back(1, job);
+        }
+        assert_eq!(
+            d.remaining(),
+            queued_behind + 1,
+            "redistribution conserves jobs"
+        );
+        let mut survivors = Vec::new();
+        while let Some(job) = d.pull(1) {
+            survivors.push(job);
+        }
+        assert!(
+            survivors.contains(&in_flight),
+            "the recovered job reaches the surviving worker"
+        );
+    }
+
+    #[test]
+    fn least_loaded_balances_by_weight_not_count() {
+        let mut rng = microfaas_sim::Rng::new(1);
+        // Four heavy jobs then four light ones: weighted placement puts
+        // each heavy job on its own worker, then packs the light jobs
+        // onto the emptiest weighted queues.
+        let jobs: Vec<Job> = (0..4)
+            .map(|id| Job {
+                id,
+                function: FunctionId::MatMul,
+            })
+            .chain((4..8).map(|id| Job {
+                id,
+                function: FunctionId::RegexMatch,
+            }))
+            .collect();
+        let d = Dispatcher::with_weights(
+            crate::config::Assignment::LeastLoaded,
+            4,
+            jobs,
+            &mut rng,
+            |f| if f == FunctionId::MatMul { 10.0 } else { 1.0 },
+        );
+        for w in 0..4 {
+            assert!(d.has_work(w), "every worker gets a share");
+        }
+        assert_eq!(d.remaining(), 8);
+    }
+
+    #[test]
+    fn join_shortest_queue_round_robins_a_uniform_batch() {
+        let mut rng = microfaas_sim::Rng::new(1);
+        let jobs: Vec<Job> = (0..9)
+            .map(|id| Job {
+                id,
+                function: FunctionId::FloatOps,
+            })
+            .collect();
+        let mut d = Dispatcher::new(
+            crate::config::Assignment::JoinShortestQueue,
+            3,
+            jobs,
+            &mut rng,
+        );
+        // 9 jobs over 3 workers, ties to the lowest index: 3 each, and
+        // worker 0 holds jobs 0, 3, 6.
+        assert_eq!(d.pull(0).map(|j| j.id), Some(0));
+        assert_eq!(d.pull(0).map(|j| j.id), Some(3));
+        assert_eq!(d.pull(0).map(|j| j.id), Some(6));
+        assert_eq!(d.pull(0), None);
+    }
+
+    #[test]
+    fn warm_first_packs_the_whole_batch_onto_one_node() {
+        let mut rng = microfaas_sim::Rng::new(1);
+        let jobs: Vec<Job> = (0..6)
+            .map(|id| Job {
+                id,
+                function: FunctionId::FloatOps,
+            })
+            .collect();
+        let mut d = Dispatcher::new(crate::config::Assignment::WarmFirst, 4, jobs, &mut rng);
+        assert!(d.has_work(0), "the first node warms up");
+        for w in 1..4 {
+            assert!(!d.has_work(w), "worker {w} never boots for a batch");
+        }
+        assert_eq!(d.drain_worker(0).len(), 6);
+    }
+
+    #[test]
+    fn power_aware_fills_in_backlog_waves() {
+        let mut rng = microfaas_sim::Rng::new(1);
+        let jobs: Vec<Job> = (0..6)
+            .map(|id| Job {
+                id,
+                function: FunctionId::FloatOps,
+            })
+            .collect();
+        let mut d = Dispatcher::new(crate::config::Assignment::PowerAware, 4, jobs, &mut rng);
+        // Packing threshold 2: six jobs warm exactly three nodes.
+        assert_eq!((0..4).filter(|&w| d.has_work(w)).count(), 3);
+        assert_eq!(d.drain_worker(0).len(), 2);
+    }
+
+    #[test]
+    fn new_placements_leave_the_simulation_stream_untouched() {
+        let jobs: Vec<Job> = (0..12)
+            .map(|id| Job {
+                id,
+                function: FunctionId::FloatOps,
+            })
+            .collect();
+        for mode in [
+            crate::config::Assignment::WorkConserving,
+            crate::config::Assignment::LeastLoaded,
+            crate::config::Assignment::JoinShortestQueue,
+            crate::config::Assignment::WarmFirst,
+            crate::config::Assignment::PowerAware,
+        ] {
+            let mut rng = microfaas_sim::Rng::new(17);
+            let _ = Dispatcher::new(mode, 5, jobs.clone(), &mut rng);
+            let mut untouched = microfaas_sim::Rng::new(17);
+            assert_eq!(
+                rng.next_u64(),
+                untouched.next_u64(),
+                "{mode:?} must not draw from the simulation stream"
+            );
+        }
     }
 
     #[test]

@@ -7,6 +7,14 @@
 //! `docs/FAILURE_MODEL.md`; with an empty
 //! [`FaultPlan`](microfaas_sim::faults::FaultPlan) the machinery is
 //! inert and runs are bit-identical to a build without it.
+//!
+//! Placement and power-state policy are pluggable through
+//! `microfaas-sched` (see `docs/SCHEDULING.md`): the
+//! [`MicroFaasConfig::assignment`] placement picks worker queues and the
+//! [`MicroFaasConfig::governor`] decides what a drained worker does.
+//! The defaults (work-conserving placement,
+//! [`GovernorKind::RebootPerJob`]) reproduce the paper's behavior
+//! bit-for-bit, including traces and metric expositions.
 
 use std::sync::Arc;
 
@@ -14,6 +22,7 @@ use microfaas_energy::{ChannelId, EnergyMeter};
 use microfaas_hw::gpio::{PowerAction, PowerController};
 use microfaas_hw::sbc::{SbcNode, SbcState};
 use microfaas_net::LinkSpec;
+use microfaas_sched::{governor, DrainAction, Governor, GovernorKind};
 use microfaas_sim::faults::FaultKind;
 use microfaas_sim::trace::{Observer, TraceEvent, WorkerState};
 use microfaas_sim::{
@@ -56,6 +65,11 @@ pub struct MicroFaasConfig {
     pub crypto_exec_scale: f64,
     /// How the orchestration plane maps jobs to workers.
     pub assignment: Assignment,
+    /// What a worker does between jobs and when its queue drains. The
+    /// default [`GovernorKind::RebootPerJob`] is the paper's policy and
+    /// the only governor under which the legacy `reboot_between_jobs`
+    /// and `power_gating` switches keep their exact historical meaning.
+    pub governor: GovernorKind,
     /// NIC line rate of the backing-service hosts. GigE by default; set
     /// 100 Mb/s to model services hosted on SBCs (as the paper's testbed
     /// wires them), which turns the service port into a shared
@@ -91,6 +105,7 @@ impl MicroFaasConfig {
             power_gating: true,
             crypto_exec_scale: 1.0,
             assignment: Assignment::WorkConserving,
+            governor: GovernorKind::RebootPerJob,
             service_nic_bits_per_sec: 1_000_000_000,
             invocation_timeout: None,
             registry: FunctionRegistry::paper_suite(),
@@ -122,6 +137,8 @@ enum Event {
     Retransmit(usize),
     /// Backoff elapsed; the orchestrator requeues the invocation.
     Retry(Job),
+    /// A standby worker's governor idle window elapsed; it may gate off.
+    IdleGate(usize),
 }
 
 struct InFlight {
@@ -161,6 +178,32 @@ struct MicroMetrics {
     jobs_failed: CounterId,
     exec_seconds: HistogramId,
     overhead_seconds: HistogramId,
+}
+
+/// Metric handles for the scheduling subsystem, shared by both cluster
+/// engines and the open-loop simulator. Registered only when a
+/// non-default policy is active, so default expositions keep their
+/// historical byte-exact content.
+pub(crate) struct SchedMetrics {
+    /// Static placement decisions made by the active placement policy.
+    pub(crate) placements: CounterId,
+    /// Back-to-back job starts that skipped the boot window.
+    pub(crate) warm_hits: CounterId,
+    /// Job starts that paid the full boot window.
+    pub(crate) cold_boots: CounterId,
+    /// Governor power-regime moves (standby, gate-off, prewarm).
+    pub(crate) governor_transitions: CounterId,
+}
+
+impl SchedMetrics {
+    pub(crate) fn register(metrics: &mut MetricsRegistry) -> Self {
+        SchedMetrics {
+            placements: metrics.counter("sched_placements_total"),
+            warm_hits: metrics.counter("sched_warm_hits_total"),
+            cold_boots: metrics.counter("sched_cold_boots_total"),
+            governor_transitions: metrics.counter("sched_governor_transitions_total"),
+        }
+    }
 }
 
 impl MicroMetrics {
@@ -261,6 +304,15 @@ struct MicroSim<'a, 'b> {
     last_completion: SimTime,
     fr: FaultRuntime,
     handles: Option<MicroMetrics>,
+    /// The node power governor ([`MicroFaasConfig::governor`]).
+    governor: Box<dyn Governor + Send>,
+    /// The pending IdleGate event per standby worker, cancelled when a
+    /// job start or crash pre-empts the idle window.
+    gate_pending: Vec<Option<EventId>>,
+    /// Whether a non-default scheduling policy is active; all new
+    /// telemetry is gated on this so default runs stay byte-identical.
+    sched_active: bool,
+    sched_handles: Option<SchedMetrics>,
 }
 
 impl<'a, 'b> MicroSim<'a, 'b> {
@@ -307,7 +359,50 @@ impl<'a, 'b> MicroSim<'a, 'b> {
             metrics.add(h.jobs_enqueued, jobs.len() as u64);
         }
         let fr = FaultRuntime::new(&config.faults.plan, config.workers, jobs.len());
-        let dispatcher = Dispatcher::new(config.assignment, config.workers, jobs, &mut rng);
+        // LeastLoaded balances expected ARM execution seconds, not job
+        // counts, so a queue of MatMuls is not "equal" to one of regexes.
+        let dispatcher = Dispatcher::with_weights(
+            config.assignment,
+            config.workers,
+            jobs,
+            &mut rng,
+            |function| {
+                service_time(function)
+                    .exec(WorkerPlatform::ArmSbc)
+                    .as_secs_f64()
+            },
+        );
+
+        // Everything below is observation only (no RNG, no events): the
+        // legacy defaults keep traces and expositions byte-identical.
+        let sched_active = !(config.assignment.is_legacy_assignment()
+            && config.governor == GovernorKind::RebootPerJob);
+        let sched_handles = if sched_active {
+            observer.metrics().map(SchedMetrics::register)
+        } else {
+            None
+        };
+        if sched_active {
+            let placed: Vec<(usize, u64)> = dispatcher
+                .placements()
+                .map(|(w, job)| (w, job.id))
+                .collect();
+            if observer.is_tracing() {
+                for &(w, id) in &placed {
+                    observer.emit(
+                        SimTime::ZERO,
+                        TraceEvent::PlacementDecision {
+                            job: id,
+                            worker: w,
+                            policy: config.assignment.label(),
+                        },
+                    );
+                }
+            }
+            if let (Some(metrics), Some(h)) = (observer.metrics(), sched_handles.as_ref()) {
+                metrics.add(h.placements, placed.len() as u64);
+            }
+        }
 
         MicroSim {
             config,
@@ -329,6 +424,10 @@ impl<'a, 'b> MicroSim<'a, 'b> {
             last_completion: SimTime::ZERO,
             fr,
             handles,
+            governor: governor(config.governor),
+            gate_pending: vec![None; config.workers],
+            sched_active,
+            sched_handles,
         }
     }
 
@@ -364,6 +463,7 @@ impl<'a, 'b> MicroSim<'a, 'b> {
                 Event::Watchdog(w) => self.on_watchdog(w, now),
                 Event::Retransmit(w) => self.on_retransmit(w, now),
                 Event::Retry(job) => self.on_retry(job, now),
+                Event::IdleGate(w) => self.on_idle_gate(w, now),
             }
         }
 
@@ -416,6 +516,30 @@ impl<'a, 'b> MicroSim<'a, 'b> {
         if let (Some(metrics), Some(h)) = (self.observer.metrics(), self.handles.as_ref()) {
             apply(metrics, h);
         }
+    }
+
+    fn with_sched_metrics(&mut self, apply: impl FnOnce(&mut MetricsRegistry, &SchedMetrics)) {
+        if let (Some(metrics), Some(h)) = (self.observer.metrics(), self.sched_handles.as_ref()) {
+            apply(metrics, h);
+        }
+    }
+
+    /// Booted-idle workers right now — the governor's "warm pool".
+    fn warm_idle_count(&self) -> usize {
+        (0..self.config.workers)
+            .filter(|&x| !self.fr.dead[x] && self.nodes[x].state() == SbcState::Idle)
+            .count()
+    }
+
+    /// Emits the governor-transition trace/metric pair (active policies
+    /// only — the default governor never reaches the standby paths).
+    fn governor_transition(&mut self, now: SimTime, w: usize, action: &'static str) {
+        if !self.sched_active {
+            return;
+        }
+        self.observer
+            .emit(now, TraceEvent::GovernorTransition { worker: w, action });
+        self.with_sched_metrics(|m, h| m.inc(h.governor_transitions));
     }
 
     fn fault_injected(&mut self, now: SimTime, w: usize, kind: FaultKind) {
@@ -633,6 +757,9 @@ impl<'a, 'b> MicroSim<'a, 'b> {
         if let Some(eid) = self.boot_pending[w].take() {
             self.queue.cancel(eid);
         }
+        if let Some(eid) = self.gate_pending[w].take() {
+            self.queue.cancel(eid);
+        }
         if let Some(flight) = self.in_flight[w].take() {
             if let Some(pending) = flight.pending {
                 self.queue.cancel(pending);
@@ -833,32 +960,61 @@ impl<'a, 'b> MicroSim<'a, 'b> {
     /// matching the pre-fault timeout semantics.
     fn release_worker(&mut self, w: usize, now: SimTime, forced: bool) {
         if !self.dispatcher.has_work(w) {
-            // Queue drained: power fully down (energy proportionality),
-            // or idle in standby if gating is disabled for the ablation.
-            self.nodes[w]
-                .finish_job_and_power_off(now)
-                .expect("job was executing");
-            if !forced && !self.config.power_gating {
-                // Model standby as the idle draw without the FSM round
-                // trip: the node is "parked".
-                self.meter.set_power(now, self.channels[w], 0.128);
-                self.observer.emit(
-                    now,
-                    TraceEvent::WorkerStateChange {
-                        worker: w,
-                        state: WorkerState::Idle,
-                    },
-                );
-                self.observer.emit(
-                    now,
-                    TraceEvent::PowerSample {
-                        worker: w,
-                        watts: 0.128,
-                    },
-                );
+            // Queue drained: the governor picks the power regime. Forced
+            // resets always gate (timeout semantics predate governors),
+            // and the default RebootPerJob always answers PowerOff, so
+            // the legacy paths below run unchanged.
+            let action = if forced {
+                DrainAction::PowerOff
             } else {
-                self.gpio.actuate(now, w, PowerAction::Off);
-                self.mark(now, w, WorkerState::Off, 0.0);
+                // +1: this worker is still Executing but would join the
+                // warm pool, and the contract counts it in.
+                let warm_idle = self.warm_idle_count() + 1;
+                self.governor.on_drain(now, warm_idle)
+            };
+            match action {
+                DrainAction::PowerOff => {
+                    // Power fully down (energy proportionality), or idle
+                    // in standby if gating is disabled for the ablation.
+                    self.nodes[w]
+                        .finish_job_and_power_off(now)
+                        .expect("job was executing");
+                    if !forced && !self.config.power_gating {
+                        // Model standby as the idle draw without the FSM
+                        // round trip: the node is "parked".
+                        self.meter.set_power(now, self.channels[w], 0.128);
+                        self.observer.emit(
+                            now,
+                            TraceEvent::WorkerStateChange {
+                                worker: w,
+                                state: WorkerState::Idle,
+                            },
+                        );
+                        self.observer.emit(
+                            now,
+                            TraceEvent::PowerSample {
+                                worker: w,
+                                watts: 0.128,
+                            },
+                        );
+                    } else {
+                        self.gpio.actuate(now, w, PowerAction::Off);
+                        self.mark(now, w, WorkerState::Off, 0.0);
+                    }
+                }
+                DrainAction::Standby { idle_timeout } => {
+                    // Stay booted-idle at standby draw; the node can
+                    // take a later requeue without paying the boot.
+                    self.nodes[w]
+                        .finish_job_and_standby(now)
+                        .expect("job was executing");
+                    self.mark(now, w, WorkerState::Idle, 0.128);
+                    self.governor_transition(now, w, "standby");
+                    if let Some(window) = idle_timeout {
+                        self.gate_pending[w] =
+                            Some(self.queue.schedule(now + window, Event::IdleGate(w)));
+                    }
+                }
             }
         } else {
             self.nodes[w]
@@ -866,16 +1022,58 @@ impl<'a, 'b> MicroSim<'a, 'b> {
                 .expect("job was executing");
             let watts = self.nodes[w].power().value();
             self.mark(now, w, WorkerState::Rebooting, watts);
-            let reboot = if forced || self.config.reboot_between_jobs {
+            let reboot = if forced
+                || self
+                    .governor
+                    .reboot_between_jobs(self.config.reboot_between_jobs)
+            {
                 self.nodes[w].boot_duration()
             } else {
                 SimDuration::ZERO
             };
+            if self.sched_active {
+                if reboot.is_zero() {
+                    self.with_sched_metrics(|m, h| m.inc(h.warm_hits));
+                } else {
+                    self.with_sched_metrics(|m, h| m.inc(h.cold_boots));
+                }
+            }
             self.boot_pending[w] = Some(self.queue.schedule(now + reboot, Event::BootDone(w)));
         }
     }
 
+    /// A standby worker's idle window elapsed: ask the governor whether
+    /// it finally gates off. Stale gates (the worker crashed, died, or
+    /// started a job that re-armed nothing) are dropped silently.
+    fn on_idle_gate(&mut self, w: usize, now: SimTime) {
+        self.gate_pending[w] = None;
+        if self.fr.dead[w] || self.nodes[w].state() != SbcState::Idle {
+            return;
+        }
+        if self.dispatcher.has_work(w) {
+            // Work arrived while idle (a requeue that never woke us):
+            // run it instead of gating.
+            self.start_next_job(w, now);
+            return;
+        }
+        if self
+            .governor
+            .gate_on_idle_expiry(now, self.warm_idle_count())
+        {
+            self.nodes[w].power_off(now).expect("node is idle");
+            self.gpio.actuate(now, w, PowerAction::Off);
+            self.mark(now, w, WorkerState::Off, 0.0);
+            self.governor_transition(now, w, "gate-off");
+        }
+        // A `false` answer leaves the node idle with no further expiry
+        // scheduled (see the Governor contract), keeping the loop finite.
+    }
+
     fn start_next_job(&mut self, w: usize, now: SimTime) {
+        // A job start pre-empts any armed idle-gate window.
+        if let Some(eid) = self.gate_pending[w].take() {
+            self.queue.cancel(eid);
+        }
         match self.dispatcher.pull(w) {
             Some(job) => {
                 self.nodes[w].start_job(now).expect("node is idle");
@@ -935,12 +1133,27 @@ impl<'a, 'b> MicroSim<'a, 'b> {
             }
             None => {
                 // Booted with nothing to do (possible when the initial
-                // random assignment left this worker a short queue):
-                // power back off.
-                if self.config.power_gating {
-                    self.nodes[w].power_off(now).expect("node is idle");
-                    self.gpio.actuate(now, w, PowerAction::Off);
-                    self.mark(now, w, WorkerState::Off, 0.0);
+                // random assignment left this worker a short queue): the
+                // governor decides between gating off and staying warm.
+                // The node is already Idle, so `warm_idle_count` counts
+                // it, matching the on_drain contract.
+                match self.governor.on_drain(now, self.warm_idle_count()) {
+                    DrainAction::PowerOff => {
+                        if self.config.power_gating {
+                            self.nodes[w].power_off(now).expect("node is idle");
+                            self.gpio.actuate(now, w, PowerAction::Off);
+                            self.mark(now, w, WorkerState::Off, 0.0);
+                        }
+                    }
+                    DrainAction::Standby { idle_timeout } => {
+                        // Already idle at standby draw; just arm the
+                        // governor's expiry window.
+                        self.governor_transition(now, w, "standby");
+                        if let Some(window) = idle_timeout {
+                            self.gate_pending[w] =
+                                Some(self.queue.schedule(now + window, Event::IdleGate(w)));
+                        }
+                    }
                 }
             }
         }

@@ -7,12 +7,21 @@
 //! capacity; this module measures what the paper's Fig. 5 argues about —
 //! how cluster power tracks offered load — plus the latency cost of
 //! powering nodes down (a cold boot in front of a job).
+//!
+//! Placement and power policy are pluggable through `microfaas-sched`
+//! (see `docs/SCHEDULING.md`): [`OpenLoopConfig::scheduler`] picks the
+//! worker queue per arrival and [`OpenLoopConfig::governor`] decides
+//! what a drained worker does. The historical open-loop policies
+//! (`RandomStatic` — formerly `RandomQueue` — `LeastLoaded`, and
+//! `PowerAware`) under the default [`GovernorKind::RebootPerJob`]
+//! behave bit-identically to the pre-subsystem code.
 
 use std::collections::VecDeque;
 
 use microfaas_energy::EnergyMeter;
 use microfaas_hw::gpio::{PowerAction, PowerController};
 use microfaas_hw::sbc::{SbcNode, SbcState};
+use microfaas_sched::{DrainAction, GovernorKind, NodeView, PlacementKind, PolicyEngine};
 use microfaas_sim::faults::FaultKind;
 use microfaas_sim::trace::{Observer, TraceEvent, WorkerState};
 use microfaas_sim::{
@@ -23,7 +32,7 @@ use microfaas_workloads::calibration::{service_time, WorkerPlatform};
 use microfaas_workloads::FunctionId;
 
 use crate::config::Jitter;
-use crate::micro::EXEC_BUCKETS;
+use crate::micro::{SchedMetrics, EXEC_BUCKETS};
 use crate::recovery::FaultsConfig;
 
 /// How invocations arrive at the orchestration plane.
@@ -43,17 +52,14 @@ pub enum ArrivalProcess {
 }
 
 /// How the orchestration plane picks a worker queue for a new job.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SchedulerPolicy {
-    /// A uniformly random queue (the paper's policy).
-    RandomQueue,
-    /// The queue with the least outstanding work.
-    LeastLoaded,
-    /// Prefer already-powered workers; wake a sleeping node only when
-    /// every awake node already has work queued. Minimizes powered-on
-    /// node count at the price of queueing latency.
-    PowerAware,
-}
+///
+/// Since the scheduling subsystem landed this is the full
+/// [`PlacementKind`] family from `microfaas-sched`. The historical
+/// open-loop policies map onto it: `RandomQueue` is now
+/// [`PlacementKind::RandomStatic`] (same uniform draw, from the same
+/// simulation-RNG site), and `LeastLoaded` / `PowerAware` keep their
+/// names and exact picks. The alias keeps the old type name compiling.
+pub type SchedulerPolicy = PlacementKind;
 
 /// Configuration of an open-loop run.
 #[derive(Debug, Clone)]
@@ -68,6 +74,12 @@ pub struct OpenLoopConfig {
     pub arrival: ArrivalProcess,
     /// Placement policy.
     pub scheduler: SchedulerPolicy,
+    /// What a drained worker does with its power state. The default
+    /// [`GovernorKind::RebootPerJob`] gates nodes off the moment they
+    /// drain (the paper's policy); the alternatives hold nodes at
+    /// 0.128 W standby to absorb the next arrival without the 1.51 s
+    /// boot — the latency-energy trade `policy_sweep` charts.
+    pub governor: GovernorKind,
     /// Service-time jitter.
     pub jitter: Jitter,
     /// Functions drawn uniformly per arrival.
@@ -89,7 +101,8 @@ impl OpenLoopConfig {
             seed,
             duration,
             arrival: ArrivalProcess::EverySecond { jobs_per_tick },
-            scheduler: SchedulerPolicy::RandomQueue,
+            scheduler: PlacementKind::RandomStatic,
+            governor: GovernorKind::RebootPerJob,
             jitter: Jitter::default_run_to_run(),
             functions: FunctionId::ALL.to_vec(),
             faults: FaultsConfig::none(),
@@ -129,6 +142,8 @@ enum Event {
     JobDone(usize),
     Crash(usize),
     Recover(usize),
+    /// A standby worker's governor idle window elapsed; it may gate off.
+    IdleGate(usize),
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -150,6 +165,9 @@ struct Worker {
     /// The invocation's next lifecycle event (ExecDone or JobDone),
     /// cancelled when an injected crash interrupts it.
     pending: Option<EventId>,
+    /// The governor's pending IdleGate event, cancelled when a job
+    /// start pre-empts the idle window.
+    gate: Option<EventId>,
 }
 
 /// Per-run metric handles for the open-loop simulation, prefixed `open_`.
@@ -181,6 +199,19 @@ impl Worker {
 
     fn backlog(&self) -> usize {
         self.queue.len() + usize::from(self.current.is_some())
+    }
+
+    /// The placement-policy view of this worker. `load` is the backlog
+    /// count (the open loop does not know function costs at placement
+    /// time), which makes `LeastLoaded` pick exactly the historical
+    /// min-backlog queue.
+    fn view(&self) -> NodeView {
+        NodeView {
+            queued: self.queue.len(),
+            busy: self.current.is_some(),
+            powered: self.is_powered(),
+            load: self.backlog() as f64,
+        }
     }
 }
 
@@ -223,6 +254,24 @@ pub fn run_open_loop_with(config: &OpenLoopConfig, observer: &mut Observer<'_>) 
     }
     let handles = observer.metrics().map(OpenMetrics::register);
 
+    // The scheduling subsystem: placement + governor. The open loop's
+    // historical policies (RandomStatic/LeastLoaded/PowerAware) under
+    // the default governor are the legacy surface — all subsystem
+    // telemetry stays silent there so traces and expositions remain
+    // byte-identical to the pre-subsystem code.
+    let mut policy = PolicyEngine::new(config.scheduler, config.governor, config.seed);
+    let legacy_placement = matches!(
+        config.scheduler,
+        PlacementKind::RandomStatic | PlacementKind::LeastLoaded | PlacementKind::PowerAware
+    );
+    let sched_active = !(legacy_placement && config.governor == GovernorKind::RebootPerJob);
+    let sched_handles = if sched_active {
+        observer.metrics().map(SchedMetrics::register)
+    } else {
+        None
+    };
+    let mut views: Vec<NodeView> = Vec::with_capacity(config.workers);
+
     let mut rng = Rng::new(config.seed);
     let mut queue: EventQueue<Event> = EventQueue::new();
     let mut gpio = PowerController::new(config.workers);
@@ -237,6 +286,7 @@ pub fn run_open_loop_with(config: &OpenLoopConfig, observer: &mut Observer<'_>) 
             waking: false,
             current: None,
             pending: None,
+            gate: None,
         })
         .collect();
 
@@ -283,16 +333,47 @@ pub fn run_open_loop_with(config: &OpenLoopConfig, observer: &mut Observer<'_>) 
                     if let (Some(metrics), Some(h)) = (observer.metrics(), handles.as_ref()) {
                         metrics.inc(h.jobs_arrived);
                     }
-                    let w = place(config.scheduler, &workers, &mut rng);
+                    // Rate tracking for WarmPool (a no-op elsewhere).
+                    policy.observe_arrival(now);
+                    views.clear();
+                    views.extend(workers.iter().map(Worker::view));
+                    let w = policy.place(&views, &mut rng);
+                    if sched_active {
+                        observer.emit(
+                            now,
+                            TraceEvent::PlacementDecision {
+                                job: job.id,
+                                worker: w,
+                                policy: config.scheduler.label(),
+                            },
+                        );
+                        if let (Some(metrics), Some(h)) =
+                            (observer.metrics(), sched_handles.as_ref())
+                        {
+                            metrics.inc(h.placements);
+                        }
+                    }
                     workers[w].queue.push_back(job);
                     match workers[w].node.state() {
                         SbcState::Off if !workers[w].waking => {
+                            if let (Some(metrics), Some(h)) =
+                                (observer.metrics(), sched_handles.as_ref())
+                            {
+                                metrics.inc(h.cold_boots);
+                            }
                             workers[w].waking = true;
                             powered_on.add(now, 1.0);
                             let effective = gpio.actuate(now, w, PowerAction::On);
                             queue.schedule(effective, Event::PowerEffective(w));
                         }
                         SbcState::Idle => {
+                            // A warm (standby) node absorbs the arrival
+                            // with no boot in front of it.
+                            if let (Some(metrics), Some(h)) =
+                                (observer.metrics(), sched_handles.as_ref())
+                            {
+                                metrics.inc(h.warm_hits);
+                            }
                             begin_job(
                                 w,
                                 now,
@@ -306,6 +387,37 @@ pub fn run_open_loop_with(config: &OpenLoopConfig, observer: &mut Observer<'_>) 
                             );
                         }
                         _ => {}
+                    }
+                }
+                // WarmPool prewarm: wake gated-off nodes until the
+                // booted reserve matches the governor's target. Zero for
+                // every other governor, so the legacy paths never enter.
+                let target = policy.warm_target(config.workers);
+                if target > 0 {
+                    let mut powered = workers.iter().filter(|x| x.is_powered()).count();
+                    for w in 0..config.workers {
+                        if powered >= target {
+                            break;
+                        }
+                        if !workers[w].is_powered() {
+                            workers[w].waking = true;
+                            powered += 1;
+                            powered_on.add(now, 1.0);
+                            let effective = gpio.actuate(now, w, PowerAction::On);
+                            queue.schedule(effective, Event::PowerEffective(w));
+                            observer.emit(
+                                now,
+                                TraceEvent::GovernorTransition {
+                                    worker: w,
+                                    action: "prewarm",
+                                },
+                            );
+                            if let (Some(metrics), Some(h)) =
+                                (observer.metrics(), sched_handles.as_ref())
+                            {
+                                metrics.inc(h.governor_transitions);
+                            }
+                        }
                     }
                 }
                 let gap = match config.arrival {
@@ -343,6 +455,12 @@ pub fn run_open_loop_with(config: &OpenLoopConfig, observer: &mut Observer<'_>) 
                     },
                 );
                 observer.emit(now, TraceEvent::PowerSample { worker: w, watts });
+                if workers[w].queue.is_empty() {
+                    // Only a prewarmed node boots to an empty queue (the
+                    // legacy policies wake a node exclusively for queued
+                    // work): it joins the warm reserve and idles.
+                    continue;
+                }
                 begin_job(
                     w,
                     now,
@@ -384,28 +502,76 @@ pub fn run_open_loop_with(config: &OpenLoopConfig, observer: &mut Observer<'_>) 
                     metrics.observe(h.latency_seconds, latency.as_secs_f64());
                 }
                 if workers[w].queue.is_empty() {
-                    workers[w]
-                        .node
-                        .finish_job_and_power_off(now)
-                        .expect("was executing");
-                    powered_on.add(now, -1.0);
-                    gpio.actuate(now, w, PowerAction::Off);
-                    meter.set_power(now, channels[w], 0.0);
-                    observer.emit(
-                        now,
-                        TraceEvent::WorkerStateChange {
-                            worker: w,
-                            state: WorkerState::Off,
-                        },
-                    );
-                    observer.emit(
-                        now,
-                        TraceEvent::PowerSample {
-                            worker: w,
-                            watts: 0.0,
-                        },
-                    );
-                } else {
+                    // Queue drained: the governor picks the power regime.
+                    // RebootPerJob (the default) always answers PowerOff,
+                    // keeping the legacy gate-off path byte-identical.
+                    let warm_idle = 1 + workers
+                        .iter()
+                        .filter(|x| x.node.state() == SbcState::Idle)
+                        .count();
+                    match policy.on_drain(now, warm_idle) {
+                        DrainAction::PowerOff => {
+                            workers[w]
+                                .node
+                                .finish_job_and_power_off(now)
+                                .expect("was executing");
+                            powered_on.add(now, -1.0);
+                            gpio.actuate(now, w, PowerAction::Off);
+                            meter.set_power(now, channels[w], 0.0);
+                            observer.emit(
+                                now,
+                                TraceEvent::WorkerStateChange {
+                                    worker: w,
+                                    state: WorkerState::Off,
+                                },
+                            );
+                            observer.emit(
+                                now,
+                                TraceEvent::PowerSample {
+                                    worker: w,
+                                    watts: 0.0,
+                                },
+                            );
+                        }
+                        DrainAction::Standby { idle_timeout } => {
+                            // Hold the node booted-idle at standby draw
+                            // so the next arrival skips the boot window.
+                            workers[w]
+                                .node
+                                .finish_job_and_standby(now)
+                                .expect("was executing");
+                            let watts = workers[w].node.power().value();
+                            meter.set_power(now, channels[w], watts);
+                            observer.emit(
+                                now,
+                                TraceEvent::WorkerStateChange {
+                                    worker: w,
+                                    state: WorkerState::Idle,
+                                },
+                            );
+                            observer.emit(now, TraceEvent::PowerSample { worker: w, watts });
+                            observer.emit(
+                                now,
+                                TraceEvent::GovernorTransition {
+                                    worker: w,
+                                    action: "standby",
+                                },
+                            );
+                            if let (Some(metrics), Some(h)) =
+                                (observer.metrics(), sched_handles.as_ref())
+                            {
+                                metrics.inc(h.governor_transitions);
+                            }
+                            if let Some(window) = idle_timeout {
+                                workers[w].gate =
+                                    Some(queue.schedule(now + window, Event::IdleGate(w)));
+                            }
+                        }
+                    }
+                } else if policy.reboot_between_jobs(true) {
+                    if let (Some(metrics), Some(h)) = (observer.metrics(), sched_handles.as_ref()) {
+                        metrics.inc(h.cold_boots);
+                    }
                     workers[w]
                         .node
                         .finish_job_and_reboot(now)
@@ -421,6 +587,27 @@ pub fn run_open_loop_with(config: &OpenLoopConfig, observer: &mut Observer<'_>) 
                     );
                     observer.emit(now, TraceEvent::PowerSample { worker: w, watts });
                     queue.schedule(now + workers[w].node.boot_duration(), Event::BootDone(w));
+                } else {
+                    // Warm continuation: skip the between-jobs reboot
+                    // and start the next queued job immediately.
+                    if let (Some(metrics), Some(h)) = (observer.metrics(), sched_handles.as_ref()) {
+                        metrics.inc(h.warm_hits);
+                    }
+                    workers[w]
+                        .node
+                        .finish_job_and_standby(now)
+                        .expect("was executing");
+                    begin_job(
+                        w,
+                        now,
+                        config,
+                        &mut workers,
+                        &mut queue,
+                        &mut meter,
+                        &channels,
+                        &mut rng,
+                        observer,
+                    );
                 }
             }
             Event::Crash(w) => {
@@ -479,6 +666,48 @@ pub fn run_open_loop_with(config: &OpenLoopConfig, observer: &mut Observer<'_>) 
                 );
                 observer.emit(now, TraceEvent::PowerSample { worker: w, watts });
                 queue.schedule(now + workers[w].node.boot_duration(), Event::BootDone(w));
+            }
+            Event::IdleGate(w) => {
+                workers[w].gate = None;
+                // Stale gates (the node picked up work, crashed, or was
+                // already gated off) are dropped silently.
+                if workers[w].node.state() != SbcState::Idle {
+                    continue;
+                }
+                let warm_idle = workers
+                    .iter()
+                    .filter(|x| x.node.state() == SbcState::Idle)
+                    .count();
+                if policy.gate_on_idle_expiry(now, warm_idle) {
+                    workers[w].node.power_off(now).expect("node was idle");
+                    powered_on.add(now, -1.0);
+                    gpio.actuate(now, w, PowerAction::Off);
+                    meter.set_power(now, channels[w], 0.0);
+                    observer.emit(
+                        now,
+                        TraceEvent::WorkerStateChange {
+                            worker: w,
+                            state: WorkerState::Off,
+                        },
+                    );
+                    observer.emit(
+                        now,
+                        TraceEvent::PowerSample {
+                            worker: w,
+                            watts: 0.0,
+                        },
+                    );
+                    observer.emit(
+                        now,
+                        TraceEvent::GovernorTransition {
+                            worker: w,
+                            action: "gate-off",
+                        },
+                    );
+                    if let (Some(metrics), Some(h)) = (observer.metrics(), sched_handles.as_ref()) {
+                        metrics.inc(h.governor_transitions);
+                    }
+                }
             }
         }
     }
@@ -633,6 +862,7 @@ pub fn run_open_loop_conventional(config: &OpenLoopConfig, vms: usize) -> OpenLo
                 }
             }
             Event::PowerEffective(_) => unreachable!("VMs never power-cycle"),
+            Event::IdleGate(_) => unreachable!("governors do not gate VMs"),
             Event::Crash(_) | Event::Recover(_) => {
                 unreachable!("fault plans are ignored on the conventional open loop")
             }
@@ -654,40 +884,6 @@ pub fn run_open_loop_conventional(config: &OpenLoopConfig, vms: usize) -> OpenLo
     }
 }
 
-fn place(policy: SchedulerPolicy, workers: &[Worker], rng: &mut Rng) -> usize {
-    match policy {
-        SchedulerPolicy::RandomQueue => rng.index(workers.len()),
-        SchedulerPolicy::LeastLoaded => workers
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, w)| w.backlog())
-            .map(|(i, _)| i)
-            .expect("at least one worker"),
-        SchedulerPolicy::PowerAware => {
-            // Shortest queue among powered nodes; wake a sleeping node
-            // only once every powered node already has a couple of jobs
-            // backed up. Minimizes cold boots / power cycles.
-            const WAKE_BACKLOG: usize = 2;
-            let powered_best = workers
-                .iter()
-                .enumerate()
-                .filter(|(_, w)| w.is_powered())
-                .min_by_key(|(_, w)| w.backlog());
-            match powered_best {
-                Some((i, w)) if w.backlog() < WAKE_BACKLOG => i,
-                _ => {
-                    let sleeping = workers.iter().position(|w| !w.is_powered());
-                    match (sleeping, powered_best) {
-                        (Some(s), _) => s,
-                        (None, Some((i, _))) => i,
-                        (None, None) => rng.index(workers.len()),
-                    }
-                }
-            }
-        }
-    }
-}
-
 #[allow(clippy::too_many_arguments)]
 fn begin_job(
     w: usize,
@@ -700,6 +896,9 @@ fn begin_job(
     rng: &mut Rng,
     observer: &mut Observer<'_>,
 ) {
+    if let Some(gate) = workers[w].gate.take() {
+        queue.cancel(gate);
+    }
     match workers[w].queue.pop_front() {
         Some(job) => {
             workers[w].node.start_job(now).expect("node is idle");
@@ -738,6 +937,9 @@ fn begin_job(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use microfaas_sched::{
+        DEFAULT_KEEP_ALIVE_TIMEOUT, DEFAULT_WARM_POOL_ALPHA, DEFAULT_WARM_POOL_HEADROOM,
+    };
     use microfaas_sim::faults::{FaultPlan, FaultSpec, FaultTrigger};
 
     fn config(arrival: ArrivalProcess, scheduler: SchedulerPolicy, seed: u64) -> OpenLoopConfig {
@@ -747,6 +949,7 @@ mod tests {
             duration: SimDuration::from_secs(600),
             arrival,
             scheduler,
+            governor: GovernorKind::RebootPerJob,
             jitter: Jitter::default_run_to_run(),
             functions: FunctionId::ALL.to_vec(),
             faults: FaultsConfig::none(),
@@ -773,12 +976,12 @@ mod tests {
         // proportionally (energy-proportional computing).
         let low = run_open_loop(&config(
             ArrivalProcess::Poisson { per_second: 0.5 },
-            SchedulerPolicy::RandomQueue,
+            SchedulerPolicy::RandomStatic,
             2,
         ));
         let high = run_open_loop(&config(
             ArrivalProcess::Poisson { per_second: 2.5 },
-            SchedulerPolicy::RandomQueue,
+            SchedulerPolicy::RandomStatic,
             2,
         ));
         let ratio = high.mean_power_w / low.mean_power_w;
@@ -796,12 +999,12 @@ mod tests {
         // load-independent because idle nodes are off.
         let low = run_open_loop(&config(
             ArrivalProcess::Poisson { per_second: 0.4 },
-            SchedulerPolicy::RandomQueue,
+            SchedulerPolicy::RandomStatic,
             3,
         ));
         let high = run_open_loop(&config(
             ArrivalProcess::Poisson { per_second: 2.0 },
-            SchedulerPolicy::RandomQueue,
+            SchedulerPolicy::RandomStatic,
             3,
         ));
         let drift = (high.joules_per_function / low.joules_per_function - 1.0).abs();
@@ -818,7 +1021,7 @@ mod tests {
     fn least_loaded_cuts_latency_vs_random() {
         let random = run_open_loop(&config(
             ArrivalProcess::Poisson { per_second: 2.5 },
-            SchedulerPolicy::RandomQueue,
+            SchedulerPolicy::RandomStatic,
             4,
         ));
         let least = run_open_loop(&config(
@@ -841,7 +1044,7 @@ mod tests {
         // power cycles), concentrating work on a few always-hot nodes.
         let random = run_open_loop(&config(
             ArrivalProcess::Poisson { per_second: 1.0 },
-            SchedulerPolicy::RandomQueue,
+            SchedulerPolicy::RandomStatic,
             5,
         ));
         let packed = run_open_loop(&config(
@@ -861,12 +1064,12 @@ mod tests {
     fn deterministic_per_seed() {
         let a = run_open_loop(&config(
             ArrivalProcess::Poisson { per_second: 1.0 },
-            SchedulerPolicy::RandomQueue,
+            SchedulerPolicy::RandomStatic,
             6,
         ));
         let b = run_open_loop(&config(
             ArrivalProcess::Poisson { per_second: 1.0 },
-            SchedulerPolicy::RandomQueue,
+            SchedulerPolicy::RandomStatic,
             6,
         ));
         assert_eq!(a.completed, b.completed);
@@ -896,7 +1099,7 @@ mod tests {
         // burns enormous energy per function; MicroFaaS does not.
         let cfg_low = config(
             ArrivalProcess::Poisson { per_second: 0.3 },
-            SchedulerPolicy::RandomQueue,
+            SchedulerPolicy::RandomStatic,
             9,
         );
         let micro = run_open_loop(&cfg_low);
@@ -920,7 +1123,7 @@ mod tests {
     fn conventional_open_loop_completes_everything() {
         let cfg = config(
             ArrivalProcess::EverySecond { jobs_per_tick: 2 },
-            SchedulerPolicy::RandomQueue,
+            SchedulerPolicy::RandomStatic,
             10,
         );
         let run = run_open_loop_conventional(&cfg, 6);
@@ -970,7 +1173,7 @@ mod tests {
     fn empty_plan_changes_nothing_in_open_loop() {
         let base = config(
             ArrivalProcess::Poisson { per_second: 1.0 },
-            SchedulerPolicy::RandomQueue,
+            SchedulerPolicy::RandomStatic,
             6,
         );
         let mut explicit = base.clone();
@@ -988,8 +1191,136 @@ mod tests {
     fn zero_rate_panics() {
         run_open_loop(&config(
             ArrivalProcess::Poisson { per_second: 0.0 },
-            SchedulerPolicy::RandomQueue,
+            SchedulerPolicy::RandomStatic,
             8,
         ));
+    }
+
+    fn governed(rate: f64, governor: GovernorKind, seed: u64) -> OpenLoopConfig {
+        // Random placement spreads arrivals across the fleet, so each
+        // node's idle gaps (~workers/rate seconds) sit well above the
+        // ~23 s standby/boot break-even — the regime where holding
+        // nodes warm costs energy and buys latency.
+        let mut cfg = config(
+            ArrivalProcess::Poisson { per_second: rate },
+            SchedulerPolicy::RandomStatic,
+            seed,
+        );
+        cfg.governor = governor;
+        cfg
+    }
+
+    #[test]
+    fn keep_alive_trades_energy_for_latency() {
+        // At sparse load the idle gaps usually stay under the keep-alive
+        // window, so the boot penalty vanishes from the latency path while
+        // standby draw shows up on the meter — the Pareto trade the sweep
+        // exists to surface.
+        let reboot = run_open_loop(&governed(0.25, GovernorKind::RebootPerJob, 21));
+        let keep = run_open_loop(&governed(
+            0.25,
+            GovernorKind::KeepAlive {
+                idle_timeout: SimDuration::from_secs(30),
+            },
+            21,
+        ));
+        assert!(
+            keep.mean_latency_s < reboot.mean_latency_s,
+            "keep-alive mean latency {:.3}s should beat reboot-per-job {:.3}s",
+            keep.mean_latency_s,
+            reboot.mean_latency_s
+        );
+        assert!(
+            keep.joules_per_function > reboot.joules_per_function,
+            "keep-alive J/func {:.2} should exceed reboot-per-job {:.2}",
+            keep.joules_per_function,
+            reboot.joules_per_function
+        );
+    }
+
+    #[test]
+    fn always_on_floors_latency_at_peak_energy() {
+        let keep = run_open_loop(&governed(
+            0.25,
+            GovernorKind::KeepAlive {
+                idle_timeout: DEFAULT_KEEP_ALIVE_TIMEOUT,
+            },
+            22,
+        ));
+        let always = run_open_loop(&governed(0.25, GovernorKind::AlwaysOn, 22));
+        assert!(
+            always.mean_latency_s <= keep.mean_latency_s + 1e-9,
+            "always-on latency {:.3}s should not exceed keep-alive {:.3}s",
+            always.mean_latency_s,
+            keep.mean_latency_s
+        );
+        assert!(
+            always.mean_power_w > keep.mean_power_w,
+            "always-on power {:.2}W should exceed keep-alive {:.2}W",
+            always.mean_power_w,
+            keep.mean_power_w
+        );
+        // Nothing ever gates off, so the only power cycles are the
+        // initial wakes.
+        assert!(always.mean_powered_on > 9.0, "fleet should stay booted");
+    }
+
+    #[test]
+    fn warm_pool_sits_between_reboot_and_always_on() {
+        let reboot = run_open_loop(&governed(0.25, GovernorKind::RebootPerJob, 23));
+        let warm = run_open_loop(&governed(
+            0.25,
+            GovernorKind::WarmPool {
+                alpha: DEFAULT_WARM_POOL_ALPHA,
+                headroom: DEFAULT_WARM_POOL_HEADROOM,
+            },
+            23,
+        ));
+        let always = run_open_loop(&governed(0.25, GovernorKind::AlwaysOn, 23));
+        assert!(
+            warm.mean_power_w > reboot.mean_power_w,
+            "a warm reserve must draw more than power-gating everything"
+        );
+        assert!(
+            warm.mean_power_w < always.mean_power_w,
+            "an EWMA-sized reserve must draw less than the whole fleet"
+        );
+        assert!(
+            warm.mean_latency_s < reboot.mean_latency_s,
+            "warm hits should shave the boot penalty off the mean"
+        );
+    }
+
+    #[test]
+    fn governors_are_deterministic_per_seed() {
+        for governor in GovernorKind::ALL {
+            let a = run_open_loop(&governed(0.5, governor, 31));
+            let b = run_open_loop(&governed(0.5, governor, 31));
+            assert_eq!(a.completed, b.completed, "{governor:?}");
+            assert_eq!(a.mean_power_w, b.mean_power_w, "{governor:?}");
+            assert_eq!(a.mean_latency_s, b.mean_latency_s, "{governor:?}");
+            assert_eq!(a.power_cycles, b.power_cycles, "{governor:?}");
+        }
+    }
+
+    #[test]
+    fn new_placements_complete_everything() {
+        for scheduler in [
+            SchedulerPolicy::WorkConserving,
+            SchedulerPolicy::JoinShortestQueue,
+            SchedulerPolicy::WarmFirst,
+        ] {
+            let run = run_open_loop(&config(
+                ArrivalProcess::Poisson { per_second: 1.0 },
+                scheduler,
+                13,
+            ));
+            let expected = run.offered_per_second * 600.0;
+            assert!(
+                (run.completed as f64 - expected).abs() < 1.0,
+                "{scheduler:?}: completed {} vs arrived {expected}",
+                run.completed
+            );
+        }
     }
 }

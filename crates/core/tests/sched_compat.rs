@@ -1,0 +1,364 @@
+//! Backward-compatibility pin for the scheduling subsystem.
+//!
+//! The golden table below was captured on the commit *before*
+//! `microfaas-sched` existed, hashing every observable surface of a
+//! run: aggregate results (as exact f64 bit patterns), the full JSON
+//! trace, and the Prometheus exposition. The paper-default policies —
+//! `WorkConserving` / `RandomStatic` placement under the
+//! `RebootPerJob` governor — must reproduce all of them bit for bit;
+//! the subsystem is required to be invisible until a non-default
+//! policy is selected.
+
+use std::sync::Arc;
+
+use microfaas::config::{Assignment, WorkloadMix};
+use microfaas::conventional::{run_conventional_with, ConventionalConfig};
+use microfaas::micro::{run_microfaas_with, MicroFaasConfig};
+use microfaas::openloop::{run_open_loop_with, ArrivalProcess, OpenLoopConfig, SchedulerPolicy};
+use microfaas_sim::trace::{Observer, TraceBuffer};
+use microfaas_sim::{MetricsRegistry, SimDuration};
+use proptest::prelude::*;
+
+/// FNV-1a 64-bit, the same hash the capture harness used.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// `(makespan_bits, joules_bits, records, trace_fnv, expo_fnv)` for a
+/// closed-loop run.
+type ClosedFingerprint = (u64, u64, usize, u64, u64);
+
+fn micro_fingerprint(assignment: Assignment, seed: u64) -> ClosedFingerprint {
+    let quick: Arc<WorkloadMix> = Arc::new(WorkloadMix::quick());
+    let mut config = MicroFaasConfig::paper_prototype(quick, seed);
+    config.assignment = assignment;
+    let mut trace = TraceBuffer::new(1 << 21);
+    let mut metrics = MetricsRegistry::new();
+    let run = run_microfaas_with(&config, &mut Observer::full(&mut trace, &mut metrics));
+    (
+        run.makespan.as_secs_f64().to_bits(),
+        run.energy.total_joules.to_bits(),
+        run.records.len(),
+        fnv1a(trace.to_json_lines().as_bytes()),
+        fnv1a(metrics.render_prometheus().as_bytes()),
+    )
+}
+
+fn conv_fingerprint(assignment: Assignment, seed: u64) -> ClosedFingerprint {
+    let quick: Arc<WorkloadMix> = Arc::new(WorkloadMix::quick());
+    let mut config = ConventionalConfig::paper_baseline(quick, seed);
+    config.assignment = assignment;
+    let mut trace = TraceBuffer::new(1 << 21);
+    let mut metrics = MetricsRegistry::new();
+    let run = run_conventional_with(&config, &mut Observer::full(&mut trace, &mut metrics));
+    (
+        run.makespan.as_secs_f64().to_bits(),
+        run.energy.total_joules.to_bits(),
+        run.records.len(),
+        fnv1a(trace.to_json_lines().as_bytes()),
+        fnv1a(metrics.render_prometheus().as_bytes()),
+    )
+}
+
+/// `(mean_latency_bits, jpf_bits, completed, power_cycles, trace_fnv,
+/// expo_fnv)` for an open-loop run.
+type OpenFingerprint = (u64, u64, u64, u64, u64, u64);
+
+fn open_fingerprint(scheduler: SchedulerPolicy, seed: u64) -> OpenFingerprint {
+    let mut config = OpenLoopConfig::paper_arrangement(2, SimDuration::from_secs(600), seed);
+    config.scheduler = scheduler;
+    config.arrival = ArrivalProcess::Poisson { per_second: 2.0 };
+    let mut trace = TraceBuffer::new(1 << 21);
+    let mut metrics = MetricsRegistry::new();
+    let run = run_open_loop_with(&config, &mut Observer::full(&mut trace, &mut metrics));
+    (
+        run.mean_latency_s.to_bits(),
+        run.joules_per_function.to_bits(),
+        run.completed,
+        run.power_cycles,
+        fnv1a(trace.to_json_lines().as_bytes()),
+        fnv1a(metrics.render_prometheus().as_bytes()),
+    )
+}
+
+fn assignment(label: &str) -> Assignment {
+    match label {
+        "wc" => Assignment::WorkConserving,
+        "rs" => Assignment::RandomStatic,
+        other => panic!("unknown assignment label {other}"),
+    }
+}
+
+#[test]
+fn micro_defaults_are_bit_identical_to_pre_subsystem_runs() {
+    // Captured by tools/capture_goldens (since deleted) on the last
+    // commit before crates/sched existed.
+    let goldens: [(&str, u64, u64, u64, usize, u64, u64); 6] = [
+        (
+            "wc",
+            3,
+            0x4070_1985_e5f3_0e80,
+            0x40b3_8beb_b9c3_85af,
+            850,
+            0x6cc9_9b1a_1691_17c1,
+            0x6392_d838_b055_e044,
+        ),
+        (
+            "rs",
+            3,
+            0x4072_c8a4_ba94_bbe4,
+            0x40b3_7999_7619_0bf3,
+            850,
+            0xa801_ce75_3b2c_ac70,
+            0xef47_b79d_b00e_652c,
+        ),
+        (
+            "wc",
+            7,
+            0x4070_14c8_7b99_d452,
+            0x40b3_8816_596c_82e9,
+            850,
+            0x1474_771f_37ad_837c,
+            0x348f_4de0_c4d3_2a16,
+        ),
+        (
+            "rs",
+            7,
+            0x4072_7ec9_b1fa_b96f,
+            0x40b3_7a33_5ddd_d6be,
+            850,
+            0x12b5_95e0_7424_53e0,
+            0x838c_b5c4_6f0a_582d,
+        ),
+        (
+            "wc",
+            11,
+            0x4070_156c_e896_56ef,
+            0x40b3_85e7_d5b1_4cf2,
+            850,
+            0x1239_c4a8_3ecd_f2a8,
+            0x16c8_835b_436d_b3e0,
+        ),
+        (
+            "rs",
+            11,
+            0x4072_6401_ede1_198b,
+            0x40b3_7669_ae0a_1409,
+            850,
+            0xede8_ec10_7d62_f802,
+            0x679a_461c_5aa2_3e02,
+        ),
+    ];
+    for (label, seed, makespan, joules, records, trace_fnv, expo_fnv) in goldens {
+        let got = micro_fingerprint(assignment(label), seed);
+        assert_eq!(
+            got,
+            (makespan, joules, records, trace_fnv, expo_fnv),
+            "micro {label} seed {seed} diverged from the pre-subsystem golden"
+        );
+    }
+}
+
+#[test]
+fn conventional_defaults_are_bit_identical_to_pre_subsystem_runs() {
+    let goldens: [(&str, u64, u64, u64, usize, u64, u64); 6] = [
+        (
+            "wc",
+            3,
+            0x406e_6e3e_4473_cd57,
+            0x40da_dedd_71c1_0d77,
+            850,
+            0x5091_768d_703b_60b1,
+            0xfa51_9792_827b_6598,
+        ),
+        (
+            "rs",
+            3,
+            0x4070_4b0f_7db6_e504,
+            0x40db_df63_71c9_70fa,
+            850,
+            0x40ed_2865_c4db_51dc,
+            0xf153_c5d8_5265_d105,
+        ),
+        (
+            "wc",
+            7,
+            0x406e_6f53_f9e7_b80b,
+            0x40da_e05b_3743_632c,
+            850,
+            0x5a5e_f0fd_97d0_c171,
+            0xeb80_c811_d058_c9a7,
+        ),
+        (
+            "rs",
+            7,
+            0x4070_400b_8e08_6bdf,
+            0x40db_da1b_e1f1_f7f6,
+            850,
+            0x8bcd_266b_eea6_b279,
+            0x12be_705f_f49b_dc4a,
+        ),
+        (
+            "wc",
+            11,
+            0x406e_7451_5ce9_e5e2,
+            0x40da_e1d9_a86c_9b33,
+            850,
+            0x030f_9229_285f_67d5,
+            0x32bd_8632_bac5_54b6,
+        ),
+        (
+            "rs",
+            11,
+            0x406f_48f2_1709_3101,
+            0x40db_46ef_18f2_3f5a,
+            850,
+            0x5c94_9e1e_2b15_e25d,
+            0x5ce7_e4e1_9fa8_e3a8,
+        ),
+    ];
+    for (label, seed, makespan, joules, records, trace_fnv, expo_fnv) in goldens {
+        let got = conv_fingerprint(assignment(label), seed);
+        assert_eq!(
+            got,
+            (makespan, joules, records, trace_fnv, expo_fnv),
+            "conventional {label} seed {seed} diverged from the pre-subsystem golden"
+        );
+    }
+}
+
+#[test]
+fn open_loop_defaults_are_bit_identical_to_pre_subsystem_runs() {
+    // Label, seed, then the OpenFingerprint fields flattened:
+    // latency bits, jpf bits, completed, power cycles, trace FNV,
+    // exposition FNV. "rq" is the historical RandomQueue spelling,
+    // now RandomStatic.
+    type OpenGolden = (&'static str, u64, u64, u64, u64, u64, u64, u64);
+    let goldens: [OpenGolden; 6] = [
+        (
+            "rq",
+            7,
+            0x4013_c792_61ce_d88e,
+            0x4016_f41d_4c1e_6ac9,
+            1168,
+            519,
+            0xa6ff_ea00_e61e_5187,
+            0xd703_f5be_1b64_bea0,
+        ),
+        (
+            "ll",
+            7,
+            0x4009_9dd5_67e9_eb02,
+            0x4017_ad18_bc78_a57c,
+            1170,
+            1093,
+            0xbde7_7d9c_6c02_52bc,
+            0x4bdf_363d_2bbf_9b3a,
+        ),
+        (
+            "pa",
+            7,
+            0x4013_d8ed_6830_9d62,
+            0x4017_7d91_ebeb_f5f5,
+            1215,
+            192,
+            0x37ca_9a87_958f_33af,
+            0x3ca3_532a_6c16_0e49,
+        ),
+        (
+            "rq",
+            2022,
+            0x4016_4764_5017_452c,
+            0x4017_7be3_1baa_0386,
+            1187,
+            494,
+            0x12da_ba30_5413_beea,
+            0x78f5_7073_f592_abe5,
+        ),
+        (
+            "ll",
+            2022,
+            0x4008_aaea_81e3_b5ce,
+            0x4017_1716_baa1_50e2,
+            1192,
+            1133,
+            0x575d_365a_120e_9b41,
+            0x2077_4044_722b_9d7a,
+        ),
+        (
+            "pa",
+            2022,
+            0x4013_d2fd_cb97_4adc,
+            0x4017_5e95_2096_e378,
+            1151,
+            175,
+            0xeb42_e536_c296_a91a,
+            0xd10c_7953_ebe1_4caa,
+        ),
+    ];
+    for (label, seed, latency, jpf, completed, cycles, trace_fnv, expo_fnv) in goldens {
+        let scheduler = match label {
+            "rq" => SchedulerPolicy::RandomStatic,
+            "ll" => SchedulerPolicy::LeastLoaded,
+            "pa" => SchedulerPolicy::PowerAware,
+            other => panic!("unknown scheduler label {other}"),
+        };
+        let got = open_fingerprint(scheduler, seed);
+        assert_eq!(
+            got,
+            (latency, jpf, completed, cycles, trace_fnv, expo_fnv),
+            "open-loop {label} seed {seed} diverged from the pre-subsystem golden"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any seed, not just the pinned ones: equal seeds give equal bits
+    /// on every observable surface, for both default placements.
+    #[test]
+    fn micro_default_runs_are_deterministic(seed in 0u64..10_000) {
+        for assignment in [Assignment::WorkConserving, Assignment::RandomStatic] {
+            let a = micro_fingerprint(assignment, seed);
+            let b = micro_fingerprint(assignment, seed);
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// The default governor leaves zero footprint: no scheduler metric
+    /// families, no scheduler trace events, for any seed.
+    #[test]
+    fn default_policies_emit_no_scheduler_telemetry(seed in 0u64..10_000) {
+        let quick: Arc<WorkloadMix> = Arc::new(WorkloadMix::quick());
+        let config = MicroFaasConfig::paper_prototype(quick, seed);
+        let mut trace = TraceBuffer::new(1 << 21);
+        let mut metrics = MetricsRegistry::new();
+        run_microfaas_with(&config, &mut Observer::full(&mut trace, &mut metrics));
+        let expo = metrics.render_prometheus();
+        prop_assert!(!expo.contains("sched_"), "default run leaked sched metrics");
+        let lines = trace.to_json_lines();
+        prop_assert!(!lines.contains("placement_decision"));
+        prop_assert!(!lines.contains("governor_transition"));
+    }
+
+    /// Open loop: the historical schedulers under the default governor
+    /// are deterministic for any seed.
+    #[test]
+    fn open_loop_default_runs_are_deterministic(seed in 0u64..10_000) {
+        for scheduler in [
+            SchedulerPolicy::RandomStatic,
+            SchedulerPolicy::LeastLoaded,
+            SchedulerPolicy::PowerAware,
+        ] {
+            let a = open_fingerprint(scheduler, seed);
+            let b = open_fingerprint(scheduler, seed);
+            prop_assert_eq!(a, b);
+        }
+    }
+}

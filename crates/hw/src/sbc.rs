@@ -255,6 +255,28 @@ impl SbcNode {
         }
     }
 
+    /// The job finishes and a power governor holds the node booted at
+    /// standby power instead of gating it: executing → idle. Used by
+    /// the `keep-alive`/`always-on`/`warm-pool` governors (the paper's
+    /// `reboot-per-job` policy never takes this edge).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransitionError`] unless the node is executing.
+    pub fn finish_job_and_standby(&mut self, now: SimTime) -> Result<(), TransitionError> {
+        match self.state {
+            SbcState::Executing => {
+                self.jobs_completed += 1;
+                self.transition(now, SbcState::Idle);
+                Ok(())
+            }
+            from => Err(TransitionError {
+                from,
+                attempted: "finish a job",
+            }),
+        }
+    }
+
     /// The orchestrator powers an idle node down: idle → off.
     ///
     /// # Errors
@@ -415,6 +437,35 @@ mod tests {
         assert_eq!(r.executing, SimDuration::from_secs(2));
         assert_eq!(r.off, SimDuration::from_secs(2));
         assert_eq!(r.booting, SimDuration::from_secs(2 + 2));
+    }
+
+    #[test]
+    fn standby_finish_returns_to_idle_without_a_boot() {
+        let mut node = SbcNode::new(0, at(0));
+        node.power_on(at(0)).expect("on");
+        node.boot_complete(at(2)).expect("boot");
+        node.start_job(at(3)).expect("start");
+        node.finish_job_and_standby(at(5))
+            .expect("executing -> idle");
+        assert_eq!(node.state(), SbcState::Idle);
+        assert_eq!(node.power().value(), 0.128, "standby draw");
+        assert_eq!(node.jobs_completed(), 1);
+        // The warm node takes the next job with no boot in between, and
+        // a governor may still gate it from idle.
+        node.start_job(at(6)).expect("idle -> executing");
+        node.finish_job_and_standby(at(8)).expect("finish");
+        node.power_off(at(9)).expect("idle -> off");
+        let r = node.residency();
+        assert_eq!(r.idle, SimDuration::from_secs(1 + 1 + 1));
+        assert_eq!(r.executing, SimDuration::from_secs(2 + 2));
+    }
+
+    #[test]
+    fn standby_finish_requires_an_executing_node() {
+        let mut node = SbcNode::new(0, at(0));
+        assert!(node.finish_job_and_standby(at(0)).is_err());
+        node.power_on(at(0)).expect("on");
+        assert!(node.finish_job_and_standby(at(1)).is_err());
     }
 
     #[test]

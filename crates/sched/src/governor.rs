@@ -1,0 +1,447 @@
+//! Power governors: what a node does when its queue runs dry.
+//!
+//! The paper's policy — reboot between jobs, power-gate the node the
+//! moment it drains — is [`GovernorKind::RebootPerJob`], and it is the
+//! default everywhere so existing configurations reproduce the paper's
+//! numbers bit-for-bit. The other three governors trade standby energy
+//! (0.128 W per idle node) against the 1.51 s cold boot in front of the
+//! next arrival; the `policy_sweep` experiment charts that frontier.
+//!
+//! Governors are consulted at three points:
+//!
+//! 1. **between back-to-back jobs** — [`Governor::reboot_between_jobs`]
+//!    decides whether the full boot window runs before the next queued
+//!    job starts;
+//! 2. **on drain** — [`Governor::on_drain`] picks a [`DrainAction`]:
+//!    gate off (the paper), or hold the node booted-idle at standby
+//!    power, optionally re-checking after an idle window;
+//! 3. **on idle expiry** — [`Governor::gate_on_idle_expiry`] decides
+//!    whether a node whose idle window elapsed finally gates off.
+//!
+//! All governors are deterministic; none draws randomness. A future
+//! stochastic governor must use the dedicated policy stream owned by
+//! [`PolicyEngine`](crate::PolicyEngine) (the `sim/src/faults.rs`
+//! discipline), never the simulation stream.
+
+use std::fmt;
+use std::str::FromStr;
+
+use microfaas_sim::{SimDuration, SimTime};
+
+use crate::placement::PolicyParseError;
+
+/// The paper's calibrated ARM worker boot window in seconds, used by
+/// [`GovernorKind::WarmPool`] to size its reserve.
+pub const SBC_BOOT_SECONDS: f64 = 1.51;
+
+/// Default idle window for [`GovernorKind::KeepAlive`] (CLI and sweep
+/// default).
+pub const DEFAULT_KEEP_ALIVE_TIMEOUT: SimDuration = SimDuration::from_secs(10);
+
+/// Default EWMA smoothing factor for [`GovernorKind::WarmPool`].
+pub const DEFAULT_WARM_POOL_ALPHA: f64 = 0.2;
+
+/// Default reserve headroom multiplier for [`GovernorKind::WarmPool`].
+pub const DEFAULT_WARM_POOL_HEADROOM: f64 = 1.5;
+
+/// The governor family: node power-state policy after a job finishes.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum GovernorKind {
+    /// The paper's policy and the default: reboot between jobs for a
+    /// pristine worker OS, gate the node off the moment it drains. The
+    /// legacy `reboot_between_jobs`/`power_gating` config switches keep
+    /// their exact historical meaning under this governor only.
+    #[default]
+    RebootPerJob,
+    /// Skip between-job reboots and hold a drained node booted-idle at
+    /// standby power for `idle_timeout`; gate off if nothing arrives.
+    KeepAlive {
+        /// Idle window before the node gates off.
+        idle_timeout: SimDuration,
+    },
+    /// Never gate a node once it has booted: drained workers idle at
+    /// standby power for the rest of the run (the conventional-cluster
+    /// mindset on SBC hardware).
+    AlwaysOn,
+    /// Size a booted-idle reserve from an EWMA of the open-loop arrival
+    /// rate: the pool keeps `ceil(rate x 1.51 s x headroom)` nodes warm
+    /// (clamped to the fleet) so the expected arrivals during one boot
+    /// window find a warm node, and lets the rest gate off.
+    WarmPool {
+        /// EWMA smoothing factor in `(0, 1]` applied to inter-arrival
+        /// gaps; higher tracks bursts faster.
+        alpha: f64,
+        /// Multiplier on the boot-window arrival estimate.
+        headroom: f64,
+    },
+}
+
+impl GovernorKind {
+    /// The four governors at their default parameters, in canonical
+    /// sweep order.
+    pub const ALL: [GovernorKind; 4] = [
+        GovernorKind::RebootPerJob,
+        GovernorKind::KeepAlive {
+            idle_timeout: DEFAULT_KEEP_ALIVE_TIMEOUT,
+        },
+        GovernorKind::AlwaysOn,
+        GovernorKind::WarmPool {
+            alpha: DEFAULT_WARM_POOL_ALPHA,
+            headroom: DEFAULT_WARM_POOL_HEADROOM,
+        },
+    ];
+
+    /// Stable kebab-case label used in CLI flags, CSV rows, and trace
+    /// events.
+    pub fn label(self) -> &'static str {
+        match self {
+            GovernorKind::RebootPerJob => "reboot-per-job",
+            GovernorKind::KeepAlive { .. } => "keep-alive",
+            GovernorKind::AlwaysOn => "always-on",
+            GovernorKind::WarmPool { .. } => "warm-pool",
+        }
+    }
+}
+
+impl fmt::Display for GovernorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for GovernorKind {
+    type Err = PolicyParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "reboot-per-job" => Ok(GovernorKind::RebootPerJob),
+            "keep-alive" => Ok(GovernorKind::KeepAlive {
+                idle_timeout: DEFAULT_KEEP_ALIVE_TIMEOUT,
+            }),
+            "always-on" => Ok(GovernorKind::AlwaysOn),
+            "warm-pool" => Ok(GovernorKind::WarmPool {
+                alpha: DEFAULT_WARM_POOL_ALPHA,
+                headroom: DEFAULT_WARM_POOL_HEADROOM,
+            }),
+            other => Err(PolicyParseError(format!(
+                "unknown governor '{other}' (expected one of: reboot-per-job, \
+                 keep-alive, always-on, warm-pool)"
+            ))),
+        }
+    }
+}
+
+/// What a drained worker does next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrainAction {
+    /// Gate the node off (0 W) — the paper's policy.
+    PowerOff,
+    /// Hold the node booted-idle at standby power.
+    Standby {
+        /// `Some(window)`: schedule an idle-expiry check after this
+        /// long; `None`: idle indefinitely (no expiry event).
+        idle_timeout: Option<SimDuration>,
+    },
+}
+
+/// A node power governor. Engines hold it as a trait object; the
+/// indirection cost is guarded by `benches/sched_overhead.rs`.
+pub trait Governor {
+    /// Which member of the family this is.
+    fn kind(&self) -> GovernorKind;
+
+    /// Whether the full boot window runs between back-to-back jobs.
+    /// `configured` is the engine's legacy `reboot_between_jobs` switch
+    /// — only [`GovernorKind::RebootPerJob`] honors it (preserving the
+    /// historical ablation configs); every other governor exists to
+    /// skip that reboot, so they return `false`.
+    fn reboot_between_jobs(&self, configured: bool) -> bool;
+
+    /// Called when a worker finishes its last queued job. `warm_idle`
+    /// counts the booted-idle workers the fleet would have if this one
+    /// stayed up (i.e. including this worker).
+    fn on_drain(&mut self, now: SimTime, warm_idle: usize) -> DrainAction;
+
+    /// Called when a standby worker's idle window elapses with its
+    /// queue still empty: `true` gates the node off. A `false` answer
+    /// leaves the node idle with no further expiry scheduled (the pool
+    /// shrinks again at later drain/expiry points), which keeps the
+    /// event loop finite.
+    fn gate_on_idle_expiry(&mut self, now: SimTime, warm_idle: usize) -> bool;
+
+    /// Observes an arrival for rate tracking (open loop only; the
+    /// default is a no-op).
+    fn observe_arrival(&mut self, _now: SimTime) {}
+
+    /// How many workers the governor wants kept booted-idle right now,
+    /// before clamping to the fleet size. Zero for every governor but
+    /// [`GovernorKind::WarmPool`].
+    fn warm_target(&self) -> usize {
+        0
+    }
+}
+
+struct RebootPerJobGovernor;
+
+impl Governor for RebootPerJobGovernor {
+    fn kind(&self) -> GovernorKind {
+        GovernorKind::RebootPerJob
+    }
+
+    fn reboot_between_jobs(&self, configured: bool) -> bool {
+        configured
+    }
+
+    fn on_drain(&mut self, _now: SimTime, _warm_idle: usize) -> DrainAction {
+        DrainAction::PowerOff
+    }
+
+    fn gate_on_idle_expiry(&mut self, _now: SimTime, _warm_idle: usize) -> bool {
+        true
+    }
+}
+
+struct KeepAliveGovernor {
+    idle_timeout: SimDuration,
+}
+
+impl Governor for KeepAliveGovernor {
+    fn kind(&self) -> GovernorKind {
+        GovernorKind::KeepAlive {
+            idle_timeout: self.idle_timeout,
+        }
+    }
+
+    fn reboot_between_jobs(&self, _configured: bool) -> bool {
+        false
+    }
+
+    fn on_drain(&mut self, _now: SimTime, _warm_idle: usize) -> DrainAction {
+        DrainAction::Standby {
+            idle_timeout: Some(self.idle_timeout),
+        }
+    }
+
+    fn gate_on_idle_expiry(&mut self, _now: SimTime, _warm_idle: usize) -> bool {
+        true
+    }
+}
+
+struct AlwaysOnGovernor;
+
+impl Governor for AlwaysOnGovernor {
+    fn kind(&self) -> GovernorKind {
+        GovernorKind::AlwaysOn
+    }
+
+    fn reboot_between_jobs(&self, _configured: bool) -> bool {
+        false
+    }
+
+    fn on_drain(&mut self, _now: SimTime, _warm_idle: usize) -> DrainAction {
+        DrainAction::Standby { idle_timeout: None }
+    }
+
+    fn gate_on_idle_expiry(&mut self, _now: SimTime, _warm_idle: usize) -> bool {
+        false
+    }
+}
+
+/// Re-check window a warm-pool member waits before asking again whether
+/// it may gate off.
+const WARM_POOL_RECHECK: SimDuration = SimDuration::from_secs(5);
+
+struct WarmPoolGovernor {
+    alpha: f64,
+    headroom: f64,
+    /// EWMA of inter-arrival gaps in seconds; `None` until two
+    /// arrivals have been seen.
+    ewma_gap_s: Option<f64>,
+    last_arrival: Option<SimTime>,
+}
+
+impl WarmPoolGovernor {
+    fn new(alpha: f64, headroom: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "warm-pool alpha in (0, 1]");
+        assert!(headroom > 0.0, "warm-pool headroom must be positive");
+        WarmPoolGovernor {
+            alpha,
+            headroom,
+            ewma_gap_s: None,
+            last_arrival: None,
+        }
+    }
+}
+
+impl Governor for WarmPoolGovernor {
+    fn kind(&self) -> GovernorKind {
+        GovernorKind::WarmPool {
+            alpha: self.alpha,
+            headroom: self.headroom,
+        }
+    }
+
+    fn reboot_between_jobs(&self, _configured: bool) -> bool {
+        false
+    }
+
+    fn on_drain(&mut self, _now: SimTime, warm_idle: usize) -> DrainAction {
+        if warm_idle <= self.warm_target() {
+            DrainAction::Standby {
+                idle_timeout: Some(WARM_POOL_RECHECK),
+            }
+        } else {
+            DrainAction::PowerOff
+        }
+    }
+
+    fn gate_on_idle_expiry(&mut self, _now: SimTime, warm_idle: usize) -> bool {
+        warm_idle > self.warm_target()
+    }
+
+    fn observe_arrival(&mut self, now: SimTime) {
+        if let Some(last) = self.last_arrival {
+            let gap = now.duration_since(last).as_secs_f64();
+            self.ewma_gap_s = Some(match self.ewma_gap_s {
+                Some(ewma) => self.alpha * gap + (1.0 - self.alpha) * ewma,
+                None => gap,
+            });
+        }
+        self.last_arrival = Some(now);
+    }
+
+    fn warm_target(&self) -> usize {
+        match self.ewma_gap_s {
+            // ceil(rate x boot x headroom): enough warm nodes for the
+            // arrivals expected during one boot window, plus headroom.
+            Some(gap) if gap > 0.0 => {
+                let rate = 1.0 / gap;
+                (rate * SBC_BOOT_SECONDS * self.headroom).ceil() as usize
+            }
+            // A burst of simultaneous arrivals (gap 0): want everything
+            // warm; the engine clamps to the fleet.
+            Some(_) => usize::MAX,
+            // No rate estimate yet: no reserve.
+            None => 0,
+        }
+    }
+}
+
+/// Builds the boxed governor for `kind`.
+///
+/// # Panics
+///
+/// Panics if a [`GovernorKind::WarmPool`] parameter is out of range
+/// (`alpha` outside `(0, 1]` or non-positive `headroom`).
+pub fn governor(kind: GovernorKind) -> Box<dyn Governor + Send> {
+    match kind {
+        GovernorKind::RebootPerJob => Box::new(RebootPerJobGovernor),
+        GovernorKind::KeepAlive { idle_timeout } => Box::new(KeepAliveGovernor { idle_timeout }),
+        GovernorKind::AlwaysOn => Box::new(AlwaysOnGovernor),
+        GovernorKind::WarmPool { alpha, headroom } => {
+            Box::new(WarmPoolGovernor::new(alpha, headroom))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip_through_from_str() {
+        for kind in GovernorKind::ALL {
+            assert_eq!(kind.label().parse::<GovernorKind>().unwrap(), kind);
+        }
+        assert!("mystery".parse::<GovernorKind>().is_err());
+    }
+
+    #[test]
+    fn reboot_per_job_honors_the_legacy_switches() {
+        let gov = governor(GovernorKind::RebootPerJob);
+        assert!(gov.reboot_between_jobs(true));
+        assert!(!gov.reboot_between_jobs(false));
+        let mut gov = governor(GovernorKind::RebootPerJob);
+        assert_eq!(gov.on_drain(SimTime::ZERO, 1), DrainAction::PowerOff);
+    }
+
+    #[test]
+    fn keep_alive_holds_for_its_window_then_gates() {
+        let mut gov = governor(GovernorKind::KeepAlive {
+            idle_timeout: SimDuration::from_secs(7),
+        });
+        assert!(!gov.reboot_between_jobs(true));
+        assert_eq!(
+            gov.on_drain(SimTime::ZERO, 1),
+            DrainAction::Standby {
+                idle_timeout: Some(SimDuration::from_secs(7)),
+            }
+        );
+        assert!(gov.gate_on_idle_expiry(SimTime::from_secs(7), 1));
+    }
+
+    #[test]
+    fn always_on_never_gates() {
+        let mut gov = governor(GovernorKind::AlwaysOn);
+        assert_eq!(
+            gov.on_drain(SimTime::ZERO, 5),
+            DrainAction::Standby { idle_timeout: None }
+        );
+        assert!(!gov.gate_on_idle_expiry(SimTime::from_secs(1_000), 10));
+    }
+
+    #[test]
+    fn warm_pool_sizes_the_reserve_from_the_arrival_rate() {
+        let mut gov = governor(GovernorKind::WarmPool {
+            alpha: 1.0,
+            headroom: 1.5,
+        });
+        assert_eq!(gov.warm_target(), 0, "no estimate before two arrivals");
+        // Arrivals 0.5 s apart: rate 2/s -> ceil(2 x 1.51 x 1.5) = 5.
+        gov.observe_arrival(SimTime::ZERO);
+        gov.observe_arrival(SimTime::from_millis(500));
+        assert_eq!(gov.warm_target(), 5);
+        // Pool below target: stay warm; above target: gate.
+        assert_eq!(
+            gov.on_drain(SimTime::from_secs(1), 3),
+            DrainAction::Standby {
+                idle_timeout: Some(WARM_POOL_RECHECK),
+            }
+        );
+        assert_eq!(
+            gov.on_drain(SimTime::from_secs(1), 6),
+            DrainAction::PowerOff
+        );
+        assert!(gov.gate_on_idle_expiry(SimTime::from_secs(2), 6));
+        assert!(!gov.gate_on_idle_expiry(SimTime::from_secs(2), 5));
+    }
+
+    #[test]
+    fn warm_pool_tracks_a_slowing_rate_downward() {
+        let mut gov = governor(GovernorKind::WarmPool {
+            alpha: 0.5,
+            headroom: 1.0,
+        });
+        gov.observe_arrival(SimTime::ZERO);
+        gov.observe_arrival(SimTime::from_millis(250));
+        let busy_target = gov.warm_target();
+        for s in 1..40 {
+            gov.observe_arrival(SimTime::from_secs(10 * s));
+        }
+        assert!(gov.warm_target() < busy_target);
+        assert_eq!(
+            gov.warm_target(),
+            1,
+            "10 s gaps still warrant one warm node"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn warm_pool_rejects_bad_alpha() {
+        governor(GovernorKind::WarmPool {
+            alpha: 0.0,
+            headroom: 1.0,
+        });
+    }
+}

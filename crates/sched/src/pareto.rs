@@ -1,0 +1,73 @@
+//! Pareto-front extraction for the latency-energy policy explorer.
+//!
+//! The `policy_sweep` experiment evaluates every placement x governor
+//! combination and wants the subset no other combination beats on both
+//! axes at once — lower mean latency *and* lower energy per function.
+//! [`pareto_front`] marks exactly that subset.
+
+/// Marks the Pareto-optimal points of a minimize-both objective.
+///
+/// A point is dominated when another point is no worse on both axes
+/// and strictly better on at least one; the front is everything left.
+/// Duplicate points are all kept (neither strictly beats the other).
+/// Points with a NaN coordinate never dominate anything and are never
+/// part of the front.
+///
+/// # Examples
+///
+/// ```
+/// use microfaas_sched::pareto_front;
+///
+/// // (latency, energy): the middle point loses on both axes.
+/// let flags = pareto_front(&[(1.0, 9.0), (5.0, 8.0), (4.0, 2.0)]);
+/// assert_eq!(flags, vec![true, false, true]);
+/// ```
+pub fn pareto_front(points: &[(f64, f64)]) -> Vec<bool> {
+    points
+        .iter()
+        .map(|&(x, y)| {
+            if x.is_nan() || y.is_nan() {
+                return false;
+            }
+            !points.iter().any(|&(ox, oy)| {
+                ox <= x && oy <= y && (ox < x || oy < y) && !ox.is_nan() && !oy.is_nan()
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_point_is_optimal() {
+        assert_eq!(pareto_front(&[(3.0, 3.0)]), vec![true]);
+        assert!(pareto_front(&[]).is_empty());
+    }
+
+    #[test]
+    fn strictly_dominated_points_are_dropped() {
+        let flags = pareto_front(&[(1.0, 5.0), (2.0, 6.0), (0.5, 7.0), (3.0, 1.0)]);
+        assert_eq!(flags, vec![true, false, true, true]);
+    }
+
+    #[test]
+    fn duplicates_survive_together() {
+        let flags = pareto_front(&[(2.0, 2.0), (2.0, 2.0)]);
+        assert_eq!(flags, vec![true, true]);
+    }
+
+    #[test]
+    fn equal_on_one_axis_dominates_with_the_other() {
+        // Same latency, strictly less energy: the second point wins.
+        let flags = pareto_front(&[(2.0, 5.0), (2.0, 4.0)]);
+        assert_eq!(flags, vec![false, true]);
+    }
+
+    #[test]
+    fn nan_points_never_join_or_block_the_front() {
+        let flags = pareto_front(&[(f64::NAN, 1.0), (2.0, 2.0)]);
+        assert_eq!(flags, vec![false, true]);
+    }
+}

@@ -187,6 +187,26 @@ pub enum TraceEvent {
         /// Retry attempts consumed before giving up.
         attempts: u32,
     },
+    /// The placement policy chose a worker queue for a job. Emitted only
+    /// when a non-default scheduling policy is active, so default runs
+    /// keep their historical traces byte-for-byte.
+    PlacementDecision {
+        /// Job id.
+        job: u64,
+        /// Worker the job was placed on.
+        worker: usize,
+        /// Placement policy label (`"least-loaded"`, ...).
+        policy: &'static str,
+    },
+    /// A power governor moved a worker between power regimes. Emitted
+    /// only when a non-default scheduling policy is active.
+    GovernorTransition {
+        /// Worker the governor acted on.
+        worker: usize,
+        /// What the governor did (`"standby"`, `"gate-off"`,
+        /// `"prewarm"`).
+        action: &'static str,
+    },
 }
 
 impl TraceEvent {
@@ -206,6 +226,8 @@ impl TraceEvent {
             TraceEvent::JobRetryScheduled { .. } => "job_retry_scheduled",
             TraceEvent::JobShed { .. } => "job_shed",
             TraceEvent::JobFailed { .. } => "job_failed",
+            TraceEvent::PlacementDecision { .. } => "placement_decision",
+            TraceEvent::GovernorTransition { .. } => "governor_transition",
         }
     }
 }
@@ -329,6 +351,19 @@ impl TraceRecord {
                     out,
                     ",\"job\":{job},\"function\":\"{function}\",\"attempts\":{attempts}"
                 );
+            }
+            TraceEvent::PlacementDecision {
+                job,
+                worker,
+                policy,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"job\":{job},\"worker\":{worker},\"policy\":\"{policy}\""
+                );
+            }
+            TraceEvent::GovernorTransition { worker, action } => {
+                let _ = write!(out, ",\"worker\":{worker},\"action\":\"{action}\"");
             }
         }
         out.push('}');
@@ -669,6 +704,15 @@ mod tests {
                 function: "CascSHA",
                 attempts: 3,
             },
+            TraceEvent::PlacementDecision {
+                job: 11,
+                worker: 4,
+                policy: "least-loaded",
+            },
+            TraceEvent::GovernorTransition {
+                worker: 4,
+                action: "standby",
+            },
         ];
         let mut buffer = TraceBuffer::new(events.len());
         for (i, &event) in events.iter().enumerate() {
@@ -704,6 +748,19 @@ mod tests {
             .unwrap()
             .to_json();
         assert!(fault.contains("\"fault\":\"crash\""), "{fault}");
+        // And the scheduling-subsystem payloads.
+        let placed = buffer
+            .iter()
+            .find(|r| r.event.kind() == "placement_decision")
+            .unwrap()
+            .to_json();
+        assert!(placed.contains("\"policy\":\"least-loaded\""), "{placed}");
+        let gov = buffer
+            .iter()
+            .find(|r| r.event.kind() == "governor_transition")
+            .unwrap()
+            .to_json();
+        assert!(gov.contains("\"action\":\"standby\""), "{gov}");
     }
 
     #[test]

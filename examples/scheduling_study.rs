@@ -9,19 +9,22 @@ use microfaas::config::{Jitter, WorkloadMix};
 use microfaas::micro::{run_microfaas, MicroFaasConfig};
 use microfaas::openloop::{run_open_loop, ArrivalProcess, OpenLoopConfig, SchedulerPolicy};
 use microfaas::timeline::Timeline;
+use microfaas_sched::GovernorKind;
 use microfaas_sim::SimDuration;
 use microfaas_workloads::FunctionId;
 
 fn main() {
-    // --- Part 1: policies under 2 jobs/s of Poisson arrivals. ---
-    println!("scheduling policies at 2.0 jobs/s over 10 minutes:\n");
+    // --- Part 1: placement policies under 2 jobs/s of Poisson arrivals. ---
+    println!("placement policies at 2.0 jobs/s over 10 minutes:\n");
     println!(
         "{:<14} {:>9} {:>9} {:>9} {:>13} {:>13}",
         "policy", "mean lat", "p95 lat", "J/func", "mean powered", "power cycles"
     );
     for (name, policy) in [
-        ("random", SchedulerPolicy::RandomQueue),
+        ("random", SchedulerPolicy::RandomStatic),
         ("least-loaded", SchedulerPolicy::LeastLoaded),
+        ("jsq", SchedulerPolicy::JoinShortestQueue),
+        ("warm-first", SchedulerPolicy::WarmFirst),
         ("power-aware", SchedulerPolicy::PowerAware),
     ] {
         let run = run_open_loop(&OpenLoopConfig {
@@ -30,6 +33,7 @@ fn main() {
             duration: SimDuration::from_secs(600),
             arrival: ArrivalProcess::Poisson { per_second: 2.0 },
             scheduler: policy,
+            governor: GovernorKind::RebootPerJob,
             jitter: Jitter::default_run_to_run(),
             functions: FunctionId::ALL.to_vec(),
             faults: microfaas::FaultsConfig::none(),
@@ -44,9 +48,13 @@ fn main() {
         );
     }
     println!(
-        "\nleast-loaded buys latency; power-aware packing buys fewer cold\n\
-         boots; energy per function barely moves — power gating already\n\
-         makes the cluster energy-proportional regardless of placement."
+        "\nleast-loaded/jsq buy latency; power-aware packing buys fewer\n\
+         cold boots; warm-first collapses at this load (it funnels every\n\
+         job to the one warm node rather than pay a 1.51 s boot); energy\n\
+         per function barely moves — power gating already makes the\n\
+         cluster energy-proportional regardless of placement. Power\n\
+         *governors* (keep-alive, warm-pool, always-on) do move energy:\n\
+         see examples/policy_pareto.rs and docs/SCHEDULING.md."
     );
 
     // --- Part 2: what a saturated run looks like, worker by worker. ---

@@ -379,8 +379,7 @@ pub mod arbitrary {
     impl Arbitrary for f64 {
         fn arbitrary(rng: &mut TestRng) -> f64 {
             // Finite, sign-balanced, spanning many magnitudes.
-            let magnitude = rng.unit_f64() * 2e12 - 1e12;
-            magnitude
+            rng.unit_f64() * 2e12 - 1e12
         }
     }
 
@@ -991,7 +990,7 @@ mod tests {
             prop_assume!(xs.len() != 7);
             prop_assert!(xs.len() < 8);
             if flip {
-                prop_assert_eq!(xs.len(), xs.iter().count());
+                prop_assert_eq!(xs.len(), xs.iter().map(|_| 1usize).sum::<usize>());
             } else {
                 prop_assert_ne!(xs.len(), usize::MAX);
             }
