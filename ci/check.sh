@@ -55,4 +55,27 @@ cmp "$tmpdir/sched_serial.csv" "$tmpdir/sched_parallel.csv" || {
 grep -q ",1$" "$tmpdir/sched_serial.csv" || {
     echo "policy sweep flagged no Pareto-front points"; exit 1; }
 
+echo "==> analyze smoke: span derivation, phase-sum check, Perfetto round-trip"
+out="$(cargo run --release -q -p microfaas-cli -- analyze \
+    --invocations 2 --seed 7 --perfetto "$tmpdir/spans.json")"
+echo "$out" | grep -q "phase decomposition check" || {
+    echo "analyze skipped the phase-sum verification"; exit 1; }
+echo "$out" | grep -q "critical-path phase breakdown" || {
+    echo "analyze printed no critical-path table"; exit 1; }
+# export_chrome_trace self-validates with the hand-rolled parser before
+# writing; re-run the round-trip here on the bytes that reached disk.
+cargo test -q --test span_parity perfetto_export_round_trips_the_parser
+grep -q '"ph":"X"' "$tmpdir/spans.json" || {
+    echo "perfetto export contains no complete slices"; exit 1; }
+grep -q '"traceEvents"' "$tmpdir/spans.json" || {
+    echo "perfetto export missing traceEvents envelope"; exit 1; }
+
+echo "==> analyze smoke: --jobs 2 phase CSV must be byte-identical to --jobs 1"
+cargo run --release -q -p microfaas-cli -- analyze \
+    --invocations 2 --seed 7 --jobs 1 --csv "$tmpdir/spans_serial.csv"
+cargo run --release -q -p microfaas-cli -- analyze \
+    --invocations 2 --seed 7 --jobs 2 --csv "$tmpdir/spans_parallel.csv"
+cmp "$tmpdir/spans_serial.csv" "$tmpdir/spans_parallel.csv" || {
+    echo "parallel analyze diverged from serial"; exit 1; }
+
 echo "All checks passed."

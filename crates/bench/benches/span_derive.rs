@@ -1,0 +1,83 @@
+//! Prices the causal-span observability layer (`microfaas-sim::span`):
+//! deriving a span tree from a finished trace, running the
+//! critical-path analyzer over it, and serialising the Chrome
+//! trace-event export. All three are post-hoc passes over an immutable
+//! record stream — the simulators never pay for them — so the numbers
+//! here bound what `microfaas analyze` adds on top of the runs it
+//! wraps. Numbers are recorded in `BENCH_span_derive.json` at the repo
+//! root.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use microfaas::config::WorkloadMix;
+use microfaas::micro::{run_microfaas_with, MicroFaasConfig};
+use microfaas_sim::{export_chrome_trace, CriticalPath, Observer, SpanTree, TraceBuffer};
+use microfaas_workloads::FunctionId;
+use std::hint::black_box;
+
+/// One traced 340-job closed-loop run (the same workload shape the
+/// other cluster benches use), captured once and shared by every
+/// iteration below.
+fn traced_run() -> TraceBuffer {
+    let mix = WorkloadMix::new(FunctionId::ALL.to_vec(), 20);
+    let config = MicroFaasConfig::paper_prototype(mix, 42);
+    let mut buffer = TraceBuffer::new(1 << 20);
+    run_microfaas_with(&config, &mut Observer::tracing(&mut buffer));
+    assert_eq!(buffer.dropped(), 0, "bench trace must be lossless");
+    buffer
+}
+
+/// Span-tree derivation: one linear pass over the event stream.
+fn bench_derive(c: &mut Criterion) {
+    let buffer = traced_run();
+    let mut group = c.benchmark_group("span_derive");
+    group.bench_with_input(
+        BenchmarkId::new("from_buffer", format!("{}_events", buffer.len())),
+        &buffer,
+        |b, buffer| b.iter(|| black_box(SpanTree::from_buffer(black_box(buffer)))),
+    );
+    group.finish();
+}
+
+/// Critical-path aggregation: per-function phase statistics plus the
+/// rendered cluster table (what `analyze` prints per cluster).
+fn bench_critical_path(c: &mut Criterion) {
+    let tree = SpanTree::from_buffer(&traced_run());
+    let mut group = c.benchmark_group("span_critical_path");
+    group.bench_with_input(
+        BenchmarkId::new("analyze", format!("{}_spans", tree.jobs().len())),
+        &tree,
+        |b, tree| b.iter(|| black_box(CriticalPath::analyze(black_box(tree)))),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("cluster_breakdown", format!("{}_spans", tree.jobs().len())),
+        &tree,
+        |b, tree| {
+            b.iter(|| {
+                let mut path = CriticalPath::analyze(black_box(tree));
+                black_box(path.cluster_breakdown("micro"))
+            })
+        },
+    );
+    group.finish();
+}
+
+/// Chrome trace-event serialisation: the full Perfetto-loadable JSON
+/// document, canonical ordering included.
+fn bench_chrome_export(c: &mut Criterion) {
+    let tree = SpanTree::from_buffer(&traced_run());
+    let mut group = c.benchmark_group("span_chrome_export");
+    group.bench_with_input(
+        BenchmarkId::new("export", format!("{}_spans", tree.jobs().len())),
+        &tree,
+        |b, tree| b.iter(|| black_box(export_chrome_trace(black_box(tree), "micro"))),
+    );
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_derive,
+    bench_critical_path,
+    bench_chrome_export
+);
+criterion_main!(benches);

@@ -27,16 +27,20 @@ pub struct Args {
 impl Args {
     /// Parses `argv` (without the program name).
     ///
+    /// A flag followed by another flag (or by the end of the line) is a
+    /// valueless *switch* (`--breakdown`), stored with an empty value
+    /// and visible through [`Args::has`].
+    ///
     /// # Errors
     ///
-    /// Returns [`ParseArgsError`] when no subcommand is present, a flag
-    /// is missing its value, or a positional argument trails the flags.
+    /// Returns [`ParseArgsError`] when no subcommand is present or a
+    /// positional argument trails the flags.
     pub fn parse<I, S>(argv: I) -> Result<Args, ParseArgsError>
     where
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        let mut iter = argv.into_iter().map(Into::into);
+        let mut iter = argv.into_iter().map(Into::into).peekable();
         let command = iter
             .next()
             .ok_or_else(|| ParseArgsError("missing subcommand; try 'help'".to_string()))?;
@@ -51,9 +55,10 @@ impl Args {
                 .strip_prefix("--")
                 .ok_or_else(|| ParseArgsError(format!("unexpected positional argument '{token}'")))?
                 .to_string();
-            let value = iter
-                .next()
-                .ok_or_else(|| ParseArgsError(format!("flag '--{key}' needs a value")))?;
+            let value = match iter.peek() {
+                Some(next) if !next.starts_with("--") => iter.next().expect("just peeked"),
+                _ => String::new(),
+            };
             options.insert(key, value);
         }
         Ok(Args { command, options })
@@ -76,6 +81,12 @@ impl Args {
     /// Fetches a string option.
     pub fn get_str(&self, key: &str) -> Option<&str> {
         self.options.get(key).map(String::as_str)
+    }
+
+    /// True if the flag was present at all — with or without a value.
+    /// This is how valueless switches (`--breakdown`) are read.
+    pub fn has(&self, key: &str) -> bool {
+        self.options.contains_key(key)
     }
 
     /// Rejects unknown options (catches typos early).
@@ -121,9 +132,23 @@ mod tests {
     }
 
     #[test]
-    fn rejects_dangling_flag() {
-        let err = Args::parse(["cmd", "--seed"]).expect_err("dangling");
+    fn dangling_flag_is_a_switch_but_not_a_value() {
+        // Present as a switch...
+        let args = Args::parse(["cmd", "--seed"]).expect("parses as switch");
+        assert!(args.has("seed"));
+        // ...but still an error when a typed value is required.
+        let err = args.get_or("seed", 0u64).expect_err("no value to parse");
         assert!(err.to_string().contains("--seed"));
+    }
+
+    #[test]
+    fn switches_mix_with_valued_flags() {
+        let args = Args::parse(["analyze", "--breakdown", "--seed", "7", "--csv"]).expect("parses");
+        assert!(args.has("breakdown"));
+        assert!(args.has("csv"));
+        assert!(!args.has("perfetto"));
+        assert_eq!(args.get_or("seed", 0u64).expect("int"), 7);
+        assert_eq!(args.get_str("breakdown"), Some(""));
     }
 
     #[test]

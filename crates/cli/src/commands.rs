@@ -11,13 +11,17 @@ use microfaas::experiment::{
 };
 use microfaas::micro::{run_microfaas_with, MicroFaasConfig};
 use microfaas::openloop::{run_open_loop, ArrivalProcess, OpenLoopConfig, SchedulerPolicy};
+use microfaas::report::PhaseColumns;
 use microfaas::timeline::Timeline;
 use microfaas::{FaultsConfig, Jitter};
 use microfaas_hw::boot::{BootPlatform, BootProfile};
 use microfaas_hw::reliability::{simulate_fleet, FleetSpec};
 use microfaas_sched::GovernorKind;
 use microfaas_sim::faults::FaultPlan;
-use microfaas_sim::{Jobs, MetricsRegistry, Observer, Rng, SimDuration, TraceBuffer};
+use microfaas_sim::{
+    export_chrome_trace, par_map_indexed, validate_chrome_trace, CriticalPath, Jobs,
+    MetricsRegistry, Observer, Rng, SimDuration, SpanTree, TraceBuffer, TraceRecord,
+};
 use microfaas_tco::{savings_percent, ClusterSpec, Conditions, CostModel};
 use microfaas_workloads::suite::{run_function, FunctionId, ServiceBackends};
 
@@ -49,6 +53,7 @@ pub fn dispatch(args: &Args) -> Result<(), ParseArgsError> {
         "timeline" => timeline(args),
         "scale" => scale(args),
         "trace" => trace(args),
+        "analyze" => analyze(args),
         "faults" => faults(args),
         other => Err(ParseArgsError(format!(
             "unknown subcommand '{other}'\n\n{}",
@@ -105,6 +110,17 @@ SUBCOMMANDS
                      --out PATH (JSON-lines trace)
                      --metrics-out PATH (Prometheus text exposition)
                      --csv PATH (flattened metrics as metric,value rows)
+                     --job ID (keep only events causally tied to one job)
+                     --type EVENT (keep only one event kind, e.g. net_transfer)
+  analyze          derive causal spans and attribute latency to phases
+                     --invocations N (default 100)  --seed S
+                     --breakdown (add the per-function phase table)
+                     --cluster micro|conventional (default micro; selects the
+                       trace behind --job and --perfetto)
+                     --job ID (print the latency waterfall for one job)
+                     --perfetto PATH (Chrome trace-event JSON for Perfetto)
+                     --csv PATH (per-job phase durations, both clusters)
+                     --jobs N (parallel cluster runs; default: available cores)
   faults           run a cluster under an injected fault plan
                      --plan PATH (default examples/faults_crash.json)
                      --cluster micro|conventional (default micro)
@@ -532,12 +548,25 @@ fn trace(args: &Args) -> Result<(), ParseArgsError> {
         "out",
         "metrics-out",
         "csv",
+        "job",
+        "type",
     ])?;
     let invocations = args.get_or("invocations", 25u32)?;
     let seed = args.get_or("seed", 2022u64)?;
     let capacity = args.get_or("buffer", 1_048_576usize)?;
     if capacity == 0 {
         return Err(ParseArgsError("--buffer must be positive".to_string()));
+    }
+    let job_filter = if args.has("job") {
+        Some(args.get_or("job", 0u64)?)
+    } else {
+        None
+    };
+    let kind_filter = args.get_str("type").filter(|k| !k.is_empty());
+    if args.has("type") && kind_filter.is_none() {
+        return Err(ParseArgsError(
+            "--type requires an event kind (e.g. --type net_transfer)".to_string(),
+        ));
     }
     let mix = evaluation_mix(invocations);
     let mut buffer = TraceBuffer::new(capacity);
@@ -566,30 +595,58 @@ fn trace(args: &Args) -> Result<(), ParseArgsError> {
         buffer.len(),
         buffer.dropped()
     );
-    let mut kinds: Vec<(&'static str, usize)> = Vec::new();
-    for record in buffer.iter() {
-        let kind = record.event.kind();
-        match kinds.iter_mut().find(|(k, _)| *k == kind) {
-            Some((_, n)) => *n += 1,
-            None => kinds.push((kind, 1)),
+    let filtered = job_filter.is_some() || kind_filter.is_some();
+    let selected: Vec<&TraceRecord> = buffer
+        .iter()
+        .filter(|record| {
+            job_filter.is_none_or(|id| record.event.job_id() == Some(id))
+                && kind_filter.is_none_or(|kind| record.event.kind() == kind)
+        })
+        .collect();
+    if filtered {
+        println!(
+            "{} of {} events match the filters",
+            selected.len(),
+            buffer.len()
+        );
+        for record in &selected {
+            println!("{}", record.to_json());
         }
-    }
-    for (kind, n) in &kinds {
-        println!("  {kind:<20} {n:>7}");
-    }
-    let timeline = Timeline::from_trace(buffer.iter(), run.workers);
-    match timeline.overlap_violation() {
-        None => println!("single-tenancy check on the reconstructed Gantt: OK"),
-        Some((a, b)) => {
-            return Err(ParseArgsError(format!(
-                "trace violates single tenancy: {a:?} overlaps {b:?}"
-            )))
+    } else {
+        let mut kinds: Vec<(&'static str, usize)> = Vec::new();
+        for record in buffer.iter() {
+            let kind = record.event.kind();
+            match kinds.iter_mut().find(|(k, _)| *k == kind) {
+                Some((_, n)) => *n += 1,
+                None => kinds.push((kind, 1)),
+            }
         }
+        for (kind, n) in &kinds {
+            println!("  {kind:<20} {n:>7}");
+        }
+        let timeline = Timeline::from_trace(buffer.iter(), run.workers);
+        match timeline.overlap_violation() {
+            None => println!("single-tenancy check on the reconstructed Gantt: OK"),
+            Some((a, b)) => {
+                return Err(ParseArgsError(format!(
+                    "trace violates single tenancy: {a:?} overlaps {b:?}"
+                )))
+            }
+        }
+        println!("{run}");
     }
-    println!("{run}");
 
     if let Some(path) = args.get_str("out") {
-        write_text(path, &buffer.to_json_lines())?;
+        if filtered {
+            let mut lines = String::new();
+            for record in &selected {
+                lines.push_str(&record.to_json());
+                lines.push('\n');
+            }
+            write_text(path, &lines)?;
+        } else {
+            write_text(path, &buffer.to_json_lines())?;
+        }
     }
     if let Some(path) = args.get_str("metrics-out") {
         write_text(path, &metrics.render_prometheus())?;
@@ -597,6 +654,152 @@ fn trace(args: &Args) -> Result<(), ParseArgsError> {
     let mut csv = Csv::new(&["metric", "value"]);
     for (name, value) in metrics.flatten() {
         csv.row_display(&[&name, &value]);
+    }
+    maybe_csv(args, &csv)
+}
+
+fn analyze(args: &Args) -> Result<(), ParseArgsError> {
+    args.expect_only(&[
+        "invocations",
+        "seed",
+        "jobs",
+        "breakdown",
+        "cluster",
+        "job",
+        "perfetto",
+        "csv",
+    ])?;
+    let invocations = args.get_or("invocations", 100u32)?;
+    let seed = args.get_or("seed", 2022u64)?;
+    let jobs = jobs_flag(args)?;
+    let cluster = args.get_str("cluster").unwrap_or("micro");
+    if !matches!(cluster, "micro" | "conventional") {
+        return Err(ParseArgsError(format!(
+            "unknown cluster '{cluster}' (micro | conventional)"
+        )));
+    }
+    let mix = evaluation_mix(invocations);
+
+    // Both clusters run traced, fanned over the PR 3 exec engine; each
+    // closure owns its buffer so the derived trees are --jobs invariant.
+    let mut trees = par_map_indexed(jobs, 2, |i| {
+        let mut buffer = TraceBuffer::new(1 << 22);
+        let mut metrics = MetricsRegistry::new();
+        let mut observer = Observer::full(&mut buffer, &mut metrics);
+        if i == 0 {
+            run_microfaas_with(
+                &MicroFaasConfig::paper_prototype(mix.clone(), seed),
+                &mut observer,
+            );
+        } else {
+            run_conventional_with(
+                &ConventionalConfig::paper_baseline(mix.clone(), seed),
+                &mut observer,
+            );
+        }
+        if buffer.dropped() > 0 {
+            return Err(format!(
+                "trace ring buffer dropped {} events; spans would be incomplete",
+                buffer.dropped()
+            ));
+        }
+        Ok(SpanTree::from_buffer(&buffer))
+    })
+    .into_iter();
+    let micro = trees.next().expect("two runs").map_err(ParseArgsError)?;
+    let conv = trees.next().expect("two runs").map_err(ParseArgsError)?;
+
+    for (label, tree) in [("micro", &micro), ("conventional", &conv)] {
+        println!(
+            "{label:<13} {} spans derived ({} skipped) · {} workers · horizon {:.3} s",
+            tree.jobs().len(),
+            tree.skipped(),
+            tree.worker_count(),
+            tree.end().as_secs_f64()
+        );
+        println!("              {}", PhaseColumns::from_spans(tree.jobs()));
+        for span in tree.jobs() {
+            let sum: u64 = span.phases().iter().map(|d| d.as_micros()).sum();
+            if sum != span.end_to_end().as_micros() {
+                return Err(ParseArgsError(format!(
+                    "phase decomposition broke for {label} job #{}: phases sum to \
+                     {sum} us but end-to-end is {} us",
+                    span.job,
+                    span.end_to_end().as_micros()
+                )));
+            }
+        }
+    }
+    println!("phase decomposition check: every span's phases sum to its end-to-end latency\n");
+
+    let mut micro_path = CriticalPath::analyze(&micro);
+    let mut conv_path = CriticalPath::analyze(&conv);
+    println!("{}", micro_path.cluster_breakdown("micro"));
+    println!("{}", conv_path.cluster_breakdown("conventional"));
+    if args.has("breakdown") {
+        println!("micro per-function:\n{}", micro_path.function_breakdown());
+        println!(
+            "conventional per-function:\n{}",
+            conv_path.function_breakdown()
+        );
+    }
+
+    let chosen = if cluster == "micro" { &micro } else { &conv };
+    if args.has("job") {
+        let id = args.get_or("job", 0u64)?;
+        match chosen.job(id) {
+            Some(span) => println!("{}", span.waterfall()),
+            None => {
+                return Err(ParseArgsError(format!(
+                    "no completed job #{id} in the {cluster} trace (ids run 0..{})",
+                    chosen.jobs().last().map_or(0, |s| s.job)
+                )))
+            }
+        }
+    }
+    if let Some(path) = args.get_str("perfetto") {
+        if path.is_empty() {
+            return Err(ParseArgsError("--perfetto requires a path".to_string()));
+        }
+        let json = export_chrome_trace(chosen, cluster);
+        let summary = validate_chrome_trace(&json)
+            .map_err(|e| ParseArgsError(format!("perfetto export failed validation: {e}")))?;
+        write_text(path, &json)?;
+        println!(
+            "perfetto export ({cluster}): {} events — {} slices, {} instants, \
+             {} metadata; load at ui.perfetto.dev",
+            summary.events, summary.complete, summary.instant, summary.metadata
+        );
+    }
+
+    let mut csv = Csv::new(&[
+        "cluster",
+        "job",
+        "function",
+        "worker",
+        "queue_us",
+        "boot_us",
+        "exec_us",
+        "overhead_us",
+        "response_us",
+        "end_to_end_us",
+    ]);
+    for (label, tree) in [("micro", &micro), ("conventional", &conv)] {
+        for span in tree.jobs() {
+            let phases = span.phases();
+            csv.row_display(&[
+                &label,
+                &span.job,
+                &span.function,
+                &span.worker,
+                &phases[0].as_micros(),
+                &phases[1].as_micros(),
+                &phases[2].as_micros(),
+                &phases[3].as_micros(),
+                &phases[4].as_micros(),
+                &span.end_to_end().as_micros(),
+            ]);
+        }
     }
     maybe_csv(args, &csv)
 }
@@ -991,6 +1194,126 @@ mod tests {
         assert!(flat.starts_with("metric,value"));
         assert!(flat.contains("micro_jobs_completed_total,34"));
         for path in [&jsonl, &prom, &csv] {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    #[test]
+    fn trace_filters_validate_and_export() {
+        assert!(run(&["trace", "--invocations", "2", "--type"]).is_err());
+        assert!(run(&["trace", "--invocations", "2", "--job", "nope"]).is_err());
+        let path = std::env::temp_dir().join("microfaas_cli_test_trace_filtered.jsonl");
+        let _ = std::fs::remove_file(&path);
+        run(&[
+            "trace",
+            "--invocations",
+            "2",
+            "--seed",
+            "7",
+            "--job",
+            "0",
+            "--out",
+            path.to_str().expect("utf-8 temp path"),
+        ])
+        .expect("runs");
+        let lines = std::fs::read_to_string(&path).expect("filtered trace written");
+        assert!(!lines.is_empty(), "job 0 has causal events");
+        for line in lines.lines() {
+            assert!(
+                line.contains("\"job\":0"),
+                "non-job-0 line exported: {line}"
+            );
+        }
+        run(&[
+            "trace",
+            "--invocations",
+            "2",
+            "--type",
+            "response_sent",
+            "--out",
+            path.to_str().expect("utf-8 temp path"),
+        ])
+        .expect("runs");
+        let lines = std::fs::read_to_string(&path).expect("filtered trace written");
+        assert!(lines.lines().count() >= 34, "one response per completion");
+        for line in lines.lines() {
+            assert!(line.contains("\"type\":\"response_sent\""));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn analyze_validates_flags() {
+        assert!(run(&["analyze", "--cluster", "mystery"]).is_err());
+        assert!(run(&["analyze", "--invocations", "2", "--job", "999999"]).is_err());
+        assert!(run(&["analyze", "--jobs", "0"]).is_err());
+        assert!(run(&["analyze", "--invocations", "2", "--perfetto"]).is_err());
+    }
+
+    #[test]
+    fn analyze_reports_and_exports() {
+        let dir = std::env::temp_dir();
+        let perfetto = dir.join("microfaas_cli_test_analyze.json");
+        let csv = dir.join("microfaas_cli_test_analyze.csv");
+        for path in [&perfetto, &csv] {
+            let _ = std::fs::remove_file(path);
+        }
+        run(&[
+            "analyze",
+            "--invocations",
+            "2",
+            "--seed",
+            "7",
+            "--breakdown",
+            "--job",
+            "0",
+            "--perfetto",
+            perfetto.to_str().expect("utf-8 temp path"),
+            "--csv",
+            csv.to_str().expect("utf-8 temp path"),
+        ])
+        .expect("runs");
+        let json = std::fs::read_to_string(&perfetto).expect("perfetto written");
+        microfaas_sim::validate_chrome_trace(&json).expect("round-trips the parser");
+        let rows = std::fs::read_to_string(&csv).expect("csv written");
+        assert!(rows.starts_with(
+            "cluster,job,function,worker,queue_us,boot_us,exec_us,\
+             overhead_us,response_us,end_to_end_us"
+        ));
+        assert_eq!(
+            rows.lines().count(),
+            1 + 2 * 34,
+            "header + every completed job on both clusters"
+        );
+        for path in [&perfetto, &csv] {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    #[test]
+    fn analyze_csv_is_jobs_invariant() {
+        let dir = std::env::temp_dir();
+        let serial = dir.join("microfaas_cli_test_analyze_j1.csv");
+        let parallel = dir.join("microfaas_cli_test_analyze_j2.csv");
+        for (path, jobs) in [(&serial, "1"), (&parallel, "2")] {
+            let _ = std::fs::remove_file(path);
+            run(&[
+                "analyze",
+                "--invocations",
+                "2",
+                "--seed",
+                "9",
+                "--jobs",
+                jobs,
+                "--csv",
+                path.to_str().expect("utf-8 temp path"),
+            ])
+            .expect("runs");
+        }
+        let a = std::fs::read_to_string(&serial).expect("serial csv");
+        let b = std::fs::read_to_string(&parallel).expect("parallel csv");
+        assert_eq!(a, b, "--jobs must not change derived spans");
+        for path in [&serial, &parallel] {
             let _ = std::fs::remove_file(path);
         }
     }

@@ -32,3 +32,10 @@ mod failure_model_docs {}
 #[cfg(doctest)]
 #[doc = include_str!("../../../docs/SCHEDULING.md")]
 mod scheduling_docs {}
+
+/// Compiles and runs every Rust sample in `docs/TRACING.md` as a
+/// doctest, so the span-tracing and critical-path handbook can never
+/// drift from the `microfaas_sim::span` / `chrome` APIs it documents.
+#[cfg(doctest)]
+#[doc = include_str!("../../../docs/TRACING.md")]
+mod tracing_docs {}

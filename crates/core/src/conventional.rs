@@ -482,6 +482,16 @@ impl<'a, 'b> ConvSim<'a, 'b> {
         if lost {
             self.fault_injected(start, v, FaultKind::NetLoss);
         }
+        // Response leaves the VM as the transfer starts; retransmits
+        // re-emit and span derivation keeps the first copy.
+        self.observer.emit(
+            start,
+            TraceEvent::ResponseSent {
+                job: job.id,
+                function: job.function.name(),
+                worker: v,
+            },
+        );
         let (delivered, src, dst) = self.cnet.transfer(start, v, job.function, bytes, lost);
         self.observer
             .emit(start, TraceEvent::NetTransfer { src, dst, bytes });

@@ -232,6 +232,12 @@ impl Gateway {
             response.status
         ));
         self.metrics.inc(counter);
+        if response.status == 200 {
+            // The gateway-side counterpart of the simulators'
+            // `response_sent` trace anchor (see docs/TRACING.md): a
+            // successful response left for the caller.
+            self.bump("gateway_responses_sent_total");
+        }
         response
     }
 
@@ -482,6 +488,8 @@ mod tests {
         assert!(text.contains("gateway_invocations_total 1"));
         assert!(text.contains("gateway_responses_total{status=\"200\"} 1"));
         assert!(text.contains("gateway_responses_total{status=\"404\"} 1"));
+        assert!(text.contains("gateway_responses_sent_total 1"));
+        assert!(text.contains("# HELP gateway_responses_sent_total"));
         // The registry view matches the HTTP exposition.
         assert!(gw
             .metrics()

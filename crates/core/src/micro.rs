@@ -445,6 +445,13 @@ impl<'a, 'b> MicroSim<'a, 'b> {
         // Power on every worker that has work.
         for w in 0..self.config.workers {
             if self.dispatcher.has_work(w) {
+                self.observer.emit(
+                    SimTime::ZERO,
+                    TraceEvent::WakeRequested {
+                        worker: w,
+                        reason: "dispatch",
+                    },
+                );
                 let effective = self.gpio.actuate(SimTime::ZERO, w, PowerAction::On);
                 self.boot_pending[w] =
                     Some(self.queue.schedule(effective, Event::PowerEffective(w)));
@@ -655,6 +662,16 @@ impl<'a, 'b> MicroSim<'a, 'b> {
         if lost {
             self.fault_injected(start, w, FaultKind::NetLoss);
         }
+        // The response leaves the worker as the transfer starts; a lost
+        // copy re-emits on retransmit (span derivation keeps the first).
+        self.observer.emit(
+            start,
+            TraceEvent::ResponseSent {
+                job: job.id,
+                function: job.function.name(),
+                worker: w,
+            },
+        );
         let (delivered, src, dst) = self.cnet.transfer(start, w, job.function, bytes, lost);
         self.observer
             .emit(start, TraceEvent::NetTransfer { src, dst, bytes });
@@ -892,6 +909,13 @@ impl<'a, 'b> MicroSim<'a, 'b> {
             // the queue when it lands; actuating again would leave a
             // stale PowerEffective firing into the middle of that boot.
             SbcState::Off if self.boot_pending[w].is_none() => {
+                self.observer.emit(
+                    now,
+                    TraceEvent::WakeRequested {
+                        worker: w,
+                        reason: "requeue",
+                    },
+                );
                 let effective = self.gpio.actuate(now, w, PowerAction::On);
                 self.boot_pending[w] =
                     Some(self.queue.schedule(effective, Event::PowerEffective(w)));

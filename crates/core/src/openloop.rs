@@ -363,6 +363,13 @@ pub fn run_open_loop_with(config: &OpenLoopConfig, observer: &mut Observer<'_>) 
                             }
                             workers[w].waking = true;
                             powered_on.add(now, 1.0);
+                            observer.emit(
+                                now,
+                                TraceEvent::WakeRequested {
+                                    worker: w,
+                                    reason: "dispatch",
+                                },
+                            );
                             let effective = gpio.actuate(now, w, PowerAction::On);
                             queue.schedule(effective, Event::PowerEffective(w));
                         }
@@ -403,6 +410,13 @@ pub fn run_open_loop_with(config: &OpenLoopConfig, observer: &mut Observer<'_>) 
                             workers[w].waking = true;
                             powered += 1;
                             powered_on.add(now, 1.0);
+                            observer.emit(
+                                now,
+                                TraceEvent::WakeRequested {
+                                    worker: w,
+                                    reason: "prewarm",
+                                },
+                            );
                             let effective = gpio.actuate(now, w, PowerAction::On);
                             queue.schedule(effective, Event::PowerEffective(w));
                             observer.emit(
@@ -475,6 +489,16 @@ pub fn run_open_loop_with(config: &OpenLoopConfig, observer: &mut Observer<'_>) 
             }
             Event::ExecDone(w) => {
                 let (job, _exec, _started) = workers[w].current.expect("job in flight");
+                // The response leaves the worker here; the lumped
+                // overhead that follows is orchestration + network time.
+                observer.emit(
+                    now,
+                    TraceEvent::ResponseSent {
+                        job: job.id,
+                        function: job.function.name(),
+                        worker: w,
+                    },
+                );
                 let overhead = service_time(job.function)
                     .overhead(WorkerPlatform::ArmSbc)
                     .mul_f64(config.jitter.factor(&mut rng));

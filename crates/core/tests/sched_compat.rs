@@ -1,13 +1,19 @@
 //! Backward-compatibility pin for the scheduling subsystem.
 //!
-//! The golden table below was captured on the commit *before*
-//! `microfaas-sched` existed, hashing every observable surface of a
-//! run: aggregate results (as exact f64 bit patterns), the full JSON
-//! trace, and the Prometheus exposition. The paper-default policies —
+//! The golden table below hashes every observable surface of a run:
+//! aggregate results (as exact f64 bit patterns), the full JSON trace,
+//! and the Prometheus exposition. The paper-default policies —
 //! `WorkConserving` / `RandomStatic` placement under the
 //! `RebootPerJob` governor — must reproduce all of them bit for bit;
 //! the subsystem is required to be invisible until a non-default
 //! policy is selected.
+//!
+//! The aggregate columns date from the commit *before*
+//! `microfaas-sched` existed and have never moved. The trace and
+//! exposition hashes were re-captured when span tracing landed: the
+//! `wake_requested` / `response_sent` causal anchors and the `# HELP`
+//! exposition lines change the bytes without touching any simulated
+//! decision — the unchanged makespan/joules/records columns prove it.
 
 use std::sync::Arc;
 
@@ -105,8 +111,8 @@ fn micro_defaults_are_bit_identical_to_pre_subsystem_runs() {
             0x4070_1985_e5f3_0e80,
             0x40b3_8beb_b9c3_85af,
             850,
-            0x6cc9_9b1a_1691_17c1,
-            0x6392_d838_b055_e044,
+            0xd3dd_b71b_4638_1f19,
+            0xebc6_8c6c_68e1_23e3,
         ),
         (
             "rs",
@@ -114,8 +120,8 @@ fn micro_defaults_are_bit_identical_to_pre_subsystem_runs() {
             0x4072_c8a4_ba94_bbe4,
             0x40b3_7999_7619_0bf3,
             850,
-            0xa801_ce75_3b2c_ac70,
-            0xef47_b79d_b00e_652c,
+            0xc54c_3359_64c1_5f17,
+            0x67e8_f80a_bd5f_26cd,
         ),
         (
             "wc",
@@ -123,8 +129,8 @@ fn micro_defaults_are_bit_identical_to_pre_subsystem_runs() {
             0x4070_14c8_7b99_d452,
             0x40b3_8816_596c_82e9,
             850,
-            0x1474_771f_37ad_837c,
-            0x348f_4de0_c4d3_2a16,
+            0xa81c_5bed_a989_b2c1,
+            0x7784_956d_cb91_dd4b,
         ),
         (
             "rs",
@@ -132,8 +138,8 @@ fn micro_defaults_are_bit_identical_to_pre_subsystem_runs() {
             0x4072_7ec9_b1fa_b96f,
             0x40b3_7a33_5ddd_d6be,
             850,
-            0x12b5_95e0_7424_53e0,
-            0x838c_b5c4_6f0a_582d,
+            0xc551_2df4_8be4_e67c,
+            0xe59f_28c3_6dc0_cc84,
         ),
         (
             "wc",
@@ -141,8 +147,8 @@ fn micro_defaults_are_bit_identical_to_pre_subsystem_runs() {
             0x4070_156c_e896_56ef,
             0x40b3_85e7_d5b1_4cf2,
             850,
-            0x1239_c4a8_3ecd_f2a8,
-            0x16c8_835b_436d_b3e0,
+            0x5482_b55e_44b3_fd11,
+            0x4429_7f94_4426_80ad,
         ),
         (
             "rs",
@@ -150,8 +156,8 @@ fn micro_defaults_are_bit_identical_to_pre_subsystem_runs() {
             0x4072_6401_ede1_198b,
             0x40b3_7669_ae0a_1409,
             850,
-            0xede8_ec10_7d62_f802,
-            0x679a_461c_5aa2_3e02,
+            0xd640_a489_4778_76a3,
+            0xeda6_4503_97c0_f4c1,
         ),
     ];
     for (label, seed, makespan, joules, records, trace_fnv, expo_fnv) in goldens {
@@ -173,8 +179,8 @@ fn conventional_defaults_are_bit_identical_to_pre_subsystem_runs() {
             0x406e_6e3e_4473_cd57,
             0x40da_dedd_71c1_0d77,
             850,
-            0x5091_768d_703b_60b1,
-            0xfa51_9792_827b_6598,
+            0x9097_599d_8667_24bb,
+            0x87f3_f6a8_cd08_3b97,
         ),
         (
             "rs",
@@ -182,8 +188,8 @@ fn conventional_defaults_are_bit_identical_to_pre_subsystem_runs() {
             0x4070_4b0f_7db6_e504,
             0x40db_df63_71c9_70fa,
             850,
-            0x40ed_2865_c4db_51dc,
-            0xf153_c5d8_5265_d105,
+            0x0afc_a468_3908_9ba2,
+            0xea4e_1567_ca6c_6236,
         ),
         (
             "wc",
@@ -191,8 +197,8 @@ fn conventional_defaults_are_bit_identical_to_pre_subsystem_runs() {
             0x406e_6f53_f9e7_b80b,
             0x40da_e05b_3743_632c,
             850,
-            0x5a5e_f0fd_97d0_c171,
-            0xeb80_c811_d058_c9a7,
+            0x1a75_c3a0_f6ec_0d96,
+            0xfd6c_7722_35e2_c7a6,
         ),
         (
             "rs",
@@ -200,8 +206,8 @@ fn conventional_defaults_are_bit_identical_to_pre_subsystem_runs() {
             0x4070_400b_8e08_6bdf,
             0x40db_da1b_e1f1_f7f6,
             850,
-            0x8bcd_266b_eea6_b279,
-            0x12be_705f_f49b_dc4a,
+            0x3d93_dc1b_ff2f_11b3,
+            0x057f_af77_f2c2_c60b,
         ),
         (
             "wc",
@@ -209,8 +215,8 @@ fn conventional_defaults_are_bit_identical_to_pre_subsystem_runs() {
             0x406e_7451_5ce9_e5e2,
             0x40da_e1d9_a86c_9b33,
             850,
-            0x030f_9229_285f_67d5,
-            0x32bd_8632_bac5_54b6,
+            0x8b65_5b79_2461_129a,
+            0x37a5_afc3_8d38_544b,
         ),
         (
             "rs",
@@ -218,8 +224,8 @@ fn conventional_defaults_are_bit_identical_to_pre_subsystem_runs() {
             0x406f_48f2_1709_3101,
             0x40db_46ef_18f2_3f5a,
             850,
-            0x5c94_9e1e_2b15_e25d,
-            0x5ce7_e4e1_9fa8_e3a8,
+            0xde69_d87c_b420_fa8c,
+            0x31ad_d38a_f734_df95,
         ),
     ];
     for (label, seed, makespan, joules, records, trace_fnv, expo_fnv) in goldens {
@@ -247,8 +253,8 @@ fn open_loop_defaults_are_bit_identical_to_pre_subsystem_runs() {
             0x4016_f41d_4c1e_6ac9,
             1168,
             519,
-            0xa6ff_ea00_e61e_5187,
-            0xd703_f5be_1b64_bea0,
+            0x1aa3_d01d_2c84_fc12,
+            0x1c1f_25c9_144d_1ab6,
         ),
         (
             "ll",
@@ -257,8 +263,8 @@ fn open_loop_defaults_are_bit_identical_to_pre_subsystem_runs() {
             0x4017_ad18_bc78_a57c,
             1170,
             1093,
-            0xbde7_7d9c_6c02_52bc,
-            0x4bdf_363d_2bbf_9b3a,
+            0x87a0_f978_9570_e46c,
+            0xa63f_2858_accb_9844,
         ),
         (
             "pa",
@@ -267,8 +273,8 @@ fn open_loop_defaults_are_bit_identical_to_pre_subsystem_runs() {
             0x4017_7d91_ebeb_f5f5,
             1215,
             192,
-            0x37ca_9a87_958f_33af,
-            0x3ca3_532a_6c16_0e49,
+            0x1d60_7dc6_964c_dbd9,
+            0x8f99_64fe_e7a9_f85b,
         ),
         (
             "rq",
@@ -277,8 +283,8 @@ fn open_loop_defaults_are_bit_identical_to_pre_subsystem_runs() {
             0x4017_7be3_1baa_0386,
             1187,
             494,
-            0x12da_ba30_5413_beea,
-            0x78f5_7073_f592_abe5,
+            0x63d2_638f_8191_cae4,
+            0x94bd_5b6a_74ee_7573,
         ),
         (
             "ll",
@@ -287,8 +293,8 @@ fn open_loop_defaults_are_bit_identical_to_pre_subsystem_runs() {
             0x4017_1716_baa1_50e2,
             1192,
             1133,
-            0x575d_365a_120e_9b41,
-            0x2077_4044_722b_9d7a,
+            0x006b_c296_f129_289b,
+            0x4ce4_6db0_8271_7886,
         ),
         (
             "pa",
@@ -297,8 +303,8 @@ fn open_loop_defaults_are_bit_identical_to_pre_subsystem_runs() {
             0x4017_5e95_2096_e378,
             1151,
             175,
-            0xeb42_e536_c296_a91a,
-            0xd10c_7953_ebe1_4caa,
+            0x4a12_3abd_43fe_8f74,
+            0xf908_278b_9916_0b1c,
         ),
     ];
     for (label, seed, latency, jpf, completed, cycles, trace_fnv, expo_fnv) in goldens {

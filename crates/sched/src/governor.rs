@@ -22,6 +22,13 @@
 //! stochastic governor must use the dedicated policy stream owned by
 //! [`PolicyEngine`](crate::PolicyEngine) (the `sim/src/faults.rs`
 //! discipline), never the simulation stream.
+//!
+//! Every power-on a governor decision triggers is visible in the trace
+//! as a `wake_requested` anchor (reasons `dispatch`, `requeue`, or
+//! `prewarm`), which the span deriver in `microfaas-sim::span` turns
+//! into per-job `boot` phase attribution — so a governor's latency cost
+//! shows up, quantified, in `microfaas analyze --breakdown` (see
+//! `docs/TRACING.md`).
 
 use std::fmt;
 use std::str::FromStr;

@@ -1,0 +1,664 @@
+//! Chrome trace-event JSON export of a derived [`SpanTree`], loadable
+//! directly in Perfetto (<https://ui.perfetto.dev>) or
+//! `chrome://tracing`, plus a dependency-free JSON parser used to
+//! validate the emitted document.
+//!
+//! Layout: two process tracks per cluster. Process 0 holds the worker
+//! lifecycle spans (one thread per worker), process 1 holds the job
+//! spans (wait + service slices on the serving worker's thread). Spans
+//! are `"ph":"X"` complete events with microsecond `ts`/`dur`; faults
+//! and wake requests are `"ph":"i"` instant events; track names ride on
+//! `"ph":"M"` metadata events.
+//!
+//! The export is canonical: events are ordered (metadata, lifecycle by
+//! worker and start, jobs by id, wakes, faults) and timestamps are
+//! integers, so the same [`SpanTree`] always renders the same bytes —
+//! the property the parity suite pins across `--jobs` settings and
+//! seed reruns.
+//!
+//! # Examples
+//!
+//! ```
+//! use microfaas_sim::chrome::{export_chrome_trace, validate_chrome_trace};
+//! use microfaas_sim::span::SpanTree;
+//! use microfaas_sim::trace::{TraceBuffer, TraceEvent, TraceSink};
+//! use microfaas_sim::{SimDuration, SimTime};
+//!
+//! let mut t = TraceBuffer::new(16);
+//! t.record(SimTime::ZERO, TraceEvent::JobEnqueued { job: 1, function: "CascSHA" });
+//! t.record(
+//!     SimTime::from_micros(10),
+//!     TraceEvent::JobStarted { job: 1, function: "CascSHA", worker: 0 },
+//! );
+//! t.record(
+//!     SimTime::from_micros(40),
+//!     TraceEvent::JobCompleted {
+//!         job: 1,
+//!         function: "CascSHA",
+//!         worker: 0,
+//!         exec: SimDuration::from_micros(25),
+//!         overhead: SimDuration::from_micros(5),
+//!     },
+//! );
+//! let json = export_chrome_trace(&SpanTree::from_buffer(&t), "micro");
+//! let summary = validate_chrome_trace(&json).expect("schema-valid");
+//! assert_eq!(summary.complete, 2); // wait + service slice
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::span::{Phase, SpanTree};
+
+/// Renders `tree` as a Chrome trace-event JSON document.
+///
+/// `label` names the cluster (`"micro"`, `"conventional"`) in the
+/// process tracks so two clusters can be told apart side by side.
+pub fn export_chrome_trace(tree: &SpanTree, label: &str) -> String {
+    let mut out = String::with_capacity(256 + tree.jobs().len() * 256);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut first = true;
+
+    // Process + thread name metadata.
+    meta_process(&mut out, &mut first, 0, &format!("{label} workers"));
+    meta_process(&mut out, &mut first, 1, &format!("{label} jobs"));
+    for w in 0..tree.worker_count() {
+        meta_thread(&mut out, &mut first, 0, w, &format!("worker {w}"));
+        meta_thread(&mut out, &mut first, 1, w, &format!("jobs@worker {w}"));
+    }
+
+    // Worker lifecycle tracks.
+    for span in tree.lifecycle() {
+        event_sep(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"X\",\"pid\":0,\"tid\":{},\"name\":\"{}\",\"cat\":\"lifecycle\",\
+             \"ts\":{},\"dur\":{}}}",
+            span.worker,
+            span.state.label(),
+            span.start.as_micros(),
+            span.end.duration_since(span.start).as_micros()
+        );
+    }
+
+    // Job spans: a wait slice (queue + boot) and a service slice
+    // (exec + overhead + response), cross-linked by job id.
+    for span in tree.jobs() {
+        let wait = span.started.duration_since(span.enqueued).as_micros();
+        if wait > 0 {
+            event_sep(&mut out, &mut first);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"name\":\"wait {} #{}\",\"cat\":\"wait\",\
+                 \"ts\":{},\"dur\":{},\"args\":{{\"job\":{},\"queue_us\":{},\"boot_us\":{}}}}}",
+                span.worker,
+                escape_json(span.function),
+                span.job,
+                span.enqueued.as_micros(),
+                wait,
+                span.job,
+                span.phase(Phase::Queue).as_micros(),
+                span.phase(Phase::Boot).as_micros()
+            );
+        }
+        event_sep(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"name\":\"{} #{}\",\"cat\":\"job\",\
+             \"ts\":{},\"dur\":{},\"args\":{{\"job\":{},\"exec_us\":{},\"overhead_us\":{},\
+             \"response_us\":{}}}}}",
+            span.worker,
+            escape_json(span.function),
+            span.job,
+            span.started.as_micros(),
+            span.completed.duration_since(span.started).as_micros(),
+            span.job,
+            span.phase(Phase::Exec).as_micros(),
+            span.phase(Phase::Overhead).as_micros(),
+            span.phase(Phase::Response).as_micros()
+        );
+    }
+
+    // Instant marks: wake requests, then faults, both in trace order.
+    for wake in tree.wakes() {
+        event_sep(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"i\",\"pid\":0,\"tid\":{},\"name\":\"wake:{}\",\"s\":\"t\",\"ts\":{}}}",
+            wake.worker,
+            escape_json(wake.reason),
+            wake.at.as_micros()
+        );
+    }
+    for fault in tree.faults() {
+        event_sep(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"i\",\"pid\":0,\"tid\":{},\"name\":\"fault:{}\",\"s\":\"t\",\"ts\":{}}}",
+            fault.worker,
+            escape_json(fault.fault),
+            fault.at.as_micros()
+        );
+    }
+
+    out.push_str("\n]}\n");
+    out
+}
+
+fn event_sep(out: &mut String, first: &mut bool) {
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+}
+
+fn meta_process(out: &mut String, first: &mut bool, pid: usize, name: &str) {
+    event_sep(out, first);
+    let _ = write!(
+        out,
+        "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\
+         \"args\":{{\"name\":\"{}\"}}}}",
+        escape_json(name)
+    );
+}
+
+fn meta_thread(out: &mut String, first: &mut bool, pid: usize, tid: usize, name: &str) {
+    event_sep(out, first);
+    let _ = write!(
+        out,
+        "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\
+         \"args\":{{\"name\":\"{}\"}}}}",
+        escape_json(name)
+    );
+}
+
+fn escape_json(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A parsed JSON value. The workspace carries no serde, so the
+/// round-trip validation of exported traces uses this minimal
+/// recursive-descent parser instead.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, held as `f64`.
+    Number(f64),
+    /// A string, with escapes decoded.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, in source order (duplicate keys preserved).
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Member lookup on an object (first match), `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure: byte offset plus a human-readable reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses one JSON document (object, array, or scalar), rejecting
+/// trailing garbage.
+pub fn parse_json(input: &str) -> Result<JsonValue, JsonError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(err(pos, "trailing data after document"));
+    }
+    Ok(value)
+}
+
+fn err(offset: usize, message: impl Into<String>) -> JsonError {
+    JsonError {
+        offset,
+        message: message.into(),
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), JsonError> {
+    if *pos < bytes.len() && bytes[*pos] == byte {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(err(*pos, format!("expected '{}'", byte as char)))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(err(*pos, "unexpected end of input")),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(JsonValue::String(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", JsonValue::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &str,
+    value: JsonValue,
+) -> Result<JsonValue, JsonError> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(err(*pos, format!("expected '{literal}'")))
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    expect(bytes, pos, b'{')?;
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Object(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        members.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Object(members));
+            }
+            _ => return Err(err(*pos, "expected ',' or '}' in object")),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            _ => return Err(err(*pos, "expected ',' or ']' in array")),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(err(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| err(*pos, "truncated \\u escape"))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| err(*pos, "non-ascii \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| err(*pos, "bad \\u escape"))?;
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| err(*pos, "surrogate \\u escape unsupported"))?,
+                        );
+                        *pos += 4;
+                    }
+                    _ => return Err(err(*pos, "bad escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so the
+                // encoding is already valid).
+                let rest =
+                    std::str::from_utf8(&bytes[*pos..]).map_err(|_| err(*pos, "invalid utf-8"))?;
+                let c = rest.chars().next().expect("non-empty");
+                if (c as u32) < 0x20 {
+                    return Err(err(*pos, "unescaped control character"));
+                }
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let token = std::str::from_utf8(&bytes[start..*pos]).expect("ascii number token");
+    token
+        .parse::<f64>()
+        .map(JsonValue::Number)
+        .map_err(|_| err(start, format!("bad number '{token}'")))
+}
+
+/// Event tallies from a validated Chrome trace document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChromeSummary {
+    /// Total events in `traceEvents`.
+    pub events: usize,
+    /// `"ph":"X"` complete (span) events.
+    pub complete: usize,
+    /// `"ph":"i"` instant events.
+    pub instant: usize,
+    /// `"ph":"M"` metadata events.
+    pub metadata: usize,
+}
+
+/// Round-trips an exported document through [`parse_json`] and checks
+/// the Chrome trace-event schema: a top-level `traceEvents` array whose
+/// members carry `ph`/`pid`/`tid`, with `ts` + `dur` on `X` spans, `ts`
+/// + `s` on `i` instants, and `name` on every event.
+///
+/// # Errors
+///
+/// Returns a description of the first schema violation (or parse
+/// error) found.
+pub fn validate_chrome_trace(input: &str) -> Result<ChromeSummary, String> {
+    let doc = parse_json(input).map_err(|e| e.to_string())?;
+    let events = doc
+        .get("traceEvents")
+        .ok_or("missing 'traceEvents'")?
+        .as_array()
+        .ok_or("'traceEvents' is not an array")?;
+    let mut summary = ChromeSummary {
+        events: events.len(),
+        ..ChromeSummary::default()
+    };
+    for (i, event) in events.iter().enumerate() {
+        let ph = event
+            .get("ph")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("event {i}: missing 'ph'"))?;
+        event
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("event {i}: missing 'name'"))?;
+        for field in ["pid", "tid"] {
+            event
+                .get(field)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("event {i}: missing '{field}'"))?;
+        }
+        match ph {
+            "X" => {
+                for field in ["ts", "dur"] {
+                    let v = event
+                        .get(field)
+                        .and_then(JsonValue::as_f64)
+                        .ok_or_else(|| format!("event {i}: X without '{field}'"))?;
+                    if v < 0.0 {
+                        return Err(format!("event {i}: negative '{field}'"));
+                    }
+                }
+                summary.complete += 1;
+            }
+            "i" => {
+                event
+                    .get("ts")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| format!("event {i}: i without 'ts'"))?;
+                event
+                    .get("s")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| format!("event {i}: i without 's'"))?;
+                summary.instant += 1;
+            }
+            "M" => summary.metadata += 1,
+            other => return Err(format!("event {i}: unsupported ph '{other}'")),
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{SimDuration, SimTime};
+    use crate::trace::{TraceBuffer, TraceEvent, TraceSink, WorkerState};
+
+    fn sample_tree() -> SpanTree {
+        let mut t = TraceBuffer::new(64);
+        let us = SimTime::from_micros;
+        t.record(
+            us(0),
+            TraceEvent::JobEnqueued {
+                job: 1,
+                function: "CascSHA",
+            },
+        );
+        t.record(
+            us(0),
+            TraceEvent::WakeRequested {
+                worker: 0,
+                reason: "dispatch",
+            },
+        );
+        t.record(
+            us(5),
+            TraceEvent::WorkerStateChange {
+                worker: 0,
+                state: WorkerState::Booting,
+            },
+        );
+        t.record(
+            us(50),
+            TraceEvent::WorkerStateChange {
+                worker: 0,
+                state: WorkerState::Executing,
+            },
+        );
+        t.record(
+            us(50),
+            TraceEvent::JobStarted {
+                job: 1,
+                function: "CascSHA",
+                worker: 0,
+            },
+        );
+        t.record(
+            us(80),
+            TraceEvent::ResponseSent {
+                job: 1,
+                function: "CascSHA",
+                worker: 0,
+            },
+        );
+        t.record(
+            us(90),
+            TraceEvent::FaultInjected {
+                worker: 0,
+                fault: "net_loss",
+            },
+        );
+        t.record(
+            us(95),
+            TraceEvent::JobCompleted {
+                job: 1,
+                function: "CascSHA",
+                worker: 0,
+                exec: SimDuration::from_micros(25),
+                overhead: SimDuration::from_micros(20),
+            },
+        );
+        SpanTree::from_buffer(&t)
+    }
+
+    #[test]
+    fn export_is_schema_valid_and_deterministic() {
+        let tree = sample_tree();
+        let a = export_chrome_trace(&tree, "micro");
+        let b = export_chrome_trace(&tree, "micro");
+        assert_eq!(a, b, "same tree must render identical bytes");
+        let summary = validate_chrome_trace(&a).expect("valid document");
+        // 2 process + 2 thread metadata, 2 lifecycle + 2 job slices,
+        // 1 wake + 1 fault instant.
+        assert_eq!(summary.metadata, 4);
+        assert_eq!(summary.complete, 4);
+        assert_eq!(summary.instant, 2);
+        assert_eq!(summary.events, 10);
+        assert!(a.contains("\"name\":\"wake:dispatch\""), "{a}");
+        assert!(a.contains("\"name\":\"fault:net_loss\""), "{a}");
+        assert!(a.contains("\"name\":\"CascSHA #1\""), "{a}");
+    }
+
+    #[test]
+    fn parser_handles_scalars_escapes_and_nesting() {
+        let doc = r#"{"a": [1, -2.5, 1e3], "b": {"c": "x\"\nA"}, "d": null, "e": true}"#;
+        let v = parse_json(doc).unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[2].as_f64(),
+            Some(1000.0)
+        );
+        assert_eq!(
+            v.get("b").unwrap().get("c").unwrap().as_str(),
+            Some("x\"\nA")
+        );
+        assert_eq!(v.get("d"), Some(&JsonValue::Null));
+        assert_eq!(v.get("e"), Some(&JsonValue::Bool(true)));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in [
+            "{",
+            "[1,]",
+            "{\"a\" 1}",
+            "\"unterminated",
+            "nulL",
+            "{}trailing",
+            "{\"a\": 1e}",
+        ] {
+            assert!(parse_json(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn validator_flags_schema_violations() {
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\": 3}").is_err());
+        let missing_dur =
+            "{\"traceEvents\":[{\"ph\":\"X\",\"pid\":0,\"tid\":0,\"name\":\"x\",\"ts\":1}]}";
+        let e = validate_chrome_trace(missing_dur).unwrap_err();
+        assert!(e.contains("without 'dur'"), "{e}");
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let tree = sample_tree();
+        let json = export_chrome_trace(&tree, "quote\"back\\slash");
+        validate_chrome_trace(&json).expect("escaped label stays valid");
+    }
+}

@@ -22,6 +22,17 @@
 //! * [`metrics`] — a [`MetricsRegistry`] of named counters, gauges, and
 //!   fixed-bucket histograms with Prometheus text exposition.
 //!
+//! Two causal-analysis modules derive structure from the trace (see
+//! `docs/TRACING.md`):
+//!
+//! * [`span`] — a deterministic [`SpanTree`] deriver reconstructing
+//!   per-job causal spans (queue → boot → exec → overhead → response)
+//!   and worker lifecycle spans, plus a [`CriticalPath`] analyzer that
+//!   attributes end-to-end latency to phases;
+//! * [`chrome`] — a Chrome trace-event JSON exporter (loads in
+//!   Perfetto / `chrome://tracing`) with a dependency-free JSON parser
+//!   for round-trip validation.
+//!
 //! And one fault-injection module (see `docs/FAILURE_MODEL.md`):
 //!
 //! * [`faults`] — seeded [`FaultPlan`]s (node crashes, boot failures,
@@ -61,20 +72,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chrome;
 pub mod exec;
 pub mod faults;
 pub mod metrics;
 mod queue;
 mod rng;
+pub mod span;
 mod stats;
 mod time;
 pub mod trace;
 
+pub use chrome::{export_chrome_trace, validate_chrome_trace, ChromeSummary, JsonValue};
 pub use exec::{par_map, par_map_indexed, Jobs};
 pub use faults::{FaultInjector, FaultKind, FaultPlan, FaultPlanError, FaultSpec, FaultTrigger};
 pub use metrics::{CounterId, GaugeId, HistogramId, MetricsRegistry};
 pub use queue::{EventId, EventQueue};
 pub use rng::{Rng, SplitMix64};
+pub use span::{CriticalPath, JobSpan, LifecycleSpan, Phase, PhaseStats, SpanTree};
 pub use stats::{OnlineStats, Samples, TimeWeighted};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Endpoint, Observer, TraceBuffer, TraceEvent, TraceRecord, TraceSink, WorkerState};

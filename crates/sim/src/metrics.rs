@@ -135,6 +135,17 @@ fn with_label(base: &str, labels: &str, suffix: &str, extra: &str) -> String {
     }
 }
 
+/// Deterministic `# HELP` text for a metric family: the snake_case
+/// name spelled out, prefixed by what the family kind measures.
+fn help_text(base: &str, kind: &str) -> String {
+    let spaced = base.replace('_', " ");
+    match kind {
+        "counter" => format!("Monotonic count of {spaced}."),
+        "gauge" => format!("Current value of {spaced}."),
+        _ => format!("Fixed-bucket distribution of {spaced}."),
+    }
+}
+
 impl MetricsRegistry {
     /// Creates an empty registry.
     pub fn new() -> Self {
@@ -231,6 +242,41 @@ impl MetricsRegistry {
         &self.histograms[id.0].1.bounds
     }
 
+    /// Estimates the `q`-quantile (`0.0..=1.0`) of a histogram from its
+    /// fixed buckets, Prometheus `histogram_quantile` style: the target
+    /// rank is located in the cumulative distribution and linearly
+    /// interpolated inside its bucket. Observations in the overflow
+    /// bucket report the largest finite bound. Returns `None` if the
+    /// histogram is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn histogram_quantile(&self, id: HistogramId, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        let h = &self.histograms[id.0].1;
+        if h.count == 0 {
+            return None;
+        }
+        let target = q * h.count as f64;
+        let mut cumulative = 0u64;
+        for (i, &bucket) in h.counts.iter().enumerate() {
+            let before = cumulative as f64;
+            cumulative += bucket;
+            if (cumulative as f64) >= target && bucket > 0 {
+                if i >= h.bounds.len() {
+                    // Overflow bucket: no upper bound to interpolate to.
+                    return Some(*h.bounds.last()?);
+                }
+                let lower = if i == 0 { 0.0 } else { h.bounds[i - 1] };
+                let upper = h.bounds[i];
+                let fraction = ((target - before) / bucket as f64).clamp(0.0, 1.0);
+                return Some(lower + (upper - lower) * fraction);
+            }
+        }
+        h.bounds.last().copied()
+    }
+
     /// Folds every metric from `other` into this registry.
     ///
     /// Counters and histogram buckets are summed; gauges take `other`'s
@@ -289,14 +335,18 @@ impl MetricsRegistry {
     }
 
     /// Renders every metric in the Prometheus text exposition format
-    /// (`# TYPE` comments, cumulative `_bucket{le=...}` samples,
-    /// `_sum`/`_count` for histograms), in registration order.
+    /// (`# HELP` + `# TYPE` comments per family, cumulative
+    /// `_bucket{le=...}` samples, `_sum`/`_count` for histograms), in
+    /// registration order. Help text is derived deterministically from
+    /// the family name, so the exposition stays a pure function of the
+    /// registry contents.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
         let mut typed: Vec<String> = Vec::new();
         let mut type_line = |out: &mut String, base: &str, kind: &str| {
             if !typed.iter().any(|seen| seen == base) {
                 typed.push(base.to_string());
+                let _ = writeln!(out, "# HELP {base} {}", help_text(base, kind));
                 let _ = writeln!(out, "# TYPE {base} {kind}");
             }
         };
@@ -426,8 +476,56 @@ mod tests {
         m.set_gauge(b, 2.0);
         let text = m.render_prometheus();
         assert_eq!(text.matches("# TYPE joules gauge").count(), 1);
+        assert_eq!(text.matches("# HELP joules ").count(), 1);
         assert!(text.contains("joules{channel=\"sbc-0\"} 1"));
         assert!(text.contains("joules{channel=\"sbc-1\"} 2"));
+    }
+
+    #[test]
+    fn help_lines_precede_type_lines_per_family() {
+        let mut m = MetricsRegistry::new();
+        let c = m.counter("jobs_completed_total");
+        m.inc(c);
+        let g = m.gauge("power_watts");
+        m.set_gauge(g, 2.0);
+        let h = m.histogram("exec_seconds", &[1.0]);
+        m.observe(h, 0.5);
+        let text = m.render_prometheus();
+        assert!(
+            text.contains(
+                "# HELP jobs_completed_total Monotonic count of jobs completed total.\n\
+                 # TYPE jobs_completed_total counter\n"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains("# HELP power_watts Current value of power watts.\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# HELP exec_seconds Fixed-bucket distribution of exec seconds.\n"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn histogram_quantile_interpolates_within_buckets() {
+        let mut m = MetricsRegistry::new();
+        let h = m.histogram("lat", &[1.0, 2.0, 4.0]);
+        for v in [0.5, 1.5, 1.5, 3.0] {
+            m.observe(h, v);
+        }
+        // Cumulative: 1, 3, 4. Median target rank 2 lands mid-bucket
+        // (1, 2]: lower + (2-1)/2 * width = 1.5.
+        assert_eq!(m.histogram_quantile(h, 0.5), Some(1.5));
+        assert_eq!(m.histogram_quantile(h, 0.0), Some(0.0));
+        assert_eq!(m.histogram_quantile(h, 1.0), Some(4.0));
+        // Overflow observations clamp to the largest finite bound.
+        m.observe(h, 100.0);
+        assert_eq!(m.histogram_quantile(h, 1.0), Some(4.0));
+        // Empty histogram has no quantiles.
+        let empty = m.histogram("none", &[1.0]);
+        assert_eq!(m.histogram_quantile(empty, 0.5), None);
     }
 
     #[test]

@@ -143,13 +143,25 @@ impl Samples {
 
     /// Records one observation.
     ///
+    /// The sort cache used by [`Samples::percentile`] survives
+    /// monotone appends: recording a value no smaller than the current
+    /// maximum of an already-sorted set keeps the set sorted, so
+    /// percentile queries interleaved with in-order inserts never
+    /// re-sort.
+    ///
     /// # Panics
     ///
     /// Panics if `value` is not finite.
     pub fn record(&mut self, value: f64) {
         assert!(value.is_finite(), "cannot record non-finite value {value}");
+        if self.sorted {
+            if let Some(&last) = self.values.last() {
+                if value < last {
+                    self.sorted = false;
+                }
+            }
+        }
         self.values.push(value);
-        self.sorted = false;
     }
 
     /// Number of observations.
@@ -381,6 +393,35 @@ mod tests {
         let mut s = Samples::new();
         assert_eq!(s.percentile(50.0), None);
         assert_eq!(s.mean(), None);
+    }
+
+    #[test]
+    fn percentile_sort_cache_survives_monotone_appends() {
+        // Out-of-order inserts dirty the cache; the first percentile
+        // query sorts once.
+        let mut s = Samples::new();
+        s.record(3.0);
+        s.record(1.0);
+        assert!(!s.sorted);
+        assert_eq!(s.percentile(50.0), Some(1.0));
+        assert!(s.sorted);
+
+        // In-order appends (>= current max) must not invalidate it...
+        s.record(3.0);
+        s.record(7.0);
+        assert!(s.sorted, "monotone append re-dirtied the sort cache");
+        assert_eq!(s.percentile(100.0), Some(7.0));
+
+        // ...while an out-of-order append must, and the next query
+        // must still be correct.
+        s.record(2.0);
+        assert!(!s.sorted);
+        assert_eq!(s.percentile(0.0), Some(1.0));
+        // Sorted view is now [1, 2, 3, 3, 7]; nearest-rank p50 is the
+        // 3rd element.
+        assert_eq!(s.percentile(50.0), Some(3.0));
+        let sorted_view = s.values();
+        assert!(sorted_view.windows(2).all(|w| w[0] <= w[1]));
     }
 
     #[test]

@@ -207,6 +207,27 @@ pub enum TraceEvent {
         /// `"prewarm"`).
         action: &'static str,
     },
+    /// The orchestrator requested power-on for a gated worker — the
+    /// causal anchor that starts a wake/boot span before the worker's
+    /// `Booting` state change lands.
+    WakeRequested {
+        /// Worker being powered on.
+        worker: usize,
+        /// Why the wake was requested (`"dispatch"`, `"requeue"`,
+        /// `"prewarm"`).
+        reason: &'static str,
+    },
+    /// A finished job's response left the worker for the orchestrator —
+    /// the causal anchor separating platform overhead from network
+    /// response time inside a job's span.
+    ResponseSent {
+        /// Job id.
+        job: u64,
+        /// Function name label.
+        function: &'static str,
+        /// Worker sending the response.
+        worker: usize,
+    },
 }
 
 impl TraceEvent {
@@ -228,6 +249,31 @@ impl TraceEvent {
             TraceEvent::JobFailed { .. } => "job_failed",
             TraceEvent::PlacementDecision { .. } => "placement_decision",
             TraceEvent::GovernorTransition { .. } => "governor_transition",
+            TraceEvent::WakeRequested { .. } => "wake_requested",
+            TraceEvent::ResponseSent { .. } => "response_sent",
+        }
+    }
+
+    /// The job id this event is about, if it concerns a specific job.
+    /// Used by span derivation and the CLI `--job` trace filter.
+    pub fn job_id(&self) -> Option<u64> {
+        match *self {
+            TraceEvent::JobEnqueued { job, .. }
+            | TraceEvent::JobStarted { job, .. }
+            | TraceEvent::JobCompleted { job, .. }
+            | TraceEvent::JobTimedOut { job, .. }
+            | TraceEvent::JobRequeued { job, .. }
+            | TraceEvent::JobRetryScheduled { job, .. }
+            | TraceEvent::JobShed { job, .. }
+            | TraceEvent::JobFailed { job, .. }
+            | TraceEvent::PlacementDecision { job, .. }
+            | TraceEvent::ResponseSent { job, .. } => Some(job),
+            TraceEvent::WorkerStateChange { .. }
+            | TraceEvent::PowerSample { .. }
+            | TraceEvent::NetTransfer { .. }
+            | TraceEvent::FaultInjected { .. }
+            | TraceEvent::GovernorTransition { .. }
+            | TraceEvent::WakeRequested { .. } => None,
         }
     }
 }
@@ -364,6 +410,19 @@ impl TraceRecord {
             }
             TraceEvent::GovernorTransition { worker, action } => {
                 let _ = write!(out, ",\"worker\":{worker},\"action\":\"{action}\"");
+            }
+            TraceEvent::WakeRequested { worker, reason } => {
+                let _ = write!(out, ",\"worker\":{worker},\"reason\":\"{reason}\"");
+            }
+            TraceEvent::ResponseSent {
+                job,
+                function,
+                worker,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"job\":{job},\"function\":\"{function}\",\"worker\":{worker}"
+                );
             }
         }
         out.push('}');
@@ -713,6 +772,15 @@ mod tests {
                 worker: 4,
                 action: "standby",
             },
+            TraceEvent::WakeRequested {
+                worker: 5,
+                reason: "dispatch",
+            },
+            TraceEvent::ResponseSent {
+                job: 12,
+                function: "MatMul",
+                worker: 5,
+            },
         ];
         let mut buffer = TraceBuffer::new(events.len());
         for (i, &event) in events.iter().enumerate() {
@@ -761,6 +829,50 @@ mod tests {
             .unwrap()
             .to_json();
         assert!(gov.contains("\"action\":\"standby\""), "{gov}");
+        // And the causal span anchors.
+        let wake = buffer
+            .iter()
+            .find(|r| r.event.kind() == "wake_requested")
+            .unwrap()
+            .to_json();
+        assert!(wake.contains("\"reason\":\"dispatch\""), "{wake}");
+        let sent = buffer
+            .iter()
+            .find(|r| r.event.kind() == "response_sent")
+            .unwrap()
+            .to_json();
+        assert!(sent.contains("\"job\":12"), "{sent}");
+        assert!(sent.contains("\"worker\":5"), "{sent}");
+    }
+
+    #[test]
+    fn job_id_extraction_covers_job_scoped_events() {
+        assert_eq!(enqueue(7).job_id(), Some(7));
+        assert_eq!(
+            TraceEvent::ResponseSent {
+                job: 3,
+                function: "AES128",
+                worker: 1,
+            }
+            .job_id(),
+            Some(3)
+        );
+        assert_eq!(
+            TraceEvent::WakeRequested {
+                worker: 0,
+                reason: "prewarm",
+            }
+            .job_id(),
+            None
+        );
+        assert_eq!(
+            TraceEvent::PowerSample {
+                worker: 0,
+                watts: 1.0,
+            }
+            .job_id(),
+            None
+        );
     }
 
     #[test]
