@@ -30,6 +30,34 @@ echo "$out" | grep -q "faults injected:   0" && {
 echo "$out" | grep -q "accounted:         34 of 34 submitted" || {
     echo "faulted run lost jobs"; exit 1; }
 
+echo "==> every docs/*.md handbook must be doctested"
+for doc in docs/*.md; do
+    grep -q "include_str!(\"../../../$doc\")" crates/cli/src/lib.rs || {
+        echo "$doc has no doctest hook in crates/cli/src/lib.rs"; exit 1; }
+done
+cargo test -q --doc -p microfaas-cli
+
+echo "==> event-queue differential equivalence (tests/queue_equiv.rs)"
+cargo test -q -p microfaas-sim --test queue_equiv
+
+echo "==> event-queue throughput floor (cancel mix >= 4.2 Melem/s pre-rewrite baseline)"
+bench_out="$(cargo bench -p microfaas-bench --bench core_scale 2>/dev/null)"
+echo "$bench_out"
+rate="$(echo "$bench_out" | grep "wheel_cancel_timeout_mix/10000 " \
+    | sed -n 's/.*(\([0-9.]*\) Melem\/s).*/\1/p')"
+[ -n "$rate" ] || { echo "core_scale bench printed no cancel-mix rate"; exit 1; }
+awk -v r="$rate" 'BEGIN { exit !(r >= 4.2) }' || {
+    echo "cancel-mix throughput $rate Melem/s fell below the 4.2 Melem/s floor"; exit 1; }
+
+echo "==> BENCH_core_scale.json is valid and names the core_scale bench"
+python3 -c "
+import json
+with open('BENCH_core_scale.json') as f:
+    record = json.load(f)
+assert record['bench'] == 'core_scale', record['bench']
+assert record['ten_million_job_recipe']['completed'] == 10_000_000
+"
+
 echo "==> serial/parallel determinism parity (tests/parallel_exec.rs)"
 cargo test -q --test parallel_exec
 

@@ -10,7 +10,10 @@ use microfaas::experiment::{
     policy_sweep_jobs, vm_sweep_jobs,
 };
 use microfaas::micro::{run_microfaas_with, MicroFaasConfig};
-use microfaas::openloop::{run_open_loop, ArrivalProcess, OpenLoopConfig, SchedulerPolicy};
+use microfaas::openloop::{
+    run_open_loop, run_open_loop_streaming, ArrivalProcess, NullSink, OpenLoopConfig,
+    SchedulerPolicy,
+};
 use microfaas::report::PhaseColumns;
 use microfaas::timeline::Timeline;
 use microfaas::{FaultsConfig, Jitter};
@@ -90,6 +93,9 @@ SUBCOMMANDS
                      --policy work-conserving|random|least-loaded|jsq|warm-first|power-aware
                      --governor reboot-per-job|keep-alive|always-on|warm-pool
                      --duration-secs N (default 600)  --workers N  --seed S
+                     --jobs-per-tick N (fixed batch each second instead of Poisson)
+                     --streaming (O(1)-memory results path for million-job runs;
+                       see docs/SCALING.md)
   sched            placement x governor sweep with latency-energy Pareto front
                      --rate F (jobs/s, default 0.1 — sparse load, where the
                        warm governors trade energy for latency)
@@ -376,6 +382,8 @@ fn openloop(args: &Args) -> Result<(), ParseArgsError> {
         "duration-secs",
         "workers",
         "seed",
+        "streaming",
+        "jobs-per-tick",
     ])?;
     let rate = args.get_or("rate", 1.0f64)?;
     if rate <= 0.0 {
@@ -391,19 +399,41 @@ fn openloop(args: &Args) -> Result<(), ParseArgsError> {
         .unwrap_or("reboot-per-job")
         .parse()
         .map_err(|e: microfaas_sched::PolicyParseError| ParseArgsError(e.to_string()))?;
+    // --jobs-per-tick switches to the paper's literal fixed-batch
+    // arrivals; with it, batch x duration pins the exact job count —
+    // how the 10M-job capacity recipe in docs/SCALING.md is phrased.
+    let arrival = match args.get_str("jobs-per-tick") {
+        Some(_) => {
+            let jobs_per_tick = args.get_or("jobs-per-tick", 0usize)?;
+            if jobs_per_tick == 0 {
+                return Err(ParseArgsError(
+                    "--jobs-per-tick must be positive".to_string(),
+                ));
+            }
+            ArrivalProcess::EverySecond { jobs_per_tick }
+        }
+        None => ArrivalProcess::Poisson { per_second: rate },
+    };
     let config = OpenLoopConfig {
         workers: args.get_or("workers", 10usize)?,
         seed: args.get_or("seed", 2022u64)?,
         duration: SimDuration::from_secs(args.get_or("duration-secs", 600u64)?),
-        arrival: ArrivalProcess::Poisson { per_second: rate },
+        arrival,
         scheduler,
         governor,
         jitter: Jitter::default_run_to_run(),
         functions: FunctionId::ALL.to_vec(),
         faults: FaultsConfig::none(),
     };
-    let run = run_open_loop(&config);
+    let run = if args.has("streaming") {
+        run_open_loop_streaming(&config, &mut NullSink)
+    } else {
+        run_open_loop(&config)
+    };
     println!("policy:           {scheduler} / {governor}");
+    if args.has("streaming") {
+        println!("results path:     streaming (O(1)-memory aggregates)");
+    }
     println!("completed:        {}", run.completed);
     println!("mean latency:     {:.2} s", run.mean_latency_s);
     println!("p95 latency:      {:.2} s", run.p95_latency_s);
@@ -1043,6 +1073,22 @@ mod tests {
             "keep-alive",
         ])
         .expect("runs with new policies");
+    }
+
+    #[test]
+    fn openloop_streaming_and_batch_flags() {
+        assert!(run(&["openloop", "--jobs-per-tick", "0"]).is_err());
+        run(&[
+            "openloop",
+            "--streaming",
+            "--jobs-per-tick",
+            "2",
+            "--duration-secs",
+            "60",
+            "--governor",
+            "keep-alive",
+        ])
+        .expect("streaming batch run");
     }
 
     #[test]

@@ -39,3 +39,17 @@ mod scheduling_docs {}
 #[cfg(doctest)]
 #[doc = include_str!("../../../docs/TRACING.md")]
 mod tracing_docs {}
+
+/// Compiles and runs every Rust sample in `docs/PERFORMANCE.md` as a
+/// doctest, so the parallel-engine handbook can never drift from the
+/// `microfaas_sim::exec` APIs it documents.
+#[cfg(doctest)]
+#[doc = include_str!("../../../docs/PERFORMANCE.md")]
+mod performance_docs {}
+
+/// Compiles and runs every Rust sample in `docs/SCALING.md` as a
+/// doctest, so the million-event scaling handbook can never drift from
+/// the timing-wheel, job-table, and streaming-run APIs it documents.
+#[cfg(doctest)]
+#[doc = include_str!("../../../docs/SCALING.md")]
+mod scaling_docs {}

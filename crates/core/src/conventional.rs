@@ -22,7 +22,7 @@ use microfaas_workloads::calibration::{service_time, WorkerPlatform};
 use microfaas_workloads::FunctionId;
 
 use crate::config::{Assignment, Jitter, WorkloadMix};
-use crate::job::{Dispatcher, Job, JobRecord};
+use crate::job::{Dispatcher, Job, JobRecord, JobTable};
 use crate::micro::{publish_run_gauges, SchedMetrics, EXEC_BUCKETS, OVERHEAD_BUCKETS};
 use crate::netmap::ClusterNet;
 use crate::recovery::{priority_of, FaultRuntime, FaultsConfig, Priority};
@@ -232,7 +232,7 @@ struct ConvSim<'a, 'b> {
     /// The pending RebootDone per VM, cancelled if a crash interrupts
     /// the reboot window.
     boot_pending: Vec<Option<EventId>>,
-    records: Vec<JobRecord>,
+    records: JobTable,
     last_completion: SimTime,
     fr: FaultRuntime,
     handles: Option<ConvMetrics>,
@@ -338,7 +338,7 @@ impl<'a, 'b> ConvSim<'a, 'b> {
             dispatcher,
             in_flight: (0..config.vms).map(|_| None).collect(),
             boot_pending: vec![None; config.vms],
-            records: Vec::with_capacity(config.mix.total_jobs() as usize),
+            records: JobTable::with_capacity(config.mix.total_jobs() as usize),
             last_completion: SimTime::ZERO,
             fr,
             handles,

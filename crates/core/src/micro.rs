@@ -32,7 +32,7 @@ use microfaas_workloads::calibration::{service_time, WorkerPlatform};
 use microfaas_workloads::FunctionId;
 
 use crate::config::{Assignment, Jitter, WorkloadMix};
-use crate::job::{Dispatcher, Job, JobRecord};
+use crate::job::{Dispatcher, Job, JobRecord, JobTable};
 use crate::netmap::ClusterNet;
 use crate::recovery::{priority_of, FaultRuntime, FaultsConfig, Priority};
 use crate::registry::FunctionRegistry;
@@ -300,7 +300,7 @@ struct MicroSim<'a, 'b> {
     /// The pending PowerEffective/BootDone event per worker, cancelled
     /// when a crash interrupts the boot.
     boot_pending: Vec<Option<EventId>>,
-    records: Vec<JobRecord>,
+    records: JobTable,
     last_completion: SimTime,
     fr: FaultRuntime,
     handles: Option<MicroMetrics>,
@@ -420,7 +420,7 @@ impl<'a, 'b> MicroSim<'a, 'b> {
             dispatcher,
             in_flight: (0..config.workers).map(|_| None).collect(),
             boot_pending: vec![None; config.workers],
-            records: Vec::with_capacity(config.mix.total_jobs() as usize),
+            records: JobTable::with_capacity(config.mix.total_jobs() as usize),
             last_completion: SimTime::ZERO,
             fr,
             handles,

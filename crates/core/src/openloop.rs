@@ -25,8 +25,8 @@ use microfaas_sched::{DrainAction, GovernorKind, NodeView, PlacementKind, Policy
 use microfaas_sim::faults::FaultKind;
 use microfaas_sim::trace::{Observer, TraceEvent, WorkerState};
 use microfaas_sim::{
-    CounterId, EventId, EventQueue, HistogramId, MetricsRegistry, Rng, Samples, SimDuration,
-    SimTime, TimeWeighted,
+    CounterId, EventId, EventQueue, HistogramId, MetricsRegistry, OnlineStats, QuantileSketch, Rng,
+    Samples, SimDuration, SimTime, TimeWeighted,
 };
 use microfaas_workloads::calibration::{service_time, WorkerPlatform};
 use microfaas_workloads::FunctionId;
@@ -131,6 +131,108 @@ pub struct OpenLoopRun {
     pub power_cycles: u64,
     /// Scheduled crashes that actually landed on an executing node.
     pub faults_injected: u64,
+}
+
+/// Relative error of the streaming path's p95 estimate — the
+/// [`QuantileSketch`] guarantee. The streaming mean is exact (Welford),
+/// so only the quantile carries this tolerance.
+pub const STREAMING_QUANTILE_EPSILON: f64 = 0.01;
+
+/// One completed invocation, offered to a [`RunSink`] the instant the
+/// job finishes. This is the streaming path's per-job record: a small
+/// `Copy` value built on the stack, never stored by the engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Completion {
+    /// Arrival ordinal (1-based), the job id used in trace events.
+    pub job: u64,
+    /// The function that ran.
+    pub function: FunctionId,
+    /// Worker that executed the invocation.
+    pub worker: usize,
+    /// When the invocation arrived at the orchestration plane.
+    pub arrived: SimTime,
+    /// When the invocation completed (response plus lumped overhead).
+    pub finished: SimTime,
+    /// Execution time on the worker — excludes queueing, boot, and
+    /// overhead.
+    pub exec: SimDuration,
+}
+
+impl Completion {
+    /// End-to-end latency (arrival → completion), seconds.
+    pub fn latency_s(&self) -> f64 {
+        self.finished.duration_since(self.arrived).as_secs_f64()
+    }
+}
+
+/// Streaming observer of per-job completions, for callers that want
+/// per-job data from a [`run_open_loop_streaming`] run without the
+/// engine materializing it: custom histograms, CSV writers, online
+/// SLO monitors. Called in completion order, which is simulation-time
+/// order.
+pub trait RunSink {
+    /// Called exactly once per completed invocation.
+    fn on_completion(&mut self, completion: &Completion);
+}
+
+/// The sink that drops every observation — the streaming run then
+/// holds only O(workers) state regardless of job count.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl RunSink for NullSink {
+    fn on_completion(&mut self, _completion: &Completion) {}
+}
+
+/// How the event loop folds per-job latencies into the run's two
+/// latency aggregates. The exact impl ([`Samples`]) materializes every
+/// observation; the streaming impl folds online in O(1) memory.
+trait LatencyAccum {
+    fn record(&mut self, seconds: f64);
+    /// `(mean, p95)` in seconds; `0.0` when nothing completed.
+    fn finish(&mut self) -> (f64, f64);
+}
+
+impl LatencyAccum for Samples {
+    fn record(&mut self, seconds: f64) {
+        Samples::record(self, seconds);
+    }
+
+    fn finish(&mut self) -> (f64, f64) {
+        (
+            self.mean().unwrap_or(0.0),
+            self.percentile(95.0).unwrap_or(0.0),
+        )
+    }
+}
+
+/// O(1)-memory accumulator: Welford mean plus a DDSketch-style p95.
+struct StreamingLatency {
+    stats: OnlineStats,
+    sketch: QuantileSketch,
+}
+
+impl StreamingLatency {
+    fn new() -> Self {
+        StreamingLatency {
+            stats: OnlineStats::new(),
+            sketch: QuantileSketch::with_relative_error(STREAMING_QUANTILE_EPSILON),
+        }
+    }
+}
+
+impl LatencyAccum for StreamingLatency {
+    fn record(&mut self, seconds: f64) {
+        self.stats.record(seconds);
+        self.sketch.record(seconds);
+    }
+
+    fn finish(&mut self) -> (f64, f64) {
+        if self.stats.count() == 0 {
+            return (0.0, 0.0);
+        }
+        (self.stats.mean(), self.sketch.quantile(95.0).unwrap_or(0.0))
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -247,6 +349,58 @@ pub fn run_open_loop(config: &OpenLoopConfig) -> OpenLoopRun {
 /// assert_eq!(completions, run.completed);
 /// ```
 pub fn run_open_loop_with(config: &OpenLoopConfig, observer: &mut Observer<'_>) -> OpenLoopRun {
+    run_open_loop_core(config, observer, Samples::new(), &mut NullSink)
+}
+
+/// Runs the open-loop simulation on the **streaming** results path:
+/// per-job latencies fold into O(1)-memory online aggregates (a Welford
+/// mean plus a DDSketch-style quantile sketch for p95, within
+/// [`STREAMING_QUANTILE_EPSILON`] relative error) instead of a
+/// materialized per-job vector, and every completion is offered to
+/// `sink` the instant it happens. Everything else — arrivals, RNG
+/// draws, placement, power accounting — is the same event loop as
+/// [`run_open_loop`], so `completed`, `mean_power_w`, `power_cycles`,
+/// and the rest agree exactly; only the two latency aggregates differ
+/// (the mean at f64 rounding, the p95 within the sketch's guarantee).
+///
+/// This is the entry point for million-job capacity runs — memory
+/// stays bounded by fleet size and in-flight backlog, not completed-job
+/// count. Pass [`NullSink`] to drop per-job observations entirely, or
+/// a custom [`RunSink`] to fold them yourself. See `docs/SCALING.md`
+/// for the 10M-job recipe.
+///
+/// # Examples
+///
+/// ```
+/// use microfaas::openloop::{run_open_loop, run_open_loop_streaming, NullSink, OpenLoopConfig};
+/// use microfaas_sim::SimDuration;
+///
+/// let config = OpenLoopConfig::paper_arrangement(2, SimDuration::from_secs(30), 42);
+/// let exact = run_open_loop(&config);
+/// let streamed = run_open_loop_streaming(&config, &mut NullSink);
+/// assert_eq!(streamed.completed, exact.completed);
+/// assert_eq!(streamed.mean_power_w, exact.mean_power_w);
+/// assert_eq!(streamed.power_cycles, exact.power_cycles);
+/// ```
+///
+/// # Panics
+///
+/// As [`run_open_loop`].
+pub fn run_open_loop_streaming<S: RunSink>(config: &OpenLoopConfig, sink: &mut S) -> OpenLoopRun {
+    run_open_loop_core(
+        config,
+        &mut Observer::disabled(),
+        StreamingLatency::new(),
+        sink,
+    )
+}
+
+fn run_open_loop_core<L: LatencyAccum, S: RunSink>(
+    config: &OpenLoopConfig,
+    observer: &mut Observer<'_>,
+    mut latencies: L,
+    sink: &mut S,
+) -> OpenLoopRun {
     assert!(config.workers > 0, "cluster needs at least one worker");
     assert!(!config.functions.is_empty(), "need at least one function");
     if let ArrivalProcess::Poisson { per_second } = config.arrival {
@@ -271,6 +425,10 @@ pub fn run_open_loop_with(config: &OpenLoopConfig, observer: &mut Observer<'_>) 
         None
     };
     let mut views: Vec<NodeView> = Vec::with_capacity(config.workers);
+    // Governors that never read the booted-idle census (every one but
+    // WarmPool) let the drain and idle-gate paths skip their O(workers)
+    // fleet scans — the placeholder they get instead is ignored.
+    let wants_census = policy.wants_idle_census();
 
     let mut rng = Rng::new(config.seed);
     let mut queue: EventQueue<Event> = EventQueue::new();
@@ -291,7 +449,6 @@ pub fn run_open_loop_with(config: &OpenLoopConfig, observer: &mut Observer<'_>) 
         .collect();
 
     let mut powered_on = TimeWeighted::new(SimTime::ZERO, 0.0);
-    let mut latencies = Samples::new();
     let mut completed: u64 = 0;
     let mut arrived: u64 = 0;
     let mut faults_injected: u64 = 0;
@@ -335,9 +492,18 @@ pub fn run_open_loop_with(config: &OpenLoopConfig, observer: &mut Observer<'_>) 
                     }
                     // Rate tracking for WarmPool (a no-op elsewhere).
                     policy.observe_arrival(now);
-                    views.clear();
-                    views.extend(workers.iter().map(Worker::view));
-                    let w = policy.place(&views, &mut rng);
+                    let w = if config.scheduler == PlacementKind::RandomStatic {
+                        // O(1) placement: RandomStatic draws exactly one
+                        // uniform index over the full fleet and never
+                        // reads the views, so building them is pure
+                        // overhead. Same RNG site, same draw —
+                        // bit-identical to routing through the engine.
+                        rng.index(config.workers)
+                    } else {
+                        views.clear();
+                        views.extend(workers.iter().map(Worker::view));
+                        policy.place(&views, &mut rng)
+                    };
                     if sched_active {
                         observer.emit(
                             now,
@@ -510,6 +676,14 @@ pub fn run_open_loop_with(config: &OpenLoopConfig, observer: &mut Observer<'_>) 
                 completed += 1;
                 let latency = now.duration_since(job.arrived);
                 latencies.record(latency.as_secs_f64());
+                sink.on_completion(&Completion {
+                    job: job.id,
+                    function: job.function,
+                    worker: w,
+                    arrived: job.arrived,
+                    finished: now,
+                    exec,
+                });
                 observer.emit(
                     now,
                     TraceEvent::JobCompleted {
@@ -529,10 +703,14 @@ pub fn run_open_loop_with(config: &OpenLoopConfig, observer: &mut Observer<'_>) 
                     // Queue drained: the governor picks the power regime.
                     // RebootPerJob (the default) always answers PowerOff,
                     // keeping the legacy gate-off path byte-identical.
-                    let warm_idle = 1 + workers
-                        .iter()
-                        .filter(|x| x.node.state() == SbcState::Idle)
-                        .count();
+                    let warm_idle = if wants_census {
+                        1 + workers
+                            .iter()
+                            .filter(|x| x.node.state() == SbcState::Idle)
+                            .count()
+                    } else {
+                        1 // never read — the census scan is skipped
+                    };
                     match policy.on_drain(now, warm_idle) {
                         DrainAction::PowerOff => {
                             workers[w]
@@ -698,10 +876,14 @@ pub fn run_open_loop_with(config: &OpenLoopConfig, observer: &mut Observer<'_>) 
                 if workers[w].node.state() != SbcState::Idle {
                     continue;
                 }
-                let warm_idle = workers
-                    .iter()
-                    .filter(|x| x.node.state() == SbcState::Idle)
-                    .count();
+                let warm_idle = if wants_census {
+                    workers
+                        .iter()
+                        .filter(|x| x.node.state() == SbcState::Idle)
+                        .count()
+                } else {
+                    0 // never read — the census scan is skipped
+                };
                 if policy.gate_on_idle_expiry(now, warm_idle) {
                     workers[w].node.power_off(now).expect("node was idle");
                     powered_on.add(now, -1.0);
@@ -738,10 +920,11 @@ pub fn run_open_loop_with(config: &OpenLoopConfig, observer: &mut Observer<'_>) 
 
     let end = queue.now().max(horizon);
     let report = meter.report(end, completed);
+    let (mean_latency_s, p95_latency_s) = latencies.finish();
     let run = OpenLoopRun {
         completed,
-        mean_latency_s: latencies.mean().unwrap_or(0.0),
-        p95_latency_s: latencies.percentile(95.0).unwrap_or(0.0),
+        mean_latency_s,
+        p95_latency_s,
         mean_power_w: report.average_watts,
         joules_per_function: report.joules_per_function().unwrap_or(f64::NAN),
         mean_powered_on: powered_on.time_average(end),
@@ -1325,6 +1508,96 @@ mod tests {
             assert_eq!(a.mean_latency_s, b.mean_latency_s, "{governor:?}");
             assert_eq!(a.power_cycles, b.power_cycles, "{governor:?}");
         }
+    }
+
+    /// Folds completions into counts so the tests can check the sink
+    /// contract without materializing anything.
+    struct CountingSink {
+        completions: u64,
+        last_finished: SimTime,
+        monotonic: bool,
+        max_latency_s: f64,
+    }
+
+    impl CountingSink {
+        fn new() -> Self {
+            CountingSink {
+                completions: 0,
+                last_finished: SimTime::ZERO,
+                monotonic: true,
+                max_latency_s: 0.0,
+            }
+        }
+    }
+
+    impl RunSink for CountingSink {
+        fn on_completion(&mut self, completion: &Completion) {
+            self.completions += 1;
+            if completion.finished < self.last_finished {
+                self.monotonic = false;
+            }
+            self.last_finished = completion.finished;
+            self.max_latency_s = self.max_latency_s.max(completion.latency_s());
+        }
+    }
+
+    #[test]
+    fn streaming_matches_exact_aggregates() {
+        for governor in GovernorKind::ALL {
+            let cfg = governed(1.0, governor, 41);
+            let exact = run_open_loop(&cfg);
+            let streamed = run_open_loop_streaming(&cfg, &mut NullSink);
+            assert_eq!(streamed.completed, exact.completed, "{governor:?}");
+            assert_eq!(streamed.mean_power_w, exact.mean_power_w, "{governor:?}");
+            assert_eq!(streamed.power_cycles, exact.power_cycles, "{governor:?}");
+            assert_eq!(
+                streamed.joules_per_function, exact.joules_per_function,
+                "{governor:?}"
+            );
+            // Latency aggregates are the only approximate fields: the
+            // Welford mean differs from sum/len at rounding, the p95
+            // within the sketch's relative-error guarantee.
+            let mean_err = (streamed.mean_latency_s / exact.mean_latency_s - 1.0).abs();
+            assert!(mean_err < 1e-9, "{governor:?}: mean err {mean_err:e}");
+            let p95_err = (streamed.p95_latency_s / exact.p95_latency_s - 1.0).abs();
+            assert!(
+                p95_err < 2.5 * STREAMING_QUANTILE_EPSILON,
+                "{governor:?}: p95 {:.4} vs exact {:.4}",
+                streamed.p95_latency_s,
+                exact.p95_latency_s
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_sink_sees_every_completion_in_time_order() {
+        let cfg = config(
+            ArrivalProcess::Poisson { per_second: 1.5 },
+            SchedulerPolicy::LeastLoaded,
+            17,
+        );
+        let mut sink = CountingSink::new();
+        let run = run_open_loop_streaming(&cfg, &mut sink);
+        assert_eq!(sink.completions, run.completed);
+        assert!(sink.monotonic, "completions must arrive in time order");
+        assert!(sink.max_latency_s >= run.p95_latency_s);
+    }
+
+    #[test]
+    fn streaming_is_deterministic_per_seed() {
+        let cfg = governed(
+            0.5,
+            GovernorKind::KeepAlive {
+                idle_timeout: DEFAULT_KEEP_ALIVE_TIMEOUT,
+            },
+            19,
+        );
+        let a = run_open_loop_streaming(&cfg, &mut NullSink);
+        let b = run_open_loop_streaming(&cfg, &mut NullSink);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.mean_latency_s, b.mean_latency_s);
+        assert_eq!(a.p95_latency_s, b.p95_latency_s);
+        assert_eq!(a.mean_power_w, b.mean_power_w);
     }
 
     #[test]

@@ -9,7 +9,7 @@ use microfaas_sim::span::{JobSpan, Phase};
 use microfaas_sim::SimDuration;
 use microfaas_workloads::FunctionId;
 
-use crate::job::{aggregate, FunctionStats, Job, JobRecord};
+use crate::job::{aggregate, FunctionStats, Job, JobTable};
 
 /// Why an invocation did not complete.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,8 +66,9 @@ pub struct ClusterRun {
     pub energy: EnergyReport,
     /// Wall-clock span from the first event to the last completion.
     pub makespan: SimDuration,
-    /// Raw per-job records (successful invocations only).
-    pub records: Vec<JobRecord>,
+    /// Raw per-job records (successful invocations only), stored
+    /// column-wise — see [`JobTable`].
+    pub records: JobTable,
     /// Invocations that did not complete, each with a typed [`Outcome`].
     pub dropped: Vec<DroppedJob>,
     /// Fault-injection and recovery counters (all zero without a plan).
@@ -330,11 +331,12 @@ impl fmt::Display for ClusterRun {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::job::Job;
+    use crate::job::{Job, JobRecord};
     use microfaas_sim::SimTime;
 
     fn run_with(records: Vec<JobRecord>, makespan_secs: u64, joules: f64) -> ClusterRun {
         let n = records.len() as u64;
+        let records: JobTable = records.into_iter().collect();
         ClusterRun {
             label: "test".to_string(),
             workers: 2,

@@ -186,6 +186,18 @@ pub trait Governor {
     fn warm_target(&self) -> usize {
         0
     }
+
+    /// Whether [`Governor::on_drain`] / [`Governor::gate_on_idle_expiry`]
+    /// actually read their `warm_idle` argument. Counting booted-idle
+    /// workers costs the engine an O(workers) fleet scan per drain, so
+    /// governors that ignore the census (every one but
+    /// [`GovernorKind::WarmPool`]) return `false` here and the engine
+    /// skips the scan — the difference between O(1) and O(workers) per
+    /// job on the million-event streaming path. Defaults to `true`: a
+    /// new governor gets a correct census until it opts out.
+    fn wants_idle_census(&self) -> bool {
+        true
+    }
 }
 
 struct RebootPerJobGovernor;
@@ -205,6 +217,10 @@ impl Governor for RebootPerJobGovernor {
 
     fn gate_on_idle_expiry(&mut self, _now: SimTime, _warm_idle: usize) -> bool {
         true
+    }
+
+    fn wants_idle_census(&self) -> bool {
+        false
     }
 }
 
@@ -232,6 +248,10 @@ impl Governor for KeepAliveGovernor {
     fn gate_on_idle_expiry(&mut self, _now: SimTime, _warm_idle: usize) -> bool {
         true
     }
+
+    fn wants_idle_census(&self) -> bool {
+        false
+    }
 }
 
 struct AlwaysOnGovernor;
@@ -250,6 +270,10 @@ impl Governor for AlwaysOnGovernor {
     }
 
     fn gate_on_idle_expiry(&mut self, _now: SimTime, _warm_idle: usize) -> bool {
+        false
+    }
+
+    fn wants_idle_census(&self) -> bool {
         false
     }
 }

@@ -156,6 +156,12 @@ impl PolicyEngine {
     pub fn warm_target(&self, workers: usize) -> usize {
         self.governor.warm_target().min(workers)
     }
+
+    /// See [`Governor::wants_idle_census`]. When `false`, the engine may
+    /// pass any placeholder as `warm_idle` — the governor never reads it.
+    pub fn wants_idle_census(&self) -> bool {
+        self.governor.wants_idle_census()
+    }
 }
 
 impl std::fmt::Debug for PolicyEngine {

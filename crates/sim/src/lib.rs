@@ -6,13 +6,16 @@
 //! The crate provides four small building blocks:
 //!
 //! * [`SimTime`] / [`SimDuration`] — microsecond-resolution simulated time;
-//! * [`EventQueue`] — a deterministic event queue with FIFO tie-breaking
-//!   and cancellation;
+//! * [`EventQueue`] — a deterministic event queue (hierarchical timing
+//!   wheel with a far-future overflow heap) with O(1) amortized
+//!   schedule/pop/cancel, FIFO tie-breaking, and cancellation — see
+//!   `docs/SCALING.md`;
 //! * [`Rng`] / [`SplitMix64`] — reproducible pseudo-random generators
 //!   implemented in-crate so the stream can never change underneath us;
-//! * [`OnlineStats`], [`Samples`], [`TimeWeighted`] — measurement helpers,
-//!   including the time-weighted integrator that turns power (watts) into
-//!   energy (joules).
+//! * [`OnlineStats`], [`Samples`], [`QuantileSketch`], [`TimeWeighted`] —
+//!   measurement helpers, including the time-weighted integrator that
+//!   turns power (watts) into energy (joules) and the relative-error
+//!   quantile sketch behind the streaming results path.
 //!
 //! Two observability modules ride on top of the kernel (see
 //! `docs/OBSERVABILITY.md` at the repository root):
@@ -76,7 +79,7 @@ pub mod chrome;
 pub mod exec;
 pub mod faults;
 pub mod metrics;
-mod queue;
+pub mod queue;
 mod rng;
 pub mod span;
 mod stats;
@@ -90,6 +93,6 @@ pub use metrics::{CounterId, GaugeId, HistogramId, MetricsRegistry};
 pub use queue::{EventId, EventQueue};
 pub use rng::{Rng, SplitMix64};
 pub use span::{CriticalPath, JobSpan, LifecycleSpan, Phase, PhaseStats, SpanTree};
-pub use stats::{OnlineStats, Samples, TimeWeighted};
+pub use stats::{OnlineStats, QuantileSketch, Samples, TimeWeighted};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Endpoint, Observer, TraceBuffer, TraceEvent, TraceRecord, TraceSink, WorkerState};

@@ -4,16 +4,56 @@
 //! defines its own event enum. Events scheduled for the same instant are
 //! delivered in scheduling order (FIFO tie-break by sequence number), which
 //! keeps runs deterministic.
+//!
+//! # Implementation: hierarchical timing wheel
+//!
+//! The queue is a hashed hierarchical timing wheel (the structure behind
+//! kernel timers and tokio's timer driver), not a binary heap. Each of the
+//! [`DEFAULT_LEVELS`] levels has 64 slots and resolves six more bits of
+//! the microsecond timestamp than the level below, so the default wheel
+//! spans `2^36` µs ≈ 19.1 simulated hours ahead of the current anchor.
+//! A `u64` occupancy bitmap per level makes "find the earliest slot" a
+//! single `trailing_zeros`. Events beyond the wheel's horizon wait in a
+//! small overflow [`BinaryHeap`] and migrate into the wheel as simulated
+//! time approaches them.
+//!
+//! Cost model (see `docs/SCALING.md` for the full analysis):
+//!
+//! * `schedule` — O(1): one XOR + `leading_zeros` to pick the slot, one
+//!   `VecDeque::push_back`.
+//! * `pop` — O(1) amortized: an event cascades down at most
+//!   `levels − 1` times over its whole lifetime.
+//! * `cancel` — O(1): sets a bit in a sequence-indexed tombstone bitmap
+//!   (no hashing), and the event is reclaimed lazily when its slot drains.
+//!
+//! Within a level-0 slot every entry shares the *same* timestamp, so the
+//! slot's `VecDeque` order is exactly sequence order and FIFO tie-breaking
+//! falls out of `push_back`/`pop_front` with no comparisons at all.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-use std::collections::HashSet;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::time::{SimDuration, SimTime};
 
 /// Identifies a scheduled event so it can be cancelled before it fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventId(u64);
+
+/// Bits of timestamp resolved per wheel level; each level has `2^6 = 64`
+/// slots so one `u64` bitmap tracks slot occupancy.
+const SLOT_BITS: u32 = 6;
+
+/// Slots per wheel level.
+const SLOTS: usize = 1 << SLOT_BITS;
+
+/// Default number of wheel levels. Six levels × six bits = 36 bits of
+/// microseconds ≈ 19.1 hours of horizon before events spill to the
+/// overflow heap — comfortably past every workload in the repo (the
+/// longest TCO horizons are simulated analytically, not event by event).
+pub const DEFAULT_LEVELS: u32 = 6;
+
+/// Maximum supported wheel depth (`10 × 6 = 60` bits ≈ 36 557 years).
+pub const MAX_LEVELS: u32 = 10;
 
 #[derive(Debug)]
 struct Entry<E> {
@@ -23,7 +63,8 @@ struct Entry<E> {
 }
 
 // Order entries so that the *earliest* time (and, within a time, the
-// lowest sequence number) is the greatest element of the max-heap.
+// lowest sequence number) is the greatest element of the overflow
+// max-heap.
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         other
@@ -63,8 +104,36 @@ impl<E> Eq for Entry<E> {}
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
-    cancelled: HashSet<u64>,
+    /// `levels × 64` slot queues, flattened (`level * SLOTS + slot`).
+    slots: Vec<VecDeque<Entry<E>>>,
+    /// One occupancy bitmap per level; bit `s` set iff slot `s` is
+    /// non-empty.
+    occupied: Vec<u64>,
+    /// Number of wheel levels (the granularity knob; see
+    /// [`Self::with_levels`]).
+    levels: u32,
+    /// `2^(6·levels)` µs — events at or beyond `anchor + span` overflow.
+    span: u64,
+    /// Far-future events that do not fit the wheel yet, min-ordered by
+    /// `(time, seq)`.
+    overflow: BinaryHeap<Entry<E>>,
+    /// One-entry fast path: when present, holds the global minimum by
+    /// `(time, seq)` — strictly earlier than everything in the wheel and
+    /// overflow. Serial event chains (schedule an event, pop it next,
+    /// repeat — the dominant sparse cluster-sim shape) flow through this
+    /// buffer without ever touching a wheel slot.
+    front: Option<Entry<E>>,
+    /// Tombstone bitmap indexed by sequence number (bit set = cancelled).
+    cancelled: Vec<u64>,
+    /// Number of set bits in `cancelled` not yet reclaimed.
+    tombstones: usize,
+    /// Entries physically present in the wheel plus the overflow heap
+    /// (including not-yet-reclaimed cancelled ones).
+    stored: usize,
+    /// The wheel's reference time in µs. Invariant between public calls:
+    /// `anchor ≤ now`, and every stored entry satisfies
+    /// `time ≥ anchor` with wheel entries within `anchor ^ time < span`.
+    anchor: u64,
     next_seq: u64,
     now: SimTime,
 }
@@ -75,10 +144,12 @@ impl<E> EventQueue<E> {
         Self::with_capacity(0)
     }
 
-    /// Creates an empty queue with room for `capacity` pending events
-    /// before the backing heap reallocates. Simulators that know their
-    /// peak outstanding-event count (roughly jobs in flight plus a few
-    /// timers per worker) use this to keep the hot loop allocation-free.
+    /// Creates an empty queue sized for `capacity` pending events.
+    /// Simulators that know their peak outstanding-event count (roughly
+    /// jobs in flight plus a few timers per worker) use this to keep the
+    /// hot loop allocation-free: the hint pre-sizes the tombstone bitmap
+    /// and the overflow heap, while wheel slots grow lazily on first use
+    /// and are reused (their buffers are never freed) thereafter.
     ///
     /// # Examples
     ///
@@ -90,12 +161,68 @@ impl<E> EventQueue<E> {
     /// assert_eq!(q.len(), 1);
     /// ```
     pub fn with_capacity(capacity: usize) -> Self {
+        let mut q = Self::with_levels(DEFAULT_LEVELS);
+        q.reserve(capacity);
+        q
+    }
+
+    /// Creates an empty queue with an explicit wheel depth — the
+    /// granularity knob. Each level resolves six bits of the microsecond
+    /// timestamp, so `levels` levels give a horizon of `2^(6·levels)` µs
+    /// past the current time before events spill to the overflow heap
+    /// (which stays correct but costs O(log n) per far-future event).
+    /// The default, [`DEFAULT_LEVELS`] = 6, spans ≈ 19.1 simulated hours.
+    ///
+    /// Shallower wheels save a little memory for very short simulations;
+    /// deeper wheels keep multi-day horizons entirely O(1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is 0 or greater than [`MAX_LEVELS`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use microfaas_sim::{EventQueue, SimDuration, SimTime};
+    ///
+    /// // A 2-level wheel spans 2^12 µs; this event lands in overflow
+    /// // first, then migrates into the wheel — delivery is unchanged.
+    /// let mut q = EventQueue::with_levels(2);
+    /// q.schedule(SimTime::from_secs(60), "far");
+    /// assert_eq!(q.pop(), Some((SimTime::from_secs(60), "far")));
+    /// ```
+    pub fn with_levels(levels: u32) -> Self {
+        assert!(
+            (1..=MAX_LEVELS).contains(&levels),
+            "wheel depth must be between 1 and {MAX_LEVELS} levels, got {levels}"
+        );
+        let mut slots = Vec::new();
+        slots.resize_with(levels as usize * SLOTS, VecDeque::new);
         EventQueue {
-            heap: BinaryHeap::with_capacity(capacity),
-            cancelled: HashSet::new(),
+            slots,
+            occupied: vec![0; levels as usize],
+            levels,
+            span: 1u64 << (SLOT_BITS * levels),
+            overflow: BinaryHeap::new(),
+            front: None,
+            cancelled: Vec::new(),
+            tombstones: 0,
+            stored: 0,
+            anchor: 0,
             next_seq: 0,
             now: SimTime::ZERO,
         }
+    }
+
+    /// Number of wheel levels (see [`Self::with_levels`]).
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// How far past the current time an event can be scheduled before it
+    /// spills to the overflow heap: `2^(6·levels)` µs.
+    pub fn horizon(&self) -> SimDuration {
+        SimDuration::from_micros(self.span)
     }
 
     /// The current simulated time — the timestamp of the last popped event.
@@ -116,11 +243,32 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry {
+        let entry = Entry {
             time: at,
             seq,
             event,
-        });
+        };
+        match &self.front {
+            // Strictly earlier than the buffered minimum (a time tie
+            // loses: the buffered entry has the lower sequence number):
+            // displace it into the wheel. Its timestamp is at or past
+            // the anchor, so it always fits. The displaced entry held
+            // the global minimum, so among pending events that share
+            // its timestamp it has the lowest sequence number — it must
+            // re-enter its slot at the *front*, ahead of any same-time
+            // entry already queued there, to keep FIFO tie order.
+            Some(min) if at < min.time => {
+                let displaced = self.front.replace(entry).expect("front was just matched");
+                self.place_displaced(displaced);
+            }
+            Some(_) => self.place(entry),
+            // Nothing pending at all: the new event is trivially the
+            // minimum. (With a non-empty wheel we cannot know the
+            // minimum without cascading, so the entry goes to a slot.)
+            None if self.stored == 0 => self.front = Some(entry),
+            None => self.place(entry),
+        }
+        self.stored += 1;
         EventId(seq)
     }
 
@@ -135,53 +283,324 @@ impl<E> EventQueue<E> {
         if id.0 >= self.next_seq {
             return false;
         }
-        self.cancelled.insert(id.0)
+        let word = (id.0 / 64) as usize;
+        if word >= self.cancelled.len() {
+            self.cancelled.resize(word + 1, 0);
+        }
+        let mask = 1u64 << (id.0 % 64);
+        if self.cancelled[word] & mask != 0 {
+            return false;
+        }
+        self.cancelled[word] |= mask;
+        self.tombstones += 1;
+        true
     }
 
     /// Removes and returns the next event, advancing the clock to its
     /// timestamp. Returns `None` when the queue is exhausted.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(entry) = self.heap.pop() {
-            // Fast path: most runs cancel nothing (or have already
-            // drained their cancellations), so skip the hash lookup
-            // entirely when the tombstone set is empty.
-            if !self.cancelled.is_empty() && self.cancelled.remove(&entry.seq) {
-                continue;
+        loop {
+            // The front buffer, when occupied, holds the global minimum.
+            if let Some(entry) = self.front.take() {
+                self.stored -= 1;
+                if self.tombstones != 0 && self.is_cancelled(entry.seq) {
+                    self.clear_tombstone(entry.seq);
+                    continue;
+                }
+                self.now = entry.time;
+                return Some((entry.time, entry.event));
             }
-            self.now = entry.time;
-            return Some((entry.time, entry.event));
+            if self.stored == 0 {
+                // Re-anchor the (empty) wheel at the observable clock so
+                // future `schedule(at ≥ now)` calls land in the finest
+                // levels again.
+                self.anchor = self.now.as_micros();
+                return None;
+            }
+            if self.occupied[0] != 0 {
+                let slot = self.occupied[0].trailing_zeros() as usize;
+                let queue = &mut self.slots[slot];
+                let entry = queue.pop_front().expect("occupied level-0 slot is empty");
+                if queue.is_empty() {
+                    self.occupied[0] &= !(1u64 << slot);
+                }
+                self.stored -= 1;
+                // Fast path: most runs cancel nothing (or have already
+                // drained their cancellations), so skip the bitmap probe
+                // entirely when no tombstones are outstanding.
+                if self.tombstones != 0 && self.is_cancelled(entry.seq) {
+                    self.clear_tombstone(entry.seq);
+                    continue;
+                }
+                self.now = entry.time;
+                self.anchor = entry.time.as_micros();
+                return Some((entry.time, entry.event));
+            }
+            self.cascade();
         }
-        None
     }
 
     /// Returns the timestamp of the next (non-cancelled) event without
     /// removing it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        while let Some(entry) = self.heap.peek() {
-            if !self.cancelled.is_empty() && self.cancelled.contains(&entry.seq) {
-                let seq = entry.seq;
-                self.heap.pop();
-                self.cancelled.remove(&seq);
+        // The front buffer holds the minimum when present; reclaim it if
+        // it was cancelled (mirroring the old heap's peek, which
+        // discarded cancelled heads) and fall through to the wheel.
+        if let Some(entry) = &self.front {
+            if self.tombstones == 0 || !self.is_cancelled(entry.seq) {
+                return Some(entry.time);
+            }
+            let entry = self.front.take().expect("front was just matched");
+            self.stored -= 1;
+            self.clear_tombstone(entry.seq);
+        }
+        // Level 0: reclaim tombstoned slot heads (cheap, and mirrors the
+        // old heap's peek, which discarded cancelled heads), then report
+        // the earliest occupied slot. Level-0 slots hold a single
+        // timestamp each, so the lowest occupied bit is the minimum.
+        while self.occupied[0] != 0 {
+            let slot = self.occupied[0].trailing_zeros() as usize;
+            let Some(front) = self.slots[slot].front() else {
+                self.occupied[0] &= !(1u64 << slot);
+                continue;
+            };
+            let (seq, time) = (front.seq, front.time);
+            if self.tombstones != 0 && self.is_cancelled(seq) {
+                self.slots[slot].pop_front();
+                self.stored -= 1;
+                self.clear_tombstone(seq);
+                if self.slots[slot].is_empty() {
+                    self.occupied[0] &= !(1u64 << slot);
+                }
                 continue;
             }
-            return Some(entry.time);
+            return Some(time);
+        }
+        // Higher levels: scan the earliest occupied slot for its minimum
+        // live time. No cascading here — peeking must not advance the
+        // wheel anchor, or a later legal `schedule(at ≥ now)` could fall
+        // behind it.
+        for level in 1..self.levels as usize {
+            let mut occ = self.occupied[level];
+            while occ != 0 {
+                let slot = occ.trailing_zeros() as usize;
+                occ &= !(1u64 << slot);
+                let mut best: Option<SimTime> = None;
+                for entry in &self.slots[level * SLOTS + slot] {
+                    if self.tombstones != 0 && self.is_cancelled(entry.seq) {
+                        continue;
+                    }
+                    if best.is_none_or(|b| entry.time < b) {
+                        best = Some(entry.time);
+                    }
+                }
+                if best.is_some() {
+                    return best;
+                }
+                // Slot is entirely tombstones; `pop` reclaims it later.
+            }
+        }
+        // Overflow: discard cancelled heads exactly like the old heap.
+        while let Some(head) = self.overflow.peek() {
+            let (seq, time) = (head.seq, head.time);
+            if self.tombstones != 0 && self.is_cancelled(seq) {
+                self.overflow.pop();
+                self.stored -= 1;
+                self.clear_tombstone(seq);
+                continue;
+            }
+            return Some(time);
         }
         None
     }
 
-    /// Reserves room for at least `additional` more pending events.
+    /// Reserves room for at least `additional` more pending events
+    /// (pre-sizes the tombstone bitmap and overflow heap; see
+    /// [`Self::with_capacity`]).
     pub fn reserve(&mut self, additional: usize) {
-        self.heap.reserve(additional);
+        let target_words = (self.next_seq as usize + additional).div_ceil(64);
+        if target_words > self.cancelled.capacity() {
+            self.cancelled.reserve(target_words - self.cancelled.len());
+        }
+        self.overflow.reserve(additional.min(SLOTS));
     }
 
     /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.stored - self.tombstones
     }
 
     /// Returns true if no events are pending.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Inserts an entry into the wheel slot for its timestamp, or into
+    /// the overflow heap when it lies past the horizon. Does not touch
+    /// `stored`; callers account for it.
+    ///
+    /// Slot queues stay sequence-ordered within each timestamp because
+    /// every caller appends in ascending sequence order: `schedule`
+    /// only places fresh (highest-seq) entries here, cascades re-place
+    /// a drained slot in its preserved order, and overflow refills pop
+    /// the heap in `(time, seq)` order. The one entry that may re-enter
+    /// *behind* same-time events already queued — a displaced front
+    /// buffer — goes through [`Self::place_displaced`] instead.
+    #[inline]
+    fn place(&mut self, entry: Entry<E>) {
+        let t = entry.time.as_micros();
+        debug_assert!(t >= self.anchor, "entry behind the wheel anchor");
+        let diff = t ^ self.anchor;
+        if diff >= self.span {
+            self.overflow.push(entry);
+            return;
+        }
+        let (level, slot) = self.level_and_slot(t, diff);
+        self.slots[level * SLOTS + slot].push_back(entry);
+        self.occupied[level] |= 1u64 << slot;
+    }
+
+    /// Re-inserts a displaced front-buffer entry. It was the global
+    /// minimum, so its sequence number is the lowest among pending
+    /// events sharing its timestamp — it must sit *ahead* of any
+    /// same-time entry already in the slot, or a later pop (or a
+    /// cascade min-scan, which takes the first entry at the minimum
+    /// timestamp) would break FIFO tie order.
+    fn place_displaced(&mut self, entry: Entry<E>) {
+        let t = entry.time.as_micros();
+        debug_assert!(t >= self.anchor, "entry behind the wheel anchor");
+        let diff = t ^ self.anchor;
+        if diff >= self.span {
+            // The overflow heap orders by `(time, seq)` on its own.
+            self.overflow.push(entry);
+            return;
+        }
+        let (level, slot) = self.level_and_slot(t, diff);
+        self.slots[level * SLOTS + slot].push_front(entry);
+        self.occupied[level] |= 1u64 << slot;
+    }
+
+    /// Maps a timestamp to its wheel coordinates. Highest differing bit
+    /// picks the level; the timestamp's digit at that level picks the
+    /// slot. `diff == 0` (scheduling exactly at the anchor) lands in
+    /// level 0's current slot.
+    #[inline]
+    fn level_and_slot(&self, t: u64, diff: u64) -> (usize, usize) {
+        let level = if diff == 0 {
+            0
+        } else {
+            ((63 - diff.leading_zeros()) / SLOT_BITS) as usize
+        };
+        let slot = ((t >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+        (level, slot)
+    }
+
+    /// Advances the wheel anchor to the next occupied window and
+    /// redistributes its entries into finer levels. Called by `pop` when
+    /// level 0 is empty but events remain. Each entry moves at most
+    /// `levels − 1` times over its lifetime, so `pop` stays O(1)
+    /// amortized.
+    fn cascade(&mut self) {
+        for level in 1..self.levels as usize {
+            if self.occupied[level] == 0 {
+                continue;
+            }
+            let slot = self.occupied[level].trailing_zeros() as usize;
+            self.occupied[level] &= !(1u64 << slot);
+            let idx = level * SLOTS + slot;
+            if self.slots[idx].len() == 1 {
+                // Sparse-queue fast path: a lone entry in the earliest
+                // occupied window IS the global minimum, so it goes
+                // straight to the front buffer without the drain/min-scan
+                // machinery below. Cluster sims with a handful of
+                // in-flight timers hit this on most cascades.
+                let entry = self.slots[idx].pop_front().expect("occupied slot is empty");
+                self.anchor = entry.time.as_micros();
+                if self.tombstones != 0 && self.is_cancelled(entry.seq) {
+                    self.clear_tombstone(entry.seq);
+                    self.stored -= 1;
+                } else {
+                    self.front = Some(entry);
+                }
+                return;
+            }
+            let mut drained = std::mem::take(&mut self.slots[idx]);
+            // Jump the anchor to the earliest timestamp in the drained
+            // slot, not merely the window start: a lone far-future timer
+            // then lands directly in level 0 instead of cascading once
+            // per level, which keeps sparse queues (a handful of
+            // in-flight timers, the common cluster-sim shape) cheap.
+            // This is sound because the drained slot is the earliest
+            // occupied window, so its minimum bounds every pending
+            // event; and only bits below this level's range change, so
+            // every other slot's (level, digit) assignment — and the
+            // overflow horizon, which lives in bits ≥ 6·levels — is
+            // unaffected.
+            self.anchor = drained
+                .iter()
+                .map(|entry| entry.time.as_micros())
+                .min()
+                .expect("occupied slot is empty");
+            // The first live entry at the minimum timestamp is the global
+            // minimum (this was the earliest occupied window, and equal
+            // times sit in sequence order), so it can go straight to the
+            // front buffer — empty here, since only `pop` cascades and it
+            // drains the buffer first — rather than round-tripping
+            // through a level-0 slot.
+            let mut front_filled = false;
+            for entry in drained.drain(..) {
+                // Reclaim tombstones here instead of re-placing them, so a
+                // cancelled event is touched at most once after its
+                // cancellation — this is what keeps cancel-heavy runs
+                // (exec + cancelled timeout) fast.
+                if self.tombstones != 0 && self.is_cancelled(entry.seq) {
+                    self.clear_tombstone(entry.seq);
+                    self.stored -= 1;
+                    continue;
+                }
+                if !front_filled && entry.time.as_micros() == self.anchor {
+                    self.front = Some(entry);
+                    front_filled = true;
+                    continue;
+                }
+                self.place(entry);
+            }
+            // Give the (empty) buffer back so the slot never reallocates.
+            self.slots[idx] = drained;
+            return;
+        }
+        // The wheel is empty: jump the anchor to the earliest overflow
+        // event and migrate everything that now fits the horizon. Heap
+        // order is (time, seq), so equal-timestamp entries arrive in
+        // sequence order and FIFO tie-breaking is preserved.
+        let head = self
+            .overflow
+            .peek()
+            .expect("events stored but wheel and overflow are both empty");
+        self.anchor = head.time.as_micros();
+        while let Some(head) = self.overflow.peek() {
+            if head.time.as_micros() ^ self.anchor >= self.span {
+                break;
+            }
+            let entry = self.overflow.pop().expect("peeked entry vanished");
+            if self.tombstones != 0 && self.is_cancelled(entry.seq) {
+                self.clear_tombstone(entry.seq);
+                self.stored -= 1;
+                continue;
+            }
+            self.place(entry);
+        }
+    }
+
+    fn is_cancelled(&self, seq: u64) -> bool {
+        self.cancelled
+            .get((seq / 64) as usize)
+            .is_some_and(|word| word & (1u64 << (seq % 64)) != 0)
+    }
+
+    fn clear_tombstone(&mut self, seq: u64) {
+        self.cancelled[(seq / 64) as usize] &= !(1u64 << (seq % 64));
+        self.tombstones -= 1;
     }
 }
 
@@ -287,5 +706,80 @@ mod tests {
         q.pop();
         q.schedule_in(SimDuration::from_secs(5), "second");
         assert_eq!(q.pop().map(|(t, _)| t), Some(SimTime::from_secs(15)));
+    }
+
+    #[test]
+    fn far_future_events_overflow_and_return() {
+        // Beyond the 2^36 µs default horizon: lives in the overflow heap
+        // until the wheel catches up.
+        let mut q = EventQueue::new();
+        let far = SimTime::from_micros(1 << 40);
+        q.schedule(far, "far");
+        q.schedule(SimTime::from_millis(1), "near");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some((SimTime::from_millis(1), "near")));
+        assert_eq!(q.peek_time(), Some(far));
+        assert_eq!(q.pop(), Some((far, "far")));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn overflow_ties_still_break_fifo() {
+        let mut q = EventQueue::with_levels(2);
+        let t = SimTime::from_secs(3600);
+        for i in 0..8 {
+            q.schedule(t, i);
+        }
+        // Interleave a near event so the overflow drain happens mid-run.
+        q.schedule(SimTime::from_millis(1), 100);
+        assert_eq!(q.pop(), Some((SimTime::from_millis(1), 100)));
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn schedule_after_empty_pop_reanchors() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(7), "first");
+        q.pop();
+        assert!(q.pop().is_none());
+        // The wheel must accept anything at or after the observable clock.
+        q.schedule(SimTime::from_secs(7), "again");
+        assert_eq!(q.pop(), Some((SimTime::from_secs(7), "again")));
+    }
+
+    #[test]
+    fn peek_does_not_disturb_schedulability() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(2), "first");
+        q.pop();
+        q.schedule(SimTime::from_secs(3600), "later");
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(3600)));
+        // Peeking must not advance the wheel: scheduling between now and
+        // the peeked time stays legal and is delivered first.
+        q.schedule(SimTime::from_secs(10), "soon");
+        assert_eq!(q.pop(), Some((SimTime::from_secs(10), "soon")));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(3600), "later")));
+    }
+
+    #[test]
+    fn deep_and_shallow_wheels_agree() {
+        for levels in [1, 2, 6, MAX_LEVELS] {
+            let mut q = EventQueue::with_levels(levels);
+            assert_eq!(q.levels(), levels);
+            assert_eq!(q.horizon().as_micros(), 1u64 << (6 * levels));
+            let times = [0u64, 63, 64, 4095, 4096, 1 << 20, (1 << 36) + 5];
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_micros(t), i);
+            }
+            let order: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            assert_eq!(order, (0..times.len()).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wheel depth")]
+    fn zero_level_wheel_is_rejected() {
+        let _ = EventQueue::<()>::with_levels(0);
     }
 }

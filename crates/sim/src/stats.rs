@@ -224,6 +224,141 @@ impl FromIterator<f64> for Samples {
     }
 }
 
+/// A streaming quantile estimator with bounded relative error and O(1)
+/// memory — the log-bucketed histogram behind the simulator's
+/// streaming results path (the DDSketch idea).
+///
+/// Values map to geometric buckets `γ^i ≤ v < γ^(i+1)` where
+/// `γ = (1+ε)/(1−ε)`; a quantile query walks the cumulative counts and
+/// returns the matched bucket's midpoint, which is within `ε` relative
+/// error of the exact nearest-rank answer. A day-long run's latencies
+/// (µs to hours, nine decades) fit in ~2100 buckets at ε = 1%, so
+/// memory stays constant no matter how many observations stream
+/// through — this is what lets a 10M-job open-loop run report p95
+/// without materializing a per-job vector (see `docs/SCALING.md`).
+///
+/// Recording and querying are fully deterministic: same observations,
+/// same answers, on every platform.
+///
+/// # Examples
+///
+/// ```
+/// use microfaas_sim::QuantileSketch;
+///
+/// let mut sketch = QuantileSketch::with_relative_error(0.01);
+/// for v in 1..=1000 {
+///     sketch.record(f64::from(v));
+/// }
+/// let p95 = sketch.quantile(95.0).expect("non-empty");
+/// assert!((p95 / 950.0 - 1.0).abs() <= 0.01, "±1% of exact: {p95}");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileSketch {
+    /// Bucket growth factor `(1+ε)/(1−ε)`.
+    gamma: f64,
+    /// `1 / ln γ`, cached for the bucket-index computation.
+    inv_log_gamma: f64,
+    /// Geometric bucket counts, keyed by `floor(ln v / ln γ)`. A
+    /// `BTreeMap` keeps quantile walks in value order with no sort.
+    counts: std::collections::BTreeMap<i32, u64>,
+    /// Exact zeros (no logarithm to take).
+    zeros: u64,
+    total: u64,
+}
+
+impl QuantileSketch {
+    /// Creates a sketch whose quantile answers are within `epsilon`
+    /// relative error of exact (`0 < epsilon < 1`; 0.01 is the usual
+    /// choice).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is outside `(0, 1)`.
+    pub fn with_relative_error(epsilon: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon < 1.0,
+            "relative error must be in (0, 1), got {epsilon}"
+        );
+        let gamma = (1.0 + epsilon) / (1.0 - epsilon);
+        QuantileSketch {
+            gamma,
+            inv_log_gamma: 1.0 / gamma.ln(),
+            counts: std::collections::BTreeMap::new(),
+            zeros: 0,
+            total: 0,
+        }
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is negative or not finite.
+    pub fn record(&mut self, value: f64) {
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "sketch values must be finite and non-negative, got {value}"
+        );
+        self.total += 1;
+        if value == 0.0 {
+            self.zeros += 1;
+            return;
+        }
+        let index = (value.ln() * self.inv_log_gamma).floor() as i32;
+        *self.counts.entry(index).or_insert(0) += 1;
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// The `p`-th percentile (nearest-rank over buckets), within the
+    /// configured relative error of the exact answer. `None` if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn quantile(&self, p: f64) -> Option<f64> {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        if rank <= self.zeros {
+            return Some(0.0);
+        }
+        let mut seen = self.zeros;
+        for (&index, &count) in &self.counts {
+            seen += count;
+            if seen >= rank {
+                // Midpoint of [γ^i, γ^(i+1)): within ε of any value
+                // that hashed into the bucket.
+                let low = self.gamma.powi(index);
+                return Some(low * (1.0 + self.gamma) / 2.0);
+            }
+        }
+        unreachable!("cumulative bucket counts must reach the total");
+    }
+
+    /// Merges another sketch into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sketches were built with different `epsilon`.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        assert!(
+            self.gamma == other.gamma,
+            "cannot merge sketches with different relative errors"
+        );
+        for (&index, &count) in &other.counts {
+            *self.counts.entry(index).or_insert(0) += count;
+        }
+        self.zeros += other.zeros;
+        self.total += other.total;
+    }
+}
+
 /// A piecewise-constant value tracked over simulated time, with exact
 /// integration — used to turn a power trace (watts) into energy (joules).
 ///
@@ -455,5 +590,63 @@ mod tests {
     #[should_panic(expected = "non-finite")]
     fn recording_nan_panics() {
         OnlineStats::new().record(f64::NAN);
+    }
+
+    #[test]
+    fn sketch_tracks_exact_percentiles_within_relative_error() {
+        let mut sketch = QuantileSketch::with_relative_error(0.01);
+        let mut exact = Samples::new();
+        // A spread resembling latencies: three decades, skewed tail.
+        for i in 1..=10_000u32 {
+            let v = f64::from(i).sqrt() * 0.37 + f64::from(i % 97) * 0.01;
+            sketch.record(v);
+            exact.record(v);
+        }
+        assert_eq!(sketch.count(), 10_000);
+        for p in [10.0, 50.0, 90.0, 95.0, 99.0, 99.9] {
+            let approx = sketch.quantile(p).expect("non-empty");
+            let truth = exact.percentile(p).expect("non-empty");
+            assert!(
+                (approx / truth - 1.0).abs() <= 0.011,
+                "p{p}: sketch {approx} vs exact {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn sketch_handles_zeros_and_empty() {
+        let mut sketch = QuantileSketch::with_relative_error(0.05);
+        assert_eq!(sketch.quantile(50.0), None);
+        sketch.record(0.0);
+        sketch.record(0.0);
+        sketch.record(8.0);
+        assert_eq!(sketch.quantile(50.0), Some(0.0));
+        let p100 = sketch.quantile(100.0).expect("non-empty");
+        assert!((p100 / 8.0 - 1.0).abs() <= 0.05);
+    }
+
+    #[test]
+    fn sketch_merge_matches_sequential() {
+        let values: Vec<f64> = (1..500).map(|i| f64::from(i) * 0.013).collect();
+        let mut combined = QuantileSketch::with_relative_error(0.01);
+        for &v in &values {
+            combined.record(v);
+        }
+        let mut left = QuantileSketch::with_relative_error(0.01);
+        let mut right = QuantileSketch::with_relative_error(0.01);
+        for &v in &values[..200] {
+            left.record(v);
+        }
+        for &v in &values[200..] {
+            right.record(v);
+        }
+        left.merge(&right);
+        assert_eq!(left, combined, "merge is exact on bucket counts");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn sketch_rejects_negative_values() {
+        QuantileSketch::with_relative_error(0.01).record(-1.0);
     }
 }

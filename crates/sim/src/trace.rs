@@ -280,6 +280,12 @@ impl TraceEvent {
 
 /// A [`TraceEvent`] stamped with its global sequence number and the
 /// simulated instant it occurred.
+///
+/// Records are fixed-size `Copy` values: every payload field is a
+/// scalar or a `&'static str` label, so emitting one is a plain store
+/// into the ring buffer's preallocated backing — no per-event heap
+/// allocation anywhere on the hot path. JSON rendering happens only at
+/// export time ([`TraceRecord::to_json`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceRecord {
     /// Zero-based position in the run's full event stream (stable even
@@ -290,6 +296,15 @@ pub struct TraceRecord {
     /// The event itself.
     pub event: TraceEvent,
 }
+
+// Compile-time pins on the packed record layout. Every event in a
+// million-event ring costs `size_of::<TraceRecord>()` bytes, so a new
+// variant (or a fattened payload) that grows the enum past the pin
+// fails the build here instead of silently inflating every buffer by
+// `capacity` bytes per added word. 72 B keeps the default 1 Mi-record
+// CLI ring at 72 MiB; see docs/SCALING.md.
+const _: () = assert!(std::mem::size_of::<TraceEvent>() <= 56);
+const _: () = assert!(std::mem::size_of::<TraceRecord>() <= 72);
 
 impl TraceRecord {
     /// Renders the record as one JSON object (no trailing newline).

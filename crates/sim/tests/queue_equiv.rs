@@ -1,0 +1,274 @@
+//! Differential test: the hierarchical timing wheel behind
+//! [`EventQueue`] against a straightforward reference model (a sorted
+//! list with tombstones). Random interleavings of schedule / pop /
+//! cancel — including same-tick ties and delays far past the wheel's
+//! horizon (which land in the overflow heap) — must produce the exact
+//! pop order the reference produces, at every wheel depth.
+//!
+//! A 1M-event smoke test then pins the streaming property: pushing a
+//! million events through the wheel in waves reuses the same slots, so
+//! live occupancy (and therefore memory) stays bounded by the wave
+//! size, not the event count.
+
+use microfaas_sim::queue::{EventQueue, DEFAULT_LEVELS, MAX_LEVELS};
+use microfaas_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// One step of the differential drive, with knobs chosen so shrunk
+/// failures stay readable.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Schedule at `now + delay_us`. Zero delays create same-tick ties;
+    /// large delays overshoot shallow wheels into the overflow heap.
+    Schedule { delay_us: u64 },
+    /// Pop the earliest live event from both sides and compare.
+    Pop,
+    /// Cancel the `k`-th issued id (mod the issued count) when it is
+    /// still live; both sides must remove exactly that event.
+    Cancel { k: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        // Dense same-tick ties.
+        (0u64..4).prop_map(|delay_us| Op::Schedule { delay_us }),
+        // In-horizon spread for shallow wheels.
+        (0u64..10_000).prop_map(|delay_us| Op::Schedule { delay_us }),
+        // Far future: past the horizon of every wheel under test with
+        // fewer than four levels (2^18 us), deep into overflow for
+        // one- and two-level wheels.
+        (1u64 << 14..1u64 << 22).prop_map(|delay_us| Op::Schedule { delay_us }),
+        Just(Op::Pop),
+        (0usize..64).prop_map(|k| Op::Cancel { k }),
+    ]
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Live,
+    Popped,
+    Cancelled,
+}
+
+/// The reference: every scheduled event kept in a Vec, popped by a
+/// linear scan for the minimum `(time, seq)`. Obviously correct,
+/// obviously slow — exactly what a reference model should be.
+///
+/// One contract subtlety it mirrors: only cancels of *live* (pending,
+/// never-cancelled) ids have a specified outcome. Cancelling a fired
+/// id, or re-cancelling one whose tombstone the queue has already
+/// reclaimed internally, is outside the contract — the legacy heap
+/// reclaimed tombstones lazily at pop, the wheel reclaims them eagerly
+/// during cascades, so the answer depends on internal timing in both.
+/// The simulators never hit either case: they clear their stored
+/// [`EventId`] the moment the event fires or is cancelled. The drive
+/// therefore cancels live ids only, where both implementations must
+/// say `true` and remove exactly that event.
+#[derive(Default)]
+struct ReferenceQueue {
+    /// `(time_us, seq, state)`
+    events: Vec<(u64, u64, State)>,
+    now_us: u64,
+}
+
+impl ReferenceQueue {
+    fn schedule(&mut self, at_us: u64) -> usize {
+        assert!(at_us >= self.now_us, "reference never schedules backwards");
+        let seq = self.events.len() as u64;
+        self.events.push((at_us, seq, State::Live));
+        self.events.len() - 1
+    }
+
+    fn state(&self, index: usize) -> State {
+        self.events[index].2
+    }
+
+    fn cancel(&mut self, index: usize) -> bool {
+        match self.events[index].2 {
+            State::Live => {
+                self.events[index].2 = State::Cancelled;
+                true
+            }
+            State::Cancelled | State::Popped => {
+                unreachable!("the drive only cancels live events")
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<(u64, u64)> {
+        let (index, &(time, seq, _)) = self
+            .events
+            .iter()
+            .enumerate()
+            .filter(|(_, &(_, _, state))| state == State::Live)
+            .min_by_key(|(_, &(time, seq, _))| (time, seq))?;
+        self.events[index].2 = State::Popped;
+        self.now_us = time;
+        Some((time, seq))
+    }
+
+    fn len(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|&&(_, _, state)| state == State::Live)
+            .count()
+    }
+}
+
+/// Drives one op sequence through a wheel of the given depth and the
+/// reference side by side. The event payload is the schedule ordinal,
+/// so pop equality checks both the timestamp *and* which event won a
+/// same-tick tie.
+fn drive(levels: u32, ops: &[Op]) -> Result<(), TestCaseError> {
+    let mut wheel: EventQueue<u64> = EventQueue::with_levels(levels);
+    let mut reference = ReferenceQueue::default();
+    // Parallel id stores: ids[i] on the wheel corresponds to ref index
+    // ref_ids[i] in the reference.
+    let mut ids = Vec::new();
+    let mut ref_ids = Vec::new();
+    let mut next_ordinal = 0u64;
+
+    for &op in ops {
+        match op {
+            Op::Schedule { delay_us } => {
+                let at = wheel.now() + SimDuration::from_micros(delay_us);
+                ids.push(wheel.schedule(at, next_ordinal));
+                ref_ids.push(reference.schedule(at.as_micros()));
+                next_ordinal += 1;
+            }
+            Op::Pop => {
+                let got = wheel.pop();
+                let want = reference.pop();
+                match (got, want) {
+                    (None, None) => {}
+                    (Some((at, ordinal)), Some((want_us, want_seq))) => {
+                        prop_assert_eq!(at.as_micros(), want_us, "pop time diverged");
+                        prop_assert_eq!(ordinal, want_seq, "same-tick tie order diverged");
+                    }
+                    (got, want) => {
+                        return Err(TestCaseError::fail(format!(
+                            "pop presence diverged: wheel {got:?} vs reference {want:?}"
+                        )));
+                    }
+                }
+            }
+            Op::Cancel { k } => {
+                if ids.is_empty() {
+                    continue;
+                }
+                let i = k % ids.len();
+                if reference.state(ref_ids[i]) != State::Live {
+                    // Cancelling a fired or already-cancelled id has no
+                    // specified outcome — see the ReferenceQueue docs.
+                    continue;
+                }
+                let got = wheel.cancel(ids[i]);
+                let want = reference.cancel(ref_ids[i]);
+                prop_assert_eq!(got, want, "cancel outcome diverged");
+                prop_assert!(got, "cancelling a live id must succeed");
+            }
+        }
+        prop_assert_eq!(wheel.len(), reference.len(), "live count diverged");
+    }
+
+    // Drain: whatever survives must come out in identical order.
+    loop {
+        match (wheel.pop(), reference.pop()) {
+            (None, None) => break,
+            (Some((at, ordinal)), Some((want_us, want_seq))) => {
+                prop_assert_eq!(at.as_micros(), want_us);
+                prop_assert_eq!(ordinal, want_seq);
+            }
+            (got, want) => {
+                return Err(TestCaseError::fail(format!(
+                    "drain diverged: wheel {got:?} vs reference {want:?}"
+                )));
+            }
+        }
+    }
+    prop_assert!(wheel.is_empty());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The full-depth wheel (every delay in-horizon) agrees with the
+    /// reference on every interleaving.
+    #[test]
+    fn wheel_matches_reference_at_default_depth(
+        ops in prop::collection::vec(op_strategy(), 1..250),
+    ) {
+        drive(DEFAULT_LEVELS, &ops)?;
+    }
+
+    /// Shallow wheels force the same sequences through the overflow
+    /// heap and its refill cascade; order must still match exactly.
+    #[test]
+    fn wheel_matches_reference_through_overflow(
+        ops in prop::collection::vec(op_strategy(), 1..250),
+        levels in 1u32..=4,
+    ) {
+        drive(levels, &ops)?;
+    }
+
+    /// The deepest wheel the API allows behaves like every other depth.
+    #[test]
+    fn wheel_matches_reference_at_max_depth(
+        ops in prop::collection::vec(op_strategy(), 1..150),
+    ) {
+        drive(MAX_LEVELS, &ops)?;
+    }
+}
+
+/// A million events in waves of 4096: the wheel recycles slots as time
+/// advances, so live occupancy never exceeds the wave size and the
+/// queue's stored backlog stays bounded — the property that lets the
+/// streaming results path run 10M-job simulations in O(in-flight)
+/// memory. Also exercises tombstone reclamation at volume: every third
+/// event is cancelled instead of popped.
+#[test]
+fn million_events_stream_through_bounded_occupancy() {
+    const TOTAL: u64 = 1_000_000;
+    const WAVE: u64 = 4096;
+
+    let mut queue: EventQueue<u64> = EventQueue::with_capacity(WAVE as usize);
+    let mut scheduled = 0u64;
+    let mut popped = 0u64;
+    let mut cancelled = 0u64;
+    let mut last = SimTime::ZERO;
+
+    while popped + cancelled < TOTAL {
+        while scheduled < TOTAL && queue.len() < WAVE as usize {
+            // Pseudo-random in-wave spread from a fixed LCG so the test
+            // is deterministic without an RNG dependency.
+            let jitter = scheduled.wrapping_mul(6_364_136_223_846_793_005) >> 52;
+            queue.schedule_in(SimDuration::from_micros(jitter), scheduled);
+            scheduled += 1;
+            if scheduled.is_multiple_of(3) {
+                let id = queue.schedule_in(SimDuration::from_micros(jitter + 1), u64::MAX);
+                assert!(queue.cancel(id), "fresh event must cancel");
+                cancelled += 1;
+                scheduled += 1;
+            }
+        }
+        // The wheel reports only live events, and the backlog can never
+        // exceed what the wave loop admitted.
+        assert!(
+            queue.len() <= WAVE as usize,
+            "live backlog exceeded the wave bound: {}",
+            queue.len()
+        );
+        let (at, _) = queue.pop().expect("wave is non-empty");
+        assert!(at >= last, "pops must be time-ordered");
+        last = at;
+        popped += 1;
+    }
+
+    while queue.pop().is_some() {
+        popped += 1;
+    }
+    assert_eq!(popped + cancelled, scheduled);
+    assert!(popped + cancelled >= TOTAL);
+    assert!(queue.is_empty());
+}
