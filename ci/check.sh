@@ -83,6 +83,27 @@ cmp "$tmpdir/sched_serial.csv" "$tmpdir/sched_parallel.csv" || {
 grep -q ",1$" "$tmpdir/sched_serial.csv" || {
     echo "policy sweep flagged no Pareto-front points"; exit 1; }
 
+echo "==> scenarios smoke: per-regime winners, --jobs 2 CSV byte-identical to --jobs 1"
+cat > "$tmpdir/scenarios.json" <<'EOF'
+{"scenarios": [
+  {"name": "spiky", "arrivals": "flash:0.2,60,60,2"},
+  {"name": "skewed", "arrivals": "poisson:0.5", "popularity": "zipf:1.1",
+   "tenants": [{"name": "paid", "weight": 1.0, "slo_latency_s": 5.0}]}
+]}
+EOF
+cargo run --release -q -p microfaas-cli -- scenarios \
+    --spec "$tmpdir/scenarios.json" --duration-secs 180 --workers 4 --seed 7 \
+    --jobs 1 --csv "$tmpdir/scenarios_serial.csv"
+cargo run --release -q -p microfaas-cli -- scenarios \
+    --spec "$tmpdir/scenarios.json" --duration-secs 180 --workers 4 --seed 7 \
+    --jobs 2 --csv "$tmpdir/scenarios_parallel.csv"
+cmp "$tmpdir/scenarios_serial.csv" "$tmpdir/scenarios_parallel.csv" || {
+    echo "parallel scenario sweep diverged from serial"; exit 1; }
+[ "$(grep -c ",1$" "$tmpdir/scenarios_serial.csv")" -eq 2 ] || {
+    echo "scenario sweep did not name exactly one winner per regime"; exit 1; }
+grep -q "^skewed," "$tmpdir/scenarios_serial.csv" || {
+    echo "scenario CSV missing a spec-file regime"; exit 1; }
+
 echo "==> analyze smoke: span derivation, phase-sum check, Perfetto round-trip"
 out="$(cargo run --release -q -p microfaas-cli -- analyze \
     --invocations 2 --seed 7 --perfetto "$tmpdir/spans.json")"

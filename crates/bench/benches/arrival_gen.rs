@@ -1,0 +1,100 @@
+//! Criterion micro-benchmarks of arrival-sequence generation: how fast
+//! each [`ArrivalProcess`] can emit gaps, and how fast the popularity
+//! [`FunctionPicker`] routes them. The million-event streaming runs in
+//! `docs/EXPERIMENTS.md` draw one gap + one pick per job, so these two
+//! loops bound the simulator's event-generation ceiling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use microfaas::arrivals::{ArrivalProcess, ArrivalState, FunctionPicker, Popularity};
+use microfaas_sim::{Rng, SimTime};
+use std::hint::black_box;
+
+const GAPS: u64 = 10_000;
+
+fn processes() -> Vec<(&'static str, ArrivalProcess)> {
+    vec![
+        ("poisson", ArrivalProcess::Poisson { per_second: 1.0 }),
+        (
+            "mmpp",
+            ArrivalProcess::Mmpp {
+                calm_per_second: 0.05,
+                burst_per_second: 2.0,
+                mean_calm_s: 240.0,
+                mean_burst_s: 30.0,
+            },
+        ),
+        (
+            "diurnal",
+            ArrivalProcess::Diurnal {
+                mean_per_second: 1.0,
+                relative_amplitude: 0.9,
+                period_s: 600.0,
+            },
+        ),
+        (
+            "flash-crowd",
+            ArrivalProcess::FlashCrowd {
+                base_per_second: 0.5,
+                spike_at_s: 300.0,
+                spike_duration_s: 120.0,
+                spike_per_second: 5.0,
+            },
+        ),
+    ]
+}
+
+fn bench_next_gap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arrival_next_gap");
+    group.throughput(Throughput::Elements(GAPS));
+    for (label, arrival) in processes() {
+        group.bench_with_input(
+            BenchmarkId::new("process", label),
+            &arrival,
+            |b, arrival| {
+                b.iter(|| {
+                    let mut rng = Rng::new(2022);
+                    let mut state = ArrivalState::default();
+                    let mut now = SimTime::ZERO;
+                    for _ in 0..GAPS {
+                        now += arrival.next_gap(now, &mut rng, &mut state);
+                    }
+                    black_box(now)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_function_pick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("function_pick");
+    group.throughput(Throughput::Elements(GAPS));
+    let skews = [
+        ("uniform", Popularity::Uniform),
+        ("zipf-1.1", Popularity::Zipf { exponent: 1.1 }),
+        (
+            "hot-cold",
+            Popularity::HotCold {
+                hot_functions: 2,
+                hot_share: 0.9,
+            },
+        ),
+    ];
+    for (label, popularity) in skews {
+        let picker = FunctionPicker::new(&popularity, 17);
+        group.bench_with_input(BenchmarkId::new("skew", label), &picker, |b, picker| {
+            b.iter(|| {
+                let mut rng = Rng::new(2022);
+                let mut acc = 0usize;
+                for _ in 0..GAPS {
+                    acc = acc.wrapping_add(picker.pick(black_box(&mut rng)));
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_next_gap, bench_function_pick);
+criterion_main!(benches);

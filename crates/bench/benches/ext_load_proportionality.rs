@@ -24,6 +24,8 @@ fn config(per_second: f64, scheduler: SchedulerPolicy) -> OpenLoopConfig {
         governor: microfaas_sched::GovernorKind::RebootPerJob,
         jitter: Jitter::default_run_to_run(),
         functions: FunctionId::ALL.to_vec(),
+        popularity: microfaas::Popularity::Uniform,
+        tenants: Vec::new(),
         faults: microfaas::FaultsConfig::none(),
     }
 }

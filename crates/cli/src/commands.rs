@@ -2,12 +2,13 @@
 
 use std::path::Path;
 
+use microfaas::arrivals::{Popularity, Scenario};
 use microfaas::config::WorkloadMix;
 use microfaas::conventional::{run_conventional_with, ConventionalConfig};
 use microfaas::experiment::{
     compare_suites_faulted_jobs, compare_suites_jobs, conventional_replicates,
     energy_proportionality, micro_replicates, microfaas_reference, policy_sweep_csv,
-    policy_sweep_jobs, vm_sweep_jobs,
+    policy_sweep_jobs, scenario_sweep_csv, scenario_sweep_jobs, vm_sweep_jobs,
 };
 use microfaas::micro::{run_microfaas_with, MicroFaasConfig};
 use microfaas::openloop::{
@@ -52,6 +53,7 @@ pub fn dispatch(args: &Args) -> Result<(), ParseArgsError> {
         "workloads" => workloads(args),
         "openloop" => openloop(args),
         "sched" => sched(args),
+        "scenarios" => scenarios(args),
         "reliability" => reliability(args),
         "timeline" => timeline(args),
         "scale" => scale(args),
@@ -94,6 +96,9 @@ SUBCOMMANDS
                      --governor reboot-per-job|keep-alive|always-on|warm-pool
                      --duration-secs N (default 600)  --workers N  --seed S
                      --jobs-per-tick N (fixed batch each second instead of Poisson)
+                     --arrivals SPEC (generative arrival model, e.g. mmpp:0.1,5,120,15
+                       or flash:10,3600,300,500 — see docs/WORKLOADS.md)
+                     --popularity SPEC (uniform | zipf:EXP | hot-cold:N,SHARE)
                      --streaming (O(1)-memory results path for million-job runs;
                        see docs/SCALING.md)
   sched            placement x governor sweep with latency-energy Pareto front
@@ -102,6 +107,13 @@ SUBCOMMANDS
                      --duration-secs N (default 1200)  --workers N (default 10)
                      --seed S (default 1)  --csv PATH (docs/EXPERIMENTS.md columns)
                      --jobs N (parallel sweep points; default: available cores)
+  scenarios        the sched cross product under every traffic regime, with a
+                   per-regime energy-delay-product winner (docs/WORKLOADS.md)
+                     --spec PATH (scenario JSON; default: the built-in
+                       steady/bursty/diurnal/flash-crowd/heavy-tail suite)
+                     --duration-secs N (default 1200)  --workers N (default 10)
+                     --seed S (default 1)  --csv PATH (docs/EXPERIMENTS.md columns)
+                     --jobs N (parallel runs; default: available cores)
   reliability      MTBF-driven fleet failure simulation
                      --seed S
   timeline         ASCII Gantt of worker activity for a small run
@@ -384,6 +396,8 @@ fn openloop(args: &Args) -> Result<(), ParseArgsError> {
         "seed",
         "streaming",
         "jobs-per-tick",
+        "arrivals",
+        "popularity",
     ])?;
     let rate = args.get_or("rate", 1.0f64)?;
     if rate <= 0.0 {
@@ -399,11 +413,18 @@ fn openloop(args: &Args) -> Result<(), ParseArgsError> {
         .unwrap_or("reboot-per-job")
         .parse()
         .map_err(|e: microfaas_sched::PolicyParseError| ParseArgsError(e.to_string()))?;
+    // --arrivals takes any generative-model spec (docs/WORKLOADS.md);
     // --jobs-per-tick switches to the paper's literal fixed-batch
     // arrivals; with it, batch x duration pins the exact job count —
     // how the 10M-job capacity recipe in docs/SCALING.md is phrased.
-    let arrival = match args.get_str("jobs-per-tick") {
-        Some(_) => {
+    let arrival = match (args.get_str("arrivals"), args.get_str("jobs-per-tick")) {
+        (Some(_), Some(_)) => {
+            return Err(ParseArgsError(
+                "--arrivals and --jobs-per-tick are mutually exclusive".to_string(),
+            ));
+        }
+        (Some(spec), None) => ArrivalProcess::parse(spec).map_err(ParseArgsError)?,
+        (None, Some(_)) => {
             let jobs_per_tick = args.get_or("jobs-per-tick", 0usize)?;
             if jobs_per_tick == 0 {
                 return Err(ParseArgsError(
@@ -412,7 +433,11 @@ fn openloop(args: &Args) -> Result<(), ParseArgsError> {
             }
             ArrivalProcess::EverySecond { jobs_per_tick }
         }
-        None => ArrivalProcess::Poisson { per_second: rate },
+        (None, None) => ArrivalProcess::Poisson { per_second: rate },
+    };
+    let popularity = match args.get_str("popularity") {
+        Some(spec) => Popularity::parse(spec).map_err(ParseArgsError)?,
+        None => Popularity::Uniform,
     };
     let config = OpenLoopConfig {
         workers: args.get_or("workers", 10usize)?,
@@ -423,6 +448,8 @@ fn openloop(args: &Args) -> Result<(), ParseArgsError> {
         governor,
         jitter: Jitter::default_run_to_run(),
         functions: FunctionId::ALL.to_vec(),
+        popularity,
+        tenants: Vec::new(),
         faults: FaultsConfig::none(),
     };
     let run = if args.has("streaming") {
@@ -496,6 +523,62 @@ fn sched(args: &Args) -> Result<(), ParseArgsError> {
         // The CSV is rendered by the library so --jobs N output is
         // byte-identical for every N (ci/check.sh compares them).
         write_text(path, &policy_sweep_csv(&points))?;
+    }
+    Ok(())
+}
+
+fn scenarios(args: &Args) -> Result<(), ParseArgsError> {
+    args.expect_only(&["spec", "duration-secs", "workers", "seed", "jobs", "csv"])?;
+    let suite = match args.get_str("spec") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| ParseArgsError(format!("cannot read {path}: {e}")))?;
+            Scenario::from_json(&text).map_err(ParseArgsError)?
+        }
+        None => Scenario::standard_suite(),
+    };
+    let duration = SimDuration::from_secs(args.get_or("duration-secs", 1200u64)?);
+    let workers = args.get_or("workers", 10usize)?;
+    if workers == 0 {
+        return Err(ParseArgsError("--workers must be positive".to_string()));
+    }
+    let seed = args.get_or("seed", 1u64)?;
+    let jobs = jobs_flag(args)?;
+    let outcomes = scenario_sweep_jobs(&suite, duration, workers, seed, jobs);
+    println!(
+        "scenario sweep: {} regime(s) x {} policy points, {workers} workers \
+         for {:.0} s, seed {seed}",
+        outcomes.len(),
+        outcomes.first().map_or(0, |o| o.points.len()),
+        duration.as_secs_f64()
+    );
+    println!(
+        "{:<12} {:<20} {:<14} {:>8} {:>9} {:>8} {:>9}",
+        "regime", "winner placement", "governor", "mean_lat", "J/func", "watts", "worst-SLO"
+    );
+    for outcome in &outcomes {
+        let p = outcome.winning_point();
+        let worst = outcome.slo_attainment[outcome.winner];
+        println!(
+            "{:<12} {:<20} {:<14} {:>7.2}s {:>9.2} {:>8.2} {:>9}",
+            outcome.scenario.name,
+            p.placement.label(),
+            p.governor.label(),
+            p.mean_latency_s,
+            p.joules_per_function,
+            p.mean_power_w,
+            if worst.is_nan() {
+                "-".to_string()
+            } else {
+                format!("{:.1}%", worst * 100.0)
+            }
+        );
+    }
+    println!("\nwinner = lowest energy-delay product (mean latency x J/func) per regime");
+    if let Some(path) = args.get_str("csv") {
+        // Library-rendered so --jobs N output is byte-identical for
+        // every N (ci/check.sh compares them).
+        write_text(path, &scenario_sweep_csv(&outcomes))?;
     }
     Ok(())
 }
@@ -1092,10 +1175,92 @@ mod tests {
     }
 
     #[test]
+    fn openloop_arrival_and_popularity_specs() {
+        assert!(run(&["openloop", "--arrivals", "warp:1"]).is_err());
+        assert!(run(&["openloop", "--arrivals", "poisson:-1"]).is_err());
+        assert!(run(&["openloop", "--popularity", "pareto:1"]).is_err());
+        assert!(
+            run(&[
+                "openloop",
+                "--arrivals",
+                "poisson:1",
+                "--jobs-per-tick",
+                "2"
+            ])
+            .is_err(),
+            "--arrivals and --jobs-per-tick are exclusive"
+        );
+        run(&[
+            "openloop",
+            "--arrivals",
+            "mmpp:0.2,2,60,15",
+            "--popularity",
+            "zipf:1.1",
+            "--duration-secs",
+            "60",
+        ])
+        .expect("bursty heavy-tailed run");
+        run(&[
+            "openloop",
+            "--arrivals",
+            "flash:0.5,20,10,4",
+            "--streaming",
+            "--duration-secs",
+            "60",
+        ])
+        .expect("flash-crowd streaming run");
+    }
+
+    #[test]
     fn sched_validates_flags() {
         assert!(run(&["sched", "--rate", "0"]).is_err());
         assert!(run(&["sched", "--workers", "0"]).is_err());
         assert!(run(&["sched", "--jobs", "nope"]).is_err());
+    }
+
+    #[test]
+    fn scenarios_validates_flags() {
+        assert!(run(&["scenarios", "--workers", "0"]).is_err());
+        assert!(run(&["scenarios", "--spec", "/nonexistent/suite.json"]).is_err());
+        assert!(run(&["scenarios", "--jobs", "nope"]).is_err());
+    }
+
+    #[test]
+    fn scenarios_runs_a_spec_file_and_exports_csv() {
+        let dir = std::env::temp_dir();
+        let spec = dir.join("microfaas_cli_test_scenarios.json");
+        let csv = dir.join("microfaas_cli_test_scenarios.csv");
+        std::fs::write(
+            &spec,
+            r#"{"scenarios": [
+                {"name": "steady", "arrivals": "poisson:0.5"},
+                {"name": "spiky", "arrivals": "flash:0.2,60,30,3",
+                 "tenants": [{"name": "paid", "weight": 1.0, "slo_latency_s": 10.0}]}
+            ]}"#,
+        )
+        .expect("spec written");
+        let _ = std::fs::remove_file(&csv);
+        run(&[
+            "scenarios",
+            "--spec",
+            spec.to_str().expect("utf-8 temp path"),
+            "--duration-secs",
+            "120",
+            "--seed",
+            "4",
+            "--jobs",
+            "2",
+            "--csv",
+            csv.to_str().expect("utf-8 temp path"),
+        ])
+        .expect("runs");
+        let written = std::fs::read_to_string(&csv).expect("csv written");
+        assert!(written.starts_with(
+            "scenario,placement,governor,completed,mean_latency_s,p95_latency_s,\
+             mean_power_w,joules_per_function,power_cycles,slo_attainment,pareto,winner"
+        ));
+        assert_eq!(written.lines().count(), 1 + 2 * 24);
+        assert!(written.contains("\nspiky,"));
     }
 
     #[test]

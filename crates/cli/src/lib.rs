@@ -53,3 +53,17 @@ mod performance_docs {}
 #[cfg(doctest)]
 #[doc = include_str!("../../../docs/SCALING.md")]
 mod scaling_docs {}
+
+/// Compiles and runs every Rust sample in `docs/WORKLOADS.md` as a
+/// doctest, so the traffic-shape handbook can never drift from the
+/// `microfaas::arrivals` / `scenario_sweep` APIs it documents.
+#[cfg(doctest)]
+#[doc = include_str!("../../../docs/WORKLOADS.md")]
+mod workloads_docs {}
+
+/// Compiles and runs every Rust sample in `docs/README.md` (the
+/// handbook index) as a doctest, keeping the index under the same
+/// drift guard as the handbooks it points at.
+#[cfg(doctest)]
+#[doc = include_str!("../../../docs/README.md")]
+mod handbook_index_docs {}

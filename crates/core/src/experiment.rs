@@ -14,10 +14,11 @@
 
 use std::sync::Arc;
 
-use microfaas_sched::{pareto_front, GovernorKind, PlacementKind};
+use microfaas_sched::{edp_winner, pareto_front, GovernorKind, PlacementKind};
 use microfaas_sim::{exec, Jobs, MetricsRegistry, Observer, OnlineStats, SimDuration};
 use microfaas_workloads::FunctionId;
 
+use crate::arrivals::Scenario;
 use crate::config::WorkloadMix;
 use crate::conventional::{
     run_conventional, run_conventional_with, vm_cluster_power, ConventionalConfig,
@@ -611,6 +612,155 @@ pub fn policy_sweep_csv(points: &[PolicyPoint]) -> String {
     out
 }
 
+/// One traffic regime's slice of a [`scenario_sweep`]: the full
+/// placement × governor cross product run under that regime's arrival
+/// process, popularity skew, and tenant mix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioOutcome {
+    /// The regime that was run.
+    pub scenario: Scenario,
+    /// One [`PolicyPoint`] per placement × governor pair, in canonical
+    /// order; `pareto` flags are computed **within this regime**.
+    pub points: Vec<PolicyPoint>,
+    /// Worst-tenant SLO attainment per point (aligned with
+    /// [`ScenarioOutcome::points`]); `NaN` when the regime has no
+    /// tenant classes.
+    pub slo_attainment: Vec<f64>,
+    /// Index into [`ScenarioOutcome::points`] of the regime's
+    /// energy-delay-product winner ([`microfaas_sched::edp_winner`]).
+    pub winner: usize,
+}
+
+impl ScenarioOutcome {
+    /// The regime's EDP-winning point.
+    pub fn winning_point(&self) -> &PolicyPoint {
+        &self.points[self.winner]
+    }
+}
+
+/// Runs [`policy_sweep`]'s placement × governor cross product once per
+/// scenario and names each regime's energy-delay-product winner — the
+/// regime-conditional answer to "which policy should I deploy?". The
+/// per-regime winner genuinely moves with traffic shape; the worked
+/// example in `docs/WORKLOADS.md` and `examples/diurnal_pareto.rs`
+/// show the flip. Runs under [`Jobs::auto`].
+pub fn scenario_sweep(
+    scenarios: &[Scenario],
+    duration: SimDuration,
+    workers: usize,
+    seed: u64,
+) -> Vec<ScenarioOutcome> {
+    scenario_sweep_jobs(scenarios, duration, workers, seed, Jobs::auto())
+}
+
+/// [`scenario_sweep`] with an explicit [`Jobs`] budget. The full
+/// scenarios × placements × governors cube is flattened into one
+/// parallel batch; every run derives its randomness from the shared
+/// `seed`, so results are bit-identical at every job count.
+pub fn scenario_sweep_jobs(
+    scenarios: &[Scenario],
+    duration: SimDuration,
+    workers: usize,
+    seed: u64,
+    jobs: Jobs,
+) -> Vec<ScenarioOutcome> {
+    let combos: Vec<(usize, PlacementKind, GovernorKind)> = (0..scenarios.len())
+        .flat_map(|s| {
+            PlacementKind::ALL
+                .into_iter()
+                .flat_map(move |p| GovernorKind::ALL.into_iter().map(move |g| (s, p, g)))
+        })
+        .collect();
+    let per_scenario = PlacementKind::ALL.len() * GovernorKind::ALL.len();
+    let runs = exec::par_map(jobs, &combos, |&(s, placement, governor)| {
+        let scenario = &scenarios[s];
+        let mut config = OpenLoopConfig::paper_arrangement(1, duration, seed);
+        config.workers = workers;
+        config.arrival = scenario.arrival;
+        config.popularity = scenario.popularity;
+        config.tenants = scenario.tenants.clone();
+        config.scheduler = placement;
+        config.governor = governor;
+        let run = run_open_loop(&config);
+        let attainment = run
+            .tenants
+            .iter()
+            .map(|t| t.attainment())
+            .fold(f64::NAN, f64::min);
+        (
+            PolicyPoint {
+                placement,
+                governor,
+                completed: run.completed,
+                mean_latency_s: run.mean_latency_s,
+                p95_latency_s: run.p95_latency_s,
+                mean_power_w: run.mean_power_w,
+                joules_per_function: run.joules_per_function,
+                power_cycles: run.power_cycles,
+                pareto: false,
+            },
+            attainment,
+        )
+    });
+    runs.chunks(per_scenario)
+        .zip(scenarios)
+        .map(|(chunk, scenario)| {
+            let mut points: Vec<PolicyPoint> = chunk.iter().map(|(p, _)| *p).collect();
+            let slo_attainment: Vec<f64> = chunk.iter().map(|(_, a)| *a).collect();
+            let coords: Vec<(f64, f64)> = points
+                .iter()
+                .map(|p| (p.mean_latency_s, p.joules_per_function))
+                .collect();
+            for (point, on_front) in points.iter_mut().zip(pareto_front(&coords)) {
+                point.pareto = on_front;
+            }
+            let winner = edp_winner(&coords).expect("cross product is never empty");
+            ScenarioOutcome {
+                scenario: scenario.clone(),
+                points,
+                slo_attainment,
+                winner,
+            }
+        })
+        .collect()
+}
+
+/// Renders a scenario sweep as the CSV the `scenarios` CLI subcommand
+/// emits (see `docs/EXPERIMENTS.md` for the column contract). The
+/// `slo_attainment` column is empty for regimes without tenant classes,
+/// and `winner` marks each regime's energy-delay-product pick.
+pub fn scenario_sweep_csv(outcomes: &[ScenarioOutcome]) -> String {
+    let mut out = String::from(
+        "scenario,placement,governor,completed,mean_latency_s,p95_latency_s,\
+         mean_power_w,joules_per_function,power_cycles,slo_attainment,pareto,winner\n",
+    );
+    for outcome in outcomes {
+        for (i, p) in outcome.points.iter().enumerate() {
+            let attainment = outcome.slo_attainment[i];
+            out.push_str(&format!(
+                "{},{},{},{},{:.6},{:.6},{:.6},{:.6},{},{},{},{}\n",
+                outcome.scenario.name,
+                p.placement.label(),
+                p.governor.label(),
+                p.completed,
+                p.mean_latency_s,
+                p.p95_latency_s,
+                p.mean_power_w,
+                p.joules_per_function,
+                p.power_cycles,
+                if attainment.is_nan() {
+                    String::new()
+                } else {
+                    format!("{attainment:.6}")
+                },
+                u8::from(p.pareto),
+                u8::from(i == outcome.winner),
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -715,6 +865,89 @@ mod tests {
         for line in lines {
             assert_eq!(line.split(',').count(), 9, "bad row: {line}");
         }
+    }
+
+    /// A short two-regime suite so the scenario tests stay fast; the
+    /// full five-regime default is exercised by the CLI smoke and
+    /// `examples/diurnal_pareto.rs`.
+    fn short_suite() -> Vec<Scenario> {
+        let all = Scenario::standard_suite();
+        vec![all[0].clone(), all[4].clone()]
+    }
+
+    #[test]
+    fn scenario_sweep_scores_every_regime_and_names_a_winner() {
+        let outcomes = scenario_sweep_jobs(
+            &short_suite(),
+            SimDuration::from_secs(300),
+            10,
+            9,
+            Jobs::serial(),
+        );
+        assert_eq!(outcomes.len(), 2);
+        for outcome in &outcomes {
+            assert_eq!(
+                outcome.points.len(),
+                PlacementKind::ALL.len() * GovernorKind::ALL.len()
+            );
+            assert_eq!(outcome.slo_attainment.len(), outcome.points.len());
+            // The EDP winner sits on that regime's Pareto front.
+            assert!(outcome.winning_point().pareto);
+        }
+        // Regime 0 (steady) has no tenants; regime 1 (heavy-tail) does,
+        // so its worst-tenant attainment is a real fraction.
+        assert!(outcomes[0].slo_attainment.iter().all(|a| a.is_nan()));
+        assert!(outcomes[1]
+            .slo_attainment
+            .iter()
+            .all(|a| (0.0..=1.0).contains(a)));
+    }
+
+    #[test]
+    fn scenario_sweep_is_bit_identical_across_job_counts() {
+        let suite = short_suite();
+        let serial =
+            scenario_sweep_jobs(&suite, SimDuration::from_secs(300), 10, 9, Jobs::serial());
+        let parallel =
+            scenario_sweep_jobs(&suite, SimDuration::from_secs(300), 10, 9, Jobs::new(4));
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.points, b.points);
+            assert_eq!(a.winner, b.winner);
+            // Attainment is NaN for tenant-less regimes, so compare
+            // bit patterns rather than by (NaN-rejecting) equality.
+            let bits = |v: &[f64]| v.iter().map(|a| a.to_bits()).collect::<Vec<u64>>();
+            assert_eq!(bits(&a.slo_attainment), bits(&b.slo_attainment));
+        }
+        assert_eq!(
+            scenario_sweep_csv(&serial),
+            scenario_sweep_csv(&parallel),
+            "CSV must be byte-identical at any job count"
+        );
+    }
+
+    #[test]
+    fn scenario_sweep_csv_shape() {
+        let outcomes = scenario_sweep_jobs(
+            &short_suite(),
+            SimDuration::from_secs(300),
+            10,
+            9,
+            Jobs::serial(),
+        );
+        let csv = scenario_sweep_csv(&outcomes);
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "scenario,placement,governor,completed,mean_latency_s,p95_latency_s,\
+             mean_power_w,joules_per_function,power_cycles,slo_attainment,pareto,winner"
+        );
+        assert_eq!(csv.lines().count(), 1 + 2 * 24);
+        let mut winners = 0;
+        for line in lines {
+            assert_eq!(line.split(',').count(), 12, "bad row: {line}");
+            winners += usize::from(line.ends_with(",1"));
+        }
+        assert_eq!(winners, 2, "exactly one winner per regime");
     }
 
     #[test]

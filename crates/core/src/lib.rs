@@ -4,6 +4,9 @@
 //! plane, the two evaluation clusters, and the experiment drivers that
 //! regenerate every figure and table of the paper.
 //!
+//! * [`arrivals`] — production traffic shapes: bursty/diurnal/flash
+//!   arrival processes, popularity skew, and tenant classes (see
+//!   `docs/WORKLOADS.md`);
 //! * [`config`] — workload mixes and run-to-run jitter;
 //! * [`job`] — invocations and timing records;
 //! * [`micro`] — the MicroFaaS cluster (SBC workers, GPIO power gating,
@@ -35,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arrivals;
 pub mod config;
 pub mod conventional;
 pub mod experiment;
@@ -48,6 +52,10 @@ pub mod registry;
 pub mod report;
 pub mod timeline;
 
+pub use arrivals::{
+    ArrivalProcess, ArrivalState, FunctionPicker, Popularity, Scenario, TenantClass, TenantSummary,
+    TenantTracker,
+};
 pub use config::{Jitter, WorkloadMix};
 pub use conventional::{run_conventional, ConventionalConfig};
 pub use job::{Job, JobRecord};

@@ -35,21 +35,10 @@ use crate::config::Jitter;
 use crate::micro::{SchedMetrics, EXEC_BUCKETS};
 use crate::recovery::FaultsConfig;
 
-/// How invocations arrive at the orchestration plane.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum ArrivalProcess {
-    /// Poisson arrivals at the given mean rate.
-    Poisson {
-        /// Mean arrivals per second.
-        per_second: f64,
-    },
-    /// The paper's literal description: a fixed batch of jobs added
-    /// every second.
-    EverySecond {
-        /// Jobs added per one-second tick.
-        jobs_per_tick: usize,
-    },
-}
+pub use crate::arrivals::ArrivalProcess;
+use crate::arrivals::{
+    ArrivalState, FunctionPicker, Popularity, TenantClass, TenantSummary, TenantTracker,
+};
 
 /// How the orchestration plane picks a worker queue for a new job.
 ///
@@ -82,8 +71,17 @@ pub struct OpenLoopConfig {
     pub governor: GovernorKind,
     /// Service-time jitter.
     pub jitter: Jitter,
-    /// Functions drawn uniformly per arrival.
+    /// Functions drawn per arrival, weighted by [`OpenLoopConfig::popularity`].
     pub functions: Vec<FunctionId>,
+    /// How arrivals distribute over [`OpenLoopConfig::functions`]. The
+    /// default [`Popularity::Uniform`] reproduces the historical draw
+    /// exactly; the skewed distributions model the Azure-style few-hot
+    /// functions / long-cold-tail mix (see `docs/WORKLOADS.md`).
+    pub popularity: Popularity,
+    /// Multi-tenant request classes with per-class SLO targets. Empty
+    /// (the default) runs single-tenant, consumes no extra RNG draws,
+    /// and leaves [`OpenLoopRun::tenants`] empty.
+    pub tenants: Vec<TenantClass>,
     /// Fault plan; the open-loop simulator honours **scheduled node
     /// crashes** only (the probabilistic kinds are a closed-loop
     /// concern) and [`run_open_loop_conventional`] ignores faults
@@ -105,6 +103,8 @@ impl OpenLoopConfig {
             governor: GovernorKind::RebootPerJob,
             jitter: Jitter::default_run_to_run(),
             functions: FunctionId::ALL.to_vec(),
+            popularity: Popularity::Uniform,
+            tenants: Vec::new(),
             faults: FaultsConfig::none(),
         }
     }
@@ -131,6 +131,10 @@ pub struct OpenLoopRun {
     pub power_cycles: u64,
     /// Scheduled crashes that actually landed on an executing node.
     pub faults_injected: u64,
+    /// Per-tenant completions, latency, and SLO attainment, in
+    /// [`OpenLoopConfig::tenants`] order. Empty when no tenant classes
+    /// were configured.
+    pub tenants: Vec<TenantSummary>,
 }
 
 /// Relative error of the streaming path's p95 estimate — the
@@ -156,6 +160,9 @@ pub struct Completion {
     /// Execution time on the worker — excludes queueing, boot, and
     /// overhead.
     pub exec: SimDuration,
+    /// Index into [`OpenLoopConfig::tenants`]; `0` when no tenant
+    /// classes are configured.
+    pub tenant: u16,
 }
 
 impl Completion {
@@ -254,6 +261,8 @@ struct QueuedJob {
     id: u64,
     function: FunctionId,
     arrived: SimTime,
+    /// Tenant-class index; 0 when no classes are configured.
+    tenant: u16,
 }
 
 struct Worker {
@@ -403,9 +412,13 @@ fn run_open_loop_core<L: LatencyAccum, S: RunSink>(
 ) -> OpenLoopRun {
     assert!(config.workers > 0, "cluster needs at least one worker");
     assert!(!config.functions.is_empty(), "need at least one function");
-    if let ArrivalProcess::Poisson { per_second } = config.arrival {
-        assert!(per_second > 0.0, "arrival rate must be positive");
-    }
+    config.arrival.validate();
+    // Compiles the popularity skew (validating it) and the tenant mix.
+    // With the defaults both are draw-for-draw identical to the
+    // historical code: one uniform index per arrival, no tenant draw.
+    let picker = FunctionPicker::new(&config.popularity, config.functions.len());
+    let mut tenant_tracker = TenantTracker::new(&config.tenants);
+    let mut arrival_state = ArrivalState::default();
     let handles = observer.metrics().map(OpenMetrics::register);
 
     // The scheduling subsystem: placement + governor. The open loop's
@@ -468,17 +481,14 @@ fn run_open_loop_core<L: LatencyAccum, S: RunSink>(
                 if now >= horizon {
                     continue; // arrivals stop; drain what is queued
                 }
-                let batch = match config.arrival {
-                    ArrivalProcess::Poisson { .. } => 1,
-                    ArrivalProcess::EverySecond { jobs_per_tick } => jobs_per_tick,
-                };
-                for _ in 0..batch {
+                for _ in 0..config.arrival.batch() {
                     arrived += 1;
-                    let function = config.functions[rng.index(config.functions.len())];
+                    let function = config.functions[picker.pick(&mut rng)];
                     let job = QueuedJob {
                         id: arrived,
                         function,
                         arrived: now,
+                        tenant: tenant_tracker.draw(&mut rng),
                     };
                     observer.emit(
                         now,
@@ -600,12 +610,7 @@ fn run_open_loop_core<L: LatencyAccum, S: RunSink>(
                         }
                     }
                 }
-                let gap = match config.arrival {
-                    ArrivalProcess::Poisson { per_second } => {
-                        SimDuration::from_secs_f64(rng.exponential(1.0 / per_second))
-                    }
-                    ArrivalProcess::EverySecond { .. } => SimDuration::from_secs(1),
-                };
+                let gap = config.arrival.next_gap(now, &mut rng, &mut arrival_state);
                 queue.schedule(now + gap, Event::Arrival);
             }
             Event::PowerEffective(w) => {
@@ -676,6 +681,7 @@ fn run_open_loop_core<L: LatencyAccum, S: RunSink>(
                 completed += 1;
                 let latency = now.duration_since(job.arrived);
                 latencies.record(latency.as_secs_f64());
+                tenant_tracker.record(job.tenant, latency.as_secs_f64());
                 sink.on_completion(&Completion {
                     job: job.id,
                     function: job.function,
@@ -683,6 +689,7 @@ fn run_open_loop_core<L: LatencyAccum, S: RunSink>(
                     arrived: job.arrived,
                     finished: now,
                     exec,
+                    tenant: job.tenant,
                 });
                 observer.emit(
                     now,
@@ -933,6 +940,7 @@ fn run_open_loop_core<L: LatencyAccum, S: RunSink>(
             .map(|w| gpio.power_on_count(w) as u64)
             .sum(),
         faults_injected,
+        tenants: tenant_tracker.summaries(),
     };
     // Gauges come from the finished run so the exposition agrees
     // bit-for-bit with the returned aggregates.
@@ -976,6 +984,10 @@ fn run_open_loop_core<L: LatencyAccum, S: RunSink>(
 pub fn run_open_loop_conventional(config: &OpenLoopConfig, vms: usize) -> OpenLoopRun {
     assert!(vms > 0, "cluster needs at least one VM");
     assert!(!config.functions.is_empty(), "need at least one function");
+    config.arrival.validate();
+    let picker = FunctionPicker::new(&config.popularity, config.functions.len());
+    let mut tenant_tracker = TenantTracker::new(&config.tenants);
+    let mut arrival_state = ArrivalState::default();
 
     let mut rng = Rng::new(config.seed);
     let mut queue: EventQueue<Event> = EventQueue::new();
@@ -998,17 +1010,14 @@ pub fn run_open_loop_conventional(config: &OpenLoopConfig, vms: usize) -> OpenLo
                 if now >= horizon {
                     continue;
                 }
-                let batch = match config.arrival {
-                    ArrivalProcess::Poisson { .. } => 1,
-                    ArrivalProcess::EverySecond { jobs_per_tick } => jobs_per_tick,
-                };
-                for _ in 0..batch {
+                for _ in 0..config.arrival.batch() {
                     arrived += 1;
-                    let function = config.functions[rng.index(config.functions.len())];
+                    let function = config.functions[picker.pick(&mut rng)];
                     let job = QueuedJob {
                         id: arrived,
                         function,
                         arrived: now,
+                        tenant: tenant_tracker.draw(&mut rng),
                     };
                     // Pick the emptiest VM (work-conserving enough for a
                     // fair comparison; the scheduler study lives on the
@@ -1028,12 +1037,7 @@ pub fn run_open_loop_conventional(config: &OpenLoopConfig, vms: usize) -> OpenLo
                         queue.schedule(now + exec, Event::ExecDone(v));
                     }
                 }
-                let gap = match config.arrival {
-                    ArrivalProcess::Poisson { per_second } => {
-                        SimDuration::from_secs_f64(rng.exponential(1.0 / per_second))
-                    }
-                    ArrivalProcess::EverySecond { .. } => SimDuration::from_secs(1),
-                };
+                let gap = config.arrival.next_gap(now, &mut rng, &mut arrival_state);
                 queue.schedule(now + gap, Event::Arrival);
             }
             Event::ExecDone(v) => {
@@ -1046,7 +1050,9 @@ pub fn run_open_loop_conventional(config: &OpenLoopConfig, vms: usize) -> OpenLo
             Event::JobDone(v) => {
                 let job = current[v].take().expect("job in flight");
                 completed += 1;
-                latencies.record(now.duration_since(job.arrived).as_secs_f64());
+                let latency_s = now.duration_since(job.arrived).as_secs_f64();
+                latencies.record(latency_s);
+                tenant_tracker.record(job.tenant, latency_s);
                 server.finish_job(v, now).expect("vm was executing");
                 meter.set_power(now, host, server.power().value());
                 // Between-jobs reboot, then take the next job if queued.
@@ -1088,6 +1094,7 @@ pub fn run_open_loop_conventional(config: &OpenLoopConfig, vms: usize) -> OpenLo
         offered_per_second: arrived as f64 / config.duration.as_secs_f64(),
         power_cycles: 0,
         faults_injected: 0,
+        tenants: tenant_tracker.summaries(),
     }
 }
 
@@ -1159,6 +1166,8 @@ mod tests {
             governor: GovernorKind::RebootPerJob,
             jitter: Jitter::default_run_to_run(),
             functions: FunctionId::ALL.to_vec(),
+            popularity: Popularity::Uniform,
+            tenants: Vec::new(),
             faults: FaultsConfig::none(),
         }
     }

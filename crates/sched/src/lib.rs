@@ -56,7 +56,7 @@ pub use governor::{
     governor, DrainAction, Governor, GovernorKind, DEFAULT_KEEP_ALIVE_TIMEOUT,
     DEFAULT_WARM_POOL_ALPHA, DEFAULT_WARM_POOL_HEADROOM, SBC_BOOT_SECONDS,
 };
-pub use pareto::pareto_front;
+pub use pareto::{edp_winner, pareto_front};
 pub use placement::{
     placement, NodeView, Placement, PlacementKind, PolicyParseError, POWER_AWARE_WAKE_BACKLOG,
 };

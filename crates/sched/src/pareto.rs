@@ -36,6 +36,42 @@ pub fn pareto_front(points: &[(f64, f64)]) -> Vec<bool> {
         .collect()
 }
 
+/// Picks the single best point by **energy-delay product** — the
+/// scalarization the scenario suite uses to name one winner per traffic
+/// regime (see `docs/WORKLOADS.md`). With `(latency, energy)` points,
+/// EDP = latency × energy rewards policies that are good on both axes
+/// without hand-tuning a weight; the winner always lies on the
+/// [`pareto_front`].
+///
+/// Ties keep the earliest index so reports are deterministic; points
+/// with a NaN coordinate never win. Returns `None` for an empty slice
+/// or all-NaN input.
+///
+/// # Examples
+///
+/// ```
+/// use microfaas_sched::edp_winner;
+///
+/// // (latency, energy): 2.0*3.0 = 6 beats 1.0*9.0 = 9 and 5.0*2.0 = 10.
+/// let points = [(1.0, 9.0), (2.0, 3.0), (5.0, 2.0)];
+/// assert_eq!(edp_winner(&points), Some(1));
+/// assert_eq!(edp_winner(&[]), None);
+/// ```
+pub fn edp_winner(points: &[(f64, f64)]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &(latency, energy)) in points.iter().enumerate() {
+        let edp = latency * energy;
+        if edp.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, low)) if low <= edp => {}
+            _ => best = Some((i, edp)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -69,5 +105,23 @@ mod tests {
     fn nan_points_never_join_or_block_the_front() {
         let flags = pareto_front(&[(f64::NAN, 1.0), (2.0, 2.0)]);
         assert_eq!(flags, vec![false, true]);
+    }
+
+    #[test]
+    fn edp_winner_sits_on_the_front() {
+        let points = [(1.0, 9.0), (2.0, 3.0), (5.0, 2.0), (6.0, 6.0)];
+        let winner = edp_winner(&points).unwrap();
+        assert!(pareto_front(&points)[winner]);
+    }
+
+    #[test]
+    fn edp_winner_ties_keep_the_earliest_index() {
+        assert_eq!(edp_winner(&[(2.0, 3.0), (3.0, 2.0)]), Some(0));
+    }
+
+    #[test]
+    fn edp_winner_skips_nan_points() {
+        assert_eq!(edp_winner(&[(f64::NAN, 1.0), (4.0, 4.0)]), Some(1));
+        assert_eq!(edp_winner(&[(f64::NAN, 1.0)]), None);
     }
 }

@@ -42,6 +42,10 @@
 //!   hangs, transfer losses) drawn through a [`FaultInjector`] whose
 //!   private RNG stream keeps fault-free runs bit-identical.
 //!
+//! The [`json`] module is the shared dependency-free recursive-descent
+//! JSON parser behind every spec file (fault plans, workload
+//! scenarios).
+//!
 //! Finally, [`exec`] is the parallel deterministic experiment engine
 //! (see `docs/PERFORMANCE.md`): it fans independent runs — sweep
 //! points, seed replicates, fault scenarios — across threads with a
@@ -78,6 +82,7 @@
 pub mod chrome;
 pub mod exec;
 pub mod faults;
+pub mod json;
 pub mod metrics;
 pub mod queue;
 mod rng;

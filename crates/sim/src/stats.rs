@@ -85,6 +85,18 @@ impl OnlineStats {
         self.variance().sqrt()
     }
 
+    /// Coefficient of variation (std dev ÷ mean), the scale-free
+    /// burstiness measure: exponential inter-arrival gaps give CV ≈ 1,
+    /// a fixed tick gives 0, and bursty (MMPP) traffic gives CV > 1.
+    /// `NaN` when the mean is zero or nothing was recorded.
+    pub fn coefficient_of_variation(&self) -> f64 {
+        if self.count == 0 || self.mean == 0.0 {
+            f64::NAN
+        } else {
+            self.std_dev() / self.mean
+        }
+    }
+
     /// Smallest observation (`None` if empty).
     pub fn min(&self) -> Option<f64> {
         (self.count > 0).then_some(self.min)
@@ -465,6 +477,23 @@ mod tests {
         let mut negative = OnlineStats::default();
         negative.record(-3.0);
         assert_eq!(negative.max(), Some(-3.0));
+    }
+
+    #[test]
+    fn coefficient_of_variation_separates_fixed_from_bursty() {
+        let mut fixed = OnlineStats::new();
+        for _ in 0..100 {
+            fixed.record(2.0);
+        }
+        assert_eq!(fixed.coefficient_of_variation(), 0.0);
+
+        let mut bursty = OnlineStats::new();
+        for v in [0.1, 0.1, 0.1, 0.1, 0.1, 9.5] {
+            bursty.record(v);
+        }
+        assert!(bursty.coefficient_of_variation() > 1.5);
+
+        assert!(OnlineStats::new().coefficient_of_variation().is_nan());
     }
 
     #[test]

@@ -1,0 +1,68 @@
+//! The per-regime winner table: runs the standard five-scenario traffic
+//! suite (steady / bursty / diurnal / flash-crowd / heavy-tail) through
+//! the full placement × governor cross product and names each regime's
+//! energy-delay-product winner.
+//!
+//! ```bash
+//! cargo run --release --example diurnal_pareto
+//! ```
+//!
+//! The point of the exercise: the ~23 s standby-vs-reboot break-even in
+//! docs/SCHEDULING.md is a *property of steady Poisson arrivals*, not
+//! of the hardware. Change the traffic shape and the winning policy
+//! moves — a diurnal trough stretches idle gaps past the break-even
+//! while the peak compresses them, and a flash crowd rewards governors
+//! that can ride the spike without paying a boot per job. This is the
+//! same table the `scenarios` CLI subcommand prints; see
+//! docs/WORKLOADS.md for the worked walk-through.
+
+use microfaas::arrivals::Scenario;
+use microfaas::experiment::scenario_sweep;
+use microfaas_sim::SimDuration;
+
+const DURATION_SECS: u64 = 1200;
+const WORKERS: usize = 10;
+const SEED: u64 = 1;
+
+fn main() {
+    let suite = Scenario::standard_suite();
+    println!(
+        "Per-regime EDP winners: {} regimes x 24 policy pairs, {WORKERS} SBCs,\n\
+         {DURATION_SECS} s per run, seed {SEED}.\n",
+        suite.len()
+    );
+
+    let outcomes = scenario_sweep(&suite, SimDuration::from_secs(DURATION_SECS), WORKERS, SEED);
+
+    println!(
+        "{:<12} {:<13} {:<20} {:<15} {:>9} {:>8} {:>8} {:>9}",
+        "regime", "arrivals", "placement", "governor", "mean lat", "J/func", "front", "worst SLO"
+    );
+    for outcome in &outcomes {
+        let p = outcome.winning_point();
+        let front = outcome.points.iter().filter(|p| p.pareto).count();
+        let attainment = outcome.slo_attainment[outcome.winner];
+        println!(
+            "{:<12} {:<13} {:<20} {:<15} {:>8.2}s {:>8.2} {:>8} {:>9}",
+            outcome.scenario.name,
+            outcome.scenario.arrival.label(),
+            p.placement.label(),
+            p.governor.label(),
+            p.mean_latency_s,
+            p.joules_per_function,
+            front,
+            if attainment.is_nan() {
+                "-".to_string()
+            } else {
+                format!("{:.1}%", attainment * 100.0)
+            }
+        );
+    }
+
+    println!("\nwinner = lowest energy-delay product (mean latency x J/function)");
+    println!("within each regime; `front` counts that regime's Pareto points.");
+    println!("\nEvery number above is deterministic: rerun this example (or the");
+    println!("`scenarios` subcommand, at any --jobs count) and the table is");
+    println!("byte-identical. docs/WORKLOADS.md walks through why the winners");
+    println!("differ regime to regime.");
+}

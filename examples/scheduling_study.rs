@@ -36,6 +36,8 @@ fn main() {
             governor: GovernorKind::RebootPerJob,
             jitter: Jitter::default_run_to_run(),
             functions: FunctionId::ALL.to_vec(),
+            popularity: microfaas::Popularity::Uniform,
+            tenants: Vec::new(),
             faults: microfaas::FaultsConfig::none(),
         });
         println!(
