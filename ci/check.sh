@@ -49,6 +49,22 @@ rate="$(echo "$bench_out" | grep "wheel_cancel_timeout_mix/10000 " \
 awk -v r="$rate" 'BEGIN { exit !(r >= 4.2) }' || {
     echo "cancel-mix throughput $rate Melem/s fell below the 4.2 Melem/s floor"; exit 1; }
 
+echo "==> every BENCH_*.json matches the benchmark-record schema"
+python3 -c "
+import glob, json
+files = sorted(glob.glob('BENCH_*.json'))
+assert files, 'no BENCH_*.json records found'
+for path in files:
+    with open(path) as f:
+        record = json.load(f)
+    for key in ('bench', 'command', 'date', 'host'):
+        assert key in record, f'{path} missing required key {key!r}'
+    expected = path[len('BENCH_'):-len('.json')]
+    assert record['bench'] == expected, (path, record['bench'])
+    assert record['command'].startswith('cargo '), (path, record['command'])
+print('validated:', ', '.join(files))
+"
+
 echo "==> BENCH_core_scale.json is valid and names the core_scale bench"
 python3 -c "
 import json
@@ -57,6 +73,17 @@ with open('BENCH_core_scale.json') as f:
 assert record['bench'] == 'core_scale', record['bench']
 assert record['ten_million_job_recipe']['completed'] == 10_000_000
 "
+
+echo "==> result-cache throughput floor (hot-hit lookups >= 20 Melem/s)"
+cache_bench_out="$(cargo bench -p microfaas-bench --bench result_cache 2>/dev/null)"
+echo "$cache_bench_out"
+cache_rate="$(echo "$cache_bench_out" | grep "cache_lookup/hot_hit/4096 " \
+    | sed -n 's/.*(\([0-9.]*\) Melem\/s).*/\1/p')"
+[ -n "$cache_rate" ] || { echo "result_cache bench printed no hot-hit rate"; exit 1; }
+awk -v r="$cache_rate" 'BEGIN { exit !(r >= 20) }' || {
+    echo "cache hot-hit throughput $cache_rate Melem/s fell below the 20 Melem/s floor"; exit 1; }
+echo "$cache_bench_out" | grep -q "flash_crowd_zipf: cache off vs" || {
+    echo "result_cache bench printed no flash-crowd comparison"; exit 1; }
 
 echo "==> serial/parallel determinism parity (tests/parallel_exec.rs)"
 cargo test -q --test parallel_exec
@@ -103,6 +130,19 @@ cmp "$tmpdir/scenarios_serial.csv" "$tmpdir/scenarios_parallel.csv" || {
     echo "scenario sweep did not name exactly one winner per regime"; exit 1; }
 grep -q "^skewed," "$tmpdir/scenarios_serial.csv" || {
     echo "scenario CSV missing a spec-file regime"; exit 1; }
+
+echo "==> cached scenarios smoke: --cache lru:1024, --jobs 2 CSV byte-identical to --jobs 1"
+cargo run --release -q -p microfaas-cli -- scenarios \
+    --spec "$tmpdir/scenarios.json" --duration-secs 180 --workers 4 --seed 7 \
+    --cache lru:1024 --jobs 1 --csv "$tmpdir/scenarios_cached_serial.csv"
+cargo run --release -q -p microfaas-cli -- scenarios \
+    --spec "$tmpdir/scenarios.json" --duration-secs 180 --workers 4 --seed 7 \
+    --cache lru:1024 --jobs 2 --csv "$tmpdir/scenarios_cached_parallel.csv"
+cmp "$tmpdir/scenarios_cached_serial.csv" "$tmpdir/scenarios_cached_parallel.csv" || {
+    echo "cached parallel scenario sweep diverged from serial"; exit 1; }
+awk -F, 'NR > 1 && $11 > 0 { hits++ } END { exit !(hits > 0) }' \
+    "$tmpdir/scenarios_cached_serial.csv" || {
+    echo "cached scenario sweep recorded no cache hits"; exit 1; }
 
 echo "==> analyze smoke: span derivation, phase-sum check, Perfetto round-trip"
 out="$(cargo run --release -q -p microfaas-cli -- analyze \

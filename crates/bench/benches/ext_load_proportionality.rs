@@ -27,6 +27,7 @@ fn config(per_second: f64, scheduler: SchedulerPolicy) -> OpenLoopConfig {
         popularity: microfaas::Popularity::Uniform,
         tenants: Vec::new(),
         faults: microfaas::FaultsConfig::none(),
+        cache: microfaas::cache::CacheConfig::Off,
     }
 }
 

@@ -1,0 +1,120 @@
+//! Benchmarks for the content-addressed result cache (docs/CACHING.md):
+//! the raw lookup/insert hot path that sits on every arrival when
+//! `--cache` is on, and the end-to-end effect of the zero-energy fast
+//! path on a Zipf-skewed flash crowd.
+//!
+//! Measured numbers are recorded in `BENCH_result_cache.json` at the
+//! repository root; `ci/check.sh` parses the hot-hit lookup rate from
+//! this bench's output to enforce the >= 20 Melem/s floor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use microfaas::arrivals::Popularity;
+use microfaas::cache::{content_key, CacheConfig, ResultCache};
+use microfaas::openloop::{run_open_loop, ArrivalProcess, OpenLoopConfig, OpenLoopRun};
+use microfaas_sim::SimDuration;
+use std::hint::black_box;
+
+const LOOKUPS: u64 = 10_000;
+
+/// The steady-state hot path: every key already cached, every lookup a
+/// hit that touches the LRU list. This is the per-arrival cost the
+/// simulation engines and the HTTP gateway pay once a working set is
+/// warm.
+fn bench_cache_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_lookup");
+    group.throughput(Throughput::Elements(LOOKUPS));
+    for working_set in [272u64, 4_096] {
+        let mut cache: ResultCache<u64> = ResultCache::new(working_set as usize, None);
+        for i in 0..working_set {
+            cache.insert(content_key((i % 17) as u8, i), i, 0);
+        }
+        let keys: Vec<u64> = (0..working_set)
+            .map(|i| content_key((i % 17) as u8, i))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("hot_hit", working_set),
+            &working_set,
+            |b, &working_set| {
+                b.iter(|| {
+                    let mut sum = 0u64;
+                    for i in 0..LOOKUPS {
+                        let key = keys[(i % working_set) as usize];
+                        sum =
+                            sum.wrapping_add(*cache.lookup(black_box(key), i).expect("warm entry"));
+                    }
+                    sum
+                })
+            },
+        );
+    }
+    // Worst case: capacity half the key space, so every insert past
+    // warm-up evicts the LRU tail and every other lookup misses.
+    group.bench_function("insert_evict_churn/10000", |b| {
+        b.iter(|| {
+            let mut cache: ResultCache<u64> = ResultCache::new(LOOKUPS as usize / 2, None);
+            for i in 0..LOOKUPS {
+                cache.insert(content_key((i % 17) as u8, i), i, i);
+            }
+            black_box(cache.len())
+        })
+    });
+    group.finish();
+}
+
+/// A Zipf-skewed flash crowd: 1 job/s baseline with a 20 job/s spike
+/// for 120 s against 10 SBCs. The spike outruns the cluster, so queues
+/// build and p95 explodes — unless the result cache absorbs the repeat
+/// invocations the Zipf head keeps sending.
+fn flash_crowd_config(cache: CacheConfig) -> OpenLoopConfig {
+    OpenLoopConfig {
+        arrival: ArrivalProcess::FlashCrowd {
+            base_per_second: 1.0,
+            spike_at_s: 300.0,
+            spike_duration_s: 120.0,
+            spike_per_second: 20.0,
+        },
+        popularity: Popularity::Zipf { exponent: 1.1 },
+        cache,
+        ..OpenLoopConfig::paper_arrangement(0, SimDuration::from_secs(900), 2022)
+    }
+}
+
+fn report_flash_crowd(off: &OpenLoopRun, on: &OpenLoopRun) {
+    let p95_drop = (off.p95_latency_s - on.p95_latency_s) / off.p95_latency_s * 100.0;
+    let energy_drop =
+        (off.joules_per_function - on.joules_per_function) / off.joules_per_function * 100.0;
+    let hit_rate = (on.cache_hits + on.cache_coalesced) as f64 / on.completed as f64 * 100.0;
+    println!("flash_crowd_zipf: cache off vs lru:4096,ttl=300 (seed 2022)");
+    println!(
+        "  cache off: {} completed, p95 {:.2} s, {:.2} J/func",
+        off.completed, off.p95_latency_s, off.joules_per_function
+    );
+    println!(
+        "  cache on:  {} completed, p95 {:.2} s, {:.2} J/func, \
+         {:.1}% served free ({} hits + {} coalesced)",
+        on.completed,
+        on.p95_latency_s,
+        on.joules_per_function,
+        hit_rate,
+        on.cache_hits,
+        on.cache_coalesced
+    );
+    println!("  p95 drop: {p95_drop:.1}%   energy drop: {energy_drop:.1}%");
+}
+
+fn bench_flash_crowd(c: &mut Criterion) {
+    let off_config = flash_crowd_config(CacheConfig::Off);
+    let on_config = flash_crowd_config(CacheConfig::parse("lru:4096,ttl=300").expect("valid spec"));
+    report_flash_crowd(&run_open_loop(&off_config), &run_open_loop(&on_config));
+    let mut group = c.benchmark_group("flash_crowd_zipf");
+    group.bench_function("cache_off", |b| {
+        b.iter(|| black_box(run_open_loop(&off_config)))
+    });
+    group.bench_function("cache_on", |b| {
+        b.iter(|| black_box(run_open_loop(&on_config)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache_lookup, bench_flash_crowd);
+criterion_main!(benches);

@@ -3,12 +3,13 @@
 use std::path::Path;
 
 use microfaas::arrivals::{Popularity, Scenario};
+use microfaas::cache::{CacheConfig, DEFAULT_CACHE_SPEC};
 use microfaas::config::WorkloadMix;
 use microfaas::conventional::{run_conventional_with, ConventionalConfig};
 use microfaas::experiment::{
     compare_suites_faulted_jobs, compare_suites_jobs, conventional_replicates,
-    energy_proportionality, micro_replicates, microfaas_reference, policy_sweep_csv,
-    policy_sweep_jobs, scenario_sweep_csv, scenario_sweep_jobs, vm_sweep_jobs,
+    energy_proportionality, micro_replicates, microfaas_reference, policy_sweep_cached_jobs,
+    policy_sweep_csv, scenario_sweep_cached_jobs, scenario_sweep_csv, vm_sweep_jobs,
 };
 use microfaas::micro::{run_microfaas_with, MicroFaasConfig};
 use microfaas::openloop::{
@@ -101,12 +102,15 @@ SUBCOMMANDS
                      --popularity SPEC (uniform | zipf:EXP | hot-cold:N,SHARE)
                      --streaming (O(1)-memory results path for million-job runs;
                        see docs/SCALING.md)
+                     --cache SPEC (content-addressed result cache: off | on |
+                       lru:CAP[,ttl=SECS][,inputs=N] — see docs/CACHING.md)
   sched            placement x governor sweep with latency-energy Pareto front
                      --rate F (jobs/s, default 0.1 — sparse load, where the
                        warm governors trade energy for latency)
                      --duration-secs N (default 1200)  --workers N (default 10)
                      --seed S (default 1)  --csv PATH (docs/EXPERIMENTS.md columns)
                      --jobs N (parallel sweep points; default: available cores)
+                     --cache SPEC (result cache; adds hit-rate columns)
   scenarios        the sched cross product under every traffic regime, with a
                    per-regime energy-delay-product winner (docs/WORKLOADS.md)
                      --spec PATH (scenario JSON; default: the built-in
@@ -114,6 +118,7 @@ SUBCOMMANDS
                      --duration-secs N (default 1200)  --workers N (default 10)
                      --seed S (default 1)  --csv PATH (docs/EXPERIMENTS.md columns)
                      --jobs N (parallel runs; default: available cores)
+                     --cache SPEC (result cache; re-evaluates each regime's winner)
   reliability      MTBF-driven fleet failure simulation
                      --seed S
   timeline         ASCII Gantt of worker activity for a small run
@@ -180,6 +185,17 @@ fn jobs_flag(args: &Args) -> Result<Jobs, ParseArgsError> {
     match args.get_str("jobs") {
         None => Ok(Jobs::auto()),
         Some(raw) => raw.parse::<Jobs>().map_err(ParseArgsError),
+    }
+}
+
+/// Resolves `--cache SPEC` (default: off, which pins the pre-cache
+/// golden outputs). `--cache on` expands to [`DEFAULT_CACHE_SPEC`];
+/// anything else goes through [`CacheConfig::parse`].
+fn cache_flag(args: &Args) -> Result<CacheConfig, ParseArgsError> {
+    match args.get_str("cache") {
+        None => Ok(CacheConfig::Off),
+        Some("on") => CacheConfig::parse(DEFAULT_CACHE_SPEC).map_err(ParseArgsError),
+        Some(spec) => CacheConfig::parse(spec).map_err(ParseArgsError),
     }
 }
 
@@ -398,6 +414,7 @@ fn openloop(args: &Args) -> Result<(), ParseArgsError> {
         "jobs-per-tick",
         "arrivals",
         "popularity",
+        "cache",
     ])?;
     let rate = args.get_or("rate", 1.0f64)?;
     if rate <= 0.0 {
@@ -451,6 +468,7 @@ fn openloop(args: &Args) -> Result<(), ParseArgsError> {
         popularity,
         tenants: Vec::new(),
         faults: FaultsConfig::none(),
+        cache: cache_flag(args)?,
     };
     let run = if args.has("streaming") {
         run_open_loop_streaming(&config, &mut NullSink)
@@ -471,11 +489,34 @@ fn openloop(args: &Args) -> Result<(), ParseArgsError> {
         run.mean_powered_on, config.workers
     );
     println!("power cycles:     {}", run.power_cycles);
+    // Cache lines appear only with --cache, so the default output is
+    // byte-identical to pre-cache builds.
+    if config.cache.enabled() {
+        let served = run.cache_hits + run.cache_coalesced;
+        let rate = if run.completed > 0 {
+            served as f64 / run.completed as f64 * 100.0
+        } else {
+            0.0
+        };
+        println!(
+            "result cache:     {} hits + {} coalesced = {served} served free \
+             ({rate:.1}% of completions, {} misses)",
+            run.cache_hits, run.cache_coalesced, run.cache_misses
+        );
+    }
     Ok(())
 }
 
 fn sched(args: &Args) -> Result<(), ParseArgsError> {
-    args.expect_only(&["rate", "duration-secs", "workers", "seed", "jobs", "csv"])?;
+    args.expect_only(&[
+        "rate",
+        "duration-secs",
+        "workers",
+        "seed",
+        "jobs",
+        "csv",
+        "cache",
+    ])?;
     let rate = args.get_or("rate", 0.1f64)?;
     if rate <= 0.0 {
         return Err(ParseArgsError("--rate must be positive".to_string()));
@@ -487,7 +528,8 @@ fn sched(args: &Args) -> Result<(), ParseArgsError> {
     }
     let seed = args.get_or("seed", 1u64)?;
     let jobs = jobs_flag(args)?;
-    let points = policy_sweep_jobs(rate, duration, workers, seed, jobs);
+    let cache = cache_flag(args)?;
+    let points = policy_sweep_cached_jobs(rate, duration, workers, seed, &cache, jobs);
     println!(
         "policy sweep: {} workers, {rate} jobs/s for {:.0} s, seed {seed} \
          ({} placement x governor points)",
@@ -495,13 +537,35 @@ fn sched(args: &Args) -> Result<(), ParseArgsError> {
         duration.as_secs_f64(),
         points.len()
     );
-    println!(
-        "{:<20} {:<14} {:>6} {:>9} {:>9} {:>8} {:>8} {:>7}  pareto",
-        "placement", "governor", "done", "mean_lat", "p95_lat", "watts", "J/func", "cycles"
-    );
-    for p in &points {
+    // The hit-rate column exists only with --cache, keeping default
+    // output byte-identical to pre-cache builds.
+    if cache.enabled() {
         println!(
-            "{:<20} {:<14} {:>6} {:>8.2}s {:>8.2}s {:>8.2} {:>8.2} {:>7} {}",
+            "{:<20} {:<14} {:>6} {:>9} {:>9} {:>8} {:>8} {:>7} {:>7}  pareto",
+            "placement",
+            "governor",
+            "done",
+            "mean_lat",
+            "p95_lat",
+            "watts",
+            "J/func",
+            "cycles",
+            "hit%"
+        );
+    } else {
+        println!(
+            "{:<20} {:<14} {:>6} {:>9} {:>9} {:>8} {:>8} {:>7}  pareto",
+            "placement", "governor", "done", "mean_lat", "p95_lat", "watts", "J/func", "cycles"
+        );
+    }
+    for p in &points {
+        let hit_col = if cache.enabled() {
+            format!(" {:>6.1}%", p.hit_rate * 100.0)
+        } else {
+            String::new()
+        };
+        println!(
+            "{:<20} {:<14} {:>6} {:>8.2}s {:>8.2}s {:>8.2} {:>8.2} {:>7}{hit_col} {}",
             p.placement.label(),
             p.governor.label(),
             p.completed,
@@ -528,7 +592,15 @@ fn sched(args: &Args) -> Result<(), ParseArgsError> {
 }
 
 fn scenarios(args: &Args) -> Result<(), ParseArgsError> {
-    args.expect_only(&["spec", "duration-secs", "workers", "seed", "jobs", "csv"])?;
+    args.expect_only(&[
+        "spec",
+        "duration-secs",
+        "workers",
+        "seed",
+        "jobs",
+        "csv",
+        "cache",
+    ])?;
     let suite = match args.get_str("spec") {
         Some(path) => {
             let text = std::fs::read_to_string(path)
@@ -544,7 +616,8 @@ fn scenarios(args: &Args) -> Result<(), ParseArgsError> {
     }
     let seed = args.get_or("seed", 1u64)?;
     let jobs = jobs_flag(args)?;
-    let outcomes = scenario_sweep_jobs(&suite, duration, workers, seed, jobs);
+    let cache = cache_flag(args)?;
+    let outcomes = scenario_sweep_cached_jobs(&suite, duration, workers, seed, &cache, jobs);
     println!(
         "scenario sweep: {} regime(s) x {} policy points, {workers} workers \
          for {:.0} s, seed {seed}",
@@ -552,15 +625,38 @@ fn scenarios(args: &Args) -> Result<(), ParseArgsError> {
         outcomes.first().map_or(0, |o| o.points.len()),
         duration.as_secs_f64()
     );
-    println!(
-        "{:<12} {:<20} {:<14} {:>8} {:>9} {:>8} {:>9}",
-        "regime", "winner placement", "governor", "mean_lat", "J/func", "watts", "worst-SLO"
-    );
+    // The winner table is re-evaluated over the measured (cached)
+    // coordinates, so --cache can flip a regime's EDP winner; the
+    // hit-rate column appears only when a cache runs, keeping default
+    // output byte-identical to pre-cache builds.
+    if cache.enabled() {
+        println!(
+            "{:<12} {:<20} {:<14} {:>8} {:>9} {:>8} {:>7} {:>9}",
+            "regime",
+            "winner placement",
+            "governor",
+            "mean_lat",
+            "J/func",
+            "watts",
+            "hit%",
+            "worst-SLO"
+        );
+    } else {
+        println!(
+            "{:<12} {:<20} {:<14} {:>8} {:>9} {:>8} {:>9}",
+            "regime", "winner placement", "governor", "mean_lat", "J/func", "watts", "worst-SLO"
+        );
+    }
     for outcome in &outcomes {
         let p = outcome.winning_point();
         let worst = outcome.slo_attainment[outcome.winner];
+        let hit_col = if cache.enabled() {
+            format!(" {:>6.1}%", p.hit_rate * 100.0)
+        } else {
+            String::new()
+        };
         println!(
-            "{:<12} {:<20} {:<14} {:>7.2}s {:>9.2} {:>8.2} {:>9}",
+            "{:<12} {:<20} {:<14} {:>7.2}s {:>9.2} {:>8.2}{hit_col} {:>9}",
             outcome.scenario.name,
             p.placement.label(),
             p.governor.label(),
@@ -1257,9 +1353,10 @@ mod tests {
         let written = std::fs::read_to_string(&csv).expect("csv written");
         assert!(written.starts_with(
             "scenario,placement,governor,completed,mean_latency_s,p95_latency_s,\
-             mean_power_w,joules_per_function,power_cycles,slo_attainment,pareto,winner"
+             mean_power_w,joules_per_function,power_cycles,slo_attainment,\
+             hit_rate,joules_saved,cached_edp,pareto,winner"
         ));
-        assert_eq!(written.lines().count(), 1 + 2 * 24);
+        assert_eq!(written.lines().count(), 1 + 2 * 28);
         assert!(written.contains("\nspiky,"));
     }
 
@@ -1284,14 +1381,82 @@ mod tests {
         let written = std::fs::read_to_string(&path).expect("csv written");
         assert!(written.starts_with(
             "placement,governor,completed,mean_latency_s,p95_latency_s,\
-             mean_power_w,joules_per_function,power_cycles,pareto"
+             mean_power_w,joules_per_function,power_cycles,hit_rate,\
+             joules_saved,cached_edp,pareto"
         ));
-        assert_eq!(written.lines().count(), 25, "header + 24 policy points");
+        assert_eq!(written.lines().count(), 29, "header + 28 policy points");
         assert!(
             written.lines().any(|l| l.ends_with(",1")),
             "some row sits on the Pareto front"
         );
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn cache_flag_validates_and_runs() {
+        assert!(run(&["openloop", "--cache", "arc:64"]).is_err());
+        assert!(run(&["sched", "--cache", "lru:0"]).is_err());
+        assert!(run(&["scenarios", "--cache", "off:1"]).is_err());
+        run(&[
+            "openloop",
+            "--rate",
+            "2.0",
+            "--duration-secs",
+            "60",
+            "--cache",
+            "on",
+        ])
+        .expect("openloop with the default cache spec");
+        run(&[
+            "openloop",
+            "--rate",
+            "2.0",
+            "--duration-secs",
+            "60",
+            "--streaming",
+            "--cache",
+            "lru:256,ttl=120,inputs=4",
+        ])
+        .expect("streaming openloop with an explicit cache spec");
+    }
+
+    #[test]
+    fn cached_sweeps_run_and_export() {
+        let path = std::env::temp_dir().join("microfaas_cli_test_sched_cached.csv");
+        let _ = std::fs::remove_file(&path);
+        run(&[
+            "sched",
+            "--rate",
+            "0.5",
+            "--duration-secs",
+            "120",
+            "--seed",
+            "4",
+            "--cache",
+            "lru:1024",
+            "--csv",
+            path.to_str().expect("utf-8 temp path"),
+        ])
+        .expect("cached sched sweep runs");
+        let written = std::fs::read_to_string(&path).expect("csv written");
+        assert!(
+            written
+                .lines()
+                .skip(1)
+                .any(|l| l.split(',').nth(8).is_some_and(|hit| hit != "0.000000")),
+            "some cached point records a nonzero hit rate"
+        );
+        let _ = std::fs::remove_file(&path);
+        run(&[
+            "scenarios",
+            "--duration-secs",
+            "60",
+            "--seed",
+            "4",
+            "--cache",
+            "on",
+        ])
+        .expect("cached scenario sweep runs");
     }
 
     #[test]

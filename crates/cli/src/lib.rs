@@ -61,6 +61,13 @@ mod scaling_docs {}
 #[doc = include_str!("../../../docs/WORKLOADS.md")]
 mod workloads_docs {}
 
+/// Compiles and runs every Rust sample in `docs/CACHING.md` as a
+/// doctest, so the result-cache handbook can never drift from the
+/// `microfaas::cache` APIs and engine integrations it documents.
+#[cfg(doctest)]
+#[doc = include_str!("../../../docs/CACHING.md")]
+mod caching_docs {}
+
 /// Compiles and runs every Rust sample in `docs/README.md` (the
 /// handbook index) as a doctest, keeping the index under the same
 /// drift guard as the handbooks it points at.

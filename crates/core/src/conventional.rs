@@ -21,9 +21,12 @@ use microfaas_sim::{
 use microfaas_workloads::calibration::{service_time, WorkerPlatform};
 use microfaas_workloads::FunctionId;
 
+use crate::cache::{content_key, CacheConfig, ResultCache};
 use crate::config::{Assignment, Jitter, WorkloadMix};
 use crate::job::{Dispatcher, Job, JobRecord, JobTable};
-use crate::micro::{publish_run_gauges, SchedMetrics, EXEC_BUCKETS, OVERHEAD_BUCKETS};
+use crate::micro::{
+    publish_cache_counters, publish_run_gauges, SchedMetrics, EXEC_BUCKETS, OVERHEAD_BUCKETS,
+};
 use crate::netmap::ClusterNet;
 use crate::recovery::{priority_of, FaultRuntime, FaultsConfig, Priority};
 use crate::registry::FunctionRegistry;
@@ -66,6 +69,12 @@ pub struct ConventionalConfig {
     /// Fault plan and recovery policies ([`FaultsConfig::none`] keeps
     /// the run fault-free and bit-identical to earlier builds).
     pub faults: FaultsConfig,
+    /// Content-addressed result cache on the orchestration plane (see
+    /// [`crate::micro::MicroFaasConfig::cache`]; identical semantics so
+    /// the SBC-vs-VM comparison stays apples-to-apples).
+    /// [`CacheConfig::Off`] (the default) keeps runs bit-identical to
+    /// pre-cache builds.
+    pub cache: CacheConfig,
 }
 
 impl ConventionalConfig {
@@ -84,6 +93,7 @@ impl ConventionalConfig {
             invocation_timeout: None,
             registry: FunctionRegistry::paper_suite(),
             faults: FaultsConfig::none(),
+            cache: CacheConfig::Off,
         }
     }
 }
@@ -214,6 +224,8 @@ pub fn run_conventional_with(
     config: &ConventionalConfig,
     observer: &mut Observer<'_>,
 ) -> ClusterRun {
+    assert!(config.vms > 0, "cluster needs at least one VM");
+    config.cache.try_validate().expect("invalid cache config");
     ConvSim::new(config, observer).run()
 }
 
@@ -243,6 +255,9 @@ struct ConvSim<'a, 'b> {
     /// is gated on this so default runs stay byte-identical.
     sched_active: bool,
     sched_handles: Option<SchedMetrics>,
+    /// The orchestrator's result cache; `None` when
+    /// [`ConventionalConfig::cache`] is off.
+    cache: Option<ResultCache<()>>,
 }
 
 impl<'a, 'b> ConvSim<'a, 'b> {
@@ -345,6 +360,7 @@ impl<'a, 'b> ConvSim<'a, 'b> {
             reboot_between,
             sched_active,
             sched_handles,
+            cache: ResultCache::from_config(&config.cache),
         }
     }
 
@@ -400,9 +416,15 @@ impl<'a, 'b> ConvSim<'a, 'b> {
             dropped: std::mem::take(&mut self.fr.dropped),
             faults: self.fr.summary,
         };
+        let cache_stats = self.cache.as_ref().map(|c| c.stats());
         if let Some(metrics) = self.observer.metrics() {
             self.meter.publish_metrics(metrics, "conv", end);
             publish_run_gauges(metrics, "conv", &run);
+            // Cache counters only exist when a cache ran: the default
+            // exposition must stay byte-identical to pre-cache builds.
+            if let Some(stats) = cache_stats.as_ref() {
+                publish_cache_counters(metrics, "conv", stats);
+            }
         }
         run
     }
@@ -556,6 +578,13 @@ impl<'a, 'b> ConvSim<'a, 'b> {
             overhead,
         });
         self.last_completion = now;
+        if let Some(cache) = self.cache.as_mut() {
+            cache.insert(
+                content_key(flight.job.function.index(), 0),
+                (),
+                now.as_micros(),
+            );
+        }
         self.reboot_vm(v, now, false);
     }
 
@@ -827,8 +856,62 @@ impl<'a, 'b> ConvSim<'a, 'b> {
         self.boot_pending[v] = Some(self.queue.schedule(now + reboot, Event::RebootDone(v)));
     }
 
+    /// Completes a pulled job from the orchestrator's result cache (see
+    /// `MicroSim::complete_from_cache`): the VM never runs it, so it
+    /// adds nothing to contention or the host's busy-power draw.
+    fn complete_from_cache(&mut self, job: Job, v: usize, key: u64, now: SimTime) {
+        self.observer.emit(
+            now,
+            TraceEvent::CacheHit {
+                job: job.id,
+                function: job.function.name(),
+                key,
+            },
+        );
+        self.observer.emit(
+            now,
+            TraceEvent::JobCompleted {
+                job: job.id,
+                function: job.function.name(),
+                worker: v,
+                exec: SimDuration::ZERO,
+                overhead: SimDuration::ZERO,
+            },
+        );
+        self.with_metrics(|m, h| {
+            m.inc(h.jobs_completed);
+            m.observe(h.exec_seconds, 0.0);
+            m.observe(h.overhead_seconds, 0.0);
+        });
+        self.records.push(JobRecord {
+            job,
+            worker: v,
+            started: now,
+            exec: SimDuration::ZERO,
+            overhead: SimDuration::ZERO,
+        });
+        self.last_completion = now;
+    }
+
     fn dispatch(&mut self, v: usize, now: SimTime) {
-        if let Some(job) = self.dispatcher.pull(v) {
+        // Drain cache hits before committing the VM (mirrors the
+        // MicroFaaS pull loop): hits complete instantly at the
+        // orchestrator and only real misses occupy a CPU share.
+        let next = loop {
+            let Some(job) = self.dispatcher.pull(v) else {
+                break None;
+            };
+            let key = content_key(job.function.index(), 0);
+            let hit = match self.cache.as_mut() {
+                Some(cache) => cache.lookup(key, now.as_micros()).is_some(),
+                None => false,
+            };
+            if !hit {
+                break Some(job);
+            }
+            self.complete_from_cache(job, v, key, now);
+        };
+        if let Some(job) = next {
             self.server.start_job(v, now).expect("vm is idle");
             let watts = self.server.power().value();
             self.meter.set_power(now, self.host_channel, watts);
@@ -962,6 +1045,26 @@ mod tests {
         assert!(
             ratio < 1.08,
             "20 VMs should not out-run 16 by much, ratio {ratio:.3}"
+        );
+    }
+
+    #[test]
+    fn result_cache_shortens_vm_runs_too() {
+        let mix = WorkloadMix::quick();
+        let baseline = run_conventional(&ConventionalConfig::paper_baseline(mix.clone(), 9));
+        let mut config = ConventionalConfig::paper_baseline(mix, 9);
+        config.cache = CacheConfig::parse("lru:64").expect("valid spec");
+        let cached = run_conventional(&config);
+        assert_eq!(cached.jobs_completed(), baseline.jobs_completed());
+        assert!(
+            cached.makespan < baseline.makespan,
+            "hits must shorten the run: {:?} vs {:?}",
+            cached.makespan,
+            baseline.makespan
+        );
+        assert!(
+            cached.records.iter().any(|r| r.exec.is_zero()),
+            "some completions must be served from the cache"
         );
     }
 

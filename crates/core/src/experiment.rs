@@ -19,12 +19,13 @@ use microfaas_sim::{exec, Jobs, MetricsRegistry, Observer, OnlineStats, SimDurat
 use microfaas_workloads::FunctionId;
 
 use crate::arrivals::Scenario;
+use crate::cache::CacheConfig;
 use crate::config::WorkloadMix;
 use crate::conventional::{
     run_conventional, run_conventional_with, vm_cluster_power, ConventionalConfig,
 };
 use crate::micro::{run_microfaas, run_microfaas_with, sbc_cluster_power, MicroFaasConfig};
-use crate::openloop::{run_open_loop, ArrivalProcess, OpenLoopConfig};
+use crate::openloop::{run_open_loop, ArrivalProcess, OpenLoopConfig, OpenLoopRun};
 use crate::recovery::FaultsConfig;
 use crate::report::ClusterRun;
 
@@ -523,14 +524,63 @@ pub struct PolicyPoint {
     pub joules_per_function: f64,
     /// GPIO power-on actuations (cold boots paid).
     pub power_cycles: u64,
+    /// Result-cache hit rate over all completions — `(hits + coalesced)
+    /// / completed` — or `0.0` when the sweep ran cache-off.
+    pub hit_rate: f64,
+    /// Estimated joules the cache's zero-energy completions avoided,
+    /// extrapolated from the measured per-*executed*-function energy;
+    /// `0.0` cache-off.
+    pub joules_saved: f64,
+    /// Energy-delay product (mean latency × joules per function) as
+    /// measured. With a cache on, both factors already include the free
+    /// completions — this is the "cached EDP" the winner re-evaluation
+    /// ranks by.
+    pub cached_edp: f64,
     /// Whether this point sits on the latency–energy Pareto front
     /// (minimizing both [`PolicyPoint::mean_latency_s`] and
     /// [`PolicyPoint::joules_per_function`]) over the whole sweep.
     pub pareto: bool,
 }
 
+/// Folds one finished open-loop run into a [`PolicyPoint`] (Pareto flag
+/// unset; the sweep computes fronts after gathering).
+fn policy_point(
+    placement: PlacementKind,
+    governor: GovernorKind,
+    run: &OpenLoopRun,
+) -> PolicyPoint {
+    let skipped = run.cache_hits + run.cache_coalesced;
+    let hit_rate = if run.completed > 0 {
+        skipped as f64 / run.completed as f64
+    } else {
+        0.0
+    };
+    // Energy was only spent on the executed (missed) jobs; each skipped
+    // completion avoided that per-executed-function cost.
+    let total_joules = run.joules_per_function * run.completed as f64;
+    let joules_saved = if skipped > 0 && run.cache_misses > 0 {
+        skipped as f64 * total_joules / run.cache_misses as f64
+    } else {
+        0.0
+    };
+    PolicyPoint {
+        placement,
+        governor,
+        completed: run.completed,
+        mean_latency_s: run.mean_latency_s,
+        p95_latency_s: run.p95_latency_s,
+        mean_power_w: run.mean_power_w,
+        joules_per_function: run.joules_per_function,
+        power_cycles: run.power_cycles,
+        hit_rate,
+        joules_saved,
+        cached_edp: run.mean_latency_s * run.joules_per_function,
+        pareto: false,
+    }
+}
+
 /// Crosses every [`PlacementKind`] with every [`GovernorKind`]
-/// (24 combinations) on the open-loop cluster and flags the
+/// (28 combinations) on the open-loop cluster and flags the
 /// latency–energy Pareto front. The interesting regime is **sparse**
 /// load — per-node idle gaps above the ~23 s standby/boot break-even —
 /// where keeping nodes warm genuinely trades energy for latency; at
@@ -555,6 +605,22 @@ pub fn policy_sweep_jobs(
     seed: u64,
     jobs: Jobs,
 ) -> Vec<PolicyPoint> {
+    policy_sweep_cached_jobs(per_second, duration, workers, seed, &CacheConfig::Off, jobs)
+}
+
+/// [`policy_sweep_jobs`] with a result cache installed on every point
+/// (`microfaas sched --cache`): the `hit_rate`, `joules_saved`, and
+/// `cached_edp` columns become live measurements and the Pareto front
+/// re-forms around the cache's zero-energy completions. With
+/// [`CacheConfig::Off`] this is exactly [`policy_sweep_jobs`].
+pub fn policy_sweep_cached_jobs(
+    per_second: f64,
+    duration: SimDuration,
+    workers: usize,
+    seed: u64,
+    cache: &CacheConfig,
+    jobs: Jobs,
+) -> Vec<PolicyPoint> {
     let combos: Vec<(PlacementKind, GovernorKind)> = PlacementKind::ALL
         .into_iter()
         .flat_map(|p| GovernorKind::ALL.into_iter().map(move |g| (p, g)))
@@ -565,18 +631,9 @@ pub fn policy_sweep_jobs(
         config.arrival = ArrivalProcess::Poisson { per_second };
         config.scheduler = placement;
         config.governor = governor;
+        config.cache = *cache;
         let run = run_open_loop(&config);
-        PolicyPoint {
-            placement,
-            governor,
-            completed: run.completed,
-            mean_latency_s: run.mean_latency_s,
-            p95_latency_s: run.p95_latency_s,
-            mean_power_w: run.mean_power_w,
-            joules_per_function: run.joules_per_function,
-            power_cycles: run.power_cycles,
-            pareto: false,
-        }
+        policy_point(placement, governor, &run)
     });
     let coords: Vec<(f64, f64)> = points
         .iter()
@@ -593,11 +650,12 @@ pub fn policy_sweep_jobs(
 pub fn policy_sweep_csv(points: &[PolicyPoint]) -> String {
     let mut out = String::from(
         "placement,governor,completed,mean_latency_s,p95_latency_s,\
-         mean_power_w,joules_per_function,power_cycles,pareto\n",
+         mean_power_w,joules_per_function,power_cycles,hit_rate,\
+         joules_saved,cached_edp,pareto\n",
     );
     for p in points {
         out.push_str(&format!(
-            "{},{},{},{:.6},{:.6},{:.6},{:.6},{},{}\n",
+            "{},{},{},{:.6},{:.6},{:.6},{:.6},{},{:.6},{:.6},{:.6},{}\n",
             p.placement.label(),
             p.governor.label(),
             p.completed,
@@ -606,6 +664,9 @@ pub fn policy_sweep_csv(points: &[PolicyPoint]) -> String {
             p.mean_power_w,
             p.joules_per_function,
             p.power_cycles,
+            p.hit_rate,
+            p.joules_saved,
+            p.cached_edp,
             u8::from(p.pareto),
         ));
     }
@@ -664,6 +725,22 @@ pub fn scenario_sweep_jobs(
     seed: u64,
     jobs: Jobs,
 ) -> Vec<ScenarioOutcome> {
+    scenario_sweep_cached_jobs(scenarios, duration, workers, seed, &CacheConfig::Off, jobs)
+}
+
+/// [`scenario_sweep_jobs`] with a result cache installed on every point
+/// (`microfaas scenarios --cache`): per-regime winners are re-evaluated
+/// on the cached latency/energy numbers, which is how the cache
+/// reshapes the regime-conditional policy answer. With
+/// [`CacheConfig::Off`] this is exactly [`scenario_sweep_jobs`].
+pub fn scenario_sweep_cached_jobs(
+    scenarios: &[Scenario],
+    duration: SimDuration,
+    workers: usize,
+    seed: u64,
+    cache: &CacheConfig,
+    jobs: Jobs,
+) -> Vec<ScenarioOutcome> {
     let combos: Vec<(usize, PlacementKind, GovernorKind)> = (0..scenarios.len())
         .flat_map(|s| {
             PlacementKind::ALL
@@ -681,26 +758,14 @@ pub fn scenario_sweep_jobs(
         config.tenants = scenario.tenants.clone();
         config.scheduler = placement;
         config.governor = governor;
+        config.cache = *cache;
         let run = run_open_loop(&config);
         let attainment = run
             .tenants
             .iter()
             .map(|t| t.attainment())
             .fold(f64::NAN, f64::min);
-        (
-            PolicyPoint {
-                placement,
-                governor,
-                completed: run.completed,
-                mean_latency_s: run.mean_latency_s,
-                p95_latency_s: run.p95_latency_s,
-                mean_power_w: run.mean_power_w,
-                joules_per_function: run.joules_per_function,
-                power_cycles: run.power_cycles,
-                pareto: false,
-            },
-            attainment,
-        )
+        (policy_point(placement, governor, &run), attainment)
     });
     runs.chunks(per_scenario)
         .zip(scenarios)
@@ -732,13 +797,14 @@ pub fn scenario_sweep_jobs(
 pub fn scenario_sweep_csv(outcomes: &[ScenarioOutcome]) -> String {
     let mut out = String::from(
         "scenario,placement,governor,completed,mean_latency_s,p95_latency_s,\
-         mean_power_w,joules_per_function,power_cycles,slo_attainment,pareto,winner\n",
+         mean_power_w,joules_per_function,power_cycles,slo_attainment,\
+         hit_rate,joules_saved,cached_edp,pareto,winner\n",
     );
     for outcome in outcomes {
         for (i, p) in outcome.points.iter().enumerate() {
             let attainment = outcome.slo_attainment[i];
             out.push_str(&format!(
-                "{},{},{},{},{:.6},{:.6},{:.6},{:.6},{},{},{},{}\n",
+                "{},{},{},{},{:.6},{:.6},{:.6},{:.6},{},{},{:.6},{:.6},{:.6},{},{}\n",
                 outcome.scenario.name,
                 p.placement.label(),
                 p.governor.label(),
@@ -753,6 +819,9 @@ pub fn scenario_sweep_csv(outcomes: &[ScenarioOutcome]) -> String {
                 } else {
                     format!("{attainment:.6}")
                 },
+                p.hit_rate,
+                p.joules_saved,
+                p.cached_edp,
                 u8::from(p.pareto),
                 u8::from(i == outcome.winner),
             ));
@@ -774,7 +843,7 @@ mod tests {
     #[test]
     fn policy_sweep_covers_the_full_cross_product() {
         let points = default_sweep();
-        assert_eq!(points.len(), 24);
+        assert_eq!(points.len(), 28);
         for p in PlacementKind::ALL {
             for g in GovernorKind::ALL {
                 assert_eq!(
@@ -859,12 +928,55 @@ mod tests {
         assert_eq!(
             lines.next().unwrap(),
             "placement,governor,completed,mean_latency_s,p95_latency_s,\
-             mean_power_w,joules_per_function,power_cycles,pareto"
+             mean_power_w,joules_per_function,power_cycles,hit_rate,\
+             joules_saved,cached_edp,pareto"
         );
-        assert_eq!(csv.lines().count(), 25);
+        assert_eq!(csv.lines().count(), 29);
         for line in lines {
-            assert_eq!(line.split(',').count(), 9, "bad row: {line}");
+            assert_eq!(line.split(',').count(), 12, "bad row: {line}");
         }
+    }
+
+    #[test]
+    fn cached_sweeps_measure_hit_rates_and_savings() {
+        let cache = CacheConfig::parse("lru:1024").expect("valid spec");
+        let cached = policy_sweep_cached_jobs(
+            2.0,
+            SimDuration::from_secs(300),
+            10,
+            9,
+            &cache,
+            Jobs::serial(),
+        );
+        let plain = policy_sweep_jobs(2.0, SimDuration::from_secs(300), 10, 9, Jobs::serial());
+        assert_eq!(cached.len(), plain.len());
+        assert!(
+            plain
+                .iter()
+                .all(|p| p.hit_rate == 0.0 && p.joules_saved == 0.0),
+            "cache-off sweeps must report zero cache activity"
+        );
+        assert!(
+            cached.iter().all(|p| (0.0..=1.0).contains(&p.hit_rate)),
+            "hit rate is a fraction"
+        );
+        assert!(
+            cached
+                .iter()
+                .any(|p| p.hit_rate > 0.0 && p.joules_saved > 0.0),
+            "a warm cache must record hits and savings"
+        );
+        // The default 16-variant input space repeats keys heavily, so
+        // the cache must cut the measured per-function energy somewhere.
+        let mean = |pts: &[PolicyPoint]| {
+            pts.iter().map(|p| p.joules_per_function).sum::<f64>() / pts.len() as f64
+        };
+        assert!(
+            mean(&cached) < mean(&plain),
+            "cached sweep mean J/func {:.3} must beat cache-off {:.3}",
+            mean(&cached),
+            mean(&plain)
+        );
     }
 
     /// A short two-regime suite so the scenario tests stay fast; the
@@ -939,12 +1051,13 @@ mod tests {
         assert_eq!(
             lines.next().unwrap(),
             "scenario,placement,governor,completed,mean_latency_s,p95_latency_s,\
-             mean_power_w,joules_per_function,power_cycles,slo_attainment,pareto,winner"
+             mean_power_w,joules_per_function,power_cycles,slo_attainment,\
+             hit_rate,joules_saved,cached_edp,pareto,winner"
         );
-        assert_eq!(csv.lines().count(), 1 + 2 * 24);
+        assert_eq!(csv.lines().count(), 1 + 2 * 28);
         let mut winners = 0;
         for line in lines {
-            assert_eq!(line.split(',').count(), 12, "bad row: {line}");
+            assert_eq!(line.split(',').count(), 15, "bad row: {line}");
             winners += usize::from(line.ends_with(",1"));
         }
         assert_eq!(winners, 2, "exactly one winner per regime");

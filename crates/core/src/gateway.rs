@@ -15,6 +15,7 @@ use microfaas_sim::{MetricsRegistry, Rng};
 use microfaas_workloads::interp::Script;
 use microfaas_workloads::suite::{run_function, ServiceBackends};
 
+use crate::cache::{fnv1a, fnv1a_extend, CacheConfig, ResultCache};
 use crate::registry::FunctionRegistry;
 
 /// Fuel budget for one scripted invocation — the interpreter-level
@@ -185,11 +186,68 @@ pub struct Gateway {
     rng: Rng,
     invocations: u64,
     metrics: MetricsRegistry,
+    /// Content-addressed response cache (see [`Gateway::with_cache`]);
+    /// `None` keeps the gateway byte-identical to pre-cache builds.
+    cache: Option<ResultCache<CachedResponse>>,
+    /// Monotonic `/invoke/` request counter, doubling as the cache's
+    /// TTL clock: the gateway has no simulated time, so `ttl=N` means
+    /// "valid for the next N invoke requests".
+    invoke_ticks: u64,
+}
+
+/// The stored value of one cached invocation: everything needed to
+/// replay the HTTP 200 without running the handler.
+#[derive(Debug, Clone)]
+struct CachedResponse {
+    body: Vec<u8>,
+    content_type: String,
 }
 
 impl Gateway {
-    /// Creates a gateway over `registry`, with freshly seeded backends.
+    /// Creates a gateway over `registry`, with freshly seeded backends
+    /// and no result cache.
     pub fn new(registry: FunctionRegistry, seed: u64) -> Self {
+        Gateway::with_cache(registry, seed, CacheConfig::Off)
+    }
+
+    /// [`Gateway::new`] with a content-addressed result cache in front
+    /// of the handlers. Responses are keyed on the FNV-1a hash of the
+    /// function name plus the canonical request body, so only an
+    /// identical invocation replays a stored 200 — without calling
+    /// [`run_function`] at all. TTLs count `/invoke/` requests (the
+    /// gateway has no simulated clock).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache` fails [`CacheConfig::try_validate`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use microfaas::cache::CacheConfig;
+    /// use microfaas::gateway::Gateway;
+    /// use microfaas::registry::FunctionRegistry;
+    ///
+    /// let cache = CacheConfig::parse("lru:256,ttl=100").expect("valid spec");
+    /// let mut gw = Gateway::with_cache(FunctionRegistry::paper_suite(), 7, cache);
+    /// let first = gw.handle(b"POST /invoke/CascSHA HTTP/1.1\r\n\r\n");
+    /// let repeat = gw.handle(b"POST /invoke/CascSHA HTTP/1.1\r\n\r\n");
+    /// assert_eq!(first.body, repeat.body);
+    /// assert_eq!(gw.invocations(), 1, "the repeat never executed");
+    /// ```
+    pub fn with_cache(registry: FunctionRegistry, seed: u64, cache: CacheConfig) -> Self {
+        cache.try_validate().expect("invalid cache config");
+        // The spec's `ttl=N` is parsed as N seconds of simulated time,
+        // but the gateway's clock is the invoke counter — so re-read the
+        // TTL as N ticks rather than going through `from_config`, whose
+        // microsecond conversion only fits the simulation engines.
+        let cache = match cache {
+            CacheConfig::Off => None,
+            CacheConfig::Lru { capacity, ttl, .. } => Some(ResultCache::new(
+                capacity,
+                ttl.map(|t| t.as_micros() / 1_000_000),
+            )),
+        };
         Gateway {
             registry,
             backends: ServiceBackends::seeded(),
@@ -197,6 +255,8 @@ impl Gateway {
             rng: Rng::new(seed),
             invocations: 0,
             metrics: MetricsRegistry::new(),
+            cache,
+            invoke_ticks: 0,
         }
     }
 
@@ -285,41 +345,81 @@ impl Gateway {
                 }
             }
             ("POST", path) if path.starts_with("/invoke/") => {
-                let name = &path["/invoke/".len()..];
-                if let Some(script) = self.scripts.get(name) {
-                    return match script.run(SCRIPT_FUEL) {
-                        Ok(value) => {
-                            self.invocations += 1;
-                            self.bump("gateway_invocations_total");
-                            HttpResponse::new(200, value.to_string(), "text/plain")
-                        }
-                        // Fuel exhaustion is the interpreter-level
-                        // invocation timeout, so it maps to 504 like any
-                        // upstream that never answered, not to a 500.
-                        Err(e @ microfaas_workloads::interp::ScriptError::OutOfFuel) => {
-                            self.bump("gateway_timeouts_total");
-                            HttpResponse::new(504, e.to_string(), "text/plain")
-                        }
-                        Err(e) => HttpResponse::new(500, e.to_string(), "text/plain"),
-                    };
+                let name = path["/invoke/".len()..].to_string();
+                // The content key: function name plus canonical request
+                // body, so only a byte-identical invocation can replay
+                // a stored response.
+                let key = fnv1a_extend(fnv1a(name.as_bytes()), &request.body);
+                self.invoke_ticks += 1;
+                let now = self.invoke_ticks;
+                let cached = match self.cache.as_mut() {
+                    Some(cache) => cache
+                        .lookup(key, now)
+                        .map(|hit| HttpResponse::new(200, hit.body.clone(), &hit.content_type)),
+                    None => None,
+                };
+                if let Some(response) = cached {
+                    // Served straight from the store: `run_function` is
+                    // never called and `invocations` does not move.
+                    self.bump("gateway_cache_hits_total");
+                    return response;
                 }
-                match self.registry.resolve(name) {
-                    Err(e) => HttpResponse::new(404, e.to_string(), "text/plain"),
-                    Ok(spec) => {
-                        let handler = spec.handler;
-                        match run_function(handler, 1, &mut self.rng, &mut self.backends) {
-                            Ok(output) => {
-                                self.invocations += 1;
-                                self.bump("gateway_invocations_total");
-                                HttpResponse::new(200, output.summary, "text/plain")
-                            }
-                            Err(e) => HttpResponse::new(500, e.to_string(), "text/plain"),
-                        }
+                if self.cache.is_some() {
+                    self.bump("gateway_cache_misses_total");
+                }
+                let response = self.execute_invoke(&name);
+                if response.status == 200 {
+                    if let Some(cache) = self.cache.as_mut() {
+                        cache.insert(
+                            key,
+                            CachedResponse {
+                                body: response.body.clone(),
+                                content_type: response.content_type.clone(),
+                            },
+                            now,
+                        );
                     }
                 }
+                response
             }
             ("POST" | "GET", _) => HttpResponse::new(404, "no such route", "text/plain"),
             _ => HttpResponse::new(405, "method not allowed", "text/plain"),
+        }
+    }
+
+    /// Runs one `/invoke/<name>` for real — scripted handlers first,
+    /// then registry builtins — and renders the response.
+    fn execute_invoke(&mut self, name: &str) -> HttpResponse {
+        if let Some(script) = self.scripts.get(name) {
+            return match script.run(SCRIPT_FUEL) {
+                Ok(value) => {
+                    self.invocations += 1;
+                    self.bump("gateway_invocations_total");
+                    HttpResponse::new(200, value.to_string(), "text/plain")
+                }
+                // Fuel exhaustion is the interpreter-level
+                // invocation timeout, so it maps to 504 like any
+                // upstream that never answered, not to a 500.
+                Err(e @ microfaas_workloads::interp::ScriptError::OutOfFuel) => {
+                    self.bump("gateway_timeouts_total");
+                    HttpResponse::new(504, e.to_string(), "text/plain")
+                }
+                Err(e) => HttpResponse::new(500, e.to_string(), "text/plain"),
+            };
+        }
+        match self.registry.resolve(name) {
+            Err(e) => HttpResponse::new(404, e.to_string(), "text/plain"),
+            Ok(spec) => {
+                let handler = spec.handler;
+                match run_function(handler, 1, &mut self.rng, &mut self.backends) {
+                    Ok(output) => {
+                        self.invocations += 1;
+                        self.bump("gateway_invocations_total");
+                        HttpResponse::new(200, output.summary, "text/plain")
+                    }
+                    Err(e) => HttpResponse::new(500, e.to_string(), "text/plain"),
+                }
+            }
         }
     }
 }
@@ -415,6 +515,98 @@ mod tests {
         assert!(wire.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(wire.contains("content-length: 5\r\n"));
         assert!(wire.ends_with("\r\n\r\nhello"));
+    }
+
+    #[test]
+    fn content_length_always_tracks_the_final_body() {
+        // Regression guard for the classic stale-length bug: the header
+        // must be computed from the body at encode time, in one place —
+        // mutating the body after construction (as a handler or the
+        // cache-replay path may) must never ship the old length.
+        let mut response = HttpResponse::new(200, "hello", "text/plain");
+        response.body = b"a considerably longer body than before".to_vec();
+        let wire = String::from_utf8(response.encode()).expect("utf-8");
+        assert!(
+            wire.contains(&format!("content-length: {}\r\n", response.body.len())),
+            "stale content-length in: {wire}"
+        );
+        assert!(!wire.contains("content-length: 5\r\n"));
+
+        response.body.clear();
+        let wire = String::from_utf8(response.encode()).expect("utf-8");
+        assert!(wire.contains("content-length: 0\r\n"));
+        assert!(wire.ends_with("\r\n\r\n"), "an empty body follows the CRLF");
+    }
+
+    fn cached_gateway(spec: &str) -> Gateway {
+        Gateway::with_cache(
+            FunctionRegistry::paper_suite(),
+            42,
+            CacheConfig::parse(spec).expect("valid spec"),
+        )
+    }
+
+    #[test]
+    fn cache_replays_identical_invocations_without_executing() {
+        let mut gw = cached_gateway("lru:64");
+        let first = gw.handle(b"POST /invoke/CascSHA HTTP/1.1\r\n\r\n");
+        assert_eq!(first.status, 200);
+        assert_eq!(gw.invocations(), 1);
+        let repeat = gw.handle(b"POST /invoke/CascSHA HTTP/1.1\r\n\r\n");
+        assert_eq!(repeat.status, 200);
+        assert_eq!(repeat.body, first.body, "hits replay the stored body");
+        assert_eq!(gw.invocations(), 1, "the repeat never ran the handler");
+
+        // A different body is a different content key.
+        let other = gw.handle(b"POST /invoke/CascSHA HTTP/1.1\r\ncontent-length: 5\r\n\r\nhello");
+        assert_eq!(other.status, 200);
+        assert_eq!(gw.invocations(), 2, "a new payload must execute");
+
+        let metrics = gw.handle(b"GET /metrics HTTP/1.1\r\n\r\n");
+        let text = String::from_utf8(metrics.body).expect("utf-8");
+        assert!(text.contains("gateway_cache_hits_total 1"));
+        assert!(text.contains("gateway_cache_misses_total 2"));
+    }
+
+    #[test]
+    fn cache_ttl_counts_invoke_requests() {
+        // ttl=2: an entry stored at tick N expires once the clock
+        // passes N+2, so the third request after it re-executes.
+        let mut gw = cached_gateway("lru:64,ttl=2");
+        assert_eq!(
+            gw.handle(b"POST /invoke/CascSHA HTTP/1.1\r\n\r\n").status,
+            200
+        );
+        assert_eq!(
+            gw.handle(b"POST /invoke/CascSHA HTTP/1.1\r\n\r\n").status,
+            200
+        );
+        assert_eq!(gw.invocations(), 1, "tick 2 is still within the TTL");
+        assert_eq!(
+            gw.handle(b"POST /invoke/RegExMatch HTTP/1.1\r\n\r\n")
+                .status,
+            200
+        );
+        assert_eq!(
+            gw.handle(b"POST /invoke/CascSHA HTTP/1.1\r\n\r\n").status,
+            200
+        );
+        assert_eq!(gw.invocations(), 3, "tick 4 is past the TTL: re-executed");
+    }
+
+    #[test]
+    fn default_gateway_exposition_is_cache_free() {
+        let mut gw = gateway();
+        assert_eq!(
+            gw.handle(b"POST /invoke/CascSHA HTTP/1.1\r\n\r\n").status,
+            200
+        );
+        let metrics = gw.handle(b"GET /metrics HTTP/1.1\r\n\r\n");
+        let text = String::from_utf8(metrics.body).expect("utf-8");
+        assert!(
+            !text.contains("cache"),
+            "cache-off gateways must not grow cache series"
+        );
     }
 
     #[test]

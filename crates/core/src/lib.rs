@@ -7,6 +7,8 @@
 //! * [`arrivals`] — production traffic shapes: bursty/diurnal/flash
 //!   arrival processes, popularity skew, and tenant classes (see
 //!   `docs/WORKLOADS.md`);
+//! * [`cache`] — the content-addressed result cache and in-flight
+//!   request coalescing (see `docs/CACHING.md`);
 //! * [`config`] — workload mixes and run-to-run jitter;
 //! * [`job`] — invocations and timing records;
 //! * [`micro`] — the MicroFaaS cluster (SBC workers, GPIO power gating,
@@ -39,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod arrivals;
+pub mod cache;
 pub mod config;
 pub mod conventional;
 pub mod experiment;
@@ -56,6 +59,7 @@ pub use arrivals::{
     ArrivalProcess, ArrivalState, FunctionPicker, Popularity, Scenario, TenantClass, TenantSummary,
     TenantTracker,
 };
+pub use cache::{CacheConfig, CacheStats, ResultCache};
 pub use config::{Jitter, WorkloadMix};
 pub use conventional::{run_conventional, ConventionalConfig};
 pub use job::{Job, JobRecord};

@@ -31,6 +31,7 @@ use microfaas_sim::{
 use microfaas_workloads::calibration::{service_time, WorkerPlatform};
 use microfaas_workloads::FunctionId;
 
+use crate::cache::{content_key, CacheConfig, ResultCache};
 use crate::config::{Assignment, Jitter, WorkloadMix};
 use crate::job::{Dispatcher, Job, JobRecord, JobTable};
 use crate::netmap::ClusterNet;
@@ -88,6 +89,13 @@ pub struct MicroFaasConfig {
     /// Fault plan and recovery policies ([`FaultsConfig::none`] keeps
     /// the run fault-free and bit-identical to earlier builds).
     pub faults: FaultsConfig,
+    /// Content-addressed result cache on the orchestration plane. The
+    /// closed-loop harness carries no request payloads, so the key
+    /// degenerates to one entry per function: after a function's first
+    /// real execution, every repeat is served from the orchestrator at
+    /// zero boot/exec/energy cost. [`CacheConfig::Off`] (the default)
+    /// keeps runs bit-identical to pre-cache builds.
+    pub cache: CacheConfig,
 }
 
 impl MicroFaasConfig {
@@ -110,6 +118,7 @@ impl MicroFaasConfig {
             invocation_timeout: None,
             registry: FunctionRegistry::paper_suite(),
             faults: FaultsConfig::none(),
+            cache: CacheConfig::Off,
         }
     }
 }
@@ -280,6 +289,7 @@ pub fn run_microfaas_with(config: &MicroFaasConfig, observer: &mut Observer<'_>)
         config.crypto_exec_scale > 0.0 && config.crypto_exec_scale <= 1.0,
         "crypto accelerator can only speed execution up"
     );
+    config.cache.try_validate().expect("invalid cache config");
     MicroSim::new(config, observer).run()
 }
 
@@ -313,6 +323,10 @@ struct MicroSim<'a, 'b> {
     /// telemetry is gated on this so default runs stay byte-identical.
     sched_active: bool,
     sched_handles: Option<SchedMetrics>,
+    /// The orchestrator's result cache; `None` when
+    /// [`MicroFaasConfig::cache`] is off, keeping the pull path free of
+    /// cache branches.
+    cache: Option<ResultCache<()>>,
 }
 
 impl<'a, 'b> MicroSim<'a, 'b> {
@@ -428,6 +442,7 @@ impl<'a, 'b> MicroSim<'a, 'b> {
             gate_pending: vec![None; config.workers],
             sched_active,
             sched_handles,
+            cache: ResultCache::from_config(&config.cache),
         }
     }
 
@@ -503,9 +518,15 @@ impl<'a, 'b> MicroSim<'a, 'b> {
         // Headline gauges are computed from the finished run itself, so
         // the exposition agrees bit-for-bit with the `ClusterRun`
         // accessors.
+        let cache_stats = self.cache.as_ref().map(|c| c.stats());
         if let Some(metrics) = self.observer.metrics() {
             self.meter.publish_metrics(metrics, "micro", end);
             publish_run_gauges(metrics, "micro", &run);
+            // Cache counters only exist when a cache ran: the default
+            // exposition must stay byte-identical to pre-cache builds.
+            if let Some(stats) = cache_stats.as_ref() {
+                publish_cache_counters(metrics, "micro", stats);
+            }
         }
         run
     }
@@ -735,6 +756,13 @@ impl<'a, 'b> MicroSim<'a, 'b> {
             overhead,
         });
         self.last_completion = now;
+        if let Some(cache) = self.cache.as_mut() {
+            cache.insert(
+                content_key(flight.job.function.index(), 0),
+                (),
+                now.as_micros(),
+            );
+        }
         self.release_worker(w, now, false);
     }
 
@@ -1093,12 +1121,67 @@ impl<'a, 'b> MicroSim<'a, 'b> {
         // scheduled (see the Governor contract), keeping the loop finite.
     }
 
+    /// Completes a pulled job from the orchestrator's result cache: the
+    /// worker never sees it, so it costs zero boot/exec/energy. The job
+    /// still gets a record and a completion event (with zero durations)
+    /// so completions, traces, and per-function stats stay conserved.
+    fn complete_from_cache(&mut self, job: Job, w: usize, key: u64, now: SimTime) {
+        self.observer.emit(
+            now,
+            TraceEvent::CacheHit {
+                job: job.id,
+                function: job.function.name(),
+                key,
+            },
+        );
+        self.observer.emit(
+            now,
+            TraceEvent::JobCompleted {
+                job: job.id,
+                function: job.function.name(),
+                worker: w,
+                exec: SimDuration::ZERO,
+                overhead: SimDuration::ZERO,
+            },
+        );
+        self.with_metrics(|m, h| {
+            m.inc(h.jobs_completed);
+            m.observe(h.exec_seconds, 0.0);
+            m.observe(h.overhead_seconds, 0.0);
+        });
+        self.records.push(JobRecord {
+            job,
+            worker: w,
+            started: now,
+            exec: SimDuration::ZERO,
+            overhead: SimDuration::ZERO,
+        });
+        self.last_completion = now;
+    }
+
     fn start_next_job(&mut self, w: usize, now: SimTime) {
         // A job start pre-empts any armed idle-gate window.
         if let Some(eid) = self.gate_pending[w].take() {
             self.queue.cancel(eid);
         }
-        match self.dispatcher.pull(w) {
+        // Drain cache hits before committing the worker: each one
+        // completes instantly at the orchestrator and the pull loop
+        // moves on, so the worker only boots/executes for real misses.
+        let next = loop {
+            let Some(job) = self.dispatcher.pull(w) else {
+                break None;
+            };
+            let key = content_key(job.function.index(), 0);
+            let hit = match self.cache.as_mut() {
+                Some(cache) => cache.lookup(key, now.as_micros()).is_some(),
+                None => false,
+            };
+            if !hit {
+                break Some(job);
+            }
+            self.complete_from_cache(job, w, key, now);
+        };
+        match next {
             Some(job) => {
                 self.nodes[w].start_job(now).expect("node is idle");
                 let watts = self.nodes[w].power().value();
@@ -1203,6 +1286,28 @@ pub(crate) fn publish_run_gauges(metrics: &mut MetricsRegistry, prefix: &str, ru
     }
 }
 
+/// Publishes a finished run's cache statistics as `{prefix}_cache_*`
+/// counters. Callers gate on the cache being enabled so default
+/// expositions stay byte-identical to pre-cache builds.
+pub(crate) fn publish_cache_counters(
+    metrics: &mut MetricsRegistry,
+    prefix: &str,
+    stats: &crate::cache::CacheStats,
+) {
+    let counters = [
+        ("cache_hits_total", stats.hits),
+        ("cache_misses_total", stats.misses),
+        ("cache_coalesced_total", stats.coalesced),
+        ("cache_insertions_total", stats.insertions),
+        ("cache_evictions_total", stats.evictions),
+        ("cache_expirations_total", stats.expirations),
+    ];
+    for (name, value) in counters {
+        let counter = metrics.counter(&format!("{prefix}_{name}"));
+        metrics.add(counter, value);
+    }
+}
+
 fn is_crypto(function: FunctionId) -> bool {
     matches!(
         function,
@@ -1255,6 +1360,60 @@ mod tests {
         let a = run_microfaas(&quick_config(1));
         let b = run_microfaas(&quick_config(2));
         assert_ne!(a.makespan, b.makespan);
+    }
+
+    #[test]
+    fn result_cache_serves_repeats_for_free() {
+        let mut config = quick_config(9);
+        config.cache = CacheConfig::parse("lru:64").expect("valid spec");
+        let cached = run_microfaas(&config);
+        let baseline = run_microfaas(&quick_config(9));
+        // Conservation: the cache changes cost, never the job count.
+        assert_eq!(cached.jobs_completed(), baseline.jobs_completed());
+        assert!(
+            cached.makespan < baseline.makespan,
+            "hits must shorten the run: {:?} vs {:?}",
+            cached.makespan,
+            baseline.makespan
+        );
+        assert!(
+            cached.energy.total_joules < baseline.energy.total_joules,
+            "hits never boot or execute, so they must save energy"
+        );
+        // Payload-free closed loop: after each function's first real
+        // execution its repeats are served from the cache. Workers that
+        // race the same function before its first insert may duplicate
+        // a real execution, so the bound is loose on that side only.
+        let free = cached.records.iter().filter(|r| r.exec.is_zero()).count();
+        let real = cached.records.len() - free;
+        let functions = WorkloadMix::quick().functions().len();
+        assert!(
+            real >= functions,
+            "every function pays at least one real execution (real {real})"
+        );
+        assert!(
+            real <= 3 * functions,
+            "the cache should absorb nearly every repeat (real {real})"
+        );
+    }
+
+    #[test]
+    fn cache_counters_appear_only_when_the_cache_runs() {
+        let mut metrics = MetricsRegistry::new();
+        run_microfaas_with(&quick_config(3), &mut Observer::metered(&mut metrics));
+        assert!(
+            !metrics.render_prometheus().contains("cache_"),
+            "default exposition must stay cache-free"
+        );
+
+        let mut config = quick_config(3);
+        config.cache = CacheConfig::parse("lru:64,ttl=300").expect("valid spec");
+        let mut metrics = MetricsRegistry::new();
+        run_microfaas_with(&config, &mut Observer::metered(&mut metrics));
+        let text = metrics.render_prometheus();
+        assert!(text.contains("micro_cache_hits_total"));
+        assert!(text.contains("micro_cache_misses_total"));
+        assert!(text.contains("micro_cache_insertions_total"));
     }
 
     #[test]

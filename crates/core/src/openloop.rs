@@ -31,6 +31,7 @@ use microfaas_sim::{
 use microfaas_workloads::calibration::{service_time, WorkerPlatform};
 use microfaas_workloads::FunctionId;
 
+use crate::cache::{content_key, CacheConfig, CoalesceTable, ResultCache};
 use crate::config::Jitter;
 use crate::micro::{SchedMetrics, EXEC_BUCKETS};
 use crate::recovery::FaultsConfig;
@@ -88,6 +89,12 @@ pub struct OpenLoopConfig {
     /// entirely. A crash lands only if the node is executing at that
     /// instant — a powered-off node has nothing to kill.
     pub faults: FaultsConfig,
+    /// Content-addressed result cache plus in-flight coalescing (see
+    /// `docs/CACHING.md`). The default [`CacheConfig::Off`] draws no
+    /// extra RNG and emits no cache telemetry, keeping runs
+    /// byte-identical to pre-cache builds; any LRU spec turns repeat
+    /// invocations into zero-boot, zero-exec completions.
+    pub cache: CacheConfig,
 }
 
 impl OpenLoopConfig {
@@ -106,6 +113,7 @@ impl OpenLoopConfig {
             popularity: Popularity::Uniform,
             tenants: Vec::new(),
             faults: FaultsConfig::none(),
+            cache: CacheConfig::Off,
         }
     }
 }
@@ -135,6 +143,13 @@ pub struct OpenLoopRun {
     /// [`OpenLoopConfig::tenants`] order. Empty when no tenant classes
     /// were configured.
     pub tenants: Vec<TenantSummary>,
+    /// Completions served straight from the result cache (zero boot,
+    /// exec, and energy). Always 0 with [`CacheConfig::Off`].
+    pub cache_hits: u64,
+    /// Cache lookups that missed and executed normally.
+    pub cache_misses: u64,
+    /// Completions that coalesced onto an in-flight identical invoke.
+    pub cache_coalesced: u64,
 }
 
 /// Relative error of the streaming path's p95 estimate — the
@@ -263,6 +278,8 @@ struct QueuedJob {
     arrived: SimTime,
     /// Tenant-class index; 0 when no classes are configured.
     tenant: u16,
+    /// Content-cache key; 0 (and never read) when the cache is off.
+    key: u64,
 }
 
 struct Worker {
@@ -443,6 +460,14 @@ fn run_open_loop_core<L: LatencyAccum, S: RunSink>(
     // fleet scans — the placeholder they get instead is ignored.
     let wants_census = policy.wants_idle_census();
 
+    // The result cache and its in-flight coalescing table. With the
+    // default `Off` this is `None`, every cache branch below is dead,
+    // and no extra RNG draw happens — the bit-compat goldens pin that.
+    config.cache.try_validate().expect("invalid cache config");
+    let mut cache: Option<ResultCache<()>> = ResultCache::from_config(&config.cache);
+    let mut coalesce: CoalesceTable<QueuedJob> = CoalesceTable::new();
+    let input_variants = config.cache.input_variants() as usize;
+
     let mut rng = Rng::new(config.seed);
     let mut queue: EventQueue<Event> = EventQueue::new();
     let mut gpio = PowerController::new(config.workers);
@@ -484,11 +509,12 @@ fn run_open_loop_core<L: LatencyAccum, S: RunSink>(
                 for _ in 0..config.arrival.batch() {
                     arrived += 1;
                     let function = config.functions[picker.pick(&mut rng)];
-                    let job = QueuedJob {
+                    let mut job = QueuedJob {
                         id: arrived,
                         function,
                         arrived: now,
                         tenant: tenant_tracker.draw(&mut rng),
+                        key: 0,
                     };
                     observer.emit(
                         now,
@@ -499,6 +525,77 @@ fn run_open_loop_core<L: LatencyAccum, S: RunSink>(
                     );
                     if let (Some(metrics), Some(h)) = (observer.metrics(), handles.as_ref()) {
                         metrics.inc(h.jobs_arrived);
+                    }
+                    if let Some(cache) = cache.as_mut() {
+                        // One extra sim-stream draw picks the canonical
+                        // input this invocation carries.
+                        job.key = content_key(function.index(), rng.index(input_variants) as u64);
+                        if cache.lookup(job.key, now.as_micros()).is_some() {
+                            // Zero-energy fast path: the stored result is
+                            // served by the orchestration plane (worker 0
+                            // by convention) with no queue, boot, or exec.
+                            observer.emit(
+                                now,
+                                TraceEvent::CacheHit {
+                                    job: job.id,
+                                    function: function.name(),
+                                    key: job.key,
+                                },
+                            );
+                            completed += 1;
+                            latencies.record(0.0);
+                            tenant_tracker.record(job.tenant, 0.0);
+                            sink.on_completion(&Completion {
+                                job: job.id,
+                                function: job.function,
+                                worker: 0,
+                                arrived: job.arrived,
+                                finished: now,
+                                exec: SimDuration::ZERO,
+                                tenant: job.tenant,
+                            });
+                            observer.emit(
+                                now,
+                                TraceEvent::JobCompleted {
+                                    job: job.id,
+                                    function: function.name(),
+                                    worker: 0,
+                                    exec: SimDuration::ZERO,
+                                    overhead: SimDuration::ZERO,
+                                },
+                            );
+                            if let (Some(metrics), Some(h)) = (observer.metrics(), handles.as_ref())
+                            {
+                                metrics.inc(h.jobs_completed);
+                                metrics.observe(h.exec_seconds, 0.0);
+                                metrics.observe(h.latency_seconds, 0.0);
+                            }
+                            continue;
+                        }
+                        if !coalesce.try_lead(job.key, job.id) {
+                            // An identical invoke is already executing:
+                            // park this one behind its leader.
+                            cache.note_coalesced();
+                            let leader = coalesce.leader(job.key).expect("key in flight");
+                            observer.emit(
+                                now,
+                                TraceEvent::Coalesced {
+                                    job: job.id,
+                                    leader,
+                                    function: function.name(),
+                                },
+                            );
+                            coalesce.follow(job.key, job);
+                            continue;
+                        }
+                        observer.emit(
+                            now,
+                            TraceEvent::CacheMiss {
+                                job: job.id,
+                                function: function.name(),
+                                key: job.key,
+                            },
+                        );
                     }
                     // Rate tracking for WarmPool (a no-op elsewhere).
                     policy.observe_arrival(now);
@@ -512,7 +609,14 @@ fn run_open_loop_core<L: LatencyAccum, S: RunSink>(
                     } else {
                         views.clear();
                         views.extend(workers.iter().map(Worker::view));
-                        policy.place(&views, &mut rng)
+                        if cache.is_some() {
+                            // Key-aware routing: CacheAffine pins hot
+                            // keys to home nodes; other policies ignore
+                            // the key and behave exactly as place().
+                            policy.place_keyed(job.key, &views, &mut rng)
+                        } else {
+                            policy.place(&views, &mut rng)
+                        }
                     };
                     if sched_active {
                         observer.emit(
@@ -705,6 +809,43 @@ fn run_open_loop_core<L: LatencyAccum, S: RunSink>(
                     metrics.inc(h.jobs_completed);
                     metrics.observe(h.exec_seconds, exec.as_secs_f64());
                     metrics.observe(h.latency_seconds, latency.as_secs_f64());
+                }
+                if let Some(cache) = cache.as_mut() {
+                    // The leader's result commits: store it, then drain
+                    // every coalesced follower at this instant. Each
+                    // follower pays only its queue wait — zero boot,
+                    // exec, overhead, and energy.
+                    cache.insert(job.key, (), now.as_micros());
+                    for follower in coalesce.complete(job.key) {
+                        completed += 1;
+                        let wait = now.duration_since(follower.arrived);
+                        latencies.record(wait.as_secs_f64());
+                        tenant_tracker.record(follower.tenant, wait.as_secs_f64());
+                        sink.on_completion(&Completion {
+                            job: follower.id,
+                            function: follower.function,
+                            worker: w,
+                            arrived: follower.arrived,
+                            finished: now,
+                            exec: SimDuration::ZERO,
+                            tenant: follower.tenant,
+                        });
+                        observer.emit(
+                            now,
+                            TraceEvent::JobCompleted {
+                                job: follower.id,
+                                function: follower.function.name(),
+                                worker: w,
+                                exec: SimDuration::ZERO,
+                                overhead: SimDuration::ZERO,
+                            },
+                        );
+                        if let (Some(metrics), Some(h)) = (observer.metrics(), handles.as_ref()) {
+                            metrics.inc(h.jobs_completed);
+                            metrics.observe(h.exec_seconds, 0.0);
+                            metrics.observe(h.latency_seconds, wait.as_secs_f64());
+                        }
+                    }
                 }
                 if workers[w].queue.is_empty() {
                     // Queue drained: the governor picks the power regime.
@@ -928,6 +1069,7 @@ fn run_open_loop_core<L: LatencyAccum, S: RunSink>(
     let end = queue.now().max(horizon);
     let report = meter.report(end, completed);
     let (mean_latency_s, p95_latency_s) = latencies.finish();
+    let cache_stats = cache.as_ref().map(|c| c.stats()).unwrap_or_default();
     let run = OpenLoopRun {
         completed,
         mean_latency_s,
@@ -941,6 +1083,9 @@ fn run_open_loop_core<L: LatencyAccum, S: RunSink>(
             .sum(),
         faults_injected,
         tenants: tenant_tracker.summaries(),
+        cache_hits: cache_stats.hits,
+        cache_misses: cache_stats.misses,
+        cache_coalesced: cache_stats.coalesced,
     };
     // Gauges come from the finished run so the exposition agrees
     // bit-for-bit with the returned aggregates.
@@ -966,6 +1111,11 @@ fn run_open_loop_core<L: LatencyAccum, S: RunSink>(
         for (name, value) in pairs {
             let gauge = metrics.gauge(name);
             metrics.set_gauge(gauge, value);
+        }
+        // Cache counters only exist when a cache ran: the default
+        // exposition must stay byte-identical to pre-cache builds.
+        if config.cache.enabled() {
+            crate::micro::publish_cache_counters(metrics, "open", &cache_stats);
         }
     }
     run
@@ -1003,6 +1153,14 @@ pub fn run_open_loop_conventional(config: &OpenLoopConfig, vms: usize) -> OpenLo
     let mut arrived: u64 = 0;
     let horizon = SimTime::ZERO + config.duration;
 
+    // Same cache discipline as the MicroFaaS loop: `Off` means no extra
+    // draws and dead branches; hits complete at arrival, followers at
+    // their leader's commit.
+    config.cache.try_validate().expect("invalid cache config");
+    let mut cache: Option<ResultCache<()>> = ResultCache::from_config(&config.cache);
+    let mut coalesce: CoalesceTable<QueuedJob> = CoalesceTable::new();
+    let input_variants = config.cache.input_variants() as usize;
+
     queue.schedule(SimTime::ZERO, Event::Arrival);
     while let Some((now, event)) = queue.pop() {
         match event {
@@ -1013,12 +1171,27 @@ pub fn run_open_loop_conventional(config: &OpenLoopConfig, vms: usize) -> OpenLo
                 for _ in 0..config.arrival.batch() {
                     arrived += 1;
                     let function = config.functions[picker.pick(&mut rng)];
-                    let job = QueuedJob {
+                    let mut job = QueuedJob {
                         id: arrived,
                         function,
                         arrived: now,
                         tenant: tenant_tracker.draw(&mut rng),
+                        key: 0,
                     };
+                    if let Some(cache) = cache.as_mut() {
+                        job.key = content_key(function.index(), rng.index(input_variants) as u64);
+                        if cache.lookup(job.key, now.as_micros()).is_some() {
+                            completed += 1;
+                            latencies.record(0.0);
+                            tenant_tracker.record(job.tenant, 0.0);
+                            continue;
+                        }
+                        if !coalesce.try_lead(job.key, job.id) {
+                            cache.note_coalesced();
+                            coalesce.follow(job.key, job);
+                            continue;
+                        }
+                    }
                     // Pick the emptiest VM (work-conserving enough for a
                     // fair comparison; the scheduler study lives on the
                     // MicroFaaS side).
@@ -1053,6 +1226,15 @@ pub fn run_open_loop_conventional(config: &OpenLoopConfig, vms: usize) -> OpenLo
                 let latency_s = now.duration_since(job.arrived).as_secs_f64();
                 latencies.record(latency_s);
                 tenant_tracker.record(job.tenant, latency_s);
+                if let Some(cache) = cache.as_mut() {
+                    cache.insert(job.key, (), now.as_micros());
+                    for follower in coalesce.complete(job.key) {
+                        completed += 1;
+                        let wait_s = now.duration_since(follower.arrived).as_secs_f64();
+                        latencies.record(wait_s);
+                        tenant_tracker.record(follower.tenant, wait_s);
+                    }
+                }
                 server.finish_job(v, now).expect("vm was executing");
                 meter.set_power(now, host, server.power().value());
                 // Between-jobs reboot, then take the next job if queued.
@@ -1084,6 +1266,7 @@ pub fn run_open_loop_conventional(config: &OpenLoopConfig, vms: usize) -> OpenLo
 
     let end = queue.now().max(horizon);
     let report = meter.report(end, completed);
+    let cache_stats = cache.as_ref().map(|c| c.stats()).unwrap_or_default();
     OpenLoopRun {
         completed,
         mean_latency_s: latencies.mean().unwrap_or(0.0),
@@ -1095,6 +1278,9 @@ pub fn run_open_loop_conventional(config: &OpenLoopConfig, vms: usize) -> OpenLo
         power_cycles: 0,
         faults_injected: 0,
         tenants: tenant_tracker.summaries(),
+        cache_hits: cache_stats.hits,
+        cache_misses: cache_stats.misses,
+        cache_coalesced: cache_stats.coalesced,
     }
 }
 
@@ -1169,6 +1355,7 @@ mod tests {
             popularity: Popularity::Uniform,
             tenants: Vec::new(),
             faults: FaultsConfig::none(),
+            cache: CacheConfig::Off,
         }
     }
 
@@ -1607,6 +1794,97 @@ mod tests {
         assert_eq!(a.mean_latency_s, b.mean_latency_s);
         assert_eq!(a.p95_latency_s, b.p95_latency_s);
         assert_eq!(a.mean_power_w, b.mean_power_w);
+    }
+
+    #[test]
+    fn cache_turns_repeats_into_free_completions() {
+        let mut cfg = config(
+            ArrivalProcess::Poisson { per_second: 2.0 },
+            SchedulerPolicy::LeastLoaded,
+            51,
+        );
+        cfg.popularity = Popularity::Zipf { exponent: 1.1 };
+        let baseline = run_open_loop(&cfg);
+        cfg.cache = CacheConfig::parse("lru:4096,ttl=300").unwrap();
+        let cached = run_open_loop(&cfg);
+        assert_eq!(
+            cached.cache_hits + cached.cache_misses + cached.cache_coalesced,
+            cached.completed,
+            "every arrival lands in exactly one bucket"
+        );
+        assert!(cached.cache_hits > 0, "Zipf repeats must hit");
+        assert!(
+            cached.p95_latency_s < baseline.p95_latency_s,
+            "hits should cut p95: {:.2}s vs {:.2}s",
+            cached.p95_latency_s,
+            baseline.p95_latency_s
+        );
+        assert!(
+            cached.joules_per_function < baseline.joules_per_function,
+            "skipped executions should cut J/function"
+        );
+        // Nothing is lost: every arrival still completes after drain.
+        let expected = cached.offered_per_second * 600.0;
+        assert!((cached.completed as f64 - expected).abs() < 1.0);
+        assert_eq!(baseline.cache_hits, 0, "cache off must stay silent");
+    }
+
+    #[test]
+    fn cached_runs_are_deterministic_and_streaming_parity_holds() {
+        let mut cfg = config(
+            ArrivalProcess::Poisson { per_second: 2.0 },
+            SchedulerPolicy::CacheAffine,
+            52,
+        );
+        cfg.popularity = Popularity::Zipf { exponent: 1.1 };
+        cfg.cache = CacheConfig::parse(crate::cache::DEFAULT_CACHE_SPEC).unwrap();
+        let a = run_open_loop(&cfg);
+        let b = run_open_loop(&cfg);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.mean_latency_s, b.mean_latency_s);
+        assert_eq!(a.cache_hits, b.cache_hits);
+        assert_eq!(a.cache_coalesced, b.cache_coalesced);
+        let streamed = run_open_loop_streaming(&cfg, &mut NullSink);
+        assert_eq!(streamed.completed, a.completed);
+        assert_eq!(streamed.cache_hits, a.cache_hits);
+        assert_eq!(streamed.cache_misses, a.cache_misses);
+        assert_eq!(streamed.cache_coalesced, a.cache_coalesced);
+        assert_eq!(streamed.mean_power_w, a.mean_power_w);
+    }
+
+    #[test]
+    fn cached_streaming_sink_stays_monotonic_and_complete() {
+        let mut cfg = config(
+            ArrivalProcess::Poisson { per_second: 3.0 },
+            SchedulerPolicy::LeastLoaded,
+            53,
+        );
+        cfg.popularity = Popularity::HotCold {
+            hot_functions: 3,
+            hot_share: 0.9,
+        };
+        cfg.cache = CacheConfig::parse("lru:512,ttl=120").unwrap();
+        let mut sink = CountingSink::new();
+        let run = run_open_loop_streaming(&cfg, &mut sink);
+        assert_eq!(sink.completions, run.completed);
+        assert!(sink.monotonic, "cached completions must stay in time order");
+    }
+
+    #[test]
+    fn conventional_open_loop_honours_the_cache() {
+        let mut cfg = config(
+            ArrivalProcess::Poisson { per_second: 2.0 },
+            SchedulerPolicy::RandomStatic,
+            54,
+        );
+        cfg.popularity = Popularity::Zipf { exponent: 1.1 };
+        let baseline = run_open_loop_conventional(&cfg, 6);
+        cfg.cache = CacheConfig::parse("lru:4096,ttl=300").unwrap();
+        let cached = run_open_loop_conventional(&cfg, 6);
+        assert!(cached.cache_hits > 0);
+        assert!(cached.mean_latency_s < baseline.mean_latency_s);
+        let expected = cached.offered_per_second * 600.0;
+        assert!((cached.completed as f64 - expected).abs() < 1.0);
     }
 
     #[test]

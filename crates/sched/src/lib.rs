@@ -58,7 +58,8 @@ pub use governor::{
 };
 pub use pareto::{edp_winner, pareto_front};
 pub use placement::{
-    placement, NodeView, Placement, PlacementKind, PolicyParseError, POWER_AWARE_WAKE_BACKLOG,
+    placement, NodeView, Placement, PlacementKind, PolicyParseError, CACHE_AFFINE_SPILL_BACKLOG,
+    POWER_AWARE_WAKE_BACKLOG,
 };
 
 use microfaas_sim::{Rng, SimTime};
@@ -129,6 +130,17 @@ impl PolicyEngine {
             self.placement.place(views, sim_rng)
         } else {
             self.placement.place(views, &mut self.policy_rng)
+        }
+    }
+
+    /// Places the next job given its content-cache key, with the same
+    /// legacy-vs-policy RNG routing as [`PolicyEngine::place`]. Only
+    /// [`PlacementKind::CacheAffine`] reads the key.
+    pub fn place_keyed(&mut self, key: u64, views: &[NodeView], sim_rng: &mut Rng) -> usize {
+        if self.placement_kind.is_legacy_assignment() {
+            self.placement.place_keyed(key, views, sim_rng)
+        } else {
+            self.placement.place_keyed(key, views, &mut self.policy_rng)
         }
     }
 

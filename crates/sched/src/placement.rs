@@ -2,7 +2,7 @@
 //!
 //! The [`Placement`] trait is deliberately narrow — a policy sees a
 //! per-worker [`NodeView`] snapshot and names a worker index — so the
-//! same six policies drive both cluster shapes:
+//! same seven policies drive both cluster shapes:
 //!
 //! * **closed loop** (`micro`/`conventional`): the whole batch is known
 //!   at `t = 0` and the dispatcher calls [`Placement::place`] once per
@@ -30,6 +30,11 @@ use microfaas_sim::Rng;
 /// Queue depth at which [`PlacementKind::PowerAware`] stops packing and
 /// wakes a gated node instead (the historical `WAKE_BACKLOG` constant).
 pub const POWER_AWARE_WAKE_BACKLOG: usize = 2;
+
+/// Backlog at which [`PlacementKind::CacheAffine`] abandons a key's home
+/// node and spills to the least-loaded worker instead. Below this, hot
+/// keys stay node-affine so a per-node result cache sees every repeat.
+pub const CACHE_AFFINE_SPILL_BACKLOG: usize = 4;
 
 /// The placement-policy family. `WorkConserving` and `RandomStatic` are
 /// the two modes the orchestration plane has always had; the other four
@@ -66,17 +71,25 @@ pub enum PlacementKind {
     /// least-backlogged powered node while its backlog is below
     /// [`POWER_AWARE_WAKE_BACKLOG`], else wake the first gated node.
     PowerAware,
+    /// Route each content key to a fixed home node (`mix(key) % n`) so
+    /// repeat invocations of the same function+input land where the
+    /// result cache is warm, spilling to the least-loaded worker once
+    /// the home backlog reaches [`CACHE_AFFINE_SPILL_BACKLOG`]. Without
+    /// a key (key-less closed-loop dispatch) it degrades to
+    /// least-loaded-by-backlog.
+    CacheAffine,
 }
 
 impl PlacementKind {
     /// Every placement kind, in canonical sweep order.
-    pub const ALL: [PlacementKind; 6] = [
+    pub const ALL: [PlacementKind; 7] = [
         PlacementKind::WorkConserving,
         PlacementKind::RandomStatic,
         PlacementKind::LeastLoaded,
         PlacementKind::JoinShortestQueue,
         PlacementKind::WarmFirst,
         PlacementKind::PowerAware,
+        PlacementKind::CacheAffine,
     ];
 
     /// Stable kebab-case label used in CLI flags, CSV rows, and trace
@@ -89,6 +102,7 @@ impl PlacementKind {
             PlacementKind::JoinShortestQueue => "join-shortest-queue",
             PlacementKind::WarmFirst => "warm-first",
             PlacementKind::PowerAware => "power-aware",
+            PlacementKind::CacheAffine => "cache-affine",
         }
     }
 
@@ -133,9 +147,11 @@ impl FromStr for PlacementKind {
             "join-shortest-queue" | "jsq" => Ok(PlacementKind::JoinShortestQueue),
             "warm-first" => Ok(PlacementKind::WarmFirst),
             "power-aware" => Ok(PlacementKind::PowerAware),
+            "cache-affine" => Ok(PlacementKind::CacheAffine),
             other => Err(PolicyParseError(format!(
                 "unknown placement '{other}' (expected one of: work-conserving, \
-                 random-static, least-loaded, join-shortest-queue, warm-first, power-aware)"
+                 random-static, least-loaded, join-shortest-queue, warm-first, power-aware, \
+                 cache-affine)"
             ))),
         }
     }
@@ -182,6 +198,14 @@ pub trait Placement {
     /// stream for the legacy [`PlacementKind::RandomStatic`], the
     /// dedicated policy stream for everything else (see module docs).
     fn place(&mut self, views: &[NodeView], rng: &mut Rng) -> usize;
+
+    /// Picks the worker for the next job given its content-cache key.
+    /// Only [`PlacementKind::CacheAffine`] reads the key; every other
+    /// policy delegates to [`Placement::place`], so key-aware call
+    /// sites can use this unconditionally.
+    fn place_keyed(&mut self, _key: u64, views: &[NodeView], rng: &mut Rng) -> usize {
+        self.place(views, rng)
+    }
 }
 
 /// First index minimizing `key` (ties break to the lowest index, the
@@ -307,6 +331,37 @@ impl Placement for PowerAwarePlacement {
     }
 }
 
+struct CacheAffinePlacement;
+
+impl Placement for CacheAffinePlacement {
+    fn kind(&self) -> PlacementKind {
+        PlacementKind::CacheAffine
+    }
+
+    fn place(&mut self, views: &[NodeView], _rng: &mut Rng) -> usize {
+        // Key-less dispatch (closed-loop batches): nothing to be affine
+        // to, so behave like least-loaded-by-backlog.
+        argmin_by(views, |_| true, NodeView::backlog).unwrap_or(0)
+    }
+
+    fn place_keyed(&mut self, key: u64, views: &[NodeView], _rng: &mut Rng) -> usize {
+        // A fixed multiplicative mix (splitmix64 finalizer) spreads
+        // sequential FNV keys over the fleet; the home pick is a pure
+        // function of (key, fleet size) so it is stable across runs.
+        let mut h = key;
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^= h >> 31;
+        let home = (h % views.len() as u64) as usize;
+        if views[home].backlog() < CACHE_AFFINE_SPILL_BACKLOG {
+            return home;
+        }
+        argmin_by(views, |_| true, NodeView::backlog).unwrap_or(home)
+    }
+}
+
 /// Builds the boxed policy for `kind`. The trait object is deliberate:
 /// the event-loop cost of the indirection is guarded by
 /// `benches/sched_overhead.rs`.
@@ -318,6 +373,7 @@ pub fn placement(kind: PlacementKind) -> Box<dyn Placement + Send> {
         PlacementKind::JoinShortestQueue => Box::new(JoinShortestQueuePlacement),
         PlacementKind::WarmFirst => Box::new(WarmFirstPlacement),
         PlacementKind::PowerAware => Box::new(PowerAwarePlacement),
+        PlacementKind::CacheAffine => Box::new(CacheAffinePlacement),
     }
 }
 
@@ -428,6 +484,34 @@ mod tests {
         // Nothing gated left: fall back to the least-backlogged node.
         let saturated = vec![view(3, true, true), view(2, true, true)];
         assert_eq!(policy.place(&saturated, &mut rng), 1);
+    }
+
+    #[test]
+    fn cache_affine_keeps_keys_home_until_the_spill_backlog() {
+        let mut rng = Rng::new(1);
+        let mut policy = placement(PlacementKind::CacheAffine);
+        let views = vec![view(0, false, true); 4];
+        // Same key, same home — repeatedly.
+        let home = policy.place_keyed(0xfeed, &views, &mut rng);
+        for _ in 0..8 {
+            assert_eq!(policy.place_keyed(0xfeed, &views, &mut rng), home);
+        }
+        // Saturate the home node past the spill threshold: the key
+        // moves to the least-backlogged worker instead.
+        let mut loaded = views.clone();
+        loaded[home] = view(CACHE_AFFINE_SPILL_BACKLOG, true, true);
+        let spilled = policy.place_keyed(0xfeed, &loaded, &mut rng);
+        assert_ne!(spilled, home);
+        assert_eq!(loaded[spilled].backlog(), 0);
+        // Key-less placement degrades to least-loaded-by-backlog.
+        let uneven = vec![view(2, true, true), view(0, false, true)];
+        assert_eq!(policy.place(&uneven, &mut rng), 1);
+        // Other policies route place_keyed through place unchanged.
+        let mut jsq = placement(PlacementKind::JoinShortestQueue);
+        assert_eq!(
+            jsq.place_keyed(0xfeed, &uneven, &mut rng),
+            jsq.place(&uneven, &mut rng)
+        );
     }
 
     #[test]

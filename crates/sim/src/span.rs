@@ -131,6 +131,12 @@ pub struct JobSpan {
     pub function: &'static str,
     /// Worker that completed the job.
     pub worker: usize,
+    /// Whether the job was served by the result cache (a hit or a
+    /// coalesced follower). Cached spans never execute: boot, exec,
+    /// overhead, and response are all zero, and the queue phase alone
+    /// carries the end-to-end time, so the five-phase sum invariant
+    /// holds unchanged.
+    pub cached: bool,
     /// When the job entered the dispatch queue.
     pub enqueued: SimTime,
     /// When the (final) execution attempt began.
@@ -291,6 +297,7 @@ struct Pending {
     enqueued: u64,
     started: Option<(u64, usize)>,
     response: Option<u64>,
+    cached: bool,
 }
 
 /// The derived causal structure of one traced run: per-job spans,
@@ -334,6 +341,7 @@ impl SpanTree {
                         enqueued: at,
                         started: None,
                         response: None,
+                        cached: false,
                     });
                 }
                 TraceEvent::JobStarted { job, worker, .. } => {
@@ -342,6 +350,7 @@ impl SpanTree {
                         enqueued: at,
                         started: None,
                         response: None,
+                        cached: false,
                     });
                     // A retried job restarts its serving phases: the
                     // last start wins and any earlier response copy is
@@ -354,6 +363,11 @@ impl SpanTree {
                         if p.started.is_some() && p.response.is_none() {
                             p.response = Some(at);
                         }
+                    }
+                }
+                TraceEvent::CacheHit { job, .. } | TraceEvent::Coalesced { job, .. } => {
+                    if let Some(p) = pending.get_mut(&job) {
+                        p.cached = true;
                     }
                 }
                 TraceEvent::JobCompleted {
@@ -369,6 +383,30 @@ impl SpanTree {
                             let track = tracks.entry(worker).or_default();
                             tree.jobs
                                 .push(build_span(job, function, worker, at, exec, &p, track));
+                        }
+                        // A job the cache served never starts: its whole
+                        // end-to-end time is queue wait, with zero boot,
+                        // exec, overhead, and response — the sum invariant
+                        // holds trivially.
+                        Some(p) if p.cached => {
+                            let enqueued = p.enqueued.min(at);
+                            tree.jobs.push(JobSpan {
+                                job,
+                                function,
+                                worker,
+                                cached: true,
+                                enqueued: SimTime::from_micros(enqueued),
+                                started: SimTime::from_micros(at),
+                                response_sent: SimTime::from_micros(at),
+                                completed: SimTime::from_micros(at),
+                                phases: [
+                                    SimDuration::from_micros(at - enqueued),
+                                    SimDuration::ZERO,
+                                    SimDuration::ZERO,
+                                    SimDuration::ZERO,
+                                    SimDuration::ZERO,
+                                ],
+                            });
                         }
                         _ => tree.skipped += 1,
                     }
@@ -400,6 +438,7 @@ impl SpanTree {
                 | TraceEvent::PowerSample { .. }
                 | TraceEvent::NetTransfer { .. }
                 | TraceEvent::PlacementDecision { .. }
+                | TraceEvent::CacheMiss { .. }
                 | TraceEvent::GovernorTransition { .. } => {}
             }
         }
@@ -506,6 +545,7 @@ fn build_span(
         job,
         function,
         worker,
+        cached: false,
         enqueued: SimTime::from_micros(enqueued),
         started: SimTime::from_micros(started),
         response_sent: SimTime::from_micros(response_at),
@@ -899,6 +939,82 @@ mod tests {
         assert_eq!(span.phase(Phase::Response).as_micros(), 10);
         let sum: u64 = Phase::ALL.iter().map(|&p| span.phase(p).as_micros()).sum();
         assert_eq!(sum, span.end_to_end().as_micros());
+    }
+
+    #[test]
+    fn cache_hit_spans_decompose_to_pure_queue_time() {
+        let mut t = TraceBuffer::new(256);
+        t.record(
+            us(100),
+            TraceEvent::JobEnqueued {
+                job: 9,
+                function: "CascSHA",
+            },
+        );
+        t.record(
+            us(100),
+            TraceEvent::CacheHit {
+                job: 9,
+                function: "CascSHA",
+                key: 7,
+            },
+        );
+        t.record(
+            us(100),
+            TraceEvent::JobCompleted {
+                job: 9,
+                function: "CascSHA",
+                worker: 0,
+                exec: SimDuration::ZERO,
+                overhead: SimDuration::ZERO,
+            },
+        );
+        // A coalesced follower completes later, at its leader's finish.
+        t.record(
+            us(200),
+            TraceEvent::JobEnqueued {
+                job: 10,
+                function: "CascSHA",
+            },
+        );
+        t.record(
+            us(200),
+            TraceEvent::Coalesced {
+                job: 10,
+                leader: 8,
+                function: "CascSHA",
+            },
+        );
+        t.record(
+            us(450),
+            TraceEvent::JobCompleted {
+                job: 10,
+                function: "CascSHA",
+                worker: 2,
+                exec: SimDuration::ZERO,
+                overhead: SimDuration::ZERO,
+            },
+        );
+        let tree = SpanTree::from_buffer(&t);
+        assert_eq!(tree.skipped(), 0);
+
+        let hit = tree.job(9).unwrap();
+        assert!(hit.cached);
+        for phase in Phase::ALL {
+            assert_eq!(hit.phase(phase).as_micros(), 0);
+        }
+        assert_eq!(hit.end_to_end().as_micros(), 0);
+
+        let follower = tree.job(10).unwrap();
+        assert!(follower.cached);
+        assert_eq!(follower.phase(Phase::Queue).as_micros(), 250);
+        assert_eq!(follower.phase(Phase::Boot).as_micros(), 0);
+        assert_eq!(follower.phase(Phase::Exec).as_micros(), 0);
+        let sum: u64 = Phase::ALL
+            .iter()
+            .map(|&p| follower.phase(p).as_micros())
+            .sum();
+        assert_eq!(sum, follower.end_to_end().as_micros());
     }
 
     #[test]

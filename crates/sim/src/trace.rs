@@ -228,6 +228,39 @@ pub enum TraceEvent {
         /// Worker sending the response.
         worker: usize,
     },
+    /// An invocation was served from the content-addressed result cache
+    /// — no queueing, no boot, no execution. Emitted only when a cache
+    /// is configured, so default runs keep their historical traces
+    /// byte-for-byte.
+    CacheHit {
+        /// Job id.
+        job: u64,
+        /// Function name label.
+        function: &'static str,
+        /// The content address that hit.
+        key: u64,
+    },
+    /// A cache-enabled invocation found no stored result and proceeded
+    /// to normal dispatch. Emitted only when a cache is configured.
+    CacheMiss {
+        /// Job id.
+        job: u64,
+        /// Function name label.
+        function: &'static str,
+        /// The content address that missed.
+        key: u64,
+    },
+    /// An invocation collapsed onto an identical in-flight invocation:
+    /// it completes when its leader does, paying queue time only.
+    /// Emitted only when a cache is configured.
+    Coalesced {
+        /// Follower job id.
+        job: u64,
+        /// Job id of the leader execution it waits on.
+        leader: u64,
+        /// Function name label.
+        function: &'static str,
+    },
 }
 
 impl TraceEvent {
@@ -251,6 +284,9 @@ impl TraceEvent {
             TraceEvent::GovernorTransition { .. } => "governor_transition",
             TraceEvent::WakeRequested { .. } => "wake_requested",
             TraceEvent::ResponseSent { .. } => "response_sent",
+            TraceEvent::CacheHit { .. } => "cache_hit",
+            TraceEvent::CacheMiss { .. } => "cache_miss",
+            TraceEvent::Coalesced { .. } => "coalesced",
         }
     }
 
@@ -267,7 +303,10 @@ impl TraceEvent {
             | TraceEvent::JobShed { job, .. }
             | TraceEvent::JobFailed { job, .. }
             | TraceEvent::PlacementDecision { job, .. }
-            | TraceEvent::ResponseSent { job, .. } => Some(job),
+            | TraceEvent::ResponseSent { job, .. }
+            | TraceEvent::CacheHit { job, .. }
+            | TraceEvent::CacheMiss { job, .. }
+            | TraceEvent::Coalesced { job, .. } => Some(job),
             TraceEvent::WorkerStateChange { .. }
             | TraceEvent::PowerSample { .. }
             | TraceEvent::NetTransfer { .. }
@@ -437,6 +476,23 @@ impl TraceRecord {
                 let _ = write!(
                     out,
                     ",\"job\":{job},\"function\":\"{function}\",\"worker\":{worker}"
+                );
+            }
+            TraceEvent::CacheHit { job, function, key }
+            | TraceEvent::CacheMiss { job, function, key } => {
+                let _ = write!(
+                    out,
+                    ",\"job\":{job},\"function\":\"{function}\",\"key\":{key}"
+                );
+            }
+            TraceEvent::Coalesced {
+                job,
+                leader,
+                function,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"job\":{job},\"leader\":{leader},\"function\":\"{function}\""
                 );
             }
         }
@@ -796,6 +852,21 @@ mod tests {
                 function: "MatMul",
                 worker: 5,
             },
+            TraceEvent::CacheHit {
+                job: 13,
+                function: "CascSHA",
+                key: 0xdead_beef,
+            },
+            TraceEvent::CacheMiss {
+                job: 14,
+                function: "CascSHA",
+                key: 0xdead_beef,
+            },
+            TraceEvent::Coalesced {
+                job: 15,
+                leader: 14,
+                function: "CascSHA",
+            },
         ];
         let mut buffer = TraceBuffer::new(events.len());
         for (i, &event) in events.iter().enumerate() {
@@ -858,11 +929,42 @@ mod tests {
             .to_json();
         assert!(sent.contains("\"job\":12"), "{sent}");
         assert!(sent.contains("\"worker\":5"), "{sent}");
+        // And the result-cache payloads.
+        let hit = buffer
+            .iter()
+            .find(|r| r.event.kind() == "cache_hit")
+            .unwrap()
+            .to_json();
+        assert!(hit.contains("\"key\":3735928559"), "{hit}");
+        let coalesced = buffer
+            .iter()
+            .find(|r| r.event.kind() == "coalesced")
+            .unwrap()
+            .to_json();
+        assert!(coalesced.contains("\"leader\":14"), "{coalesced}");
     }
 
     #[test]
     fn job_id_extraction_covers_job_scoped_events() {
         assert_eq!(enqueue(7).job_id(), Some(7));
+        assert_eq!(
+            TraceEvent::CacheHit {
+                job: 6,
+                function: "AES128",
+                key: 1,
+            }
+            .job_id(),
+            Some(6)
+        );
+        assert_eq!(
+            TraceEvent::Coalesced {
+                job: 6,
+                leader: 5,
+                function: "AES128",
+            }
+            .job_id(),
+            Some(6)
+        );
         assert_eq!(
             TraceEvent::ResponseSent {
                 job: 3,

@@ -39,6 +39,7 @@ fn main() {
             popularity: microfaas::Popularity::Uniform,
             tenants: Vec::new(),
             faults: microfaas::FaultsConfig::none(),
+            cache: microfaas::cache::CacheConfig::Off,
         });
         println!(
             "{name:<14} {:>8.2}s {:>8.2}s {:>9.2} {:>13.2} {:>13}",
