@@ -144,6 +144,29 @@ awk -F, 'NR > 1 && $11 > 0 { hits++ } END { exit !(hits > 0) }' \
     "$tmpdir/scenarios_cached_serial.csv" || {
     echo "cached scenario sweep recorded no cache hits"; exit 1; }
 
+echo "==> energy conservation property tests (tests/energy_conservation.rs)"
+cargo test -q -p microfaas --test energy_conservation
+
+echo "==> energy smoke: --breakdown conserves, --jobs 2 ledger CSV byte-identical to --jobs 1"
+out="$(cargo run --release -q -p microfaas-cli -- energy \
+    --rate 2 --duration-secs 120 --workers 4 --seed 7 --breakdown)"
+echo "$out" | grep -q "conservation:     attributed + idle == total" || {
+    echo "energy run failed its conservation cross-check"; exit 1; }
+echo "$out" | grep -q "queue_j" || {
+    echo "energy --breakdown printed no five-phase table"; exit 1; }
+cargo run --release -q -p microfaas-cli -- energy \
+    --rate 2 --duration-secs 120 --workers 4 --seed 7 \
+    --budget 0.5,burst=5,action=shed --idle usage-weighted \
+    --jobs 1 --csv "$tmpdir/energy_serial.csv"
+cargo run --release -q -p microfaas-cli -- energy \
+    --rate 2 --duration-secs 120 --workers 4 --seed 7 \
+    --budget 0.5,burst=5,action=shed --idle usage-weighted \
+    --jobs 2 --csv "$tmpdir/energy_parallel.csv"
+cmp "$tmpdir/energy_serial.csv" "$tmpdir/energy_parallel.csv" || {
+    echo "parallel energy ledger diverged from serial"; exit 1; }
+grep -q ",(idle)," "$tmpdir/energy_serial.csv" || {
+    echo "energy ledger CSV missing the idle remainder row"; exit 1; }
+
 echo "==> analyze smoke: span derivation, phase-sum check, Perfetto round-trip"
 out="$(cargo run --release -q -p microfaas-cli -- analyze \
     --invocations 2 --seed 7 --perfetto "$tmpdir/spans.json")"

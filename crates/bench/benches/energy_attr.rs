@@ -1,0 +1,87 @@
+//! Benchmarks for the per-function energy-attribution subsystem
+//! (docs/ENERGY.md): the cost of running the open loop with an
+//! `Attributor` observing every completion versus the plain engine,
+//! and the throughput of finalized-ledger exports (CSV, Prometheus).
+//!
+//! Attribution is off by default, so the delta between `plain` and the
+//! attributed cases is exactly what `microfaas energy` pays over
+//! `microfaas openloop`. Measured numbers are recorded in
+//! `BENCH_energy_attr.json` at the repository root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use microfaas::arrivals::Popularity;
+use microfaas::openloop::{
+    run_open_loop, run_open_loop_attributed, ArrivalProcess, OpenLoopConfig,
+};
+use microfaas_energy::attribution::{EnergyLedger, IdlePolicy};
+use microfaas_sched::{BudgetAction, GovernorKind};
+use microfaas_sim::SimDuration;
+use std::hint::black_box;
+
+/// A busy 600 s horizon: enough completions (~1200) that the per-job
+/// attribution cost dominates setup, with a Zipf head so the ledger's
+/// per-function rows see realistic skew.
+fn attributed_config() -> OpenLoopConfig {
+    let mut config = OpenLoopConfig::paper_arrangement(0, SimDuration::from_secs(600), 2026);
+    config.arrival = ArrivalProcess::Poisson { per_second: 2.0 };
+    config.popularity = Popularity::Zipf { exponent: 1.1 };
+    config
+}
+
+/// Same traffic under a binding budget, so the bench also covers the
+/// governor's token-bucket admission path (breach, shed, refill).
+fn budgeted_config() -> OpenLoopConfig {
+    let mut config = attributed_config();
+    config.governor = GovernorKind::EnergyBudget {
+        cap_w: 0.5,
+        burst_j: 10.0,
+        action: BudgetAction::Shed,
+    };
+    config
+}
+
+fn finalized_ledger() -> EnergyLedger {
+    let (_, ledger) = run_open_loop_attributed(&attributed_config(), IdlePolicy::UsageWeighted);
+    ledger
+}
+
+fn bench_attribution_overhead(c: &mut Criterion) {
+    let config = attributed_config();
+    let plain = run_open_loop(&config);
+    let (attributed, ledger) = run_open_loop_attributed(&config, IdlePolicy::UsageWeighted);
+    assert_eq!(plain.completed, attributed.completed);
+    assert!(ledger.conserves());
+    println!(
+        "attribution_overhead: {} completions over 600 s (Poisson 2/s, Zipf 1.1, seed 2026); \
+         ledger total {} J across {} function rows",
+        attributed.completed,
+        ledger.total_joules(),
+        ledger.functions().len()
+    );
+
+    let mut group = c.benchmark_group("attribution_overhead");
+    group.bench_function("plain", |b| b.iter(|| black_box(run_open_loop(&config))));
+    for policy in IdlePolicy::ALL {
+        group.bench_function(format!("attributed/{policy}").as_str(), |b| {
+            b.iter(|| black_box(run_open_loop_attributed(&config, policy)))
+        });
+    }
+    let budgeted = budgeted_config();
+    group.bench_function("attributed/budget_shed", |b| {
+        b.iter(|| black_box(run_open_loop_attributed(&budgeted, IdlePolicy::None)))
+    });
+    group.finish();
+}
+
+fn bench_ledger_export(c: &mut Criterion) {
+    let ledger = finalized_ledger();
+    let mut group = c.benchmark_group("ledger_export");
+    group.bench_function("to_csv", |b| b.iter(|| black_box(ledger.to_csv())));
+    group.bench_function("render_prometheus", |b| {
+        b.iter(|| black_box(ledger.render_prometheus()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_attribution_overhead, bench_ledger_export);
+criterion_main!(benches);

@@ -2,7 +2,7 @@
 
 use std::path::Path;
 
-use microfaas::arrivals::{Popularity, Scenario};
+use microfaas::arrivals::{Popularity, Scenario, TenantClass};
 use microfaas::cache::{CacheConfig, DEFAULT_CACHE_SPEC};
 use microfaas::config::WorkloadMix;
 use microfaas::conventional::{run_conventional_with, ConventionalConfig};
@@ -13,15 +13,16 @@ use microfaas::experiment::{
 };
 use microfaas::micro::{run_microfaas_with, MicroFaasConfig};
 use microfaas::openloop::{
-    run_open_loop, run_open_loop_streaming, ArrivalProcess, NullSink, OpenLoopConfig,
-    SchedulerPolicy,
+    run_open_loop, run_open_loop_attributed, run_open_loop_streaming, ArrivalProcess, NullSink,
+    OpenLoopConfig, SchedulerPolicy,
 };
 use microfaas::report::PhaseColumns;
 use microfaas::timeline::Timeline;
 use microfaas::{FaultsConfig, Jitter};
+use microfaas_energy::attribution::{EnergyLedger, IdlePolicy, Phase};
 use microfaas_hw::boot::{BootPlatform, BootProfile};
 use microfaas_hw::reliability::{simulate_fleet, FleetSpec};
-use microfaas_sched::GovernorKind;
+use microfaas_sched::{parse_budget_spec, GovernorKind};
 use microfaas_sim::faults::FaultPlan;
 use microfaas_sim::{
     export_chrome_trace, par_map_indexed, validate_chrome_trace, CriticalPath, Jobs,
@@ -53,6 +54,7 @@ pub fn dispatch(args: &Args) -> Result<(), ParseArgsError> {
         "tco" => tco(args),
         "workloads" => workloads(args),
         "openloop" => openloop(args),
+        "energy" => energy(args),
         "sched" => sched(args),
         "scenarios" => scenarios(args),
         "reliability" => reliability(args),
@@ -104,6 +106,24 @@ SUBCOMMANDS
                        see docs/SCALING.md)
                      --cache SPEC (content-addressed result cache: off | on |
                        lru:CAP[,ttl=SECS][,inputs=N] — see docs/CACHING.md)
+  energy           per-function / per-tenant joule attribution (docs/ENERGY.md)
+                     --rate F (jobs/s, default 1.0)  --duration-secs N (default 600)
+                     --workers N (default 10)  --seed S (default 2022)
+                     --governor reboot-per-job|keep-alive|always-on|warm-pool
+                     --idle none|equal|usage-weighted (idle apportionment,
+                       default none; all three ledgers are computed and
+                       cross-checked, --idle picks the one shown/exported)
+                     --tenants [SPEC] (print the per-tenant ledger; SPEC
+                       defines weighted classes, e.g. paid:3,free:1)
+                     --budget SPEC (per-tenant joule caps, forces the
+                       energy-budget governor: CAP_W[,burst=J][,action=
+                       shed|defer|throttle])
+                     --breakdown (per-function five-phase joule table)
+                     --csv PATH (exact-decimal ledger rows, byte-identical
+                       at every --jobs count)
+                     --metrics-out PATH (Prometheus gauges + the
+                       function_energy_j histogram)
+                     --jobs N (parallel idle-policy ledgers; default: cores)
   sched            placement x governor sweep with latency-energy Pareto front
                      --rate F (jobs/s, default 0.1 — sparse load, where the
                        warm governors trade energy for latency)
@@ -197,6 +217,30 @@ fn cache_flag(args: &Args) -> Result<CacheConfig, ParseArgsError> {
         Some("on") => CacheConfig::parse(DEFAULT_CACHE_SPEC).map_err(ParseArgsError),
         Some(spec) => CacheConfig::parse(spec).map_err(ParseArgsError),
     }
+}
+
+/// The one mutual-exclusion check every subcommand routes conflicting
+/// flag pairs through, so the wording is uniform ("--a and --b are
+/// mutually exclusive") and a new pair can never silently skip
+/// validation the way `--cache` + `--jobs-per-tick` once did.
+fn reject_conflicts(args: &Args, pairs: &[(&str, &str)]) -> Result<(), ParseArgsError> {
+    for (a, b) in pairs {
+        if args.has(a) && args.has(b) {
+            return Err(ParseArgsError(format!(
+                "--{a} and --{b} are mutually exclusive"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Whether the conditional cache-hit summary columns should print: the
+/// cache must be on *and* the run must have consulted it at least once.
+/// A cached run that recorded zero lookups prints like an uncached one
+/// instead of showing a meaningless 0.0% ([`microfaas::cache::CacheStats::hit_rate`]
+/// already clamps that division to `0.0`).
+fn show_hit_stats(cache: &CacheConfig, lookups: u64) -> bool {
+    cache.enabled() && lookups > 0
 }
 
 fn load_plan(path: &str) -> Result<FaultPlan, ParseArgsError> {
@@ -434,23 +478,28 @@ fn openloop(args: &Args) -> Result<(), ParseArgsError> {
     // --jobs-per-tick switches to the paper's literal fixed-batch
     // arrivals; with it, batch x duration pins the exact job count —
     // how the 10M-job capacity recipe in docs/SCALING.md is phrased.
-    let arrival = match (args.get_str("arrivals"), args.get_str("jobs-per-tick")) {
-        (Some(_), Some(_)) => {
+    // The fixed-batch golden path excludes every generative extension
+    // uniformly: arrivals, popularity, and the result cache alike.
+    reject_conflicts(
+        args,
+        &[
+            ("arrivals", "jobs-per-tick"),
+            ("popularity", "jobs-per-tick"),
+            ("cache", "jobs-per-tick"),
+        ],
+    )?;
+    let arrival = if let Some(spec) = args.get_str("arrivals") {
+        ArrivalProcess::parse(spec).map_err(ParseArgsError)?
+    } else if args.has("jobs-per-tick") {
+        let jobs_per_tick = args.get_or("jobs-per-tick", 0usize)?;
+        if jobs_per_tick == 0 {
             return Err(ParseArgsError(
-                "--arrivals and --jobs-per-tick are mutually exclusive".to_string(),
+                "--jobs-per-tick must be positive".to_string(),
             ));
         }
-        (Some(spec), None) => ArrivalProcess::parse(spec).map_err(ParseArgsError)?,
-        (None, Some(_)) => {
-            let jobs_per_tick = args.get_or("jobs-per-tick", 0usize)?;
-            if jobs_per_tick == 0 {
-                return Err(ParseArgsError(
-                    "--jobs-per-tick must be positive".to_string(),
-                ));
-            }
-            ArrivalProcess::EverySecond { jobs_per_tick }
-        }
-        (None, None) => ArrivalProcess::Poisson { per_second: rate },
+        ArrivalProcess::EverySecond { jobs_per_tick }
+    } else {
+        ArrivalProcess::Poisson { per_second: rate }
     };
     let popularity = match args.get_str("popularity") {
         Some(spec) => Popularity::parse(spec).map_err(ParseArgsError)?,
@@ -489,9 +538,13 @@ fn openloop(args: &Args) -> Result<(), ParseArgsError> {
         run.mean_powered_on, config.workers
     );
     println!("power cycles:     {}", run.power_cycles);
-    // Cache lines appear only with --cache, so the default output is
+    // Cache lines appear only with --cache (and only when the run
+    // actually consulted the cache), so the default output is
     // byte-identical to pre-cache builds.
-    if config.cache.enabled() {
+    if show_hit_stats(
+        &config.cache,
+        run.cache_hits + run.cache_misses + run.cache_coalesced,
+    ) {
         let served = run.cache_hits + run.cache_coalesced;
         let rate = if run.completed > 0 {
             served as f64 / run.completed as f64 * 100.0
@@ -503,6 +556,215 @@ fn openloop(args: &Args) -> Result<(), ParseArgsError> {
              ({rate:.1}% of completions, {} misses)",
             run.cache_hits, run.cache_coalesced, run.cache_misses
         );
+    }
+    Ok(())
+}
+
+/// Parses the `--tenants` spec: comma-separated `NAME:WEIGHT[:SLO_S]`
+/// classes (`paid:3,free:1`). Weights are relative arrival shares; the
+/// SLO defaults to a permissive 60 s since the energy subcommand
+/// reports joules, not attainment.
+fn parse_tenant_classes(spec: &str) -> Result<Vec<TenantClass>, ParseArgsError> {
+    let mut classes = Vec::new();
+    for part in spec.split(',') {
+        let mut fields = part.split(':');
+        let name = fields.next().unwrap_or_default();
+        let weight: f64 = fields
+            .next()
+            .ok_or_else(|| {
+                ParseArgsError(format!(
+                    "tenant '{part}' must be NAME:WEIGHT[:SLO_S] (e.g. paid:3,free:1)"
+                ))
+            })?
+            .parse()
+            .map_err(|_| ParseArgsError(format!("tenant '{part}' weight is not a number")))?;
+        let slo_latency_s: f64 = match fields.next() {
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| ParseArgsError(format!("tenant '{part}' SLO is not a number")))?,
+            None => 60.0,
+        };
+        if name.is_empty()
+            || fields.next().is_some()
+            || !weight.is_finite()
+            || weight <= 0.0
+            || !slo_latency_s.is_finite()
+            || slo_latency_s <= 0.0
+        {
+            return Err(ParseArgsError(format!(
+                "tenant '{part}' needs a name, a positive weight, and a positive SLO"
+            )));
+        }
+        classes.push(TenantClass {
+            name: name.to_string(),
+            weight,
+            slo_latency_s,
+        });
+    }
+    Ok(classes)
+}
+
+/// Picojoules as display joules (tables only; exports keep the exact
+/// integer-decimal rendering from the ledger).
+fn pj_as_j(pj: u128) -> f64 {
+    pj as f64 / 1e12
+}
+
+fn energy(args: &Args) -> Result<(), ParseArgsError> {
+    args.expect_only(&[
+        "rate",
+        "duration-secs",
+        "workers",
+        "seed",
+        "governor",
+        "idle",
+        "tenants",
+        "budget",
+        "breakdown",
+        "csv",
+        "metrics-out",
+        "jobs",
+    ])?;
+    // --budget forces the energy-budget governor, so naming a governor
+    // alongside it is the same conflict class the openloop arrival
+    // flags reject — same helper, same wording.
+    reject_conflicts(args, &[("budget", "governor")])?;
+    let rate = args.get_or("rate", 1.0f64)?;
+    if rate <= 0.0 {
+        return Err(ParseArgsError("--rate must be positive".to_string()));
+    }
+    let workers = args.get_or("workers", 10usize)?;
+    if workers == 0 {
+        return Err(ParseArgsError("--workers must be positive".to_string()));
+    }
+    let seed = args.get_or("seed", 2022u64)?;
+    let duration = SimDuration::from_secs(args.get_or("duration-secs", 600u64)?);
+    let governor: GovernorKind = match args.get_str("budget") {
+        Some(spec) => parse_budget_spec(spec)
+            .map_err(|e: microfaas_sched::PolicyParseError| ParseArgsError(e.to_string()))?,
+        None => args
+            .get_str("governor")
+            .unwrap_or("reboot-per-job")
+            .parse()
+            .map_err(|e: microfaas_sched::PolicyParseError| ParseArgsError(e.to_string()))?,
+    };
+    let idle: IdlePolicy = args
+        .get_str("idle")
+        .unwrap_or("none")
+        .parse()
+        .map_err(ParseArgsError)?;
+    // parse_budget_spec can only return EnergyBudget; a refactor that
+    // breaks that contract would silently run uncapped, so fail loudly.
+    debug_assert!(!args.has("budget") || matches!(governor, GovernorKind::EnergyBudget { .. }));
+    let tenants = match args.get_str("tenants") {
+        Some(spec) => parse_tenant_classes(spec)?,
+        None => Vec::new(),
+    };
+    let jobs = jobs_flag(args)?;
+
+    let mut config = OpenLoopConfig::paper_arrangement(1, duration, seed);
+    config.workers = workers;
+    config.arrival = ArrivalProcess::Poisson { per_second: rate };
+    config.governor = governor;
+    config.tenants = tenants;
+
+    // All three idle-policy ledgers come from identically-seeded runs
+    // (fanned over --jobs); attribution never perturbs the simulation,
+    // so the runs agree and only the idle apportionment differs.
+    let results: Vec<(microfaas::openloop::OpenLoopRun, EnergyLedger)> =
+        par_map_indexed(jobs, IdlePolicy::ALL.len(), |i| {
+            run_open_loop_attributed(&config, IdlePolicy::ALL[i])
+        });
+    for (_, ledger) in &results {
+        if !ledger.conserves() {
+            return Err(ParseArgsError(format!(
+                "conservation violated under --idle {}: attributed + idle != total",
+                ledger.policy()
+            )));
+        }
+    }
+    let total_pj = results[0].1.total_pj();
+    if results.iter().any(|(_, l)| l.total_pj() != total_pj) {
+        return Err(ParseArgsError(
+            "idle-policy ledgers disagree on whole-cluster picojoules".to_string(),
+        ));
+    }
+    let sel = IdlePolicy::ALL
+        .iter()
+        .position(|p| *p == idle)
+        .expect("IdlePolicy::ALL covers every policy");
+    let (run, ledger) = &results[sel];
+
+    println!(
+        "energy attribution: {workers} workers, {rate} jobs/s for {:.0} s, seed {seed}",
+        duration.as_secs_f64()
+    );
+    println!("governor:         {}", governor.label());
+    if let Some(spec) = args.get_str("budget") {
+        println!("tenant budget:    {spec} (breaches gate admission)");
+    }
+    println!("idle policy:      {idle}");
+    println!("completed:        {}", run.completed);
+    println!("mean latency:     {:.2} s", run.mean_latency_s);
+    println!("energy/function:  {:.2} J", run.joules_per_function);
+    let attributed_pj = total_pj - ledger.idle_pj();
+    println!(
+        "cluster energy:   {:.2} J = {:.2} J attributed + {:.2} J idle pool",
+        pj_as_j(total_pj),
+        pj_as_j(attributed_pj),
+        pj_as_j(ledger.idle_pj())
+    );
+    println!("conservation:     attributed + idle == total, bit-exact in pJ (all idle policies)");
+
+    if args.has("breakdown") {
+        println!(
+            "\n{:<13} {:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            "function",
+            "jobs",
+            "queue_j",
+            "boot_j",
+            "exec_j",
+            "over_j",
+            "resp_j",
+            "idle_j",
+            "total_j"
+        );
+        for (f, name) in ledger.functions().iter().enumerate() {
+            let total = ledger.function_attributed_pj(f) + ledger.function_idle_pj(f);
+            print!("{:<13} {:>6}", name, ledger.function_completions(f));
+            for phase in Phase::ALL {
+                print!(" {:>9.3}", pj_as_j(ledger.function_phase_pj(f, phase)));
+            }
+            println!(
+                " {:>9.3} {:>9.3}",
+                pj_as_j(ledger.function_idle_pj(f)),
+                pj_as_j(total)
+            );
+        }
+    }
+    if args.has("tenants") {
+        println!(
+            "\n{:<13} {:>6} {:>12} {:>9} {:>9}",
+            "tenant", "jobs", "attributed_j", "idle_j", "total_j"
+        );
+        for (t, name) in ledger.tenants().iter().enumerate() {
+            println!(
+                "{:<13} {:>6} {:>12.3} {:>9.3} {:>9.3}",
+                name,
+                ledger.tenant_completions(t),
+                pj_as_j(ledger.tenant_attributed_pj(t)),
+                pj_as_j(ledger.tenant_idle_pj(t)),
+                pj_as_j(ledger.tenant_attributed_pj(t) + ledger.tenant_idle_pj(t))
+            );
+        }
+    }
+    if let Some(path) = args.get_str("metrics-out") {
+        write_text(path, &ledger.render_prometheus())?;
+    }
+    if let Some(path) = args.get_str("csv") {
+        // Ledger-rendered exact decimals, so --jobs N output is
+        // byte-identical for every N (ci/check.sh compares them).
+        write_text(path, &ledger.to_csv())?;
     }
     Ok(())
 }
@@ -537,9 +799,12 @@ fn sched(args: &Args) -> Result<(), ParseArgsError> {
         duration.as_secs_f64(),
         points.len()
     );
-    // The hit-rate column exists only with --cache, keeping default
-    // output byte-identical to pre-cache builds.
-    if cache.enabled() {
+    // The hit-rate column exists only with --cache and at least one
+    // recorded lookup, keeping default output byte-identical to
+    // pre-cache builds (and cached-but-idle sweeps free of a
+    // meaningless 0.0% column).
+    let show_hits = show_hit_stats(&cache, points.iter().map(|p| p.cache_lookups).sum());
+    if show_hits {
         println!(
             "{:<20} {:<14} {:>6} {:>9} {:>9} {:>8} {:>8} {:>7} {:>7}  pareto",
             "placement",
@@ -559,7 +824,7 @@ fn sched(args: &Args) -> Result<(), ParseArgsError> {
         );
     }
     for p in &points {
-        let hit_col = if cache.enabled() {
+        let hit_col = if show_hits {
             format!(" {:>6.1}%", p.hit_rate * 100.0)
         } else {
             String::new()
@@ -627,9 +892,17 @@ fn scenarios(args: &Args) -> Result<(), ParseArgsError> {
     );
     // The winner table is re-evaluated over the measured (cached)
     // coordinates, so --cache can flip a regime's EDP winner; the
-    // hit-rate column appears only when a cache runs, keeping default
-    // output byte-identical to pre-cache builds.
-    if cache.enabled() {
+    // hit-rate column appears only when a cache runs and recorded a
+    // lookup, keeping default output byte-identical to pre-cache
+    // builds.
+    let show_hits = show_hit_stats(
+        &cache,
+        outcomes
+            .iter()
+            .flat_map(|o| o.points.iter().map(|p| p.cache_lookups))
+            .sum(),
+    );
+    if show_hits {
         println!(
             "{:<12} {:<20} {:<14} {:>8} {:>9} {:>8} {:>7} {:>9}",
             "regime",
@@ -650,7 +923,7 @@ fn scenarios(args: &Args) -> Result<(), ParseArgsError> {
     for outcome in &outcomes {
         let p = outcome.winning_point();
         let worst = outcome.slo_attainment[outcome.winner];
-        let hit_col = if cache.enabled() {
+        let hit_col = if show_hits {
             format!(" {:>6.1}%", p.hit_rate * 100.0)
         } else {
             String::new()
@@ -1356,7 +1629,7 @@ mod tests {
              mean_power_w,joules_per_function,power_cycles,slo_attainment,\
              hit_rate,joules_saved,cached_edp,pareto,winner"
         ));
-        assert_eq!(written.lines().count(), 1 + 2 * 28);
+        assert_eq!(written.lines().count(), 1 + 2 * 35);
         assert!(written.contains("\nspiky,"));
     }
 
@@ -1384,7 +1657,7 @@ mod tests {
              mean_power_w,joules_per_function,power_cycles,hit_rate,\
              joules_saved,cached_edp,pareto"
         ));
-        assert_eq!(written.lines().count(), 29, "header + 28 policy points");
+        assert_eq!(written.lines().count(), 36, "header + 35 policy points");
         assert!(
             written.lines().any(|l| l.ends_with(",1")),
             "some row sits on the Pareto front"
@@ -1457,6 +1730,134 @@ mod tests {
             "on",
         ])
         .expect("cached scenario sweep runs");
+    }
+
+    #[test]
+    fn flag_conflicts_share_one_wording() {
+        for argv in [
+            [
+                "openloop",
+                "--arrivals",
+                "poisson:1",
+                "--jobs-per-tick",
+                "2",
+            ],
+            [
+                "openloop",
+                "--popularity",
+                "zipf:1.1",
+                "--jobs-per-tick",
+                "2",
+            ],
+            ["openloop", "--cache", "on", "--jobs-per-tick", "2"],
+            ["energy", "--budget", "1", "--governor", "keep-alive"],
+        ] {
+            let err = run(&argv).expect_err("conflicting flags");
+            assert!(
+                err.to_string().contains("mutually exclusive"),
+                "{argv:?}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn hit_columns_need_cache_and_lookups() {
+        let lru = CacheConfig::parse("lru:16").expect("parses");
+        assert!(!show_hit_stats(&CacheConfig::Off, 100));
+        assert!(
+            !show_hit_stats(&lru, 0),
+            "cached-but-idle run suppresses hit%"
+        );
+        assert!(show_hit_stats(&lru, 1));
+    }
+
+    #[test]
+    fn energy_validates_flags() {
+        assert!(run(&["energy", "--rate", "0"]).is_err());
+        assert!(run(&["energy", "--workers", "0"]).is_err());
+        assert!(run(&["energy", "--idle", "fair"]).is_err());
+        assert!(run(&["energy", "--budget", "-3"]).is_err());
+        assert!(run(&["energy", "--tenants", "paid"]).is_err());
+        assert!(run(&["energy", "--tenants", "paid:zero"]).is_err());
+        assert!(run(&["energy", "--governor", "mystery"]).is_err());
+    }
+
+    #[test]
+    fn energy_runs_and_exports_ledgers() {
+        let dir = std::env::temp_dir();
+        let csv = dir.join("microfaas_cli_test_energy.csv");
+        let prom = dir.join("microfaas_cli_test_energy.prom");
+        for path in [&csv, &prom] {
+            let _ = std::fs::remove_file(path);
+        }
+        run(&[
+            "energy",
+            "--rate",
+            "2.0",
+            "--duration-secs",
+            "60",
+            "--workers",
+            "4",
+            "--seed",
+            "7",
+            "--idle",
+            "equal",
+            "--breakdown",
+            "--tenants",
+            "paid:3,free:1",
+            "--csv",
+            csv.to_str().expect("utf-8 temp path"),
+            "--metrics-out",
+            prom.to_str().expect("utf-8 temp path"),
+        ])
+        .expect("runs");
+        let rows = std::fs::read_to_string(&csv).expect("csv written");
+        assert!(rows.starts_with(
+            "idle_policy,function,completions,queue_j,boot_j,exec_j,\
+             overhead_j,response_j,idle_share_j,total_j"
+        ));
+        assert!(rows.contains("equal,(idle),"), "idle remainder row present");
+        let exposition = std::fs::read_to_string(&prom).expect("metrics written");
+        assert!(exposition.contains("# TYPE function_energy_total_j gauge"));
+        assert!(exposition.contains("tenant_energy_total_j{tenant=\"paid\""));
+        assert!(exposition.contains("function_energy_j_bucket{le=\"+Inf\"}"));
+        for path in [&csv, &prom] {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    #[test]
+    fn energy_csv_is_jobs_invariant_under_a_budget() {
+        let dir = std::env::temp_dir();
+        let serial = dir.join("microfaas_cli_test_energy_j1.csv");
+        let parallel = dir.join("microfaas_cli_test_energy_j2.csv");
+        for (path, jobs) in [(&serial, "1"), (&parallel, "2")] {
+            let _ = std::fs::remove_file(path);
+            run(&[
+                "energy",
+                "--rate",
+                "2.0",
+                "--duration-secs",
+                "60",
+                "--workers",
+                "4",
+                "--seed",
+                "9",
+                "--budget",
+                "0.5,burst=5,action=shed",
+                "--jobs",
+                jobs,
+                "--csv",
+                path.to_str().expect("utf-8 temp path"),
+            ])
+            .expect("runs");
+        }
+        let a = std::fs::read_to_string(&serial).expect("serial csv");
+        let b = std::fs::read_to_string(&parallel).expect("parallel csv");
+        assert_eq!(a, b, "--jobs must not change the exact-decimal ledger");
+        for path in [&serial, &parallel] {
+            let _ = std::fs::remove_file(path);
+        }
     }
 
     #[test]

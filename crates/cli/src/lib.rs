@@ -68,6 +68,14 @@ mod workloads_docs {}
 #[doc = include_str!("../../../docs/CACHING.md")]
 mod caching_docs {}
 
+/// Compiles and runs every Rust sample in `docs/ENERGY.md` as a
+/// doctest, so the energy-attribution handbook can never drift from
+/// the `microfaas_energy::attribution` / budget-governor APIs it
+/// documents.
+#[cfg(doctest)]
+#[doc = include_str!("../../../docs/ENERGY.md")]
+mod energy_docs {}
+
 /// Compiles and runs every Rust sample in `docs/README.md` (the
 /// handbook index) as a doctest, keeping the index under the same
 /// drift guard as the handbooks it points at.

@@ -527,6 +527,11 @@ pub struct PolicyPoint {
     /// Result-cache hit rate over all completions — `(hits + coalesced)
     /// / completed` — or `0.0` when the sweep ran cache-off.
     pub hit_rate: f64,
+    /// Cache consultations over the run (hits + misses + coalesced
+    /// followers); `0` when the sweep ran cache-off. The CLI suppresses
+    /// its conditional `hit%` summary column when a whole sweep records
+    /// none, so a cached-but-idle run prints like an uncached one.
+    pub cache_lookups: u64,
     /// Estimated joules the cache's zero-energy completions avoided,
     /// extrapolated from the measured per-*executed*-function energy;
     /// `0.0` cache-off.
@@ -573,6 +578,7 @@ fn policy_point(
         joules_per_function: run.joules_per_function,
         power_cycles: run.power_cycles,
         hit_rate,
+        cache_lookups: run.cache_hits + run.cache_misses + run.cache_coalesced,
         joules_saved,
         cached_edp: run.mean_latency_s * run.joules_per_function,
         pareto: false,
@@ -580,7 +586,7 @@ fn policy_point(
 }
 
 /// Crosses every [`PlacementKind`] with every [`GovernorKind`]
-/// (28 combinations) on the open-loop cluster and flags the
+/// (35 combinations) on the open-loop cluster and flags the
 /// latency–energy Pareto front. The interesting regime is **sparse**
 /// load — per-node idle gaps above the ~23 s standby/boot break-even —
 /// where keeping nodes warm genuinely trades energy for latency; at
@@ -843,7 +849,7 @@ mod tests {
     #[test]
     fn policy_sweep_covers_the_full_cross_product() {
         let points = default_sweep();
-        assert_eq!(points.len(), 28);
+        assert_eq!(points.len(), 35);
         for p in PlacementKind::ALL {
             for g in GovernorKind::ALL {
                 assert_eq!(
@@ -931,7 +937,7 @@ mod tests {
              mean_power_w,joules_per_function,power_cycles,hit_rate,\
              joules_saved,cached_edp,pareto"
         );
-        assert_eq!(csv.lines().count(), 29);
+        assert_eq!(csv.lines().count(), 36);
         for line in lines {
             assert_eq!(line.split(',').count(), 12, "bad row: {line}");
         }
@@ -1054,13 +1060,54 @@ mod tests {
              mean_power_w,joules_per_function,power_cycles,slo_attainment,\
              hit_rate,joules_saved,cached_edp,pareto,winner"
         );
-        assert_eq!(csv.lines().count(), 1 + 2 * 28);
+        assert_eq!(csv.lines().count(), 1 + 2 * 35);
         let mut winners = 0;
         for line in lines {
             assert_eq!(line.split(',').count(), 15, "bad row: {line}");
             winners += usize::from(line.ends_with(",1"));
         }
         assert_eq!(winners, 2, "exactly one winner per regime");
+    }
+
+    #[test]
+    fn binding_budget_flips_the_edp_winner() {
+        // Overloaded regime: offered load above fleet capacity, random
+        // placement. With a non-binding cap the EnergyBudget governor
+        // behaves exactly like keep-alive and cannot beat it; a tight
+        // shedding cap keeps the queues short (low latency) while the
+        // shed jobs burn nothing (low energy), pulling the
+        // energy-delay product below every uncapped governor — the
+        // regime's winner moves the moment the cap binds.
+        use microfaas_sched::{edp_winner, BudgetAction};
+        let budget_idx = GovernorKind::ALL.len() - 1;
+        let winner_with = |budget: GovernorKind| -> usize {
+            let mut governors = GovernorKind::ALL;
+            governors[budget_idx] = budget;
+            let coords: Vec<(f64, f64)> = governors
+                .iter()
+                .map(|&g| {
+                    let mut config =
+                        OpenLoopConfig::paper_arrangement(1, SimDuration::from_secs(300), 7);
+                    config.arrival = ArrivalProcess::Poisson { per_second: 8.0 };
+                    config.governor = g;
+                    let run = run_open_loop(&config);
+                    (run.mean_latency_s, run.joules_per_function)
+                })
+                .collect();
+            edp_winner(&coords).expect("five points")
+        };
+        let loose = winner_with(GovernorKind::EnergyBudget {
+            cap_w: 1e9,
+            burst_j: 1e9,
+            action: BudgetAction::Shed,
+        });
+        let tight = winner_with(GovernorKind::EnergyBudget {
+            cap_w: 1.0,
+            burst_j: 25.0,
+            action: BudgetAction::Shed,
+        });
+        assert_ne!(loose, budget_idx, "a cap that never binds cannot win");
+        assert_eq!(tight, budget_idx, "a binding cap must take the EDP crown");
     }
 
     #[test]

@@ -24,6 +24,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attribution;
+
 use std::fmt;
 
 use microfaas_sim::{SimTime, TimeWeighted};

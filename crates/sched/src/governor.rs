@@ -51,6 +51,23 @@ pub const DEFAULT_WARM_POOL_ALPHA: f64 = 0.2;
 /// Default reserve headroom multiplier for [`GovernorKind::WarmPool`].
 pub const DEFAULT_WARM_POOL_HEADROOM: f64 = 1.5;
 
+/// Default per-tenant refill rate for [`GovernorKind::EnergyBudget`],
+/// in joules per second (watts of sustained attributed draw).
+pub const DEFAULT_BUDGET_CAP_W: f64 = 1.0;
+
+/// Default per-tenant burst allowance for
+/// [`GovernorKind::EnergyBudget`], in joules (the token-bucket depth).
+pub const DEFAULT_BUDGET_BURST_J: f64 = 25.0;
+
+/// Hysteresis: a breached tenant resumes only after its bucket refills
+/// to this fraction of the burst depth, so the governor does not
+/// flap admit/act on every arrival at the cap boundary.
+pub const BUDGET_RESUME_FRACTION: f64 = 0.5;
+
+/// Execution-time stretch applied by [`BudgetAction::Throttle`] — the
+/// DVFS-style slowdown a breached tenant's jobs run at.
+pub const BUDGET_THROTTLE_FACTOR: f64 = 1.5;
+
 /// The governor family: node power-state policy after a job finishes.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum GovernorKind {
@@ -81,12 +98,124 @@ pub enum GovernorKind {
         /// Multiplier on the boot-window arrival estimate.
         headroom: f64,
     },
+    /// Enforce per-tenant joule budgets with a token bucket: each
+    /// tenant's attributed energy refills at `cap_w` joules per second
+    /// up to a `burst_j` reserve; while a tenant is over budget its
+    /// arrivals get `action` (shed, defer, or throttle) until the
+    /// bucket recovers past the hysteresis mark. Node power policy is
+    /// keep-alive (standby for the default idle window) so the budget
+    /// loop, not reboot churn, dominates the energy picture.
+    EnergyBudget {
+        /// Sustained refill rate, joules per second of attributed work.
+        cap_w: f64,
+        /// Bucket depth: how many joules a tenant may burst above the
+        /// sustained rate.
+        burst_j: f64,
+        /// What happens to a breached tenant's arrivals.
+        action: BudgetAction,
+    },
+}
+
+/// What [`GovernorKind::EnergyBudget`] does to arrivals from a tenant
+/// that has exhausted its joule budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BudgetAction {
+    /// Drop the arrival (it never enters a queue) — the default.
+    #[default]
+    Shed,
+    /// Park the arrival and release it when the bucket has refilled to
+    /// the resume mark.
+    Defer,
+    /// Admit the arrival but stretch its execution by
+    /// [`BUDGET_THROTTLE_FACTOR`] (a DVFS-style slowdown).
+    Throttle,
+}
+
+impl BudgetAction {
+    /// Stable label used in budget specs and `budget_action` trace
+    /// events.
+    pub fn label(self) -> &'static str {
+        match self {
+            BudgetAction::Shed => "shed",
+            BudgetAction::Defer => "defer",
+            BudgetAction::Throttle => "throttle",
+        }
+    }
+}
+
+impl fmt::Display for BudgetAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for BudgetAction {
+    type Err = PolicyParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "shed" => Ok(BudgetAction::Shed),
+            "defer" => Ok(BudgetAction::Defer),
+            "throttle" => Ok(BudgetAction::Throttle),
+            other => Err(PolicyParseError(format!(
+                "unknown budget action '{other}' (expected shed, defer, throttle)"
+            ))),
+        }
+    }
+}
+
+/// Parses a `--budget` spec: `CAP_W[,burst=J][,action=shed|defer|throttle]`,
+/// e.g. `0.5,burst=10,action=defer`.
+///
+/// # Errors
+///
+/// Returns [`PolicyParseError`] for malformed numbers, non-positive
+/// cap/burst, or unknown keys/actions.
+pub fn parse_budget_spec(spec: &str) -> Result<GovernorKind, PolicyParseError> {
+    let mut parts = spec.split(',');
+    let cap_raw = parts.next().unwrap_or_default();
+    let cap_w: f64 = cap_raw
+        .parse()
+        .map_err(|_| PolicyParseError(format!("budget cap '{cap_raw}' is not a number")))?;
+    if !cap_w.is_finite() || cap_w <= 0.0 {
+        return Err(PolicyParseError(format!(
+            "budget cap must be positive watts, got '{cap_raw}'"
+        )));
+    }
+    let mut burst_j = DEFAULT_BUDGET_BURST_J;
+    let mut action = BudgetAction::default();
+    for part in parts {
+        match part.split_once('=') {
+            Some(("burst", v)) => {
+                burst_j = v
+                    .parse()
+                    .map_err(|_| PolicyParseError(format!("budget burst '{v}' is not a number")))?;
+                if !burst_j.is_finite() || burst_j <= 0.0 {
+                    return Err(PolicyParseError(format!(
+                        "budget burst must be positive joules, got '{v}'"
+                    )));
+                }
+            }
+            Some(("action", v)) => action = v.parse()?,
+            _ => {
+                return Err(PolicyParseError(format!(
+                    "unknown budget spec component '{part}' \
+                     (expected burst=J or action=shed|defer|throttle)"
+                )));
+            }
+        }
+    }
+    Ok(GovernorKind::EnergyBudget {
+        cap_w,
+        burst_j,
+        action,
+    })
 }
 
 impl GovernorKind {
-    /// The four governors at their default parameters, in canonical
+    /// The five governors at their default parameters, in canonical
     /// sweep order.
-    pub const ALL: [GovernorKind; 4] = [
+    pub const ALL: [GovernorKind; 5] = [
         GovernorKind::RebootPerJob,
         GovernorKind::KeepAlive {
             idle_timeout: DEFAULT_KEEP_ALIVE_TIMEOUT,
@@ -95,6 +224,11 @@ impl GovernorKind {
         GovernorKind::WarmPool {
             alpha: DEFAULT_WARM_POOL_ALPHA,
             headroom: DEFAULT_WARM_POOL_HEADROOM,
+        },
+        GovernorKind::EnergyBudget {
+            cap_w: DEFAULT_BUDGET_CAP_W,
+            burst_j: DEFAULT_BUDGET_BURST_J,
+            action: BudgetAction::Shed,
         },
     ];
 
@@ -106,6 +240,7 @@ impl GovernorKind {
             GovernorKind::KeepAlive { .. } => "keep-alive",
             GovernorKind::AlwaysOn => "always-on",
             GovernorKind::WarmPool { .. } => "warm-pool",
+            GovernorKind::EnergyBudget { .. } => "energy-budget",
         }
     }
 }
@@ -130,9 +265,14 @@ impl FromStr for GovernorKind {
                 alpha: DEFAULT_WARM_POOL_ALPHA,
                 headroom: DEFAULT_WARM_POOL_HEADROOM,
             }),
+            "energy-budget" => Ok(GovernorKind::EnergyBudget {
+                cap_w: DEFAULT_BUDGET_CAP_W,
+                burst_j: DEFAULT_BUDGET_BURST_J,
+                action: BudgetAction::Shed,
+            }),
             other => Err(PolicyParseError(format!(
                 "unknown governor '{other}' (expected one of: reboot-per-job, \
-                 keep-alive, always-on, warm-pool)"
+                 keep-alive, always-on, warm-pool, energy-budget)"
             ))),
         }
     }
@@ -198,6 +338,41 @@ pub trait Governor {
     fn wants_idle_census(&self) -> bool {
         true
     }
+
+    /// Whether this governor enforces per-tenant energy budgets. When
+    /// `false` (every governor but [`GovernorKind::EnergyBudget`]) the
+    /// engine skips attribution bookkeeping entirely, keeping default
+    /// runs bit-identical to pre-budget builds.
+    fn budget_active(&self) -> bool {
+        false
+    }
+
+    /// Gate one arrival from `tenant` at instant `now`. Only consulted
+    /// when [`Governor::budget_active`] is `true`.
+    fn budget_admit(&mut self, _tenant: u16, _now: SimTime) -> BudgetDecision {
+        BudgetDecision::Admit
+    }
+
+    /// Charges `joules` of attributed energy to `tenant` when one of
+    /// its jobs completes. Returns `true` on a *fresh* breach (the
+    /// crossing edge, for `budget_breach` trace events), `false`
+    /// otherwise.
+    fn budget_note_energy(&mut self, _tenant: u16, _joules: f64, _now: SimTime) -> bool {
+        false
+    }
+}
+
+/// The energy-budget governor's verdict on one arrival.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BudgetDecision {
+    /// Within budget: dispatch normally.
+    Admit,
+    /// Over budget: drop the arrival.
+    Shed,
+    /// Over budget: hold the arrival for this long, then dispatch it.
+    Defer(SimDuration),
+    /// Over budget: dispatch now but stretch execution by this factor.
+    Throttle(f64),
 }
 
 struct RebootPerJobGovernor;
@@ -358,12 +533,143 @@ impl Governor for WarmPoolGovernor {
     }
 }
 
+/// Per-tenant token-bucket state inside [`GovernorKind::EnergyBudget`].
+#[derive(Debug, Clone, Copy)]
+struct TenantBucket {
+    /// Joules in reserve; negative while the tenant is over-drawn.
+    balance_j: f64,
+    /// Instant of the last refill.
+    last: SimTime,
+    /// Breach latch for hysteresis.
+    breached: bool,
+}
+
+struct EnergyBudgetGovernor {
+    cap_w: f64,
+    burst_j: f64,
+    action: BudgetAction,
+    /// Lazily grown, indexed by tenant id; new tenants start with a
+    /// full bucket.
+    buckets: Vec<TenantBucket>,
+}
+
+impl EnergyBudgetGovernor {
+    fn new(cap_w: f64, burst_j: f64, action: BudgetAction) -> Self {
+        assert!(
+            cap_w.is_finite() && cap_w > 0.0,
+            "energy-budget cap must be positive watts"
+        );
+        assert!(
+            burst_j.is_finite() && burst_j > 0.0,
+            "energy-budget burst must be positive joules"
+        );
+        EnergyBudgetGovernor {
+            cap_w,
+            burst_j,
+            action,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Refills `tenant`'s bucket through `now` and returns it.
+    fn bucket(&mut self, tenant: u16, now: SimTime) -> &mut TenantBucket {
+        let idx = tenant as usize;
+        while self.buckets.len() <= idx {
+            self.buckets.push(TenantBucket {
+                balance_j: self.burst_j,
+                last: SimTime::ZERO,
+                breached: false,
+            });
+        }
+        let bucket = &mut self.buckets[idx];
+        let elapsed = now.duration_since(bucket.last).as_secs_f64();
+        bucket.balance_j = (bucket.balance_j + self.cap_w * elapsed).min(self.burst_j);
+        bucket.last = now;
+        bucket
+    }
+
+    /// The refill level at which a breached tenant resumes.
+    fn resume_mark(&self) -> f64 {
+        BUDGET_RESUME_FRACTION * self.burst_j
+    }
+}
+
+impl Governor for EnergyBudgetGovernor {
+    fn kind(&self) -> GovernorKind {
+        GovernorKind::EnergyBudget {
+            cap_w: self.cap_w,
+            burst_j: self.burst_j,
+            action: self.action,
+        }
+    }
+
+    // Node power policy: keep-alive, so the budget loop rather than
+    // reboot churn dominates the energy the ledger attributes.
+    fn reboot_between_jobs(&self, _configured: bool) -> bool {
+        false
+    }
+
+    fn on_drain(&mut self, _now: SimTime, _warm_idle: usize) -> DrainAction {
+        DrainAction::Standby {
+            idle_timeout: Some(DEFAULT_KEEP_ALIVE_TIMEOUT),
+        }
+    }
+
+    fn gate_on_idle_expiry(&mut self, _now: SimTime, _warm_idle: usize) -> bool {
+        true
+    }
+
+    fn wants_idle_census(&self) -> bool {
+        false
+    }
+
+    fn budget_active(&self) -> bool {
+        true
+    }
+
+    fn budget_admit(&mut self, tenant: u16, now: SimTime) -> BudgetDecision {
+        let resume = self.resume_mark();
+        let action = self.action;
+        let cap_w = self.cap_w;
+        let bucket = self.bucket(tenant, now);
+        if !bucket.breached {
+            return BudgetDecision::Admit;
+        }
+        if bucket.balance_j >= resume {
+            bucket.breached = false;
+            return BudgetDecision::Admit;
+        }
+        match action {
+            BudgetAction::Shed => BudgetDecision::Shed,
+            BudgetAction::Defer => {
+                // Hold until the bucket would refill to the resume
+                // mark; at least 1 ms so the release event is ordered
+                // strictly after this arrival.
+                let secs = ((resume - bucket.balance_j) / cap_w).max(0.001);
+                BudgetDecision::Defer(SimDuration::from_micros((secs * 1e6).ceil() as u64))
+            }
+            BudgetAction::Throttle => BudgetDecision::Throttle(BUDGET_THROTTLE_FACTOR),
+        }
+    }
+
+    fn budget_note_energy(&mut self, tenant: u16, joules: f64, now: SimTime) -> bool {
+        let bucket = self.bucket(tenant, now);
+        bucket.balance_j -= joules;
+        if !bucket.breached && bucket.balance_j < 0.0 {
+            bucket.breached = true;
+            return true;
+        }
+        false
+    }
+}
+
 /// Builds the boxed governor for `kind`.
 ///
 /// # Panics
 ///
 /// Panics if a [`GovernorKind::WarmPool`] parameter is out of range
-/// (`alpha` outside `(0, 1]` or non-positive `headroom`).
+/// (`alpha` outside `(0, 1]` or non-positive `headroom`), or if an
+/// [`GovernorKind::EnergyBudget`] cap or burst is non-positive.
 pub fn governor(kind: GovernorKind) -> Box<dyn Governor + Send> {
     match kind {
         GovernorKind::RebootPerJob => Box::new(RebootPerJobGovernor),
@@ -372,6 +678,11 @@ pub fn governor(kind: GovernorKind) -> Box<dyn Governor + Send> {
         GovernorKind::WarmPool { alpha, headroom } => {
             Box::new(WarmPoolGovernor::new(alpha, headroom))
         }
+        GovernorKind::EnergyBudget {
+            cap_w,
+            burst_j,
+            action,
+        } => Box::new(EnergyBudgetGovernor::new(cap_w, burst_j, action)),
     }
 }
 
@@ -474,5 +785,99 @@ mod tests {
             alpha: 0.0,
             headroom: 1.0,
         });
+    }
+
+    #[test]
+    fn energy_budget_breaches_and_recovers_with_hysteresis() {
+        let mut gov = governor(GovernorKind::EnergyBudget {
+            cap_w: 1.0,
+            burst_j: 10.0,
+            action: BudgetAction::Shed,
+        });
+        assert!(gov.budget_active());
+        // Full bucket: admit, and the first over-draw breaches once.
+        assert_eq!(gov.budget_admit(0, SimTime::ZERO), BudgetDecision::Admit);
+        assert!(gov.budget_note_energy(0, 12.0, SimTime::ZERO));
+        assert!(
+            !gov.budget_note_energy(0, 1.0, SimTime::ZERO),
+            "breach edge fires once"
+        );
+        // Balance -3 J, refill 1 J/s: still shedding at t=4 s
+        // (balance 1 J < resume mark 5 J)...
+        assert_eq!(
+            gov.budget_admit(0, SimTime::from_secs(4)),
+            BudgetDecision::Shed
+        );
+        // ...admitted again at t=9 s (balance 6 J >= 5 J).
+        assert_eq!(
+            gov.budget_admit(0, SimTime::from_secs(9)),
+            BudgetDecision::Admit
+        );
+        // Tenants are independent.
+        assert_eq!(gov.budget_admit(3, SimTime::ZERO), BudgetDecision::Admit);
+    }
+
+    #[test]
+    fn energy_budget_defer_sizes_the_hold_to_the_refill_gap() {
+        let mut gov = governor(GovernorKind::EnergyBudget {
+            cap_w: 2.0,
+            burst_j: 10.0,
+            action: BudgetAction::Defer,
+        });
+        assert!(gov.budget_note_energy(0, 11.0, SimTime::ZERO));
+        // Balance -1 J; resume mark 5 J; refill 2 J/s -> 3 s hold.
+        assert_eq!(
+            gov.budget_admit(0, SimTime::ZERO),
+            BudgetDecision::Defer(SimDuration::from_secs(3))
+        );
+    }
+
+    #[test]
+    fn energy_budget_throttle_stretches_execution() {
+        let mut gov = governor(GovernorKind::EnergyBudget {
+            cap_w: 1.0,
+            burst_j: 5.0,
+            action: BudgetAction::Throttle,
+        });
+        assert!(gov.budget_note_energy(0, 6.0, SimTime::ZERO));
+        assert_eq!(
+            gov.budget_admit(0, SimTime::ZERO),
+            BudgetDecision::Throttle(BUDGET_THROTTLE_FACTOR)
+        );
+    }
+
+    #[test]
+    fn non_budget_governors_always_admit() {
+        for kind in [GovernorKind::RebootPerJob, GovernorKind::AlwaysOn] {
+            let mut gov = governor(kind);
+            assert!(!gov.budget_active());
+            assert!(!gov.budget_note_energy(0, 1e9, SimTime::ZERO));
+            assert_eq!(gov.budget_admit(0, SimTime::ZERO), BudgetDecision::Admit);
+        }
+    }
+
+    #[test]
+    fn budget_specs_parse_and_reject() {
+        assert_eq!(
+            parse_budget_spec("0.5,burst=10,action=defer").unwrap(),
+            GovernorKind::EnergyBudget {
+                cap_w: 0.5,
+                burst_j: 10.0,
+                action: BudgetAction::Defer,
+            }
+        );
+        assert_eq!(
+            parse_budget_spec("2").unwrap(),
+            GovernorKind::EnergyBudget {
+                cap_w: 2.0,
+                burst_j: DEFAULT_BUDGET_BURST_J,
+                action: BudgetAction::Shed,
+            }
+        );
+        assert!(parse_budget_spec("").is_err());
+        assert!(parse_budget_spec("-1").is_err());
+        assert!(parse_budget_spec("1,burst=0").is_err());
+        assert!(parse_budget_spec("1,action=explode").is_err());
+        assert!(parse_budget_spec("1,bogus=2").is_err());
     }
 }

@@ -22,7 +22,7 @@
 //! keeps its historical draws on the *simulation* stream, because
 //! moving them would shift every subsequent jitter draw and break
 //! bit-compatibility with the paper-calibrated goldens. The four new
-//! placements and all four governors are deterministic and draw
+//! placements and all five governors are deterministic and draw
 //! nothing.
 //!
 //! # Examples
@@ -53,8 +53,10 @@ pub mod pareto;
 pub mod placement;
 
 pub use governor::{
-    governor, DrainAction, Governor, GovernorKind, DEFAULT_KEEP_ALIVE_TIMEOUT,
-    DEFAULT_WARM_POOL_ALPHA, DEFAULT_WARM_POOL_HEADROOM, SBC_BOOT_SECONDS,
+    governor, parse_budget_spec, BudgetAction, BudgetDecision, DrainAction, Governor, GovernorKind,
+    BUDGET_RESUME_FRACTION, BUDGET_THROTTLE_FACTOR, DEFAULT_BUDGET_BURST_J, DEFAULT_BUDGET_CAP_W,
+    DEFAULT_KEEP_ALIVE_TIMEOUT, DEFAULT_WARM_POOL_ALPHA, DEFAULT_WARM_POOL_HEADROOM,
+    SBC_BOOT_SECONDS,
 };
 pub use pareto::{edp_winner, pareto_front};
 pub use placement::{
@@ -173,6 +175,22 @@ impl PolicyEngine {
     /// pass any placeholder as `warm_idle` — the governor never reads it.
     pub fn wants_idle_census(&self) -> bool {
         self.governor.wants_idle_census()
+    }
+
+    /// See [`Governor::budget_active`]. When `false`, the engine skips
+    /// energy attribution and budget gating entirely.
+    pub fn budget_active(&self) -> bool {
+        self.governor.budget_active()
+    }
+
+    /// See [`Governor::budget_admit`].
+    pub fn budget_admit(&mut self, tenant: u16, now: SimTime) -> BudgetDecision {
+        self.governor.budget_admit(tenant, now)
+    }
+
+    /// See [`Governor::budget_note_energy`].
+    pub fn budget_note_energy(&mut self, tenant: u16, joules: f64, now: SimTime) -> bool {
+        self.governor.budget_note_energy(tenant, joules, now)
     }
 }
 

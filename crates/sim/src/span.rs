@@ -439,7 +439,9 @@ impl SpanTree {
                 | TraceEvent::NetTransfer { .. }
                 | TraceEvent::PlacementDecision { .. }
                 | TraceEvent::CacheMiss { .. }
-                | TraceEvent::GovernorTransition { .. } => {}
+                | TraceEvent::GovernorTransition { .. }
+                | TraceEvent::BudgetBreach { .. }
+                | TraceEvent::BudgetAction { .. } => {}
             }
         }
 

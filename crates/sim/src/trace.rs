@@ -261,6 +261,21 @@ pub enum TraceEvent {
         /// Function name label.
         function: &'static str,
     },
+    /// A tenant's attributed joules crossed its energy-budget cap.
+    /// Emitted only when the `EnergyBudget` governor is active, so
+    /// default runs keep their historical traces byte-for-byte.
+    BudgetBreach {
+        /// Tenant index (matches the run's tenant table order).
+        tenant: u16,
+    },
+    /// The energy-budget governor acted on an arrival from a breached
+    /// tenant. Emitted only when the `EnergyBudget` governor is active.
+    BudgetAction {
+        /// Tenant index (matches the run's tenant table order).
+        tenant: u16,
+        /// What the governor did (`"shed"`, `"defer"`, `"throttle"`).
+        action: &'static str,
+    },
 }
 
 impl TraceEvent {
@@ -287,6 +302,8 @@ impl TraceEvent {
             TraceEvent::CacheHit { .. } => "cache_hit",
             TraceEvent::CacheMiss { .. } => "cache_miss",
             TraceEvent::Coalesced { .. } => "coalesced",
+            TraceEvent::BudgetBreach { .. } => "budget_breach",
+            TraceEvent::BudgetAction { .. } => "budget_action",
         }
     }
 
@@ -312,7 +329,9 @@ impl TraceEvent {
             | TraceEvent::NetTransfer { .. }
             | TraceEvent::FaultInjected { .. }
             | TraceEvent::GovernorTransition { .. }
-            | TraceEvent::WakeRequested { .. } => None,
+            | TraceEvent::WakeRequested { .. }
+            | TraceEvent::BudgetBreach { .. }
+            | TraceEvent::BudgetAction { .. } => None,
         }
     }
 }
@@ -494,6 +513,12 @@ impl TraceRecord {
                     out,
                     ",\"job\":{job},\"leader\":{leader},\"function\":\"{function}\""
                 );
+            }
+            TraceEvent::BudgetBreach { tenant } => {
+                let _ = write!(out, ",\"tenant\":{tenant}");
+            }
+            TraceEvent::BudgetAction { tenant, action } => {
+                let _ = write!(out, ",\"tenant\":{tenant},\"action\":\"{action}\"");
             }
         }
         out.push('}');
@@ -867,6 +892,11 @@ mod tests {
                 leader: 14,
                 function: "CascSHA",
             },
+            TraceEvent::BudgetBreach { tenant: 1 },
+            TraceEvent::BudgetAction {
+                tenant: 1,
+                action: "shed",
+            },
         ];
         let mut buffer = TraceBuffer::new(events.len());
         for (i, &event) in events.iter().enumerate() {
@@ -942,6 +972,19 @@ mod tests {
             .unwrap()
             .to_json();
         assert!(coalesced.contains("\"leader\":14"), "{coalesced}");
+        // And the energy-budget payloads.
+        let breach = buffer
+            .iter()
+            .find(|r| r.event.kind() == "budget_breach")
+            .unwrap()
+            .to_json();
+        assert!(breach.contains("\"tenant\":1"), "{breach}");
+        let action = buffer
+            .iter()
+            .find(|r| r.event.kind() == "budget_action")
+            .unwrap()
+            .to_json();
+        assert!(action.contains("\"action\":\"shed\""), "{action}");
     }
 
     #[test]

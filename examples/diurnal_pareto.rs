@@ -34,7 +34,7 @@ fn main() {
     let suite = Scenario::standard_suite();
     let duration = SimDuration::from_secs(DURATION_SECS);
     println!(
-        "Per-regime EDP winners: {} regimes x 28 policy pairs, {WORKERS} SBCs,\n\
+        "Per-regime EDP winners: {} regimes x 35 policy pairs, {WORKERS} SBCs,\n\
          {DURATION_SECS} s per run, seed {SEED}, cache off vs {DEFAULT_CACHE_SPEC}.\n",
         suite.len()
     );

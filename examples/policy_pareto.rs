@@ -6,7 +6,7 @@
 //! cargo run --release --example policy_pareto
 //! ```
 //!
-//! The SBC cluster gets the full 6 placements × 4 governors sweep and a
+//! The SBC cluster gets the full 7 placements × 5 governors sweep and a
 //! Pareto front; the VM cluster — no per-node power gating, a 60 W host
 //! floor — only distinguishes whether VMs reboot between jobs, which is
 //! the point: the policy space the paper's hardware opens up simply
