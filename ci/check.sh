@@ -167,6 +167,30 @@ cmp "$tmpdir/energy_serial.csv" "$tmpdir/energy_parallel.csv" || {
 grep -q ",(idle)," "$tmpdir/energy_serial.csv" || {
     echo "energy ledger CSV missing the idle remainder row"; exit 1; }
 
+echo "==> monitor smoke: inertness cross-check, burn-rate alerts, --jobs 2 CSV byte-identical to --jobs 1"
+monitor_flags=(--arrivals flash:0.2,120,60,40 --duration-secs 600 --workers 12
+    --governor keep-alive --tenants paid:1:2.5,free:4:30 --seed 2022)
+out="$(cargo run --release -q -p microfaas-cli -- monitor \
+    "${monitor_flags[@]}" --jobs 1 --csv "$tmpdir/monitor_serial.csv")"
+echo "$out" | grep -q "verified inert" || {
+    echo "monitor skipped its telemetry-inertness cross-check"; exit 1; }
+echo "$out" | grep -q "burn-rate" || {
+    echo "flash crowd raised no burn-rate alert"; exit 1; }
+cargo run --release -q -p microfaas-cli -- monitor \
+    "${monitor_flags[@]}" --jobs 2 --csv "$tmpdir/monitor_parallel.csv" > /dev/null
+cmp "$tmpdir/monitor_serial.csv" "$tmpdir/monitor_parallel.csv" || {
+    echo "monitored time series diverged across --jobs"; exit 1; }
+
+echo "==> BENCH_telemetry.json records the <= 10% monitored-run budget"
+python3 -c "
+import json
+with open('BENCH_telemetry.json') as f:
+    record = json.load(f)
+assert record['bench'] == 'telemetry', record['bench']
+delta = record['capacity_recipe_10m']['overhead_pct']
+assert delta <= 10.0, f'recorded telemetry overhead {delta}% blows the 10% budget'
+"
+
 echo "==> analyze smoke: span derivation, phase-sum check, Perfetto round-trip"
 out="$(cargo run --release -q -p microfaas-cli -- analyze \
     --invocations 2 --seed 7 --perfetto "$tmpdir/spans.json")"

@@ -13,8 +13,8 @@ use microfaas::experiment::{
 };
 use microfaas::micro::{run_microfaas_with, MicroFaasConfig};
 use microfaas::openloop::{
-    run_open_loop, run_open_loop_attributed, run_open_loop_streaming, ArrivalProcess, NullSink,
-    OpenLoopConfig, SchedulerPolicy,
+    run_open_loop, run_open_loop_attributed, run_open_loop_monitored_streaming,
+    run_open_loop_streaming, ArrivalProcess, NullSink, OpenLoopConfig, SchedulerPolicy,
 };
 use microfaas::report::PhaseColumns;
 use microfaas::timeline::Timeline;
@@ -25,8 +25,9 @@ use microfaas_hw::reliability::{simulate_fleet, FleetSpec};
 use microfaas_sched::{parse_budget_spec, GovernorKind};
 use microfaas_sim::faults::FaultPlan;
 use microfaas_sim::{
-    export_chrome_trace, par_map_indexed, validate_chrome_trace, CriticalPath, Jobs,
-    MetricsRegistry, Observer, Rng, SimDuration, SpanTree, TraceBuffer, TraceRecord,
+    evaluate_alerts, export_chrome_trace, export_counter_trace, par_map_indexed,
+    validate_chrome_trace, AlertPolicy, CriticalPath, Jobs, MetricsRegistry, Observer, Rng,
+    SimDuration, SpanTree, TelemetryConfig, TraceBuffer, TraceRecord,
 };
 use microfaas_tco::{savings_percent, ClusterSpec, Conditions, CostModel};
 use microfaas_workloads::suite::{run_function, FunctionId, ServiceBackends};
@@ -54,6 +55,7 @@ pub fn dispatch(args: &Args) -> Result<(), ParseArgsError> {
         "tco" => tco(args),
         "workloads" => workloads(args),
         "openloop" => openloop(args),
+        "monitor" => monitor(args),
         "energy" => energy(args),
         "sched" => sched(args),
         "scenarios" => scenarios(args),
@@ -106,6 +108,26 @@ SUBCOMMANDS
                        see docs/SCALING.md)
                      --cache SPEC (content-addressed result cache: off | on |
                        lru:CAP[,ttl=SECS][,inputs=N] — see docs/CACHING.md)
+  monitor          time-resolved telemetry: windowed flight recorder, SLO
+                   burn-rate alerts, anomaly detection (docs/MONITORING.md)
+                     --rate F (jobs/s, default 1.0)
+                     --arrivals SPEC (generative arrival model, e.g.
+                       flash:0.2,120,60,40 — see docs/WORKLOADS.md)
+                     --policy ... --governor ... (as openloop)
+                     --budget SPEC (per-tenant joule caps; breach windows
+                       raise critical alerts)
+                     --duration-secs N (default 600)  --workers N  --seed S
+                     --tenants SPEC (NAME:WEIGHT[:SLO_S] classes, e.g.
+                       paid:1:2.5,free:4:30 — per-tenant burn-rate alerts)
+                     --slo-target F (attainment target, default 0.95)
+                     --window-secs F (tumbling-window width, default 1.0)
+                     --max-windows N (flight-recorder bound, default 4096)
+                     --cache SPEC (result cache; adds hit-rate telemetry)
+                     --csv PATH (per-window time series, byte-identical
+                       at every --jobs count)
+                     --metrics-out PATH (Prometheus windowed gauges)
+                     --perfetto PATH (Chrome trace counter tracks)
+                     --jobs N (parallel monitored + baseline runs)
   energy           per-function / per-tenant joule attribution (docs/ENERGY.md)
                      --rate F (jobs/s, default 1.0)  --duration-secs N (default 600)
                      --workers N (default 10)  --seed S (default 2022)
@@ -196,6 +218,18 @@ fn write_text(path: &str, text: &str) -> Result<(), ParseArgsError> {
         .map_err(|e| ParseArgsError(format!("cannot write '{path}': {e}")))?;
     println!("wrote {path}");
     Ok(())
+}
+
+/// The one shared `--metrics-out PATH` write path: renders the
+/// Prometheus exposition (lazily — only when the flag is present) and
+/// writes it through [`write_text`], so every subcommand reports the
+/// same "cannot write '<path>': <err>" wording. Mirrors the
+/// [`reject_conflicts`] consolidation: call sites cannot drift.
+fn maybe_metrics_out(args: &Args, render: impl FnOnce() -> String) -> Result<(), ParseArgsError> {
+    match args.get_str("metrics-out") {
+        Some(path) => write_text(path, &render()),
+        None => Ok(()),
+    }
 }
 
 /// Resolves `--jobs N` (default: available parallelism, overridable via
@@ -325,9 +359,7 @@ fn compare(args: &Args) -> Result<(), ParseArgsError> {
             );
         }
     }
-    if let Some(path) = args.get_str("metrics-out") {
-        write_text(path, &metrics.render_prometheus())?;
-    }
+    maybe_metrics_out(args, || metrics.render_prometheus())?;
     maybe_csv(args, &csv)
 }
 
@@ -560,6 +592,216 @@ fn openloop(args: &Args) -> Result<(), ParseArgsError> {
     Ok(())
 }
 
+/// The `monitor` subcommand: an open-loop run on the streaming path
+/// with the telemetry flight recorder attached, plus burn-rate /
+/// anomaly alert evaluation over the windowed series. Always runs the
+/// identically-configured *unmonitored* streaming engine alongside
+/// (fanned over `--jobs`) and cross-checks the aggregates, making the
+/// "telemetry perturbs nothing" contract an executable assertion on
+/// every invocation. See `docs/MONITORING.md`.
+fn monitor(args: &Args) -> Result<(), ParseArgsError> {
+    args.expect_only(&[
+        "rate",
+        "arrivals",
+        "policy",
+        "governor",
+        "budget",
+        "duration-secs",
+        "workers",
+        "seed",
+        "tenants",
+        "slo-target",
+        "window-secs",
+        "max-windows",
+        "cache",
+        "csv",
+        "metrics-out",
+        "perfetto",
+        "jobs",
+    ])?;
+    reject_conflicts(args, &[("budget", "governor")])?;
+    let rate = args.get_or("rate", 1.0f64)?;
+    if rate <= 0.0 {
+        return Err(ParseArgsError("--rate must be positive".to_string()));
+    }
+    let scheduler: SchedulerPolicy = args
+        .get_str("policy")
+        .unwrap_or("random")
+        .parse()
+        .map_err(|e: microfaas_sched::PolicyParseError| ParseArgsError(e.to_string()))?;
+    let governor: GovernorKind = match args.get_str("budget") {
+        Some(spec) => parse_budget_spec(spec)
+            .map_err(|e: microfaas_sched::PolicyParseError| ParseArgsError(e.to_string()))?,
+        None => args
+            .get_str("governor")
+            .unwrap_or("reboot-per-job")
+            .parse()
+            .map_err(|e: microfaas_sched::PolicyParseError| ParseArgsError(e.to_string()))?,
+    };
+    let arrival = match args.get_str("arrivals") {
+        Some(spec) => ArrivalProcess::parse(spec).map_err(ParseArgsError)?,
+        None => ArrivalProcess::Poisson { per_second: rate },
+    };
+    let tenants = match args.get_str("tenants") {
+        Some(spec) => parse_tenant_classes(spec)?,
+        None => Vec::new(),
+    };
+    let window_secs = args.get_or("window-secs", 1.0f64)?;
+    if !window_secs.is_finite() || window_secs <= 0.0 {
+        return Err(ParseArgsError("--window-secs must be positive".to_string()));
+    }
+    let max_windows = args.get_or("max-windows", 4096usize)?;
+    if max_windows == 0 {
+        return Err(ParseArgsError("--max-windows must be positive".to_string()));
+    }
+    let slo_target = args.get_or("slo-target", 0.95f64)?;
+    if !(slo_target > 0.0 && slo_target < 1.0) {
+        return Err(ParseArgsError(
+            "--slo-target must be strictly between 0 and 1".to_string(),
+        ));
+    }
+    let telemetry = TelemetryConfig {
+        window: SimDuration::from_secs_f64(window_secs),
+        max_windows,
+        ..TelemetryConfig::default()
+    };
+    let alert_policy = AlertPolicy {
+        slo_target,
+        ..AlertPolicy::default()
+    };
+    let jobs = jobs_flag(args)?;
+
+    let config = OpenLoopConfig {
+        workers: args.get_or("workers", 10usize)?,
+        seed: args.get_or("seed", 2022u64)?,
+        duration: SimDuration::from_secs(args.get_or("duration-secs", 600u64)?),
+        arrival,
+        scheduler,
+        governor,
+        jitter: Jitter::default_run_to_run(),
+        functions: FunctionId::ALL.to_vec(),
+        popularity: Popularity::Uniform,
+        tenants,
+        faults: FaultsConfig::none(),
+        cache: cache_flag(args)?,
+    };
+
+    // Task 0 runs monitored, task 1 runs the plain streaming engine on
+    // the same config. Both fan over --jobs and must agree exactly —
+    // the recorder consumes no RNG draws.
+    let mut results = par_map_indexed(jobs, 2, |i| {
+        if i == 0 {
+            let (run, series) = run_open_loop_monitored_streaming(&config, &telemetry);
+            (run, Some(series))
+        } else {
+            (run_open_loop_streaming(&config, &mut NullSink), None)
+        }
+    });
+    let (baseline, _) = results.pop().expect("two tasks");
+    let (run, series) = results.pop().expect("two tasks");
+    let series = series.expect("task 0 is the monitored run");
+    if run.completed != baseline.completed
+        || run.mean_power_w != baseline.mean_power_w
+        || run.power_cycles != baseline.power_cycles
+    {
+        return Err(ParseArgsError(
+            "telemetry perturbed the run: monitored and unmonitored aggregates disagree"
+                .to_string(),
+        ));
+    }
+
+    println!("policy:           {scheduler} / {governor}");
+    println!(
+        "telemetry:        {} windows x {:.3} s (dropped {}), verified inert",
+        series.windows.len(),
+        series.window.as_secs_f64(),
+        series.dropped_windows
+    );
+    println!("completed:        {}", run.completed);
+    println!("mean latency:     {:.2} s", run.mean_latency_s);
+    println!("p95 latency:      {:.2} s", run.p95_latency_s);
+    println!("mean power:       {:.2} W", run.mean_power_w);
+    println!("windowed energy:  {:.1} J", series.total_energy_j());
+    if let Some(cap_w) = config.governor.budget_cap_w() {
+        println!("budget cap:       {cap_w:.1} W per tenant");
+    }
+    if let Some(peak) = series
+        .windows
+        .iter()
+        .max_by(|a, b| a.throughput_per_s().total_cmp(&b.throughput_per_s()))
+    {
+        println!(
+            "peak throughput:  {:.1} jobs/s in window {} (t = {:.0} s)",
+            peak.throughput_per_s(),
+            peak.index,
+            peak.start.as_secs_f64()
+        );
+    }
+    if let Some(peak) = series
+        .windows
+        .iter()
+        .max_by(|a, b| a.queue_depth.total_cmp(&b.queue_depth))
+    {
+        println!(
+            "peak queue depth: {:.1} jobs in window {} (t = {:.0} s)",
+            peak.queue_depth,
+            peak.index,
+            peak.start.as_secs_f64()
+        );
+    }
+    for (t, spec) in series.tenants.iter().enumerate() {
+        let completed: u64 = series.windows.iter().map(|w| w.tenants[t].completed).sum();
+        let hits: u64 = series.windows.iter().map(|w| w.tenants[t].slo_hits).sum();
+        let attainment = if completed > 0 {
+            hits as f64 / completed as f64 * 100.0
+        } else {
+            100.0
+        };
+        println!(
+            "tenant {:<10} {completed} completed, {attainment:.2}% in SLO (target {:.1}%)",
+            format!("{}:", spec.name),
+            slo_target * 100.0
+        );
+    }
+
+    let alerts = evaluate_alerts(&series, &alert_policy);
+    if alerts.is_empty() {
+        println!("\nalerts:           none");
+    } else {
+        println!(
+            "\n{:<28} {:>8} {:>9} {:>10} {:>8}",
+            "alert", "severity", "fired_s", "resolved_s", "peak"
+        );
+        for alert in &alerts {
+            let fired = alert.fired.as_secs_f64();
+            let resolved = match alert.resolved {
+                Some(at) => format!("{:.0}", at.as_secs_f64()),
+                None => "active".to_string(),
+            };
+            println!(
+                "{:<28} {:>8} {fired:>9.0} {resolved:>10} {:>8.2}",
+                alert.signal.to_string(),
+                alert.severity.label(),
+                alert.peak
+            );
+        }
+    }
+
+    if let Some(path) = args.get_str("csv") {
+        // Fixed-decimal rendering: byte-identical at every --jobs count
+        // (ci/check.sh compares 1 vs 2).
+        write_text(path, &series.to_csv())?;
+    }
+    maybe_metrics_out(args, || series.render_prometheus())?;
+    if let Some(path) = args.get_str("perfetto") {
+        write_text(
+            path,
+            &export_counter_trace(&series.counter_tracks(), "monitor"),
+        )?;
+    }
+    Ok(())
+}
+
 /// Parses the `--tenants` spec: comma-separated `NAME:WEIGHT[:SLO_S]`
 /// classes (`paid:3,free:1`). Weights are relative arrival shares; the
 /// SLO defaults to a permissive 60 s since the energy subcommand
@@ -758,9 +1000,7 @@ fn energy(args: &Args) -> Result<(), ParseArgsError> {
             );
         }
     }
-    if let Some(path) = args.get_str("metrics-out") {
-        write_text(path, &ledger.render_prometheus())?;
-    }
+    maybe_metrics_out(args, || ledger.render_prometheus())?;
     if let Some(path) = args.get_str("csv") {
         // Ledger-rendered exact decimals, so --jobs N output is
         // byte-identical for every N (ci/check.sh compares them).
@@ -1130,9 +1370,7 @@ fn trace(args: &Args) -> Result<(), ParseArgsError> {
             write_text(path, &buffer.to_json_lines())?;
         }
     }
-    if let Some(path) = args.get_str("metrics-out") {
-        write_text(path, &metrics.render_prometheus())?;
-    }
+    maybe_metrics_out(args, || metrics.render_prometheus())?;
     let mut csv = Csv::new(&["metric", "value"]);
     for (name, value) in metrics.flatten() {
         csv.row_display(&[&name, &value]);
@@ -1361,9 +1599,7 @@ fn faults(args: &Args) -> Result<(), ParseArgsError> {
     if let Some(path) = args.get_str("out") {
         write_text(path, &buffer.to_json_lines())?;
     }
-    if let Some(path) = args.get_str("metrics-out") {
-        write_text(path, &metrics.render_prometheus())?;
-    }
+    maybe_metrics_out(args, || metrics.render_prometheus())?;
     let mut csv = Csv::new(&["metric", "value"]);
     for (name, value) in metrics.flatten() {
         csv.row_display(&[&name, &value]);
@@ -2280,5 +2516,128 @@ mod tests {
         assert!(written.starts_with("active,sbc_watts,server_watts"));
         assert_eq!(written.lines().count(), 5, "header + 4 rows");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn monitor_validates_flags() {
+        assert!(run(&["monitor", "--rate", "0"]).is_err());
+        assert!(run(&["monitor", "--window-secs", "0"]).is_err());
+        assert!(run(&["monitor", "--max-windows", "0"]).is_err());
+        assert!(run(&["monitor", "--slo-target", "1.0"]).is_err());
+        assert!(run(&["monitor", "--slo-target", "0"]).is_err());
+        assert!(run(&["monitor", "--policy", "mystery"]).is_err());
+        assert!(run(&["monitor", "--arrivals", "warp:1"]).is_err());
+        assert!(run(&["monitor", "--jobs", "nope"]).is_err());
+        assert!(
+            run(&[
+                "monitor",
+                "--budget",
+                "5:60",
+                "--governor",
+                "keep-alive",
+                "--duration-secs",
+                "60"
+            ])
+            .is_err(),
+            "--budget and --governor are exclusive"
+        );
+        assert!(run(&["monitor", "--streaming"]).is_err(), "unknown flag");
+    }
+
+    #[test]
+    fn monitor_exports_series_alerts_and_counter_tracks() {
+        let dir = std::env::temp_dir();
+        let csv = dir.join("microfaas_cli_test_monitor.csv");
+        let prom = dir.join("microfaas_cli_test_monitor.prom");
+        let perfetto = dir.join("microfaas_cli_test_monitor_trace.json");
+        for path in [&csv, &prom, &perfetto] {
+            let _ = std::fs::remove_file(path);
+        }
+        run(&[
+            "monitor",
+            "--arrivals",
+            "flash:0.2,60,30,20",
+            "--duration-secs",
+            "180",
+            "--workers",
+            "8",
+            "--governor",
+            "keep-alive",
+            "--tenants",
+            "paid:1:2.5,free:4:30",
+            "--seed",
+            "2022",
+            "--csv",
+            csv.to_str().expect("utf-8 temp path"),
+            "--metrics-out",
+            prom.to_str().expect("utf-8 temp path"),
+            "--perfetto",
+            perfetto.to_str().expect("utf-8 temp path"),
+        ])
+        .expect("monitored flash-crowd run");
+        let series = std::fs::read_to_string(&csv).expect("csv written");
+        assert!(series.starts_with("window,start_s,elapsed_s,completed,"));
+        assert!(series.contains("paid_attainment"));
+        let exposition = std::fs::read_to_string(&prom).expect("metrics written");
+        assert!(exposition.contains("telemetry_window_width_seconds"));
+        let trace = std::fs::read_to_string(&perfetto).expect("trace written");
+        assert!(trace.contains("\"ph\":\"C\""));
+        validate_chrome_trace(&trace).expect("counter trace validates");
+        for path in [&csv, &prom, &perfetto] {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    #[test]
+    fn monitor_csv_is_jobs_invariant() {
+        let dir = std::env::temp_dir();
+        let serial = dir.join("microfaas_cli_test_monitor_j1.csv");
+        let parallel = dir.join("microfaas_cli_test_monitor_j2.csv");
+        for (path, jobs) in [(&serial, "1"), (&parallel, "2")] {
+            let _ = std::fs::remove_file(path);
+            run(&[
+                "monitor",
+                "--rate",
+                "2.0",
+                "--duration-secs",
+                "120",
+                "--workers",
+                "6",
+                "--governor",
+                "keep-alive",
+                "--seed",
+                "11",
+                "--jobs",
+                jobs,
+                "--csv",
+                path.to_str().expect("utf-8 temp path"),
+            ])
+            .expect("monitored run");
+        }
+        let a = std::fs::read_to_string(&serial).expect("serial csv");
+        let b = std::fs::read_to_string(&parallel).expect("parallel csv");
+        assert_eq!(a, b, "time series must be byte-identical across --jobs");
+        for path in [&serial, &parallel] {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    #[test]
+    fn metrics_out_helper_shares_one_error_wording() {
+        // Every --metrics-out site funnels through maybe_metrics_out, so
+        // an unwritable path yields the same "cannot write" message from
+        // all of them.
+        let bad = "/nonexistent-dir/metrics.prom";
+        for argv in [
+            vec!["compare", "--invocations", "2", "--metrics-out", bad],
+            vec!["monitor", "--duration-secs", "60", "--metrics-out", bad],
+        ] {
+            let err = run(&argv).expect_err("unwritable path");
+            assert!(
+                err.to_string()
+                    .contains("cannot write '/nonexistent-dir/metrics.prom'"),
+                "unexpected wording: {err}"
+            );
+        }
     }
 }

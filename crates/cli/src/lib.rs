@@ -76,6 +76,14 @@ mod caching_docs {}
 #[doc = include_str!("../../../docs/ENERGY.md")]
 mod energy_docs {}
 
+/// Compiles and runs every Rust sample in `docs/MONITORING.md` as a
+/// doctest, so the time-resolved telemetry handbook can never drift
+/// from the `microfaas_sim::telemetry` / `microfaas::monitor` APIs it
+/// documents.
+#[cfg(doctest)]
+#[doc = include_str!("../../../docs/MONITORING.md")]
+mod monitoring_docs {}
+
 /// Compiles and runs every Rust sample in `docs/README.md` (the
 /// handbook index) as a doctest, keeping the index under the same
 /// drift guard as the handbooks it points at.

@@ -26,7 +26,8 @@ use microfaas_sched::{
     BudgetDecision, DrainAction, GovernorKind, NodeView, PlacementKind, PolicyEngine,
 };
 use microfaas_sim::faults::FaultKind;
-use microfaas_sim::trace::{Observer, TraceEvent, WorkerState};
+use microfaas_sim::telemetry::{TelemetryConfig, TelemetrySeries};
+use microfaas_sim::trace::{Observer, TraceEvent, TraceObserver, TypedObserver, WorkerState};
 use microfaas_sim::{
     CounterId, EventId, EventQueue, HistogramId, MetricsRegistry, OnlineStats, QuantileSketch, Rng,
     Samples, SimDuration, SimTime, TimeWeighted,
@@ -37,6 +38,7 @@ use microfaas_workloads::FunctionId;
 use crate::cache::{content_key, CacheConfig, CoalesceTable, ResultCache};
 use crate::config::Jitter;
 use crate::micro::{SchedMetrics, EXEC_BUCKETS};
+use crate::monitor::FlightRecorder;
 use crate::recovery::FaultsConfig;
 
 pub use crate::arrivals::ArrivalProcess;
@@ -425,7 +427,7 @@ pub fn run_open_loop_attributed(
     config: &OpenLoopConfig,
     idle_policy: IdlePolicy,
 ) -> (OpenLoopRun, EnergyLedger) {
-    let (run, ledger) = run_open_loop_core(
+    let (run, ledger, _end) = run_open_loop_core(
         config,
         &mut Observer::disabled(),
         Samples::new(),
@@ -448,7 +450,7 @@ pub fn run_open_loop_streaming_attributed<S: RunSink>(
     sink: &mut S,
     idle_policy: IdlePolicy,
 ) -> (OpenLoopRun, EnergyLedger) {
-    let (run, ledger) = run_open_loop_core(
+    let (run, ledger, _end) = run_open_loop_core(
         config,
         &mut Observer::disabled(),
         StreamingLatency::new(),
@@ -528,13 +530,94 @@ pub fn run_open_loop_streaming<S: RunSink>(config: &OpenLoopConfig, sink: &mut S
     .0
 }
 
-fn run_open_loop_core<L: LatencyAccum, S: RunSink>(
+/// [`run_open_loop`] with the **flight recorder** attached: alongside
+/// the usual aggregates, returns a [`TelemetrySeries`] of tumbling
+/// windows (throughput, latency quantiles, queue depth, occupancy,
+/// power, energy, cache and fault counts, per-tenant SLO attainment)
+/// over the whole run. Telemetry is strictly an observer — it consumes
+/// no RNG draws — so the [`OpenLoopRun`] agrees bit-for-bit with
+/// [`run_open_loop`] on the same config. See `docs/MONITORING.md`.
+///
+/// # Panics
+///
+/// As [`run_open_loop`], plus if `telemetry` is invalid.
+pub fn run_open_loop_monitored(
     config: &OpenLoopConfig,
-    observer: &mut Observer<'_>,
+    telemetry: &TelemetryConfig,
+) -> (OpenLoopRun, TelemetrySeries) {
+    let mut recorder = FlightRecorder::new(telemetry, &config.tenants);
+    let (events, mut tap) = recorder.taps();
+    let (run, _ledger, end) = run_open_loop_core(
+        config,
+        &mut TypedObserver::new(events),
+        Samples::new(),
+        &mut tap,
+        budget_attributor(config),
+    );
+    (run, recorder.into_series(end))
+}
+
+/// [`run_open_loop_monitored`] on the **streaming** results path: O(1)
+/// latency aggregates plus the windowed [`TelemetrySeries`]. This is
+/// the `monitor` CLI's engine — windows stay bounded
+/// ([`TelemetryConfig::max_windows`]) no matter how many jobs run.
+///
+/// # Panics
+///
+/// As [`run_open_loop`], plus if `telemetry` is invalid.
+pub fn run_open_loop_monitored_streaming(
+    config: &OpenLoopConfig,
+    telemetry: &TelemetryConfig,
+) -> (OpenLoopRun, TelemetrySeries) {
+    let mut recorder = FlightRecorder::new(telemetry, &config.tenants);
+    let (events, mut tap) = recorder.taps();
+    let (run, _ledger, end) = run_open_loop_core(
+        config,
+        &mut TypedObserver::new(events),
+        StreamingLatency::new(),
+        &mut tap,
+        budget_attributor(config),
+    );
+    (run, recorder.into_series(end))
+}
+
+/// [`run_open_loop_attributed`] with the flight recorder attached: the
+/// exact per-job [`EnergyLedger`] and the windowed [`TelemetrySeries`]
+/// from one run. The ledger's integer-µJ conservation argument is
+/// untouched — telemetry integrates its own f64 power curve and never
+/// feeds back.
+///
+/// # Panics
+///
+/// As [`run_open_loop`], plus if `telemetry` is invalid.
+pub fn run_open_loop_monitored_attributed(
+    config: &OpenLoopConfig,
+    idle_policy: IdlePolicy,
+    telemetry: &TelemetryConfig,
+) -> (OpenLoopRun, EnergyLedger, TelemetrySeries) {
+    let mut recorder = FlightRecorder::new(telemetry, &config.tenants);
+    let (events, mut tap) = recorder.taps();
+    let (run, ledger, end) = run_open_loop_core(
+        config,
+        &mut TypedObserver::new(events),
+        StreamingLatency::new(),
+        &mut tap,
+        Some(make_attributor(config, idle_policy)),
+    );
+    (
+        run,
+        ledger.expect("attributor was supplied"),
+        recorder.into_series(end),
+    )
+}
+
+fn run_open_loop_core<L: LatencyAccum, S: RunSink, O: TraceObserver>(
+    config: &OpenLoopConfig,
+    observer: &mut O,
     mut latencies: L,
     sink: &mut S,
     mut attr: Option<Attributor>,
-) -> (OpenLoopRun, Option<EnergyLedger>) {
+) -> (OpenLoopRun, Option<EnergyLedger>, SimTime) {
     assert!(config.workers > 0, "cluster needs at least one worker");
     assert!(!config.functions.is_empty(), "need at least one function");
     config.arrival.validate();
@@ -1330,7 +1413,7 @@ fn run_open_loop_core<L: LatencyAccum, S: RunSink>(
     // Settle every channel through the common end instant so the
     // ledger's integer total covers exactly the meter's window.
     let ledger = attr.map(|a| a.finalize(end));
-    (run, ledger)
+    (run, ledger, end)
 }
 
 /// Runs the same arrival process against the conventional cluster:
@@ -1344,7 +1427,66 @@ fn run_open_loop_core<L: LatencyAccum, S: RunSink>(
 /// Panics if `vms` is zero or the config is invalid per
 /// [`run_open_loop`].
 pub fn run_open_loop_conventional(config: &OpenLoopConfig, vms: usize) -> OpenLoopRun {
-    run_open_loop_conventional_core(config, vms, None).0
+    run_open_loop_conventional_core(
+        config,
+        vms,
+        &mut Observer::disabled(),
+        Samples::new(),
+        &mut NullSink,
+        None,
+    )
+    .0
+}
+
+/// [`run_open_loop_conventional`] on the streaming results path: O(1)
+/// latency aggregates and every completion offered to `sink` the
+/// instant it happens, exactly as [`run_open_loop_streaming`] does for
+/// the MicroFaaS cluster.
+///
+/// # Panics
+///
+/// As [`run_open_loop_conventional`].
+pub fn run_open_loop_conventional_streaming<S: RunSink>(
+    config: &OpenLoopConfig,
+    vms: usize,
+    sink: &mut S,
+) -> OpenLoopRun {
+    run_open_loop_conventional_core(
+        config,
+        vms,
+        &mut Observer::disabled(),
+        StreamingLatency::new(),
+        sink,
+        None,
+    )
+    .0
+}
+
+/// [`run_open_loop_conventional`] with the **flight recorder**
+/// attached: the same run plus a windowed [`TelemetrySeries`], so the
+/// baseline's time-resolved power floor can sit next to MicroFaaS
+/// telemetry from [`run_open_loop_monitored_streaming`]. Power samples
+/// carry the rack server's single metered channel.
+///
+/// # Panics
+///
+/// As [`run_open_loop_conventional`], plus if `telemetry` is invalid.
+pub fn run_open_loop_conventional_monitored(
+    config: &OpenLoopConfig,
+    vms: usize,
+    telemetry: &TelemetryConfig,
+) -> (OpenLoopRun, TelemetrySeries) {
+    let mut recorder = FlightRecorder::new(telemetry, &config.tenants);
+    let (events, mut tap) = recorder.taps();
+    let (run, _ledger, end) = run_open_loop_conventional_core(
+        config,
+        vms,
+        &mut TypedObserver::new(events),
+        StreamingLatency::new(),
+        &mut tap,
+        None,
+    );
+    (run, recorder.into_series(end))
 }
 
 /// [`run_open_loop_conventional`] with **energy attribution**: the
@@ -1364,16 +1506,25 @@ pub fn run_open_loop_conventional_attributed(
     vms: usize,
     idle_policy: IdlePolicy,
 ) -> (OpenLoopRun, EnergyLedger) {
-    let (run, ledger) =
-        run_open_loop_conventional_core(config, vms, Some(make_attributor(config, idle_policy)));
+    let (run, ledger, _end) = run_open_loop_conventional_core(
+        config,
+        vms,
+        &mut Observer::disabled(),
+        Samples::new(),
+        &mut NullSink,
+        Some(make_attributor(config, idle_policy)),
+    );
     (run, ledger.expect("attributor was supplied"))
 }
 
-fn run_open_loop_conventional_core(
+fn run_open_loop_conventional_core<L: LatencyAccum, S: RunSink, O: TraceObserver>(
     config: &OpenLoopConfig,
     vms: usize,
+    observer: &mut O,
+    mut latencies: L,
+    sink: &mut S,
     mut attr: Option<Attributor>,
-) -> (OpenLoopRun, Option<EnergyLedger>) {
+) -> (OpenLoopRun, Option<EnergyLedger>, SimTime) {
     assert!(vms > 0, "cluster needs at least one VM");
     assert!(!config.functions.is_empty(), "need at least one function");
     config.arrival.validate();
@@ -1393,10 +1544,18 @@ fn run_open_loop_conventional_core(
         a.add_channel();
         a.set_power(0, SimTime::ZERO, server.power().value());
     }
+    // The host's one metered channel reports as worker 0; the idle
+    // floor draws from the first instant.
+    observer.emit(
+        SimTime::ZERO,
+        TraceEvent::PowerSample {
+            worker: 0,
+            watts: server.power().value(),
+        },
+    );
 
     let mut queues: Vec<VecDeque<QueuedJob>> = vec![VecDeque::new(); vms];
-    let mut current: Vec<Option<QueuedJob>> = vec![None; vms];
-    let mut latencies = Samples::new();
+    let mut current: Vec<Option<(QueuedJob, SimDuration, SimTime)>> = vec![None; vms];
     let mut completed: u64 = 0;
     let mut arrived: u64 = 0;
     let horizon = SimTime::ZERO + config.duration;
@@ -1427,9 +1586,24 @@ fn run_open_loop_conventional_core(
                         key: 0,
                         throttle: 1.0,
                     };
+                    observer.emit(
+                        now,
+                        TraceEvent::JobEnqueued {
+                            job: job.id,
+                            function: function.name(),
+                        },
+                    );
                     if let Some(cache) = cache.as_mut() {
                         job.key = content_key(function.index(), rng.index(input_variants) as u64);
                         if cache.lookup(job.key, now.as_micros()).is_some() {
+                            observer.emit(
+                                now,
+                                TraceEvent::CacheHit {
+                                    job: job.id,
+                                    function: function.name(),
+                                    key: job.key,
+                                },
+                            );
                             completed += 1;
                             latencies.record(0.0);
                             tenant_tracker.record(job.tenant, 0.0);
@@ -1439,13 +1613,49 @@ fn run_open_loop_conventional_core(
                                     job.tenant as usize,
                                 );
                             }
+                            sink.on_completion(&Completion {
+                                job: job.id,
+                                function: job.function,
+                                worker: 0,
+                                arrived: job.arrived,
+                                finished: now,
+                                exec: SimDuration::ZERO,
+                                tenant: job.tenant,
+                            });
+                            observer.emit(
+                                now,
+                                TraceEvent::JobCompleted {
+                                    job: job.id,
+                                    function: function.name(),
+                                    worker: 0,
+                                    exec: SimDuration::ZERO,
+                                    overhead: SimDuration::ZERO,
+                                },
+                            );
                             continue;
                         }
                         if !coalesce.try_lead(job.key, job.id) {
                             cache.note_coalesced();
+                            let leader = coalesce.leader(job.key).expect("key in flight");
+                            observer.emit(
+                                now,
+                                TraceEvent::Coalesced {
+                                    job: job.id,
+                                    leader,
+                                    function: function.name(),
+                                },
+                            );
                             coalesce.follow(job.key, job);
                             continue;
                         }
+                        observer.emit(
+                            now,
+                            TraceEvent::CacheMiss {
+                                job: job.id,
+                                function: function.name(),
+                                key: job.key,
+                            },
+                        );
                     }
                     // Pick the emptiest VM (work-conserving enough for a
                     // fair comparison; the scheduler study lives on the
@@ -1456,40 +1666,45 @@ fn run_open_loop_conventional_core(
                     queues[v].push_back(job);
                     if current[v].is_none() && server.vm(v).state() == microfaas_hw::VmState::Idle {
                         let job = queues[v].pop_front().expect("just pushed");
-                        current[v] = Some(job);
-                        server.start_job(v, now).expect("vm is idle");
-                        meter.set_power(now, host, server.power().value());
-                        if let Some(a) = attr.as_mut() {
-                            a.set_power(0, now, server.power().value());
-                            a.job_started(
-                                0,
-                                now,
-                                job.id,
-                                usize::from(job.function.index()),
-                                job.tenant as usize,
-                            );
-                        }
-                        let exec = service_time(job.function)
-                            .exec(WorkerPlatform::X86Vm)
-                            .mul_f64(config.jitter.factor(&mut rng) * server.current_slowdown());
-                        queue.schedule(now + exec, Event::ExecDone(v));
+                        vm_start_job(
+                            v,
+                            job,
+                            now,
+                            config,
+                            &mut server,
+                            &mut current,
+                            &mut meter,
+                            host,
+                            &mut queue,
+                            &mut rng,
+                            observer,
+                            attr.as_mut(),
+                        );
                     }
                 }
                 let gap = config.arrival.next_gap(now, &mut rng, &mut arrival_state);
                 queue.schedule(now + gap, Event::Arrival);
             }
             Event::ExecDone(v) => {
-                let job = current[v].expect("job in flight");
+                let (job, _exec, _started) = current[v].expect("job in flight");
                 if let Some(a) = attr.as_mut() {
                     a.response_started(0, now, job.id);
                 }
+                observer.emit(
+                    now,
+                    TraceEvent::ResponseSent {
+                        job: job.id,
+                        function: job.function.name(),
+                        worker: v,
+                    },
+                );
                 let overhead = service_time(job.function)
                     .overhead(WorkerPlatform::X86Vm)
                     .mul_f64(config.jitter.factor(&mut rng));
                 queue.schedule(now + overhead, Event::JobDone(v));
             }
             Event::JobDone(v) => {
-                let job = current[v].take().expect("job in flight");
+                let (job, exec, started) = current[v].take().expect("job in flight");
                 if let Some(a) = attr.as_mut() {
                     a.job_finished(0, now, job.id);
                 }
@@ -1497,6 +1712,25 @@ fn run_open_loop_conventional_core(
                 let latency_s = now.duration_since(job.arrived).as_secs_f64();
                 latencies.record(latency_s);
                 tenant_tracker.record(job.tenant, latency_s);
+                sink.on_completion(&Completion {
+                    job: job.id,
+                    function: job.function,
+                    worker: v,
+                    arrived: job.arrived,
+                    finished: now,
+                    exec,
+                    tenant: job.tenant,
+                });
+                observer.emit(
+                    now,
+                    TraceEvent::JobCompleted {
+                        job: job.id,
+                        function: job.function.name(),
+                        worker: v,
+                        exec,
+                        overhead: now.duration_since(started + exec),
+                    },
+                );
                 if let Some(cache) = cache.as_mut() {
                     cache.insert(job.key, (), now.as_micros());
                     for follower in coalesce.complete(job.key) {
@@ -1510,13 +1744,41 @@ fn run_open_loop_conventional_core(
                                 follower.tenant as usize,
                             );
                         }
+                        sink.on_completion(&Completion {
+                            job: follower.id,
+                            function: follower.function,
+                            worker: v,
+                            arrived: follower.arrived,
+                            finished: now,
+                            exec: SimDuration::ZERO,
+                            tenant: follower.tenant,
+                        });
+                        observer.emit(
+                            now,
+                            TraceEvent::JobCompleted {
+                                job: follower.id,
+                                function: follower.function.name(),
+                                worker: v,
+                                exec: SimDuration::ZERO,
+                                overhead: SimDuration::ZERO,
+                            },
+                        );
                     }
                 }
                 server.finish_job(v, now).expect("vm was executing");
-                meter.set_power(now, host, server.power().value());
+                let watts = server.power().value();
+                meter.set_power(now, host, watts);
                 if let Some(a) = attr.as_mut() {
-                    a.set_power(0, now, server.power().value());
+                    a.set_power(0, now, watts);
                 }
+                observer.emit(
+                    now,
+                    TraceEvent::WorkerStateChange {
+                        worker: v,
+                        state: WorkerState::Rebooting,
+                    },
+                );
+                observer.emit(now, TraceEvent::PowerSample { worker: 0, watts });
                 // Between-jobs reboot, then take the next job if queued.
                 queue.schedule(
                     now + server.vm_boot_duration().mul_f64(server.current_slowdown()),
@@ -1525,28 +1787,34 @@ fn run_open_loop_conventional_core(
             }
             Event::BootDone(v) => {
                 server.reboot_complete(v, now).expect("vm was rebooting");
-                meter.set_power(now, host, server.power().value());
+                let watts = server.power().value();
+                meter.set_power(now, host, watts);
                 if let Some(a) = attr.as_mut() {
-                    a.set_power(0, now, server.power().value());
+                    a.set_power(0, now, watts);
                 }
+                observer.emit(
+                    now,
+                    TraceEvent::WorkerStateChange {
+                        worker: v,
+                        state: WorkerState::Idle,
+                    },
+                );
+                observer.emit(now, TraceEvent::PowerSample { worker: 0, watts });
                 if let Some(job) = queues[v].pop_front() {
-                    current[v] = Some(job);
-                    server.start_job(v, now).expect("vm is idle");
-                    meter.set_power(now, host, server.power().value());
-                    if let Some(a) = attr.as_mut() {
-                        a.set_power(0, now, server.power().value());
-                        a.job_started(
-                            0,
-                            now,
-                            job.id,
-                            usize::from(job.function.index()),
-                            job.tenant as usize,
-                        );
-                    }
-                    let exec = service_time(job.function)
-                        .exec(WorkerPlatform::X86Vm)
-                        .mul_f64(config.jitter.factor(&mut rng) * server.current_slowdown());
-                    queue.schedule(now + exec, Event::ExecDone(v));
+                    vm_start_job(
+                        v,
+                        job,
+                        now,
+                        config,
+                        &mut server,
+                        &mut current,
+                        &mut meter,
+                        host,
+                        &mut queue,
+                        &mut rng,
+                        observer,
+                        attr.as_mut(),
+                    );
                 }
             }
             Event::PowerEffective(_) => unreachable!("VMs never power-cycle"),
@@ -1560,11 +1828,12 @@ fn run_open_loop_conventional_core(
 
     let end = queue.now().max(horizon);
     let report = meter.report(end, completed);
+    let (mean_latency_s, p95_latency_s) = latencies.finish();
     let cache_stats = cache.as_ref().map(|c| c.stats()).unwrap_or_default();
     let run = OpenLoopRun {
         completed,
-        mean_latency_s: latencies.mean().unwrap_or(0.0),
-        p95_latency_s: latencies.percentile(95.0).unwrap_or(0.0),
+        mean_latency_s,
+        p95_latency_s,
         mean_power_w: report.average_watts,
         joules_per_function: report.joules_per_function().unwrap_or(f64::NAN),
         mean_powered_on: vms as f64,
@@ -1577,7 +1846,62 @@ fn run_open_loop_conventional_core(
         cache_coalesced: cache_stats.coalesced,
     };
     let ledger = attr.map(|a| a.finalize(end));
-    (run, ledger)
+    (run, ledger, end)
+}
+
+/// Starts the next invocation on an idle VM: the conventional loop's
+/// counterpart of [`begin_job`], shared by the arrival and post-reboot
+/// paths. Same RNG site and draw order as the historical inline code,
+/// so conventional runs cannot move.
+#[allow(clippy::too_many_arguments)]
+fn vm_start_job<O: TraceObserver>(
+    v: usize,
+    job: QueuedJob,
+    now: SimTime,
+    config: &OpenLoopConfig,
+    server: &mut microfaas_hw::RackServer,
+    current: &mut [Option<(QueuedJob, SimDuration, SimTime)>],
+    meter: &mut EnergyMeter,
+    host: microfaas_energy::ChannelId,
+    queue: &mut EventQueue<Event>,
+    rng: &mut Rng,
+    observer: &mut O,
+    attr: Option<&mut Attributor>,
+) {
+    server.start_job(v, now).expect("vm is idle");
+    let watts = server.power().value();
+    meter.set_power(now, host, watts);
+    if let Some(a) = attr {
+        a.set_power(0, now, watts);
+        a.job_started(
+            0,
+            now,
+            job.id,
+            usize::from(job.function.index()),
+            job.tenant as usize,
+        );
+    }
+    observer.emit(
+        now,
+        TraceEvent::JobStarted {
+            job: job.id,
+            function: job.function.name(),
+            worker: v,
+        },
+    );
+    observer.emit(
+        now,
+        TraceEvent::WorkerStateChange {
+            worker: v,
+            state: WorkerState::Executing,
+        },
+    );
+    observer.emit(now, TraceEvent::PowerSample { worker: 0, watts });
+    let exec = service_time(job.function)
+        .exec(WorkerPlatform::X86Vm)
+        .mul_f64(config.jitter.factor(rng) * server.current_slowdown());
+    current[v] = Some((job, exec, now));
+    queue.schedule(now + exec, Event::ExecDone(v));
 }
 
 /// Places one admitted job and drives the chosen worker's power state —
@@ -1586,7 +1910,7 @@ fn run_open_loop_conventional_core(
 /// historical Arrival arm: same RNG sites, same draw order, so the
 /// legacy goldens cannot move.
 #[allow(clippy::too_many_arguments)]
-fn dispatch_job(
+fn dispatch_job<O: TraceObserver>(
     job: QueuedJob,
     now: SimTime,
     config: &OpenLoopConfig,
@@ -1601,7 +1925,7 @@ fn dispatch_job(
     meter: &mut EnergyMeter,
     channels: &[microfaas_energy::ChannelId],
     rng: &mut Rng,
-    observer: &mut Observer<'_>,
+    observer: &mut O,
     sched_handles: &Option<SchedMetrics>,
     attr: Option<&mut Attributor>,
 ) {
@@ -1672,7 +1996,7 @@ fn dispatch_job(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn begin_job(
+fn begin_job<O: TraceObserver>(
     w: usize,
     now: SimTime,
     config: &OpenLoopConfig,
@@ -1681,7 +2005,7 @@ fn begin_job(
     meter: &mut EnergyMeter,
     channels: &[microfaas_energy::ChannelId],
     rng: &mut Rng,
-    observer: &mut Observer<'_>,
+    observer: &mut O,
     attr: Option<&mut Attributor>,
 ) {
     if let Some(gate) = workers[w].gate.take() {
@@ -2459,6 +2783,125 @@ mod tests {
         let plain = run_open_loop_conventional(&cfg, 6);
         assert_eq!(run.completed, plain.completed);
         assert_eq!(run.mean_power_w, plain.mean_power_w);
+    }
+
+    #[test]
+    fn monitored_run_is_inert_and_covers_every_completion() {
+        // Telemetry is an observer: the run's aggregates must agree
+        // bit-for-bit with the unmonitored engine, and the windows must
+        // account for every completion and the full meter energy.
+        let cfg = config(
+            ArrivalProcess::Poisson { per_second: 2.0 },
+            SchedulerPolicy::LeastLoaded,
+            77,
+        );
+        let plain = run_open_loop(&cfg);
+        let (run, series) = run_open_loop_monitored(&cfg, &TelemetryConfig::default());
+        assert_eq!(run.completed, plain.completed);
+        assert_eq!(run.mean_latency_s, plain.mean_latency_s);
+        assert_eq!(run.p95_latency_s, plain.p95_latency_s);
+        assert_eq!(run.mean_power_w, plain.mean_power_w);
+        assert_eq!(run.power_cycles, plain.power_cycles);
+        assert_eq!(series.total_completed(), run.completed);
+        // The windowed energy integral and the meter integrate the same
+        // step curve; only f64 summation order differs.
+        let meter_joules =
+            run.mean_power_w * series.end.duration_since(SimTime::ZERO).as_secs_f64();
+        let err = (series.total_energy_j() - meter_joules).abs();
+        assert!(
+            err < 1e-6 * meter_joules.max(1.0),
+            "windowed energy {} vs meter {meter_joules}",
+            series.total_energy_j()
+        );
+    }
+
+    #[test]
+    fn monitored_streaming_and_attributed_agree_with_their_engines() {
+        let mut cfg = governed(
+            2.0,
+            GovernorKind::KeepAlive {
+                idle_timeout: DEFAULT_KEEP_ALIVE_TIMEOUT,
+            },
+            78,
+        );
+        cfg.tenants = vec![
+            TenantClass {
+                name: "paid".into(),
+                weight: 0.3,
+                slo_latency_s: 5.0,
+            },
+            TenantClass {
+                name: "free".into(),
+                weight: 0.7,
+                slo_latency_s: 60.0,
+            },
+        ];
+        let plain = run_open_loop_streaming(&cfg, &mut NullSink);
+        let (run, series) = run_open_loop_monitored_streaming(&cfg, &TelemetryConfig::default());
+        assert_eq!(run.completed, plain.completed);
+        assert_eq!(run.mean_latency_s, plain.mean_latency_s);
+        assert_eq!(run.mean_power_w, plain.mean_power_w);
+        assert_eq!(series.total_completed(), run.completed);
+        assert_eq!(series.tenants.len(), 2, "tenant columns follow config");
+        // Per-tenant windowed completions must total the run's
+        // per-tenant summaries.
+        for (t, summary) in run.tenants.iter().enumerate() {
+            let windowed: u64 = series.windows.iter().map(|w| w.tenants[t].completed).sum();
+            assert_eq!(windowed, summary.completed, "tenant {t}");
+        }
+        let (arun, ledger, aseries) = run_open_loop_monitored_attributed(
+            &cfg,
+            IdlePolicy::Equal,
+            &TelemetryConfig::default(),
+        );
+        assert_eq!(arun.completed, run.completed);
+        assert_eq!(arun.mean_power_w, run.mean_power_w);
+        assert!(ledger.conserves());
+        assert_eq!(aseries.to_csv(), series.to_csv(), "attribution is inert");
+    }
+
+    #[test]
+    fn monitored_series_is_deterministic() {
+        let cfg = config(
+            ArrivalProcess::FlashCrowd {
+                base_per_second: 0.5,
+                spike_at_s: 120.0,
+                spike_duration_s: 60.0,
+                spike_per_second: 10.0,
+            },
+            SchedulerPolicy::LeastLoaded,
+            79,
+        );
+        let (_, a) = run_open_loop_monitored_streaming(&cfg, &TelemetryConfig::default());
+        let (_, b) = run_open_loop_monitored_streaming(&cfg, &TelemetryConfig::default());
+        assert_eq!(a.to_csv(), b.to_csv());
+        assert_eq!(a.render_prometheus(), b.render_prometheus());
+    }
+
+    #[test]
+    fn conventional_monitored_matches_and_carries_the_idle_floor() {
+        let cfg = config(
+            ArrivalProcess::Poisson { per_second: 1.0 },
+            SchedulerPolicy::RandomStatic,
+            80,
+        );
+        let plain = run_open_loop_conventional(&cfg, 6);
+        let streamed = run_open_loop_conventional_streaming(&cfg, 6, &mut NullSink);
+        assert_eq!(streamed.completed, plain.completed);
+        assert_eq!(streamed.mean_power_w, plain.mean_power_w);
+        let (run, series) =
+            run_open_loop_conventional_monitored(&cfg, 6, &TelemetryConfig::default());
+        assert_eq!(run.completed, plain.completed);
+        assert_eq!(run.mean_power_w, plain.mean_power_w);
+        assert_eq!(series.total_completed(), run.completed);
+        // The rack server never drops below its idle floor, so every
+        // full window reports tens of watts even when nothing runs.
+        let floor = series
+            .windows
+            .iter()
+            .map(|w| w.power_w)
+            .fold(f64::INFINITY, f64::min);
+        assert!(floor > 50.0, "idle floor should hold, got {floor:.1} W");
     }
 
     #[test]

@@ -109,6 +109,27 @@ impl EnergyMeter {
         self.channels[channel.0].trace.integral(until)
     }
 
+    /// The whole meter's integrated energy from the start through
+    /// `until` — the sum of every channel's integral, the figure the
+    /// windowed telemetry energy column must total to.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use microfaas_energy::EnergyMeter;
+    /// use microfaas_sim::SimTime;
+    ///
+    /// let mut meter = EnergyMeter::new(SimTime::ZERO);
+    /// let a = meter.add_channel("sbc-0");
+    /// let b = meter.add_channel("sbc-1");
+    /// meter.set_power(SimTime::ZERO, a, 2.0);
+    /// meter.set_power(SimTime::ZERO, b, 3.0);
+    /// assert_eq!(meter.total_joules(SimTime::from_secs(10)), 50.0);
+    /// ```
+    pub fn total_joules(&self, until: SimTime) -> f64 {
+        self.channels.iter().map(|c| c.trace.integral(until)).sum()
+    }
+
     /// Publishes one `{prefix}_channel_joules{channel="..."}` gauge per
     /// channel into `metrics`, integrated up to `until`.
     ///

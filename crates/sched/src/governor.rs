@@ -243,6 +243,17 @@ impl GovernorKind {
             GovernorKind::EnergyBudget { .. } => "energy-budget",
         }
     }
+
+    /// The per-tenant power cap in watts when this governor enforces an
+    /// energy budget, `None` for every other kind. Monitoring surfaces
+    /// use it to annotate budget-breach alerts with the cap that was
+    /// broken.
+    pub fn budget_cap_w(&self) -> Option<f64> {
+        match self {
+            GovernorKind::EnergyBudget { cap_w, .. } => Some(*cap_w),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for GovernorKind {

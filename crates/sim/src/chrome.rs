@@ -48,6 +48,7 @@
 use std::fmt::Write as _;
 
 use crate::span::{Phase, SpanTree};
+use crate::telemetry::CounterTrack;
 
 /// Renders `tree` as a Chrome trace-event JSON document.
 ///
@@ -142,6 +143,66 @@ pub fn export_chrome_trace(tree: &SpanTree, label: &str) -> String {
 
     out.push_str("\n]}\n");
     out
+}
+
+/// Renders telemetry counter tracks as a Chrome trace-event JSON
+/// document of `"ph":"C"` counter events, which Perfetto draws as
+/// step-line counter tracks alongside span slices.
+///
+/// Each [`CounterTrack`] becomes one named counter on process 2
+/// (processes 0 and 1 are the worker and job tracks of
+/// [`export_chrome_trace`], so a merged view keeps all three apart);
+/// each `(instant, value)` point becomes one event. The export is
+/// canonical — tracks in input order, points in time order, integer
+/// timestamps — so the same series always renders the same bytes.
+///
+/// # Examples
+///
+/// ```
+/// use microfaas_sim::chrome::{export_counter_trace, validate_chrome_trace};
+/// use microfaas_sim::telemetry::CounterTrack;
+/// use microfaas_sim::SimTime;
+///
+/// let track = CounterTrack {
+///     name: "power_w".to_owned(),
+///     points: vec![(SimTime::ZERO, 2.5), (SimTime::from_secs(1), 4.0)],
+/// };
+/// let json = export_counter_trace(&[track], "micro");
+/// let summary = validate_chrome_trace(&json).expect("schema-valid");
+/// assert_eq!(summary.counter, 2);
+/// ```
+pub fn export_counter_trace(tracks: &[CounterTrack], label: &str) -> String {
+    let points: usize = tracks.iter().map(|t| t.points.len()).sum();
+    let mut out = String::with_capacity(256 + points * 96);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut first = true;
+    meta_process(&mut out, &mut first, 2, &format!("{label} telemetry"));
+    for track in tracks {
+        let name = escape_json(&track.name);
+        for &(at, value) in &track.points {
+            event_sep(&mut out, &mut first);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"C\",\"pid\":2,\"tid\":0,\"name\":\"{name}\",\"ts\":{},\
+                 \"args\":{{\"value\":{}}}}}",
+                at.as_micros(),
+                json_number(value)
+            );
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Formats a counter value as a JSON number. `f64` `Display` is already
+/// JSON-compatible for finite values; non-finite values (which JSON
+/// cannot carry) clamp to 0.
+fn json_number(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        "0".to_owned()
+    }
 }
 
 fn event_sep(out: &mut String, first: &mut bool) {
@@ -452,14 +513,17 @@ pub struct ChromeSummary {
     pub complete: usize,
     /// `"ph":"i"` instant events.
     pub instant: usize,
+    /// `"ph":"C"` counter events.
+    pub counter: usize,
     /// `"ph":"M"` metadata events.
     pub metadata: usize,
 }
 
 /// Round-trips an exported document through [`parse_json`] and checks
 /// the Chrome trace-event schema: a top-level `traceEvents` array whose
-/// members carry `ph`/`pid`/`tid`, with `ts` + `dur` on `X` spans, `ts`
-/// + `s` on `i` instants, and `name` on every event.
+/// members carry `ph`/`pid`/`tid`, with `ts` plus `dur` on `X` spans,
+/// `ts` plus `s` on `i` instants, `ts` plus a non-empty all-numeric
+/// `args` object on `C` counters, and `name` on every event.
 ///
 /// # Errors
 ///
@@ -514,6 +578,32 @@ pub fn validate_chrome_trace(input: &str) -> Result<ChromeSummary, String> {
                     .and_then(JsonValue::as_str)
                     .ok_or_else(|| format!("event {i}: i without 's'"))?;
                 summary.instant += 1;
+            }
+            "C" => {
+                let ts = event
+                    .get("ts")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| format!("event {i}: C without 'ts'"))?;
+                if ts < 0.0 {
+                    return Err(format!("event {i}: negative 'ts'"));
+                }
+                let args = event
+                    .get("args")
+                    .ok_or_else(|| format!("event {i}: C without 'args'"))?;
+                let series = match args {
+                    JsonValue::Object(members) if !members.is_empty() => members,
+                    _ => {
+                        return Err(format!(
+                            "event {i}: counter 'args' must be a non-empty object"
+                        ))
+                    }
+                };
+                for (key, value) in series {
+                    value.as_f64().filter(|v| v.is_finite()).ok_or_else(|| {
+                        format!("event {i}: counter series '{key}' is not a finite number")
+                    })?;
+                }
+                summary.counter += 1;
             }
             "M" => summary.metadata += 1,
             other => return Err(format!("event {i}: unsupported ph '{other}'")),
@@ -653,6 +743,67 @@ mod tests {
             "{\"traceEvents\":[{\"ph\":\"X\",\"pid\":0,\"tid\":0,\"name\":\"x\",\"ts\":1}]}";
         let e = validate_chrome_trace(missing_dur).unwrap_err();
         assert!(e.contains("without 'dur'"), "{e}");
+    }
+
+    #[test]
+    fn counter_export_round_trips() {
+        let tracks = [
+            CounterTrack {
+                name: "power_w".to_owned(),
+                points: vec![
+                    (SimTime::ZERO, 2.5),
+                    (SimTime::from_secs(1), 4.0),
+                    (SimTime::from_secs(2), 0.0),
+                ],
+            },
+            CounterTrack {
+                name: "queue_depth".to_owned(),
+                points: vec![(SimTime::ZERO, 17.0)],
+            },
+        ];
+        let a = export_counter_trace(&tracks, "micro");
+        let b = export_counter_trace(&tracks, "micro");
+        assert_eq!(a, b, "same tracks must render identical bytes");
+        let summary = validate_chrome_trace(&a).expect("valid document");
+        assert_eq!(summary.counter, 4);
+        assert_eq!(summary.metadata, 1);
+        assert_eq!(summary.events, 5);
+        assert!(a.contains("\"name\":\"power_w\""), "{a}");
+        assert!(a.contains("\"args\":{\"value\":2.5}"), "{a}");
+        // Non-finite values must clamp to a valid JSON number.
+        let weird = [CounterTrack {
+            name: "nan".to_owned(),
+            points: vec![(SimTime::ZERO, f64::NAN)],
+        }];
+        let json = export_counter_trace(&weird, "micro");
+        validate_chrome_trace(&json).expect("clamped NaN stays valid");
+        assert!(json.contains("\"args\":{\"value\":0}"), "{json}");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_counters() {
+        let wrap = |event: &str| format!("{{\"traceEvents\":[{event}]}}");
+        let no_ts =
+            wrap("{\"ph\":\"C\",\"pid\":2,\"tid\":0,\"name\":\"x\",\"args\":{\"value\":1}}");
+        let e = validate_chrome_trace(&no_ts).unwrap_err();
+        assert!(e.contains("C without 'ts'"), "{e}");
+        let negative_ts = wrap(
+            "{\"ph\":\"C\",\"pid\":2,\"tid\":0,\"name\":\"x\",\"ts\":-1,\"args\":{\"value\":1}}",
+        );
+        let e = validate_chrome_trace(&negative_ts).unwrap_err();
+        assert!(e.contains("negative 'ts'"), "{e}");
+        let no_args = wrap("{\"ph\":\"C\",\"pid\":2,\"tid\":0,\"name\":\"x\",\"ts\":1}");
+        let e = validate_chrome_trace(&no_args).unwrap_err();
+        assert!(e.contains("C without 'args'"), "{e}");
+        let empty_args =
+            wrap("{\"ph\":\"C\",\"pid\":2,\"tid\":0,\"name\":\"x\",\"ts\":1,\"args\":{}}");
+        let e = validate_chrome_trace(&empty_args).unwrap_err();
+        assert!(e.contains("non-empty object"), "{e}");
+        let string_value = wrap(
+            "{\"ph\":\"C\",\"pid\":2,\"tid\":0,\"name\":\"x\",\"ts\":1,\"args\":{\"v\":\"hi\"}}",
+        );
+        let e = validate_chrome_trace(&string_value).unwrap_err();
+        assert!(e.contains("series 'v' is not a finite number"), "{e}");
     }
 
     #[test]

@@ -23,7 +23,10 @@
 //! * [`trace`] — typed [`TraceEvent`]s recorded through an [`Observer`]
 //!   into a ring-buffer [`TraceBuffer`], exported as JSON lines;
 //! * [`metrics`] — a [`MetricsRegistry`] of named counters, gauges, and
-//!   fixed-bucket histograms with Prometheus text exposition.
+//!   fixed-bucket histograms with Prometheus text exposition;
+//! * [`telemetry`] — time-resolved tumbling windows over the trace and
+//!   completion streams ([`TelemetrySeries`]) with SLO burn-rate and
+//!   EWMA anomaly alerting (see `docs/MONITORING.md`).
 //!
 //! Two causal-analysis modules derive structure from the trace (see
 //! `docs/TRACING.md`):
@@ -88,10 +91,13 @@ pub mod queue;
 mod rng;
 pub mod span;
 mod stats;
+pub mod telemetry;
 mod time;
 pub mod trace;
 
-pub use chrome::{export_chrome_trace, validate_chrome_trace, ChromeSummary, JsonValue};
+pub use chrome::{
+    export_chrome_trace, export_counter_trace, validate_chrome_trace, ChromeSummary, JsonValue,
+};
 pub use exec::{par_map, par_map_indexed, Jobs};
 pub use faults::{FaultInjector, FaultKind, FaultPlan, FaultPlanError, FaultSpec, FaultTrigger};
 pub use metrics::{CounterId, GaugeId, HistogramId, MetricsRegistry};
@@ -99,5 +105,10 @@ pub use queue::{EventId, EventQueue};
 pub use rng::{Rng, SplitMix64};
 pub use span::{CriticalPath, JobSpan, LifecycleSpan, Phase, PhaseStats, SpanTree};
 pub use stats::{OnlineStats, QuantileSketch, Samples, TimeWeighted};
+pub use telemetry::{
+    evaluate_alerts, Alert, AlertPolicy, AlertSeverity, AlertSignal, BurnRateRule,
+    CompletionWindows, CounterTrack, EventWindows, TelemetryConfig, TelemetrySeries,
+    TelemetryWindow, TenantSpec, TenantWindow,
+};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Endpoint, Observer, TraceBuffer, TraceEvent, TraceRecord, TraceSink, WorkerState};

@@ -266,17 +266,42 @@ impl FromIterator<f64> for Samples {
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct QuantileSketch {
-    /// Bucket growth factor `(1+ε)/(1−ε)`.
+    /// Bucket value ratio `(1+ε)/(1−ε)`: the spread a bucket's true
+    /// value range may cover while midpoint reporting stays within ε.
     gamma: f64,
-    /// `1 / ln γ`, cached for the bucket-index computation.
-    inv_log_gamma: f64,
-    /// Geometric bucket counts, keyed by `floor(ln v / ln γ)`. A
-    /// `BTreeMap` keeps quantile walks in value order with no sort.
-    counts: std::collections::BTreeMap<i32, u64>,
+    /// Buckets per octave: a value's index is `floor(s(v) · mult)`
+    /// where `s` approximates `log2` (see [`Self::index_of`]). On the
+    /// fast path `mult` is inflated so the approximation error still
+    /// keeps every bucket's value spread within `gamma`.
+    mult: f64,
+    /// Lower bound of bucket `i` is `2^(i / mult) · low_bias`
+    /// (`2^−δ`, the approximation slack; 1 on the exact path).
+    low_bias: f64,
+    /// Whether the cubic bit-twiddled `log2` is in use (true unless
+    /// `epsilon` is so small that its error budget would swamp γ).
+    fast: bool,
+    /// Geometric bucket counts for indices `offset + i`. The vector is
+    /// kept exact-fit to the observed index range (first and last
+    /// slots are always non-zero), so two sketches over the same
+    /// observations compare equal regardless of insertion or merge
+    /// order, and a quantile walk is a linear scan in value order with
+    /// no sort.
+    offset: i32,
+    counts: Vec<u64>,
     /// Exact zeros (no logarithm to take).
     zeros: u64,
     total: u64,
 }
+
+/// Cubic minimax fit of `log2(1+f)` on `[0, 1]` with the endpoints
+/// pinned (`q(0) = 0`, `q(1) = 1`, so the mantissa spline glues
+/// continuously and monotonically across octaves):
+/// `q(f) = f + f(f−1)(A + Bf)`, max absolute error < [`CUBIC_LOG2_ERR`]
+/// (asserted over a dense grid in the tests).
+const CUBIC_LOG2_A: f64 = -0.422_862_587;
+const CUBIC_LOG2_B: f64 = 0.159_212_608_3;
+/// Upper bound on the cubic's `log2` error, with margin.
+const CUBIC_LOG2_ERR: f64 = 0.0009;
 
 impl QuantileSketch {
     /// Creates a sketch whose quantile answers are within `epsilon`
@@ -292,13 +317,68 @@ impl QuantileSketch {
             "relative error must be in (0, 1), got {epsilon}"
         );
         let gamma = (1.0 + epsilon) / (1.0 - epsilon);
+        let log2_gamma = gamma.ln() / std::f64::consts::LN_2;
+        // The approximate log2 widens each bucket's true value range
+        // by 2^(2δ); shrinking the target octave fraction by 2δ keeps
+        // the range within γ. Fall back to the exact logarithm when ε
+        // is so tight the compensation would dominate.
+        let fast = log2_gamma > 4.0 * CUBIC_LOG2_ERR;
+        let delta = if fast { CUBIC_LOG2_ERR } else { 0.0 };
         QuantileSketch {
             gamma,
-            inv_log_gamma: 1.0 / gamma.ln(),
-            counts: std::collections::BTreeMap::new(),
+            mult: 1.0 / (log2_gamma - 2.0 * delta),
+            low_bias: (-delta).exp2(),
+            fast,
+            offset: 0,
+            counts: Vec::new(),
             zeros: 0,
             total: 0,
         }
+    }
+
+    /// The bucket index of a positive finite value:
+    /// `floor(s(value) · mult)` with `s ≈ log2`. On the fast path `s`
+    /// splits the float into exponent and mantissa and runs the cubic
+    /// spline on the mantissa — no libm call per observation
+    /// (subnormals, which the exponent split cannot decode, take
+    /// `log2` directly; `s` stays within δ of `log2` either way).
+    #[inline]
+    fn index_of(&self, value: f64) -> i32 {
+        const EXP_MASK: u64 = 0x7FF0_0000_0000_0000;
+        const MANT_MASK: u64 = 0x000F_FFFF_FFFF_FFFF;
+        const ONE_BITS: u64 = 0x3FF0_0000_0000_0000;
+        let bits = value.to_bits();
+        let s = if self.fast && (bits & EXP_MASK) != 0 {
+            let e = ((bits >> 52) as i32 - 1023) as f64;
+            let f = f64::from_bits((bits & MANT_MASK) | ONE_BITS) - 1.0;
+            e + f + f * (f - 1.0) * (CUBIC_LOG2_A + CUBIC_LOG2_B * f)
+        } else {
+            value.log2()
+        };
+        // floor() without the libm call the x86-64 baseline would
+        // emit: shift into positive range (exact — the bias is an
+        // integer power of two), truncate, shift back. The 2^-32
+        // quantization this adds near bucket edges is orders of
+        // magnitude inside the spline's compensated error budget.
+        const FLOOR_BIAS: i64 = 1 << 20;
+        ((s * self.mult + FLOOR_BIAS as f64) as i64 - FLOOR_BIAS) as i32
+    }
+
+    /// The bucket slot for `index`, growing the exact-fit range as
+    /// needed. Growth always lands a non-zero count in the new extreme
+    /// slot, so the first/last-non-zero invariant holds.
+    fn bucket_mut(&mut self, index: i32) -> &mut u64 {
+        if self.counts.is_empty() {
+            self.offset = index;
+            self.counts.push(0);
+        } else if index < self.offset {
+            let pad = (self.offset - index) as usize;
+            self.counts.splice(0..0, std::iter::repeat_n(0, pad));
+            self.offset = index;
+        } else if index - self.offset >= self.counts.len() as i32 {
+            self.counts.resize((index - self.offset) as usize + 1, 0);
+        }
+        &mut self.counts[(index - self.offset) as usize]
     }
 
     /// Records one observation.
@@ -316,8 +396,8 @@ impl QuantileSketch {
             self.zeros += 1;
             return;
         }
-        let index = (value.ln() * self.inv_log_gamma).floor() as i32;
-        *self.counts.entry(index).or_insert(0) += 1;
+        let index = self.index_of(value);
+        *self.bucket_mut(index) += 1;
     }
 
     /// Number of observations recorded.
@@ -341,12 +421,13 @@ impl QuantileSketch {
             return Some(0.0);
         }
         let mut seen = self.zeros;
-        for (&index, &count) in &self.counts {
+        for (i, &count) in self.counts.iter().enumerate() {
             seen += count;
-            if seen >= rank {
-                // Midpoint of [γ^i, γ^(i+1)): within ε of any value
-                // that hashed into the bucket.
-                let low = self.gamma.powi(index);
+            if count > 0 && seen >= rank {
+                // The bucket's true value range spans at most a γ
+                // ratio, so the arithmetic midpoint is within ε of any
+                // value that hashed into it.
+                let low = ((self.offset + i as i32) as f64 / self.mult).exp2() * self.low_bias;
                 return Some(low * (1.0 + self.gamma) / 2.0);
             }
         }
@@ -363,8 +444,13 @@ impl QuantileSketch {
             self.gamma == other.gamma,
             "cannot merge sketches with different relative errors"
         );
-        for (&index, &count) in &other.counts {
-            *self.counts.entry(index).or_insert(0) += count;
+        // Skipping empty slots keeps the exact-fit invariant: the
+        // merged extent is the union of observed extents, exactly what
+        // sequential recording would have produced.
+        for (i, &count) in other.counts.iter().enumerate() {
+            if count > 0 {
+                *self.bucket_mut(other.offset + i as i32) += count;
+            }
         }
         self.zeros += other.zeros;
         self.total += other.total;
@@ -677,5 +763,159 @@ mod tests {
     #[should_panic(expected = "finite and non-negative")]
     fn sketch_rejects_negative_values() {
         QuantileSketch::with_relative_error(0.01).record(-1.0);
+    }
+
+    #[test]
+    fn cubic_log2_spline_error_is_within_documented_bound() {
+        // The fast bucket mapping leans on |q(f) − log2(1+f)| ≤ δ; the
+        // multiplier compensation is sized from this constant, so the
+        // ε guarantee is only as good as the bound.
+        let n = 500_000;
+        let mut worst = 0.0f64;
+        for i in 0..=n {
+            let f = i as f64 / n as f64;
+            let q = f + f * (f - 1.0) * (CUBIC_LOG2_A + CUBIC_LOG2_B * f);
+            worst = worst.max((q - (1.0 + f).log2()).abs());
+        }
+        assert!(
+            worst < CUBIC_LOG2_ERR,
+            "cubic log2 spline error {worst} exceeds documented bound {CUBIC_LOG2_ERR}"
+        );
+    }
+
+    #[test]
+    fn sketch_accuracy_holds_on_the_exact_log_fallback() {
+        // An ε below the spline's error budget takes the libm path;
+        // the guarantee must be identical.
+        let mut sketch = QuantileSketch::with_relative_error(0.0005);
+        let mut exact = Samples::new();
+        for i in 1..=5_000u32 {
+            let v = f64::from(i) * 0.004 + 0.3;
+            sketch.record(v);
+            exact.record(v);
+        }
+        for p in [10.0, 50.0, 99.0] {
+            let approx = sketch.quantile(p).expect("non-empty");
+            let truth = exact.percentile(p).expect("non-empty");
+            assert!(
+                (approx / truth - 1.0).abs() <= 0.0006,
+                "p{p}: sketch {approx} vs exact {truth}"
+            );
+        }
+    }
+
+    mod merge_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        const EPSILON: f64 = 0.01;
+
+        fn sketch_of(values: &[f64]) -> QuantileSketch {
+            let mut s = QuantileSketch::with_relative_error(EPSILON);
+            for &v in values {
+                s.record(v);
+            }
+            s
+        }
+
+        fn stats_of(values: &[f64]) -> OnlineStats {
+            let mut s = OnlineStats::new();
+            for &v in values {
+                s.record(v);
+            }
+            s
+        }
+
+        /// |a - b| within `tol` relative to the larger magnitude.
+        fn close(a: f64, b: f64, tol: f64) -> bool {
+            (a - b).abs() <= tol * a.abs().max(b.abs()).max(1e-12)
+        }
+
+        proptest! {
+            #[test]
+            fn online_stats_merge_matches_sequential(
+                xs in prop::collection::vec(-1.0e6f64..1.0e6, 0..200),
+                split in 0usize..=200,
+            ) {
+                let k = split.min(xs.len());
+                let sequential = stats_of(&xs);
+                let mut merged = stats_of(&xs[..k]);
+                merged.merge(&stats_of(&xs[k..]));
+                prop_assert_eq!(merged.count(), sequential.count());
+                prop_assert_eq!(merged.min(), sequential.min());
+                prop_assert_eq!(merged.max(), sequential.max());
+                prop_assert!(close(merged.mean(), sequential.mean(), 1e-9));
+                prop_assert!(close(merged.variance(), sequential.variance(), 1e-6));
+            }
+
+            #[test]
+            fn online_stats_merge_commutes_on_disjoint_streams(
+                lows in prop::collection::vec(0.001f64..1.0, 1..100),
+                highs in prop::collection::vec(10.0f64..1000.0, 1..100),
+            ) {
+                let (a, b) = (stats_of(&lows), stats_of(&highs));
+                let mut ab = a.clone();
+                ab.merge(&b);
+                let mut ba = b.clone();
+                ba.merge(&a);
+                prop_assert_eq!(ab.count(), ba.count());
+                prop_assert_eq!(ab.min(), ba.min());
+                prop_assert_eq!(ab.max(), ba.max());
+                prop_assert!(close(ab.mean(), ba.mean(), 1e-9));
+                prop_assert!(close(ab.variance(), ba.variance(), 1e-9));
+            }
+
+            #[test]
+            fn sketch_merge_matches_sequential(
+                xs in prop::collection::vec(0.0f64..1.0e4, 0..300),
+                split in 0usize..=300,
+            ) {
+                let k = split.min(xs.len());
+                let sequential = sketch_of(&xs);
+                let mut merged = sketch_of(&xs[..k]);
+                merged.merge(&sketch_of(&xs[k..]));
+                // Bucket counts are integers, so the merge is exact.
+                prop_assert_eq!(merged, sequential);
+            }
+
+            #[test]
+            fn sketch_merge_commutes_on_disjoint_streams(
+                lows in prop::collection::vec(0.0001f64..1.0, 1..100),
+                highs in prop::collection::vec(100.0f64..10000.0, 1..100),
+            ) {
+                let (a, b) = (sketch_of(&lows), sketch_of(&highs));
+                let mut ab = a.clone();
+                ab.merge(&b);
+                let mut ba = b;
+                ba.merge(&a);
+                prop_assert_eq!(ab, ba);
+            }
+
+            #[test]
+            fn sketch_merge_preserves_relative_error_bound(
+                xs in prop::collection::vec(0.0001f64..1.0e4, 1..300),
+                split in 0usize..=300,
+            ) {
+                let k = split.min(xs.len());
+                let mut merged = sketch_of(&xs[..k]);
+                merged.merge(&sketch_of(&xs[k..]));
+                let mut sorted = xs.clone();
+                sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                for p in [50.0, 95.0, 99.0] {
+                    let estimate = merged.quantile(p).expect("non-empty");
+                    // The estimate must sit within ε (relative) of the
+                    // nearest-rank neighborhood of the exact answer.
+                    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+                    let lower = sorted[rank.saturating_sub(2).min(sorted.len() - 1)];
+                    let upper = sorted[rank.min(sorted.len() - 1)];
+                    prop_assert!(
+                        estimate >= lower * (1.0 - 1.5 * EPSILON) - 1e-12
+                            && estimate <= upper * (1.0 + 1.5 * EPSILON) + 1e-12,
+                        "p{}: estimate {} outside [{}, {}]",
+                        p, estimate, lower, upper
+                    );
+                }
+            }
+        }
     }
 }
